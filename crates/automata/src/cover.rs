@@ -1,0 +1,193 @@
+//! Coverage search: finding words of a regular language that satisfy occurrence demands.
+//!
+//! The satisfiability engines repeatedly ask questions of the form
+//!
+//! > *Is there a children sequence `w ∈ L(P(A))` that uses only element types from a
+//! > given allowed set and contains at least `k_B` occurrences of type `B` for every
+//! > `B` in a demand multiset?  If so, produce a shortest such sequence.*
+//!
+//! For the positive NP engine (Theorem 4.4) the demands are the child steps of the
+//! query's witness skeleton that were routed to the node being expanded; for the
+//! EXPTIME subtree-type fixpoint (Theorems 5.2/5.3) the demands are subtree types that
+//! must be realised below the node.  In both cases the search is a BFS over the product
+//! of the Glushkov NFA with saturating occurrence counters, which is polynomial in the
+//! automaton size for a fixed demand set.
+
+use crate::nfa::{Nfa, StateId};
+use crate::Symbol;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A demand on the children sequence of a node: which symbols are allowed at all and how
+/// many occurrences of particular symbols are required at minimum.
+#[derive(Debug, Clone, Default)]
+pub struct CoverDemand<S: Symbol> {
+    /// Minimum number of occurrences required per symbol.
+    pub required: BTreeMap<S, usize>,
+    /// If `Some`, only these symbols may appear in the word; `None` = no restriction.
+    pub allowed: Option<BTreeSet<S>>,
+}
+
+impl<S: Symbol> CoverDemand<S> {
+    /// A demand with no requirements and no alphabet restriction.
+    pub fn none() -> Self {
+        CoverDemand {
+            required: BTreeMap::new(),
+            allowed: None,
+        }
+    }
+
+    /// Require at least `count` further occurrences of `sym`.
+    pub fn require(mut self, sym: S, count: usize) -> Self {
+        *self.required.entry(sym).or_insert(0) += count;
+        self
+    }
+
+    /// Restrict the word to the given alphabet.
+    pub fn restrict_to(mut self, allowed: BTreeSet<S>) -> Self {
+        self.allowed = Some(allowed);
+        self
+    }
+
+    fn symbol_allowed(&self, sym: &S) -> bool {
+        match &self.allowed {
+            Some(set) => set.contains(sym),
+            None => true,
+        }
+    }
+}
+
+/// Shortest accepted word of the automaton (convenience wrapper around [`Nfa::shortest_word`]).
+pub fn shortest_word<S: Symbol>(nfa: &Nfa<S>) -> Option<Vec<S>> {
+    nfa.shortest_word()
+}
+
+/// Shortest word of the language that contains at least `required[B]` occurrences of each
+/// demanded symbol `B` and uses only allowed symbols.  Returns `None` when no such word
+/// exists.
+pub fn shortest_covering_word<S: Symbol>(nfa: &Nfa<S>, demand: &CoverDemand<S>) -> Option<Vec<S>> {
+    // Product state: (NFA state, per-demand saturating counters).
+    let demanded: Vec<(&S, usize)> = demand.required.iter().map(|(s, &k)| (s, k)).collect();
+    let goal: Vec<usize> = demanded.iter().map(|&(_, k)| k).collect();
+    let start_counts: Vec<usize> = vec![0; demanded.len()];
+
+    type Key = (StateId, Vec<usize>);
+    let start: Key = (nfa.start(), start_counts);
+    let mut pred: BTreeMap<Key, (Key, S)> = BTreeMap::new();
+    let mut seen: BTreeSet<Key> = BTreeSet::new();
+    let mut queue: VecDeque<Key> = VecDeque::new();
+    seen.insert(start.clone());
+    queue.push_back(start.clone());
+
+    let is_goal =
+        |key: &Key| -> bool { nfa.is_accepting(key.0) && key.1.iter().zip(&goal).all(|(c, g)| c >= g) };
+
+    let mut goal_key: Option<Key> = if is_goal(&start) { Some(start) } else { None };
+
+    while goal_key.is_none() {
+        let Some(key) = queue.pop_front() else { break };
+        let (q, counts) = &key;
+        for (sym, succs) in nfa.transitions_from(*q) {
+            if !demand.symbol_allowed(sym) {
+                continue;
+            }
+            let mut next_counts = counts.clone();
+            for (i, (dsym, _)) in demanded.iter().enumerate() {
+                if *dsym == sym && next_counts[i] < goal[i] {
+                    next_counts[i] += 1;
+                }
+            }
+            for &t in succs {
+                let next: Key = (t, next_counts.clone());
+                if seen.insert(next.clone()) {
+                    pred.insert(next.clone(), (key.clone(), sym.clone()));
+                    if is_goal(&next) {
+                        goal_key = Some(next.clone());
+                    }
+                    queue.push_back(next);
+                }
+            }
+            if goal_key.is_some() {
+                break;
+            }
+        }
+    }
+
+    let mut cur = goal_key?;
+    let mut word = Vec::new();
+    while let Some((prev, sym)) = pred.get(&cur).cloned() {
+        word.push(sym);
+        cur = prev;
+    }
+    word.reverse();
+    Some(word)
+}
+
+/// Does the language contain a word with at least the demanded multiplicities
+/// (and within the allowed alphabet)?  Equivalent to `shortest_covering_word(..).is_some()`
+/// but without materialising the word.
+pub fn word_with_multiplicities<S: Symbol>(nfa: &Nfa<S>, demand: &CoverDemand<S>) -> bool {
+    shortest_covering_word(nfa, demand).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    fn c(ch: char) -> Regex<char> {
+        Regex::sym(ch)
+    }
+
+    #[test]
+    fn covering_word_respects_multiplicities() {
+        // (a|b)* : need two a's and one b.
+        let re = Regex::star(Regex::alt(vec![c('a'), c('b')]));
+        let nfa = Nfa::glushkov(&re);
+        let demand = CoverDemand::none().require('a', 2).require('b', 1);
+        let w = shortest_covering_word(&nfa, &demand).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.iter().filter(|&&x| x == 'a').count(), 2);
+        assert_eq!(w.iter().filter(|&&x| x == 'b').count(), 1);
+        assert!(re.matches(&w));
+    }
+
+    #[test]
+    fn covering_word_fails_when_language_cannot_provide() {
+        // a,b : at most one a.
+        let re = Regex::concat(vec![c('a'), c('b')]);
+        let nfa = Nfa::glushkov(&re);
+        let demand = CoverDemand::none().require('a', 2);
+        assert!(shortest_covering_word(&nfa, &demand).is_none());
+    }
+
+    #[test]
+    fn allowed_alphabet_restriction() {
+        // (a|b),c : c always needed, so restricting to {a, c} is fine but {a, b} is not.
+        let re = Regex::concat(vec![Regex::alt(vec![c('a'), c('b')]), c('c')]);
+        let nfa = Nfa::glushkov(&re);
+        let ok = CoverDemand::none().restrict_to(['a', 'c'].into_iter().collect());
+        assert!(word_with_multiplicities(&nfa, &ok));
+        let bad = CoverDemand::<char>::none().restrict_to(['a', 'b'].into_iter().collect());
+        assert!(!word_with_multiplicities(&nfa, &bad));
+    }
+
+    #[test]
+    fn empty_demand_yields_shortest_word() {
+        let re = Regex::concat(vec![Regex::star(c('a')), c('b')]);
+        let nfa = Nfa::glushkov(&re);
+        let w = shortest_covering_word(&nfa, &CoverDemand::none()).unwrap();
+        assert_eq!(w, vec!['b']);
+    }
+
+    #[test]
+    fn demands_interact_with_concatenation_structure() {
+        // a?,b,a? can provide at most two a's, and only around the b.
+        let re = Regex::concat(vec![Regex::opt(c('a')), c('b'), Regex::opt(c('a'))]);
+        let nfa = Nfa::glushkov(&re);
+        let two_a = CoverDemand::none().require('a', 2);
+        let w = shortest_covering_word(&nfa, &two_a).unwrap();
+        assert_eq!(w, vec!['a', 'b', 'a']);
+        let three_a = CoverDemand::none().require('a', 3);
+        assert!(shortest_covering_word(&nfa, &three_a).is_none());
+    }
+}

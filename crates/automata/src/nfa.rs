@@ -1,0 +1,417 @@
+//! Nondeterministic finite automata and the Glushkov (position) construction.
+//!
+//! The Glushkov automaton of a regular expression has one state per symbol *occurrence*
+//! (plus a distinguished initial state) and no epsilon transitions.  Two properties make
+//! it the right representation here:
+//!
+//! * its size is linear in the size of the content model, so DTD validation and witness
+//!   construction stay polynomial, and
+//! * its states *are* the positions of the content model, which is exactly the structure
+//!   the sibling-axis satisfiability algorithm of Theorem 7.1 walks over (a `→` move is
+//!   a forward transition between positions, a `←` move a backward one).
+
+use crate::regex::Regex;
+use crate::Symbol;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Index of an NFA state.  State `0` is always the unique initial state.
+pub type StateId = usize;
+
+/// A nondeterministic finite automaton without epsilon transitions.
+#[derive(Debug, Clone)]
+pub struct Nfa<S> {
+    /// `transitions[q]` maps a symbol to the set of successor states.
+    transitions: Vec<BTreeMap<S, BTreeSet<StateId>>>,
+    /// Accepting states.
+    accepting: BTreeSet<StateId>,
+    /// For Glushkov automata: the symbol whose occurrence a state represents
+    /// (`None` for the initial state).
+    state_symbol: Vec<Option<S>>,
+}
+
+impl<S: Symbol> Nfa<S> {
+    /// Build the Glushkov automaton of `re`.
+    ///
+    /// The automaton accepts exactly `L(re)`, has `1 + (number of symbol occurrences)`
+    /// states and carries, for every non-initial state, the symbol it reads.
+    pub fn glushkov(re: &Regex<S>) -> Nfa<S> {
+        // Linearise: assign position indices 1..=m to symbol occurrences, left to right.
+        let mut positions: Vec<S> = Vec::new();
+        let lin = linearise(re, &mut positions);
+        let m = positions.len();
+
+        let first = first_set(&lin);
+        let last = last_set(&lin);
+        let nullable = lin.nullable();
+        let mut follow: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); m + 1];
+        follow_sets(&lin, &mut follow);
+
+        let mut nfa = Nfa {
+            transitions: vec![BTreeMap::new(); m + 1],
+            accepting: BTreeSet::new(),
+            state_symbol: vec![None; m + 1],
+        };
+        for (i, sym) in positions.iter().enumerate() {
+            nfa.state_symbol[i + 1] = Some(sym.clone());
+        }
+        for &p in &first {
+            let sym = positions[p - 1].clone();
+            nfa.transitions[0].entry(sym).or_default().insert(p);
+        }
+        for p in 1..=m {
+            for &q in &follow[p] {
+                let sym = positions[q - 1].clone();
+                nfa.transitions[p].entry(sym).or_default().insert(q);
+            }
+        }
+        if nullable {
+            nfa.accepting.insert(0);
+        }
+        for &p in &last {
+            nfa.accepting.insert(p);
+        }
+        nfa
+    }
+
+    /// Number of states (including the initial state).
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The unique initial state.
+    pub fn start(&self) -> StateId {
+        0
+    }
+
+    /// Is `q` an accepting state?
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting.contains(&q)
+    }
+
+    /// All accepting states.
+    pub fn accepting_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.accepting.iter().copied()
+    }
+
+    /// The symbol read to enter state `q` (None for the initial state).
+    pub fn symbol_of(&self, q: StateId) -> Option<&S> {
+        self.state_symbol[q].as_ref()
+    }
+
+    /// Outgoing transitions of `q`.
+    pub fn transitions_from(&self, q: StateId) -> impl Iterator<Item = (&S, &BTreeSet<StateId>)> {
+        self.transitions[q].iter()
+    }
+
+    /// Successor states of `q` on `sym`.
+    pub fn step(&self, q: StateId, sym: &S) -> impl Iterator<Item = StateId> + '_ {
+        self.transitions[q]
+            .get(sym)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// All symbols appearing on some transition.
+    pub fn alphabet(&self) -> BTreeSet<S> {
+        let mut out = BTreeSet::new();
+        for t in &self.transitions {
+            for sym in t.keys() {
+                out.insert(sym.clone());
+            }
+        }
+        out
+    }
+
+    /// Does the automaton accept `word`?
+    pub fn accepts(&self, word: &[S]) -> bool {
+        let mut current: BTreeSet<StateId> = BTreeSet::new();
+        current.insert(0);
+        for sym in word {
+            let mut next = BTreeSet::new();
+            for &q in &current {
+                if let Some(succ) = self.transitions[q].get(sym) {
+                    next.extend(succ.iter().copied());
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            current = next;
+        }
+        current.iter().any(|q| self.accepting.contains(q))
+    }
+
+    /// Is the accepted language empty?
+    pub fn is_empty(&self) -> bool {
+        self.shortest_word().is_none()
+    }
+
+    /// A shortest accepted word, if the language is nonempty (BFS over states).
+    pub fn shortest_word(&self) -> Option<Vec<S>> {
+        let n = self.num_states();
+        let mut pred: Vec<Option<(StateId, S)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = VecDeque::new();
+        visited[0] = true;
+        queue.push_back(0);
+        let mut goal = if self.accepting.contains(&0) { Some(0) } else { None };
+        while goal.is_none() {
+            let Some(q) = queue.pop_front() else { break };
+            for (sym, succ) in &self.transitions[q] {
+                for &t in succ {
+                    if !visited[t] {
+                        visited[t] = true;
+                        pred[t] = Some((q, sym.clone()));
+                        if self.accepting.contains(&t) {
+                            goal = Some(t);
+                        }
+                        queue.push_back(t);
+                    }
+                }
+                if goal.is_some() {
+                    break;
+                }
+            }
+        }
+        let mut cur = goal?;
+        let mut word = Vec::new();
+        while let Some((prev, sym)) = pred[cur].clone() {
+            word.push(sym);
+            cur = prev;
+        }
+        word.reverse();
+        Some(word)
+    }
+
+    /// States from which an accepting state is reachable (co-accessible states).
+    pub fn coaccessible(&self) -> BTreeSet<StateId> {
+        // Reverse reachability from accepting states.
+        let n = self.num_states();
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for (q, trans) in self.transitions.iter().enumerate() {
+            for succ in trans.values() {
+                for &t in succ {
+                    rev[t].push(q);
+                }
+            }
+        }
+        let mut seen: BTreeSet<StateId> = self.accepting.clone();
+        let mut queue: VecDeque<StateId> = self.accepting.iter().copied().collect();
+        while let Some(q) = queue.pop_front() {
+            for &p in &rev[q] {
+                if seen.insert(p) {
+                    queue.push_back(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// States reachable from the initial state.
+    pub fn accessible(&self) -> BTreeSet<StateId> {
+        let mut seen = BTreeSet::new();
+        seen.insert(0);
+        let mut queue = VecDeque::new();
+        queue.push_back(0);
+        while let Some(q) = queue.pop_front() {
+            for succ in self.transitions[q].values() {
+                for &t in succ {
+                    if seen.insert(t) {
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// States that lie on some accepting run (accessible and co-accessible).
+    pub fn useful_states(&self) -> BTreeSet<StateId> {
+        let acc = self.accessible();
+        let co = self.coaccessible();
+        acc.intersection(&co).copied().collect()
+    }
+}
+
+/// A regular expression whose symbols have been replaced by position indices, keeping
+/// the original symbol alongside for the follow computation.
+type Lin<S> = Regex<(usize, S)>;
+
+fn linearise<S: Symbol>(re: &Regex<S>, positions: &mut Vec<S>) -> Lin<S> {
+    match re {
+        Regex::Epsilon => Regex::Epsilon,
+        Regex::Empty => Regex::Empty,
+        Regex::Sym(s) => {
+            positions.push(s.clone());
+            Regex::Sym((positions.len(), s.clone()))
+        }
+        Regex::Concat(parts) => {
+            Regex::Concat(parts.iter().map(|p| linearise(p, positions)).collect())
+        }
+        Regex::Alt(parts) => Regex::Alt(parts.iter().map(|p| linearise(p, positions)).collect()),
+        Regex::Star(inner) => Regex::Star(Box::new(linearise(inner, positions))),
+        Regex::Plus(inner) => Regex::Plus(Box::new(linearise(inner, positions))),
+        Regex::Opt(inner) => Regex::Opt(Box::new(linearise(inner, positions))),
+    }
+}
+
+fn first_set<S: Symbol>(re: &Lin<S>) -> BTreeSet<usize> {
+    match re {
+        Regex::Epsilon | Regex::Empty => BTreeSet::new(),
+        Regex::Sym((i, _)) => [*i].into_iter().collect(),
+        Regex::Concat(parts) => {
+            let mut out = BTreeSet::new();
+            for p in parts {
+                out.extend(first_set(p));
+                if !p.nullable() {
+                    break;
+                }
+            }
+            out
+        }
+        Regex::Alt(parts) => parts.iter().flat_map(first_set).collect(),
+        Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => first_set(inner),
+    }
+}
+
+fn last_set<S: Symbol>(re: &Lin<S>) -> BTreeSet<usize> {
+    match re {
+        Regex::Epsilon | Regex::Empty => BTreeSet::new(),
+        Regex::Sym((i, _)) => [*i].into_iter().collect(),
+        Regex::Concat(parts) => {
+            let mut out = BTreeSet::new();
+            for p in parts.iter().rev() {
+                out.extend(last_set(p));
+                if !p.nullable() {
+                    break;
+                }
+            }
+            out
+        }
+        Regex::Alt(parts) => parts.iter().flat_map(last_set).collect(),
+        Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => last_set(inner),
+    }
+}
+
+fn follow_sets<S: Symbol>(re: &Lin<S>, follow: &mut Vec<BTreeSet<usize>>) {
+    match re {
+        Regex::Epsilon | Regex::Empty | Regex::Sym(_) => {}
+        Regex::Concat(parts) => {
+            for p in parts {
+                follow_sets(p, follow);
+            }
+            // For each adjacent pair, last(prefix up to i) x first(suffix starting at i+1)
+            for i in 0..parts.len().saturating_sub(1) {
+                let lasts = last_set(&parts[i]);
+                // first of the remaining sequence, respecting nullability
+                let mut firsts = BTreeSet::new();
+                for p in &parts[i + 1..] {
+                    firsts.extend(first_set(p));
+                    if !p.nullable() {
+                        break;
+                    }
+                }
+                for &l in &lasts {
+                    follow[l].extend(firsts.iter().copied());
+                }
+            }
+        }
+        Regex::Alt(parts) => {
+            for p in parts {
+                follow_sets(p, follow);
+            }
+        }
+        Regex::Star(inner) | Regex::Plus(inner) => {
+            follow_sets(inner, follow);
+            let lasts = last_set(inner);
+            let firsts = first_set(inner);
+            for &l in &lasts {
+                follow[l].extend(firsts.iter().copied());
+            }
+        }
+        Regex::Opt(inner) => follow_sets(inner, follow),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(ch: char) -> Regex<char> {
+        Regex::sym(ch)
+    }
+
+    #[test]
+    fn glushkov_accepts_same_language_as_derivatives() {
+        // ((a|b)*,c) and (a+,b?)
+        let cases = vec![
+            Regex::concat(vec![Regex::star(Regex::alt(vec![c('a'), c('b')])), c('c')]),
+            Regex::concat(vec![Regex::plus(c('a')), Regex::opt(c('b'))]),
+            Regex::alt(vec![Regex::Epsilon, Regex::concat(vec![c('a'), c('b')])]),
+            Regex::star(Regex::concat(vec![c('a'), Regex::opt(c('b'))])),
+        ];
+        let words: Vec<Vec<char>> = vec![
+            vec![],
+            vec!['a'],
+            vec!['b'],
+            vec!['c'],
+            vec!['a', 'b'],
+            vec!['a', 'c'],
+            vec!['b', 'c'],
+            vec!['a', 'b', 'c'],
+            vec!['a', 'a', 'b'],
+            vec!['a', 'b', 'a', 'b'],
+            vec!['c', 'a'],
+        ];
+        for re in &cases {
+            let nfa = Nfa::glushkov(re);
+            for w in &words {
+                assert_eq!(nfa.accepts(w), re.matches(w), "regex {re:?} word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_word_of_nonempty_language() {
+        let re = Regex::concat(vec![Regex::star(c('a')), c('b'), Regex::opt(c('c'))]);
+        let nfa = Nfa::glushkov(&re);
+        let w = nfa.shortest_word().unwrap();
+        assert_eq!(w, vec!['b']);
+        assert!(re.matches(&w));
+    }
+
+    #[test]
+    fn empty_language_has_no_word() {
+        let re: Regex<char> = Regex::Empty;
+        let nfa = Nfa::glushkov(&re);
+        assert!(nfa.is_empty());
+        assert!(nfa.shortest_word().is_none());
+    }
+
+    #[test]
+    fn epsilon_language_accepts_empty_word_only() {
+        let re: Regex<char> = Regex::Epsilon;
+        let nfa = Nfa::glushkov(&re);
+        assert!(nfa.accepts(&[]));
+        assert!(!nfa.accepts(&['a']));
+        assert_eq!(nfa.shortest_word().unwrap(), Vec::<char>::new());
+    }
+
+    #[test]
+    fn state_symbols_track_positions() {
+        let re = Regex::concat(vec![c('a'), Regex::star(c('b'))]);
+        let nfa = Nfa::glushkov(&re);
+        assert_eq!(nfa.num_states(), 3);
+        assert_eq!(nfa.symbol_of(0), None);
+        assert_eq!(nfa.symbol_of(1), Some(&'a'));
+        assert_eq!(nfa.symbol_of(2), Some(&'b'));
+    }
+
+    #[test]
+    fn useful_states_excludes_dead_branches() {
+        // a,! : the whole language is empty, nothing except maybe state 0 is useful.
+        let re = Regex::Concat(vec![c('a'), Regex::Empty]);
+        let nfa = Nfa::glushkov(&re);
+        assert!(nfa.useful_states().is_empty());
+    }
+}

@@ -1,0 +1,412 @@
+//! Regular expressions over an arbitrary symbol alphabet.
+//!
+//! These model DTD content models (Section 2.1 of the paper).  The constructors mirror
+//! the operators a DTD may use: the empty word `ε`, a single element type, concatenation
+//! (`,`), disjunction (`+` in the paper, `|` in XML DTD syntax), Kleene star, plus and
+//! the optional operator `?`.
+//!
+//! Besides construction and inspection, the module provides a Brzozowski-derivative
+//! matcher which serves as an *oracle* in the test suite for the Glushkov NFA and the
+//! subset-construction DFA.
+
+use crate::Symbol;
+use std::fmt;
+
+/// A regular expression over symbols of type `S`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Regex<S> {
+    /// The language containing only the empty word (written `ε` in the paper).
+    Epsilon,
+    /// The empty language (no word at all).  DTDs produced by the parser never contain
+    /// it, but it arises as an intermediate value of derivatives and simplification.
+    Empty,
+    /// A single occurrence of one symbol.
+    Sym(S),
+    /// Concatenation of the sub-expressions, in order.
+    Concat(Vec<Regex<S>>),
+    /// Disjunction (union) of the sub-expressions.
+    Alt(Vec<Regex<S>>),
+    /// Zero or more repetitions.
+    Star(Box<Regex<S>>),
+    /// One or more repetitions.
+    Plus(Box<Regex<S>>),
+    /// Zero or one occurrence.
+    Opt(Box<Regex<S>>),
+}
+
+impl<S: Symbol> Regex<S> {
+    /// A single-symbol expression.
+    pub fn sym(s: S) -> Self {
+        Regex::Sym(s)
+    }
+
+    /// Concatenation of a sequence of expressions, flattening nested concatenations and
+    /// dropping `ε` factors.
+    pub fn concat(parts: Vec<Regex<S>>) -> Self {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Regex::Epsilon => {}
+                Regex::Empty => return Regex::Empty,
+                Regex::Concat(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Regex::Epsilon,
+            1 => flat.pop().expect("len checked"),
+            _ => Regex::Concat(flat),
+        }
+    }
+
+    /// Disjunction of a set of expressions, flattening nested disjunctions and dropping
+    /// `∅` alternatives.
+    pub fn alt(parts: Vec<Regex<S>>) -> Self {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Regex::Empty => {}
+                Regex::Alt(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Regex::Empty,
+            1 => flat.pop().expect("len checked"),
+            _ => Regex::Alt(flat),
+        }
+    }
+
+    /// Kleene star of an expression.
+    pub fn star(inner: Regex<S>) -> Self {
+        match inner {
+            Regex::Epsilon | Regex::Empty => Regex::Epsilon,
+            Regex::Star(i) => Regex::Star(i),
+            other => Regex::Star(Box::new(other)),
+        }
+    }
+
+    /// One-or-more repetitions.
+    pub fn plus(inner: Regex<S>) -> Self {
+        match inner {
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Empty => Regex::Empty,
+            other => Regex::Plus(Box::new(other)),
+        }
+    }
+
+    /// Zero-or-one occurrences.
+    pub fn opt(inner: Regex<S>) -> Self {
+        match inner {
+            Regex::Epsilon | Regex::Empty => Regex::Epsilon,
+            other => Regex::Opt(Box::new(other)),
+        }
+    }
+
+    /// Does the language contain the empty word?
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Epsilon => true,
+            Regex::Empty => false,
+            Regex::Sym(_) => false,
+            Regex::Concat(parts) => parts.iter().all(Regex::nullable),
+            Regex::Alt(parts) => parts.iter().any(Regex::nullable),
+            Regex::Star(_) | Regex::Opt(_) => true,
+            Regex::Plus(inner) => inner.nullable(),
+        }
+    }
+
+    /// Is the language empty (no word at all)?
+    pub fn is_empty_language(&self) -> bool {
+        match self {
+            Regex::Empty => true,
+            Regex::Epsilon | Regex::Sym(_) => false,
+            Regex::Concat(parts) => parts.iter().any(Regex::is_empty_language),
+            Regex::Alt(parts) => parts.iter().all(Regex::is_empty_language),
+            Regex::Star(_) | Regex::Opt(_) => false,
+            Regex::Plus(inner) => inner.is_empty_language(),
+        }
+    }
+
+    /// All symbols mentioned in the expression, in first-occurrence order and without
+    /// duplicates.
+    pub fn symbols(&self) -> Vec<S> {
+        let mut out = Vec::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut Vec<S>) {
+        match self {
+            Regex::Epsilon | Regex::Empty => {}
+            Regex::Sym(s) => {
+                if !out.contains(s) {
+                    out.push(s.clone());
+                }
+            }
+            Regex::Concat(parts) | Regex::Alt(parts) => {
+                for p in parts {
+                    p.collect_symbols(out);
+                }
+            }
+            Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => {
+                inner.collect_symbols(out)
+            }
+        }
+    }
+
+    /// Number of AST nodes; used as the size measure `|P(A)|` in complexity accounting.
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Epsilon | Regex::Empty | Regex::Sym(_) => 1,
+            Regex::Concat(parts) | Regex::Alt(parts) => {
+                1 + parts.iter().map(Regex::size).sum::<usize>()
+            }
+            Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => 1 + inner.size(),
+        }
+    }
+
+    /// Does the expression contain a disjunction (`+` in the paper's notation)?
+    ///
+    /// `Opt` is treated as a disjunction with `ε`, and `Alt` with more than one branch
+    /// is a disjunction; this matches the paper's definition of a *disjunction-free* DTD.
+    pub fn has_disjunction(&self) -> bool {
+        match self {
+            Regex::Epsilon | Regex::Empty | Regex::Sym(_) => false,
+            Regex::Alt(parts) => parts.len() > 1 || parts.iter().any(Regex::has_disjunction),
+            Regex::Opt(_) => true,
+            Regex::Concat(parts) => parts.iter().any(Regex::has_disjunction),
+            Regex::Star(inner) | Regex::Plus(inner) => inner.has_disjunction(),
+        }
+    }
+
+    /// Does the expression contain a Kleene star (or plus)?
+    pub fn has_star(&self) -> bool {
+        match self {
+            Regex::Epsilon | Regex::Empty | Regex::Sym(_) => false,
+            Regex::Star(_) | Regex::Plus(_) => true,
+            Regex::Alt(parts) | Regex::Concat(parts) => parts.iter().any(Regex::has_star),
+            Regex::Opt(inner) => inner.has_star(),
+        }
+    }
+
+    /// Brzozowski derivative with respect to one symbol.
+    ///
+    /// Used only as a matching oracle (`matches`); production code paths use the
+    /// Glushkov NFA, which is linear in the size of the expression.
+    pub fn derivative(&self, sym: &S) -> Regex<S> {
+        match self {
+            Regex::Epsilon | Regex::Empty => Regex::Empty,
+            Regex::Sym(s) => {
+                if s == sym {
+                    Regex::Epsilon
+                } else {
+                    Regex::Empty
+                }
+            }
+            Regex::Concat(parts) => {
+                // d(r1 r2 ... rn) = d(r1) r2..rn  |  (if r1 nullable) d(r2..rn)
+                let mut alts = Vec::new();
+                for i in 0..parts.len() {
+                    let mut seq = vec![parts[i].derivative(sym)];
+                    seq.extend(parts[i + 1..].iter().cloned());
+                    alts.push(Regex::concat(seq));
+                    if !parts[i].nullable() {
+                        break;
+                    }
+                }
+                Regex::alt(alts)
+            }
+            Regex::Alt(parts) => {
+                Regex::alt(parts.iter().map(|p| p.derivative(sym)).collect())
+            }
+            Regex::Star(inner) => {
+                Regex::concat(vec![inner.derivative(sym), Regex::Star(inner.clone())])
+            }
+            Regex::Plus(inner) => {
+                Regex::concat(vec![inner.derivative(sym), Regex::star((**inner).clone())])
+            }
+            Regex::Opt(inner) => inner.derivative(sym),
+        }
+    }
+
+    /// Membership test by repeated derivatives.  Worst-case exponential; only meant as a
+    /// correctness oracle in tests and for tiny inputs.
+    pub fn matches(&self, word: &[S]) -> bool {
+        let mut cur = self.clone();
+        for sym in word {
+            cur = cur.derivative(sym);
+            if cur.is_empty_language() {
+                return false;
+            }
+        }
+        cur.nullable()
+    }
+
+    /// Restrict the expression to an allowed symbol set: occurrences of disallowed
+    /// symbols are replaced by the empty language.  `L(restrict(r, A)) = L(r) ∩ A*`.
+    pub fn restrict(&self, allowed: &dyn Fn(&S) -> bool) -> Regex<S> {
+        match self {
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Empty => Regex::Empty,
+            Regex::Sym(s) => {
+                if allowed(s) {
+                    Regex::Sym(s.clone())
+                } else {
+                    Regex::Empty
+                }
+            }
+            Regex::Concat(parts) => {
+                Regex::concat(parts.iter().map(|p| p.restrict(allowed)).collect())
+            }
+            Regex::Alt(parts) => Regex::alt(parts.iter().map(|p| p.restrict(allowed)).collect()),
+            Regex::Star(inner) => Regex::star(inner.restrict(allowed)),
+            Regex::Plus(inner) => Regex::plus(inner.restrict(allowed)),
+            Regex::Opt(inner) => Regex::opt(inner.restrict(allowed)),
+        }
+    }
+
+    /// Rename every symbol through `f`.
+    pub fn map_symbols<T: Symbol>(&self, f: &dyn Fn(&S) -> T) -> Regex<T> {
+        match self {
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Empty => Regex::Empty,
+            Regex::Sym(s) => Regex::Sym(f(s)),
+            Regex::Concat(parts) => Regex::Concat(parts.iter().map(|p| p.map_symbols(f)).collect()),
+            Regex::Alt(parts) => Regex::Alt(parts.iter().map(|p| p.map_symbols(f)).collect()),
+            Regex::Star(inner) => Regex::Star(Box::new(inner.map_symbols(f))),
+            Regex::Plus(inner) => Regex::Plus(Box::new(inner.map_symbols(f))),
+            Regex::Opt(inner) => Regex::Opt(Box::new(inner.map_symbols(f))),
+        }
+    }
+
+    /// Is the expression in the *normalized DTD* form of Section 2.1:
+    /// `ε | B1,...,Bn | B1+...+Bn | B*` where the `Bi` are single symbols?
+    pub fn is_normalized(&self) -> bool {
+        fn all_syms<S: Symbol>(parts: &[Regex<S>]) -> bool {
+            parts.iter().all(|p| matches!(p, Regex::Sym(_)))
+        }
+        match self {
+            Regex::Epsilon | Regex::Sym(_) => true,
+            Regex::Concat(parts) | Regex::Alt(parts) => all_syms(parts),
+            Regex::Star(inner) => matches!(**inner, Regex::Sym(_)),
+            _ => false,
+        }
+    }
+}
+
+impl<S: Symbol + fmt::Display> fmt::Display for Regex<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Epsilon => write!(f, "#"),
+            Regex::Empty => write!(f, "!"),
+            Regex::Sym(s) => write!(f, "{s}"),
+            Regex::Concat(parts) => {
+                let inner: Vec<String> = parts.iter().map(|p| format!("{p}")).collect();
+                write!(f, "({})", inner.join(","))
+            }
+            Regex::Alt(parts) => {
+                let inner: Vec<String> = parts.iter().map(|p| format!("{p}")).collect();
+                write!(f, "({})", inner.join("|"))
+            }
+            Regex::Star(inner) => write!(f, "{inner}*"),
+            Regex::Plus(inner) => write!(f, "{inner}+"),
+            Regex::Opt(inner) => write!(f, "{inner}?"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: &str) -> Regex<char> {
+        Regex::sym(s.chars().next().unwrap())
+    }
+
+    #[test]
+    fn nullable_basics() {
+        assert!(Regex::<char>::Epsilon.nullable());
+        assert!(!Regex::<char>::Empty.nullable());
+        assert!(!r("a").nullable());
+        assert!(Regex::star(r("a")).nullable());
+        assert!(Regex::opt(r("a")).nullable());
+        assert!(!Regex::plus(r("a")).nullable());
+        assert!(Regex::concat(vec![Regex::star(r("a")), Regex::opt(r("b"))]).nullable());
+        assert!(!Regex::concat(vec![Regex::star(r("a")), r("b")]).nullable());
+    }
+
+    #[test]
+    fn matches_simple_words() {
+        // (a|b)*,c
+        let re = Regex::concat(vec![Regex::star(Regex::alt(vec![r("a"), r("b")])), r("c")]);
+        assert!(re.matches(&['c']));
+        assert!(re.matches(&['a', 'b', 'a', 'c']));
+        assert!(!re.matches(&['a', 'b']));
+        assert!(!re.matches(&['c', 'a']));
+    }
+
+    #[test]
+    fn matches_plus_and_opt() {
+        let re = Regex::concat(vec![Regex::plus(r("x")), Regex::opt(r("y"))]);
+        assert!(re.matches(&['x']));
+        assert!(re.matches(&['x', 'x', 'y']));
+        assert!(!re.matches(&['y']));
+        assert!(!re.matches(&[]));
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        let re = Regex::concat(vec![r("a"), Regex::Empty]);
+        assert!(re.is_empty_language());
+        let re2 = Regex::alt(vec![Regex::Empty, r("a")]);
+        assert!(!re2.is_empty_language());
+    }
+
+    #[test]
+    fn smart_constructors_flatten() {
+        let re = Regex::concat(vec![
+            Regex::concat(vec![r("a"), r("b")]),
+            Regex::Epsilon,
+            r("c"),
+        ]);
+        assert_eq!(re, Regex::Concat(vec![r("a"), r("b"), r("c")]));
+        let re = Regex::alt(vec![Regex::alt(vec![r("a"), r("b")]), Regex::Empty]);
+        assert_eq!(re, Regex::Alt(vec![r("a"), r("b")]));
+    }
+
+    #[test]
+    fn symbols_are_deduplicated() {
+        let re = Regex::concat(vec![r("a"), Regex::star(Regex::alt(vec![r("b"), r("a")]))]);
+        assert_eq!(re.symbols(), vec!['a', 'b']);
+    }
+
+    #[test]
+    fn disjunction_and_star_flags() {
+        let df = Regex::concat(vec![r("a"), Regex::star(r("b"))]);
+        assert!(!df.has_disjunction());
+        assert!(df.has_star());
+        let dj = Regex::alt(vec![r("a"), r("b")]);
+        assert!(dj.has_disjunction());
+        assert!(!dj.has_star());
+        assert!(Regex::opt(r("a")).has_disjunction());
+    }
+
+    #[test]
+    fn normalized_form_recognition() {
+        assert!(Regex::<char>::Epsilon.is_normalized());
+        assert!(Regex::concat(vec![r("a"), r("b")]).is_normalized());
+        assert!(Regex::alt(vec![r("a"), r("b")]).is_normalized());
+        assert!(Regex::star(r("a")).is_normalized());
+        assert!(!Regex::star(Regex::alt(vec![r("a"), r("b")])).is_normalized());
+        assert!(!Regex::concat(vec![r("a"), Regex::star(r("b"))]).is_normalized());
+    }
+
+    #[test]
+    fn restrict_intersects_with_allowed_alphabet() {
+        let re = Regex::concat(vec![r("a"), Regex::alt(vec![r("b"), r("c")])]);
+        let restricted = re.restrict(&|s| *s != 'b');
+        assert!(restricted.matches(&['a', 'c']));
+        assert!(!restricted.matches(&['a', 'b']));
+    }
+}

@@ -1,0 +1,107 @@
+//! F1, F3, F4, F6, F8 — the reduction figures as runnable constructions.
+//!
+//! Each group builds the encoding of the corresponding figure at growing source-instance
+//! sizes and (where a complete engine exists) decides it, reproducing the *shape* of the
+//! hardness results: the constructions themselves are polynomial, deciding them is not.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xpsat_bench::{random_formula, random_qbf, rng};
+use xpsat_core::reductions::{
+    q3sat_to_downward_negation, threesat_to_disjunction_free_data,
+    threesat_to_downward_qualifiers, threesat_to_fixed_dtd_union,
+};
+use xpsat_core::reductions::two_register::{two_register_to_full_fragment, witness_from_run};
+use xpsat_core::Solver;
+use xpsat_logic::trm::{RunOutcome, TwoRegisterMachine};
+
+fn fig1_threesat_encodings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/threesat_encodings");
+    group.sample_size(10);
+    let solver = Solver::default();
+    for num_vars in [3u32, 4, 5] {
+        let mut r = rng(42 + num_vars as u64);
+        let formula = random_formula(&mut r, num_vars, (num_vars * 2) as usize);
+        group.bench_with_input(
+            BenchmarkId::new("downward_qualifiers", num_vars),
+            &num_vars,
+            |b, _| {
+                b.iter(|| {
+                    let (dtd, query) = threesat_to_downward_qualifiers(&formula);
+                    assert!(solver.decide(&dtd, &query).result.is_definite());
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fixed_dtd_union", num_vars),
+            &num_vars,
+            |b, _| {
+                b.iter(|| {
+                    let (dtd, query) = threesat_to_fixed_dtd_union(&formula);
+                    assert!(solver.decide(&dtd, &query).result.is_definite());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fig3_q3sat_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/q3sat_encoding");
+    group.sample_size(10);
+    let solver = Solver::default();
+    for num_vars in [2u32, 3, 4] {
+        let mut r = rng(77 + num_vars as u64);
+        let qbf = random_qbf(&mut r, num_vars, num_vars as usize + 1);
+        group.bench_with_input(BenchmarkId::new("variables", num_vars), &num_vars, |b, _| {
+            b.iter(|| {
+                let (dtd, query) = q3sat_to_downward_negation(&qbf);
+                assert!(solver.decide(&dtd, &query).result.is_definite());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig4_two_register_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/two_register_machine");
+    group.sample_size(10);
+    for counter in [2usize, 4, 8] {
+        let machine = TwoRegisterMachine::bump_and_drain(counter);
+        let RunOutcome::Halted(trace) = machine.run(10_000) else { unreachable!() };
+        group.bench_with_input(BenchmarkId::new("encode_and_check_run", counter), &counter, |b, _| {
+            b.iter(|| {
+                let (dtd, query) = two_register_to_full_fragment(&machine);
+                let mut doc = witness_from_run(&trace);
+                xpsat_core::witness::fill_missing_attributes(&mut doc, &dtd);
+                assert!(xpsat_xpath::eval::satisfies(&doc, &query));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig8_disjunction_free_data(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/disjunction_free_data");
+    group.sample_size(10);
+    let solver = Solver::default();
+    for num_vars in [3u32, 4, 5] {
+        let mut r = rng(11 + num_vars as u64);
+        let formula = random_formula(&mut r, num_vars, (num_vars * 2) as usize);
+        group.bench_with_input(BenchmarkId::new("variables", num_vars), &num_vars, |b, _| {
+            b.iter(|| {
+                let (dtd, query) = threesat_to_disjunction_free_data(&formula);
+                assert!(solver.decide(&dtd, &query).result.is_definite());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_threesat_encodings,
+    fig3_q3sat_encoding,
+    fig4_two_register_encoding,
+    fig8_disjunction_free_data
+);
+criterion_main!(benches);

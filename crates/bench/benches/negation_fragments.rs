@@ -1,0 +1,57 @@
+//! T2 — the summary table for fragments with negation (Section 5 / Section 8).
+//!
+//! * `X(↓, [], ¬)` is PSPACE-complete (Proposition 5.1 / Theorem 5.2): the
+//!   `q3sat_encoding/*` group runs the negation fixpoint on Q3SAT encodings with a
+//!   growing quantifier prefix — the cost grows exponentially, as expected of a
+//!   PSPACE-complete problem, while small instances stay fast.
+//! * plain downward negation queries over a fixed DTD (`simple_negation`) stay cheap:
+//!   the exponential lives in the query, not in the DTD.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xpsat_bench::{random_qbf, rng};
+use xpsat_core::reductions::q3sat_to_downward_negation;
+use xpsat_core::Solver;
+use xpsat_dtd::parse_dtd;
+use xpsat_xpath::parse_path;
+
+fn q3sat_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/q3sat_negation");
+    group.sample_size(10);
+    let solver = Solver::default();
+    for num_vars in [2u32, 3, 4] {
+        let mut r = rng(900 + num_vars as u64);
+        let qbf = random_qbf(&mut r, num_vars, (num_vars * 2) as usize);
+        let (dtd, query) = q3sat_to_downward_negation(&qbf);
+        group.bench_with_input(BenchmarkId::new("variables", num_vars), &num_vars, |b, _| {
+            b.iter(|| {
+                let decision = solver.decide(&dtd, &query);
+                assert!(decision.result.is_definite());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn simple_negation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/simple_negation");
+    group.sample_size(20);
+    let solver = Solver::default();
+    let dtd = parse_dtd("r -> a*, b?; a -> c | d; b -> c?; c -> #; d -> #;").unwrap();
+    for (name, text) in [
+        ("absent_child", ".[not(b)]"),
+        ("mixed", ".[a[c] and not(a[d]) and not(b/c)]"),
+        ("nested", ".[not(a[not(c)])]"),
+    ] {
+        let query = parse_path(text).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let decision = solver.decide(&dtd, &query);
+                assert!(decision.result.is_definite());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, q3sat_encoding, simple_negation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! T1 — the summary table for positive fragments (Section 4 / Section 8).
+//!
+//! * `X(↓, ↓*, ∪)` is PTIME (Theorem 4.1): `downward_ptime/*` scales polynomially in
+//!   `|D|` and `|p|`.
+//! * Adding qualifiers makes the problem NP-complete (Proposition 4.2 / Theorem 4.4):
+//!   `positive_np/*` runs the witness search on 3SAT encodings of growing size, whose
+//!   cost grows exponentially in the number of variables on unsatisfiable instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xpsat_bench::{chain_query, layered_dtd, random_formula, rng};
+use xpsat_core::reductions::threesat_to_downward_qualifiers;
+use xpsat_core::Solver;
+
+fn downward_ptime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/downward_ptime");
+    group.sample_size(20);
+    let solver = Solver::default();
+    for depth in [2usize, 4, 6, 8] {
+        let dtd = layered_dtd(depth, 3);
+        let query = chain_query(depth);
+        group.bench_with_input(BenchmarkId::new("dtd_depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                let decision = solver.decide(&dtd, &query);
+                assert!(decision.result.is_definite());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn positive_np(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/positive_np_3sat");
+    group.sample_size(10);
+    let solver = Solver::default();
+    for num_vars in [3u32, 4, 5, 6] {
+        let mut r = rng(500 + num_vars as u64);
+        let formula = random_formula(&mut r, num_vars, (num_vars * 3) as usize);
+        let (dtd, query) = threesat_to_downward_qualifiers(&formula);
+        group.bench_with_input(BenchmarkId::new("variables", num_vars), &num_vars, |b, _| {
+            b.iter(|| {
+                let decision = solver.decide(&dtd, &query);
+                assert!(decision.result.is_definite());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, downward_ptime, positive_np);
+criterion_main!(benches);

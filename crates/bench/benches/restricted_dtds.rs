@@ -1,0 +1,91 @@
+//! T3 — the summary table for restricted DTDs (Section 6).
+//!
+//! * Disjunction-free DTDs make `X(↓, ↓*, ∪, [])` tractable (Theorem 6.8): the same
+//!   conjunctive-qualifier workload is decided by the PTIME table engine under a
+//!   disjunction-free DTD and by the NP search under a disjunctive one.
+//! * Nonrecursive DTDs allow recursion elimination (Proposition 6.1): deciding a `↓*`
+//!   query under a nonrecursive DTD costs about as much as its unrolled counterpart.
+//! * The absence of DTDs simplifies positive analysis (Theorem 6.11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xpsat_core::Solver;
+use xpsat_dtd::parse_dtd;
+use xpsat_xpath::{parse_path, Path, Qualifier};
+
+fn conjunctive_qualifiers(width: usize) -> Path {
+    Path::Empty.filter(Qualifier::and_all(
+        (0..width).map(|i| Qualifier::path(parse_path(&format!("item/f{i}")).unwrap())),
+    ))
+}
+
+fn disjunction_free_vs_general(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/djfree_vs_general");
+    group.sample_size(20);
+    let solver = Solver::default();
+    for width in [2usize, 4, 6] {
+        let fields: Vec<String> = (0..width).map(|i| format!("f{i}")).collect();
+        let djfree = parse_dtd(&format!(
+            "r -> item*; item -> {}; {}",
+            fields.join(", "),
+            fields.iter().map(|f| format!("{f} -> #;")).collect::<Vec<_>>().join(" ")
+        ))
+        .unwrap();
+        let disjunctive = parse_dtd(&format!(
+            "r -> item*; item -> ({})*; {}",
+            fields.join(" | "),
+            fields.iter().map(|f| format!("{f} -> #;")).collect::<Vec<_>>().join(" ")
+        ))
+        .unwrap();
+        let query = conjunctive_qualifiers(width);
+        group.bench_with_input(BenchmarkId::new("disjunction_free", width), &width, |b, _| {
+            b.iter(|| assert!(solver.decide(&djfree, &query).result.is_definite()))
+        });
+        group.bench_with_input(BenchmarkId::new("general", width), &width, |b, _| {
+            b.iter(|| assert!(solver.decide(&disjunctive, &query).result.is_definite()))
+        });
+    }
+    group.finish();
+}
+
+fn nonrecursive_recursion_elimination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/nonrecursive_elimination");
+    group.sample_size(20);
+    let solver = Solver::default();
+    let dtd = parse_dtd("r -> a; a -> b?; b -> c?; c -> d?; d -> #;").unwrap();
+    let recursive_query = parse_path("**[lab() = d]/..[not(lab() = r)]").unwrap();
+    let unrolled_query = parse_path("a/b/c/d/..[not(lab() = r)]").unwrap();
+    group.bench_function("with_descendant_axis", |b| {
+        b.iter(|| assert!(solver.decide(&dtd, &recursive_query).result.is_definite()))
+    });
+    group.bench_function("hand_unrolled", |b| {
+        b.iter(|| assert!(solver.decide(&dtd, &unrolled_query).result.is_definite()))
+    });
+    group.finish();
+}
+
+fn absence_of_dtds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/no_dtd");
+    group.sample_size(20);
+    let solver = Solver::default();
+    for size in [4usize, 8, 12] {
+        let query = parse_path(
+            &(0..size)
+                .map(|i| format!("s{i}[t{i}]"))
+                .collect::<Vec<_>>()
+                .join("/"),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("query_size", size), &size, |b, _| {
+            b.iter(|| assert!(solver.decide_without_dtd(&query).result.is_definite()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    disjunction_free_vs_general,
+    nonrecursive_recursion_elimination,
+    absence_of_dtds
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! T4 — the summary table for sibling axes (Section 7).
+//!
+//! * `X(→, ←)` is PTIME (Theorem 7.1): the sibling walk scales with the length of the
+//!   hop sequence and the size of the content models.
+//! * Adding qualifiers restores NP-hardness (Proposition 7.2); the workload here runs
+//!   the general solver on qualifier-bearing sibling queries over the same DTDs to show
+//!   the cost gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xpsat_core::Solver;
+use xpsat_dtd::parse_dtd;
+use xpsat_xpath::{parse_path, Path};
+
+fn wide_dtd(width: usize) -> xpsat_dtd::Dtd {
+    let names: Vec<String> = (0..width).map(|i| format!("k{i}")).collect();
+    parse_dtd(&format!(
+        "r -> {}; {}",
+        names.join(", "),
+        names.iter().map(|n| format!("{n} -> #;")).collect::<Vec<_>>().join(" ")
+    ))
+    .unwrap()
+}
+
+fn sibling_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/sibling_ptime");
+    group.sample_size(20);
+    let solver = Solver::default();
+    for width in [4usize, 8, 16, 32] {
+        let dtd = wide_dtd(width);
+        // Walk from the first child all the way to the right and back two steps.
+        let mut text = String::from("k0");
+        for _ in 0..width - 1 {
+            text.push_str("/>");
+        }
+        text.push_str("/</<");
+        let query = parse_path(&text).unwrap();
+        group.bench_with_input(BenchmarkId::new("hops", width), &width, |b, _| {
+            b.iter(|| assert!(solver.decide(&dtd, &query).result.is_definite()))
+        });
+    }
+    group.finish();
+}
+
+fn sibling_with_qualifiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/sibling_with_qualifiers");
+    group.sample_size(10);
+    let solver = Solver::default();
+    for width in [3usize, 5, 7] {
+        let dtd = wide_dtd(width);
+        let query = Path::Empty.filter(xpsat_xpath::Qualifier::and_all((0..width).map(|i| {
+            xpsat_xpath::Qualifier::path(parse_path(&format!("k{i}[not(>)] | k{i}[>]")).unwrap())
+        })));
+        group.bench_with_input(BenchmarkId::new("conjuncts", width), &width, |b, _| {
+            b.iter(|| {
+                let _ = solver.decide(&dtd, &query);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sibling_walks, sibling_with_qualifiers);
+criterion_main!(benches);

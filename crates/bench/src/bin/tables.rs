@@ -1,0 +1,104 @@
+//! `xpsat-tables`: print the paper-style summary tables with measured timings.
+//!
+//! For every fragment row of the Section 8 summary the binary reports the paper's
+//! complexity claim, the engine our solver dispatches to, and wall-clock timings over a
+//! small size sweep, so the tractable-vs-intractable shape can be read off directly.
+//! Run with `cargo run -p xpsat-bench --bin xpsat-tables --release`.
+
+use std::time::Instant;
+use xpsat_bench::{chain_query, layered_dtd, random_formula, random_qbf, rng};
+use xpsat_core::reductions::{q3sat_to_downward_negation, threesat_to_downward_qualifiers};
+use xpsat_core::Solver;
+use xpsat_dtd::{parse_dtd, Dtd};
+use xpsat_xpath::{parse_path, Path};
+
+fn time_decide(solver: &Solver, dtd: &Dtd, query: &Path) -> (String, f64) {
+    let start = Instant::now();
+    let decision = solver.decide(dtd, query);
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    (format!("{}", decision.result), elapsed)
+}
+
+fn row(label: &str, claim: &str, cells: &[(String, f64)]) {
+    let timings: Vec<String> = cells
+        .iter()
+        .map(|(verdict, ms)| format!("{verdict} in {ms:.2} ms"))
+        .collect();
+    println!("{label:<44} | {claim:<18} | {}", timings.join("  ;  "));
+}
+
+fn main() {
+    let solver = Solver::default();
+    println!("== Table 1: positive fragments (Section 4) ==");
+    {
+        let cells: Vec<(String, f64)> = [2usize, 4, 8]
+            .iter()
+            .map(|&d| time_decide(&solver, &layered_dtd(d, 3), &chain_query(d)))
+            .collect();
+        row("X(child, desc, union), growing |D|", "PTIME (Thm 4.1)", &cells);
+
+        let cells: Vec<(String, f64)> = [3u32, 4, 5]
+            .iter()
+            .map(|&n| {
+                let mut r = rng(n as u64);
+                let formula = random_formula(&mut r, n, (2 * n) as usize);
+                let (dtd, query) = threesat_to_downward_qualifiers(&formula);
+                time_decide(&solver, &dtd, &query)
+            })
+            .collect();
+        row("X(child, qualifiers), 3SAT encodings", "NP-complete (Prop 4.2)", &cells);
+    }
+
+    println!("\n== Table 2: fragments with negation (Section 5) ==");
+    {
+        let cells: Vec<(String, f64)> = [2u32, 3, 4]
+            .iter()
+            .map(|&n| {
+                let mut r = rng(100 + n as u64);
+                let qbf = random_qbf(&mut r, n, (n + 1) as usize);
+                let (dtd, query) = q3sat_to_downward_negation(&qbf);
+                time_decide(&solver, &dtd, &query)
+            })
+            .collect();
+        row("X(child, qualifiers, neg), Q3SAT encodings", "PSPACE-c (Thm 5.2)", &cells);
+
+        let dtd = parse_dtd("r -> a*; a -> (b | c), d?; b -> #; c -> #; d -> #;").unwrap();
+        let cells: Vec<(String, f64)> = ["**[lab() = a and not(d)]", ".[not(a[b] or a[c])]"]
+            .iter()
+            .map(|q| time_decide(&solver, &dtd, &parse_path(q).unwrap()))
+            .collect();
+        row("X(child, desc, union, qualifiers, neg)", "EXPTIME-c (Thm 5.3)", &cells);
+    }
+
+    println!("\n== Table 3: restricted DTDs (Section 6) ==");
+    {
+        let djfree = parse_dtd("r -> item*; item -> f0, f1, f2, f3; f0 -> #; f1 -> #; f2 -> #; f3 -> #;").unwrap();
+        let query = parse_path(".[item/f0 and item/f1 and item/f2 and item/f3]").unwrap();
+        let cells = vec![time_decide(&solver, &djfree, &query)];
+        row("disjunction-free DTDs, X(child, desc, [, ])", "PTIME (Thm 6.8)", &cells);
+
+        let nonrec = parse_dtd("r -> a; a -> b?; b -> c?; c -> #;").unwrap();
+        let query = parse_path("**[lab() = c]/..[not(lab() = r)]").unwrap();
+        let cells = vec![time_decide(&solver, &nonrec, &query)];
+        row("nonrecursive DTDs, recursion eliminated", "collapses (Prop 6.1)", &cells);
+
+        let q = parse_path("a[b and c]/d").unwrap();
+        let start = Instant::now();
+        let verdict = format!("{}", solver.decide_without_dtd(&q).result);
+        let cells = vec![(verdict, start.elapsed().as_secs_f64() * 1e3)];
+        row("no DTD, X(child, desc, union, qualifiers)", "PTIME (Thm 6.11)", &cells);
+    }
+
+    println!("\n== Table 4: sibling axes (Section 7) ==");
+    {
+        let dtd = parse_dtd("r -> k0, k1, k2, k3, k4, k5; k0 -> #; k1 -> #; k2 -> #; k3 -> #; k4 -> #; k5 -> #;").unwrap();
+        let cells: Vec<(String, f64)> = ["k0/>/>/>", "k5/</</<", "k3/>/<"]
+            .iter()
+            .map(|q| time_decide(&solver, &dtd, &parse_path(q).unwrap()))
+            .collect();
+        row("X(label, next-sib, prev-sib)", "PTIME (Thm 7.1)", &cells);
+    }
+
+    println!("\n(absolute numbers are machine-dependent; the reproduction target is the");
+    println!(" tractable-vs-exponential shape across the size sweeps — see EXPERIMENTS.md)");
+}

@@ -1,0 +1,93 @@
+//! The containment analysis obtained from satisfiability (Proposition 3.2,
+//! Corollary 5.7).
+//!
+//! * For Boolean queries `ε[q1] ⊆ ε[q2]` under `D` iff `ε[q1 ∧ ¬q2]` is unsatisfiable
+//!   under `D` (Proposition 3.2(2));
+//! * for fragments closed under `inverse`, `p1 ⊆ p2` under `D` iff
+//!   `p1[¬(inverse(p2)[¬↑])]` is unsatisfiable under `D` (Proposition 3.2(3)).
+//!
+//! Both reductions produce an ordinary satisfiability instance which is then handed to
+//! the solver façade; the verdict `Unknown` is propagated when the underlying engine was
+//! a bounded one.
+
+use crate::sat::Satisfiability;
+use crate::solver::{Decision, Solver};
+use xpsat_dtd::Dtd;
+use xpsat_xpath::{containment_witness_query, Path, Qualifier};
+
+/// The outcome of a containment check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Containment {
+    /// `p1 ⊆ p2` under every document of the DTD.
+    Contained,
+    /// A counter-example document exists (it is attached when available).
+    NotContained,
+    /// The underlying satisfiability engine could not decide the instance.
+    Unknown,
+}
+
+/// Proposition 3.2(2): containment of Boolean queries `ε[q1] ⊆ ε[q2]`.
+pub fn boolean_containment(solver: &Solver, dtd: &Dtd, q1: &Qualifier, q2: &Qualifier) -> Containment {
+    let witness_query = Path::Empty.filter(Qualifier::And(
+        Box::new(q1.clone()),
+        Box::new(Qualifier::not(q2.clone())),
+    ));
+    from_decision(solver.decide(dtd, &witness_query))
+}
+
+/// Proposition 3.2(3): containment of arbitrary queries through the `inverse`
+/// transformation (for fragments closed under inversion).
+pub fn containment(solver: &Solver, dtd: &Dtd, p1: &Path, p2: &Path) -> Containment {
+    let witness_query = containment_witness_query(p1, p2);
+    from_decision(solver.decide(dtd, &witness_query))
+}
+
+fn from_decision(decision: Decision) -> Containment {
+    match decision.result {
+        Satisfiability::Satisfiable(_) => Containment::NotContained,
+        Satisfiability::Unsatisfiable => Containment::Contained,
+        Satisfiability::Unknown => Containment::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpsat_dtd::parse_dtd;
+    use xpsat_xpath::{parse_path, parse_qualifier};
+
+    #[test]
+    fn boolean_containment_examples() {
+        let solver = Solver::default();
+        let dtd = parse_dtd("r -> a, b?; a -> c?; b -> #; c -> #;").unwrap();
+        // [a and c-below] ⊆ [a]
+        let q1 = parse_qualifier("a[c]").unwrap();
+        let q2 = parse_qualifier("a").unwrap();
+        assert_eq!(boolean_containment(&solver, &dtd, &q1, &q2), Containment::Contained);
+        assert_eq!(
+            boolean_containment(&solver, &dtd, &q2, &q1),
+            Containment::NotContained
+        );
+        // [a] is implied by the DTD itself (the root always has an a child), so even the
+        // trivial qualifier [b or not(b)] is contained in it.
+        let tautology = parse_qualifier("b or not(b)").unwrap();
+        assert_eq!(
+            boolean_containment(&solver, &dtd, &tautology, &q2),
+            Containment::Contained
+        );
+    }
+
+    #[test]
+    fn path_containment_via_inverse() {
+        let solver = Solver::default();
+        // Star-free and nonrecursive, so the enumeration fallback behind the inverse
+        // reduction is exhaustive and "contained" verdicts are definitive.
+        let dtd = parse_dtd("r -> a, a?; a -> b?, c?; b -> #; c -> #;").unwrap();
+        let p1 = parse_path("a/b").unwrap();
+        let p2 = parse_path("a/*").unwrap();
+        assert_eq!(containment(&solver, &dtd, &p1, &p2), Containment::Contained);
+        assert_eq!(containment(&solver, &dtd, &p2, &p1), Containment::NotContained);
+        // Under this DTD a/b and a/b are trivially equivalent.
+        assert_eq!(containment(&solver, &dtd, &p1, &p1), Containment::Contained);
+    }
+}

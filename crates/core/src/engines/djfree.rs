@@ -1,0 +1,217 @@
+//! Theorem 6.8(1): under disjunction-free DTDs, `SAT(X(↓, ↓*, ∪, []))` is in PTIME.
+//!
+//! The key observation of the proof: when no content model contains disjunction, a
+//! conjunction of qualifiers is satisfiable at an `A` element iff each conjunct is
+//! satisfiable there *independently* — the single forced children word (up to star
+//! repetitions, which only add material) can host all witnesses simultaneously.  The
+//! algorithm therefore extends the reachability tables of Theorem 4.1 with a boolean
+//! `sat(p', A)` table and decomposes conjunctions conjunct-by-conjunct.
+//!
+//! This engine only *decides*; when a witness is needed the solver façade re-runs the
+//! (NP, but here equally complete) positive engine, which constructs one.
+
+use crate::sat::{SatError, Satisfiability};
+use std::collections::{BTreeMap, BTreeSet};
+use xpsat_dtd::{classify, graph::prune_nonterminating, Dtd, DtdGraph};
+use xpsat_xpath::{closure, Features, Path, Qualifier};
+
+const ENGINE: &str = "disjunction-free (Theorem 6.8)";
+
+/// Does the query lie in `X(↓, ↓*, ∪, [])` with label tests (no negation, data values,
+/// upward or sibling axes)?
+pub fn supports_query(query: &Path) -> bool {
+    let f = Features::of_path(query);
+    !f.negation && !f.data_value && !f.has_upward() && !f.has_sibling()
+}
+
+/// Is the DTD disjunction-free (the class this engine is complete for)?
+pub fn supports_dtd(dtd: &Dtd) -> bool {
+    classify(dtd).disjunction_free
+}
+
+/// Decide `(query, dtd)`.  Complete when [`supports_query`] and [`supports_dtd`] hold.
+pub fn decide(dtd: &Dtd, query: &Path) -> Result<bool, SatError> {
+    if !supports_query(query) {
+        return Err(SatError::UnsupportedFragment {
+            engine: ENGINE,
+            detail: format!("query {query} uses negation, data values, upward or sibling axes"),
+        });
+    }
+    if !supports_dtd(dtd) {
+        return Err(SatError::UnsupportedDtd {
+            engine: ENGINE,
+            detail: "the DTD contains disjunction".to_string(),
+        });
+    }
+    let Some(pruned) = prune_nonterminating(dtd) else {
+        return Ok(false);
+    };
+    let tables = Tables::compute(&pruned, query);
+    Ok(tables.sat_path(query, pruned.root()))
+}
+
+/// The `reach` / `sat` tables of the proof, memoised per (sub-expression, element type).
+struct Tables<'a> {
+    graph: DtdGraph,
+    types: Vec<String>,
+    reach: BTreeMap<(String, String), BTreeSet<String>>,
+    sat_qual: BTreeMap<(String, String), bool>,
+    dtd: &'a Dtd,
+}
+
+impl<'a> Tables<'a> {
+    fn compute(dtd: &'a Dtd, query: &Path) -> Tables<'a> {
+        let mut tables = Tables {
+            graph: DtdGraph::new(dtd),
+            types: dtd.element_names(),
+            reach: BTreeMap::new(),
+            sat_qual: BTreeMap::new(),
+            dtd,
+        };
+        // Fill tables bottom-up over the sub-expression closure.
+        let types = tables.types.clone();
+        for sub in closure::sub_paths_ascending(query) {
+            for a in &types {
+                let set = tables.reach_of(&sub, a);
+                tables.reach.insert((sub.to_string(), a.clone()), set);
+            }
+        }
+        for qual in closure::sub_qualifiers_ascending(query) {
+            for a in &types {
+                let value = tables.sat_of_qual(&qual, a);
+                tables.sat_qual.insert((qual.to_string(), a.clone()), value);
+            }
+        }
+        tables
+    }
+
+    /// `sat(p', A)`: is `p'` satisfiable at an `A` element?
+    fn sat_path(&self, p: &Path, a: &str) -> bool {
+        !self.reach_of(p, a).is_empty()
+    }
+
+    /// `reach(p', A)`, recomputed from memoised sub-results.
+    fn reach_of(&self, p: &Path, a: &str) -> BTreeSet<String> {
+        if let Some(cached) = self.reach.get(&(p.to_string(), a.to_string())) {
+            return cached.clone();
+        }
+        match p {
+            Path::Empty => [a.to_string()].into_iter().collect(),
+            Path::Label(l) => {
+                if self.graph.successors(a).contains(l) {
+                    [l.clone()].into_iter().collect()
+                } else {
+                    BTreeSet::new()
+                }
+            }
+            Path::Wildcard => self.graph.successors(a),
+            Path::DescendantOrSelf => {
+                let mut s = self.graph.reachable_from(a);
+                s.insert(a.to_string());
+                s
+            }
+            Path::Union(p1, p2) => {
+                let mut s = self.reach_of(p1, a);
+                s.extend(self.reach_of(p2, a));
+                s
+            }
+            Path::Seq(p1, p2) => {
+                let mut s = BTreeSet::new();
+                for b in self.reach_of(p1, a) {
+                    s.extend(self.reach_of(p2, &b));
+                }
+                s
+            }
+            Path::Filter(p1, q) => self
+                .reach_of(p1, a)
+                .into_iter()
+                .filter(|b| self.qual_holds(q, b))
+                .collect(),
+            _ => BTreeSet::new(),
+        }
+    }
+
+    fn qual_holds(&self, q: &Qualifier, a: &str) -> bool {
+        if let Some(&cached) = self.sat_qual.get(&(q.to_string(), a.to_string())) {
+            return cached;
+        }
+        self.sat_of_qual(q, a)
+    }
+
+    /// `sat([q], A)`: under disjunction-free DTDs, conjunctions decompose independently.
+    fn sat_of_qual(&self, q: &Qualifier, a: &str) -> bool {
+        match q {
+            Qualifier::Path(p) => self.sat_path(p, a),
+            Qualifier::LabelIs(l) => l == a,
+            Qualifier::And(q1, q2) => self.qual_holds(q1, a) && self.qual_holds(q2, a),
+            Qualifier::Or(q1, q2) => self.qual_holds(q1, a) || self.qual_holds(q2, a),
+            // Data values and negation are excluded by `supports_query`; treat
+            // defensively as unsatisfiable.
+            _ => {
+                debug_assert!(false, "unsupported qualifier reached the djfree engine");
+                let _ = self.dtd;
+                false
+            }
+        }
+    }
+}
+
+/// Convenience wrapper returning [`Satisfiability`] without a witness (the façade
+/// supplies one through the positive engine when required).
+pub fn decide_satisfiability(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
+    decide(dtd, query).map(|sat| {
+        if sat {
+            // The caller is responsible for attaching a witness; return a placeholder
+            // witnessing document via the positive engine.
+            match crate::engines::positive::decide(dtd, query) {
+                Ok(Satisfiability::Satisfiable(doc)) => Satisfiability::Satisfiable(doc),
+                _ => Satisfiability::Unknown,
+            }
+        } else {
+            Satisfiability::Unsatisfiable
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpsat_dtd::parse_dtd;
+    use xpsat_xpath::parse_path;
+
+    #[test]
+    fn conjunctions_decompose_under_disjunction_free_dtds() {
+        // Disjunction-free: every book has both a title and an author list.
+        let dtd = parse_dtd("r -> book*; book -> title, author+; title -> #; author -> #;").unwrap();
+        assert!(decide(&dtd, &parse_path("book[title and author]").unwrap()).unwrap());
+        assert!(decide(&dtd, &parse_path("book[title][author]").unwrap()).unwrap());
+        assert!(!decide(&dtd, &parse_path("book[title and price]").unwrap()).unwrap());
+        assert!(!decide(&dtd, &parse_path("book/title/author").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn label_tests_and_descendants() {
+        let dtd = parse_dtd("r -> a; a -> b*; b -> c; c -> #;").unwrap();
+        assert!(decide(&dtd, &parse_path("**[lab() = c]").unwrap()).unwrap());
+        assert!(!decide(&dtd, &parse_path("**[lab() = z]").unwrap()).unwrap());
+        assert!(decide(&dtd, &parse_path("a[b/c]").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn dtds_with_disjunction_are_rejected() {
+        let dtd = parse_dtd("r -> a | b; a -> #; b -> #;").unwrap();
+        assert!(matches!(
+            decide(&dtd, &parse_path("a[b]").unwrap()),
+            Err(SatError::UnsupportedDtd { .. })
+        ));
+    }
+
+    #[test]
+    fn queries_with_negation_are_rejected() {
+        let dtd = parse_dtd("r -> a; a -> #;").unwrap();
+        assert!(matches!(
+            decide(&dtd, &parse_path("a[not(b)]").unwrap()),
+            Err(SatError::UnsupportedFragment { .. })
+        ));
+    }
+}

@@ -1,0 +1,236 @@
+//! Theorem 4.1: `SAT(X(↓, ↓*, ∪))` is in PTIME.
+//!
+//! The algorithm is the dynamic program from the paper's proof: for every sub-query `p'`
+//! (in ascending order) and element type `A`, compute `reach(p', A)` — the element types
+//! reachable from an `A` node via `p'` in the DTD graph.  The instance is satisfiable
+//! iff `reach(p, r)` is nonempty.  A witness is obtained by realising one reachability
+//! chain in the DTD graph and expanding it to a conforming document (the `Tree(p, D)`
+//! construction of the proof).
+
+use crate::sat::{SatError, Satisfiability};
+use std::collections::{BTreeMap, BTreeSet};
+use xpsat_dtd::{graph::prune_nonterminating, Dtd, DtdGraph, TreeGenerator};
+use xpsat_xpath::{closure, Features, Path};
+
+const ENGINE: &str = "downward (Theorem 4.1)";
+
+/// Does the query lie in `X(↓, ↓*, ∪)` (child-label steps, wildcard, descendant-or-self,
+/// union, composition — no qualifiers)?
+pub fn supports(query: &Path) -> bool {
+    let f = Features::of_path(query);
+    !f.qualifier
+        && !f.negation
+        && !f.data_value
+        && !f.has_upward()
+        && !f.has_sibling()
+        && !f.label_test
+}
+
+/// Decide `(query, dtd)`; complete exactly for the fragment reported by [`supports`].
+pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
+    if !supports(query) {
+        return Err(SatError::UnsupportedFragment {
+            engine: ENGINE,
+            detail: format!("query {query} uses operators outside X(child, desc, union)"),
+        });
+    }
+    let Some(pruned) = prune_nonterminating(dtd) else {
+        return Ok(Satisfiability::Unsatisfiable);
+    };
+    let graph = DtdGraph::new(&pruned);
+    let types: Vec<String> = pruned.element_names();
+    let subqueries = closure::sub_paths_ascending(query);
+
+    // reach[(subquery index, type)] = element types reachable via the subquery.
+    let index_of: BTreeMap<&Path, usize> = subqueries.iter().enumerate().map(|(i, p)| (p, i)).collect();
+    let mut reach: Vec<BTreeMap<String, BTreeSet<String>>> = vec![BTreeMap::new(); subqueries.len()];
+
+    for (i, sub) in subqueries.iter().enumerate() {
+        for a in &types {
+            let set = match sub {
+                Path::Empty => [a.clone()].into_iter().collect(),
+                Path::Label(l) => {
+                    if graph.successors(a).contains(l) {
+                        [l.clone()].into_iter().collect()
+                    } else {
+                        BTreeSet::new()
+                    }
+                }
+                Path::Wildcard => graph.successors(a),
+                Path::DescendantOrSelf => {
+                    let mut s = graph.reachable_from(a);
+                    s.insert(a.clone());
+                    s
+                }
+                Path::Union(p1, p2) => {
+                    let mut s = lookup(&reach, &index_of, p1, a);
+                    s.extend(lookup(&reach, &index_of, p2, a));
+                    s
+                }
+                Path::Seq(p1, p2) => {
+                    let mut s = BTreeSet::new();
+                    for b in lookup(&reach, &index_of, p1, a) {
+                        s.extend(lookup(&reach, &index_of, p2, &b));
+                    }
+                    s
+                }
+                other => {
+                    return Err(SatError::UnsupportedFragment {
+                        engine: ENGINE,
+                        detail: format!("unexpected sub-expression {other}"),
+                    })
+                }
+            };
+            reach[i].insert(a.clone(), set);
+        }
+    }
+
+    let root_reach = lookup(&reach, &index_of, query, pruned.root());
+    let Some(target) = root_reach.iter().next().cloned() else {
+        return Ok(Satisfiability::Unsatisfiable);
+    };
+
+    // Witness: realise a chain of element types from the root to `target` and expand it
+    // into a conforming document.
+    let chain = realize_chain(query, pruned.root(), &target, &reach, &index_of, &graph)
+        .expect("reachability table promised a chain");
+    let generator = TreeGenerator::new(&pruned);
+    let doc = crate::witness::materialize_chain(&pruned, &generator, &chain)
+        .expect("chain uses terminating types only");
+    Ok(Satisfiability::Satisfiable(doc))
+}
+
+fn lookup(
+    reach: &[BTreeMap<String, BTreeSet<String>>],
+    index_of: &BTreeMap<&Path, usize>,
+    sub: &Path,
+    a: &str,
+) -> BTreeSet<String> {
+    index_of
+        .get(sub)
+        .and_then(|&i| reach[i].get(a))
+        .cloned()
+        .unwrap_or_default()
+}
+
+/// The `path(p', A, B)` construction of the proof: a chain of element types (excluding
+/// `A`, ending at `B`) realising `p'` in the DTD graph.
+fn realize_chain(
+    sub: &Path,
+    from: &str,
+    to: &str,
+    reach: &[BTreeMap<String, BTreeSet<String>>],
+    index_of: &BTreeMap<&Path, usize>,
+    graph: &DtdGraph,
+) -> Option<Vec<String>> {
+    if !lookup(reach, index_of, sub, from).contains(to) {
+        return None;
+    }
+    match sub {
+        Path::Empty => Some(Vec::new()),
+        Path::Label(_) | Path::Wildcard => Some(vec![to.to_string()]),
+        Path::DescendantOrSelf => {
+            if from == to {
+                return Some(Vec::new());
+            }
+            // Shortest path from `from` to `to` in the DTD graph (BFS).
+            let mut pred: BTreeMap<String, String> = BTreeMap::new();
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(from.to_string());
+            while let Some(cur) = queue.pop_front() {
+                for succ in graph.successors(&cur) {
+                    if succ != from && !pred.contains_key(&succ) {
+                        pred.insert(succ.clone(), cur.clone());
+                        queue.push_back(succ);
+                    }
+                }
+            }
+            let mut chain = vec![to.to_string()];
+            let mut cur = to.to_string();
+            while let Some(prev) = pred.get(&cur) {
+                if prev == from {
+                    break;
+                }
+                chain.push(prev.clone());
+                cur = prev.clone();
+            }
+            chain.reverse();
+            Some(chain)
+        }
+        Path::Union(p1, p2) => realize_chain(p1, from, to, reach, index_of, graph)
+            .or_else(|| realize_chain(p2, from, to, reach, index_of, graph)),
+        Path::Seq(p1, p2) => {
+            for mid in lookup(reach, index_of, p1, from) {
+                if lookup(reach, index_of, p2, &mid).contains(to) {
+                    let mut chain = realize_chain(p1, from, &mid, reach, index_of, graph)?;
+                    chain.extend(realize_chain(p2, &mid, to, reach, index_of, graph)?);
+                    return Some(chain);
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::verify_witness;
+    use xpsat_dtd::parse_dtd;
+    use xpsat_xpath::parse_path;
+
+    fn check(dtd_text: &str, query_text: &str, expected: bool) {
+        let dtd = parse_dtd(dtd_text).unwrap();
+        let query = parse_path(query_text).unwrap();
+        match decide(&dtd, &query).unwrap() {
+            Satisfiability::Satisfiable(doc) => {
+                assert!(expected, "{query_text} should be unsatisfiable under {dtd_text}");
+                verify_witness(&doc, &dtd, &query).unwrap();
+            }
+            Satisfiability::Unsatisfiable => {
+                assert!(!expected, "{query_text} should be satisfiable under {dtd_text}")
+            }
+            Satisfiability::Unknown => panic!("PTIME engine must be definite"),
+        }
+    }
+
+    #[test]
+    fn example_2_3_unsatisfiable_label() {
+        check("r -> a*; a -> #;", "b", false);
+        check("r -> a*; a -> #;", "a", true);
+    }
+
+    #[test]
+    fn descendants_and_unions() {
+        let dtd = "r -> a; a -> b?; b -> c*; c -> #;";
+        check(dtd, "**/c", true);
+        check(dtd, "**/c/b", false);
+        check(dtd, "a/b | a/c", true);
+        check(dtd, "a/c", false);
+        check(dtd, "a/*/c", true);
+        check(dtd, "*/*/*/*", false);
+    }
+
+    #[test]
+    fn nonterminating_types_are_ignored() {
+        // b never terminates, so a query reaching b is unsatisfiable even though the
+        // DTD graph has an edge to it.
+        check("r -> a | b; a -> #; b -> b;", "b", false);
+        check("r -> a | b; a -> #; b -> b;", "a", true);
+    }
+
+    #[test]
+    fn recursive_dtd_deep_reachability() {
+        check("r -> c; c -> (c, x) | #; x -> #;", "c/c/c/x", true);
+        check("r -> c; c -> (c, x) | #; x -> #;", "x", false);
+        check("r -> c; c -> (c, x) | #; x -> #;", "**/x", true);
+    }
+
+    #[test]
+    fn unsupported_fragment_is_rejected() {
+        let dtd = parse_dtd("r -> a;").unwrap();
+        assert!(decide(&dtd, &parse_path("a[b]").unwrap()).is_err());
+        assert!(decide(&dtd, &parse_path("a/..").unwrap()).is_err());
+    }
+}

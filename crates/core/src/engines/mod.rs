@@ -1,0 +1,23 @@
+//! The decision procedures, one per upper bound proved in the paper.
+//!
+//! | module | fragment | DTD class | paper result | complexity |
+//! |---|---|---|---|---|
+//! | [`downward`] | `X(↓, ↓*, ∪)` | any | Theorem 4.1 | PTIME |
+//! | [`sibling`] | `X(→, ←)` (label steps + sibling hops) | any | Theorem 7.1 | PTIME |
+//! | [`djfree`] | `X(↓, ↓*, ∪, [])` | disjunction-free | Theorem 6.8 | PTIME |
+//! | [`nodtd`] | `X(↓, ↓*, ∪, [])` | none (absent DTD) | Theorem 6.11(1) | PTIME |
+//! | [`positive`] | `X(↓, ↓*, ∪, [], =)` (+ label tests) | any | Theorem 4.4 | NP |
+//! | [`negation`] | `X(↓, ↓*, ∪, [], ¬)` (+ label tests) | any | Theorems 5.2/5.3 | EXPTIME |
+//! | [`enumeration`] | the full class incl. `↑`, data values, siblings | bounded / nonrecursive | Proposition 6.4, Theorem 5.5 | exponential |
+//!
+//! Upward axes are handled by the solver façade through the rewritings of
+//! Proposition 6.1 and Theorems 6.6(3)/6.8(2) whenever those apply, and by
+//! [`enumeration`] otherwise.
+
+pub mod djfree;
+pub mod downward;
+pub mod enumeration;
+pub mod negation;
+pub mod nodtd;
+pub mod positive;
+pub mod sibling;

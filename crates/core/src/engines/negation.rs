@@ -1,0 +1,566 @@
+//! An EXPTIME decision procedure for downward fragments with negation, covering the
+//! upper bounds of Theorems 5.2 and 5.3 restricted to `X(↓, ↓*, ∪, [], ¬)` (with label
+//! tests, without data values, upward or sibling axes).
+//!
+//! The paper obtains its EXPTIME upper bound by translation to propositional dynamic
+//! logic (Marx 2004); we use a self-contained *subtree-type fixpoint* in the same
+//! complexity class.  For a downward query the truth of every relevant sub-path at a
+//! node depends only on the node's label and on which (label, sub-path-truth) facts its
+//! children provide.  The engine therefore:
+//!
+//! 1. computes the *suffix closure* `CL` of the query (every path whose truth at a node
+//!    must be tracked) and the set `D` of *child demands* `(child-step, tail)` that the
+//!    closure's head-normal forms mention;
+//! 2. computes, per element type, the set of achievable *profiles* (subsets of `CL` true
+//!    at the root of some conforming subtree) as a least fixpoint: a profile is
+//!    achievable at `A` if some children word of `P(A)` can be assembled from children
+//!    with already-achieved profiles, where the word's existence is decided by a product
+//!    of the Glushkov automaton with the accumulated demand-union (this is where the
+//!    exponential lives);
+//! 3. declares the instance satisfiable iff some achievable profile of the root type
+//!    makes the query true, and rebuilds a witness document from the recipes recorded
+//!    during the fixpoint.
+//!
+//! Negation is handled exactly — profiles record both what holds and (by absence) what
+//! does not — which is what distinguishes this engine from the positive one.
+
+use crate::sat::{SatError, Satisfiability};
+use crate::witness::fill_missing_attributes;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use xpsat_dtd::{graph::prune_nonterminating, Dtd};
+use xpsat_xmltree::{Document, NodeId};
+use xpsat_xpath::{Features, Path, Qualifier};
+
+const ENGINE: &str = "negation fixpoint (Theorems 5.2/5.3)";
+
+/// Does the query lie in `X(↓, ↓*, ∪, [], ¬)` with label tests (no data values, upward
+/// or sibling axes)?
+pub fn supports(query: &Path) -> bool {
+    let f = Features::of_path(query);
+    !f.data_value && !f.has_upward() && !f.has_sibling()
+}
+
+/// A profile: the set of closure paths (by index) true at a node.
+type Profile = BTreeSet<usize>;
+
+/// A child demand: "some child with this label constraint satisfies this closure path".
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Demand {
+    label: Option<String>,
+    tail: usize,
+}
+
+/// One alternative of a head-normal form.
+#[derive(Debug, Clone)]
+enum HeadAlt {
+    /// The path may end at the current node provided the qualifiers hold there.
+    Done(Vec<Qualifier>),
+    /// After the qualifiers hold at the current node, move to a child satisfying the
+    /// label constraint and continue with the tail path (a closure index).
+    Step(Vec<Qualifier>, Option<String>, usize),
+    /// Construction-time only: the tail path is known but its closure index is not yet;
+    /// patched into `Step` once the closure is saturated.
+    StepPending(Vec<Qualifier>, Option<String>, Path, usize),
+}
+
+/// Decide `(query, dtd)`; complete for the fragment reported by [`supports`].
+pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
+    if !supports(query) {
+        return Err(SatError::UnsupportedFragment {
+            engine: ENGINE,
+            detail: format!("query {query} uses data values, upward or sibling axes"),
+        });
+    }
+    let Some(pruned) = prune_nonterminating(dtd) else {
+        return Ok(Satisfiability::Unsatisfiable);
+    };
+    let analysis = Analysis::build(&pruned, query)?;
+    let fixpoint = analysis.fixpoint();
+    let query_index = analysis.index_of(&analysis.query.clone());
+    let winning = fixpoint
+        .achieved
+        .get(pruned.root())
+        .into_iter()
+        .flatten()
+        .find(|profile| profile.contains(&query_index));
+    match winning {
+        Some(profile) => {
+            let mut doc = Document::new(pruned.root());
+            let root = doc.root();
+            fixpoint.build_witness(&analysis, &mut doc, root, pruned.root(), profile);
+            fill_missing_attributes(&mut doc, &pruned);
+            Ok(Satisfiability::Satisfiable(doc))
+        }
+        None => Ok(Satisfiability::Unsatisfiable),
+    }
+}
+
+/// The static analysis of the query against the DTD: the closure, the demands and the
+/// head-normal forms.
+struct Analysis<'a> {
+    dtd: &'a Dtd,
+    query: Path,
+    closure: Vec<Path>,
+    hnf: Vec<Vec<HeadAlt>>,
+    demands: Vec<Demand>,
+}
+
+impl<'a> Analysis<'a> {
+    fn build(dtd: &'a Dtd, query: &Path) -> Result<Analysis<'a>, SatError> {
+        let query = query.right_assoc();
+        let mut analysis = Analysis {
+            dtd,
+            query: query.clone(),
+            closure: Vec::new(),
+            hnf: Vec::new(),
+            demands: Vec::new(),
+        };
+        // Seed the closure with the query and every qualifier path, then saturate with
+        // head-normal-form tails.
+        let mut worklist: VecDeque<Path> = VecDeque::new();
+        worklist.push_back(query.clone());
+        for q in xpsat_xpath::closure::sub_qualifiers_ascending(&query) {
+            if let Qualifier::Path(p) = q {
+                worklist.push_back(p.right_assoc());
+            }
+        }
+        while let Some(path) = worklist.pop_front() {
+            if analysis.closure.contains(&path) {
+                continue;
+            }
+            if analysis.closure.len() > 4_000 {
+                return Err(SatError::BudgetExceeded { engine: ENGINE });
+            }
+            let index = analysis.closure.len();
+            analysis.closure.push(path.clone());
+            analysis.hnf.push(Vec::new()); // placeholder, filled below
+            let alts = head_normal_form(&path);
+            let mut compiled = Vec::new();
+            for alt in alts {
+                match alt {
+                    RawAlt::Done(quals) => {
+                        for q in &quals {
+                            for p in qualifier_paths(q) {
+                                if !analysis.closure.contains(&p) && !worklist.contains(&p) {
+                                    worklist.push_back(p);
+                                }
+                            }
+                        }
+                        compiled.push(HeadAlt::Done(quals));
+                    }
+                    RawAlt::Step(quals, label, tail) => {
+                        for q in &quals {
+                            for p in qualifier_paths(q) {
+                                if !analysis.closure.contains(&p) && !worklist.contains(&p) {
+                                    worklist.push_back(p);
+                                }
+                            }
+                        }
+                        let tail_index = match analysis.closure.iter().position(|p| *p == tail) {
+                            Some(i) => i,
+                            None => {
+                                // The tail will be processed later; reserve its slot by
+                                // pushing it to the worklist and remembering the path.
+                                if !worklist.contains(&tail) {
+                                    worklist.push_back(tail.clone());
+                                }
+                                usize::MAX // patched below once every path has an index
+                            }
+                        };
+                        compiled.push(HeadAlt::StepPending(quals, label, tail, tail_index));
+                    }
+                }
+            }
+            analysis.hnf[index] = compiled;
+        }
+        // Patch pending tail indices now that the closure is complete.
+        let closure = analysis.closure.clone();
+        for alts in &mut analysis.hnf {
+            for alt in alts.iter_mut() {
+                if let HeadAlt::StepPending(quals, label, tail, idx) = alt {
+                    let resolved = if *idx != usize::MAX {
+                        *idx
+                    } else {
+                        closure
+                            .iter()
+                            .position(|p| p == tail)
+                            .expect("tail was pushed to the worklist")
+                    };
+                    *alt = HeadAlt::Step(std::mem::take(quals), label.take(), resolved);
+                }
+            }
+        }
+        // Collect the demand set.
+        let mut demands = BTreeSet::new();
+        for alts in &analysis.hnf {
+            for alt in alts {
+                if let HeadAlt::Step(_, label, tail) = alt {
+                    demands.insert(Demand {
+                        label: label.clone(),
+                        tail: *tail,
+                    });
+                }
+            }
+        }
+        analysis.demands = demands.into_iter().collect();
+        Ok(analysis)
+    }
+
+    fn index_of(&self, path: &Path) -> usize {
+        self.closure
+            .iter()
+            .position(|p| p == path)
+            .expect("the query is seeded into the closure")
+    }
+
+    /// The demand bits provided by a child with the given label and profile.
+    fn bits(&self, label: &str, profile: &Profile) -> BTreeSet<usize> {
+        self.demands
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| {
+                d.label.as_deref().map_or(true, |l| l == label) && profile.contains(&d.tail)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Evaluate the profile of a node with the given label whose children provide the
+    /// demand-bit union `supplied`.
+    fn profile_of(&self, label: &str, supplied: &BTreeSet<usize>) -> Profile {
+        // Closure paths are evaluated in increasing structural size so that qualifier
+        // paths (proper sub-expressions) are available when needed.
+        let mut order: Vec<usize> = (0..self.closure.len()).collect();
+        order.sort_by_key(|&i| self.closure[i].size());
+        let mut truth: BTreeMap<usize, bool> = BTreeMap::new();
+        for index in order {
+            let value = self.hnf[index].iter().any(|alt| match alt {
+                HeadAlt::Done(quals) => quals
+                    .iter()
+                    .all(|q| self.eval_qualifier(q, label, &truth)),
+                HeadAlt::Step(quals, step_label, tail) => {
+                    quals.iter().all(|q| self.eval_qualifier(q, label, &truth))
+                        && self
+                            .demands
+                            .iter()
+                            .enumerate()
+                            .any(|(i, d)| {
+                                d.tail == *tail
+                                    && d.label == *step_label
+                                    && supplied.contains(&i)
+                            })
+                }
+                HeadAlt::StepPending(..) => unreachable!("patched during construction"),
+            });
+            truth.insert(index, value);
+        }
+        truth
+            .into_iter()
+            .filter_map(|(i, v)| v.then_some(i))
+            .collect()
+    }
+
+    fn eval_qualifier(&self, q: &Qualifier, label: &str, truth: &BTreeMap<usize, bool>) -> bool {
+        match q {
+            Qualifier::Path(p) => {
+                let normalized = p.right_assoc();
+                let index = self
+                    .closure
+                    .iter()
+                    .position(|c| *c == normalized)
+                    .expect("qualifier paths are seeded into the closure");
+                *truth.get(&index).unwrap_or(&false)
+            }
+            Qualifier::LabelIs(l) => l == label,
+            Qualifier::And(a, b) => {
+                self.eval_qualifier(a, label, truth) && self.eval_qualifier(b, label, truth)
+            }
+            Qualifier::Or(a, b) => {
+                self.eval_qualifier(a, label, truth) || self.eval_qualifier(b, label, truth)
+            }
+            Qualifier::Not(inner) => !self.eval_qualifier(inner, label, truth),
+            // Data values are rejected by `supports`.
+            _ => false,
+        }
+    }
+
+    /// Run the least fixpoint over achievable profiles.
+    fn fixpoint(&self) -> Fixpoint {
+        let mut achieved: BTreeMap<String, BTreeSet<Profile>> = BTreeMap::new();
+        let mut recipes: BTreeMap<(String, Profile), Recipe> = BTreeMap::new();
+        let automata: BTreeMap<String, xpsat_automata::Nfa<String>> = self
+            .dtd
+            .elements()
+            .map(|(name, decl)| (name.clone(), xpsat_automata::Nfa::glushkov(&decl.content)))
+            .collect();
+        loop {
+            let snapshot = achieved.clone();
+            let mut changed = false;
+            for (name, _) in self.dtd.elements() {
+                let nfa = &automata[name];
+                // Forward product of the Glushkov automaton with the accumulated
+                // demand-bit union; every accepting (state, union) yields a profile.
+                #[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+                struct Key(usize, BTreeSet<usize>);
+                let mut seen: BTreeSet<Key> = BTreeSet::new();
+                let mut back: BTreeMap<Key, (Key, String, Profile)> = BTreeMap::new();
+                let start = Key(nfa.start(), BTreeSet::new());
+                seen.insert(start.clone());
+                let mut queue = VecDeque::new();
+                queue.push_back(start);
+                while let Some(key) = queue.pop_front() {
+                    if nfa.is_accepting(key.0) {
+                        let profile = self.profile_of(name, &key.1);
+                        let entry = achieved.entry(name.clone()).or_default();
+                        if !entry.contains(&profile) {
+                            entry.insert(profile.clone());
+                            changed = true;
+                            // Record the recipe: trace the word and child profiles back.
+                            let mut word = Vec::new();
+                            let mut child_profiles = Vec::new();
+                            let mut cursor = key.clone();
+                            while let Some((prev, sym, child_profile)) = back.get(&cursor) {
+                                word.push(sym.clone());
+                                child_profiles.push(child_profile.clone());
+                                cursor = prev.clone();
+                            }
+                            word.reverse();
+                            child_profiles.reverse();
+                            recipes
+                                .entry((name.clone(), profile))
+                                .or_insert(Recipe { word, child_profiles });
+                        }
+                    }
+                    for (sym, succs) in nfa.transitions_from(key.0) {
+                        let Some(child_options) = snapshot.get(sym) else { continue };
+                        // Distinct demand-bit contributions only (representatives keep
+                        // the product small without losing achievable unions).
+                        let mut contributions: BTreeMap<BTreeSet<usize>, Profile> = BTreeMap::new();
+                        for child_profile in child_options {
+                            contributions
+                                .entry(self.bits(sym, child_profile))
+                                .or_insert_with(|| child_profile.clone());
+                        }
+                        for (bits, representative) in contributions {
+                            let mut union = key.1.clone();
+                            union.extend(bits);
+                            for &succ in succs {
+                                let next = Key(succ, union.clone());
+                                if seen.insert(next.clone()) {
+                                    back.insert(
+                                        next.clone(),
+                                        (key.clone(), sym.clone(), representative.clone()),
+                                    );
+                                    queue.push_back(next);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return Fixpoint { achieved, recipes };
+            }
+        }
+    }
+}
+
+/// How an achieved (type, profile) pair can be realised: a children word and the profile
+/// each child must itself realise.
+#[derive(Debug, Clone)]
+struct Recipe {
+    word: Vec<String>,
+    child_profiles: Vec<Profile>,
+}
+
+struct Fixpoint {
+    achieved: BTreeMap<String, BTreeSet<Profile>>,
+    recipes: BTreeMap<(String, Profile), Recipe>,
+}
+
+impl Fixpoint {
+    /// Rebuild a witness subtree realising `profile` at a node of type `label`.
+    fn build_witness(
+        &self,
+        analysis: &Analysis<'_>,
+        doc: &mut Document,
+        node: NodeId,
+        label: &str,
+        profile: &Profile,
+    ) {
+        let Some(recipe) = self.recipes.get(&(label.to_string(), profile.clone())) else {
+            return;
+        };
+        for (sym, child_profile) in recipe.word.iter().zip(&recipe.child_profiles) {
+            let child = doc.add_child(node, sym.clone());
+            self.build_witness(analysis, doc, child, sym, child_profile);
+        }
+    }
+}
+
+/// Raw head-normal-form alternatives (before tails are interned into the closure).
+enum RawAlt {
+    Done(Vec<Qualifier>),
+    Step(Vec<Qualifier>, Option<String>, Path),
+}
+
+fn head_normal_form(path: &Path) -> Vec<RawAlt> {
+    match path {
+        Path::Empty => vec![RawAlt::Done(vec![])],
+        Path::Label(l) => vec![RawAlt::Step(vec![], Some(l.clone()), Path::Empty)],
+        Path::Wildcard => vec![RawAlt::Step(vec![], None, Path::Empty)],
+        Path::DescendantOrSelf => vec![
+            RawAlt::Done(vec![]),
+            RawAlt::Step(vec![], None, Path::DescendantOrSelf),
+        ],
+        Path::Seq(a, b) => {
+            let mut out = Vec::new();
+            for alt in head_normal_form(a) {
+                match alt {
+                    RawAlt::Done(quals) => {
+                        for alt_b in head_normal_form(b) {
+                            out.push(match alt_b {
+                                RawAlt::Done(mut qs) => {
+                                    let mut combined = quals.clone();
+                                    combined.append(&mut qs);
+                                    RawAlt::Done(combined)
+                                }
+                                RawAlt::Step(mut qs, label, tail) => {
+                                    let mut combined = quals.clone();
+                                    combined.append(&mut qs);
+                                    RawAlt::Step(combined, label, tail)
+                                }
+                            });
+                        }
+                    }
+                    RawAlt::Step(quals, label, tail) => {
+                        out.push(RawAlt::Step(
+                            quals,
+                            label,
+                            Path::seq(tail, (**b).clone()).right_assoc(),
+                        ));
+                    }
+                }
+            }
+            out
+        }
+        Path::Union(a, b) => {
+            let mut out = head_normal_form(a);
+            out.extend(head_normal_form(b));
+            out
+        }
+        Path::Filter(a, q) => head_normal_form(a)
+            .into_iter()
+            .map(|alt| match alt {
+                RawAlt::Done(mut quals) => {
+                    quals.push((**q).clone());
+                    RawAlt::Done(quals)
+                }
+                RawAlt::Step(quals, label, tail) => RawAlt::Step(
+                    quals,
+                    label,
+                    Path::Filter(Box::new(tail), q.clone()).right_assoc(),
+                ),
+            })
+            .collect(),
+        // Upward and sibling axes are excluded by `supports`.
+        _ => vec![],
+    }
+}
+
+/// The paths occurring (positively or negatively) inside a qualifier.
+fn qualifier_paths(q: &Qualifier) -> Vec<Path> {
+    match q {
+        Qualifier::Path(p) => vec![p.right_assoc()],
+        Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+            let mut out = qualifier_paths(a);
+            out.extend(qualifier_paths(b));
+            out
+        }
+        Qualifier::Not(inner) => qualifier_paths(inner),
+        _ => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::verify_witness;
+    use xpsat_dtd::parse_dtd;
+    use xpsat_xpath::parse_path;
+
+    fn check(dtd_text: &str, query_text: &str, expected: bool) {
+        let dtd = parse_dtd(dtd_text).unwrap();
+        let query = parse_path(query_text).unwrap();
+        match decide(&dtd, &query).unwrap() {
+            Satisfiability::Satisfiable(doc) => {
+                assert!(
+                    expected,
+                    "{query_text} should be unsatisfiable under `{dtd_text}`\nwitness: {doc}"
+                );
+                verify_witness(&doc, &dtd, &query).unwrap();
+            }
+            Satisfiability::Unsatisfiable => assert!(
+                !expected,
+                "{query_text} should be satisfiable under `{dtd_text}`"
+            ),
+            Satisfiability::Unknown => panic!("negation engine must be definite"),
+        }
+    }
+
+    #[test]
+    fn plain_negation_at_the_root() {
+        let dtd = "r -> a?, b?; a -> #; b -> #;";
+        check(dtd, ".[not(a)]", true);
+        check(dtd, ".[a and not(a)]", false);
+        check(dtd, ".[not(a) and not(b)]", true);
+        check(dtd, ".[not(a) and b]", true);
+    }
+
+    #[test]
+    fn forced_children_cannot_be_negated_away() {
+        let dtd = "r -> a, b?; a -> #; b -> #;";
+        check(dtd, ".[not(a)]", false);
+        check(dtd, ".[not(b)]", true);
+    }
+
+    #[test]
+    fn negation_below_descendants() {
+        let dtd = "r -> c; c -> (c | x); x -> #;";
+        // some descendant c has an x child
+        check(dtd, "**[lab() = c and x]", true);
+        // some descendant c has no c child and no x child: impossible (content is c|x)
+        check(dtd, "**[lab() = c and not(c) and not(x)]", false);
+        // every branch eventually ends with x: a c node without x child exists iff the
+        // chain continues with c, so this is satisfiable.
+        check(dtd, "**[lab() = c and not(x)]", true);
+    }
+
+    #[test]
+    fn universal_style_properties() {
+        // Example in the spirit of Proposition 5.1: "no x1 branch chooses t" is
+        // satisfiable because x1 can choose f.
+        let dtd = "r -> x1, x2; x1 -> t | f; x2 -> t | f; t -> #; f -> #;";
+        check(dtd, ".[not(x1/t)]", true);
+        check(dtd, ".[not(x1/t) and not(x1/f)]", false);
+        check(dtd, ".[not(x1/t) and x1/t]", false);
+        check(dtd, ".[not(x1/t) and x2/t]", true);
+    }
+
+    #[test]
+    fn disjunction_elimination_shape() {
+        // Under a starred production negation can force the absence of a whole branch.
+        let dtd = "r -> a*; a -> b | c; b -> #; c -> #;";
+        check(dtd, ".[not(a)]", true);
+        check(dtd, ".[a and not(a[b])]", true);
+        check(dtd, ".[a[b] and not(a[b])]", false);
+        check(dtd, ".[a and not(a[b]) and not(a[c])]", false);
+    }
+
+    #[test]
+    fn unsupported_fragments_are_rejected() {
+        let dtd = parse_dtd("r -> a;").unwrap();
+        assert!(decide(&dtd, &parse_path("a/..").unwrap()).is_err());
+        assert!(decide(&dtd, &parse_path("a[@x = \"1\"]").unwrap()).is_err());
+    }
+}

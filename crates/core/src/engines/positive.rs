@@ -1,0 +1,746 @@
+//! Theorem 4.4: `SAT(X(↓, ↓*, ∪, [], =))` (positive downward queries with qualifiers,
+//! label tests and data values) is in NP.
+//!
+//! The engine is a backtracking witness search that mirrors the proof's skeleton/witness
+//! machinery:
+//!
+//! * a query is decomposed into *obligations* that must hold at the node currently being
+//!   expanded (`At(path, …)` — some node reachable via `path` satisfies the nested
+//!   obligations; `BindSlot` — this node's attribute value is referred to by a slot
+//!   variable; `Qual` — a qualifier holds here);
+//! * obligations whose first step moves to a child become child requirements; the engine
+//!   assigns every requirement either to a fresh child occurrence or to one created for
+//!   an earlier requirement (this routing choice is the nondeterministic part — the
+//!   source of the NP-hardness of Proposition 4.2) and asks the content model for a
+//!   children word realising the chosen multiset of child types through the coverage
+//!   search of `xpsat-automata`;
+//! * data-value comparisons are collected as constraints over slot variables and checked
+//!   by a union-find over slots and constants (equalities merge classes, disequalities
+//!   and distinct constants must separate them) — the role played by the `op`-labelled
+//!   skeleton edges in the paper's proof;
+//! * `↓*` obligations either resolve locally or push themselves one level down; the
+//!   recursion depth is capped by the small-model bound `(3|p| − 1)·|D|` of Lemma 4.5,
+//!   which preserves completeness;
+//! * a cheap DTD-graph reachability over-approximation prunes routing choices that can
+//!   never succeed, which keeps satisfiable instances fast in practice without affecting
+//!   completeness.
+//!
+//! The search constructs the witness document as it goes (using `Document::truncate` to
+//! backtrack), so a `Satisfiable` verdict always carries a verified witness.
+
+use crate::sat::{SatError, Satisfiability};
+use crate::witness::fill_missing_attributes;
+use std::collections::{BTreeMap, BTreeSet};
+use xpsat_automata::{CoverDemand, Nfa};
+use xpsat_dtd::{graph::prune_nonterminating, Dtd, DtdGraph, TreeGenerator};
+use xpsat_xmltree::{Document, NodeId};
+use xpsat_xpath::{CmpOp, Features, Path, Qualifier};
+
+const ENGINE: &str = "positive (Theorem 4.4)";
+
+/// Does the query lie in the downward positive fragment `X(↓, ↓*, ∪, [], =)` with label
+/// tests?
+pub fn supports(query: &Path) -> bool {
+    let f = Features::of_path(query);
+    !f.negation && !f.has_upward() && !f.has_sibling()
+}
+
+/// Decide `(query, dtd)`, returning a witness on success.  Complete for the fragment
+/// reported by [`supports`].
+pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
+    if !supports(query) {
+        return Err(SatError::UnsupportedFragment {
+            engine: ENGINE,
+            detail: format!("query {query} uses negation, upward or sibling axes"),
+        });
+    }
+    let Some(pruned) = prune_nonterminating(dtd) else {
+        return Ok(Satisfiability::Unsatisfiable);
+    };
+    let query = query.right_assoc();
+    let depth_limit = (3 * query.size()).saturating_sub(1) * pruned.size().max(1) + 2;
+    let mut search = Search {
+        dtd: &pruned,
+        graph: DtdGraph::new(&pruned),
+        generator: TreeGenerator::new(&pruned),
+        automata: pruned
+            .elements()
+            .map(|(name, decl)| (name.clone(), Nfa::glushkov(&decl.content)))
+            .collect(),
+        next_slot: 0,
+        depth_limit,
+    };
+    let mut doc = Document::new(pruned.root());
+    let root = doc.root();
+    let obligations = vec![Ob::At(query.clone(), vec![])];
+    match search.satisfy(&mut doc, root, obligations, Bindings::default(), 0) {
+        Some(bindings) => {
+            assign_values(&mut doc, &bindings);
+            fill_missing_attributes(&mut doc, &pruned);
+            Ok(Satisfiability::Satisfiable(doc))
+        }
+        None => Ok(Satisfiability::Unsatisfiable),
+    }
+}
+
+/// A slot variable standing for "the value of attribute `a` of the witness node chosen
+/// for this obligation endpoint".
+type SlotId = usize;
+
+/// An obligation imposed on the node currently being expanded.
+#[derive(Debug, Clone)]
+enum Ob {
+    /// Some node reachable via the path satisfies the nested obligations.
+    At(Path, Vec<Ob>),
+    /// The qualifier holds at this node.
+    Qual(Qualifier),
+    /// This node's attribute `attr` carries the value of slot `slot`.
+    BindSlot(String, SlotId),
+}
+
+/// A requirement that some child of the current node (with the given label constraint)
+/// satisfies a list of obligations.
+#[derive(Debug, Clone)]
+struct ChildReq {
+    label: Option<String>,
+    obligations: Vec<Ob>,
+}
+
+/// Value constraints collected along the search.
+#[derive(Debug, Clone, Default)]
+struct Bindings {
+    /// Slot → concrete (node, attribute) location in the witness document.
+    locations: BTreeMap<SlotId, (NodeId, String)>,
+    /// Constraints between a slot and a constant.
+    const_constraints: Vec<(SlotId, CmpOp, String)>,
+    /// Constraints between two slots.
+    join_constraints: Vec<(SlotId, CmpOp, SlotId)>,
+}
+
+struct Search<'a> {
+    dtd: &'a Dtd,
+    graph: DtdGraph,
+    generator: TreeGenerator,
+    automata: BTreeMap<String, Nfa<String>>,
+    next_slot: usize,
+    depth_limit: usize,
+}
+
+/// One branch of a decomposition choice point.
+#[derive(Debug, Clone, Default)]
+struct Branch {
+    new_obligations: Vec<Ob>,
+    child_requirements: Vec<ChildReq>,
+    const_constraint: Option<(SlotId, CmpOp, String)>,
+    join_constraint: Option<(SlotId, CmpOp, SlotId)>,
+}
+
+impl Branch {
+    fn obligations(obs: Vec<Ob>) -> Branch {
+        Branch {
+            new_obligations: obs,
+            ..Branch::default()
+        }
+    }
+
+    fn child(label: Option<String>, obligations: Vec<Ob>) -> Branch {
+        Branch {
+            child_requirements: vec![ChildReq { label, obligations }],
+            ..Branch::default()
+        }
+    }
+}
+
+impl<'a> Search<'a> {
+    /// Try to satisfy all obligations at `node` (whose subtree is not yet expanded).
+    /// Returns the extended bindings on success; on failure the document is restored to
+    /// its state at entry.
+    fn satisfy(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        obligations: Vec<Ob>,
+        bindings: Bindings,
+        depth: usize,
+    ) -> Option<Bindings> {
+        if depth > self.depth_limit {
+            return None;
+        }
+        let doc_snapshot = doc.snapshot();
+        let label = doc.label(node).to_string();
+        // DFS over decomposition alternatives; each alternative carries its own pending
+        // obligations, accumulated child requirements and value bindings.
+        let mut alternatives = vec![(obligations, Vec::<ChildReq>::new(), bindings)];
+        while let Some((mut pending, reqs, mut alt_bindings)) = alternatives.pop() {
+            let Some(ob) = pending.pop() else {
+                if let Some(result) =
+                    self.route_children(doc, node, &label, reqs, alt_bindings, depth)
+                {
+                    return Some(result);
+                }
+                doc.truncate(doc_snapshot);
+                continue;
+            };
+            match self.decompose(node, &label, ob, &mut alt_bindings) {
+                None => continue,
+                Some(branches) => {
+                    for branch in branches.into_iter().rev() {
+                        let mut next_pending = pending.clone();
+                        let mut next_reqs = reqs.clone();
+                        let mut next_bindings = alt_bindings.clone();
+                        next_pending.extend(branch.new_obligations);
+                        next_reqs.extend(branch.child_requirements);
+                        if let Some(c) = branch.const_constraint {
+                            next_bindings.const_constraints.push(c);
+                        }
+                        if let Some(j) = branch.join_constraint {
+                            next_bindings.join_constraints.push(j);
+                        }
+                        alternatives.push((next_pending, next_reqs, next_bindings));
+                    }
+                }
+            }
+        }
+        doc.truncate(doc_snapshot);
+        None
+    }
+
+    /// Decompose one obligation at a node into simpler obligations and child
+    /// requirements.  Choice points (unions, disjunctions, `↓*`) return several
+    /// branches; `None` means the obligation cannot hold here.
+    fn decompose(
+        &mut self,
+        node: NodeId,
+        label: &str,
+        ob: Ob,
+        bindings: &mut Bindings,
+    ) -> Option<Vec<Branch>> {
+        match ob {
+            Ob::BindSlot(attr, slot) => {
+                if self.dtd.attributes(label).contains(&attr) {
+                    bindings.locations.insert(slot, (node, attr));
+                    Some(vec![Branch::obligations(vec![])])
+                } else {
+                    None
+                }
+            }
+            Ob::Qual(q) => self.decompose_qualifier(q, label),
+            Ob::At(path, obs) => match path {
+                Path::Empty => Some(vec![Branch::obligations(obs)]),
+                Path::Label(l) => Some(vec![Branch::child(Some(l), obs)]),
+                Path::Wildcard => Some(vec![Branch::child(None, obs)]),
+                Path::DescendantOrSelf => Some(vec![
+                    Branch::obligations(obs.clone()),
+                    Branch::child(None, vec![Ob::At(Path::DescendantOrSelf, obs)]),
+                ]),
+                Path::Seq(first, rest) => {
+                    let continuation = vec![Ob::At((*rest).clone(), obs)];
+                    self.decompose(node, label, Ob::At((*first).clone(), continuation), bindings)
+                }
+                Path::Union(p1, p2) => Some(vec![
+                    Branch::obligations(vec![Ob::At((*p1).clone(), obs.clone())]),
+                    Branch::obligations(vec![Ob::At((*p2).clone(), obs)]),
+                ]),
+                Path::Filter(p, q) => {
+                    let mut inner = vec![Ob::Qual((*q).clone())];
+                    inner.extend(obs);
+                    Some(vec![Branch::obligations(vec![Ob::At((*p).clone(), inner)])])
+                }
+                // Upward and sibling axes are excluded by `supports`.
+                _ => None,
+            },
+        }
+    }
+
+    fn decompose_qualifier(&mut self, q: Qualifier, label: &str) -> Option<Vec<Branch>> {
+        match q {
+            Qualifier::Path(p) => Some(vec![Branch::obligations(vec![Ob::At(p.right_assoc(), vec![])])]),
+            Qualifier::LabelIs(l) => {
+                if l == label {
+                    Some(vec![Branch::obligations(vec![])])
+                } else {
+                    None
+                }
+            }
+            Qualifier::AttrCmp { path, attr, op, value } => {
+                let slot = self.fresh_slot();
+                Some(vec![Branch {
+                    new_obligations: vec![Ob::At(
+                        path.right_assoc(),
+                        vec![Ob::BindSlot(attr, slot)],
+                    )],
+                    child_requirements: vec![],
+                    const_constraint: Some((slot, op, value)),
+                    join_constraint: None,
+                }])
+            }
+            Qualifier::AttrJoin { left, left_attr, op, right, right_attr } => {
+                let s1 = self.fresh_slot();
+                let s2 = self.fresh_slot();
+                Some(vec![Branch {
+                    new_obligations: vec![
+                        Ob::At(left.right_assoc(), vec![Ob::BindSlot(left_attr, s1)]),
+                        Ob::At(right.right_assoc(), vec![Ob::BindSlot(right_attr, s2)]),
+                    ],
+                    child_requirements: vec![],
+                    const_constraint: None,
+                    join_constraint: Some((s1, op, s2)),
+                }])
+            }
+            Qualifier::And(q1, q2) => Some(vec![Branch::obligations(vec![Ob::Qual(*q1), Ob::Qual(*q2)])]),
+            Qualifier::Or(q1, q2) => Some(vec![
+                Branch::obligations(vec![Ob::Qual(*q1)]),
+                Branch::obligations(vec![Ob::Qual(*q2)]),
+            ]),
+            Qualifier::Not(_) => None,
+        }
+    }
+
+    fn fresh_slot(&mut self) -> SlotId {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        s
+    }
+
+    /// Phase 2: assign every child requirement to a child occurrence (new or shared),
+    /// find a children word of the content model realising the chosen multiset, expand
+    /// and recurse.
+    fn route_children(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        label: &str,
+        reqs: Vec<ChildReq>,
+        bindings: Bindings,
+        depth: usize,
+    ) -> Option<Bindings> {
+        if reqs.is_empty() {
+            if doc.children(node).is_empty() {
+                self.generator.expand_minimal(doc, node);
+            }
+            return check_constraints(&bindings).then_some(bindings);
+        }
+        let plan: Vec<(String, Vec<Ob>)> = Vec::new();
+        self.assign(doc, node, label, &reqs, 0, plan, bindings, depth)
+    }
+
+    /// Recursive assignment of requirement `idx` onwards onto a children plan.
+    #[allow(clippy::too_many_arguments)]
+    fn assign(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        label: &str,
+        reqs: &[ChildReq],
+        idx: usize,
+        plan: Vec<(String, Vec<Ob>)>,
+        bindings: Bindings,
+        depth: usize,
+    ) -> Option<Bindings> {
+        if idx == reqs.len() {
+            return self.realize_plan(doc, node, label, &plan, bindings, depth);
+        }
+        let req = &reqs[idx];
+        // Option (a): open a new child occurrence for this requirement.
+        let candidate_labels: Vec<String> = match &req.label {
+            Some(l) => vec![l.clone()],
+            None => self.graph.successors(label).into_iter().collect(),
+        };
+        for candidate in &candidate_labels {
+            if !self.graph.successors(label).contains(candidate) {
+                continue;
+            }
+            if !self.feasible(candidate, &req.obligations) {
+                continue;
+            }
+            // Quick multiset feasibility check: the content model must still have a word
+            // covering the plan plus this new occurrence.
+            let mut demand = CoverDemand::none();
+            for (planned, _) in &plan {
+                demand = demand.require(planned.clone(), 1);
+            }
+            demand = demand.require(candidate.clone(), 1);
+            if !xpsat_automata::word_with_multiplicities(&self.automata[label], &demand) {
+                continue;
+            }
+            let mut next_plan = plan.clone();
+            next_plan.push((candidate.clone(), req.obligations.clone()));
+            if let Some(result) = self.assign(
+                doc,
+                node,
+                label,
+                reqs,
+                idx + 1,
+                next_plan,
+                bindings.clone(),
+                depth,
+            ) {
+                return Some(result);
+            }
+        }
+        // Option (b): share an existing planned child.
+        for j in 0..plan.len() {
+            let compatible = match &req.label {
+                Some(l) => plan[j].0 == *l,
+                None => true,
+            };
+            if !compatible || !self.feasible(&plan[j].0, &req.obligations) {
+                continue;
+            }
+            let mut next_plan = plan.clone();
+            next_plan[j].1.extend(req.obligations.clone());
+            if let Some(result) = self.assign(
+                doc,
+                node,
+                label,
+                reqs,
+                idx + 1,
+                next_plan,
+                bindings.clone(),
+                depth,
+            ) {
+                return Some(result);
+            }
+        }
+        None
+    }
+
+    /// Materialise a complete children plan: create the children word, recurse into the
+    /// planned children, expand the rest minimally, check the value constraints.
+    fn realize_plan(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        label: &str,
+        plan: &[(String, Vec<Ob>)],
+        bindings: Bindings,
+        depth: usize,
+    ) -> Option<Bindings> {
+        let doc_snapshot = doc.snapshot();
+        let mut demand = CoverDemand::none();
+        for (planned, _) in plan {
+            demand = demand.require(planned.clone(), 1);
+        }
+        let word = xpsat_automata::shortest_covering_word(&self.automata[label], &demand)?;
+        let mut children = Vec::new();
+        for sym in &word {
+            children.push(doc.add_child(node, sym.clone()));
+        }
+        // Map each plan entry to a distinct occurrence of its label.
+        let mut used = vec![false; children.len()];
+        let mut planned_nodes = Vec::new();
+        for (planned_label, _) in plan {
+            let found = children
+                .iter()
+                .enumerate()
+                .find(|(i, &c)| !used[*i] && doc.label(c) == planned_label);
+            match found {
+                Some((i, &c)) => {
+                    used[i] = true;
+                    planned_nodes.push(c);
+                }
+                None => {
+                    doc.truncate(doc_snapshot);
+                    return None;
+                }
+            }
+        }
+        let mut current_bindings = bindings;
+        for (child, (_, obligations)) in planned_nodes.iter().zip(plan) {
+            match self.satisfy(doc, *child, obligations.clone(), current_bindings, depth + 1) {
+                Some(next) => current_bindings = next,
+                None => {
+                    doc.truncate(doc_snapshot);
+                    return None;
+                }
+            }
+        }
+        for (i, &child) in children.iter().enumerate() {
+            if !used[i] && doc.children(child).is_empty() {
+                self.generator.expand_minimal(doc, child);
+            }
+        }
+        if check_constraints(&current_bindings) {
+            Some(current_bindings)
+        } else {
+            doc.truncate(doc_snapshot);
+            None
+        }
+    }
+
+    /// Cheap over-approximation: can the obligations possibly be satisfied in a subtree
+    /// rooted at an element of type `label`?  Ignores qualifiers and data values (an
+    /// over-approximation, hence a sound pruning test).
+    fn feasible(&self, label: &str, obligations: &[Ob]) -> bool {
+        obligations.iter().all(|ob| match ob {
+            Ob::At(path, inner) => {
+                let targets = self.approx_reach(path, label);
+                targets.iter().any(|t| self.feasible(t, inner))
+            }
+            Ob::BindSlot(attr, _) => self.dtd.attributes(label).contains(attr),
+            Ob::Qual(_) => true,
+        })
+    }
+
+    /// Element types reachable from `from` via the navigational skeleton of `path`
+    /// (filters ignored).
+    fn approx_reach(&self, path: &Path, from: &str) -> BTreeSet<String> {
+        match path {
+            Path::Empty => [from.to_string()].into_iter().collect(),
+            Path::Label(l) => {
+                if self.graph.successors(from).contains(l) {
+                    [l.clone()].into_iter().collect()
+                } else {
+                    BTreeSet::new()
+                }
+            }
+            Path::Wildcard => self.graph.successors(from),
+            Path::DescendantOrSelf => {
+                let mut s = self.graph.reachable_from(from);
+                s.insert(from.to_string());
+                s
+            }
+            Path::Seq(a, b) => {
+                let mut out = BTreeSet::new();
+                for mid in self.approx_reach(a, from) {
+                    out.extend(self.approx_reach(b, &mid));
+                }
+                out
+            }
+            Path::Union(a, b) => {
+                let mut out = self.approx_reach(a, from);
+                out.extend(self.approx_reach(b, from));
+                out
+            }
+            Path::Filter(p, _) => self.approx_reach(p, from),
+            _ => BTreeSet::new(),
+        }
+    }
+}
+
+/// Check the accumulated value constraints by union-find over slots and constants.
+fn check_constraints(bindings: &Bindings) -> bool {
+    let mut uf = UnionFind::default();
+    let mut inequalities: Vec<(String, String)> = Vec::new();
+    for (slot, op, value) in &bindings.const_constraints {
+        let a = slot_key(bindings, *slot);
+        let b = const_key(value);
+        match op {
+            CmpOp::Eq => uf.union(&a, &b),
+            CmpOp::Ne => inequalities.push((a, b)),
+        }
+    }
+    for (s1, op, s2) in &bindings.join_constraints {
+        let a = slot_key(bindings, *s1);
+        let b = slot_key(bindings, *s2);
+        match op {
+            CmpOp::Eq => uf.union(&a, &b),
+            CmpOp::Ne => inequalities.push((a, b)),
+        }
+    }
+    let constants: BTreeSet<&String> = bindings
+        .const_constraints
+        .iter()
+        .map(|(_, _, c)| c)
+        .collect();
+    let constants: Vec<&String> = constants.into_iter().collect();
+    for (i, c1) in constants.iter().enumerate() {
+        for c2 in constants.iter().skip(i + 1) {
+            if uf.find(&const_key(c1)) == uf.find(&const_key(c2)) {
+                return false;
+            }
+        }
+    }
+    inequalities.iter().all(|(a, b)| uf.find(a) != uf.find(b))
+}
+
+/// Write concrete values into the witness according to the constraints: every
+/// equivalence class keeps its constant (if any) or receives a distinct fresh value.
+fn assign_values(doc: &mut Document, bindings: &Bindings) {
+    let mut uf = UnionFind::default();
+    for (slot, op, value) in &bindings.const_constraints {
+        if *op == CmpOp::Eq {
+            uf.union(&slot_key(bindings, *slot), &const_key(value));
+        }
+    }
+    for (s1, op, s2) in &bindings.join_constraints {
+        if *op == CmpOp::Eq {
+            uf.union(&slot_key(bindings, *s1), &slot_key(bindings, *s2));
+        }
+    }
+    let mut class_value: BTreeMap<String, String> = BTreeMap::new();
+    for (_, op, value) in &bindings.const_constraints {
+        if *op == CmpOp::Eq {
+            class_value.insert(uf.find(&const_key(value)), value.clone());
+        }
+    }
+    let mut fresh = 0usize;
+    let mut assigned: BTreeMap<String, String> = BTreeMap::new();
+    for (slot, (node, attr)) in &bindings.locations {
+        let class = uf.find(&slot_key(bindings, *slot));
+        let value = class_value.get(&class).cloned().unwrap_or_else(|| {
+            assigned.get(&class).cloned().unwrap_or_else(|| {
+                fresh += 1;
+                let v = format!("_v{fresh}");
+                assigned.insert(class.clone(), v.clone());
+                v
+            })
+        });
+        doc.set_attr(*node, attr.clone(), value);
+    }
+}
+
+fn slot_key(bindings: &Bindings, slot: SlotId) -> String {
+    match bindings.locations.get(&slot) {
+        Some((node, attr)) => format!("loc:{}:{attr}", node.0),
+        None => format!("slot:{slot}"),
+    }
+}
+
+fn const_key(c: &str) -> String {
+    format!("const:{c}")
+}
+
+/// A tiny string-keyed union-find.
+#[derive(Default)]
+struct UnionFind {
+    parents: BTreeMap<String, String>,
+}
+
+impl UnionFind {
+    fn find(&mut self, x: &str) -> String {
+        let parent = self.parents.get(x).cloned();
+        match parent {
+            None => {
+                self.parents.insert(x.to_string(), x.to_string());
+                x.to_string()
+            }
+            Some(p) if p == x => p,
+            Some(p) => {
+                let root = self.find(&p);
+                self.parents.insert(x.to_string(), root.clone());
+                root
+            }
+        }
+    }
+
+    fn union(&mut self, a: &str, b: &str) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parents.insert(ra, rb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::verify_witness;
+    use xpsat_dtd::parse_dtd;
+    use xpsat_xpath::parse_path;
+
+    fn check(dtd_text: &str, query_text: &str, expected: bool) {
+        let dtd = parse_dtd(dtd_text).unwrap();
+        let query = parse_path(query_text).unwrap();
+        match decide(&dtd, &query).unwrap() {
+            Satisfiability::Satisfiable(doc) => {
+                assert!(
+                    expected,
+                    "{query_text} should be unsatisfiable under `{dtd_text}`\nwitness: {doc}"
+                );
+                verify_witness(&doc, &dtd, &query).unwrap();
+            }
+            Satisfiability::Unsatisfiable => assert!(
+                !expected,
+                "{query_text} should be satisfiable under `{dtd_text}`"
+            ),
+            Satisfiability::Unknown => panic!("positive engine must be definite"),
+        }
+    }
+
+    #[test]
+    fn qualifiers_interact_with_content_models() {
+        // X has either T or F, never both (Example 2.1's shape).
+        let dtd = "r -> x1, x2; x1 -> t | f; x2 -> t | f; t -> #; f -> #;";
+        check(dtd, "x1[t]", true);
+        check(dtd, "x1[t and f]", false);
+        check(dtd, ".[x1[t] and x2[f]]", true);
+        check(dtd, ".[x1[t] and x1[f]]", false); // only one x1 child exists
+    }
+
+    #[test]
+    fn multiple_occurrences_allow_conflicting_branches() {
+        // Under a starred content model two different a-children can carry the two
+        // conflicting qualifier branches.
+        let dtd = "r -> a*; a -> b | c; b -> #; c -> #;";
+        check(dtd, ".[a[b] and a[c]]", true);
+        check(dtd, "a[b and c]", false);
+    }
+
+    #[test]
+    fn descendant_obligations_unroll_through_recursion() {
+        let dtd = "r -> c; c -> (c, x) | #; x -> #;";
+        check(dtd, "**/x", true);
+        check(dtd, "**[x and c]", true);
+        check(dtd, "**/x/c", false);
+        check(dtd, "c/c/c/x", true);
+    }
+
+    #[test]
+    fn label_tests() {
+        let dtd = "r -> a | b; a -> #; b -> #;";
+        check(dtd, "*[lab() = a]", true);
+        check(dtd, "*[lab() = a and lab() = b]", false);
+        check(dtd, "*[lab() = a or lab() = b]", true);
+    }
+
+    #[test]
+    fn data_value_constants() {
+        let dtd = "r -> a; a -> #; @a: x;";
+        check(dtd, "a[@x = \"1\"]", true);
+        check(dtd, "a[@x = \"1\" and @x = \"1\"]", true);
+        check(dtd, "a[@x = \"1\" and @x = \"2\"]", false); // single a node, one value
+        check(dtd, "a[@x != \"1\"]", true);
+        check(dtd, "a[@x = \"1\" and @x != \"1\"]", false);
+    }
+
+    #[test]
+    fn data_value_constants_with_multiple_witnesses() {
+        let dtd = "r -> a, a; a -> #; @a: x;";
+        // Two a-children: the two conflicting constants can live on different nodes.
+        check(dtd, ".[a/@x = \"1\" and a/@x = \"2\"]", true);
+    }
+
+    #[test]
+    fn data_value_joins() {
+        let dtd = "r -> a, b; a -> #; b -> #; @a: id; @b: id;";
+        check(dtd, ".[a/@id = b/@id]", true);
+        check(dtd, ".[a/@id != b/@id]", true);
+        // A join of a slot with itself under equality is fine, under disequality not.
+        let single = "r -> a; a -> #; @a: id;";
+        check(single, ".[a/@id = a/@id]", true);
+        check(single, ".[a/@id != a/@id]", false);
+    }
+
+    #[test]
+    fn missing_attributes_make_comparisons_unsatisfiable() {
+        let dtd = "r -> a; a -> #;";
+        check(dtd, "a[@id = \"1\"]", false);
+    }
+
+    #[test]
+    fn upward_queries_are_rejected() {
+        let dtd = parse_dtd("r -> a; a -> #;").unwrap();
+        assert!(decide(&dtd, &parse_path("a/..").unwrap()).is_err());
+        assert!(decide(&dtd, &parse_path("a[not(b)]").unwrap()).is_err());
+    }
+
+    #[test]
+    fn wide_conjunctions_route_across_forced_children() {
+        // The root has exactly one x1 and one x2; four obligations must share them.
+        let dtd = "r -> x1, x2; x1 -> a?, b?; x2 -> a?, b?; a -> #; b -> #;";
+        check(dtd, ".[x1[a] and x1[b] and x2[a] and x2[b]]", true);
+        check(dtd, ".[x1[a] and x1[b] and x2[a] and *[lab() = x2]/c]", false);
+    }
+}

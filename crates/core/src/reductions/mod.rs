@@ -1,0 +1,18 @@
+//! The lower-bound encodings of the paper, as executable instance generators.
+//!
+//! Each module takes an instance of a source problem (3SAT, Q3SAT, corridor tiling, a
+//! two-register machine) and produces the `(Dtd, Path)` pair of the corresponding proof,
+//! so that the hardness constructions can be run, tested against reference solvers from
+//! `xpsat-logic`, and benchmarked (they are the workload generators behind Figures 1 and
+//! 3–9).
+
+pub mod q3sat;
+pub mod threesat;
+pub mod two_register;
+
+pub use q3sat::q3sat_to_downward_negation;
+pub use threesat::{
+    threesat_to_disjunction_free_data, threesat_to_downward_qualifiers,
+    threesat_to_fixed_dtd_union, threesat_to_updown,
+};
+pub use two_register::two_register_to_full_fragment;

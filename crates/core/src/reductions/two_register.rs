@@ -1,0 +1,421 @@
+//! Two-register-machine encoding: Theorem 5.4 (Figure 4) — the halting problem for 2RMs
+//! reduces to `SAT(X(↓, ↑, ↓*, ↑*, ∪, [], =, ¬))`, which is therefore undecidable.
+//!
+//! A conforming document is a nested chain of `c` elements, one per instantaneous
+//! description: the `s` attribute holds the state, and the lengths of the `x`-chain
+//! below `r1` and the `y`-chain below `r2` hold the register contents, counted through
+//! the local-key attribute `id` exactly as in the paper's proof.  The query conjoins
+//!
+//! * `Q_start` / `Q_halt` — the first ID is `(0,0,0)` and some ID is `(f,0,0)`;
+//! * `Q_key` — `id` is a local key along every register chain;
+//! * one `Q_i` per instruction — the successor ID follows the transition relation
+//!   (stated, as in the paper, through the keyed containment of register chains).
+//!
+//! Undecidability cannot be "run", but the *soundness* direction can: for a halting
+//! machine, [`witness_from_run`] lays the run out as a document which the tests check to
+//! conform to the DTD and to satisfy the query; for diverging machines the truncated-run
+//! documents are checked to violate it.
+
+use xpsat_automata::Regex;
+use xpsat_dtd::{ContentModel, Dtd};
+use xpsat_logic::trm::{Id, Instruction, Register, TwoRegisterMachine};
+use xpsat_xmltree::Document;
+use xpsat_xpath::{CmpOp, Path, Qualifier};
+
+fn sym(name: &str) -> ContentModel {
+    Regex::Sym(name.to_string())
+}
+
+/// The fixed DTD of Theorem 5.4 (it does not depend on the machine).
+pub fn two_register_dtd() -> Dtd {
+    let mut dtd = Dtd::new("r");
+    dtd.define("r", sym("c"));
+    dtd.define(
+        "c",
+        Regex::alt(vec![
+            Regex::concat(vec![sym("c"), sym("r1"), sym("r2")]),
+            Regex::Epsilon,
+        ]),
+    );
+    dtd.define("r1", Regex::opt(sym("x")));
+    dtd.define("r2", Regex::opt(sym("y")));
+    dtd.define("x", Regex::opt(sym("x")));
+    dtd.define("y", Regex::opt(sym("y")));
+    dtd.add_attributes("c", ["s"]);
+    dtd.add_attributes("x", ["id"]);
+    dtd.add_attributes("y", ["id"]);
+    dtd
+}
+
+/// Theorem 5.4: encode the halting problem of a two-register machine.  The returned
+/// instance is satisfiable iff the machine halts in `(f, 0, 0)` from `(0, 0, 0)`.
+pub fn two_register_to_full_fragment(machine: &TwoRegisterMachine) -> (Dtd, Path) {
+    let dtd = two_register_dtd();
+
+    let mut conjuncts = Vec::new();
+    // Q_start: the first ID is (0, 0, 0).
+    conjuncts.push(Qualifier::path(Path::label("c").filter(Qualifier::and_all([
+        state_is(Path::Empty, 0),
+        Qualifier::path(Path::label("r1").filter(Qualifier::not(Qualifier::path(Path::label("x"))))),
+        Qualifier::path(Path::label("r2").filter(Qualifier::not(Qualifier::path(Path::label("y"))))),
+    ]))));
+    // Q_halt: some ID is (f, 0, 0).
+    conjuncts.push(Qualifier::path(Path::seq(
+        Path::DescendantOrSelf,
+        Path::label("c").filter(Qualifier::and_all([
+            state_is(Path::Empty, machine.halting_state),
+            Qualifier::path(Path::label("r1").filter(Qualifier::not(Qualifier::path(Path::label("x"))))),
+            Qualifier::path(Path::label("r2").filter(Qualifier::not(Qualifier::path(Path::label("y"))))),
+        ])),
+    )));
+    // Q_key: `id` is a local key along every register chain (no node shares its id with
+    // a proper descendant of the same chain).
+    for chain in ["x", "y"] {
+        conjuncts.push(Qualifier::not(Qualifier::path(
+            Path::seq(Path::DescendantOrSelf, Path::label(chain)).filter(Qualifier::AttrJoin {
+                left: Path::Empty,
+                left_attr: "id".into(),
+                op: CmpOp::Eq,
+                right: Path::seq(Path::Wildcard, Path::DescendantOrSelf),
+                right_attr: "id".into(),
+            }),
+        )));
+    }
+    // Q_i: one transition qualifier per instruction.
+    for (i, instruction) in machine.instructions.iter().enumerate() {
+        conjuncts.push(transition_qualifier(i, instruction));
+    }
+    (dtd, Path::Empty.filter(Qualifier::and_all(conjuncts)))
+}
+
+fn state_is(path: Path, state: usize) -> Qualifier {
+    Qualifier::AttrCmp {
+        path,
+        attr: "s".into(),
+        op: CmpOp::Eq,
+        value: state.to_string(),
+    }
+}
+
+fn state_is_not(path: Path, state: usize) -> Qualifier {
+    Qualifier::not(state_is(path, state))
+}
+
+/// The register element (`r1` / `r2`) and chain element (`x` / `y`) names of a register.
+fn names(register: Register) -> (&'static str, &'static str) {
+    match register {
+        Register::R1 => ("r1", "x"),
+        Register::R2 => ("r2", "y"),
+    }
+}
+
+/// "The chain of `reg` in the *next* ID is NOT obtained from the current one by adding
+/// one element" — the violation the addition transition forbids (`Q_Xa` in the paper).
+fn grows_by_one_violated(register: Register) -> Qualifier {
+    let (reg, chain) = names(register);
+    // Some chain node of the current ID has no id-partner among the next ID's chain
+    // nodes that still have a successor (every old element must reappear, and not as the
+    // freshly added last element)…
+    let missing_in_next = Qualifier::path(
+        Path::seq_all([Path::label(reg), Path::DescendantOrSelf, Path::label(chain)]).filter(
+            Qualifier::not(Qualifier::AttrJoin {
+                left: Path::Empty,
+                left_attr: "id".into(),
+                op: CmpOp::Eq,
+                right: Path::seq_all([
+                    Path::AncestorOrSelf.filter(Qualifier::LabelIs(reg.into())),
+                    Path::Parent,
+                    Path::label("c"),
+                    Path::label(reg),
+                    Path::DescendantOrSelf,
+                    Path::label(chain).filter(Qualifier::path(Path::label(chain))),
+                ]),
+                right_attr: "id".into(),
+            }),
+        ),
+    );
+    // …and every non-last chain node of the next ID must have an id-partner in the
+    // current ID's chain (so exactly one new element appears, at the end).
+    let extra_in_next = Qualifier::path(
+        Path::seq_all([
+            Path::label("c"),
+            Path::label(reg),
+            Path::DescendantOrSelf,
+            Path::label(chain).filter(Qualifier::path(Path::label(chain))),
+        ])
+        .filter(Qualifier::not(Qualifier::AttrJoin {
+            left: Path::Empty,
+            left_attr: "id".into(),
+            op: CmpOp::Eq,
+            right: Path::seq_all([
+                Path::AncestorOrSelf.filter(Qualifier::LabelIs(reg.into())),
+                Path::Parent,
+                Path::Parent,
+                Path::label(reg),
+                Path::DescendantOrSelf,
+                Path::label(chain),
+            ]),
+            right_attr: "id".into(),
+        })),
+    );
+    // The next ID must have a nonempty chain at all.
+    let next_chain_empty = Qualifier::not(Qualifier::path(Path::seq_all([
+        Path::label("c"),
+        Path::label(reg),
+        Path::label(chain),
+    ])));
+    Qualifier::or_all([missing_in_next, extra_in_next, next_chain_empty])
+}
+
+/// "The chain of `reg` in the next ID differs from the current one" — the violation the
+/// unchanged-register condition forbids (`Q_Y` in the paper).
+fn unchanged_violated(register: Register) -> Qualifier {
+    let (reg, chain) = names(register);
+    let missing_in_next = Qualifier::path(
+        Path::seq_all([Path::label(reg), Path::DescendantOrSelf, Path::label(chain)]).filter(
+            Qualifier::not(Qualifier::AttrJoin {
+                left: Path::Empty,
+                left_attr: "id".into(),
+                op: CmpOp::Eq,
+                right: Path::seq_all([
+                    Path::AncestorOrSelf.filter(Qualifier::LabelIs(reg.into())),
+                    Path::Parent,
+                    Path::label("c"),
+                    Path::label(reg),
+                    Path::DescendantOrSelf,
+                    Path::label(chain),
+                ]),
+                right_attr: "id".into(),
+            }),
+        ),
+    );
+    let missing_in_current = Qualifier::path(
+        Path::seq_all([
+            Path::label("c"),
+            Path::label(reg),
+            Path::DescendantOrSelf,
+            Path::label(chain),
+        ])
+        .filter(Qualifier::not(Qualifier::AttrJoin {
+            left: Path::Empty,
+            left_attr: "id".into(),
+            op: CmpOp::Eq,
+            right: Path::seq_all([
+                Path::AncestorOrSelf.filter(Qualifier::LabelIs(reg.into())),
+                Path::Parent,
+                Path::Parent,
+                Path::label(reg),
+                Path::DescendantOrSelf,
+                Path::label(chain),
+            ]),
+            right_attr: "id".into(),
+        })),
+    );
+    Qualifier::Or(Box::new(missing_in_next), Box::new(missing_in_current))
+}
+
+/// "The chain of `reg` shrinks by exactly one element in the next ID" — for subtraction
+/// on a nonzero register: the next chain is the current chain minus its last element.
+fn shrinks_by_one_violated(register: Register) -> Qualifier {
+    let (reg, chain) = names(register);
+    // Every non-last element of the current chain must reappear in the next chain…
+    let missing_in_next = Qualifier::path(
+        Path::seq_all([
+            Path::label(reg),
+            Path::DescendantOrSelf,
+            Path::label(chain).filter(Qualifier::path(Path::label(chain))),
+        ])
+        .filter(Qualifier::not(Qualifier::AttrJoin {
+            left: Path::Empty,
+            left_attr: "id".into(),
+            op: CmpOp::Eq,
+            right: Path::seq_all([
+                Path::AncestorOrSelf.filter(Qualifier::LabelIs(reg.into())),
+                Path::Parent,
+                Path::label("c"),
+                Path::label(reg),
+                Path::DescendantOrSelf,
+                Path::label(chain),
+            ]),
+            right_attr: "id".into(),
+        })),
+    );
+    // …and every element of the next chain must come from the current chain's non-last
+    // elements.
+    let extra_in_next = Qualifier::path(
+        Path::seq_all([
+            Path::label("c"),
+            Path::label(reg),
+            Path::DescendantOrSelf,
+            Path::label(chain),
+        ])
+        .filter(Qualifier::not(Qualifier::AttrJoin {
+            left: Path::Empty,
+            left_attr: "id".into(),
+            op: CmpOp::Eq,
+            right: Path::seq_all([
+                Path::AncestorOrSelf.filter(Qualifier::LabelIs(reg.into())),
+                Path::Parent,
+                Path::Parent,
+                Path::label(reg),
+                Path::DescendantOrSelf,
+                Path::label(chain).filter(Qualifier::path(Path::label(chain))),
+            ]),
+            right_attr: "id".into(),
+        })),
+    );
+    Qualifier::Or(Box::new(missing_in_next), Box::new(extra_in_next))
+}
+
+fn has_next_id() -> Qualifier {
+    Qualifier::path(Path::label("c"))
+}
+
+/// The `Q_i` qualifier of one instruction: no ID at state `i` violates the transition.
+fn transition_qualifier(i: usize, instruction: &Instruction) -> Qualifier {
+    let violation = match *instruction {
+        Instruction::Add { register, next } => {
+            let other = match register {
+                Register::R1 => Register::R2,
+                Register::R2 => Register::R1,
+            };
+            Qualifier::or_all([
+                Qualifier::not(has_next_id()),
+                state_is_not(Path::label("c"), next),
+                grows_by_one_violated(register),
+                unchanged_violated(other),
+            ])
+        }
+        Instruction::Sub { register, if_zero, if_positive } => {
+            let (reg, chain) = names(register);
+            let other = match register {
+                Register::R1 => Register::R2,
+                Register::R2 => Register::R1,
+            };
+            let is_zero = Qualifier::path(
+                Path::label(reg).filter(Qualifier::not(Qualifier::path(Path::label(chain)))),
+            );
+            let zero_case_violated = Qualifier::And(
+                Box::new(is_zero.clone()),
+                Box::new(Qualifier::or_all([
+                    Qualifier::not(has_next_id()),
+                    state_is_not(Path::label("c"), if_zero),
+                    unchanged_violated(register),
+                    unchanged_violated(other),
+                ])),
+            );
+            let positive_case_violated = Qualifier::And(
+                Box::new(Qualifier::not(is_zero)),
+                Box::new(Qualifier::or_all([
+                    Qualifier::not(has_next_id()),
+                    state_is_not(Path::label("c"), if_positive),
+                    shrinks_by_one_violated(register),
+                    unchanged_violated(other),
+                ])),
+            );
+            Qualifier::Or(Box::new(zero_case_violated), Box::new(positive_case_violated))
+        }
+    };
+    Qualifier::not(Qualifier::path(
+        Path::seq(Path::DescendantOrSelf, Path::label("c"))
+            .filter(Qualifier::And(Box::new(state_is(Path::Empty, i)), Box::new(violation))),
+    ))
+}
+
+/// Lay a (halting) run out as the document the reduction's correctness proof describes:
+/// one nested `c` element per instantaneous description (plus a trailing sentinel `c`
+/// with an out-of-range state), with the register contents spelled out as `x`/`y`
+/// chains whose position-based `id`s tie corresponding cells of consecutive IDs
+/// together.
+pub fn witness_from_run(trace: &[Id]) -> Document {
+    let mut doc = Document::new("r");
+    let mut c = doc.add_child(doc.root(), "c");
+    for id in trace {
+        doc.set_attr(c, "s", id.state.to_string());
+        // Children must appear in the order (c, r1, r2) required by the content model.
+        let next_c = doc.add_child(c, "c");
+        let r1 = doc.add_child(c, "r1");
+        let mut x_parent = r1;
+        for k in 0..id.r1 {
+            let x = doc.add_child(x_parent, "x");
+            doc.set_attr(x, "id", format!("x{k}"));
+            x_parent = x;
+        }
+        let r2 = doc.add_child(c, "r2");
+        let mut y_parent = r2;
+        for k in 0..id.r2 {
+            let y = doc.add_child(y_parent, "y");
+            doc.set_attr(y, "id", format!("y{k}"));
+            y_parent = y;
+        }
+        c = next_c;
+    }
+    // The trailing container carries a state that no instruction (and not the halting
+    // check) constrains, and keeps the ε production.
+    doc.set_attr(c, "s", "sentinel");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpsat_dtd::validate;
+    use xpsat_logic::trm::RunOutcome;
+    use xpsat_xpath::eval;
+
+    #[test]
+    fn halting_runs_yield_conforming_satisfying_documents() {
+        let machine = TwoRegisterMachine::bump_and_drain(2);
+        let RunOutcome::Halted(trace) = machine.run(100) else {
+            panic!("bump_and_drain halts");
+        };
+        let (dtd, query) = two_register_to_full_fragment(&machine);
+        let mut doc = witness_from_run(&trace);
+        crate::witness::fill_missing_attributes(&mut doc, &dtd);
+        assert_eq!(validate(&doc, &dtd), Ok(()), "run document must conform: {doc}");
+        assert!(
+            eval::satisfies(&doc, &query),
+            "run document must satisfy the encoding\n{doc}"
+        );
+    }
+
+    #[test]
+    fn wrong_runs_violate_the_encoding() {
+        let machine = TwoRegisterMachine::bump_and_drain(2);
+        let RunOutcome::Halted(trace) = machine.run(100) else {
+            panic!("bump_and_drain halts");
+        };
+        let (dtd, query) = two_register_to_full_fragment(&machine);
+
+        // Truncating the run (so it never reaches the halting ID) breaks Q_halt.
+        let mut truncated = witness_from_run(&trace[..trace.len() - 2]);
+        crate::witness::fill_missing_attributes(&mut truncated, &dtd);
+        assert_eq!(validate(&truncated, &dtd), Ok(()));
+        assert!(!eval::satisfies(&truncated, &query));
+
+        // Corrupting a state attribute breaks the transition qualifiers.
+        let mut corrupted = witness_from_run(&trace);
+        crate::witness::fill_missing_attributes(&mut corrupted, &dtd);
+        let some_c = corrupted
+            .all_nodes()
+            .into_iter()
+            .filter(|&n| corrupted.label(n) == "c")
+            .nth(1)
+            .unwrap();
+        corrupted.set_attr(some_c, "s", "999");
+        assert!(!eval::satisfies(&corrupted, &query));
+    }
+
+    #[test]
+    fn diverging_machines_have_no_short_witness() {
+        let machine = TwoRegisterMachine::diverging();
+        let (dtd, query) = two_register_to_full_fragment(&machine);
+        let RunOutcome::OutOfFuel(trace) = machine.run(6) else {
+            panic!("diverging machine never halts");
+        };
+        let mut doc = witness_from_run(&trace);
+        crate::witness::fill_missing_attributes(&mut doc, &dtd);
+        assert_eq!(validate(&doc, &dtd), Ok(()));
+        assert!(!eval::satisfies(&doc, &query));
+    }
+}

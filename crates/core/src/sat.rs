@@ -1,0 +1,142 @@
+//! Result and error types shared by all satisfiability engines.
+
+use std::fmt;
+use xpsat_xmltree::Document;
+
+/// The outcome of a satisfiability check.
+#[derive(Debug, Clone)]
+pub enum Satisfiability {
+    /// The instance is satisfiable; a witness document conforming to the DTD and
+    /// satisfying the query is attached.
+    Satisfiable(Document),
+    /// The instance is unsatisfiable (the engine that produced this verdict is complete
+    /// for the instance).
+    Unsatisfiable,
+    /// A bounded engine exhausted its budget without finding a witness; nothing can be
+    /// concluded.
+    Unknown,
+}
+
+impl Satisfiability {
+    /// `Some(true)` / `Some(false)` for definite verdicts, `None` for unknown.
+    pub fn is_satisfiable(&self) -> Option<bool> {
+        match self {
+            Satisfiability::Satisfiable(_) => Some(true),
+            Satisfiability::Unsatisfiable => Some(false),
+            Satisfiability::Unknown => None,
+        }
+    }
+
+    /// The witness document, when one was produced.
+    pub fn witness(&self) -> Option<&Document> {
+        match self {
+            Satisfiability::Satisfiable(doc) => Some(doc),
+            _ => None,
+        }
+    }
+
+    /// Did the engine produce a definite verdict?
+    pub fn is_definite(&self) -> bool {
+        !matches!(self, Satisfiability::Unknown)
+    }
+}
+
+impl fmt::Display for Satisfiability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Satisfiability::Satisfiable(_) => write!(f, "satisfiable"),
+            Satisfiability::Unsatisfiable => write!(f, "unsatisfiable"),
+            Satisfiability::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Why an engine refused to (or could not) decide an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatError {
+    /// The query uses operators outside the fragment the engine is complete for.
+    UnsupportedFragment {
+        /// The engine that raised the error.
+        engine: &'static str,
+        /// Human-readable description of the unsupported construct.
+        detail: String,
+    },
+    /// The DTD is outside the class the engine is complete for (e.g. it has disjunction
+    /// where the engine requires disjunction-free content models).
+    UnsupportedDtd {
+        /// The engine that raised the error.
+        engine: &'static str,
+        /// Human-readable description of the violated restriction.
+        detail: String,
+    },
+    /// The DTD's root type derives no finite tree at all; no document conforms to it.
+    NonTerminatingRoot,
+    /// An internal budget (node count, iteration count) was exceeded.
+    BudgetExceeded {
+        /// The engine that gave up.
+        engine: &'static str,
+    },
+}
+
+impl fmt::Display for SatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SatError::UnsupportedFragment { engine, detail } => {
+                write!(f, "{engine}: query outside supported fragment: {detail}")
+            }
+            SatError::UnsupportedDtd { engine, detail } => {
+                write!(f, "{engine}: DTD outside supported class: {detail}")
+            }
+            SatError::NonTerminatingRoot => {
+                write!(f, "the DTD's root type derives no finite document")
+            }
+            SatError::BudgetExceeded { engine } => write!(f, "{engine}: search budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SatError {}
+
+/// Check that a claimed witness really is one: it conforms to the DTD and satisfies the
+/// query.  Engines call this in debug builds; the test-suite calls it on every verdict.
+pub fn verify_witness(
+    doc: &Document,
+    dtd: &xpsat_dtd::Dtd,
+    query: &xpsat_xpath::Path,
+) -> Result<(), String> {
+    xpsat_dtd::validate(doc, dtd).map_err(|e| format!("witness does not conform to DTD: {e}"))?;
+    if !xpsat_xpath::eval::satisfies(doc, query) {
+        return Err(format!("witness does not satisfy the query {query}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpsat_dtd::parse_dtd;
+    use xpsat_xpath::parse_path;
+
+    #[test]
+    fn verdict_accessors() {
+        let doc = Document::new("r");
+        let sat = Satisfiability::Satisfiable(doc);
+        assert_eq!(sat.is_satisfiable(), Some(true));
+        assert!(sat.witness().is_some());
+        assert!(sat.is_definite());
+        assert_eq!(Satisfiability::Unsatisfiable.is_satisfiable(), Some(false));
+        assert_eq!(Satisfiability::Unknown.is_satisfiable(), None);
+        assert!(!Satisfiability::Unknown.is_definite());
+    }
+
+    #[test]
+    fn witness_verification() {
+        let dtd = parse_dtd("r -> a*; a -> #;").unwrap();
+        let mut doc = Document::new("r");
+        doc.add_child(doc.root(), "a");
+        assert!(verify_witness(&doc, &dtd, &parse_path("a").unwrap()).is_ok());
+        assert!(verify_witness(&doc, &dtd, &parse_path("b").unwrap()).is_err());
+        let bad = Document::new("z");
+        assert!(verify_witness(&bad, &dtd, &parse_path("a").unwrap()).is_err());
+    }
+}

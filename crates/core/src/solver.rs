@@ -1,0 +1,322 @@
+//! The solver façade: fragment- and DTD-aware dispatch to the cheapest complete engine.
+//!
+//! The paper's message is that the complexity of `SAT(X)` depends on the operators the
+//! query uses and on the class of the DTD.  [`Solver::decide`] re-enacts that message
+//! operationally: it inspects the query's [`Features`] and the DTD's [`DtdClass`] and
+//! picks
+//!
+//! 1. the PTIME reachability engine for `X(↓, ↓*, ∪)` (Theorem 4.1),
+//! 2. the PTIME sibling engine for `X(→, ←)` (Theorem 7.1),
+//! 3. the PTIME disjunction-free engine for `X(↓, ↓*, ∪, [])` under disjunction-free
+//!    DTDs (Theorem 6.8),
+//! 4. the NP positive engine for `X(↓, ↓*, ∪, [], =)` (Theorem 4.4),
+//! 5. the EXPTIME negation fixpoint for `X(↓, ↓*, ∪, [], ¬)` (Theorems 5.2/5.3),
+//! 6. the rewritings of Theorems 6.6(3)/6.8(2) and Proposition 6.1 to strip upward and
+//!    recursive axes when the query / DTD allow it, and
+//! 7. bounded instance enumeration otherwise (complete exactly for nonrecursive,
+//!    star-free DTDs — Proposition 6.4; a best-effort semi-decision elsewhere, which is
+//!    the honest thing to do in the undecidable corner of Theorem 5.4).
+
+use crate::engines::{djfree, downward, enumeration, negation, nodtd, positive, sibling};
+use crate::engines::enumeration::EnumerationLimits;
+use crate::sat::Satisfiability;
+use xpsat_dtd::{classify, Dtd};
+use xpsat_xpath::{Features, Path};
+
+/// Which decision procedure produced a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Theorem 4.1 reachability (PTIME).
+    Downward,
+    /// Theorem 7.1 sibling-axis walk (PTIME).
+    Sibling,
+    /// Theorem 6.8 disjunction-free tables (PTIME decision, witness via the NP engine).
+    DisjunctionFree,
+    /// Theorem 4.4 positive witness search (NP).
+    Positive,
+    /// Theorems 5.2/5.3 subtree-type fixpoint (EXPTIME).
+    NegationFixpoint,
+    /// A query rewriting (Theorem 6.8(2) or Proposition 6.1) followed by another engine.
+    Rewritten,
+    /// Bounded instance enumeration (Proposition 6.4 / fallback).
+    Enumeration,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            EngineKind::Downward => "downward reachability (Thm 4.1)",
+            EngineKind::Sibling => "sibling walk (Thm 7.1)",
+            EngineKind::DisjunctionFree => "disjunction-free tables (Thm 6.8)",
+            EngineKind::Positive => "positive witness search (Thm 4.4)",
+            EngineKind::NegationFixpoint => "negation fixpoint (Thms 5.2/5.3)",
+            EngineKind::Rewritten => "rewriting + dispatch (Thm 6.8(2)/Prop 6.1)",
+            EngineKind::Enumeration => "instance enumeration (Prop 6.4)",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The result of a [`Solver::decide`] call.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// The verdict (with witness when satisfiable).
+    pub result: Satisfiability,
+    /// The engine that produced it.
+    pub engine: EngineKind,
+    /// Was that engine a *complete* decision procedure for this instance?  When `false`
+    /// an `Unknown` or missing-witness outcome is possible; definite answers are always
+    /// sound regardless.
+    pub complete: bool,
+}
+
+/// Configuration of the solver façade.
+#[derive(Debug, Clone, Default)]
+pub struct SolverConfig {
+    /// Budgets used by the enumeration fallback.
+    pub enumeration: EnumerationLimits,
+}
+
+/// The satisfiability solver façade.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    config: SolverConfig,
+}
+
+impl Solver {
+    /// A solver with explicit budgets.
+    pub fn new(config: SolverConfig) -> Solver {
+        Solver { config }
+    }
+
+    /// Decide whether some document conforms to `dtd` and satisfies `query`.
+    pub fn decide(&self, dtd: &Dtd, query: &Path) -> Decision {
+        let features = Features::of_path(query);
+        let class = classify(dtd);
+
+        if downward::supports(query) {
+            if let Ok(result) = downward::decide(dtd, query) {
+                return Decision { result, engine: EngineKind::Downward, complete: true };
+            }
+        }
+        if sibling::supports(query) {
+            if let Ok(result) = sibling::decide(dtd, query) {
+                return Decision { result, engine: EngineKind::Sibling, complete: true };
+            }
+        }
+        if positive::supports(query) {
+            // Prefer the PTIME decision under disjunction-free DTDs; the witness (when
+            // needed) still comes from the positive engine, which is complete here too.
+            if !features.data_value && djfree::supports_dtd(dtd) && djfree::supports_query(query) {
+                if let Ok(false) = djfree::decide(dtd, query) {
+                    return Decision {
+                        result: Satisfiability::Unsatisfiable,
+                        engine: EngineKind::DisjunctionFree,
+                        complete: true,
+                    };
+                }
+            }
+            if let Ok(result) = positive::decide(dtd, query) {
+                return Decision { result, engine: EngineKind::Positive, complete: true };
+            }
+        }
+        if negation::supports(query) {
+            if let Ok(result) = negation::decide(dtd, query) {
+                return Decision {
+                    result,
+                    engine: EngineKind::NegationFixpoint,
+                    complete: true,
+                };
+            }
+        }
+        // Upward axes without qualifiers/union/recursion: Theorem 6.8(2)'s rewriting
+        // turns the query into a downward one (or proves it unsatisfiable at the root).
+        if features.has_upward()
+            && !features.negation
+            && !features.qualifier
+            && !features.union
+            && !features.has_recursion()
+            && !features.has_sibling()
+            && !features.data_value
+        {
+            return match xpsat_xpath::rewrite::updown_to_qualifiers(query) {
+                None => Decision {
+                    result: Satisfiability::Unsatisfiable,
+                    engine: EngineKind::Rewritten,
+                    complete: true,
+                },
+                Some(rewritten) => match positive::decide(dtd, &rewritten) {
+                    Ok(result) => Decision {
+                        result,
+                        engine: EngineKind::Rewritten,
+                        complete: true,
+                    },
+                    Err(_) => self.enumerate(dtd, query, &class),
+                },
+            };
+        }
+        // Nonrecursive DTDs: eliminate the recursive axes (Proposition 6.1) and try the
+        // dispatch once more; this turns e.g. the EXPTIME fragment into the PSPACE one.
+        if features.has_recursion() && !class.recursive {
+            if let Some(rewritten) = crate::transform::eliminate_recursion_for(dtd, query) {
+                let inner = self.decide_no_recursion_retry(dtd, &rewritten, &class);
+                if inner.result.is_definite() {
+                    return Decision {
+                        result: inner.result,
+                        engine: EngineKind::Rewritten,
+                        complete: inner.complete,
+                    };
+                }
+            }
+        }
+        self.enumerate(dtd, query, &class)
+    }
+
+    /// Second-round dispatch used after recursion elimination (never recurses further).
+    fn decide_no_recursion_retry(
+        &self,
+        dtd: &Dtd,
+        query: &Path,
+        class: &xpsat_dtd::DtdClass,
+    ) -> Decision {
+        if positive::supports(query) {
+            if let Ok(result) = positive::decide(dtd, query) {
+                return Decision { result, engine: EngineKind::Positive, complete: true };
+            }
+        }
+        if negation::supports(query) {
+            if let Ok(result) = negation::decide(dtd, query) {
+                return Decision {
+                    result,
+                    engine: EngineKind::NegationFixpoint,
+                    complete: true,
+                };
+            }
+        }
+        self.enumerate(dtd, query, class)
+    }
+
+    fn enumerate(&self, dtd: &Dtd, query: &Path, class: &xpsat_dtd::DtdClass) -> Decision {
+        let result = enumeration::decide(dtd, query, &self.config.enumeration);
+        let exhaustive = enumeration::is_exhaustive_for(dtd, &self.config.enumeration)
+            || result.is_definite() && !class.recursive && !class.has_star;
+        Decision {
+            result,
+            engine: EngineKind::Enumeration,
+            complete: exhaustive,
+        }
+    }
+
+    /// Decide satisfiability in the absence of a DTD (Proposition 3.1 / Theorem 6.11).
+    pub fn decide_without_dtd(&self, query: &Path) -> Decision {
+        if nodtd::supports(query) {
+            match nodtd::decide_with_witness(query) {
+                Ok(result) => {
+                    return Decision {
+                        result,
+                        engine: EngineKind::Positive,
+                        complete: true,
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+        // General case: try every universal-DTD instance of Proposition 3.1.
+        let mut any_unknown = false;
+        for (dtd, q) in crate::transform::no_dtd_instances(query) {
+            let decision = self.decide(&dtd, &q);
+            match decision.result {
+                Satisfiability::Satisfiable(doc) => {
+                    return Decision {
+                        result: Satisfiability::Satisfiable(doc),
+                        engine: decision.engine,
+                        complete: decision.complete,
+                    }
+                }
+                Satisfiability::Unsatisfiable => {}
+                Satisfiability::Unknown => any_unknown = true,
+            }
+        }
+        Decision {
+            result: if any_unknown {
+                Satisfiability::Unknown
+            } else {
+                Satisfiability::Unsatisfiable
+            },
+            engine: EngineKind::Enumeration,
+            complete: !any_unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::verify_witness;
+    use xpsat_dtd::parse_dtd;
+    use xpsat_xpath::parse_path;
+
+    fn solver() -> Solver {
+        Solver::default()
+    }
+
+    #[test]
+    fn dispatch_picks_the_expected_engines() {
+        let dtd = parse_dtd("r -> a*; a -> b | c; b -> #; c -> #;").unwrap();
+        let cases = [
+            ("a/b", EngineKind::Downward),
+            ("a[b]", EngineKind::Positive),
+            ("a[not(b)]", EngineKind::NegationFixpoint),
+        ];
+        for (query_text, expected_engine) in cases {
+            let decision = solver().decide(&dtd, &parse_path(query_text).unwrap());
+            assert_eq!(decision.engine, expected_engine, "query {query_text}");
+            assert!(decision.complete);
+            if let Satisfiability::Satisfiable(doc) = &decision.result {
+                verify_witness(doc, &dtd, &parse_path(query_text).unwrap()).unwrap();
+            }
+        }
+        let sib = solver().decide(&dtd, &parse_path("a/>").unwrap());
+        assert_eq!(sib.engine, EngineKind::Sibling);
+    }
+
+    #[test]
+    fn disjunction_free_fast_path_answers_unsat() {
+        let dtd = parse_dtd("r -> book*; book -> title, author; title -> #; author -> #;").unwrap();
+        let decision = solver().decide(&dtd, &parse_path("book[price]").unwrap());
+        assert_eq!(decision.engine, EngineKind::DisjunctionFree);
+        assert!(matches!(decision.result, Satisfiability::Unsatisfiable));
+    }
+
+    #[test]
+    fn upward_queries_are_rewritten() {
+        let dtd = parse_dtd("r -> a; a -> b?; b -> #;").unwrap();
+        let decision = solver().decide(&dtd, &parse_path("a/b/..").unwrap());
+        assert_eq!(decision.engine, EngineKind::Rewritten);
+        assert!(matches!(decision.result, Satisfiability::Satisfiable(_)));
+        // Climbing above the root is unsatisfiable.
+        let above = solver().decide(&dtd, &parse_path("a/../..").unwrap());
+        assert!(matches!(above.result, Satisfiability::Unsatisfiable));
+    }
+
+    #[test]
+    fn nonrecursive_dtds_allow_recursion_elimination_with_negation_and_upward() {
+        let dtd = parse_dtd("r -> a; a -> b?; b -> #;").unwrap();
+        // descendant + negation + upward: handled by recursion elimination + enumeration
+        // (the DTD is nonrecursive and star-free, so the fallback is complete).
+        let q = parse_path("**[lab() = b]/..[not(lab() = r)]").unwrap();
+        let decision = solver().decide(&dtd, &q);
+        assert!(decision.result.is_definite());
+        if let Satisfiability::Satisfiable(doc) = &decision.result {
+            verify_witness(doc, &dtd, &q).unwrap();
+        }
+    }
+
+    #[test]
+    fn no_dtd_interface() {
+        let sat = solver().decide_without_dtd(&parse_path("a[b and c]/d").unwrap());
+        assert!(matches!(sat.result, Satisfiability::Satisfiable(_)));
+        let unsat = solver().decide_without_dtd(&parse_path(".[lab() = a and lab() = b]").unwrap());
+        assert!(matches!(unsat.result, Satisfiability::Unsatisfiable));
+    }
+}

@@ -1,0 +1,86 @@
+//! Helpers for turning the engines' abstract witnesses (chains of element types, chosen
+//! children words) into complete documents that conform to the DTD.
+
+use std::collections::BTreeSet;
+use xpsat_automata::{CoverDemand, Nfa};
+use xpsat_dtd::{Dtd, TreeGenerator};
+use xpsat_xmltree::{Document, NodeId};
+
+/// Build a conforming document containing a root-to-leaf chain of elements whose labels
+/// are `chain` (the root label is the DTD's root and is not part of `chain`).
+///
+/// Every node along the chain gets a children word that contains the next chain label
+/// (plus whatever siblings its content model forces); all other nodes are expanded
+/// minimally.  Returns `None` when some step of the chain cannot be realised — which
+/// cannot happen for chains produced by the reachability analyses.
+pub fn materialize_chain(dtd: &Dtd, generator: &TreeGenerator, chain: &[String]) -> Option<Document> {
+    let mut doc = Document::new(dtd.root());
+    let mut current = doc.root();
+    for label in chain {
+        let content = dtd.content(doc.label(current))?;
+        let nfa = Nfa::glushkov(content);
+        let demand = CoverDemand::none().require(label.clone(), 1);
+        let word = xpsat_automata::shortest_covering_word(&nfa, &demand)?;
+        let mut chain_child = None;
+        for sym in word {
+            let child = doc.add_child(current, sym.clone());
+            if chain_child.is_none() && &sym == label {
+                chain_child = Some(child);
+            }
+        }
+        // Expand the siblings of the chain child minimally; the chain child itself is
+        // expanded by the next iteration (or minimally at the end).
+        let children: Vec<NodeId> = doc.children(current).to_vec();
+        for child in children {
+            if Some(child) != chain_child {
+                generator.expand_minimal(&mut doc, child);
+            }
+        }
+        current = chain_child?;
+    }
+    generator.expand_minimal(&mut doc, current);
+    fill_missing_attributes(&mut doc, dtd);
+    Some(doc)
+}
+
+/// Give every node exactly the attributes its element type declares, filling missing
+/// ones with the placeholder value `"0"` and removing none (engines never add undeclared
+/// attributes).
+pub fn fill_missing_attributes(doc: &mut Document, dtd: &Dtd) {
+    let nodes = doc.all_nodes();
+    for node in nodes {
+        let declared: BTreeSet<String> = dtd.attributes(doc.label(node));
+        for attr in declared {
+            if doc.attr(node, &attr).is_none() {
+                doc.set_attr(node, attr, "0");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpsat_dtd::{parse_dtd, validate};
+
+    #[test]
+    fn chains_are_materialised_into_conforming_documents() {
+        let dtd = parse_dtd(
+            "r -> head, (a | b)*; a -> c, d; b -> #; c -> #; d -> #; head -> #; @c: id;",
+        )
+        .unwrap();
+        let gen = TreeGenerator::new(&dtd);
+        let doc = materialize_chain(&dtd, &gen, &["a".into(), "c".into()]).unwrap();
+        assert_eq!(validate(&doc, &dtd), Ok(()));
+        // The chain r/a/c exists.
+        let query = xpsat_xpath::parse_path("a/c").unwrap();
+        assert!(xpsat_xpath::eval::satisfies(&doc, &query));
+    }
+
+    #[test]
+    fn impossible_chains_are_rejected() {
+        let dtd = parse_dtd("r -> a; a -> #; b -> #;").unwrap();
+        let gen = TreeGenerator::new(&dtd);
+        assert!(materialize_chain(&dtd, &gen, &["b".into()]).is_none());
+    }
+}

@@ -1,0 +1,100 @@
+//! Classification of DTDs into the restricted classes of Section 6.
+//!
+//! The paper analyses satisfiability under four DTD regimes: general DTDs, nonrecursive
+//! DTDs, disjunction-free DTDs and fixed DTDs (plus the no-DTD case, handled by
+//! Proposition 3.1).  [`classify`] computes which regimes a concrete DTD falls into so
+//! that the solver façade can pick the cheapest complete engine.
+
+use crate::dtd::Dtd;
+use crate::graph::DtdGraph;
+
+/// Structural classification of a DTD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtdClass {
+    /// Does the DTD graph contain a cycle (Section 2.1)?
+    pub recursive: bool,
+    /// Are all content models free of disjunction (`+` in the paper's notation,
+    /// including the optional operator `?`)?
+    pub disjunction_free: bool,
+    /// Does any content model contain a Kleene star or plus?
+    pub has_star: bool,
+    /// Are all content models in the normal form of Section 2.1
+    /// (`ε | B1,…,Bn | B1+…+Bn | B*`)?
+    pub normalized: bool,
+    /// For nonrecursive DTDs, the maximum depth of any conforming document.
+    pub depth_bound: Option<usize>,
+}
+
+/// Classify a DTD.
+pub fn classify(dtd: &Dtd) -> DtdClass {
+    let graph = DtdGraph::new(dtd);
+    let recursive = graph.is_recursive();
+    let mut disjunction_free = true;
+    let mut has_star = false;
+    let mut normalized = true;
+    for (_, decl) in dtd.elements() {
+        if decl.content.has_disjunction() {
+            disjunction_free = false;
+        }
+        if decl.content.has_star() {
+            has_star = true;
+        }
+        if !decl.content.is_normalized() {
+            normalized = false;
+        }
+    }
+    DtdClass {
+        recursive,
+        disjunction_free,
+        has_star,
+        normalized,
+        depth_bound: graph.depth_bound(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_dtd;
+
+    #[test]
+    fn classify_examples_from_the_paper() {
+        // The 3SAT DTD of Example 2.1: normalized, nonrecursive, not disjunction-free.
+        let example_2_1 = parse_dtd(
+            "r -> x1, x2, x3; x1 -> t | f; x2 -> t | f; x3 -> t | f; t -> #; f -> #;",
+        )
+        .unwrap();
+        let class = classify(&example_2_1);
+        assert!(!class.recursive);
+        assert!(!class.disjunction_free);
+        assert!(class.normalized);
+        assert!(!class.has_star);
+        assert_eq!(class.depth_bound, Some(2));
+
+        // The two-register-machine DTD of Theorem 5.4: recursive and disjunctive.
+        let trm = parse_dtd(
+            "r -> c; c -> (c, r1, r2) | #; r1 -> x | #; r2 -> y | #; x -> x | #; y -> y | #;",
+        )
+        .unwrap();
+        let class = classify(&trm);
+        assert!(class.recursive);
+        assert!(!class.disjunction_free);
+        assert_eq!(class.depth_bound, None);
+
+        // The fixed DTD of Theorem 6.9(3): disjunction-free, recursive, starred.
+        let djfree = parse_dtd("r -> t*, f*; t -> t*, f*; f -> t*, f*;").unwrap();
+        let class = classify(&djfree);
+        assert!(class.recursive);
+        assert!(class.disjunction_free);
+        assert!(class.has_star);
+        assert!(!class.normalized);
+    }
+
+    #[test]
+    fn normal_form_detection() {
+        let normalized = parse_dtd("r -> a, b; a -> c | d; b -> e*; c -> #; d -> #; e -> #;").unwrap();
+        assert!(classify(&normalized).normalized);
+        let not_normalized = parse_dtd("r -> (a | b), c;").unwrap();
+        assert!(!classify(&not_normalized).normalized);
+    }
+}

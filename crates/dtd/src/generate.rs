@@ -1,0 +1,367 @@
+//! Generation of conforming documents: minimal expansions and random sampling.
+//!
+//! The satisfiability engines build *partial* witness trees (a spine of nodes the query
+//! needs) and then expand every node into a full conforming document; the constructions
+//! in the proofs of Theorems 4.1 and 4.4 do exactly this ("by using productions of the
+//! DTD, we expand the tree into a finite XML tree conforming to D").  [`TreeGenerator`]
+//! performs those expansions:
+//!
+//! * [`TreeGenerator::minimal_tree`] — a smallest-height conforming tree for a type;
+//! * [`TreeGenerator::attach_minimal`] — graft such a tree below an existing node;
+//! * [`TreeGenerator::random_tree`] — a random conforming document, used by the property
+//!   tests and benchmark workloads (depth- and width-bounded so recursion terminates).
+
+use crate::dtd::Dtd;
+use crate::graph::{minimal_heights, terminating_types};
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+use xpsat_automata::{CoverDemand, Nfa};
+use xpsat_xmltree::{Document, NodeId};
+
+/// A generator of conforming documents for one DTD.
+///
+/// Construction precomputes the Glushkov automata of all content models, the set of
+/// terminating types and the minimal derivation heights, so repeated expansions are
+/// cheap.
+#[derive(Debug, Clone)]
+pub struct TreeGenerator {
+    dtd: Dtd,
+    automata: BTreeMap<String, Nfa<String>>,
+    terminating: BTreeSet<String>,
+    heights: BTreeMap<String, usize>,
+}
+
+impl TreeGenerator {
+    /// Build a generator for a DTD.
+    pub fn new(dtd: &Dtd) -> TreeGenerator {
+        let automata = dtd
+            .elements()
+            .map(|(name, decl)| (name.clone(), Nfa::glushkov(&decl.content)))
+            .collect();
+        TreeGenerator {
+            dtd: dtd.clone(),
+            automata,
+            terminating: terminating_types(dtd),
+            heights: minimal_heights(dtd),
+        }
+    }
+
+    /// The DTD this generator expands against.
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// Is this element type terminating (does it derive any finite tree)?
+    pub fn is_terminating(&self, name: &str) -> bool {
+        self.terminating.contains(name)
+    }
+
+    /// A minimal-height conforming tree rooted at an element of type `label`.
+    /// Returns `None` when the type is not terminating (or not declared).
+    pub fn minimal_tree(&self, label: &str) -> Option<Document> {
+        if !self.terminating.contains(label) {
+            return None;
+        }
+        let mut doc = Document::new(label);
+        let root = doc.root();
+        self.expand_minimal(&mut doc, root);
+        Some(doc)
+    }
+
+    /// Graft a minimal conforming subtree of type `label` as the last child of `parent`.
+    /// Returns the new child's id, or `None` for non-terminating types.
+    pub fn attach_minimal(&self, doc: &mut Document, parent: NodeId, label: &str) -> Option<NodeId> {
+        if !self.terminating.contains(label) {
+            return None;
+        }
+        let child = doc.add_child(parent, label);
+        self.expand_minimal(doc, child);
+        Some(child)
+    }
+
+    /// Expand `node` (assumed childless) into a minimal conforming subtree, filling
+    /// declared attributes with the placeholder value `"0"`.
+    pub fn expand_minimal(&self, doc: &mut Document, node: NodeId) {
+        let label = doc.label(node).to_string();
+        self.fill_attributes(doc, node, &label);
+        let Some(nfa) = self.automata.get(&label) else { return };
+        let my_height = self.heights.get(&label).copied().unwrap_or(1);
+        // Choose the shortest children word over types of strictly smaller minimal
+        // height; such a word exists by the definition of minimal heights.
+        let allowed: BTreeSet<String> = self
+            .heights
+            .iter()
+            .filter(|(_, &h)| h < my_height)
+            .map(|(name, _)| name.clone())
+            .collect();
+        let demand = CoverDemand::none().restrict_to(allowed);
+        let word = xpsat_automata::shortest_covering_word(nfa, &demand)
+            .or_else(|| nfa.shortest_word())
+            .unwrap_or_default();
+        for child_label in word {
+            let child = doc.add_child(node, child_label);
+            self.expand_minimal(doc, child);
+        }
+    }
+
+    /// Expand `node` (assumed childless) with a children word satisfying `demand`, then
+    /// minimally expand every child.  Returns the ids of the children, or `None` when
+    /// the content model cannot satisfy the demand.
+    pub fn expand_with_demand(
+        &self,
+        doc: &mut Document,
+        node: NodeId,
+        demand: &CoverDemand<String>,
+    ) -> Option<Vec<NodeId>> {
+        let label = doc.label(node).to_string();
+        self.fill_attributes(doc, node, &label);
+        let nfa = self.automata.get(&label)?;
+        let word = xpsat_automata::shortest_covering_word(nfa, demand)?;
+        let mut children = Vec::with_capacity(word.len());
+        for child_label in word {
+            if !self.terminating.contains(&child_label) {
+                return None;
+            }
+            let child = doc.add_child(node, child_label);
+            children.push(child);
+        }
+        for &child in &children {
+            self.expand_minimal(doc, child);
+        }
+        Some(children)
+    }
+
+    /// A random conforming document.  Depth is limited by `max_depth` (beyond it the
+    /// expansion switches to minimal words); child-word sampling is bounded by
+    /// `max_word_len` repetitions through starred positions.
+    pub fn random_tree<R: Rng>(&self, rng: &mut R, max_depth: usize, max_word_len: usize) -> Document {
+        let mut doc = Document::new(self.dtd.root());
+        let root = doc.root();
+        self.expand_random(&mut doc, root, rng, max_depth, max_word_len);
+        doc
+    }
+
+    fn expand_random<R: Rng>(
+        &self,
+        doc: &mut Document,
+        node: NodeId,
+        rng: &mut R,
+        depth_budget: usize,
+        max_word_len: usize,
+    ) {
+        let label = doc.label(node).to_string();
+        if depth_budget == 0 {
+            self.expand_minimal(doc, node);
+            return;
+        }
+        self.fill_attributes(doc, node, &label);
+        let Some(nfa) = self.automata.get(&label) else { return };
+        let word = self.sample_word(nfa, rng, max_word_len);
+        for child_label in word {
+            let child = doc.add_child(node, child_label);
+            self.expand_random(doc, child, rng, depth_budget - 1, max_word_len);
+        }
+        // Randomise attribute values a little so data-value queries see variety.
+        let attrs: Vec<String> = self.dtd.attributes(&label).into_iter().collect();
+        for attr in attrs {
+            let value = format!("v{}", rng.gen_range(0..4));
+            doc.set_attr(node, attr, value);
+        }
+    }
+
+    /// Random walk over the Glushkov automaton, restricted to terminating symbols,
+    /// biased towards stopping once an accepting state is reached.  The walk only ever
+    /// visits states from which acceptance stays reachable through terminating symbols,
+    /// so the returned word is always in the (restricted) language.
+    fn sample_word<R: Rng>(&self, nfa: &Nfa<String>, rng: &mut R, max_len: usize) -> Vec<String> {
+        let good = good_states(nfa, &self.terminating);
+        if !good.contains(&nfa.start()) {
+            return Vec::new();
+        }
+        let mut word = Vec::new();
+        let mut state = nfa.start();
+        while word.len() < max_len {
+            if nfa.is_accepting(state) && rng.gen_bool(0.4) {
+                return word;
+            }
+            let options: Vec<(String, usize)> = nfa
+                .transitions_from(state)
+                .flat_map(|(sym, succs)| {
+                    succs
+                        .iter()
+                        .map(move |&s| (sym.clone(), s))
+                        .collect::<Vec<_>>()
+                })
+                .filter(|(sym, next)| self.terminating.contains(sym) && good.contains(next))
+                .collect();
+            if options.is_empty() {
+                break;
+            }
+            let (sym, next) = options[rng.gen_range(0..options.len())].clone();
+            word.push(sym);
+            state = next;
+        }
+        // Completion phase: append a shortest accepted suffix from the current state.
+        word.extend(shortest_suffix(nfa, state, &self.terminating, &good));
+        word
+    }
+
+    fn fill_attributes(&self, doc: &mut Document, node: NodeId, label: &str) {
+        for attr in self.dtd.attributes(label) {
+            if doc.attr(node, &attr).is_none() {
+                doc.set_attr(node, attr, "0");
+            }
+        }
+    }
+}
+
+/// States from which an accepting state is reachable using only terminating symbols.
+fn good_states(nfa: &Nfa<String>, terminating: &BTreeSet<String>) -> BTreeSet<usize> {
+    let mut good: BTreeSet<usize> = (0..nfa.num_states())
+        .filter(|&q| nfa.is_accepting(q))
+        .collect();
+    loop {
+        let mut changed = false;
+        for q in 0..nfa.num_states() {
+            if good.contains(&q) {
+                continue;
+            }
+            let reaches = nfa.transitions_from(q).any(|(sym, succs)| {
+                terminating.contains(sym) && succs.iter().any(|s| good.contains(s))
+            });
+            if reaches {
+                good.insert(q);
+                changed = true;
+            }
+        }
+        if !changed {
+            return good;
+        }
+    }
+}
+
+/// A shortest word leading from `state` to acceptance using only terminating symbols.
+fn shortest_suffix(
+    nfa: &Nfa<String>,
+    state: usize,
+    terminating: &BTreeSet<String>,
+    good: &BTreeSet<usize>,
+) -> Vec<String> {
+    use std::collections::VecDeque;
+    if nfa.is_accepting(state) {
+        return Vec::new();
+    }
+    let mut pred: BTreeMap<usize, (usize, String)> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(state);
+    let mut goal = None;
+    'search: while let Some(q) = queue.pop_front() {
+        for (sym, succs) in nfa.transitions_from(q) {
+            if !terminating.contains(sym) {
+                continue;
+            }
+            for &next in succs {
+                if next != state && !pred.contains_key(&next) && good.contains(&next) {
+                    pred.insert(next, (q, sym.clone()));
+                    if nfa.is_accepting(next) {
+                        goal = Some(next);
+                        break 'search;
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    let Some(mut cur) = goal else { return Vec::new() };
+    let mut suffix = Vec::new();
+    while cur != state {
+        let (prev, sym) = pred[&cur].clone();
+        suffix.push(sym);
+        cur = prev;
+    }
+    suffix.reverse();
+    suffix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_dtd;
+    use crate::validate::validate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bookstore() -> Dtd {
+        parse_dtd(
+            "root store; store -> book*; book -> title, author+, price?;\n\
+             title -> #; author -> #; price -> #; @book: isbn;",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn minimal_tree_conforms() {
+        let dtd = bookstore();
+        let gen = TreeGenerator::new(&dtd);
+        let doc = gen.minimal_tree("store").unwrap();
+        assert_eq!(validate(&doc, &dtd), Ok(()));
+        // store -> book* : the minimal tree is just the root.
+        assert_eq!(doc.len(), 1);
+
+        let book_tree = gen.minimal_tree("book").unwrap();
+        // book needs title and at least one author.
+        assert_eq!(book_tree.len(), 3);
+    }
+
+    #[test]
+    fn recursive_dtd_minimal_trees_terminate() {
+        let dtd = parse_dtd("r -> c; c -> (c, x) | #; x -> #;").unwrap();
+        let gen = TreeGenerator::new(&dtd);
+        let doc = gen.minimal_tree("r").unwrap();
+        assert_eq!(validate(&doc, &dtd), Ok(()));
+        assert!(doc.len() <= 3);
+    }
+
+    #[test]
+    fn nonterminating_types_are_rejected() {
+        let dtd = parse_dtd("r -> a | b; a -> #; b -> b;").unwrap();
+        let gen = TreeGenerator::new(&dtd);
+        assert!(gen.minimal_tree("b").is_none());
+        assert!(gen.minimal_tree("r").is_some());
+        assert!(!gen.is_terminating("b"));
+    }
+
+    #[test]
+    fn expansion_with_demand_covers_required_children() {
+        let dtd = bookstore();
+        let gen = TreeGenerator::new(&dtd);
+        let mut doc = Document::new("store");
+        let root = doc.root();
+        let demand = CoverDemand::none().require("book".to_string(), 3);
+        let children = gen.expand_with_demand(&mut doc, root, &demand).unwrap();
+        assert_eq!(children.len(), 3);
+        assert_eq!(validate(&doc, &dtd), Ok(()));
+    }
+
+    #[test]
+    fn random_trees_conform() {
+        let dtd = bookstore();
+        let gen = TreeGenerator::new(&dtd);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..25 {
+            let doc = gen.random_tree(&mut rng, 4, 5);
+            assert_eq!(validate(&doc, &dtd), Ok(()), "doc: {doc}");
+        }
+    }
+
+    #[test]
+    fn random_trees_conform_for_recursive_dtds() {
+        let dtd = parse_dtd("r -> c; c -> (c, r1, r2) | #; r1 -> x | #; r2 -> y | #; x -> x | #; y -> y | #;").unwrap();
+        let gen = TreeGenerator::new(&dtd);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..25 {
+            let doc = gen.random_tree(&mut rng, 5, 4);
+            assert_eq!(validate(&doc, &dtd), Ok(()), "doc: {doc}");
+        }
+    }
+}

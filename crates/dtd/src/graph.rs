@@ -1,0 +1,262 @@
+//! The DTD graph and the structural analyses built on it.
+//!
+//! The DTD graph `G_D` has the element types as vertices and an edge `(A, B)` whenever
+//! `B` occurs in `P(A)` (Section 2.1 / proof of Theorem 4.1).  On top of it we compute:
+//!
+//! * recursion (cycle) detection — a DTD is *recursive* iff `G_D` has a cycle;
+//! * reachability between element types — the `reach(↓*, A)` sets of Theorem 4.1;
+//! * *terminating* types — types that derive at least one finite tree; the paper assumes
+//!   all types terminating and notes the check reduces to CFG emptiness;
+//! * minimal derivation heights and, for nonrecursive DTDs, the depth bound `|D|` used
+//!   by Proposition 6.1.
+
+use crate::dtd::Dtd;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The dependency graph of a DTD together with cached analyses.
+#[derive(Debug, Clone)]
+pub struct DtdGraph {
+    edges: BTreeMap<String, BTreeSet<String>>,
+    root: String,
+}
+
+impl DtdGraph {
+    /// Build the graph of a DTD.
+    pub fn new(dtd: &Dtd) -> DtdGraph {
+        let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (name, decl) in dtd.elements() {
+            let targets: BTreeSet<String> = decl.content.symbols().into_iter().collect();
+            edges.insert(name.clone(), targets);
+        }
+        DtdGraph {
+            edges,
+            root: dtd.root().to_string(),
+        }
+    }
+
+    /// The element types `B` with an edge `A → B` (i.e. `B` occurs in `P(A)`).
+    pub fn successors(&self, name: &str) -> BTreeSet<String> {
+        self.edges.get(name).cloned().unwrap_or_default()
+    }
+
+    /// All element types reachable from `from` by one or more edges (proper descendants
+    /// in the type graph).
+    pub fn reachable_from(&self, from: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut queue: VecDeque<String> = self.successors(from).into_iter().collect();
+        while let Some(t) = queue.pop_front() {
+            if seen.insert(t.clone()) {
+                queue.extend(self.successors(&t));
+            }
+        }
+        seen
+    }
+
+    /// All element types reachable from the root (including the root itself).
+    pub fn reachable_from_root(&self) -> BTreeSet<String> {
+        let mut out = self.reachable_from(&self.root);
+        out.insert(self.root.clone());
+        out
+    }
+
+    /// Is the DTD recursive, i.e. does the graph contain a cycle?
+    pub fn is_recursive(&self) -> bool {
+        // A cycle exists iff some type is reachable from itself.
+        self.edges
+            .keys()
+            .any(|name| self.reachable_from(name).contains(name))
+    }
+
+    /// The length of the longest simple path from the root, for nonrecursive DTDs.
+    ///
+    /// Documents of a nonrecursive DTD have depth at most this bound; `None` when the
+    /// DTD is recursive (no bound exists).
+    pub fn depth_bound(&self) -> Option<usize> {
+        if self.is_recursive() {
+            return None;
+        }
+        // Longest path in a DAG by memoised DFS.
+        fn longest(
+            graph: &DtdGraph,
+            node: &str,
+            memo: &mut BTreeMap<String, usize>,
+        ) -> usize {
+            if let Some(&d) = memo.get(node) {
+                return d;
+            }
+            let best = graph
+                .successors(node)
+                .iter()
+                .map(|s| 1 + longest(graph, s, memo))
+                .max()
+                .unwrap_or(0);
+            memo.insert(node.to_string(), best);
+            best
+        }
+        let mut memo = BTreeMap::new();
+        Some(longest(self, &self.root, &mut memo))
+    }
+}
+
+/// The set of *terminating* element types of a DTD: types `A` for which some finite tree
+/// rooted at an `A` element conforms to the DTD.
+///
+/// Computed as a least fixpoint: `A` is terminating as soon as `L(P(A))` contains a word
+/// all of whose symbols are already known to be terminating.  This is the reduction to
+/// context-free-grammar emptiness mentioned in Section 2.1.
+pub fn terminating_types(dtd: &Dtd) -> BTreeSet<String> {
+    let mut terminating: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for (name, decl) in dtd.elements() {
+            if terminating.contains(name) {
+                continue;
+            }
+            let restricted = decl.content.restrict(&|s| terminating.contains(s));
+            if !restricted.is_empty_language() {
+                terminating.insert(name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return terminating;
+        }
+    }
+}
+
+/// Minimal achievable subtree height per terminating element type: a leaf-only expansion
+/// has height 1.  Used by the tree generator to steer expansions towards termination.
+pub fn minimal_heights(dtd: &Dtd) -> BTreeMap<String, usize> {
+    let mut heights: BTreeMap<String, usize> = BTreeMap::new();
+    loop {
+        let mut changed = false;
+        for (name, decl) in dtd.elements() {
+            if heights.contains_key(name) {
+                continue;
+            }
+            // The type becomes rankable once its content model has a word over
+            // already-ranked types; its minimal height is then 1 + the smallest bound h
+            // such that the content model restricted to types of height ≤ h is nonempty
+            // (0 when the content model is nullable).
+            let restricted = decl.content.restrict(&|s| heights.contains_key(s));
+            if !restricted.is_empty_language() {
+                let children_bound = if restricted.nullable() {
+                    0
+                } else {
+                    let mut candidates: Vec<usize> = decl
+                        .content
+                        .symbols()
+                        .iter()
+                        .filter_map(|s| heights.get(s))
+                        .copied()
+                        .collect();
+                    candidates.sort_unstable();
+                    candidates.dedup();
+                    candidates
+                        .into_iter()
+                        .find(|&h| {
+                            !decl
+                                .content
+                                .restrict(&|s| heights.get(s).is_some_and(|&hs| hs <= h))
+                                .is_empty_language()
+                        })
+                        .unwrap_or(0)
+                };
+                heights.insert(name.clone(), 1 + children_bound);
+                changed = true;
+            }
+        }
+        if !changed {
+            return heights;
+        }
+    }
+}
+
+/// Remove non-terminating element types from a DTD: their occurrences are erased from
+/// every content model (replaced by the empty language), and the types are dropped.
+///
+/// The paper assumes all element types are terminating "to simplify the discussion";
+/// this function enforces that assumption.  Returns `None` when the root itself is
+/// non-terminating (the DTD then has no conforming document at all).
+pub fn prune_nonterminating(dtd: &Dtd) -> Option<Dtd> {
+    let terminating = terminating_types(dtd);
+    if !terminating.contains(dtd.root()) {
+        return None;
+    }
+    let mut pruned = Dtd::new(dtd.root().to_string());
+    for (name, decl) in dtd.elements() {
+        if !terminating.contains(name) {
+            continue;
+        }
+        let content = decl.content.restrict(&|s| terminating.contains(s));
+        pruned.define(name.clone(), content);
+        pruned.add_attributes(name.clone(), decl.attributes.iter().cloned());
+    }
+    Some(pruned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_dtd;
+
+    #[test]
+    fn recursion_detection() {
+        let recursive = parse_dtd("r -> c; c -> (c, x)?; x -> #;").unwrap();
+        assert!(DtdGraph::new(&recursive).is_recursive());
+        let flat = parse_dtd("r -> a, b; a -> c; b -> #; c -> #;").unwrap();
+        let graph = DtdGraph::new(&flat);
+        assert!(!graph.is_recursive());
+        assert_eq!(graph.depth_bound(), Some(2));
+    }
+
+    #[test]
+    fn reachability() {
+        let dtd = parse_dtd("r -> a; a -> b*; b -> #; z -> a;").unwrap();
+        let graph = DtdGraph::new(&dtd);
+        let from_root = graph.reachable_from_root();
+        assert!(from_root.contains("a") && from_root.contains("b"));
+        assert!(!from_root.contains("z"));
+        assert_eq!(graph.successors("a").into_iter().collect::<Vec<_>>(), vec!["b"]);
+    }
+
+    #[test]
+    fn terminating_analysis() {
+        // b is non-terminating: it always requires another b.
+        let dtd = parse_dtd("r -> a | b; a -> #; b -> b;").unwrap();
+        let term = terminating_types(&dtd);
+        assert!(term.contains("r") && term.contains("a"));
+        assert!(!term.contains("b"));
+
+        let pruned = prune_nonterminating(&dtd).unwrap();
+        assert!(!pruned.contains("b"));
+        // r's content is now effectively just `a`.
+        assert!(pruned.content("r").unwrap().matches(&["a".into()]));
+        assert!(!pruned.content("r").unwrap().matches(&["b".into()]));
+    }
+
+    #[test]
+    fn nonterminating_root_yields_none() {
+        let dtd = parse_dtd("r -> r;").unwrap();
+        assert!(prune_nonterminating(&dtd).is_none());
+    }
+
+    #[test]
+    fn minimal_heights_reflect_structure() {
+        let dtd = parse_dtd("r -> a; a -> b; b -> #;").unwrap();
+        let heights = minimal_heights(&dtd);
+        assert_eq!(heights["b"], 1);
+        assert_eq!(heights["a"], 2);
+        assert_eq!(heights["r"], 3);
+    }
+
+    #[test]
+    fn recursive_dtd_with_escape_has_finite_heights() {
+        let dtd = parse_dtd("r -> c; c -> (c, x) | #; x -> #;").unwrap();
+        let heights = minimal_heights(&dtd);
+        assert_eq!(heights["c"], 1);
+        assert_eq!(heights["r"], 2);
+        assert!(DtdGraph::new(&dtd).is_recursive());
+        assert_eq!(DtdGraph::new(&dtd).depth_bound(), None);
+    }
+}

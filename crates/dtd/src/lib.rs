@@ -1,0 +1,37 @@
+//! Document Type Definitions as defined in Section 2.1 of the paper.
+//!
+//! A DTD is `(Ele, Att, P, R, r)`: element types, attribute names, a content model
+//! (regular expression over `Ele`) per element type, an attribute set per element type,
+//! and a root type.  This crate provides:
+//!
+//! * the [`Dtd`] data type with a builder-style API and a compact textual syntax;
+//! * structural analysis — the DTD graph, recursion and disjunction-freeness tests,
+//!   terminating-type analysis (the `O(|D|)` emptiness check the paper assumes), depth
+//!   bounds for nonrecursive DTDs;
+//! * the normalisation `N(D)` of Proposition 3.3;
+//! * validation of documents against DTDs (via Glushkov automata of the content models);
+//! * generation of minimal and random conforming trees, which the satisfiability
+//!   engines use to expand partial witnesses into complete documents;
+//! * the "universal" DTD of Proposition 3.1 used to reduce DTD-free satisfiability to
+//!   the DTD-aware problem.
+
+pub mod classify;
+pub mod dtd;
+pub mod generate;
+pub mod graph;
+pub mod normalize;
+pub mod parse;
+pub mod universal;
+pub mod validate;
+
+pub use classify::{classify, DtdClass};
+pub use dtd::{Dtd, ElementDecl};
+pub use generate::TreeGenerator;
+pub use graph::DtdGraph;
+pub use normalize::{normalize, Normalization};
+pub use parse::parse_dtd;
+pub use universal::universal_dtd;
+pub use validate::{validate, ValidationError};
+
+/// Content models are regular expressions over element-type names.
+pub type ContentModel = xpsat_automata::Regex<String>;

@@ -1,0 +1,341 @@
+//! Textual syntax for DTDs.
+//!
+//! The syntax is a compact equivalent of `<!ELEMENT …>` / `<!ATTLIST …>` declarations:
+//!
+//! ```text
+//! root store;
+//! store -> (book | magazine)*;
+//! book  -> title, author+, price?;
+//! title -> #;                       // '#' is the empty content model ε
+//! magazine -> #;
+//! author -> #; price -> #;
+//! @book: isbn, year;                // attribute declarations
+//! ```
+//!
+//! * declarations are separated by `;`, `//` starts a line comment;
+//! * the first `name -> …` declaration is the root unless an explicit `root name;` is
+//!   given;
+//! * content models use `,` (concatenation), `|` (disjunction), `*`, `+`, `?`, `#`
+//!   (epsilon) and parentheses.
+
+use crate::dtd::Dtd;
+use crate::ContentModel;
+use std::fmt;
+use xpsat_automata::Regex;
+
+/// Error raised by [`parse_dtd`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtdParseError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for DtdParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DTD parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DtdParseError {}
+
+/// Parse the textual DTD syntax described in the module documentation.
+pub fn parse_dtd(input: &str) -> Result<Dtd, DtdParseError> {
+    // Strip comments, then split into `;`-separated declarations.
+    let mut cleaned = String::new();
+    for line in input.lines() {
+        let line = match line.find("//") {
+            Some(idx) => &line[..idx],
+            None => line,
+        };
+        cleaned.push_str(line);
+        cleaned.push('\n');
+    }
+
+    let mut root: Option<String> = None;
+    let mut decls: Vec<(String, ContentModel)> = Vec::new();
+    let mut attrs: Vec<(String, Vec<String>)> = Vec::new();
+
+    for raw in cleaned.split(';') {
+        let decl = raw.trim();
+        if decl.is_empty() {
+            continue;
+        }
+        if let Some(rest) = decl.strip_prefix("root ") {
+            root = Some(rest.trim().to_string());
+        } else if let Some(rest) = decl.strip_prefix('@') {
+            let (name, list) = rest.split_once(':').ok_or_else(|| DtdParseError {
+                message: format!("attribute declaration without ':' in `{decl}`"),
+            })?;
+            let names = list
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            attrs.push((name.trim().to_string(), names));
+        } else {
+            let (name, body) = decl.split_once("->").ok_or_else(|| DtdParseError {
+                message: format!("element declaration without '->' in `{decl}`"),
+            })?;
+            let content = parse_content(body.trim())?;
+            decls.push((name.trim().to_string(), content));
+        }
+    }
+
+    let root = root
+        .or_else(|| decls.first().map(|(n, _)| n.clone()))
+        .ok_or_else(|| DtdParseError {
+            message: "empty DTD: no declarations found".into(),
+        })?;
+
+    let mut dtd = Dtd::new(root);
+    for (name, content) in decls {
+        dtd.define(name, content);
+    }
+    for (name, list) in attrs {
+        if !dtd.contains(&name) {
+            return Err(DtdParseError {
+                message: format!("attributes declared for unknown element type `{name}`"),
+            });
+        }
+        dtd.add_attributes(name, list);
+    }
+    // Auto-declare referenced-but-undefined element types with empty content, mirroring
+    // the convention used throughout the paper's examples (leaf types are often left
+    // implicit).
+    for missing in dtd.undeclared_references() {
+        dtd.declare_empty(missing);
+    }
+    Ok(dtd)
+}
+
+/// Parse a content-model expression.
+pub fn parse_content(input: &str) -> Result<ContentModel, DtdParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = ContentParser { tokens, pos: 0 };
+    let re = p.alternation()?;
+    if p.pos != p.tokens.len() {
+        return Err(DtdParseError {
+            message: format!("trailing tokens in content model `{input}`"),
+        });
+    }
+    Ok(re)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Name(String),
+    Comma,
+    Pipe,
+    Star,
+    Plus,
+    Question,
+    Hash,
+    LParen,
+    RParen,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>, DtdParseError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            b'|' => {
+                out.push(Tok::Pipe);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            b'?' => {
+                out.push(Tok::Question);
+                i += 1;
+            }
+            b'#' => {
+                out.push(Tok::Hash);
+                i += 1;
+            }
+            b'(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'-'
+                        || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                let name = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                if name == "EMPTY" {
+                    out.push(Tok::Hash);
+                } else {
+                    out.push(Tok::Name(name));
+                }
+            }
+            c => {
+                return Err(DtdParseError {
+                    message: format!("unexpected character `{}` in content model", c as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct ContentParser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl ContentParser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Result<ContentModel, DtdParseError> {
+        let mut parts = vec![self.concatenation()?];
+        while self.eat(&Tok::Pipe) {
+            parts.push(self.concatenation()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Regex::Alt(parts)
+        })
+    }
+
+    fn concatenation(&mut self) -> Result<ContentModel, DtdParseError> {
+        let mut parts = vec![self.repetition()?];
+        while self.eat(&Tok::Comma) {
+            parts.push(self.repetition()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Regex::Concat(parts)
+        })
+    }
+
+    fn repetition(&mut self) -> Result<ContentModel, DtdParseError> {
+        let mut base = self.atom()?;
+        loop {
+            if self.eat(&Tok::Star) {
+                base = Regex::Star(Box::new(base));
+            } else if self.eat(&Tok::Plus) {
+                base = Regex::Plus(Box::new(base));
+            } else if self.eat(&Tok::Question) {
+                base = Regex::Opt(Box::new(base));
+            } else {
+                break;
+            }
+        }
+        Ok(base)
+    }
+
+    fn atom(&mut self) -> Result<ContentModel, DtdParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Name(n)) => {
+                self.pos += 1;
+                Ok(Regex::Sym(n))
+            }
+            Some(Tok::Hash) => {
+                self.pos += 1;
+                Ok(Regex::Epsilon)
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let inner = self.alternation()?;
+                if !self.eat(&Tok::RParen) {
+                    return Err(DtdParseError {
+                        message: "missing closing parenthesis in content model".into(),
+                    });
+                }
+                Ok(inner)
+            }
+            other => Err(DtdParseError {
+                message: format!("expected an element type, '#', or '(': found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bookstore_dtd() {
+        let dtd = parse_dtd(
+            "root store;\n\
+             store -> (book | magazine)*;\n\
+             book -> title, author+, price?;\n\
+             title -> #; author -> #; price -> #; magazine -> #;\n\
+             @book: isbn, year;",
+        )
+        .unwrap();
+        assert_eq!(dtd.root(), "store");
+        assert!(dtd.contains("book"));
+        assert_eq!(dtd.attributes("book").len(), 2);
+        let content = dtd.content("book").unwrap();
+        assert!(content.matches(&["title".into(), "author".into()]));
+        assert!(content.matches(&["title".into(), "author".into(), "author".into(), "price".into()]));
+        assert!(!content.matches(&["title".into()]));
+    }
+
+    #[test]
+    fn first_declaration_is_root_by_default() {
+        let dtd = parse_dtd("r -> a, b; a -> #; b -> #;").unwrap();
+        assert_eq!(dtd.root(), "r");
+    }
+
+    #[test]
+    fn referenced_types_are_auto_declared() {
+        let dtd = parse_dtd("r -> a*;").unwrap();
+        assert!(dtd.contains("a"));
+        assert_eq!(dtd.content("a"), Some(&Regex::Epsilon));
+    }
+
+    #[test]
+    fn comments_and_empty_keyword() {
+        let dtd = parse_dtd(
+            "// the classic 3SAT skeleton\nr -> x1, x2; x1 -> t | f; x2 -> t | f; t -> EMPTY; f -> EMPTY;",
+        )
+        .unwrap();
+        assert!(dtd.content("t").unwrap().nullable());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_dtd("").is_err());
+        assert!(parse_dtd("r >> a;").is_err());
+        assert!(parse_dtd("r -> (a;").is_err());
+        assert!(parse_dtd("r -> a; @ghost: x;").is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! The "universal" DTD `D_p` of Proposition 3.1.
+//!
+//! Satisfiability in the *absence* of DTDs reduces to satisfiability under a DTD of the
+//! form `D_p`: its element types are the labels mentioned in the query plus one fresh
+//! label `X`, every production is `A → (A1 + … + An)*` over all element types, every
+//! type carries every mentioned attribute, and the root ranges over the element types.
+//! A query is satisfiable by *some* tree iff it is satisfiable under one of the |Ele_p|
+//! many choices of root (the reduction in `xpsat-core::transform::no_dtd` tries them
+//! all).
+
+use crate::dtd::Dtd;
+use std::collections::BTreeSet;
+use xpsat_automata::Regex;
+
+/// The label used for "any element type not mentioned in the query".
+pub const EXTRA_LABEL: &str = "_any";
+
+/// Build the universal DTD over the given labels and attributes, rooted at `root`.
+///
+/// Every element type may have arbitrarily many children of every type, and carries all
+/// of the given attributes.  `root` is added to the label set if missing; the fresh
+/// label [`EXTRA_LABEL`] is always added.
+pub fn universal_dtd<L, A>(labels: L, attributes: A, root: &str) -> Dtd
+where
+    L: IntoIterator<Item = String>,
+    A: IntoIterator<Item = String>,
+{
+    let mut all_labels: BTreeSet<String> = labels.into_iter().collect();
+    all_labels.insert(root.to_string());
+    all_labels.insert(EXTRA_LABEL.to_string());
+    let attributes: BTreeSet<String> = attributes.into_iter().collect();
+
+    let any_child = Regex::star(Regex::alt(
+        all_labels.iter().cloned().map(Regex::Sym).collect(),
+    ));
+
+    let mut dtd = Dtd::new(root);
+    for label in &all_labels {
+        dtd.define(label.clone(), any_child.clone());
+        dtd.add_attributes(label.clone(), attributes.iter().cloned());
+    }
+    dtd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use xpsat_xmltree::Document;
+
+    #[test]
+    fn universal_dtd_accepts_arbitrary_trees_over_its_labels() {
+        let dtd = universal_dtd(
+            ["a".to_string(), "b".to_string()],
+            ["id".to_string()],
+            "a",
+        );
+        assert!(dtd.contains(EXTRA_LABEL));
+
+        let mut doc = Document::new("a");
+        let b = doc.add_child(doc.root(), "b");
+        let any = doc.add_child(b, EXTRA_LABEL);
+        doc.add_child(any, "a");
+        for node in doc.all_nodes() {
+            doc.set_attr(node, "id", "x");
+        }
+        assert_eq!(validate(&doc, &dtd), Ok(()));
+    }
+
+    #[test]
+    fn wrong_root_is_still_rejected() {
+        let dtd = universal_dtd(["a".to_string()], [], "a");
+        let doc = Document::new(EXTRA_LABEL);
+        assert!(validate(&doc, &dtd).is_err());
+    }
+}

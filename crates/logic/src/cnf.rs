@@ -1,0 +1,176 @@
+//! Propositional CNF formulas (3SAT instances).
+
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A propositional variable, numbered from 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal {
+    /// The underlying variable.
+    pub var: Var,
+    /// `true` when the literal is the *negation* of the variable.
+    pub negated: bool,
+}
+
+impl Literal {
+    /// The positive literal of a variable.
+    pub fn pos(var: Var) -> Literal {
+        Literal { var, negated: false }
+    }
+
+    /// The negative literal of a variable.
+    pub fn neg(var: Var) -> Literal {
+        Literal { var, negated: true }
+    }
+
+    /// The complementary literal.
+    pub fn complement(self) -> Literal {
+        Literal {
+            var: self.var,
+            negated: !self.negated,
+        }
+    }
+
+    /// Truth value of the literal under an assignment of its variable.
+    pub fn eval(self, value: bool) -> bool {
+        value != self.negated
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "¬x{}", self.var.0)
+        } else {
+            write!(f, "x{}", self.var.0)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause(pub Vec<Literal>);
+
+/// A CNF formula: a conjunction of clauses.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CnfFormula {
+    /// The clauses of the formula.
+    pub clauses: Vec<Clause>,
+}
+
+/// A (total or partial) truth assignment.
+pub type Assignment = BTreeMap<Var, bool>;
+
+impl CnfFormula {
+    /// Build a formula from clause literal lists.
+    pub fn from_clauses<I, C>(clauses: I) -> CnfFormula
+    where
+        I: IntoIterator<Item = C>,
+        C: IntoIterator<Item = Literal>,
+    {
+        CnfFormula {
+            clauses: clauses
+                .into_iter()
+                .map(|c| Clause(c.into_iter().collect()))
+                .collect(),
+        }
+    }
+
+    /// The variables occurring in the formula, sorted.
+    pub fn variables(&self) -> Vec<Var> {
+        let mut vars: Vec<Var> = self
+            .clauses
+            .iter()
+            .flat_map(|c| c.0.iter().map(|l| l.var))
+            .collect();
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    /// The number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Evaluate under a total assignment (missing variables default to `false`).
+    pub fn eval(&self, assignment: &Assignment) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .0
+                .iter()
+                .any(|lit| lit.eval(*assignment.get(&lit.var).unwrap_or(&false)))
+        })
+    }
+
+    /// A uniformly random 3SAT instance with `num_vars` variables and `num_clauses`
+    /// clauses of exactly three (not necessarily distinct-variable) literals.
+    pub fn random_3sat<R: Rng>(rng: &mut R, num_vars: u32, num_clauses: usize) -> CnfFormula {
+        assert!(num_vars >= 1);
+        let clauses = (0..num_clauses).map(|_| {
+            (0..3)
+                .map(|_| {
+                    let var = Var(rng.gen_range(1..=num_vars));
+                    if rng.gen_bool(0.5) {
+                        Literal::pos(var)
+                    } else {
+                        Literal::neg(var)
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+        CnfFormula::from_clauses(clauses)
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: Vec<String> = self
+            .clauses
+            .iter()
+            .map(|c| {
+                let lits: Vec<String> = c.0.iter().map(|l| l.to_string()).collect();
+                format!("({})", lits.join(" ∨ "))
+            })
+            .collect();
+        write!(f, "{}", rendered.join(" ∧ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn evaluation() {
+        // (x1 ∨ ¬x2) ∧ (x2 ∨ x3)
+        let f = CnfFormula::from_clauses(vec![
+            vec![Literal::pos(Var(1)), Literal::neg(Var(2))],
+            vec![Literal::pos(Var(2)), Literal::pos(Var(3))],
+        ]);
+        let mut a = Assignment::new();
+        a.insert(Var(1), true);
+        a.insert(Var(2), false);
+        a.insert(Var(3), true);
+        assert!(f.eval(&a));
+        a.insert(Var(3), false);
+        assert!(!f.eval(&a));
+        assert_eq!(f.variables(), vec![Var(1), Var(2), Var(3)]);
+    }
+
+    #[test]
+    fn random_instances_have_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = CnfFormula::random_3sat(&mut rng, 5, 12);
+        assert_eq!(f.num_clauses(), 12);
+        assert!(f.clauses.iter().all(|c| c.0.len() == 3));
+        assert!(f.variables().iter().all(|v| v.0 >= 1 && v.0 <= 5));
+    }
+}

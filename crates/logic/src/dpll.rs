@@ -1,0 +1,142 @@
+//! A complete DPLL satisfiability solver for CNF formulas.
+//!
+//! Used as the ground truth when testing the 3SAT reductions of Propositions 4.2/4.3,
+//! Theorems 6.6/6.9 and Proposition 7.2: a reduction is correct when the DPLL verdict on
+//! the source instance equals the XPath-satisfiability verdict on the encoded instance.
+
+use crate::cnf::{Assignment, CnfFormula, Literal, Var};
+
+/// Decide satisfiability; on success, return a satisfying assignment (total over the
+/// formula's variables).
+pub fn solve(formula: &CnfFormula) -> Option<Assignment> {
+    let mut assignment = Assignment::new();
+    let vars = formula.variables();
+    if dpll(formula, &mut assignment) {
+        // Complete the assignment for report purposes.
+        for v in vars {
+            assignment.entry(v).or_insert(false);
+        }
+        Some(assignment)
+    } else {
+        None
+    }
+}
+
+/// Is the formula satisfiable?
+pub fn satisfiable(formula: &CnfFormula) -> bool {
+    solve(formula).is_some()
+}
+
+fn dpll(formula: &CnfFormula, assignment: &mut Assignment) -> bool {
+    // Evaluate clauses under the current partial assignment.
+    let mut unassigned: Option<Var> = None;
+    loop {
+        let mut all_satisfied = true;
+        let mut unit: Option<Literal> = None;
+        for clause in &formula.clauses {
+            let mut clause_satisfied = false;
+            let mut free: Vec<Literal> = Vec::new();
+            for lit in &clause.0 {
+                match assignment.get(&lit.var) {
+                    Some(&value) => {
+                        if lit.eval(value) {
+                            clause_satisfied = true;
+                            break;
+                        }
+                    }
+                    None => free.push(*lit),
+                }
+            }
+            if clause_satisfied {
+                continue;
+            }
+            if free.is_empty() {
+                return false; // conflict
+            }
+            all_satisfied = false;
+            if free.len() == 1 {
+                unit = Some(free[0]);
+            }
+            if unassigned.is_none() {
+                unassigned = Some(free[0].var);
+            }
+        }
+        if all_satisfied {
+            return true;
+        }
+        match unit {
+            Some(lit) => {
+                assignment.insert(lit.var, !lit.negated);
+                unassigned = None;
+                // Re-run propagation.
+            }
+            None => break,
+        }
+    }
+
+    let var = match unassigned {
+        Some(v) => v,
+        None => return true,
+    };
+    for value in [true, false] {
+        assignment.insert(var, value);
+        let snapshot = assignment.clone();
+        if dpll(formula, assignment) {
+            return true;
+        }
+        *assignment = snapshot;
+        assignment.remove(&var);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{CnfFormula, Literal, Var};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_force(formula: &CnfFormula) -> bool {
+        let vars = formula.variables();
+        let n = vars.len();
+        (0..(1u64 << n)).any(|mask| {
+            let assignment: Assignment = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, mask & (1 << i) != 0))
+                .collect();
+            formula.eval(&assignment)
+        })
+    }
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        let sat = CnfFormula::from_clauses(vec![
+            vec![Literal::pos(Var(1)), Literal::pos(Var(2))],
+            vec![Literal::neg(Var(1))],
+        ]);
+        let model = solve(&sat).unwrap();
+        assert!(sat.eval(&model));
+
+        let unsat = CnfFormula::from_clauses(vec![
+            vec![Literal::pos(Var(1))],
+            vec![Literal::neg(Var(1))],
+        ]);
+        assert!(solve(&unsat).is_none());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let num_vars = rng.gen_range(1..=6);
+            let num_clauses = rng.gen_range(1..=12);
+            let f = CnfFormula::random_3sat(&mut rng, num_vars, num_clauses);
+            assert_eq!(satisfiable(&f), brute_force(&f), "formula {f}");
+            if let Some(model) = solve(&f) {
+                assert!(f.eval(&model), "returned model must satisfy {f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Reference implementations of the source problems used by the paper's lower-bound
+//! reductions.
+//!
+//! Every hardness proof in the paper encodes one of four problems into XPath
+//! satisfiability.  To *test* those encodings end-to-end we need independent solvers for
+//! the source problems; this crate provides them:
+//!
+//! * [`cnf`] / [`dpll`] — 3SAT instances and a complete DPLL solver
+//!   (Propositions 4.2/4.3, Theorems 6.6/6.9, Proposition 7.2);
+//! * [`qbf`] — quantified Boolean formulas (Q3SAT) with a complete evaluator
+//!   (Proposition 5.1, Theorem 6.7(1), Corollary 6.15(1), Proposition 7.3);
+//! * [`tiling`] — two-player corridor tiling games with a minimax solver
+//!   (Theorems 5.6 and 6.7(2)(3));
+//! * [`trm`] — two-register machines with an interpreter (Theorem 5.4).
+
+pub mod cnf;
+pub mod dpll;
+pub mod qbf;
+pub mod tiling;
+pub mod trm;
+
+pub use cnf::{Clause, CnfFormula, Literal, Var};
+pub use dpll::solve as dpll_solve;
+pub use qbf::{Qbf, Quantifier};
+pub use tiling::{CorridorTiling, Tile};
+pub use trm::{Instruction, Register, TwoRegisterMachine};

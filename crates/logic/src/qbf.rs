@@ -1,0 +1,150 @@
+//! Quantified Boolean formulas in prenex CNF (the Q3SAT problem of Proposition 5.1).
+//!
+//! `φ = Q1 x1 … Qm xm . E` where `E` is a CNF over `x1..xm`.  Validity is decided by the
+//! obvious complete recursion over the quantifier prefix — exponential in the number of
+//! variables, which is fine for the instance sizes used to validate the PSPACE-hardness
+//! reductions.
+
+use crate::cnf::{Assignment, CnfFormula, Var};
+use rand::Rng;
+use std::fmt;
+
+/// A quantifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// Universal (`∀`).
+    ForAll,
+    /// Existential (`∃`).
+    Exists,
+}
+
+/// A prenex-CNF quantified Boolean formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Qbf {
+    /// The quantifier prefix, outermost first.  Every variable of the matrix must occur
+    /// exactly once in the prefix.
+    pub prefix: Vec<(Quantifier, Var)>,
+    /// The quantifier-free CNF matrix.
+    pub matrix: CnfFormula,
+}
+
+impl Qbf {
+    /// Is the closed formula true?
+    pub fn is_valid(&self) -> bool {
+        let mut assignment = Assignment::new();
+        self.eval_prefix(0, &mut assignment)
+    }
+
+    fn eval_prefix(&self, index: usize, assignment: &mut Assignment) -> bool {
+        match self.prefix.get(index) {
+            None => self.matrix.eval(assignment),
+            Some(&(quant, var)) => {
+                let mut results = [false, false];
+                for (i, value) in [false, true].into_iter().enumerate() {
+                    assignment.insert(var, value);
+                    results[i] = self.eval_prefix(index + 1, assignment);
+                    assignment.remove(&var);
+                }
+                match quant {
+                    Quantifier::ForAll => results[0] && results[1],
+                    Quantifier::Exists => results[0] || results[1],
+                }
+            }
+        }
+    }
+
+    /// The number of quantified variables.
+    pub fn num_vars(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// A random Q3SAT instance: `num_vars` variables with random quantifiers and a
+    /// random 3CNF matrix of `num_clauses` clauses.
+    pub fn random<R: Rng>(rng: &mut R, num_vars: u32, num_clauses: usize) -> Qbf {
+        let prefix = (1..=num_vars)
+            .map(|i| {
+                let quant = if rng.gen_bool(0.5) {
+                    Quantifier::ForAll
+                } else {
+                    Quantifier::Exists
+                };
+                (quant, Var(i))
+            })
+            .collect();
+        Qbf {
+            prefix,
+            matrix: CnfFormula::random_3sat(rng, num_vars, num_clauses),
+        }
+    }
+}
+
+impl fmt::Display for Qbf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (quant, var) in &self.prefix {
+            match quant {
+                Quantifier::ForAll => write!(f, "∀x{} ", var.0)?,
+                Quantifier::Exists => write!(f, "∃x{} ", var.0)?,
+            }
+        }
+        write!(f, ". {}", self.matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Literal;
+    use crate::dpll;
+
+    #[test]
+    fn forall_exists_example() {
+        // ∀x1 ∃x2 . (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2)  — valid (choose x2 = ¬x1).
+        let qbf = Qbf {
+            prefix: vec![(Quantifier::ForAll, Var(1)), (Quantifier::Exists, Var(2))],
+            matrix: CnfFormula::from_clauses(vec![
+                vec![Literal::pos(Var(1)), Literal::pos(Var(2))],
+                vec![Literal::neg(Var(1)), Literal::neg(Var(2))],
+            ]),
+        };
+        assert!(qbf.is_valid());
+
+        // ∃x2 ∀x1 . same matrix — invalid (no single x2 works for both x1 values).
+        let swapped = Qbf {
+            prefix: vec![(Quantifier::Exists, Var(2)), (Quantifier::ForAll, Var(1))],
+            matrix: qbf.matrix.clone(),
+        };
+        assert!(!swapped.is_valid());
+    }
+
+    #[test]
+    fn purely_existential_qbf_matches_dpll() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let num_vars = rng.gen_range(1..=5);
+            let num_clauses = rng.gen_range(1..=10);
+            let matrix = CnfFormula::random_3sat(&mut rng, num_vars, num_clauses);
+            let qbf = Qbf {
+                prefix: (1..=num_vars).map(|i| (Quantifier::Exists, Var(i))).collect(),
+                matrix: matrix.clone(),
+            };
+            assert_eq!(qbf.is_valid(), dpll::satisfiable(&matrix), "matrix {matrix}");
+        }
+    }
+
+    #[test]
+    fn universal_closure_of_tautology() {
+        // ∀x1 . (x1 ∨ ¬x1) is valid; ∀x1 . (x1) is not.
+        let taut = Qbf {
+            prefix: vec![(Quantifier::ForAll, Var(1))],
+            matrix: CnfFormula::from_clauses(vec![vec![Literal::pos(Var(1)), Literal::neg(Var(1))]]),
+        };
+        assert!(taut.is_valid());
+        let not_taut = Qbf {
+            prefix: vec![(Quantifier::ForAll, Var(1))],
+            matrix: CnfFormula::from_clauses(vec![vec![Literal::pos(Var(1))]]),
+        };
+        assert!(!not_taut.is_valid());
+    }
+}

@@ -1,0 +1,197 @@
+//! Two-player corridor tiling games (TPG-CT), the EXPTIME-complete source problem of
+//! Theorems 5.6 and 6.7(2)(3).
+//!
+//! An instance is a tiling system `(X, H, V, t, b)` and a corridor width `n`.  Players I
+//! and II alternately place tiles row by row, left to right, respecting the horizontal
+//! and vertical adjacency relations; the top row is fixed to `t`.  Player II may stop
+//! the game at the end of a row, in which case the row must match the bottom vector `b`
+//! for Player I to win; a player unable to move loses.  The question is whether Player I
+//! has a winning strategy.
+//!
+//! The solver below is a straightforward minimax with memoisation on the game state
+//! (the last `n` tiles placed and the position in the row).  It is exponential — exactly
+//! what one expects for an EXPTIME-complete problem — and is only used on the tiny
+//! instances that validate the reductions.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// A tile, identified by its index into the tile set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tile(pub usize);
+
+/// A two-player corridor tiling instance.
+#[derive(Debug, Clone)]
+pub struct CorridorTiling {
+    /// Number of tiles in the tile set `X` (tiles are `Tile(0) .. Tile(num_tiles-1)`).
+    pub num_tiles: usize,
+    /// Horizontal adjacency: `(d, d')` allowed when `d'` is placed directly right of `d`.
+    pub horizontal: BTreeSet<(Tile, Tile)>,
+    /// Vertical adjacency: `(d, d')` allowed when `d'` is placed directly below `d`.
+    pub vertical: BTreeSet<(Tile, Tile)>,
+    /// The fixed top row `t` (length = corridor width `n`).
+    pub top: Vec<Tile>,
+    /// The fixed bottom row `b` (length = corridor width `n`).
+    pub bottom: Vec<Tile>,
+    /// A bound on the number of rows the players may lay before the game is declared
+    /// lost for Player I (the paper's game has no such bound; a finite bound keeps the
+    /// reference solver total and matches the bounded searches used in tests).
+    pub max_rows: usize,
+}
+
+impl CorridorTiling {
+    /// Corridor width `n`.
+    pub fn width(&self) -> usize {
+        self.top.len()
+    }
+
+    fn h_ok(&self, left: Tile, right: Tile) -> bool {
+        self.horizontal.contains(&(left, right))
+    }
+
+    fn v_ok(&self, above: Tile, below: Tile) -> bool {
+        self.vertical.contains(&(above, below))
+    }
+
+    /// The tiles that may legally be placed at the next position, given the previous row
+    /// and the current (partial) row.
+    fn legal_moves(&self, prev_row: &[Tile], current: &[Tile]) -> Vec<Tile> {
+        let col = current.len();
+        (0..self.num_tiles)
+            .map(Tile)
+            .filter(|&tile| {
+                let h = col == 0 || self.h_ok(current[col - 1], tile);
+                let v = self.v_ok(prev_row[col], tile);
+                h && v
+            })
+            .collect()
+    }
+
+    /// Does Player I have a winning strategy?
+    pub fn player_one_wins(&self) -> bool {
+        let n = self.width();
+        assert_eq!(self.bottom.len(), n, "top and bottom rows must have equal width");
+        let mut memo = BTreeMap::new();
+        self.wins(&self.top.clone(), &[], 0, &mut memo)
+    }
+
+    /// Minimax: `prev_row` is the last complete row, `current` the partial row being
+    /// built.  Player I moves at even move indices (within the whole game), Player II at
+    /// odd ones; the move index is `rows_played * n + current.len()`.
+    fn wins(
+        &self,
+        prev_row: &[Tile],
+        current: &[Tile],
+        rows_played: usize,
+        memo: &mut BTreeMap<(Vec<Tile>, Vec<Tile>, bool), bool>,
+    ) -> bool {
+        let n = self.width();
+        if current.len() == n {
+            // Row complete.  Player II may stop the game here: Player I must therefore
+            // be safe both when the game stops (row must match the bottom vector) and
+            // when it continues.  Stopping is only a threat if the row differs from b;
+            // if it matches b Player I has already won.
+            if current == self.bottom {
+                return true;
+            }
+            if rows_played + 1 >= self.max_rows {
+                return false;
+            }
+            return self.wins(current, &[], rows_played + 1, memo);
+        }
+        let move_index = rows_played * n + current.len();
+        let player_one_to_move = move_index % 2 == 0;
+        let key = (prev_row.to_vec(), current.to_vec(), player_one_to_move);
+        if let Some(&cached) = memo.get(&key) {
+            return cached;
+        }
+        let moves = self.legal_moves(prev_row, current);
+        let result = if moves.is_empty() {
+            // The player to move loses.
+            !player_one_to_move
+        } else {
+            let mut outcomes = moves.into_iter().map(|tile| {
+                let mut next = current.to_vec();
+                next.push(tile);
+                self.wins(prev_row, &next, rows_played, memo)
+            });
+            if player_one_to_move {
+                outcomes.any(|w| w)
+            } else {
+                outcomes.all(|w| w)
+            }
+        };
+        memo.insert(key, result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(list: &[(usize, usize)]) -> BTreeSet<(Tile, Tile)> {
+        list.iter().map(|&(a, b)| (Tile(a), Tile(b))).collect()
+    }
+
+    #[test]
+    fn trivially_winnable_single_tile_game() {
+        // One tile compatible with itself in every direction: Player I wins by reaching
+        // the bottom row immediately (the first completed row already matches b).
+        let inst = CorridorTiling {
+            num_tiles: 1,
+            horizontal: pairs(&[(0, 0)]),
+            vertical: pairs(&[(0, 0)]),
+            top: vec![Tile(0), Tile(0)],
+            bottom: vec![Tile(0), Tile(0)],
+            max_rows: 4,
+        };
+        assert!(inst.player_one_wins());
+    }
+
+    #[test]
+    fn unwinnable_when_no_tile_fits() {
+        // No vertical pair is allowed below tile 0, so the very first move is impossible
+        // and Player I (who moves first) loses.
+        let inst = CorridorTiling {
+            num_tiles: 2,
+            horizontal: pairs(&[(0, 0), (0, 1), (1, 0), (1, 1)]),
+            vertical: pairs(&[(1, 1)]),
+            top: vec![Tile(0), Tile(0)],
+            bottom: vec![Tile(1), Tile(1)],
+            max_rows: 4,
+        };
+        assert!(!inst.player_one_wins());
+    }
+
+    #[test]
+    fn player_two_can_sabotage() {
+        // Two tiles; Player II places the second tile of each row.  Reaching the bottom
+        // row (1, 1) requires Player II to cooperate by playing tile 1, but playing
+        // tile 0 is always legal for Player II, so Player I cannot force a win.
+        let inst = CorridorTiling {
+            num_tiles: 2,
+            horizontal: pairs(&[(0, 0), (0, 1), (1, 0), (1, 1)]),
+            vertical: pairs(&[(0, 0), (0, 1), (1, 0), (1, 1)]),
+            top: vec![Tile(0), Tile(0)],
+            bottom: vec![Tile(1), Tile(1)],
+            max_rows: 3,
+        };
+        assert!(!inst.player_one_wins());
+    }
+
+    #[test]
+    fn player_one_wins_when_constraints_force_the_bottom_row() {
+        // Vertical constraints force every tile below 0 to be 1 and below 1 to be 1,
+        // so the second row is necessarily (1, 1) = b regardless of Player II.
+        let inst = CorridorTiling {
+            num_tiles: 2,
+            horizontal: pairs(&[(0, 0), (1, 1), (0, 1), (1, 0)]),
+            vertical: pairs(&[(0, 1), (1, 1)]),
+            top: vec![Tile(0), Tile(0)],
+            bottom: vec![Tile(1), Tile(1)],
+            max_rows: 4,
+        };
+        assert!(inst.player_one_wins());
+    }
+}

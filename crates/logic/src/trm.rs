@@ -1,0 +1,211 @@
+//! Two-register machines (2RM), the undecidability source of Theorem 5.4.
+//!
+//! A 2RM is a numbered sequence of instructions over two natural-number registers; an
+//! instantaneous description (ID) is `(state, register1, register2)`.  The halting
+//! problem — does the machine reach the final ID `(f, 0, 0)` from `(0, 0, 0)` — is
+//! undecidable in general.  The interpreter below runs a machine for a bounded number of
+//! steps; the reduction tests use it to check that *halting* machines produce
+//! satisfiable XPath encodings together with a witness tree read off the run.
+
+use std::fmt;
+
+/// One of the two registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Register {
+    /// The first register.
+    R1,
+    /// The second register.
+    R2,
+}
+
+/// An instruction of a two-register machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// `(i, rg, j)`: add 1 to `rg`, go to state `j`.
+    Add {
+        /// The register incremented.
+        register: Register,
+        /// The successor state.
+        next: usize,
+    },
+    /// `(i, rg, j, k)`: if `rg` is zero go to `j`, otherwise subtract 1 and go to `k`.
+    Sub {
+        /// The register tested / decremented.
+        register: Register,
+        /// Successor state when the register is zero.
+        if_zero: usize,
+        /// Successor state when the register is positive (after decrementing).
+        if_positive: usize,
+    },
+}
+
+/// An instantaneous description `(state, register1, register2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Id {
+    /// The current instruction index.
+    pub state: usize,
+    /// Contents of register 1.
+    pub r1: u64,
+    /// Contents of register 2.
+    pub r2: u64,
+}
+
+/// A two-register machine with designated halting state.
+#[derive(Debug, Clone)]
+pub struct TwoRegisterMachine {
+    /// The program: instruction `i` is executed in state `i`.
+    pub instructions: Vec<Instruction>,
+    /// The halting state `f` (no instruction is executed there).
+    pub halting_state: usize,
+}
+
+/// The outcome of a bounded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The machine reached `(f, 0, 0)`; the trace of IDs (including initial and final)
+    /// is returned.
+    Halted(Vec<Id>),
+    /// The machine reached the halting state with nonzero registers (it does not halt
+    /// in the sense of the paper's convention).
+    HaltedNonZero(Vec<Id>),
+    /// The step budget was exhausted.
+    OutOfFuel(Vec<Id>),
+    /// The machine entered a state with no instruction (other than the halting state).
+    Stuck(Vec<Id>),
+}
+
+impl TwoRegisterMachine {
+    /// Execute one step from an ID.  Returns `None` in the halting state or on a missing
+    /// instruction.
+    pub fn step(&self, id: Id) -> Option<Id> {
+        if id.state == self.halting_state {
+            return None;
+        }
+        let instruction = self.instructions.get(id.state)?;
+        Some(match *instruction {
+            Instruction::Add { register, next } => match register {
+                Register::R1 => Id { state: next, r1: id.r1 + 1, r2: id.r2 },
+                Register::R2 => Id { state: next, r1: id.r1, r2: id.r2 + 1 },
+            },
+            Instruction::Sub { register, if_zero, if_positive } => match register {
+                Register::R1 => {
+                    if id.r1 == 0 {
+                        Id { state: if_zero, ..id }
+                    } else {
+                        Id { state: if_positive, r1: id.r1 - 1, r2: id.r2 }
+                    }
+                }
+                Register::R2 => {
+                    if id.r2 == 0 {
+                        Id { state: if_zero, ..id }
+                    } else {
+                        Id { state: if_positive, r1: id.r1, r2: id.r2 - 1 }
+                    }
+                }
+            },
+        })
+    }
+
+    /// Run from `(0, 0, 0)` for at most `fuel` steps.
+    pub fn run(&self, fuel: usize) -> RunOutcome {
+        let mut trace = vec![Id { state: 0, r1: 0, r2: 0 }];
+        for _ in 0..fuel {
+            let current = *trace.last().expect("trace is nonempty");
+            if current.state == self.halting_state {
+                return if current.r1 == 0 && current.r2 == 0 {
+                    RunOutcome::Halted(trace)
+                } else {
+                    RunOutcome::HaltedNonZero(trace)
+                };
+            }
+            match self.step(current) {
+                Some(next) => trace.push(next),
+                None => return RunOutcome::Stuck(trace),
+            }
+        }
+        let last = *trace.last().expect("trace is nonempty");
+        if last.state == self.halting_state && last.r1 == 0 && last.r2 == 0 {
+            RunOutcome::Halted(trace)
+        } else {
+            RunOutcome::OutOfFuel(trace)
+        }
+    }
+
+    /// A tiny machine that increments register 1 `k` times, decrements it back to zero
+    /// and halts — a convenient halting specimen for the reduction tests.
+    pub fn bump_and_drain(k: usize) -> TwoRegisterMachine {
+        // States 0..k-1: add; states k..2k-1: subtract; state 2k: halt.
+        let mut instructions = Vec::new();
+        for i in 0..k {
+            instructions.push(Instruction::Add { register: Register::R1, next: i + 1 });
+        }
+        for i in 0..k {
+            instructions.push(Instruction::Sub {
+                register: Register::R1,
+                if_zero: 2 * k, // cannot actually be zero here, defensive
+                if_positive: k + i + 1,
+            });
+        }
+        TwoRegisterMachine {
+            instructions,
+            halting_state: 2 * k,
+        }
+    }
+
+    /// A machine that never halts (it increments register 1 forever).
+    pub fn diverging() -> TwoRegisterMachine {
+        TwoRegisterMachine {
+            instructions: vec![Instruction::Add { register: Register::R1, next: 0 }],
+            halting_state: 1,
+        }
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.state, self.r1, self.r2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_drain_halts_with_zero_registers() {
+        let machine = TwoRegisterMachine::bump_and_drain(3);
+        match machine.run(100) {
+            RunOutcome::Halted(trace) => {
+                assert_eq!(trace.first().copied(), Some(Id { state: 0, r1: 0, r2: 0 }));
+                let last = *trace.last().unwrap();
+                assert_eq!(last.state, machine.halting_state);
+                assert_eq!((last.r1, last.r2), (0, 0));
+                // The register climbs to 3 in the middle of the run.
+                assert!(trace.iter().any(|id| id.r1 == 3));
+            }
+            other => panic!("expected halt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diverging_machine_runs_out_of_fuel() {
+        let machine = TwoRegisterMachine::diverging();
+        assert!(matches!(machine.run(50), RunOutcome::OutOfFuel(_)));
+    }
+
+    #[test]
+    fn subtraction_branches_on_zero() {
+        let machine = TwoRegisterMachine {
+            instructions: vec![Instruction::Sub {
+                register: Register::R2,
+                if_zero: 1,
+                if_positive: 0,
+            }],
+            halting_state: 1,
+        };
+        match machine.run(10) {
+            RunOutcome::Halted(trace) => assert_eq!(trace.len(), 2),
+            other => panic!("expected halt, got {other:?}"),
+        }
+    }
+}

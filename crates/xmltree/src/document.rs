@@ -1,0 +1,353 @@
+//! The document tree itself: an arena of labelled, attributed, ordered nodes.
+
+use std::collections::BTreeMap;
+
+/// Identifier of a node within its [`Document`] arena.
+///
+/// Node ids are never reused; removing subtrees is not supported (the satisfiability
+/// engines only ever *grow* witness trees), which keeps ids stable for the lifetime of
+/// the document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    label: String,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    attrs: BTreeMap<String, String>,
+}
+
+/// A finite node-labelled ordered tree with attribute values, as in Section 2.1 of the
+/// paper.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<NodeData>,
+}
+
+impl Document {
+    /// Create a document consisting of a single root node with the given label.
+    pub fn new(root_label: impl Into<String>) -> Document {
+        Document {
+            nodes: vec![NodeData {
+                label: root_label.into(),
+                parent: None,
+                children: Vec::new(),
+                attrs: BTreeMap::new(),
+            }],
+        }
+    }
+
+    /// The root node (always node 0).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document consists of the root only.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Append a new child with the given label as the *last* child of `parent`.
+    pub fn add_child(&mut self, parent: NodeId, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeData {
+            label: label.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+            attrs: BTreeMap::new(),
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Set (or overwrite) an attribute value on a node.
+    pub fn set_attr(&mut self, node: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        self.nodes[node.0].attrs.insert(name.into(), value.into());
+    }
+
+    /// The label of a node.
+    pub fn label(&self, node: NodeId) -> &str {
+        &self.nodes[node.0].label
+    }
+
+    /// The attribute map of a node.
+    pub fn attrs(&self, node: NodeId) -> &BTreeMap<String, String> {
+        &self.nodes[node.0].attrs
+    }
+
+    /// The value of one attribute, if present.
+    pub fn attr(&self, node: NodeId, name: &str) -> Option<&str> {
+        self.nodes[node.0].attrs.get(name).map(String::as_str)
+    }
+
+    /// The parent of a node (`None` for the root).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.0].parent
+    }
+
+    /// The ordered children of a node.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.0].children
+    }
+
+    /// The labels of the ordered children of a node (the word that the DTD's content
+    /// model constrains).
+    pub fn child_labels(&self, node: NodeId) -> Vec<String> {
+        self.children(node)
+            .iter()
+            .map(|&c| self.label(c).to_string())
+            .collect()
+    }
+
+    /// Proper ancestors of a node, nearest first.
+    pub fn ancestors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.parent(node);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent(p);
+        }
+        out
+    }
+
+    /// Descendants of a node in pre-order, *excluding* the node itself.
+    pub fn descendants(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.children(node).iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.children(n).iter().rev().copied());
+        }
+        out
+    }
+
+    /// All nodes in pre-order (root first).
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        let mut out = vec![self.root()];
+        out.extend(self.descendants(self.root()));
+        out
+    }
+
+    /// The position of `node` among its siblings (0-based); `None` for the root.
+    pub fn sibling_index(&self, node: NodeId) -> Option<usize> {
+        let parent = self.parent(node)?;
+        self.children(parent).iter().position(|&c| c == node)
+    }
+
+    /// The immediate right sibling, if any.
+    pub fn next_sibling(&self, node: NodeId) -> Option<NodeId> {
+        let parent = self.parent(node)?;
+        let idx = self.sibling_index(node)?;
+        self.children(parent).get(idx + 1).copied()
+    }
+
+    /// The immediate left sibling, if any.
+    pub fn prev_sibling(&self, node: NodeId) -> Option<NodeId> {
+        let parent = self.parent(node)?;
+        let idx = self.sibling_index(node)?;
+        if idx == 0 {
+            None
+        } else {
+            Some(self.children(parent)[idx - 1])
+        }
+    }
+
+    /// All right siblings in document order (nearest first), excluding the node.
+    pub fn following_siblings(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.next_sibling(node);
+        while let Some(n) = cur {
+            out.push(n);
+            cur = self.next_sibling(n);
+        }
+        out
+    }
+
+    /// All left siblings (nearest first), excluding the node.
+    pub fn preceding_siblings(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.prev_sibling(node);
+        while let Some(n) = cur {
+            out.push(n);
+            cur = self.prev_sibling(n);
+        }
+        out
+    }
+
+    /// Depth of a node: the root has depth 0.
+    pub fn depth(&self, node: NodeId) -> usize {
+        self.ancestors(node).len()
+    }
+
+    /// The maximum depth over all nodes.
+    pub fn height(&self) -> usize {
+        self.all_nodes()
+            .into_iter()
+            .map(|n| self.depth(n))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The maximum number of children over all nodes (the tree's width / out-degree).
+    pub fn max_out_degree(&self) -> usize {
+        self.all_nodes()
+            .into_iter()
+            .map(|n| self.children(n).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Is `anc` an ancestor of `node` or equal to it (the `ancestor-or-self` relation)?
+    pub fn is_ancestor_or_self(&self, anc: NodeId, node: NodeId) -> bool {
+        if anc == node {
+            return true;
+        }
+        self.ancestors(node).contains(&anc)
+    }
+
+    /// Graft a deep copy of `other`'s subtree rooted at `other_node` as the last child of
+    /// `parent` in `self`.  Returns the id of the copied root.
+    pub fn graft(&mut self, parent: NodeId, other: &Document, other_node: NodeId) -> NodeId {
+        let new_root = self.add_child(parent, other.label(other_node));
+        for (k, v) in other.attrs(other_node) {
+            self.set_attr(new_root, k.clone(), v.clone());
+        }
+        for &child in other.children(other_node) {
+            self.graft(new_root, other, child);
+        }
+        new_root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, NodeId, NodeId) {
+        // r -> a(b, c), d
+        let mut doc = Document::new("r");
+        let a = doc.add_child(doc.root(), "a");
+        let b = doc.add_child(a, "b");
+        let c = doc.add_child(a, "c");
+        let d = doc.add_child(doc.root(), "d");
+        (doc, a, b, c, d)
+    }
+
+    #[test]
+    fn structure_queries() {
+        let (doc, a, b, c, d) = sample();
+        assert_eq!(doc.len(), 5);
+        assert_eq!(doc.label(doc.root()), "r");
+        assert_eq!(doc.children(doc.root()), &[a, d]);
+        assert_eq!(doc.child_labels(a), vec!["b", "c"]);
+        assert_eq!(doc.parent(b), Some(a));
+        assert_eq!(doc.ancestors(b), vec![a, doc.root()]);
+        assert_eq!(doc.descendants(doc.root()), vec![a, b, c, d]);
+        assert_eq!(doc.depth(b), 2);
+        assert_eq!(doc.height(), 2);
+        assert_eq!(doc.max_out_degree(), 2);
+    }
+
+    #[test]
+    fn sibling_navigation() {
+        let (doc, a, b, c, d) = sample();
+        assert_eq!(doc.next_sibling(a), Some(d));
+        assert_eq!(doc.prev_sibling(d), Some(a));
+        assert_eq!(doc.next_sibling(d), None);
+        assert_eq!(doc.prev_sibling(a), None);
+        assert_eq!(doc.following_siblings(b), vec![c]);
+        assert_eq!(doc.preceding_siblings(c), vec![b]);
+        assert_eq!(doc.sibling_index(d), Some(1));
+        assert_eq!(doc.sibling_index(doc.root()), None);
+    }
+
+    #[test]
+    fn attributes() {
+        let (mut doc, a, ..) = sample();
+        doc.set_attr(a, "id", "42");
+        assert_eq!(doc.attr(a, "id"), Some("42"));
+        assert_eq!(doc.attr(a, "missing"), None);
+        doc.set_attr(a, "id", "43");
+        assert_eq!(doc.attr(a, "id"), Some("43"));
+    }
+
+    #[test]
+    fn ancestor_or_self() {
+        let (doc, a, b, _, d) = sample();
+        assert!(doc.is_ancestor_or_self(doc.root(), b));
+        assert!(doc.is_ancestor_or_self(a, b));
+        assert!(doc.is_ancestor_or_self(b, b));
+        assert!(!doc.is_ancestor_or_self(d, b));
+    }
+
+    #[test]
+    fn graft_copies_subtrees() {
+        let (mut doc, _, _, _, d) = sample();
+        let mut other = Document::new("x");
+        let y = other.add_child(other.root(), "y");
+        other.set_attr(y, "k", "v");
+        let copied = doc.graft(d, &other, other.root());
+        assert_eq!(doc.label(copied), "x");
+        assert_eq!(doc.children(copied).len(), 1);
+        let copied_y = doc.children(copied)[0];
+        assert_eq!(doc.label(copied_y), "y");
+        assert_eq!(doc.attr(copied_y, "k"), Some("v"));
+    }
+}
+
+impl Document {
+    /// Remove every node with id `>= keep`, restoring the document to an earlier state.
+    ///
+    /// Node ids are allocated sequentially and never reused, so a prefix of the arena is
+    /// always a valid earlier snapshot; backtracking search engines (the NP witness
+    /// search of Theorem 4.4) rely on this to undo speculative expansions cheaply.
+    /// Panics if `keep` is zero (the root cannot be removed).
+    pub fn truncate(&mut self, keep: usize) {
+        assert!(keep >= 1, "cannot truncate away the root");
+        if keep >= self.nodes.len() {
+            return;
+        }
+        self.nodes.truncate(keep);
+        for node in &mut self.nodes {
+            node.children.retain(|c| c.0 < keep);
+        }
+    }
+
+    /// The current number of allocated nodes; pass to [`Document::truncate`] to restore.
+    pub fn snapshot(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod truncate_tests {
+    use super::*;
+
+    #[test]
+    fn truncate_restores_snapshots() {
+        let mut doc = Document::new("r");
+        let a = doc.add_child(doc.root(), "a");
+        let snap = doc.snapshot();
+        let b = doc.add_child(doc.root(), "b");
+        doc.add_child(b, "c");
+        doc.set_attr(a, "x", "1");
+        assert_eq!(doc.len(), 4);
+        doc.truncate(snap);
+        assert_eq!(doc.len(), 2);
+        assert_eq!(doc.children(doc.root()), &[a]);
+        assert_eq!(doc.attr(a, "x"), Some("1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate away the root")]
+    fn truncating_the_root_panics() {
+        let mut doc = Document::new("r");
+        doc.truncate(0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Arena-based XML document trees.
+//!
+//! The paper models an XML document as a finite node-labelled *ordered* tree in which
+//! every node additionally carries attribute values (Section 2.1).  This crate provides
+//! exactly that model:
+//!
+//! * [`Document`] — an arena of nodes with a distinguished root, ordered children,
+//!   string labels and string-valued attributes;
+//! * traversal helpers (ancestors, descendants, siblings, pre-order) used by the XPath
+//!   evaluator and by DTD validation;
+//! * a small XML serialiser/parser for round-tripping documents in examples and tests;
+//! * the streaming open/close-tag encoding (`stream`) that Section 7 uses to run word
+//!   automata over documents.
+//!
+//! The crate deliberately has no dependencies: it is the lowest layer of the workspace.
+
+pub mod document;
+pub mod serialize;
+pub mod stream;
+
+pub use document::{Document, NodeId};
+pub use stream::{stream, stream_selected, Tag};

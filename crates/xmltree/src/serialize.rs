@@ -1,0 +1,273 @@
+//! Serialisation of documents to a compact XML syntax, and parsing back.
+//!
+//! The syntax is the element-and-attribute subset of XML (no text nodes, no escaping of
+//! exotic characters): exactly what the paper's data model contains.  It is used by the
+//! examples, by `Display` for debugging witness trees, and round-trip tested.
+
+use crate::document::{Document, NodeId};
+use std::fmt;
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", to_xml(self))
+    }
+}
+
+/// Serialise the document to a single-line XML string.
+pub fn to_xml(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node(doc, doc.root(), &mut out);
+    out
+}
+
+/// Serialise the document with two-space indentation, one element per line.
+pub fn to_xml_pretty(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node_pretty(doc, doc.root(), 0, &mut out);
+    out
+}
+
+fn write_attrs(doc: &Document, node: NodeId, out: &mut String) {
+    for (k, v) in doc.attrs(node) {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+}
+
+fn write_node(doc: &Document, node: NodeId, out: &mut String) {
+    let label = doc.label(node);
+    out.push('<');
+    out.push_str(label);
+    write_attrs(doc, node, out);
+    if doc.children(node).is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for &child in doc.children(node) {
+        write_node(doc, child, out);
+    }
+    out.push_str("</");
+    out.push_str(label);
+    out.push('>');
+}
+
+fn write_node_pretty(doc: &Document, node: NodeId, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let label = doc.label(node);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(label);
+    write_attrs(doc, node, out);
+    if doc.children(node).is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push_str(">\n");
+    for &child in doc.children(node) {
+        write_node_pretty(doc, child, indent + 1, out);
+    }
+    out.push_str(&pad);
+    out.push_str("</");
+    out.push_str(label);
+    out.push_str(">\n");
+}
+
+/// Error raised by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the input at which the error was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse the element-and-attribute XML subset produced by [`to_xml`] / [`to_xml_pretty`].
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    let mut parser = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let doc = parser.parse_root()?;
+    parser.skip_ws();
+    if parser.pos != parser.input.len() {
+        return Err(parser.error("trailing content after the root element"));
+    }
+    Ok(doc)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            position: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.pos < self.input.len() && self.input[self.pos] == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let b = self.input[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn parse_root(&mut self) -> Result<Document, ParseError> {
+        self.expect(b'<')?;
+        let label = self.name()?;
+        let mut doc = Document::new(label.clone());
+        let root = doc.root();
+        self.parse_attrs_and_children(&mut doc, root, &label)?;
+        Ok(doc)
+    }
+
+    fn parse_attrs_and_children(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        label: &str,
+    ) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.pos >= self.input.len() {
+                return Err(self.error("unexpected end of input in tag"));
+            }
+            match self.input[self.pos] {
+                b'/' => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(());
+                }
+                b'>' => {
+                    self.pos += 1;
+                    return self.parse_children(doc, node, label);
+                }
+                _ => {
+                    let attr = self.name()?;
+                    self.expect(b'=')?;
+                    self.expect(b'"')?;
+                    let start = self.pos;
+                    while self.pos < self.input.len() && self.input[self.pos] != b'"' {
+                        self.pos += 1;
+                    }
+                    let value =
+                        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    self.expect(b'"')?;
+                    doc.set_attr(node, attr, value);
+                }
+            }
+        }
+    }
+
+    fn parse_children(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        label: &str,
+    ) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            self.expect(b'<')?;
+            if self.pos < self.input.len() && self.input[self.pos] == b'/' {
+                self.pos += 1;
+                let closing = self.name()?;
+                if closing != label {
+                    return Err(self.error(&format!(
+                        "mismatched closing tag: expected </{label}>, found </{closing}>"
+                    )));
+                }
+                self.expect(b'>')?;
+                return Ok(());
+            }
+            let child_label = self.name()?;
+            let child = doc.add_child(node, child_label.clone());
+            self.parse_attrs_and_children(doc, child, &child_label)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialises_nested_elements_and_attributes() {
+        let mut doc = Document::new("r");
+        let a = doc.add_child(doc.root(), "a");
+        doc.set_attr(a, "id", "1");
+        doc.add_child(a, "b");
+        doc.add_child(doc.root(), "c");
+        assert_eq!(to_xml(&doc), "<r><a id=\"1\"><b/></a><c/></r>");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let mut doc = Document::new("store");
+        let book = doc.add_child(doc.root(), "book");
+        doc.set_attr(book, "isbn", "12-34");
+        doc.add_child(book, "title");
+        let author = doc.add_child(book, "author");
+        doc.set_attr(author, "born", "1906");
+        doc.add_child(doc.root(), "magazine");
+
+        let text = to_xml(&doc);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(to_xml(&parsed), text);
+
+        let pretty = to_xml_pretty(&doc);
+        let parsed_pretty = parse(&pretty).unwrap();
+        assert_eq!(to_xml(&parsed_pretty), text);
+    }
+
+    #[test]
+    fn parse_rejects_mismatched_tags() {
+        let err = parse("<a><b></a></a>").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<a/> ").is_ok());
+    }
+}

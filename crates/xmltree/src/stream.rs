@@ -1,0 +1,200 @@
+//! The streaming (open/close tag) encoding of documents.
+//!
+//! Section 7.3 of the paper proves its PSPACE upper bound by running two-way alternating
+//! *word* automata over `stream(T)`, the sequence of opening and closing tags of a
+//! document, and over `stream(T, m)`, the same sequence with one opening tag marked as
+//! selected.  This module implements both encodings and the inverse mapping back to
+//! positions, so the rest of the workspace (and its tests) can relate tree nodes to
+//! stream positions exactly as the paper does.
+
+use crate::document::{Document, NodeId};
+
+/// One symbol of the streamed document alphabet `XML(Σ)` / `XMLsel(Σ)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tag {
+    /// `〈A〉` — an opening tag; `selected` is the truth flag of the `XMLsel` alphabet
+    /// (always `false` in plain `stream(T)` encodings).
+    Open { label: String, selected: bool },
+    /// `〈/A〉` — a closing tag.
+    Close { label: String },
+}
+
+impl Tag {
+    /// The element label carried by the tag.
+    pub fn label(&self) -> &str {
+        match self {
+            Tag::Open { label, .. } | Tag::Close { label } => label,
+        }
+    }
+
+    /// Is this an opening tag?
+    pub fn is_open(&self) -> bool {
+        matches!(self, Tag::Open { .. })
+    }
+}
+
+/// `stream(T)`: the open/close tag sequence of the whole document.
+pub fn stream(doc: &Document) -> Vec<Tag> {
+    stream_with_selection(doc, None)
+}
+
+/// `stream(T, m)`: the tag sequence in which the opening tag of `selected` is marked.
+pub fn stream_selected(doc: &Document, selected: NodeId) -> Vec<Tag> {
+    stream_with_selection(doc, Some(selected))
+}
+
+fn stream_with_selection(doc: &Document, selected: Option<NodeId>) -> Vec<Tag> {
+    let mut out = Vec::with_capacity(doc.len() * 2);
+    emit(doc, doc.root(), selected, &mut out);
+    out
+}
+
+fn emit(doc: &Document, node: NodeId, selected: Option<NodeId>, out: &mut Vec<Tag>) {
+    out.push(Tag::Open {
+        label: doc.label(node).to_string(),
+        selected: selected == Some(node),
+    });
+    for &child in doc.children(node) {
+        emit(doc, child, selected, out);
+    }
+    out.push(Tag::Close {
+        label: doc.label(node).to_string(),
+    });
+}
+
+/// The stream position `pos(n)` of the opening tag of each node, in node-id order.
+///
+/// This is the mapping the paper uses to start a word automaton "at" a tree node.
+pub fn open_positions(doc: &Document) -> Vec<(NodeId, usize)> {
+    let tags = stream(doc);
+    let mut result = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_child_index: Vec<usize> = vec![0; doc.len()];
+    for (pos, tag) in tags.iter().enumerate() {
+        match tag {
+            Tag::Open { .. } => {
+                let node = match stack.last() {
+                    None => doc.root(),
+                    Some(&parent) => {
+                        let idx = next_child_index[parent.0];
+                        next_child_index[parent.0] += 1;
+                        doc.children(parent)[idx]
+                    }
+                };
+                result.push((node, pos));
+                stack.push(node);
+            }
+            Tag::Close { .. } => {
+                stack.pop();
+            }
+        }
+    }
+    result.sort();
+    result
+}
+
+/// Rebuild a document from a well-formed tag stream.  Returns `None` when the stream is
+/// not well nested or does not describe exactly one tree.
+pub fn parse_stream(tags: &[Tag]) -> Option<Document> {
+    let mut iter = tags.iter();
+    let first = iter.next()?;
+    let Tag::Open { label, .. } = first else {
+        return None;
+    };
+    let mut doc = Document::new(label.clone());
+    let mut stack = vec![doc.root()];
+    for tag in iter {
+        match tag {
+            Tag::Open { label, .. } => {
+                let parent = *stack.last()?;
+                let id = doc.add_child(parent, label.clone());
+                stack.push(id);
+            }
+            Tag::Close { label } => {
+                let top = stack.pop()?;
+                if doc.label(top) != label {
+                    return None;
+                }
+                if stack.is_empty() {
+                    // The root has been closed: nothing may follow (checked by caller
+                    // position, since `iter` is consumed lazily we verify emptiness below).
+                }
+            }
+        }
+    }
+    if stack.is_empty() {
+        Some(doc)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        let mut doc = Document::new("r");
+        let a = doc.add_child(doc.root(), "a");
+        doc.add_child(a, "b");
+        doc.add_child(doc.root(), "c");
+        doc
+    }
+
+    #[test]
+    fn stream_is_well_nested() {
+        let doc = sample();
+        let tags = stream(&doc);
+        let rendered: Vec<String> = tags
+            .iter()
+            .map(|t| match t {
+                Tag::Open { label, .. } => format!("<{label}>"),
+                Tag::Close { label } => format!("</{label}>"),
+            })
+            .collect();
+        assert_eq!(
+            rendered.join(""),
+            "<r><a><b></b></a><c></c></r>"
+        );
+    }
+
+    #[test]
+    fn selection_marks_exactly_one_open_tag() {
+        let doc = sample();
+        let target = doc.children(doc.root())[1]; // the c node
+        let tags = stream_selected(&doc, target);
+        let selected: Vec<&Tag> = tags
+            .iter()
+            .filter(|t| matches!(t, Tag::Open { selected: true, .. }))
+            .collect();
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].label(), "c");
+    }
+
+    #[test]
+    fn open_positions_match_stream_order() {
+        let doc = sample();
+        let tags = stream(&doc);
+        for (node, pos) in open_positions(&doc) {
+            assert!(tags[pos].is_open());
+            assert_eq!(tags[pos].label(), doc.label(node));
+        }
+    }
+
+    #[test]
+    fn parse_stream_round_trips() {
+        let doc = sample();
+        let tags = stream(&doc);
+        let parsed = parse_stream(&tags).unwrap();
+        assert_eq!(stream(&parsed), tags);
+    }
+
+    #[test]
+    fn parse_stream_rejects_bad_nesting() {
+        let tags = vec![
+            Tag::Open { label: "a".into(), selected: false },
+            Tag::Close { label: "b".into() },
+        ];
+        assert!(parse_stream(&tags).is_none());
+    }
+}

@@ -1,0 +1,170 @@
+//! Sub-expression closures.
+//!
+//! The dynamic-programming algorithms of Theorems 4.1, 6.8 and 6.11 iterate over "the
+//! list `L` of all subqueries of `p`, topologically ordered such that `p1` precedes `p2`
+//! in `L` if `p1` is a subquery of `p2`".  This module computes those lists.  Because a
+//! strict sub-expression always has strictly smaller size, ordering by size (breaking
+//! ties arbitrarily but deterministically) is a valid topological order.
+
+use crate::ast::{Path, Qualifier};
+
+/// All path sub-expressions of `p` (including `p` itself and the paths nested inside
+/// qualifiers), deduplicated and ordered so that sub-expressions precede the expressions
+/// containing them.
+pub fn sub_paths_ascending(p: &Path) -> Vec<Path> {
+    let mut out = Vec::new();
+    collect_paths(p, &mut out);
+    sort_dedup_by_size(&mut out);
+    out
+}
+
+/// All qualifier sub-expressions of `p`, in ascending (inside-out) order.
+pub fn sub_qualifiers_ascending(p: &Path) -> Vec<Qualifier> {
+    let mut out = Vec::new();
+    collect_qualifiers_of_path(p, &mut out);
+    let mut sized: Vec<(usize, Qualifier)> = out.into_iter().map(|q| (q.size(), q)).collect();
+    sized.sort();
+    sized.dedup();
+    sized.into_iter().map(|(_, q)| q).collect()
+}
+
+fn sort_dedup_by_size(paths: &mut Vec<Path>) {
+    let mut sized: Vec<(usize, Path)> = std::mem::take(paths)
+        .into_iter()
+        .map(|p| (p.size(), p))
+        .collect();
+    sized.sort();
+    sized.dedup();
+    *paths = sized.into_iter().map(|(_, p)| p).collect();
+}
+
+fn collect_paths(p: &Path, out: &mut Vec<Path>) {
+    out.push(p.clone());
+    match p {
+        Path::Seq(a, b) | Path::Union(a, b) => {
+            collect_paths(a, out);
+            collect_paths(b, out);
+        }
+        Path::Filter(a, q) => {
+            collect_paths(a, out);
+            collect_paths_of_qualifier(q, out);
+        }
+        _ => {}
+    }
+}
+
+fn collect_paths_of_qualifier(q: &Qualifier, out: &mut Vec<Path>) {
+    match q {
+        Qualifier::Path(p) => collect_paths(p, out),
+        Qualifier::LabelIs(_) => {}
+        Qualifier::AttrCmp { path, .. } => collect_paths(path, out),
+        Qualifier::AttrJoin { left, right, .. } => {
+            collect_paths(left, out);
+            collect_paths(right, out);
+        }
+        Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+            collect_paths_of_qualifier(a, out);
+            collect_paths_of_qualifier(b, out);
+        }
+        Qualifier::Not(inner) => collect_paths_of_qualifier(inner, out),
+    }
+}
+
+fn collect_qualifiers_of_path(p: &Path, out: &mut Vec<Qualifier>) {
+    match p {
+        Path::Seq(a, b) | Path::Union(a, b) => {
+            collect_qualifiers_of_path(a, out);
+            collect_qualifiers_of_path(b, out);
+        }
+        Path::Filter(a, q) => {
+            collect_qualifiers_of_path(a, out);
+            collect_qualifiers(q, out);
+        }
+        _ => {}
+    }
+}
+
+fn collect_qualifiers(q: &Qualifier, out: &mut Vec<Qualifier>) {
+    out.push(q.clone());
+    match q {
+        Qualifier::Path(p) => collect_qualifiers_of_path(p, out),
+        Qualifier::LabelIs(_) => {}
+        Qualifier::AttrCmp { path, .. } => collect_qualifiers_of_path(path, out),
+        Qualifier::AttrJoin { left, right, .. } => {
+            collect_qualifiers_of_path(left, out);
+            collect_qualifiers_of_path(right, out);
+        }
+        Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+            collect_qualifiers(a, out);
+            collect_qualifiers(b, out);
+        }
+        Qualifier::Not(inner) => collect_qualifiers(inner, out),
+    }
+}
+
+/// The number of `↓*` occurrences in the path (the `k` of Lemma 4.6, which bounds the
+/// number of parts in the witness-path partition and hence the small-model depth).
+pub fn count_descendant_steps(p: &Path) -> usize {
+    match p {
+        Path::DescendantOrSelf => 1,
+        Path::Seq(a, b) | Path::Union(a, b) => {
+            count_descendant_steps(a) + count_descendant_steps(b)
+        }
+        Path::Filter(a, q) => count_descendant_steps(a) + count_descendant_steps_qual(q),
+        _ => 0,
+    }
+}
+
+fn count_descendant_steps_qual(q: &Qualifier) -> usize {
+    match q {
+        Qualifier::Path(p) => count_descendant_steps(p),
+        Qualifier::LabelIs(_) => 0,
+        Qualifier::AttrCmp { path, .. } => count_descendant_steps(path),
+        Qualifier::AttrJoin { left, right, .. } => {
+            count_descendant_steps(left) + count_descendant_steps(right)
+        }
+        Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+            count_descendant_steps_qual(a) + count_descendant_steps_qual(b)
+        }
+        Qualifier::Not(inner) => count_descendant_steps_qual(inner),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_path;
+
+    #[test]
+    fn sub_paths_are_in_ascending_order() {
+        let p = parse_path("a[b/c]/d").unwrap();
+        let subs = sub_paths_ascending(&p);
+        // Every sub-expression must appear after all of its own sub-expressions.
+        for (i, sub) in subs.iter().enumerate() {
+            for later in &subs[i + 1..] {
+                assert!(later.size() >= sub.size());
+            }
+        }
+        // The full path is last; single steps come first.
+        assert_eq!(subs.last().unwrap(), &p);
+        assert!(subs.contains(&parse_path("b/c").unwrap()));
+        assert!(subs.contains(&parse_path("d").unwrap()));
+    }
+
+    #[test]
+    fn sub_qualifiers_found_inside_nesting() {
+        let p = parse_path("a[b and not(c[d])]").unwrap();
+        let quals = sub_qualifiers_ascending(&p);
+        assert!(quals.iter().any(|q| matches!(q, Qualifier::Not(_))));
+        assert!(quals.iter().any(|q| matches!(q, Qualifier::And(..))));
+        // the inner qualifier [d] of c[d] is present
+        assert!(quals.contains(&Qualifier::path(parse_path("d").unwrap())));
+    }
+
+    #[test]
+    fn descendant_count() {
+        let p = parse_path("**/a[**/b]/c").unwrap();
+        assert_eq!(count_descendant_steps(&p), 2);
+        assert_eq!(count_descendant_steps(&parse_path("a/b").unwrap()), 0);
+    }
+}

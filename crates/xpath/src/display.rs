@@ -1,0 +1,160 @@
+//! Textual rendering of paths and qualifiers.
+//!
+//! The syntax is the ASCII form of the paper's notation, chosen so that the parser in
+//! [`crate::parse`] can read back exactly what is printed:
+//!
+//! | paper | text  |            | paper        | text   |
+//! |-------|-------|------------|--------------|--------|
+//! | `ε`   | `.`   |            | `↑`          | `..`   |
+//! | `l`   | `l`   |            | `↑*`         | `^*`   |
+//! | `↓`   | `*`   |            | `→` / `→*`   | `>` / `>>` |
+//! | `↓*`  | `**`  |            | `←` / `←*`   | `<` / `<<` |
+//! | `p/p` | `p/p` |            | `p ∪ p`      | `p \| p` |
+//! | `p[q]`| `p[q]`|            | `¬q`         | `not(q)` |
+//! | `q∧q` | `q and q` |        | `q∨q`        | `q or q` |
+//! | `lab() = A` | `lab() = A` | `p/@a = 'c'` | `p/@a = "c"` |
+
+use crate::ast::{Path, Qualifier};
+use std::fmt;
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Path::Empty => write!(f, "."),
+            Path::Label(l) => write!(f, "{l}"),
+            Path::Wildcard => write!(f, "*"),
+            Path::DescendantOrSelf => write!(f, "**"),
+            Path::Parent => write!(f, ".."),
+            Path::AncestorOrSelf => write!(f, "^*"),
+            Path::NextSibling => write!(f, ">"),
+            Path::FollowingSiblingOrSelf => write!(f, ">>"),
+            Path::PrevSibling => write!(f, "<"),
+            Path::PrecedingSiblingOrSelf => write!(f, "<<"),
+            Path::Seq(a, b) => {
+                write_seq_operand(f, a)?;
+                write!(f, "/")?;
+                write_seq_operand(f, b)
+            }
+            Path::Union(a, b) => write!(f, "{a} | {b}"),
+            Path::Filter(p, q) => {
+                if matches!(**p, Path::Seq(..) | Path::Union(..)) {
+                    write!(f, "({p})[{q}]")
+                } else {
+                    write!(f, "{p}[{q}]")
+                }
+            }
+        }
+    }
+}
+
+fn write_seq_operand(f: &mut fmt::Formatter<'_>, p: &Path) -> fmt::Result {
+    if matches!(p, Path::Union(..)) {
+        write!(f, "({p})")
+    } else {
+        write!(f, "{p}")
+    }
+}
+
+impl fmt::Display for Qualifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Qualifier::Path(p) => write!(f, "{p}"),
+            Qualifier::LabelIs(l) => write!(f, "lab() = {l}"),
+            Qualifier::AttrCmp { path, attr, op, value } => {
+                write_attr_access(f, path, attr)?;
+                write!(f, " {op} \"{value}\"")
+            }
+            Qualifier::AttrJoin { left, left_attr, op, right, right_attr } => {
+                write_attr_access(f, left, left_attr)?;
+                write!(f, " {op} ")?;
+                write_attr_access(f, right, right_attr)
+            }
+            Qualifier::And(a, b) => {
+                write_bool_operand(f, a)?;
+                write!(f, " and ")?;
+                write_bool_operand(f, b)
+            }
+            Qualifier::Or(a, b) => {
+                write_bool_operand(f, a)?;
+                write!(f, " or ")?;
+                write_bool_operand(f, b)
+            }
+            Qualifier::Not(q) => write!(f, "not({q})"),
+        }
+    }
+}
+
+fn write_attr_access(f: &mut fmt::Formatter<'_>, path: &Path, attr: &str) -> fmt::Result {
+    match path {
+        Path::Empty => write!(f, "@{attr}"),
+        Path::Union(..) => write!(f, "({path})/@{attr}"),
+        _ => write!(f, "{path}/@{attr}"),
+    }
+}
+
+fn write_bool_operand(f: &mut fmt::Formatter<'_>, q: &Qualifier) -> fmt::Result {
+    // `and`/`or` operands are parenthesised whenever they are themselves connectives,
+    // which keeps the printed form unambiguous and structurally round-trippable.
+    if matches!(q, Qualifier::And(..) | Qualifier::Or(..)) {
+        write!(f, "({q})")
+    } else {
+        write!(f, "{q}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    #[test]
+    fn renders_paper_notation() {
+        let p = Path::seq(
+            Path::label("a"),
+            Path::seq(Path::DescendantOrSelf, Path::label("b")),
+        );
+        assert_eq!(p.to_string(), "a/**/b");
+
+        let q = Path::Empty.filter(Qualifier::And(
+            Box::new(Qualifier::path(Path::label("x"))),
+            Box::new(Qualifier::not(Qualifier::LabelIs("y".into()))),
+        ));
+        assert_eq!(q.to_string(), ".[x and not(lab() = y)]");
+    }
+
+    #[test]
+    fn renders_attribute_comparisons() {
+        let q = Qualifier::AttrCmp {
+            path: Path::Empty,
+            attr: "s".into(),
+            op: CmpOp::Eq,
+            value: "0".into(),
+        };
+        assert_eq!(q.to_string(), "@s = \"0\"");
+
+        let join = Qualifier::AttrJoin {
+            left: Path::label("a"),
+            left_attr: "id".into(),
+            op: CmpOp::Ne,
+            right: Path::seq(Path::Wildcard, Path::label("b")),
+            right_attr: "id".into(),
+        };
+        assert_eq!(join.to_string(), "a/@id != */b/@id");
+    }
+
+    #[test]
+    fn union_inside_sequence_is_parenthesised() {
+        let p = Path::seq(
+            Path::union(Path::label("a"), Path::label("b")),
+            Path::label("c"),
+        );
+        assert_eq!(p.to_string(), "(a | b)/c");
+    }
+
+    #[test]
+    fn filter_over_sequence_is_parenthesised() {
+        let p = Path::seq(Path::label("a"), Path::label("b"))
+            .filter(Qualifier::path(Path::label("c")));
+        assert_eq!(p.to_string(), "(a/b)[c]");
+    }
+}

@@ -1,0 +1,243 @@
+//! The evaluator: the denotational semantics of Section 2.2 (and 7.1) over document trees.
+//!
+//! A path `p` denotes a binary relation on nodes; `eval_from(doc, n, p)` returns
+//! `n[[p]] = { n' | T ⊨ p(n, n') }`.  A qualifier denotes a unary predicate;
+//! `holds(doc, n, q)` decides `T ⊨ q(n)`.  A document *satisfies* a query when the set
+//! of nodes reachable from the root is nonempty (`satisfies`).
+//!
+//! The evaluator is the ground truth of the workspace: every satisfiability engine's
+//! witness tree is re-checked against it, and the enumeration oracle used in property
+//! tests is built directly on top of it.
+
+use crate::ast::{Path, Qualifier};
+use std::collections::BTreeSet;
+use xpsat_xmltree::{Document, NodeId};
+
+/// Evaluate a path starting from a set of context nodes: the union of `n[[p]]` over the
+/// context set.
+pub fn eval_set(doc: &Document, context: &BTreeSet<NodeId>, path: &Path) -> BTreeSet<NodeId> {
+    match path {
+        Path::Empty => context.clone(),
+        Path::Label(l) => context
+            .iter()
+            .flat_map(|&n| doc.children(n).iter().copied())
+            .filter(|&c| doc.label(c) == l)
+            .collect(),
+        Path::Wildcard => context
+            .iter()
+            .flat_map(|&n| doc.children(n).iter().copied())
+            .collect(),
+        Path::DescendantOrSelf => {
+            let mut out = context.clone();
+            for &n in context {
+                out.extend(doc.descendants(n));
+            }
+            out
+        }
+        Path::Parent => context.iter().filter_map(|&n| doc.parent(n)).collect(),
+        Path::AncestorOrSelf => {
+            let mut out = context.clone();
+            for &n in context {
+                out.extend(doc.ancestors(n));
+            }
+            out
+        }
+        Path::NextSibling => context.iter().filter_map(|&n| doc.next_sibling(n)).collect(),
+        Path::FollowingSiblingOrSelf => {
+            let mut out = context.clone();
+            for &n in context {
+                out.extend(doc.following_siblings(n));
+            }
+            out
+        }
+        Path::PrevSibling => context.iter().filter_map(|&n| doc.prev_sibling(n)).collect(),
+        Path::PrecedingSiblingOrSelf => {
+            let mut out = context.clone();
+            for &n in context {
+                out.extend(doc.preceding_siblings(n));
+            }
+            out
+        }
+        Path::Seq(a, b) => {
+            let mid = eval_set(doc, context, a);
+            eval_set(doc, &mid, b)
+        }
+        Path::Union(a, b) => {
+            let mut out = eval_set(doc, context, a);
+            out.extend(eval_set(doc, context, b));
+            out
+        }
+        Path::Filter(p, q) => eval_set(doc, context, p)
+            .into_iter()
+            .filter(|&n| holds(doc, n, q))
+            .collect(),
+    }
+}
+
+/// `n[[p]]`: the nodes reachable from `n` via `p`.
+pub fn eval_from(doc: &Document, from: NodeId, path: &Path) -> BTreeSet<NodeId> {
+    let context: BTreeSet<NodeId> = [from].into_iter().collect();
+    eval_set(doc, &context, path)
+}
+
+/// `r[[p]]`: the nodes selected by `p` from the root.
+pub fn selects(doc: &Document, path: &Path) -> BTreeSet<NodeId> {
+    eval_from(doc, doc.root(), path)
+}
+
+/// `T ⊨ p`: the query selects at least one node from the root.
+pub fn satisfies(doc: &Document, path: &Path) -> bool {
+    !selects(doc, path).is_empty()
+}
+
+/// `T ⊨ q(r)`: the qualifier holds at the root.
+pub fn satisfies_qualifier(doc: &Document, q: &Qualifier) -> bool {
+    holds(doc, doc.root(), q)
+}
+
+/// `T ⊨ q(n)`: the qualifier holds at node `n`.
+pub fn holds(doc: &Document, node: NodeId, q: &Qualifier) -> bool {
+    match q {
+        Qualifier::Path(p) => !eval_from(doc, node, p).is_empty(),
+        Qualifier::LabelIs(l) => doc.label(node) == l,
+        Qualifier::AttrCmp { path, attr, op, value } => eval_from(doc, node, path)
+            .into_iter()
+            .any(|n| doc.attr(n, attr).is_some_and(|v| op.eval(v, value))),
+        Qualifier::AttrJoin { left, left_attr, op, right, right_attr } => {
+            let left_nodes = eval_from(doc, node, left);
+            let right_nodes = eval_from(doc, node, right);
+            left_nodes.iter().any(|&l| {
+                doc.attr(l, left_attr).is_some_and(|lv| {
+                    right_nodes.iter().any(|&r| {
+                        doc.attr(r, right_attr).is_some_and(|rv| op.eval(lv, rv))
+                    })
+                })
+            })
+        }
+        Qualifier::And(a, b) => holds(doc, node, a) && holds(doc, node, b),
+        Qualifier::Or(a, b) => holds(doc, node, a) || holds(doc, node, b),
+        Qualifier::Not(inner) => !holds(doc, node, inner),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+    use crate::parse::parse_path;
+
+    /// r -> a(b, c[x=1]), a(c[x=2]), d
+    fn sample() -> Document {
+        let mut doc = Document::new("r");
+        let a1 = doc.add_child(doc.root(), "a");
+        doc.add_child(a1, "b");
+        let c1 = doc.add_child(a1, "c");
+        doc.set_attr(c1, "x", "1");
+        let a2 = doc.add_child(doc.root(), "a");
+        let c2 = doc.add_child(a2, "c");
+        doc.set_attr(c2, "x", "2");
+        doc.add_child(doc.root(), "d");
+        doc
+    }
+
+    #[test]
+    fn child_and_descendant_axes() {
+        let doc = sample();
+        assert_eq!(selects(&doc, &parse_path("a").unwrap()).len(), 2);
+        assert_eq!(selects(&doc, &parse_path("a/b").unwrap()).len(), 1);
+        assert_eq!(selects(&doc, &parse_path("**/c").unwrap()).len(), 2);
+        assert_eq!(selects(&doc, &parse_path("**").unwrap()).len(), doc.len());
+        assert!(!satisfies(&doc, &parse_path("z").unwrap()));
+    }
+
+    #[test]
+    fn upward_axes() {
+        let doc = sample();
+        // Parents of c nodes are a nodes.
+        let p = parse_path("a/c/..").unwrap();
+        let result = selects(&doc, &p);
+        assert_eq!(result.len(), 2);
+        assert!(result.iter().all(|&n| doc.label(n) == "a"));
+        // ancestor-or-self of b includes b, a and the root.
+        let p = parse_path("a/b/^*").unwrap();
+        assert_eq!(selects(&doc, &p).len(), 3);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let doc = sample();
+        let next_of_first_a = parse_path("a/>").unwrap();
+        let result = selects(&doc, &next_of_first_a);
+        // siblings to the right of the two a nodes: the second a and d.
+        assert_eq!(result.len(), 2);
+        let all_following = parse_path("a/>>").unwrap();
+        assert_eq!(selects(&doc, &all_following).len(), 3);
+        let prev_of_d = parse_path("d/<").unwrap();
+        assert!(selects(&doc, &prev_of_d)
+            .iter()
+            .all(|&n| doc.label(n) == "a"));
+    }
+
+    #[test]
+    fn qualifiers_and_negation() {
+        let doc = sample();
+        assert_eq!(selects(&doc, &parse_path("a[b]").unwrap()).len(), 1);
+        assert_eq!(selects(&doc, &parse_path("a[not(b)]").unwrap()).len(), 1);
+        assert_eq!(selects(&doc, &parse_path("a[b or c]").unwrap()).len(), 2);
+        assert_eq!(selects(&doc, &parse_path("a[b and c]").unwrap()).len(), 1);
+        assert_eq!(
+            selects(&doc, &parse_path(".[not(z)]").unwrap()).len(),
+            1,
+            "root satisfies the absence of a z child"
+        );
+    }
+
+    #[test]
+    fn label_tests() {
+        let doc = sample();
+        let p = parse_path("*[lab() = d]").unwrap();
+        let result = selects(&doc, &p);
+        assert_eq!(result.len(), 1);
+        assert!(result.iter().all(|&n| doc.label(n) == "d"));
+    }
+
+    #[test]
+    fn attribute_comparisons_and_joins() {
+        let doc = sample();
+        assert!(satisfies(&doc, &parse_path("a[c/@x = \"1\"]").unwrap()));
+        assert!(!satisfies(&doc, &parse_path("a[c/@x = \"3\"]").unwrap()));
+        assert!(satisfies(&doc, &parse_path("a[c/@x != \"1\"]").unwrap()));
+
+        // Join: is there an a-node whose c child has the same x value as some
+        // (possibly different) c grand-child of the root?  Trivially yes.
+        let join = Qualifier::AttrJoin {
+            left: Path::seq(Path::label("a"), Path::label("c")),
+            left_attr: "x".into(),
+            op: CmpOp::Eq,
+            right: Path::seq(Path::label("a"), Path::label("c")),
+            right_attr: "x".into(),
+        };
+        assert!(satisfies_qualifier(&doc, &join));
+        // No two distinct-valued c nodes share a value, so an equality join across the
+        // two different a subtrees fails.
+        let disjoint_join = Qualifier::AttrJoin {
+            left: Path::seq(Path::label("a").filter(Qualifier::path(Path::label("b"))), Path::label("c")),
+            left_attr: "x".into(),
+            op: CmpOp::Eq,
+            right: Path::seq(
+                Path::label("a").filter(Qualifier::not(Qualifier::path(Path::label("b")))),
+                Path::label("c"),
+            ),
+            right_attr: "x".into(),
+        };
+        assert!(!satisfies_qualifier(&doc, &disjoint_join));
+    }
+
+    #[test]
+    fn missing_attributes_never_compare() {
+        let doc = sample();
+        // b has no attribute x: neither = nor != may hold through it.
+        assert!(!satisfies(&doc, &parse_path("a/b[@x = \"1\"]").unwrap()));
+        assert!(!satisfies(&doc, &parse_path("a/b[@x != \"1\"]").unwrap()));
+    }
+}

@@ -1,0 +1,129 @@
+//! The `inverse` transformation of Proposition 3.2 (after Marx & de Rijke 2005).
+//!
+//! For every path `p` and nodes `n, n'` of any tree `T`:
+//! `T ⊨ p(n, n')` iff `T ⊨ inverse(p)(n', n)`.
+//!
+//! The paper uses it to reduce containment to (un)satisfiability for fragments that are
+//! closed under inversion: `p1 ⊆ p2` under `D` iff `p1[¬(inverse(p2)[¬↑])]` is
+//! unsatisfiable under `D` — the inner `[¬↑]` being the root test.  Both the inverse and
+//! the containment query builder live here; the decision procedure that consumes them is
+//! in `xpsat-core`.
+
+use crate::ast::{Path, Qualifier};
+
+/// `inverse(p)`: the converse relation of `p`, expressed in the same XPath class.
+pub fn inverse(p: &Path) -> Path {
+    match p {
+        Path::Empty => Path::Empty,
+        // (1) if p = l then inverse(p) = ε[lab() = l]/↑
+        Path::Label(l) => Path::seq(
+            Path::Empty.filter(Qualifier::LabelIs(l.clone())),
+            Path::Parent,
+        ),
+        // (2)–(4) axis inversions
+        Path::Wildcard => Path::Parent,
+        Path::Parent => Path::Wildcard,
+        Path::DescendantOrSelf => Path::AncestorOrSelf,
+        Path::AncestorOrSelf => Path::DescendantOrSelf,
+        Path::NextSibling => Path::PrevSibling,
+        Path::PrevSibling => Path::NextSibling,
+        Path::FollowingSiblingOrSelf => Path::PrecedingSiblingOrSelf,
+        Path::PrecedingSiblingOrSelf => Path::FollowingSiblingOrSelf,
+        // (5) inverse(p3/p4) = inverse(p4)/inverse(p3)
+        Path::Seq(a, b) => Path::seq(inverse(b), inverse(a)),
+        // (6) inverse(p3 ∪ p4) = inverse(p3) ∪ inverse(p4)
+        Path::Union(a, b) => Path::union(inverse(a), inverse(b)),
+        // (7) inverse(p3[q]) = ε[q]/inverse(p3)
+        Path::Filter(a, q) => Path::seq(
+            Path::Empty.filter((**q).clone()),
+            inverse(a),
+        ),
+    }
+}
+
+/// The root test `[¬↑]`: holds exactly at the root of a document.
+pub fn root_test() -> Qualifier {
+    Qualifier::not(Qualifier::path(Path::Parent))
+}
+
+/// The containment witness query of Proposition 3.2(3):
+/// `p1[¬(inverse(p2)[¬↑])]` — satisfiable under `D` iff `p1 ⊄ p2` under `D`.
+pub fn containment_witness_query(p1: &Path, p2: &Path) -> Path {
+    let back = inverse(p2).filter(root_test());
+    p1.clone().filter(Qualifier::not(Qualifier::path(back)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_from, selects};
+    use crate::parse::parse_path;
+    use xpsat_xmltree::Document;
+
+    fn sample() -> Document {
+        let mut doc = Document::new("r");
+        let a = doc.add_child(doc.root(), "a");
+        doc.add_child(a, "b");
+        let c = doc.add_child(a, "c");
+        doc.add_child(c, "b");
+        doc.add_child(doc.root(), "c");
+        doc
+    }
+
+    /// Check `T ⊨ p(n, n') ⇔ T ⊨ inverse(p)(n', n)` exhaustively over all node pairs.
+    fn check_inverse_semantics(doc: &Document, p: &Path) {
+        let inv = inverse(p);
+        let nodes = doc.all_nodes();
+        for &n in &nodes {
+            let forward = eval_from(doc, n, p);
+            for &m in &nodes {
+                let forward_holds = forward.contains(&m);
+                let backward_holds = eval_from(doc, m, &inv).contains(&n);
+                assert_eq!(
+                    forward_holds, backward_holds,
+                    "p = {p}, inverse = {inv}, n = {n:?}, m = {m:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_the_converse_relation() {
+        let doc = sample();
+        for q in [
+            "a",
+            "*",
+            "**",
+            "a/b",
+            "a/c/b",
+            "a[b]/c",
+            "a | c",
+            "**/b",
+            "a/>",
+            "a/>>",
+        ] {
+            check_inverse_semantics(&doc, &parse_path(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn root_test_selects_only_the_root() {
+        let doc = sample();
+        let p = Path::DescendantOrSelf.filter(root_test());
+        let result = selects(&doc, &p);
+        assert_eq!(result.len(), 1);
+        assert!(result.contains(&doc.root()));
+    }
+
+    #[test]
+    fn containment_witness_query_detects_non_containment() {
+        use crate::eval::satisfies;
+        let doc = sample();
+        // a/b ⊆ a/* on this tree: the witness query must be unsatisfiable on it.
+        let p1 = parse_path("a/b").unwrap();
+        let p2 = parse_path("a/*").unwrap();
+        assert!(!satisfies(&doc, &containment_witness_query(&p1, &p2)));
+        // a/* ⊄ a/b on this tree (c is a witness): the witness query must be satisfiable.
+        assert!(satisfies(&doc, &containment_witness_query(&p2, &p1)));
+    }
+}

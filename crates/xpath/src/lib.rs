@@ -1,0 +1,39 @@
+//! The XPath class `X(↓, ↓*, ↑, ↑*, →, →*, ←, ←*, ∪, [], =, ¬)` of Benedikt, Fan &
+//! Geerts, with its fragment lattice, a textual syntax, the tree evaluator, and the
+//! syntactic transformations the paper's reductions rely on.
+//!
+//! The crate is purely about *queries and their semantics on concrete trees*; deciding
+//! satisfiability against a DTD is the business of `xpsat-core`.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use xpsat_xpath::{parse_path, eval, Fragment, Features};
+//! use xpsat_xmltree::Document;
+//!
+//! // r -> a(b), c
+//! let mut doc = Document::new("r");
+//! let a = doc.add_child(doc.root(), "a");
+//! doc.add_child(a, "b");
+//! doc.add_child(doc.root(), "c");
+//!
+//! let query = parse_path("a[b and not(lab() = c)]").unwrap();
+//! assert!(eval::satisfies(&doc, &query));
+//! assert!(Fragment::downward_negation().permits_path(&query));
+//! assert!(!Fragment::downward_positive().permits_path(&query));
+//! assert!(Features::of_path(&query).negation);
+//! ```
+
+pub mod ast;
+pub mod closure;
+pub mod display;
+pub mod eval;
+pub mod features;
+pub mod inverse;
+pub mod parse;
+pub mod rewrite;
+
+pub use ast::{CmpOp, Path, Qualifier};
+pub use features::{Features, Fragment};
+pub use inverse::{containment_witness_query, inverse, root_test};
+pub use parse::{parse_path, parse_qualifier, ParseError};

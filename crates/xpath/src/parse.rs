@@ -1,0 +1,565 @@
+//! Parser for the textual query syntax described in [`crate::display`].
+//!
+//! The grammar (recursive descent, with backtracking only inside qualifiers):
+//!
+//! ```text
+//! path      := sequence ("|" sequence)*
+//! sequence  := step ("/" step)*
+//! step      := primary ("[" qualifier "]")*
+//! primary   := "." | ".." | "*" | "**" | "^*" | ">" | ">>" | "<" | "<<"
+//!            | NAME | "(" path ")"
+//! qualifier := conj ("or" conj)*
+//! conj      := unary ("and" unary)*
+//! unary     := "not" "(" qualifier ")" | "lab()" "=" NAME | comparison | path
+//!            | "(" qualifier ")"
+//! comparison:= attr-access ("=" | "!=") (STRING | attr-access)
+//! attr-access := [path "/"] "@" NAME
+//! ```
+//!
+//! `and`, `or` and `not` are reserved words and cannot be used as element-type names in
+//! the textual syntax (the programmatic AST has no such restriction).
+
+use crate::ast::{CmpOp, Path, Qualifier};
+use std::fmt;
+
+/// Error raised by [`parse_path`] / [`parse_qualifier`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// Offset (in tokens) at which the problem was found.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath parse error at token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a path expression.
+pub fn parse_path(input: &str) -> Result<Path, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let path = p.path()?;
+    p.expect_end()?;
+    Ok(path)
+}
+
+/// Parse a qualifier expression.
+pub fn parse_qualifier(input: &str) -> Result<Qualifier, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.qualifier()?;
+    p.expect_end()?;
+    Ok(q)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Name(String),
+    Str(String),
+    Slash,
+    Pipe,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Dot,
+    DotDot,
+    Star,
+    StarStar,
+    CaretStar,
+    Gt,
+    GtGt,
+    Lt,
+    LtLt,
+    At,
+    Eq,
+    Neq,
+    KwAnd,
+    KwOr,
+    KwNot,
+    KwLab,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'|' => {
+                out.push(Token::Pipe);
+                i += 1;
+            }
+            b'[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            b']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b'@' => {
+                out.push(Token::At);
+                i += 1;
+            }
+            b'.' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    out.push(Token::DotDot);
+                    i += 2;
+                } else {
+                    out.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            b'*' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    out.push(Token::StarStar);
+                    i += 2;
+                } else {
+                    out.push(Token::Star);
+                    i += 1;
+                }
+            }
+            b'^' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    out.push(Token::CaretStar);
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "expected '*' after '^'".into(),
+                        position: out.len(),
+                    });
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::GtGt);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'<' {
+                    out.push(Token::LtLt);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "expected '=' after '!'".into(),
+                        position: out.len(),
+                    });
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError {
+                        message: "unterminated string literal".into(),
+                        position: out.len(),
+                    });
+                }
+                out.push(Token::Str(
+                    String::from_utf8_lossy(&bytes[start..j]).into_owned(),
+                ));
+                i = j + 1;
+            }
+            _ if b.is_ascii_alphanumeric() || b == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'-'
+                        || bytes[i] == b'.')
+                {
+                    // Stop a name before ".." so that `a..` tokenises as `a`, `..`.
+                    if bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                let name = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                let token = match name.as_str() {
+                    "and" => Token::KwAnd,
+                    "or" => Token::KwOr,
+                    "not" => Token::KwNot,
+                    "lab" => Token::KwLab,
+                    _ => Token::Name(name),
+                };
+                out.push(token);
+            }
+            _ => {
+                return Err(ParseError {
+                    message: format!("unexpected character '{}'", b as char),
+                    position: out.len(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<(), ParseError> {
+        if self.eat(&tok) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {tok:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected trailing token {:?}", self.peek())))
+        }
+    }
+
+    fn path(&mut self) -> Result<Path, ParseError> {
+        let mut alts = vec![self.sequence()?];
+        while self.eat(&Token::Pipe) {
+            alts.push(self.sequence()?);
+        }
+        Ok(Path::union_all(alts))
+    }
+
+    fn sequence(&mut self) -> Result<Path, ParseError> {
+        let mut parts = vec![self.step()?];
+        while self.eat(&Token::Slash) {
+            parts.push(self.step()?);
+        }
+        // Preserve the structure exactly (no ε-simplification) so that parsing is the
+        // inverse of Display even for explicit `.` steps... except that `seq` smart
+        // constructors are used programmatically; here we right-associate verbatim.
+        let mut acc = parts.pop().expect("at least one step");
+        while let Some(p) = parts.pop() {
+            acc = Path::Seq(Box::new(p), Box::new(acc));
+        }
+        Ok(acc)
+    }
+
+    fn step(&mut self) -> Result<Path, ParseError> {
+        let mut base = self.primary()?;
+        while self.eat(&Token::LBracket) {
+            let q = self.qualifier()?;
+            self.expect(Token::RBracket)?;
+            base = Path::Filter(Box::new(base), Box::new(q));
+        }
+        Ok(base)
+    }
+
+    fn primary(&mut self) -> Result<Path, ParseError> {
+        match self.bump() {
+            Some(Token::Dot) => Ok(Path::Empty),
+            Some(Token::DotDot) => Ok(Path::Parent),
+            Some(Token::Star) => Ok(Path::Wildcard),
+            Some(Token::StarStar) => Ok(Path::DescendantOrSelf),
+            Some(Token::CaretStar) => Ok(Path::AncestorOrSelf),
+            Some(Token::Gt) => Ok(Path::NextSibling),
+            Some(Token::GtGt) => Ok(Path::FollowingSiblingOrSelf),
+            Some(Token::Lt) => Ok(Path::PrevSibling),
+            Some(Token::LtLt) => Ok(Path::PrecedingSiblingOrSelf),
+            Some(Token::Name(n)) => Ok(Path::Label(n)),
+            Some(Token::LParen) => {
+                let p = self.path()?;
+                self.expect(Token::RParen)?;
+                Ok(p)
+            }
+            other => Err(self.error(format!("expected a path step, found {other:?}"))),
+        }
+    }
+
+    fn qualifier(&mut self) -> Result<Qualifier, ParseError> {
+        let mut disjuncts = vec![self.conjunction()?];
+        while self.eat(&Token::KwOr) {
+            disjuncts.push(self.conjunction()?);
+        }
+        let mut acc = disjuncts.pop().expect("nonempty");
+        while let Some(q) = disjuncts.pop() {
+            acc = Qualifier::Or(Box::new(q), Box::new(acc));
+        }
+        Ok(acc)
+    }
+
+    fn conjunction(&mut self) -> Result<Qualifier, ParseError> {
+        let mut conjuncts = vec![self.qual_unary()?];
+        while self.eat(&Token::KwAnd) {
+            conjuncts.push(self.qual_unary()?);
+        }
+        let mut acc = conjuncts.pop().expect("nonempty");
+        while let Some(q) = conjuncts.pop() {
+            acc = Qualifier::And(Box::new(q), Box::new(acc));
+        }
+        Ok(acc)
+    }
+
+    fn qual_unary(&mut self) -> Result<Qualifier, ParseError> {
+        match self.peek() {
+            Some(Token::KwNot) => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let q = self.qualifier()?;
+                self.expect(Token::RParen)?;
+                Ok(Qualifier::Not(Box::new(q)))
+            }
+            Some(Token::KwLab) => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                self.expect(Token::RParen)?;
+                self.expect(Token::Eq)?;
+                match self.bump() {
+                    Some(Token::Name(n)) => Ok(Qualifier::LabelIs(n)),
+                    other => Err(self.error(format!("expected a label after lab() =, found {other:?}"))),
+                }
+            }
+            Some(Token::LParen) => {
+                // Could be a parenthesised qualifier or a parenthesised path: try the
+                // path-shaped parse first, fall back to the qualifier-shaped one.
+                let save = self.pos;
+                match self.comparison_or_path() {
+                    Ok(q) => Ok(q),
+                    Err(_) => {
+                        self.pos = save;
+                        self.bump();
+                        let q = self.qualifier()?;
+                        self.expect(Token::RParen)?;
+                        Ok(q)
+                    }
+                }
+            }
+            _ => self.comparison_or_path(),
+        }
+    }
+
+    /// Parse `attr-access op (STRING | attr-access)`, a bare attribute existence-free
+    /// path, or a path qualifier.
+    fn comparison_or_path(&mut self) -> Result<Qualifier, ParseError> {
+        let (path, attr) = self.attr_access_or_path()?;
+        match attr {
+            None => Ok(Qualifier::Path(path)),
+            Some(attr) => {
+                let op = match self.bump() {
+                    Some(Token::Eq) => CmpOp::Eq,
+                    Some(Token::Neq) => CmpOp::Ne,
+                    other => {
+                        return Err(self.error(format!(
+                            "expected '=' or '!=' after attribute access, found {other:?}"
+                        )))
+                    }
+                };
+                match self.peek() {
+                    Some(Token::Str(_)) => {
+                        let Some(Token::Str(value)) = self.bump() else { unreachable!() };
+                        Ok(Qualifier::AttrCmp { path, attr, op, value })
+                    }
+                    _ => {
+                        let (right, right_attr) = self.attr_access_or_path()?;
+                        let right_attr = right_attr.ok_or_else(|| {
+                            self.error("right-hand side of a join must be an attribute access")
+                        })?;
+                        Ok(Qualifier::AttrJoin {
+                            left: path,
+                            left_attr: attr,
+                            op,
+                            right,
+                            right_attr,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parse a path which may end in `/@name` (or be just `@name`, meaning the
+    /// attribute of the context node).  Returns the path and the optional attribute.
+    fn attr_access_or_path(&mut self) -> Result<(Path, Option<String>), ParseError> {
+        if self.eat(&Token::At) {
+            let name = self.attr_name()?;
+            return Ok((Path::Empty, Some(name)));
+        }
+        let mut parts = vec![self.step()?];
+        let mut attr = None;
+        while self.eat(&Token::Slash) {
+            if self.eat(&Token::At) {
+                attr = Some(self.attr_name()?);
+                break;
+            }
+            parts.push(self.step()?);
+        }
+        let mut acc = parts.pop().expect("at least one step");
+        while let Some(p) = parts.pop() {
+            acc = Path::Seq(Box::new(p), Box::new(acc));
+        }
+        Ok((acc, attr))
+    }
+
+    fn attr_name(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Name(n)) => Ok(n),
+            other => Err(self.error(format!("expected an attribute name, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_axes_and_sequences() {
+        assert_eq!(parse_path(".").unwrap(), Path::Empty);
+        assert_eq!(parse_path("..").unwrap(), Path::Parent);
+        assert_eq!(parse_path("^*").unwrap(), Path::AncestorOrSelf);
+        assert_eq!(
+            parse_path("a/*/b").unwrap(),
+            Path::Seq(
+                Box::new(Path::label("a")),
+                Box::new(Path::Seq(
+                    Box::new(Path::Wildcard),
+                    Box::new(Path::label("b"))
+                ))
+            )
+        );
+        assert_eq!(parse_path(">>").unwrap(), Path::FollowingSiblingOrSelf);
+    }
+
+    #[test]
+    fn parses_union_and_filters() {
+        let p = parse_path("a | b/c").unwrap();
+        assert!(matches!(p, Path::Union(..)));
+        let p = parse_path("a[b and not(c)]").unwrap();
+        match p {
+            Path::Filter(base, q) => {
+                assert_eq!(*base, Path::label("a"));
+                assert!(matches!(*q, Qualifier::And(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_label_tests_and_attribute_comparisons() {
+        let q = parse_qualifier("lab() = book").unwrap();
+        assert_eq!(q, Qualifier::LabelIs("book".into()));
+        let q = parse_qualifier("@s = \"0\"").unwrap();
+        assert_eq!(
+            q,
+            Qualifier::AttrCmp {
+                path: Path::Empty,
+                attr: "s".into(),
+                op: CmpOp::Eq,
+                value: "0".into()
+            }
+        );
+        let q = parse_qualifier("a/@id != */b/@id").unwrap();
+        assert!(matches!(q, Qualifier::AttrJoin { op: CmpOp::Ne, .. }));
+    }
+
+    #[test]
+    fn parses_parenthesised_qualifiers() {
+        let q = parse_qualifier("(a or b) and c").unwrap();
+        assert!(matches!(q, Qualifier::And(..)));
+        let q = parse_qualifier("(a | b)/c").unwrap();
+        assert!(matches!(q, Qualifier::Path(Path::Seq(..))));
+    }
+
+    #[test]
+    fn display_then_parse_round_trips() {
+        let cases = [
+            "a/**/b",
+            ".[x and not(lab() = y)]",
+            "(a | b)/c",
+            "(a/b)[c]",
+            "a[@id = \"7\"]",
+            "a[b/@x != c/@y]/d",
+            "..[lab() = r]",
+            "*[not(b) or c]",
+            ">/a/<<",
+        ];
+        for case in cases {
+            let parsed = parse_path(case).unwrap();
+            let printed = parsed.to_string();
+            let reparsed = parse_path(&printed).unwrap();
+            assert_eq!(parsed, reparsed, "case {case}: {printed}");
+        }
+    }
+
+    #[test]
+    fn reports_errors_with_position() {
+        assert!(parse_path("a//").is_err());
+        assert!(parse_path("a[").is_err());
+        assert!(parse_qualifier("@x >").is_err());
+        assert!(parse_path("a ^ b").is_err());
+    }
+}

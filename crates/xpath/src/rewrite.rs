@@ -1,0 +1,244 @@
+//! Query rewritings used by the paper's equivalences.
+//!
+//! * [`eliminate_recursion`] — Proposition 6.1: under a nonrecursive DTD whose trees
+//!   have depth at most `k`, `↓*` can be replaced by `ε ∪ ↓ ∪ … ∪ ↓^k` (and `↑*` by the
+//!   corresponding parent chains), collapsing e.g. the EXPTIME fragment of Theorem 5.3
+//!   into the PSPACE fragment of Theorem 5.2.
+//! * [`updown_to_qualifiers`] — the rewriting of Theorem 6.8(2): every `X(↓, ↑)` query
+//!   is root-equivalent to an `X(↓, [])` query (or is trivially unsatisfiable because it
+//!   climbs above the root).
+//! * [`qualifiers_to_updown`] — the rewriting used in Theorem 6.6(3) (after Benedikt,
+//!   Fan & Kuper 2005): an `X(↓, [])` query *without label tests* is equivalent to an
+//!   `X(↓, ↑)` query.
+//!
+//! All three are pure syntactic transformations; their equivalence claims are
+//! property-tested against the evaluator in this module and against the satisfiability
+//! engines in `xpsat-core`.
+
+use crate::ast::{Path, Qualifier};
+
+/// Replace every `↓*` by `ε ∪ ↓ ∪ … ∪ ↓^k` and every `↑*` by `ε ∪ ↑ ∪ … ∪ ↑^k`.
+///
+/// On trees of depth at most `k` the result is equivalent to the input
+/// (Proposition 6.1).  The rewriting multiplies the query size by `O(k²)`.
+pub fn eliminate_recursion(p: &Path, k: usize) -> Path {
+    match p {
+        Path::DescendantOrSelf => bounded_chain(Path::Wildcard, k),
+        Path::AncestorOrSelf => bounded_chain(Path::Parent, k),
+        Path::Seq(a, b) => Path::seq(eliminate_recursion(a, k), eliminate_recursion(b, k)),
+        Path::Union(a, b) => Path::union(eliminate_recursion(a, k), eliminate_recursion(b, k)),
+        Path::Filter(a, q) => {
+            Path::Filter(Box::new(eliminate_recursion(a, k)), Box::new(eliminate_recursion_qual(q, k)))
+        }
+        other => other.clone(),
+    }
+}
+
+fn eliminate_recursion_qual(q: &Qualifier, k: usize) -> Qualifier {
+    match q {
+        Qualifier::Path(p) => Qualifier::Path(eliminate_recursion(p, k)),
+        Qualifier::LabelIs(l) => Qualifier::LabelIs(l.clone()),
+        Qualifier::AttrCmp { path, attr, op, value } => Qualifier::AttrCmp {
+            path: eliminate_recursion(path, k),
+            attr: attr.clone(),
+            op: *op,
+            value: value.clone(),
+        },
+        Qualifier::AttrJoin { left, left_attr, op, right, right_attr } => Qualifier::AttrJoin {
+            left: eliminate_recursion(left, k),
+            left_attr: left_attr.clone(),
+            op: *op,
+            right: eliminate_recursion(right, k),
+            right_attr: right_attr.clone(),
+        },
+        Qualifier::And(a, b) => Qualifier::And(
+            Box::new(eliminate_recursion_qual(a, k)),
+            Box::new(eliminate_recursion_qual(b, k)),
+        ),
+        Qualifier::Or(a, b) => Qualifier::Or(
+            Box::new(eliminate_recursion_qual(a, k)),
+            Box::new(eliminate_recursion_qual(b, k)),
+        ),
+        Qualifier::Not(inner) => Qualifier::Not(Box::new(eliminate_recursion_qual(inner, k))),
+    }
+}
+
+fn bounded_chain(step: Path, k: usize) -> Path {
+    let mut alts = vec![Path::Empty];
+    for i in 1..=k {
+        alts.push(Path::seq_all(std::iter::repeat(step.clone()).take(i)));
+    }
+    Path::union_all(alts)
+}
+
+/// Rewrite an `X(↓, ↑)` query (steps `ε | l | ↓ | ↑` composed with `/`, no qualifiers,
+/// no union) into a root-equivalent `X(↓, [])` query.
+///
+/// Returns `None` when the query climbs above its starting node; evaluated at the root
+/// such a query is unsatisfiable on every tree (this is how Theorem 6.8(2) uses the
+/// rewriting).  Returns an error-like `None` as well when the input is outside
+/// `X(↓, ↑)`.
+pub fn updown_to_qualifiers(p: &Path) -> Option<Path> {
+    // Flatten the composition spine into primitive steps.
+    let mut steps = Vec::new();
+    if !flatten_updown(p, &mut steps) {
+        return None;
+    }
+    // Each stack entry is a downward step (with any filters accumulated onto it); the
+    // bottom entry collects filters that apply to the starting node itself.
+    let mut stack: Vec<Path> = vec![Path::Empty];
+    for step in steps {
+        match step {
+            Path::Empty => {}
+            Path::Label(_) | Path::Wildcard => stack.push(step),
+            Path::Parent => {
+                if stack.len() == 1 {
+                    // Climbing above the starting node: unsatisfiable at the root.
+                    return None;
+                }
+                let sub = stack.pop().expect("len checked");
+                let top = stack.last_mut().expect("nonempty stack");
+                *top = top.clone().filter(Qualifier::path(sub));
+            }
+            _ => return None,
+        }
+    }
+    Some(Path::seq_all(stack))
+}
+
+fn flatten_updown(p: &Path, out: &mut Vec<Path>) -> bool {
+    match p {
+        Path::Seq(a, b) => flatten_updown(a, out) && flatten_updown(b, out),
+        Path::Empty | Path::Label(_) | Path::Wildcard | Path::Parent => {
+            out.push(p.clone());
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Rewrite an `X(↓, [])` query *without label tests, union, negation or data values*
+/// into an equivalent `X(↓, ↑)` query (Theorem 6.6(3)).
+///
+/// Returns `None` when the query lies outside that fragment.
+pub fn qualifiers_to_updown(p: &Path) -> Option<Path> {
+    rewrite_path(p).map(|(path, _depth)| path)
+}
+
+/// Rewrites a path, additionally returning the number of downward steps it takes (so
+/// that qualifier sub-rewrites know how far to climb back up).
+fn rewrite_path(p: &Path) -> Option<(Path, usize)> {
+    match p {
+        Path::Empty => Some((Path::Empty, 0)),
+        Path::Label(l) => Some((Path::label(l.clone()), 1)),
+        Path::Wildcard => Some((Path::Wildcard, 1)),
+        Path::Seq(a, b) => {
+            let (ra, da) = rewrite_path(a)?;
+            let (rb, db) = rewrite_path(b)?;
+            Some((Path::seq(ra, rb), da + db))
+        }
+        Path::Filter(a, q) => {
+            let (ra, da) = rewrite_path(a)?;
+            let rq = rewrite_qualifier(q)?;
+            Some((Path::seq(ra, rq), da))
+        }
+        _ => None,
+    }
+}
+
+/// Rewrites a qualifier into a path that starts and ends at the same node.
+fn rewrite_qualifier(q: &Qualifier) -> Option<Path> {
+    match q {
+        Qualifier::Path(p) => {
+            let (rp, depth) = rewrite_path(p)?;
+            Some(Path::seq(rp, Path::parent_chain(depth)))
+        }
+        Qualifier::And(a, b) => {
+            let ra = rewrite_qualifier(a)?;
+            let rb = rewrite_qualifier(b)?;
+            Some(Path::seq(ra, rb))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{satisfies, selects};
+    use crate::parse::parse_path;
+    use xpsat_xmltree::Document;
+
+    fn sample() -> Document {
+        // r -> a(b(d), c), c
+        let mut doc = Document::new("r");
+        let a = doc.add_child(doc.root(), "a");
+        let b = doc.add_child(a, "b");
+        doc.add_child(b, "d");
+        doc.add_child(a, "c");
+        doc.add_child(doc.root(), "c");
+        doc
+    }
+
+    #[test]
+    fn recursion_elimination_is_equivalent_on_bounded_depth_trees() {
+        let doc = sample();
+        let depth = doc.height();
+        for q in ["**/d", "a/**", "**/c", "**[d]", "a/**/d/^*", "^*"] {
+            let p = parse_path(q).unwrap();
+            let rewritten = eliminate_recursion(&p, depth);
+            assert_eq!(
+                selects(&doc, &p),
+                selects(&doc, &rewritten),
+                "query {q} vs {rewritten}"
+            );
+        }
+    }
+
+    #[test]
+    fn updown_rewriting_preserves_root_satisfaction() {
+        let doc = sample();
+        for q in ["a/b/..", "a/b/../c", "a/*/../b/d", "a/b/../../c", "a/.."] {
+            let p = parse_path(q).unwrap();
+            match updown_to_qualifiers(&p) {
+                Some(rw) => {
+                    assert_eq!(
+                        satisfies(&doc, &p),
+                        satisfies(&doc, &rw),
+                        "query {q} vs rewritten {rw}"
+                    );
+                    // the rewritten query must not use the parent axis
+                    assert!(!crate::features::Features::of_path(&rw).has_upward());
+                }
+                None => {
+                    // Climbing above the root: the original must be root-unsatisfiable.
+                    assert!(!satisfies(&doc, &p), "query {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qualifier_rewriting_preserves_root_satisfaction() {
+        let doc = sample();
+        for q in ["a[b]", "a[b/d]/c", "a[b and c]", ".[a[b[d] and c]]", "a[b[d]]/c"] {
+            let p = parse_path(q).unwrap();
+            let rw = qualifiers_to_updown(&p).expect("fragment accepted");
+            assert_eq!(
+                satisfies(&doc, &p),
+                satisfies(&doc, &rw),
+                "query {q} vs rewritten {rw}"
+            );
+            // the rewritten query must not use qualifiers
+            assert!(!crate::features::Features::of_path(&rw).qualifier);
+        }
+    }
+
+    #[test]
+    fn qualifier_rewriting_rejects_label_tests() {
+        let p = parse_path("a[lab() = a]").unwrap();
+        assert!(qualifiers_to_updown(&p).is_none());
+        let p = parse_path("a[not(b)]").unwrap();
+        assert!(qualifiers_to_updown(&p).is_none());
+    }
+}

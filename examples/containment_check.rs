@@ -1,0 +1,54 @@
+//! Containment through satisfiability (Proposition 3.2) — the static analysis that most
+//! prior work focused on, obtained here as a corollary of the satisfiability machinery.
+//!
+//! The example checks a few containment relationships between access-control-style
+//! queries over a document-management DTD, the scenario in which containment questions
+//! ("does the public view ever reveal something the restricted view does not?") arise in
+//! practice.
+//!
+//! Run with `cargo run --example containment_check`.
+
+use xpathsat::prelude::*;
+
+fn main() {
+    // Star-free and nonrecursive, so every check below is decided exactly.
+    let dtd = parse_dtd(
+        "root archive;
+         archive -> record, record?;
+         record -> meta, body?;
+         meta -> owner, visibility;
+         body -> text?, attachment?;
+         owner -> #; visibility -> #; text -> #; attachment -> #;",
+    )
+    .expect("well-formed DTD");
+
+    let solver = Solver::default();
+    let checks = [
+        // Everything with a body has meta data (the DTD forces meta): contained.
+        ("record[body]", "record[meta]"),
+        // The converse fails: a record can have meta but no body.
+        ("record[meta]", "record[body]"),
+        // Path containment through the inverse transformation.
+        ("record/body/text", "record/body/*"),
+        ("record/body/*", "record/body/text"),
+    ];
+
+    for (left, right) in checks {
+        let p1 = parse_path(left).unwrap();
+        let p2 = parse_path(right).unwrap();
+        let verdict = containment(&solver, &dtd, &p1, &p2);
+        println!("{left}  ⊆  {right}   ?   {verdict:?}");
+    }
+
+    // Boolean containment (Proposition 3.2(2)) with negation in both operands.
+    let q1 = parse_qualifier("record[body and not(body/attachment)]").unwrap();
+    let q2 = parse_qualifier("record[body]").unwrap();
+    println!(
+        "[{q1}] ⊆ [{q2}] ? {:?}",
+        boolean_containment(&solver, &dtd, &q1, &q2)
+    );
+    println!(
+        "[{q2}] ⊆ [{q1}] ? {:?}",
+        boolean_containment(&solver, &dtd, &q2, &q1)
+    );
+}

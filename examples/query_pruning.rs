@@ -1,0 +1,74 @@
+//! Query pruning — the motivating application from the paper's introduction.
+//!
+//! "Consider an XML query construct commonly used: `for $x in p return c($x)`.  If one
+//! can decide, at compile time, that `p` is not satisfiable, then the unnecessary
+//! computation of `c($x)` can simply be avoided."
+//!
+//! This example plays the role of such an optimiser: it takes a workload of XPath
+//! expressions used by a (fictional) reporting application over a clinical-records DTD
+//! and partitions them into the ones worth executing and the dead ones, with the
+//! complexity class / engine that justified each pruning decision.
+//!
+//! Run with `cargo run --example query_pruning`.
+
+use xpathsat::prelude::*;
+
+fn main() {
+    let dtd = parse_dtd(
+        "root hospital;
+         hospital -> department*;
+         department -> name, (ward | laboratory)*;
+         ward -> name, patient*;
+         patient -> name, admission, discharge?, treatment*;
+         treatment -> drug | surgery;
+         laboratory -> name, sample*;
+         sample -> #;
+         name -> #; admission -> #; discharge -> #; drug -> #; surgery -> #;
+         @patient: id; @sample: id; @drug: code;",
+    )
+    .expect("well-formed DTD");
+
+    let workload = [
+        // Live queries.
+        "department/ward/patient[treatment/drug]",
+        "**/patient[not(discharge)]",
+        "department[ward and laboratory]",
+        "**/sample",
+        "department/ward/patient[treatment[drug] and treatment[surgery]]",
+        // Dead queries: schema violations an optimiser should catch.
+        "department/patient",                       // patients live under wards
+        "**/patient[discharge and not(admission)]", // admission is mandatory
+        "laboratory/patient",                       // labs hold samples, not patients
+        "**/treatment[drug and surgery]",           // a treatment is one or the other
+        "department/ward/sample",                   // samples live under labs
+    ];
+
+    let solver = Solver::default();
+    let mut live = Vec::new();
+    let mut dead = Vec::new();
+
+    for text in workload {
+        let query = parse_path(text).expect("query parses");
+        let decision = solver.decide(&dtd, &query);
+        match decision.result {
+            Satisfiability::Satisfiable(_) => live.push((text, decision.engine)),
+            Satisfiability::Unsatisfiable => dead.push((text, decision.engine)),
+            Satisfiability::Unknown => live.push((text, decision.engine)),
+        }
+    }
+
+    println!("== queries worth executing ==");
+    for (text, engine) in &live {
+        println!("  {text}    [checked by {engine}]");
+    }
+    println!("\n== dead queries (pruned at compile time) ==");
+    for (text, engine) in &dead {
+        println!("  {text}    [proved empty by {engine}]");
+    }
+    println!(
+        "\npruned {} of {} queries without touching any document",
+        dead.len(),
+        workload.len()
+    );
+    assert_eq!(dead.len(), 5, "exactly the five schema-violating queries are pruned");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: check a handful of queries against a bookstore DTD, print the verdicts,
+//! the engine that produced each one, and a witness document when one exists.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use xpathsat::prelude::*;
+
+fn main() {
+    let dtd = parse_dtd(
+        "root store;
+         store -> (book | magazine)*;
+         book  -> title, author+, price?;
+         magazine -> title, issue;
+         title -> #; author -> #; price -> #; issue -> #;
+         @book: isbn; @price: currency;",
+    )
+    .expect("the DTD is well-formed");
+
+    println!("DTD:\n{dtd}");
+    let class = classify(&dtd);
+    println!("classification: {class:?}\n");
+
+    let solver = Solver::default();
+    let queries = [
+        // satisfiable: a book with at least two authors and no price
+        "book[author and not(price)]",
+        // satisfiable: some title anywhere
+        "**/title",
+        // unsatisfiable: magazines have no authors
+        "magazine/author",
+        // unsatisfiable: a book cannot be both priced and price-less
+        "book[price and not(price)]",
+        // satisfiable: sibling navigation from a title to the following author
+        "book/title/>[lab() = author]",
+        // satisfiable, uses data values: a book whose isbn equals a constant
+        "book[@isbn = \"1-55860-622-X\"]",
+    ];
+
+    for text in queries {
+        let query = parse_path(text).expect("query parses");
+        let decision = solver.decide(&dtd, &query);
+        println!("query     : {query}");
+        println!("fragment  : {:?}", Features::of_path(&query));
+        println!("engine    : {}", decision.engine);
+        println!("complete  : {}", decision.complete);
+        match &decision.result {
+            Satisfiability::Satisfiable(doc) => {
+                verify_witness(doc, &dtd, &query).expect("witnesses are always re-checked");
+                println!("verdict   : satisfiable");
+                println!("witness   : {doc}");
+            }
+            Satisfiability::Unsatisfiable => println!("verdict   : unsatisfiable"),
+            Satisfiability::Unknown => println!("verdict   : unknown (budget exhausted)"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,56 @@
+//! 3SAT solved through XPath satisfiability — the NP-hardness reduction of
+//! Proposition 4.2 run forwards (Figure 1 of the paper).
+//!
+//! The example encodes a propositional formula as a `(DTD, query)` pair, lets the
+//! satisfiability solver find a witness document, decodes the truth assignment back out
+//! of the witness and checks it against the formula — then does the same for an
+//! unsatisfiable formula to show the other direction.
+//!
+//! Run with `cargo run --example three_sat_via_xpath`.
+
+use xpathsat::logic::{dpll, CnfFormula, Literal, Var};
+use xpathsat::prelude::*;
+use xpathsat::sat::reductions::threesat::{decode_assignment, threesat_to_downward_qualifiers};
+
+fn solve_via_xpath(formula: &CnfFormula) {
+    println!("formula: {formula}");
+    let (dtd, query) = threesat_to_downward_qualifiers(formula);
+    println!("encoded DTD has {} element types; query: {query}", dtd.element_names().len());
+
+    let solver = Solver::default();
+    let decision = solver.decide(&dtd, &query);
+    match decision.result {
+        Satisfiability::Satisfiable(witness) => {
+            let assignment = decode_assignment(&witness, formula);
+            println!("XPath-satisfiable → formula satisfiable; decoded assignment:");
+            for (var, value) in &assignment {
+                println!("  x{} = {}", var.0, value);
+            }
+            assert!(formula.eval(&assignment), "decoded assignment satisfies the formula");
+            assert!(dpll::satisfiable(formula), "DPLL agrees");
+        }
+        Satisfiability::Unsatisfiable => {
+            println!("XPath-unsatisfiable → formula unsatisfiable");
+            assert!(!dpll::satisfiable(formula), "DPLL agrees");
+        }
+        Satisfiability::Unknown => unreachable!("the positive engine is complete here"),
+    }
+    println!();
+}
+
+fn main() {
+    // (x1 ∨ x2 ∨ ¬x3) ∧ (¬x1 ∨ x3 ∨ x2) ∧ (¬x2 ∨ x3 ∨ x1) — satisfiable.
+    let satisfiable = CnfFormula::from_clauses(vec![
+        vec![Literal::pos(Var(1)), Literal::pos(Var(2)), Literal::neg(Var(3))],
+        vec![Literal::neg(Var(1)), Literal::pos(Var(3)), Literal::pos(Var(2))],
+        vec![Literal::neg(Var(2)), Literal::pos(Var(3)), Literal::pos(Var(1))],
+    ]);
+    solve_via_xpath(&satisfiable);
+
+    // x1 ∧ ¬x1 (padded to three literals) — unsatisfiable.
+    let unsatisfiable = CnfFormula::from_clauses(vec![
+        vec![Literal::pos(Var(1)), Literal::pos(Var(1)), Literal::pos(Var(1))],
+        vec![Literal::neg(Var(1)), Literal::neg(Var(1)), Literal::neg(Var(1))],
+    ]);
+    solve_via_xpath(&unsatisfiable);
+}
