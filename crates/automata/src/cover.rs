@@ -78,8 +78,9 @@ pub fn shortest_covering_word<S: Symbol>(nfa: &Nfa<S>, demand: &CoverDemand<S>) 
     seen.insert(start.clone());
     queue.push_back(start.clone());
 
-    let is_goal =
-        |key: &Key| -> bool { nfa.is_accepting(key.0) && key.1.iter().zip(&goal).all(|(c, g)| c >= g) };
+    let is_goal = |key: &Key| -> bool {
+        nfa.is_accepting(key.0) && key.1.iter().zip(&goal).all(|(c, g)| c >= g)
+    };
 
     let mut goal_key: Option<Key> = if is_goal(&start) { Some(start) } else { None };
 

@@ -92,9 +92,9 @@ impl<S: Symbol> Dfa<S> {
         let dead = self.transitions.len();
         let mut transitions = self.transitions.clone();
         transitions.push(BTreeMap::new());
-        for q in 0..transitions.len() {
+        for row in transitions.iter_mut() {
             for sym in alphabet {
-                transitions[q].entry(sym.clone()).or_insert(dead);
+                row.entry(sym.clone()).or_insert(dead);
             }
         }
         let accepting: BTreeSet<usize> = (0..transitions.len())

@@ -58,8 +58,8 @@ impl<S: Symbol> Nfa<S> {
             let sym = positions[p - 1].clone();
             nfa.transitions[0].entry(sym).or_default().insert(p);
         }
-        for p in 1..=m {
-            for &q in &follow[p] {
+        for (p, follow_p) in follow.iter().enumerate().take(m + 1).skip(1) {
+            for &q in follow_p {
                 let sym = positions[q - 1].clone();
                 nfa.transitions[p].entry(sym).or_default().insert(q);
             }
@@ -154,7 +154,11 @@ impl<S: Symbol> Nfa<S> {
         let mut queue = VecDeque::new();
         visited[0] = true;
         queue.push_back(0);
-        let mut goal = if self.accepting.contains(&0) { Some(0) } else { None };
+        let mut goal = if self.accepting.contains(&0) {
+            Some(0)
+        } else {
+            None
+        };
         while goal.is_none() {
             let Some(q) = queue.pop_front() else { break };
             for (sym, succ) in &self.transitions[q] {

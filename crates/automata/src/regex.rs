@@ -217,9 +217,7 @@ impl<S: Symbol> Regex<S> {
                 }
                 Regex::alt(alts)
             }
-            Regex::Alt(parts) => {
-                Regex::alt(parts.iter().map(|p| p.derivative(sym)).collect())
-            }
+            Regex::Alt(parts) => Regex::alt(parts.iter().map(|p| p.derivative(sym)).collect()),
             Regex::Star(inner) => {
                 Regex::concat(vec![inner.derivative(sym), Regex::Star(inner.clone())])
             }

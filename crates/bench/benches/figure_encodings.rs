@@ -6,11 +6,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xpsat_bench::{random_formula, random_qbf, rng};
-use xpsat_core::reductions::{
-    q3sat_to_downward_negation, threesat_to_disjunction_free_data,
-    threesat_to_downward_qualifiers, threesat_to_fixed_dtd_union,
-};
 use xpsat_core::reductions::two_register::{two_register_to_full_fragment, witness_from_run};
+use xpsat_core::reductions::{
+    q3sat_to_downward_negation, threesat_to_disjunction_free_data, threesat_to_downward_qualifiers,
+    threesat_to_fixed_dtd_union,
+};
 use xpsat_core::Solver;
 use xpsat_logic::trm::{RunOutcome, TwoRegisterMachine};
 
@@ -52,12 +52,16 @@ fn fig3_q3sat_encoding(c: &mut Criterion) {
     for num_vars in [2u32, 3, 4] {
         let mut r = rng(77 + num_vars as u64);
         let qbf = random_qbf(&mut r, num_vars, num_vars as usize + 1);
-        group.bench_with_input(BenchmarkId::new("variables", num_vars), &num_vars, |b, _| {
-            b.iter(|| {
-                let (dtd, query) = q3sat_to_downward_negation(&qbf);
-                assert!(solver.decide(&dtd, &query).result.is_definite());
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("variables", num_vars),
+            &num_vars,
+            |b, _| {
+                b.iter(|| {
+                    let (dtd, query) = q3sat_to_downward_negation(&qbf);
+                    assert!(solver.decide(&dtd, &query).result.is_definite());
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -67,15 +71,21 @@ fn fig4_two_register_encoding(c: &mut Criterion) {
     group.sample_size(10);
     for counter in [2usize, 4, 8] {
         let machine = TwoRegisterMachine::bump_and_drain(counter);
-        let RunOutcome::Halted(trace) = machine.run(10_000) else { unreachable!() };
-        group.bench_with_input(BenchmarkId::new("encode_and_check_run", counter), &counter, |b, _| {
-            b.iter(|| {
-                let (dtd, query) = two_register_to_full_fragment(&machine);
-                let mut doc = witness_from_run(&trace);
-                xpsat_core::witness::fill_missing_attributes(&mut doc, &dtd);
-                assert!(xpsat_xpath::eval::satisfies(&doc, &query));
-            })
-        });
+        let RunOutcome::Halted(trace) = machine.run(10_000) else {
+            unreachable!()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("encode_and_check_run", counter),
+            &counter,
+            |b, _| {
+                b.iter(|| {
+                    let (dtd, query) = two_register_to_full_fragment(&machine);
+                    let mut doc = witness_from_run(&trace);
+                    xpsat_core::witness::fill_missing_attributes(&mut doc, &dtd);
+                    assert!(xpsat_xpath::eval::satisfies(&doc, &query));
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -87,12 +97,16 @@ fn fig8_disjunction_free_data(c: &mut Criterion) {
     for num_vars in [3u32, 4, 5] {
         let mut r = rng(11 + num_vars as u64);
         let formula = random_formula(&mut r, num_vars, (num_vars * 2) as usize);
-        group.bench_with_input(BenchmarkId::new("variables", num_vars), &num_vars, |b, _| {
-            b.iter(|| {
-                let (dtd, query) = threesat_to_disjunction_free_data(&formula);
-                assert!(solver.decide(&dtd, &query).result.is_definite());
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("variables", num_vars),
+            &num_vars,
+            |b, _| {
+                b.iter(|| {
+                    let (dtd, query) = threesat_to_disjunction_free_data(&formula);
+                    assert!(solver.decide(&dtd, &query).result.is_definite());
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -22,12 +22,16 @@ fn q3sat_encoding(c: &mut Criterion) {
         let mut r = rng(900 + num_vars as u64);
         let qbf = random_qbf(&mut r, num_vars, (num_vars * 2) as usize);
         let (dtd, query) = q3sat_to_downward_negation(&qbf);
-        group.bench_with_input(BenchmarkId::new("variables", num_vars), &num_vars, |b, _| {
-            b.iter(|| {
-                let decision = solver.decide(&dtd, &query);
-                assert!(decision.result.is_definite());
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("variables", num_vars),
+            &num_vars,
+            |b, _| {
+                b.iter(|| {
+                    let decision = solver.decide(&dtd, &query);
+                    assert!(decision.result.is_definite());
+                })
+            },
+        );
     }
     group.finish();
 }

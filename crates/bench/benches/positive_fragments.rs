@@ -36,12 +36,16 @@ fn positive_np(c: &mut Criterion) {
         let mut r = rng(500 + num_vars as u64);
         let formula = random_formula(&mut r, num_vars, (num_vars * 3) as usize);
         let (dtd, query) = threesat_to_downward_qualifiers(&formula);
-        group.bench_with_input(BenchmarkId::new("variables", num_vars), &num_vars, |b, _| {
-            b.iter(|| {
-                let decision = solver.decide(&dtd, &query);
-                assert!(decision.result.is_definite());
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("variables", num_vars),
+            &num_vars,
+            |b, _| {
+                b.iter(|| {
+                    let decision = solver.decide(&dtd, &query);
+                    assert!(decision.result.is_definite());
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -27,19 +27,29 @@ fn disjunction_free_vs_general(c: &mut Criterion) {
         let djfree = parse_dtd(&format!(
             "r -> item*; item -> {}; {}",
             fields.join(", "),
-            fields.iter().map(|f| format!("{f} -> #;")).collect::<Vec<_>>().join(" ")
+            fields
+                .iter()
+                .map(|f| format!("{f} -> #;"))
+                .collect::<Vec<_>>()
+                .join(" ")
         ))
         .unwrap();
         let disjunctive = parse_dtd(&format!(
             "r -> item*; item -> ({})*; {}",
             fields.join(" | "),
-            fields.iter().map(|f| format!("{f} -> #;")).collect::<Vec<_>>().join(" ")
+            fields
+                .iter()
+                .map(|f| format!("{f} -> #;"))
+                .collect::<Vec<_>>()
+                .join(" ")
         ))
         .unwrap();
         let query = conjunctive_qualifiers(width);
-        group.bench_with_input(BenchmarkId::new("disjunction_free", width), &width, |b, _| {
-            b.iter(|| assert!(solver.decide(&djfree, &query).result.is_definite()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("disjunction_free", width),
+            &width,
+            |b, _| b.iter(|| assert!(solver.decide(&djfree, &query).result.is_definite())),
+        );
         group.bench_with_input(BenchmarkId::new("general", width), &width, |b, _| {
             b.iter(|| assert!(solver.decide(&disjunctive, &query).result.is_definite()))
         });

@@ -16,7 +16,11 @@ fn wide_dtd(width: usize) -> xpsat_dtd::Dtd {
     parse_dtd(&format!(
         "r -> {}; {}",
         names.join(", "),
-        names.iter().map(|n| format!("{n} -> #;")).collect::<Vec<_>>().join(" ")
+        names
+            .iter()
+            .map(|n| format!("{n} -> #;"))
+            .collect::<Vec<_>>()
+            .join(" ")
     ))
     .unwrap()
 }

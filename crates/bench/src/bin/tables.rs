@@ -35,7 +35,11 @@ fn main() {
             .iter()
             .map(|&d| time_decide(&solver, &layered_dtd(d, 3), &chain_query(d)))
             .collect();
-        row("X(child, desc, union), growing |D|", "PTIME (Thm 4.1)", &cells);
+        row(
+            "X(child, desc, union), growing |D|",
+            "PTIME (Thm 4.1)",
+            &cells,
+        );
 
         let cells: Vec<(String, f64)> = [3u32, 4, 5]
             .iter()
@@ -46,7 +50,11 @@ fn main() {
                 time_decide(&solver, &dtd, &query)
             })
             .collect();
-        row("X(child, qualifiers), 3SAT encodings", "NP-complete (Prop 4.2)", &cells);
+        row(
+            "X(child, qualifiers), 3SAT encodings",
+            "NP-complete (Prop 4.2)",
+            &cells,
+        );
     }
 
     println!("\n== Table 2: fragments with negation (Section 5) ==");
@@ -60,38 +68,63 @@ fn main() {
                 time_decide(&solver, &dtd, &query)
             })
             .collect();
-        row("X(child, qualifiers, neg), Q3SAT encodings", "PSPACE-c (Thm 5.2)", &cells);
+        row(
+            "X(child, qualifiers, neg), Q3SAT encodings",
+            "PSPACE-c (Thm 5.2)",
+            &cells,
+        );
 
         let dtd = parse_dtd("r -> a*; a -> (b | c), d?; b -> #; c -> #; d -> #;").unwrap();
         let cells: Vec<(String, f64)> = ["**[lab() = a and not(d)]", ".[not(a[b] or a[c])]"]
             .iter()
             .map(|q| time_decide(&solver, &dtd, &parse_path(q).unwrap()))
             .collect();
-        row("X(child, desc, union, qualifiers, neg)", "EXPTIME-c (Thm 5.3)", &cells);
+        row(
+            "X(child, desc, union, qualifiers, neg)",
+            "EXPTIME-c (Thm 5.3)",
+            &cells,
+        );
     }
 
     println!("\n== Table 3: restricted DTDs (Section 6) ==");
     {
-        let djfree = parse_dtd("r -> item*; item -> f0, f1, f2, f3; f0 -> #; f1 -> #; f2 -> #; f3 -> #;").unwrap();
+        let djfree =
+            parse_dtd("r -> item*; item -> f0, f1, f2, f3; f0 -> #; f1 -> #; f2 -> #; f3 -> #;")
+                .unwrap();
         let query = parse_path(".[item/f0 and item/f1 and item/f2 and item/f3]").unwrap();
         let cells = vec![time_decide(&solver, &djfree, &query)];
-        row("disjunction-free DTDs, X(child, desc, [, ])", "PTIME (Thm 6.8)", &cells);
+        row(
+            "disjunction-free DTDs, X(child, desc, [, ])",
+            "PTIME (Thm 6.8)",
+            &cells,
+        );
 
         let nonrec = parse_dtd("r -> a; a -> b?; b -> c?; c -> #;").unwrap();
         let query = parse_path("**[lab() = c]/..[not(lab() = r)]").unwrap();
         let cells = vec![time_decide(&solver, &nonrec, &query)];
-        row("nonrecursive DTDs, recursion eliminated", "collapses (Prop 6.1)", &cells);
+        row(
+            "nonrecursive DTDs, recursion eliminated",
+            "collapses (Prop 6.1)",
+            &cells,
+        );
 
         let q = parse_path("a[b and c]/d").unwrap();
         let start = Instant::now();
         let verdict = format!("{}", solver.decide_without_dtd(&q).result);
         let cells = vec![(verdict, start.elapsed().as_secs_f64() * 1e3)];
-        row("no DTD, X(child, desc, union, qualifiers)", "PTIME (Thm 6.11)", &cells);
+        row(
+            "no DTD, X(child, desc, union, qualifiers)",
+            "PTIME (Thm 6.11)",
+            &cells,
+        );
     }
 
     println!("\n== Table 4: sibling axes (Section 7) ==");
     {
-        let dtd = parse_dtd("r -> k0, k1, k2, k3, k4, k5; k0 -> #; k1 -> #; k2 -> #; k3 -> #; k4 -> #; k5 -> #;").unwrap();
+        let dtd = parse_dtd(
+            "r -> k0, k1, k2, k3, k4, k5; k0 -> #; k1 -> #; k2 -> #; k3 -> #; k4 -> #; k5 -> #;",
+        )
+        .unwrap();
         let cells: Vec<(String, f64)> = ["k0/>/>/>", "k5/</</<", "k3/>/<"]
             .iter()
             .map(|q| time_decide(&solver, &dtd, &parse_path(q).unwrap()))

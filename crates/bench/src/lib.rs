@@ -21,9 +21,8 @@ pub fn rng(seed: u64) -> StdRng {
 /// used to scale `|D|` for the PTIME engines.
 pub fn layered_dtd(depth: usize, width: usize) -> Dtd {
     let mut text = String::from("root l0;\n");
-    let level_types = |level: usize| -> Vec<String> {
-        (0..width).map(|w| format!("l{level}_{w}")).collect()
-    };
+    let level_types =
+        |level: usize| -> Vec<String> { (0..width).map(|w| format!("l{level}_{w}")).collect() };
     text.push_str(&format!("l0 -> ({})*;\n", level_types(1).join(" | ")));
     for level in 1..=depth {
         for name in level_types(level) {
@@ -42,7 +41,8 @@ pub fn layered_dtd(depth: usize, width: usize) -> Dtd {
 
 /// A deep chain query `* / * / … / l{depth}_0` of the given length over [`layered_dtd`].
 pub fn chain_query(depth: usize) -> Path {
-    let mut steps: Vec<Path> = std::iter::repeat(Path::Wildcard).take(depth.saturating_sub(1)).collect();
+    let mut steps: Vec<Path> =
+        std::iter::repeat_n(Path::Wildcard, depth.saturating_sub(1)).collect();
     steps.push(Path::label(format!("l{depth}_0")));
     Path::seq_all(steps)
 }

@@ -27,7 +27,12 @@ pub enum Containment {
 }
 
 /// Proposition 3.2(2): containment of Boolean queries `ε[q1] ⊆ ε[q2]`.
-pub fn boolean_containment(solver: &Solver, dtd: &Dtd, q1: &Qualifier, q2: &Qualifier) -> Containment {
+pub fn boolean_containment(
+    solver: &Solver,
+    dtd: &Dtd,
+    q1: &Qualifier,
+    q2: &Qualifier,
+) -> Containment {
     let witness_query = Path::Empty.filter(Qualifier::And(
         Box::new(q1.clone()),
         Box::new(Qualifier::not(q2.clone())),
@@ -63,7 +68,10 @@ mod tests {
         // [a and c-below] ⊆ [a]
         let q1 = parse_qualifier("a[c]").unwrap();
         let q2 = parse_qualifier("a").unwrap();
-        assert_eq!(boolean_containment(&solver, &dtd, &q1, &q2), Containment::Contained);
+        assert_eq!(
+            boolean_containment(&solver, &dtd, &q1, &q2),
+            Containment::Contained
+        );
         assert_eq!(
             boolean_containment(&solver, &dtd, &q2, &q1),
             Containment::NotContained
@@ -86,7 +94,10 @@ mod tests {
         let p1 = parse_path("a/b").unwrap();
         let p2 = parse_path("a/*").unwrap();
         assert_eq!(containment(&solver, &dtd, &p1, &p2), Containment::Contained);
-        assert_eq!(containment(&solver, &dtd, &p2, &p1), Containment::NotContained);
+        assert_eq!(
+            containment(&solver, &dtd, &p2, &p1),
+            Containment::NotContained
+        );
         // Under this DTD a/b and a/b are trivially equivalent.
         assert_eq!(containment(&solver, &dtd, &p1, &p1), Containment::Contained);
     }

@@ -182,7 +182,8 @@ mod tests {
     #[test]
     fn conjunctions_decompose_under_disjunction_free_dtds() {
         // Disjunction-free: every book has both a title and an author list.
-        let dtd = parse_dtd("r -> book*; book -> title, author+; title -> #; author -> #;").unwrap();
+        let dtd =
+            parse_dtd("r -> book*; book -> title, author+; title -> #; author -> #;").unwrap();
         assert!(decide(&dtd, &parse_path("book[title and author]").unwrap()).unwrap());
         assert!(decide(&dtd, &parse_path("book[title][author]").unwrap()).unwrap());
         assert!(!decide(&dtd, &parse_path("book[title and price]").unwrap()).unwrap());

@@ -42,8 +42,10 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
     let subqueries = closure::sub_paths_ascending(query);
 
     // reach[(subquery index, type)] = element types reachable via the subquery.
-    let index_of: BTreeMap<&Path, usize> = subqueries.iter().enumerate().map(|(i, p)| (p, i)).collect();
-    let mut reach: Vec<BTreeMap<String, BTreeSet<String>>> = vec![BTreeMap::new(); subqueries.len()];
+    let index_of: BTreeMap<&Path, usize> =
+        subqueries.iter().enumerate().map(|(i, p)| (p, i)).collect();
+    let mut reach: Vec<BTreeMap<String, BTreeSet<String>>> =
+        vec![BTreeMap::new(); subqueries.len()];
 
     for (i, sub) in subqueries.iter().enumerate() {
         for a in &types {
@@ -185,11 +187,17 @@ mod tests {
         let query = parse_path(query_text).unwrap();
         match decide(&dtd, &query).unwrap() {
             Satisfiability::Satisfiable(doc) => {
-                assert!(expected, "{query_text} should be unsatisfiable under {dtd_text}");
+                assert!(
+                    expected,
+                    "{query_text} should be unsatisfiable under {dtd_text}"
+                );
                 verify_witness(&doc, &dtd, &query).unwrap();
             }
             Satisfiability::Unsatisfiable => {
-                assert!(!expected, "{query_text} should be satisfiable under {dtd_text}")
+                assert!(
+                    !expected,
+                    "{query_text} should be satisfiable under {dtd_text}"
+                )
             }
             Satisfiability::Unknown => panic!("PTIME engine must be definite"),
         }

@@ -73,13 +73,11 @@ pub fn decide(dtd: &Dtd, query: &Path, limits: &EnumerationLimits) -> Satisfiabi
     let needs_values = Features::of_path(query).data_value;
     let constants = query_constants(query);
 
-    let mut examined = 0usize;
-    for candidate in &candidates {
+    for (examined, candidate) in candidates.iter().enumerate() {
         if examined >= limits.max_documents {
             enumerator.truncated = true;
             break;
         }
-        examined += 1;
         if needs_values {
             match try_valuations(candidate, dtd, query, &constants, limits) {
                 ValuationOutcome::Found(doc) => return Satisfiability::Satisfiable(doc),
@@ -102,9 +100,7 @@ pub fn decide(dtd: &Dtd, query: &Path, limits: &EnumerationLimits) -> Satisfiabi
 /// solver façade to report completeness; [`decide`] itself tracks truncation exactly.
 pub fn is_exhaustive_for(dtd: &Dtd, limits: &EnumerationLimits) -> bool {
     let class = xpsat_dtd::classify(dtd);
-    !class.recursive
-        && !class.has_star
-        && class.depth_bound.is_some_and(|d| d <= limits.max_depth)
+    !class.recursive && !class.has_star && class.depth_bound.is_some_and(|d| d <= limits.max_depth)
 }
 
 struct Enumerator<'a> {
@@ -169,7 +165,8 @@ impl<'a> Enumerator<'a> {
                 result.push(doc);
             }
         }
-        self.cache.insert((label.to_string(), depth), result.clone());
+        self.cache
+            .insert((label.to_string(), depth), result.clone());
         result
     }
 
@@ -285,7 +282,10 @@ fn try_valuations(
     for i in 0..slots.len() {
         domain.push(format!("_fresh{i}"));
     }
-    let total: usize = domain.len().checked_pow(slots.len() as u32).unwrap_or(usize::MAX);
+    let total: usize = domain
+        .len()
+        .checked_pow(slots.len() as u32)
+        .unwrap_or(usize::MAX);
     let budget = total.min(limits.max_valuations);
     let truncated = total > limits.max_valuations;
 
@@ -363,7 +363,10 @@ mod tests {
         }
         // ... but requiring c under both while negating one is contradictory
         let bad = parse_path(".[a[c] and not(a[c])]").unwrap();
-        assert!(matches!(decide(&dtd, &bad, &limits()), Satisfiability::Unsatisfiable));
+        assert!(matches!(
+            decide(&dtd, &bad, &limits()),
+            Satisfiability::Unsatisfiable
+        ));
     }
 
     #[test]
@@ -391,26 +394,35 @@ mod tests {
             Satisfiability::Satisfiable(_)
         ));
         let bad = parse_path("b/>[lab() = a]").unwrap();
-        assert!(matches!(decide(&dtd, &bad, &limits()), Satisfiability::Unsatisfiable));
+        assert!(matches!(
+            decide(&dtd, &bad, &limits()),
+            Satisfiability::Unsatisfiable
+        ));
     }
 
     #[test]
     fn recursive_dtd_with_tight_budget_reports_unknown_when_nothing_found() {
         let dtd = parse_dtd("r -> c; c -> (c, x) | #; x -> #;").unwrap();
         // Needs a chain of 10 c's: deeper than the budget below.
-        let query = parse_path(&"c/".repeat(10).trim_end_matches('/')).unwrap();
+        let query = parse_path("c/".repeat(10).trim_end_matches('/')).unwrap();
         let tight = EnumerationLimits {
             max_depth: 3,
             ..EnumerationLimits::default()
         };
-        assert!(matches!(decide(&dtd, &query, &tight), Satisfiability::Unknown));
+        assert!(matches!(
+            decide(&dtd, &query, &tight),
+            Satisfiability::Unknown
+        ));
         // With a budget that is large enough the witness is found.
         let generous = EnumerationLimits {
             max_depth: 12,
             max_variants: 400,
             ..EnumerationLimits::default()
         };
-        assert!(matches!(decide(&dtd, &query, &generous), Satisfiability::Satisfiable(_)));
+        assert!(matches!(
+            decide(&dtd, &query, &generous),
+            Satisfiability::Satisfiable(_)
+        ));
     }
 
     #[test]

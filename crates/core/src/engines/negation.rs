@@ -87,7 +87,7 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
         Some(profile) => {
             let mut doc = Document::new(pruned.root());
             let root = doc.root();
-            fixpoint.build_witness(&analysis, &mut doc, root, pruned.root(), profile);
+            fixpoint.build_witness(&mut doc, root, pruned.root(), profile);
             fill_missing_attributes(&mut doc, &pruned);
             Ok(Satisfiability::Satisfiable(doc))
         }
@@ -219,7 +219,7 @@ impl<'a> Analysis<'a> {
             .iter()
             .enumerate()
             .filter(|(_, d)| {
-                d.label.as_deref().map_or(true, |l| l == label) && profile.contains(&d.tail)
+                d.label.as_deref().is_none_or(|l| l == label) && profile.contains(&d.tail)
             })
             .map(|(i, _)| i)
             .collect()
@@ -235,20 +235,12 @@ impl<'a> Analysis<'a> {
         let mut truth: BTreeMap<usize, bool> = BTreeMap::new();
         for index in order {
             let value = self.hnf[index].iter().any(|alt| match alt {
-                HeadAlt::Done(quals) => quals
-                    .iter()
-                    .all(|q| self.eval_qualifier(q, label, &truth)),
+                HeadAlt::Done(quals) => quals.iter().all(|q| self.eval_qualifier(q, label, &truth)),
                 HeadAlt::Step(quals, step_label, tail) => {
                     quals.iter().all(|q| self.eval_qualifier(q, label, &truth))
-                        && self
-                            .demands
-                            .iter()
-                            .enumerate()
-                            .any(|(i, d)| {
-                                d.tail == *tail
-                                    && d.label == *step_label
-                                    && supplied.contains(&i)
-                            })
+                        && self.demands.iter().enumerate().any(|(i, d)| {
+                            d.tail == *tail && d.label == *step_label && supplied.contains(&i)
+                        })
                 }
                 HeadAlt::StepPending(..) => unreachable!("patched during construction"),
             });
@@ -326,13 +318,16 @@ impl<'a> Analysis<'a> {
                             }
                             word.reverse();
                             child_profiles.reverse();
-                            recipes
-                                .entry((name.clone(), profile))
-                                .or_insert(Recipe { word, child_profiles });
+                            recipes.entry((name.clone(), profile)).or_insert(Recipe {
+                                word,
+                                child_profiles,
+                            });
                         }
                     }
                     for (sym, succs) in nfa.transitions_from(key.0) {
-                        let Some(child_options) = snapshot.get(sym) else { continue };
+                        let Some(child_options) = snapshot.get(sym) else {
+                            continue;
+                        };
                         // Distinct demand-bit contributions only (representatives keep
                         // the product small without losing achievable unions).
                         let mut contributions: BTreeMap<BTreeSet<usize>, Profile> = BTreeMap::new();
@@ -380,20 +375,13 @@ struct Fixpoint {
 
 impl Fixpoint {
     /// Rebuild a witness subtree realising `profile` at a node of type `label`.
-    fn build_witness(
-        &self,
-        analysis: &Analysis<'_>,
-        doc: &mut Document,
-        node: NodeId,
-        label: &str,
-        profile: &Profile,
-    ) {
+    fn build_witness(&self, doc: &mut Document, node: NodeId, label: &str, profile: &Profile) {
         let Some(recipe) = self.recipes.get(&(label.to_string(), profile.clone())) else {
             return;
         };
         for (sym, child_profile) in recipe.word.iter().zip(&recipe.child_profiles) {
             let child = doc.add_child(node, sym.clone());
-            self.build_witness(analysis, doc, child, sym, child_profile);
+            self.build_witness(doc, child, sym, child_profile);
         }
     }
 }

@@ -62,10 +62,7 @@ pub fn decide_with_witness(query: &Path) -> Result<Satisfiability, SatError> {
             )
         })
         .ok_or(SatError::BudgetExceeded { engine: ENGINE })?;
-    match crate::engines::positive::decide(&dtd, &rooted_query) {
-        Ok(result) => Ok(result),
-        Err(e) => Err(e),
-    }
+    crate::engines::positive::decide(&dtd, &rooted_query)
 }
 
 struct Tables {
@@ -96,9 +93,10 @@ impl Tables {
                 }
                 _ => {
                     self.sat_path(p1, a)
-                        && self.labels.iter().any(|b| {
-                            self.reaches_label(p1, a, b) && self.sat_path(p2, b)
-                        })
+                        && self
+                            .labels
+                            .iter()
+                            .any(|b| self.reaches_label(p1, a, b) && self.sat_path(p2, b))
                 }
             },
             Path::Union(p1, p2) => self.sat_path(p1, a) || self.sat_path(p2, a),
@@ -115,10 +113,9 @@ impl Tables {
         match p {
             Path::Empty => a == b,
             Path::Label(l) => l == b,
-            Path::Wildcard | Path::DescendantOrSelf => {
-                // ↓ reaches any label; ↓* reaches any label or stays at `a`.
-                matches!(p, Path::DescendantOrSelf) && a == b || true
-            }
+            // ↓ reaches any label (a child may take any label without a DTD), and ↓*
+            // reaches any label too (by descending) on top of staying at `a`.
+            Path::Wildcard | Path::DescendantOrSelf => true,
             Path::Seq(p1, p2) => self
                 .labels
                 .iter()

@@ -235,7 +235,12 @@ impl<'a> Search<'a> {
                 ]),
                 Path::Seq(first, rest) => {
                     let continuation = vec![Ob::At((*rest).clone(), obs)];
-                    self.decompose(node, label, Ob::At((*first).clone(), continuation), bindings)
+                    self.decompose(
+                        node,
+                        label,
+                        Ob::At((*first).clone(), continuation),
+                        bindings,
+                    )
                 }
                 Path::Union(p1, p2) => Some(vec![
                     Branch::obligations(vec![Ob::At((*p1).clone(), obs.clone())]),
@@ -254,7 +259,10 @@ impl<'a> Search<'a> {
 
     fn decompose_qualifier(&mut self, q: Qualifier, label: &str) -> Option<Vec<Branch>> {
         match q {
-            Qualifier::Path(p) => Some(vec![Branch::obligations(vec![Ob::At(p.right_assoc(), vec![])])]),
+            Qualifier::Path(p) => Some(vec![Branch::obligations(vec![Ob::At(
+                p.right_assoc(),
+                vec![],
+            )])]),
             Qualifier::LabelIs(l) => {
                 if l == label {
                     Some(vec![Branch::obligations(vec![])])
@@ -262,7 +270,12 @@ impl<'a> Search<'a> {
                     None
                 }
             }
-            Qualifier::AttrCmp { path, attr, op, value } => {
+            Qualifier::AttrCmp {
+                path,
+                attr,
+                op,
+                value,
+            } => {
                 let slot = self.fresh_slot();
                 Some(vec![Branch {
                     new_obligations: vec![Ob::At(
@@ -274,7 +287,13 @@ impl<'a> Search<'a> {
                     join_constraint: None,
                 }])
             }
-            Qualifier::AttrJoin { left, left_attr, op, right, right_attr } => {
+            Qualifier::AttrJoin {
+                left,
+                left_attr,
+                op,
+                right,
+                right_attr,
+            } => {
                 let s1 = self.fresh_slot();
                 let s2 = self.fresh_slot();
                 Some(vec![Branch {
@@ -287,7 +306,10 @@ impl<'a> Search<'a> {
                     join_constraint: Some((s1, op, s2)),
                 }])
             }
-            Qualifier::And(q1, q2) => Some(vec![Branch::obligations(vec![Ob::Qual(*q1), Ob::Qual(*q2)])]),
+            Qualifier::And(q1, q2) => Some(vec![Branch::obligations(vec![
+                Ob::Qual(*q1),
+                Ob::Qual(*q2),
+            ])]),
             Qualifier::Or(q1, q2) => Some(vec![
                 Branch::obligations(vec![Ob::Qual(*q1)]),
                 Branch::obligations(vec![Ob::Qual(*q2)]),
@@ -447,7 +469,13 @@ impl<'a> Search<'a> {
         }
         let mut current_bindings = bindings;
         for (child, (_, obligations)) in planned_nodes.iter().zip(plan) {
-            match self.satisfy(doc, *child, obligations.clone(), current_bindings, depth + 1) {
+            match self.satisfy(
+                doc,
+                *child,
+                obligations.clone(),
+                current_bindings,
+                depth + 1,
+            ) {
                 Some(next) => current_bindings = next,
                 None => {
                     doc.truncate(doc_snapshot);
@@ -741,6 +769,10 @@ mod tests {
         // The root has exactly one x1 and one x2; four obligations must share them.
         let dtd = "r -> x1, x2; x1 -> a?, b?; x2 -> a?, b?; a -> #; b -> #;";
         check(dtd, ".[x1[a] and x1[b] and x2[a] and x2[b]]", true);
-        check(dtd, ".[x1[a] and x1[b] and x2[a] and *[lab() = x2]/c]", false);
+        check(
+            dtd,
+            ".[x1[a] and x1[b] and x2[a] and *[lab() = x2]/c]",
+            false,
+        );
     }
 }

@@ -100,11 +100,14 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
     fn search(
         steps: &[Step],
         automata: &BTreeMap<String, Nfa<String>>,
-        dtd: &Dtd,
         level: &mut Level,
     ) -> Option<Vec<(String, Vec<usize>, usize)>> {
         let Some(step) = steps.first() else {
-            return Some(vec![(level.parent.clone(), level.laid.clone(), level.cursor)]);
+            return Some(vec![(
+                level.parent.clone(),
+                level.laid.clone(),
+                level.cursor,
+            )]);
         };
         let rest = &steps[1..];
         let nfa = &automata[&level.parent];
@@ -129,7 +132,7 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
                         laid: vec![position],
                         cursor: 0,
                     };
-                    if let Some(mut tail) = search(rest, automata, dtd, &mut child_level) {
+                    if let Some(mut tail) = search(rest, automata, &mut child_level) {
                         let mut result =
                             vec![(level.parent.clone(), level.laid.clone(), level.cursor)];
                         result.append(&mut tail);
@@ -141,7 +144,7 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
             Step::Right => {
                 if level.cursor + 1 < level.laid.len() {
                     level.cursor += 1;
-                    let result = search(rest, automata, dtd, level);
+                    let result = search(rest, automata, level);
                     level.cursor -= 1;
                     return result;
                 }
@@ -155,7 +158,7 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
                 for succ in successors {
                     level.laid.push(succ);
                     level.cursor += 1;
-                    if let Some(result) = search(rest, automata, dtd, level) {
+                    if let Some(result) = search(rest, automata, level) {
                         return Some(result);
                     }
                     level.cursor -= 1;
@@ -166,18 +169,23 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
             Step::Left => {
                 if level.cursor > 0 {
                     level.cursor -= 1;
-                    let result = search(rest, automata, dtd, level);
+                    let result = search(rest, automata, level);
                     level.cursor += 1;
                     return result;
                 }
                 // Prepend a useful predecessor position.
                 let first = level.laid[0];
                 let predecessors: Vec<usize> = (1..nfa.num_states())
-                    .filter(|&q| useful.contains(&q) && nfa.step(q, nfa.symbol_of(first).expect("position")).any(|t| t == first))
+                    .filter(|&q| {
+                        useful.contains(&q)
+                            && nfa
+                                .step(q, nfa.symbol_of(first).expect("position"))
+                                .any(|t| t == first)
+                    })
                     .collect();
                 for pred in predecessors {
                     level.laid.insert(0, pred);
-                    if let Some(result) = search(rest, automata, dtd, level) {
+                    if let Some(result) = search(rest, automata, level) {
                         return Some(result);
                     }
                     level.laid.remove(0);
@@ -212,7 +220,7 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
             laid: vec![position],
             cursor: 0,
         };
-        if let Some(levels) = search(&steps[1..], &automata, &pruned, &mut level) {
+        if let Some(levels) = search(&steps[1..], &automata, &mut level) {
             if let Some(doc) = build_witness(&pruned, &automata, &levels) {
                 return Ok(Satisfiability::Satisfiable(doc));
             }
@@ -356,7 +364,10 @@ mod tests {
         let query = parse_path(query_text).unwrap();
         match decide(&dtd, &query).unwrap() {
             Satisfiability::Satisfiable(doc) => {
-                assert!(expected, "{query_text} should be unsatisfiable under `{dtd_text}`");
+                assert!(
+                    expected,
+                    "{query_text} should be unsatisfiable under `{dtd_text}`"
+                );
                 verify_witness(&doc, &dtd, &query).unwrap();
             }
             Satisfiability::Unsatisfiable => assert!(

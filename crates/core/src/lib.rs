@@ -37,5 +37,5 @@ pub mod solver;
 pub mod transform;
 pub mod witness;
 
-pub use sat::{Satisfiability, SatError};
-pub use solver::{Solver, SolverConfig, Decision, EngineKind};
+pub use sat::{SatError, Satisfiability};
+pub use solver::{Decision, EngineKind, Solver, SolverConfig};

@@ -23,7 +23,10 @@ fn sym(name: impl Into<String>) -> ContentModel {
 /// [`Qbf::random`] generates instances).
 pub fn q3sat_to_downward_negation(qbf: &Qbf) -> (Dtd, Path) {
     let m = qbf.prefix.len();
-    assert!(m >= 1, "the encoding needs at least one quantified variable");
+    assert!(
+        m >= 1,
+        "the encoding needs at least one quantified variable"
+    );
 
     let mut dtd = Dtd::new("r");
     dtd.define("r", sym("x1"));
@@ -146,7 +149,10 @@ mod tests {
             let (dtd, query) = q3sat_to_downward_negation(&qbf);
             assert_eq!(xpath_satisfiable(&dtd, &query), expected, "qbf {qbf}");
         }
-        assert!(seen_valid && seen_invalid, "the random sample should cover both outcomes");
+        assert!(
+            seen_valid && seen_invalid,
+            "the random sample should cover both outcomes"
+        );
     }
 
     #[test]

@@ -131,16 +131,17 @@ pub fn threesat_to_disjunction_free_data(formula: &CnfFormula) -> (Dtd, Path) {
     dtd.declare_empty("x");
     dtd.add_attributes("x", vars.iter().map(|v| format!("x{}", v.0)));
 
-    let truth_assignment = Qualifier::and_all(vars.iter().map(|v| {
-        Qualifier::Or(
-            Box::new(attr_is(v, "1")),
-            Box::new(attr_is(v, "0")),
-        )
-    }));
+    let truth_assignment = Qualifier::and_all(
+        vars.iter()
+            .map(|v| Qualifier::Or(Box::new(attr_is(v, "1")), Box::new(attr_is(v, "0")))),
+    );
     let clauses = Qualifier::and_all(formula.clauses.iter().map(|clause| {
-        Qualifier::or_all(clause.0.iter().map(|lit| {
-            attr_is(&lit.var, if lit.negated { "0" } else { "1" })
-        }))
+        Qualifier::or_all(
+            clause
+                .0
+                .iter()
+                .map(|lit| attr_is(&lit.var, if lit.negated { "0" } else { "1" })),
+        )
     }));
     let query = Path::label("x").filter(Qualifier::And(
         Box::new(truth_assignment),
@@ -207,7 +208,11 @@ mod tests {
             let formula = CnfFormula::random_3sat(&mut rng, num_vars, num_clauses);
             let expected = dpll::satisfiable(&formula);
             let (dtd, query) = threesat_to_downward_qualifiers(&formula);
-            assert_eq!(xpath_satisfiable(&dtd, &query), expected, "formula {formula}");
+            assert_eq!(
+                xpath_satisfiable(&dtd, &query),
+                expected,
+                "formula {formula}"
+            );
         }
     }
 
@@ -220,7 +225,11 @@ mod tests {
             let formula = CnfFormula::random_3sat(&mut rng, num_vars, num_clauses);
             let expected = dpll::satisfiable(&formula);
             let (dtd, query) = threesat_to_fixed_dtd_union(&formula);
-            assert_eq!(xpath_satisfiable(&dtd, &query), expected, "formula {formula}");
+            assert_eq!(
+                xpath_satisfiable(&dtd, &query),
+                expected,
+                "formula {formula}"
+            );
         }
     }
 
@@ -234,7 +243,11 @@ mod tests {
             let expected = dpll::satisfiable(&formula);
             let (dtd, query) = threesat_to_disjunction_free_data(&formula);
             assert!(xpsat_dtd::classify(&dtd).disjunction_free);
-            assert_eq!(xpath_satisfiable(&dtd, &query), expected, "formula {formula}");
+            assert_eq!(
+                xpath_satisfiable(&dtd, &query),
+                expected,
+                "formula {formula}"
+            );
         }
     }
 
@@ -252,7 +265,10 @@ mod tests {
                 panic!("reduction must be satisfiable for a satisfiable formula");
             };
             let assignment = decode_assignment(&witness, &formula);
-            assert!(formula.eval(&assignment), "decoded assignment must satisfy {formula}");
+            assert!(
+                formula.eval(&assignment),
+                "decoded assignment must satisfy {formula}"
+            );
         }
     }
 
@@ -267,8 +283,15 @@ mod tests {
             let expected = dpll::satisfiable(&formula);
             let (dtd, query) = threesat_to_updown(&formula);
             let decision = solver.decide(&dtd, &query);
-            assert!(decision.result.is_definite(), "solver must decide the ↑ encoding");
-            assert_eq!(decision.result.is_satisfiable(), Some(expected), "formula {formula}");
+            assert!(
+                decision.result.is_definite(),
+                "solver must decide the ↑ encoding"
+            );
+            assert_eq!(
+                decision.result.is_satisfiable(),
+                Some(expected),
+                "formula {formula}"
+            );
         }
     }
 }

@@ -54,18 +54,28 @@ pub fn two_register_to_full_fragment(machine: &TwoRegisterMachine) -> (Dtd, Path
 
     let mut conjuncts = Vec::new();
     // Q_start: the first ID is (0, 0, 0).
-    conjuncts.push(Qualifier::path(Path::label("c").filter(Qualifier::and_all([
-        state_is(Path::Empty, 0),
-        Qualifier::path(Path::label("r1").filter(Qualifier::not(Qualifier::path(Path::label("x"))))),
-        Qualifier::path(Path::label("r2").filter(Qualifier::not(Qualifier::path(Path::label("y"))))),
-    ]))));
+    conjuncts.push(Qualifier::path(Path::label("c").filter(
+        Qualifier::and_all([
+            state_is(Path::Empty, 0),
+            Qualifier::path(
+                Path::label("r1").filter(Qualifier::not(Qualifier::path(Path::label("x")))),
+            ),
+            Qualifier::path(
+                Path::label("r2").filter(Qualifier::not(Qualifier::path(Path::label("y")))),
+            ),
+        ]),
+    )));
     // Q_halt: some ID is (f, 0, 0).
     conjuncts.push(Qualifier::path(Path::seq(
         Path::DescendantOrSelf,
         Path::label("c").filter(Qualifier::and_all([
             state_is(Path::Empty, machine.halting_state),
-            Qualifier::path(Path::label("r1").filter(Qualifier::not(Qualifier::path(Path::label("x"))))),
-            Qualifier::path(Path::label("r2").filter(Qualifier::not(Qualifier::path(Path::label("y"))))),
+            Qualifier::path(
+                Path::label("r1").filter(Qualifier::not(Qualifier::path(Path::label("x")))),
+            ),
+            Qualifier::path(
+                Path::label("r2").filter(Qualifier::not(Qualifier::path(Path::label("y")))),
+            ),
         ])),
     )));
     // Q_key: `id` is a local key along every register chain (no node shares its id with
@@ -286,7 +296,11 @@ fn transition_qualifier(i: usize, instruction: &Instruction) -> Qualifier {
                 unchanged_violated(other),
             ])
         }
-        Instruction::Sub { register, if_zero, if_positive } => {
+        Instruction::Sub {
+            register,
+            if_zero,
+            if_positive,
+        } => {
             let (reg, chain) = names(register);
             let other = match register {
                 Register::R1 => Register::R2,
@@ -313,12 +327,17 @@ fn transition_qualifier(i: usize, instruction: &Instruction) -> Qualifier {
                     unchanged_violated(other),
                 ])),
             );
-            Qualifier::Or(Box::new(zero_case_violated), Box::new(positive_case_violated))
+            Qualifier::Or(
+                Box::new(zero_case_violated),
+                Box::new(positive_case_violated),
+            )
         }
     };
     Qualifier::not(Qualifier::path(
-        Path::seq(Path::DescendantOrSelf, Path::label("c"))
-            .filter(Qualifier::And(Box::new(state_is(Path::Empty, i)), Box::new(violation))),
+        Path::seq(Path::DescendantOrSelf, Path::label("c")).filter(Qualifier::And(
+            Box::new(state_is(Path::Empty, i)),
+            Box::new(violation),
+        )),
     ))
 }
 
@@ -372,7 +391,11 @@ mod tests {
         let (dtd, query) = two_register_to_full_fragment(&machine);
         let mut doc = witness_from_run(&trace);
         crate::witness::fill_missing_attributes(&mut doc, &dtd);
-        assert_eq!(validate(&doc, &dtd), Ok(()), "run document must conform: {doc}");
+        assert_eq!(
+            validate(&doc, &dtd),
+            Ok(()),
+            "run document must conform: {doc}"
+        );
         assert!(
             eval::satisfies(&doc, &query),
             "run document must satisfy the encoding\n{doc}"

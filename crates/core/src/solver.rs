@@ -17,8 +17,8 @@
 //!    star-free DTDs — Proposition 6.4; a best-effort semi-decision elsewhere, which is
 //!    the honest thing to do in the undecidable corner of Theorem 5.4).
 
-use crate::engines::{djfree, downward, enumeration, negation, nodtd, positive, sibling};
 use crate::engines::enumeration::EnumerationLimits;
+use crate::engines::{djfree, downward, enumeration, negation, nodtd, positive, sibling};
 use crate::sat::Satisfiability;
 use xpsat_dtd::{classify, Dtd};
 use xpsat_xpath::{Features, Path};
@@ -96,12 +96,20 @@ impl Solver {
 
         if downward::supports(query) {
             if let Ok(result) = downward::decide(dtd, query) {
-                return Decision { result, engine: EngineKind::Downward, complete: true };
+                return Decision {
+                    result,
+                    engine: EngineKind::Downward,
+                    complete: true,
+                };
             }
         }
         if sibling::supports(query) {
             if let Ok(result) = sibling::decide(dtd, query) {
-                return Decision { result, engine: EngineKind::Sibling, complete: true };
+                return Decision {
+                    result,
+                    engine: EngineKind::Sibling,
+                    complete: true,
+                };
             }
         }
         if positive::supports(query) {
@@ -117,7 +125,11 @@ impl Solver {
                 }
             }
             if let Ok(result) = positive::decide(dtd, query) {
-                return Decision { result, engine: EngineKind::Positive, complete: true };
+                return Decision {
+                    result,
+                    engine: EngineKind::Positive,
+                    complete: true,
+                };
             }
         }
         if negation::supports(query) {
@@ -181,7 +193,11 @@ impl Solver {
     ) -> Decision {
         if positive::supports(query) {
             if let Ok(result) = positive::decide(dtd, query) {
-                return Decision { result, engine: EngineKind::Positive, complete: true };
+                return Decision {
+                    result,
+                    engine: EngineKind::Positive,
+                    complete: true,
+                };
             }
         }
         if negation::supports(query) {
@@ -210,15 +226,12 @@ impl Solver {
     /// Decide satisfiability in the absence of a DTD (Proposition 3.1 / Theorem 6.11).
     pub fn decide_without_dtd(&self, query: &Path) -> Decision {
         if nodtd::supports(query) {
-            match nodtd::decide_with_witness(query) {
-                Ok(result) => {
-                    return Decision {
-                        result,
-                        engine: EngineKind::Positive,
-                        complete: true,
-                    }
-                }
-                Err(_) => {}
+            if let Ok(result) = nodtd::decide_with_witness(query) {
+                return Decision {
+                    result,
+                    engine: EngineKind::Positive,
+                    complete: true,
+                };
             }
         }
         // General case: try every universal-DTD instance of Proposition 3.1.

@@ -53,11 +53,7 @@ pub fn eliminate_recursion_for(dtd: &Dtd, query: &Path) -> Option<Path> {
 fn nabla_chains(norm: &Normalization) -> Vec<Vec<String>> {
     // Enumerate chains of new types; the new types form a DAG by construction.
     let mut chains = vec![Vec::new()];
-    let mut frontier: Vec<Vec<String>> = norm
-        .new_types
-        .iter()
-        .map(|t| vec![t.clone()])
-        .collect();
+    let mut frontier: Vec<Vec<String>> = norm.new_types.iter().map(|t| vec![t.clone()]).collect();
     while let Some(chain) = frontier.pop() {
         chains.push(chain.clone());
         let last = chain.last().expect("nonempty chain");
@@ -116,11 +112,7 @@ fn rewrite_path(p: &Path, chains: &[Vec<String>], originals: &[String]) -> Path 
         // (b) f(A) = ∇/A
         Path::Label(l) => nabla(Path::label(l.clone())),
         // (c) f(↓) = ⋃_A ∇/A
-        Path::Wildcard => Path::union_all(
-            originals
-                .iter()
-                .map(|a| nabla(Path::label(a.clone()))),
-        ),
+        Path::Wildcard => Path::union_all(originals.iter().map(|a| nabla(Path::label(a.clone())))),
         // (d) f(↓*) = ε ∪ ⋃_A ↓*/A
         Path::DescendantOrSelf => Path::union_all(
             std::iter::once(Path::Empty).chain(
@@ -137,9 +129,11 @@ fn rewrite_path(p: &Path, chains: &[Vec<String>], originals: &[String]) -> Path 
         ),
         // (f) f(↑*) = ε ∪ ⋃_A ↑*[lab() = A]
         Path::AncestorOrSelf => Path::union_all(
-            std::iter::once(Path::Empty).chain(originals.iter().map(|a| {
-                Path::AncestorOrSelf.filter(Qualifier::LabelIs(a.clone()))
-            })),
+            std::iter::once(Path::Empty).chain(
+                originals
+                    .iter()
+                    .map(|a| Path::AncestorOrSelf.filter(Qualifier::LabelIs(a.clone()))),
+            ),
         ),
         Path::Seq(a, b) => Path::seq(
             rewrite_path(a, chains, originals),
@@ -163,13 +157,24 @@ fn rewrite_qualifier(q: &Qualifier, chains: &[Vec<String>], originals: &[String]
     match q {
         Qualifier::Path(p) => Qualifier::Path(rewrite_path(p, chains, originals)),
         Qualifier::LabelIs(l) => Qualifier::LabelIs(l.clone()),
-        Qualifier::AttrCmp { path, attr, op, value } => Qualifier::AttrCmp {
+        Qualifier::AttrCmp {
+            path,
+            attr,
+            op,
+            value,
+        } => Qualifier::AttrCmp {
             path: rewrite_path(path, chains, originals),
             attr: attr.clone(),
             op: *op,
             value: value.clone(),
         },
-        Qualifier::AttrJoin { left, left_attr, op, right, right_attr } => Qualifier::AttrJoin {
+        Qualifier::AttrJoin {
+            left,
+            left_attr,
+            op,
+            right,
+            right_attr,
+        } => Qualifier::AttrJoin {
             left: rewrite_path(left, chains, originals),
             left_attr: left_attr.clone(),
             op: *op,
@@ -184,7 +189,9 @@ fn rewrite_qualifier(q: &Qualifier, chains: &[Vec<String>], originals: &[String]
             Box::new(rewrite_qualifier(a, chains, originals)),
             Box::new(rewrite_qualifier(b, chains, originals)),
         ),
-        Qualifier::Not(inner) => Qualifier::Not(Box::new(rewrite_qualifier(inner, chains, originals))),
+        Qualifier::Not(inner) => {
+            Qualifier::Not(Box::new(rewrite_qualifier(inner, chains, originals)))
+        }
     }
 }
 
@@ -212,7 +219,10 @@ mod tests {
                     Ok(Satisfiability::Satisfiable(_))
                 )
             });
-            assert_eq!(via_universal, expected, "universal-DTD reduction on {query_text}");
+            assert_eq!(
+                via_universal, expected,
+                "universal-DTD reduction on {query_text}"
+            );
         }
     }
 
@@ -228,7 +238,11 @@ mod tests {
         ] {
             let query = parse_path(query_text).unwrap();
             let direct = positive::decide(&dtd, &query).unwrap();
-            assert_eq!(direct.is_satisfiable(), Some(expected), "direct on {query_text}");
+            assert_eq!(
+                direct.is_satisfiable(),
+                Some(expected),
+                "direct on {query_text}"
+            );
             let (norm, rewritten) = normalize_instance(&dtd, &query);
             let normalized = positive::decide(&norm.dtd, &rewritten).unwrap();
             assert_eq!(

@@ -13,7 +13,11 @@ use xpsat_xmltree::{Document, NodeId};
 /// (plus whatever siblings its content model forces); all other nodes are expanded
 /// minimally.  Returns `None` when some step of the chain cannot be realised — which
 /// cannot happen for chains produced by the reachability analyses.
-pub fn materialize_chain(dtd: &Dtd, generator: &TreeGenerator, chain: &[String]) -> Option<Document> {
+pub fn materialize_chain(
+    dtd: &Dtd,
+    generator: &TreeGenerator,
+    chain: &[String],
+) -> Option<Document> {
     let mut doc = Document::new(dtd.root());
     let mut current = doc.root();
     for label in chain {
@@ -65,10 +69,9 @@ mod tests {
 
     #[test]
     fn chains_are_materialised_into_conforming_documents() {
-        let dtd = parse_dtd(
-            "r -> head, (a | b)*; a -> c, d; b -> #; c -> #; d -> #; head -> #; @c: id;",
-        )
-        .unwrap();
+        let dtd =
+            parse_dtd("r -> head, (a | b)*; a -> c, d; b -> #; c -> #; d -> #; head -> #; @c: id;")
+                .unwrap();
         let gen = TreeGenerator::new(&dtd);
         let doc = materialize_chain(&dtd, &gen, &["a".into(), "c".into()]).unwrap();
         assert_eq!(validate(&doc, &dtd), Ok(()));

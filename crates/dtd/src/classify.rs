@@ -60,10 +60,9 @@ mod tests {
     #[test]
     fn classify_examples_from_the_paper() {
         // The 3SAT DTD of Example 2.1: normalized, nonrecursive, not disjunction-free.
-        let example_2_1 = parse_dtd(
-            "r -> x1, x2, x3; x1 -> t | f; x2 -> t | f; x3 -> t | f; t -> #; f -> #;",
-        )
-        .unwrap();
+        let example_2_1 =
+            parse_dtd("r -> x1, x2, x3; x1 -> t | f; x2 -> t | f; x3 -> t | f; t -> #; f -> #;")
+                .unwrap();
         let class = classify(&example_2_1);
         assert!(!class.recursive);
         assert!(!class.disjunction_free);
@@ -92,7 +91,8 @@ mod tests {
 
     #[test]
     fn normal_form_detection() {
-        let normalized = parse_dtd("r -> a, b; a -> c | d; b -> e*; c -> #; d -> #; e -> #;").unwrap();
+        let normalized =
+            parse_dtd("r -> a, b; a -> c | d; b -> e*; c -> #; d -> #; e -> #;").unwrap();
         assert!(classify(&normalized).normalized);
         let not_normalized = parse_dtd("r -> (a | b), c;").unwrap();
         assert!(!classify(&not_normalized).normalized);

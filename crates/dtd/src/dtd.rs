@@ -170,13 +170,10 @@ mod tests {
     #[test]
     fn build_and_inspect() {
         let mut dtd = Dtd::new("r");
-        dtd.define(
-            "r",
-            Regex::star(Regex::alt(vec![sym("a"), sym("b")])),
-        )
-        .declare_empty("a")
-        .declare_empty("b")
-        .add_attributes("a", ["id", "name"]);
+        dtd.define("r", Regex::star(Regex::alt(vec![sym("a"), sym("b")])))
+            .declare_empty("a")
+            .declare_empty("b")
+            .add_attributes("a", ["id", "name"]);
 
         assert_eq!(dtd.root(), "r");
         assert!(dtd.contains("a"));
@@ -208,7 +205,11 @@ mod tests {
         )
         .define(
             "book",
-            Regex::concat(vec![sym("title"), Regex::plus(sym("author")), Regex::opt(sym("price"))]),
+            Regex::concat(vec![
+                sym("title"),
+                Regex::plus(sym("author")),
+                Regex::opt(sym("price")),
+            ]),
         )
         .declare_empty("title")
         .declare_empty("author")

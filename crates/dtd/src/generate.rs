@@ -70,7 +70,12 @@ impl TreeGenerator {
 
     /// Graft a minimal conforming subtree of type `label` as the last child of `parent`.
     /// Returns the new child's id, or `None` for non-terminating types.
-    pub fn attach_minimal(&self, doc: &mut Document, parent: NodeId, label: &str) -> Option<NodeId> {
+    pub fn attach_minimal(
+        &self,
+        doc: &mut Document,
+        parent: NodeId,
+        label: &str,
+    ) -> Option<NodeId> {
         if !self.terminating.contains(label) {
             return None;
         }
@@ -84,7 +89,9 @@ impl TreeGenerator {
     pub fn expand_minimal(&self, doc: &mut Document, node: NodeId) {
         let label = doc.label(node).to_string();
         self.fill_attributes(doc, node, &label);
-        let Some(nfa) = self.automata.get(&label) else { return };
+        let Some(nfa) = self.automata.get(&label) else {
+            return;
+        };
         let my_height = self.heights.get(&label).copied().unwrap_or(1);
         // Choose the shortest children word over types of strictly smaller minimal
         // height; such a word exists by the definition of minimal heights.
@@ -134,7 +141,12 @@ impl TreeGenerator {
     /// A random conforming document.  Depth is limited by `max_depth` (beyond it the
     /// expansion switches to minimal words); child-word sampling is bounded by
     /// `max_word_len` repetitions through starred positions.
-    pub fn random_tree<R: Rng>(&self, rng: &mut R, max_depth: usize, max_word_len: usize) -> Document {
+    pub fn random_tree<R: Rng>(
+        &self,
+        rng: &mut R,
+        max_depth: usize,
+        max_word_len: usize,
+    ) -> Document {
         let mut doc = Document::new(self.dtd.root());
         let root = doc.root();
         self.expand_random(&mut doc, root, rng, max_depth, max_word_len);
@@ -155,7 +167,9 @@ impl TreeGenerator {
             return;
         }
         self.fill_attributes(doc, node, &label);
-        let Some(nfa) = self.automata.get(&label) else { return };
+        let Some(nfa) = self.automata.get(&label) else {
+            return;
+        };
         let word = self.sample_word(nfa, rng, max_word_len);
         for child_label in word {
             let child = doc.add_child(node, child_label);
@@ -272,7 +286,9 @@ fn shortest_suffix(
             }
         }
     }
-    let Some(mut cur) = goal else { return Vec::new() };
+    let Some(mut cur) = goal else {
+        return Vec::new();
+    };
     let mut suffix = Vec::new();
     while cur != state {
         let (prev, sym) = pred[&cur].clone();
@@ -356,7 +372,10 @@ mod tests {
 
     #[test]
     fn random_trees_conform_for_recursive_dtds() {
-        let dtd = parse_dtd("r -> c; c -> (c, r1, r2) | #; r1 -> x | #; r2 -> y | #; x -> x | #; y -> y | #;").unwrap();
+        let dtd = parse_dtd(
+            "r -> c; c -> (c, r1, r2) | #; r1 -> x | #; r2 -> y | #; x -> x | #; y -> y | #;",
+        )
+        .unwrap();
         let gen = TreeGenerator::new(&dtd);
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..25 {

@@ -76,11 +76,7 @@ impl DtdGraph {
             return None;
         }
         // Longest path in a DAG by memoised DFS.
-        fn longest(
-            graph: &DtdGraph,
-            node: &str,
-            memo: &mut BTreeMap<String, usize>,
-        ) -> usize {
+        fn longest(graph: &DtdGraph, node: &str, memo: &mut BTreeMap<String, usize>) -> usize {
             if let Some(&d) = memo.get(node) {
                 return d;
             }
@@ -217,7 +213,10 @@ mod tests {
         let from_root = graph.reachable_from_root();
         assert!(from_root.contains("a") && from_root.contains("b"));
         assert!(!from_root.contains("z"));
-        assert_eq!(graph.successors("a").into_iter().collect::<Vec<_>>(), vec!["b"]);
+        assert_eq!(
+            graph.successors("a").into_iter().collect::<Vec<_>>(),
+            vec!["b"]
+        );
     }
 
     #[test]

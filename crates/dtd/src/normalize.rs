@@ -56,7 +56,10 @@ pub fn normalize(dtd: &Dtd) -> Normalization {
         out.define(name.clone(), production);
     }
 
-    Normalization { dtd: out, new_types }
+    Normalization {
+        dtd: out,
+        new_types,
+    }
 }
 
 /// Normalise the top of a content model, producing a normal-form production whose
@@ -155,10 +158,7 @@ mod tests {
     /// that the original lacked.
     #[test]
     fn normalization_produces_normal_form() {
-        let dtd = parse_dtd(
-            "r -> (a | b)*, c; a -> (c, c) | #; b -> c?; c -> #;",
-        )
-        .unwrap();
+        let dtd = parse_dtd("r -> (a | b)*, c; a -> (c, c) | #; b -> c?; c -> #;").unwrap();
         let norm = normalize(&dtd);
         let class = classify(&norm.dtd);
         assert!(class.normalized, "N(D) must be normalized: {}", norm.dtd);

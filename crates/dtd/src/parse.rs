@@ -305,7 +305,12 @@ mod tests {
         assert_eq!(dtd.attributes("book").len(), 2);
         let content = dtd.content("book").unwrap();
         assert!(content.matches(&["title".into(), "author".into()]));
-        assert!(content.matches(&["title".into(), "author".into(), "author".into(), "price".into()]));
+        assert!(content.matches(&[
+            "title".into(),
+            "author".into(),
+            "author".into(),
+            "price".into()
+        ]));
         assert!(!content.matches(&["title".into()]));
     }
 

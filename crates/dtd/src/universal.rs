@@ -50,11 +50,7 @@ mod tests {
 
     #[test]
     fn universal_dtd_accepts_arbitrary_trees_over_its_labels() {
-        let dtd = universal_dtd(
-            ["a".to_string(), "b".to_string()],
-            ["id".to_string()],
-            "a",
-        );
+        let dtd = universal_dtd(["a".to_string(), "b".to_string()], ["id".to_string()], "a");
         assert!(dtd.contains(EXTRA_LABEL));
 
         let mut doc = Document::new("a");

@@ -101,7 +101,11 @@ pub fn validate(doc: &Document, dtd: &Dtd) -> Result<(), ValidationError> {
             .or_insert_with(|| Nfa::glushkov(&decl.content));
         let children = doc.child_labels(node);
         if !nfa.accepts(&children) {
-            return Err(ValidationError::InvalidChildren { node, label, children });
+            return Err(ValidationError::InvalidChildren {
+                node,
+                label,
+                children,
+            });
         }
         for attr in &decl.attributes {
             if doc.attr(node, attr).is_none() {

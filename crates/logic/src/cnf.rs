@@ -20,7 +20,10 @@ pub struct Literal {
 impl Literal {
     /// The positive literal of a variable.
     pub fn pos(var: Var) -> Literal {
-        Literal { var, negated: false }
+        Literal {
+            var,
+            negated: false,
+        }
     }
 
     /// The negative literal of a variable.

@@ -119,10 +119,8 @@ mod tests {
         let model = solve(&sat).unwrap();
         assert!(sat.eval(&model));
 
-        let unsat = CnfFormula::from_clauses(vec![
-            vec![Literal::pos(Var(1))],
-            vec![Literal::neg(Var(1))],
-        ]);
+        let unsat =
+            CnfFormula::from_clauses(vec![vec![Literal::pos(Var(1))], vec![Literal::neg(Var(1))]]);
         assert!(solve(&unsat).is_none());
     }
 

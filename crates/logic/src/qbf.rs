@@ -126,10 +126,16 @@ mod tests {
             let num_clauses = rng.gen_range(1..=10);
             let matrix = CnfFormula::random_3sat(&mut rng, num_vars, num_clauses);
             let qbf = Qbf {
-                prefix: (1..=num_vars).map(|i| (Quantifier::Exists, Var(i))).collect(),
+                prefix: (1..=num_vars)
+                    .map(|i| (Quantifier::Exists, Var(i)))
+                    .collect(),
                 matrix: matrix.clone(),
             };
-            assert_eq!(qbf.is_valid(), dpll::satisfiable(&matrix), "matrix {matrix}");
+            assert_eq!(
+                qbf.is_valid(),
+                dpll::satisfiable(&matrix),
+                "matrix {matrix}"
+            );
         }
     }
 
@@ -138,7 +144,10 @@ mod tests {
         // ∀x1 . (x1 ∨ ¬x1) is valid; ∀x1 . (x1) is not.
         let taut = Qbf {
             prefix: vec![(Quantifier::ForAll, Var(1))],
-            matrix: CnfFormula::from_clauses(vec![vec![Literal::pos(Var(1)), Literal::neg(Var(1))]]),
+            matrix: CnfFormula::from_clauses(vec![vec![
+                Literal::pos(Var(1)),
+                Literal::neg(Var(1)),
+            ]]),
         };
         assert!(taut.is_valid());
         let not_taut = Qbf {

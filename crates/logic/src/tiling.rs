@@ -70,7 +70,11 @@ impl CorridorTiling {
     /// Does Player I have a winning strategy?
     pub fn player_one_wins(&self) -> bool {
         let n = self.width();
-        assert_eq!(self.bottom.len(), n, "top and bottom rows must have equal width");
+        assert_eq!(
+            self.bottom.len(),
+            n,
+            "top and bottom rows must have equal width"
+        );
         let mut memo = BTreeMap::new();
         self.wins(&self.top.clone(), &[], 0, &mut memo)
     }
@@ -100,7 +104,7 @@ impl CorridorTiling {
             return self.wins(current, &[], rows_played + 1, memo);
         }
         let move_index = rows_played * n + current.len();
-        let player_one_to_move = move_index % 2 == 0;
+        let player_one_to_move = move_index.is_multiple_of(2);
         let key = (prev_row.to_vec(), current.to_vec(), player_one_to_move);
         if let Some(&cached) = memo.get(&key) {
             return cached;

@@ -84,22 +84,48 @@ impl TwoRegisterMachine {
         let instruction = self.instructions.get(id.state)?;
         Some(match *instruction {
             Instruction::Add { register, next } => match register {
-                Register::R1 => Id { state: next, r1: id.r1 + 1, r2: id.r2 },
-                Register::R2 => Id { state: next, r1: id.r1, r2: id.r2 + 1 },
+                Register::R1 => Id {
+                    state: next,
+                    r1: id.r1 + 1,
+                    r2: id.r2,
+                },
+                Register::R2 => Id {
+                    state: next,
+                    r1: id.r1,
+                    r2: id.r2 + 1,
+                },
             },
-            Instruction::Sub { register, if_zero, if_positive } => match register {
+            Instruction::Sub {
+                register,
+                if_zero,
+                if_positive,
+            } => match register {
                 Register::R1 => {
                     if id.r1 == 0 {
-                        Id { state: if_zero, ..id }
+                        Id {
+                            state: if_zero,
+                            ..id
+                        }
                     } else {
-                        Id { state: if_positive, r1: id.r1 - 1, r2: id.r2 }
+                        Id {
+                            state: if_positive,
+                            r1: id.r1 - 1,
+                            r2: id.r2,
+                        }
                     }
                 }
                 Register::R2 => {
                     if id.r2 == 0 {
-                        Id { state: if_zero, ..id }
+                        Id {
+                            state: if_zero,
+                            ..id
+                        }
                     } else {
-                        Id { state: if_positive, r1: id.r1, r2: id.r2 - 1 }
+                        Id {
+                            state: if_positive,
+                            r1: id.r1,
+                            r2: id.r2 - 1,
+                        }
                     }
                 }
             },
@@ -108,7 +134,11 @@ impl TwoRegisterMachine {
 
     /// Run from `(0, 0, 0)` for at most `fuel` steps.
     pub fn run(&self, fuel: usize) -> RunOutcome {
-        let mut trace = vec![Id { state: 0, r1: 0, r2: 0 }];
+        let mut trace = vec![Id {
+            state: 0,
+            r1: 0,
+            r2: 0,
+        }];
         for _ in 0..fuel {
             let current = *trace.last().expect("trace is nonempty");
             if current.state == self.halting_state {
@@ -137,7 +167,10 @@ impl TwoRegisterMachine {
         // States 0..k-1: add; states k..2k-1: subtract; state 2k: halt.
         let mut instructions = Vec::new();
         for i in 0..k {
-            instructions.push(Instruction::Add { register: Register::R1, next: i + 1 });
+            instructions.push(Instruction::Add {
+                register: Register::R1,
+                next: i + 1,
+            });
         }
         for i in 0..k {
             instructions.push(Instruction::Sub {
@@ -155,7 +188,10 @@ impl TwoRegisterMachine {
     /// A machine that never halts (it increments register 1 forever).
     pub fn diverging() -> TwoRegisterMachine {
         TwoRegisterMachine {
-            instructions: vec![Instruction::Add { register: Register::R1, next: 0 }],
+            instructions: vec![Instruction::Add {
+                register: Register::R1,
+                next: 0,
+            }],
             halting_state: 1,
         }
     }
@@ -176,7 +212,14 @@ mod tests {
         let machine = TwoRegisterMachine::bump_and_drain(3);
         match machine.run(100) {
             RunOutcome::Halted(trace) => {
-                assert_eq!(trace.first().copied(), Some(Id { state: 0, r1: 0, r2: 0 }));
+                assert_eq!(
+                    trace.first().copied(),
+                    Some(Id {
+                        state: 0,
+                        r1: 0,
+                        r2: 0
+                    })
+                );
                 let last = *trace.last().unwrap();
                 assert_eq!(last.state, machine.halting_state);
                 assert_eq!((last.r1, last.r2), (0, 0));

@@ -1,0 +1,310 @@
+//! `xpathsat` — command-line front-end of the satisfiability service.
+//!
+//! ```text
+//! xpathsat check --dtd <file|-> [--witness] <query>...
+//! xpathsat batch [--threads N] [--input <file>]
+//! xpathsat classify --dtd <file|->
+//! xpathsat bench-gen [--depth D] [--width W] [--queries N] [--seed S] [--threads T]
+//! ```
+//!
+//! `check` decides each query against one DTD and prints a human-readable verdict per
+//! line.  `batch` runs the JSON-lines protocol (stdin or `--input` file → stdout), which
+//! is the service's machine endpoint.  `classify` prints the DTD's structural class and
+//! preprocessing summary.  `bench-gen` emits a reproducible JSON-lines workload
+//! (`register_dtd` + a large `batch` + `stats`) ready to pipe back into `xpathsat
+//! batch`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufReader, Read, Write};
+use std::process::ExitCode;
+use xpsat_service::{effective_threads, Json, ProtocolServer, Session};
+
+const USAGE: &str = "xpathsat — XPath-satisfiability service CLI
+
+USAGE:
+    xpathsat check --dtd <file|-> [--witness] <query>...
+    xpathsat batch [--threads N] [--input <file>]
+    xpathsat classify --dtd <file|->
+    xpathsat bench-gen [--depth D] [--width W] [--queries N] [--seed S] [--threads T]
+
+SUBCOMMANDS:
+    check       Decide queries against a DTD, one verdict per line
+    batch       Serve the JSON-lines protocol (one request per line on stdin)
+    classify    Print the DTD's structural classification and artifact summary
+    bench-gen   Emit a reproducible JSON-lines workload for `xpathsat batch`
+
+OPTIONS:
+    --dtd <file|->   DTD in the workspace's textual syntax ('-' reads stdin)
+    --witness        Include witness documents in `check` output
+    --threads N      Worker threads for batch dispatch (default: CPU count)
+    --input <file>   Read protocol lines from a file instead of stdin
+    --depth D        bench-gen: layered-DTD depth (default 4)
+    --width W        bench-gen: sibling types per level (default 3)
+    --queries N      bench-gen: number of random queries (default 100)
+    --seed S         bench-gen: RNG seed (default 2005)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((subcommand, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match subcommand.as_str() {
+        "check" => cmd_check(rest),
+        "batch" => cmd_batch(rest),
+        "classify" => cmd_classify(rest),
+        "bench-gen" => cmd_bench_gen(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError::Runtime(e.to_string())
+    }
+}
+
+/// Parsed `--flag value` / `--switch` options plus positional arguments.
+struct Options {
+    dtd: Option<String>,
+    witness: bool,
+    threads: usize,
+    input: Option<String>,
+    depth: usize,
+    width: usize,
+    queries: usize,
+    seed: u64,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut options = Options {
+        dtd: None,
+        witness: false,
+        threads: 0,
+        input: None,
+        depth: 4,
+        width: 3,
+        queries: 100,
+        seed: 2005,
+        positional: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--dtd" => options.dtd = Some(value_of("--dtd")?),
+            "--witness" => options.witness = true,
+            "--threads" => {
+                options.threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--threads needs a number".into()))?
+            }
+            "--input" => options.input = Some(value_of("--input")?),
+            "--depth" => {
+                options.depth = value_of("--depth")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--depth needs a number".into()))?
+            }
+            "--width" => {
+                options.width = value_of("--width")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--width needs a number".into()))?
+            }
+            "--queries" => {
+                options.queries = value_of("--queries")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--queries needs a number".into()))?
+            }
+            "--seed" => {
+                options.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--seed needs a number".into()))?
+            }
+            other if other.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option '{other}'")))
+            }
+            other => options.positional.push(other.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn read_dtd(options: &Options) -> Result<String, CliError> {
+    let source = options
+        .dtd
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("--dtd is required".into()))?;
+    if source == "-" {
+        let mut text = String::new();
+        std::io::stdin().read_to_string(&mut text)?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(source)
+            .map_err(|e| CliError::Runtime(format!("cannot read {source}: {e}")))
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    if options.positional.is_empty() {
+        return Err(CliError::Usage("check needs at least one query".into()));
+    }
+    let dtd_text = read_dtd(&options)?;
+    let mut session = Session::new();
+    session
+        .load_dtd(&dtd_text)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let threads = effective_threads(options.threads);
+    let served = session
+        .check_batch(&options.positional, threads)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut any_unknown = false;
+    for (query, one) in options.positional.iter().zip(&served) {
+        let decision = &one.decision;
+        writeln!(
+            out,
+            "{query}: {} [engine: {}; complete: {}; cached: {}]",
+            decision.result,
+            xpsat_service::engine_slug(decision.engine),
+            decision.complete,
+            one.cached,
+        )?;
+        if options.witness {
+            if let xpsat_core::Satisfiability::Satisfiable(doc) = &decision.result {
+                writeln!(out, "  witness: {}", xpsat_xmltree::serialize::to_xml(doc))?;
+            }
+        }
+        any_unknown |= !decision.result.is_definite();
+    }
+    if any_unknown {
+        Err(CliError::Runtime("some verdicts were 'unknown'".into()))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    if !options.positional.is_empty() {
+        return Err(CliError::Usage(
+            "batch takes no positional arguments".into(),
+        ));
+    }
+    let mut server = ProtocolServer::new(options.threads);
+    let stdout = std::io::stdout();
+    match &options.input {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+            server.serve(BufReader::new(file), stdout.lock())?;
+        }
+        None => {
+            let stdin = std::io::stdin();
+            server.serve(stdin.lock(), stdout.lock())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let dtd_text = read_dtd(&options)?;
+    let mut session = Session::new();
+    let id = session
+        .load_dtd(&dtd_text)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let artifacts = session
+        .workspace()
+        .artifacts(id)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let class = &artifacts.class;
+    println!("root:               {}", artifacts.dtd.root());
+    println!(
+        "element types:      {}",
+        artifacts.dtd.element_names().len()
+    );
+    println!("size |D|:           {}", artifacts.dtd.size());
+    println!("recursive:          {}", class.recursive);
+    println!("disjunction-free:   {}", class.disjunction_free);
+    println!("has star:           {}", class.has_star);
+    println!("normalized:         {}", class.normalized);
+    match class.depth_bound {
+        Some(depth) => println!("depth bound:        {depth}"),
+        None => println!("depth bound:        unbounded (recursive)"),
+    }
+    println!(
+        "normalisation N(D): {} fresh types",
+        artifacts.normalization.new_types.len()
+    );
+    println!("content automata:   {}", artifacts.automata.len());
+    Ok(())
+}
+
+fn cmd_bench_gen(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    if !options.positional.is_empty() {
+        return Err(CliError::Usage(
+            "bench-gen takes no positional arguments".into(),
+        ));
+    }
+    let dtd = xpsat_bench::layered_dtd(options.depth, options.width);
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let queries: Vec<Json> = (0..options.queries)
+        .map(|_| Json::Str(xpsat_bench::random_positive_query(&mut rng, &dtd, 3).to_string()))
+        .collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "{}",
+        Json::obj(vec![
+            ("op", Json::Str("register_dtd".into())),
+            ("dtd", Json::Str(dtd.to_string())),
+        ])
+    )?;
+    let mut batch = vec![
+        ("op", Json::Str("batch".into())),
+        ("dtd_id", Json::Num(0.0)),
+        ("queries", Json::Arr(queries)),
+    ];
+    if options.threads > 0 {
+        batch.push(("threads", Json::Num(options.threads as f64)));
+    }
+    writeln!(out, "{}", Json::obj(batch))?;
+    writeln!(
+        out,
+        "{}",
+        Json::obj(vec![("op", Json::Str("stats".into()))])
+    )?;
+    Ok(())
+}

@@ -1,0 +1,188 @@
+//! `xpsat-service` — a batched, cached satisfiability service over the `xpathsat`
+//! solver stack.
+//!
+//! The paper's complexity results make `SAT(X, DTD)` cost *per-DTD-heavy*: the
+//! classification, normalisation and content-model automata that engine dispatch
+//! relies on depend only on the DTD, while per-query dispatch is PTIME for the
+//! tractable fragments that dominate real-world workloads.  This crate is the
+//! architectural seam that exploits that shape at service scale:
+//!
+//! * [`Workspace`] — register a DTD once; classification ([`xpsat_dtd::classify`]),
+//!   normalisation ([`xpsat_dtd::normalize`]) and the Glushkov automata of every
+//!   content model are computed once and cached as [`DtdArtifacts`].  Queries are
+//!   interned by canonical text ([`QueryId`]), and decisions are memoised per
+//!   `(DtdId, QueryId)` with engine provenance ([`ServedDecision`]).
+//! * [`Workspace::decide_batch`] — fan independent queries out across worker threads
+//!   (`std::thread::scope`, no extra dependencies) with deterministic, input-ordered
+//!   results that are byte-identical to a sequential [`xpsat_core::Solver::decide`]
+//!   loop.
+//! * [`Session`] — a text-in/decision-out convenience wrapper tracking a current DTD.
+//! * [`ProtocolServer`] — a JSON-lines request/response protocol (`register_dtd`,
+//!   `check`, `batch`, `classify`, `stats`) so the service can be driven as a real
+//!   workload endpoint; the `xpathsat` CLI binary fronts it from the shell.
+//! * [`StatsSnapshot`] — cache-effectiveness counters proving the amortisation: a
+//!   repeated batch does no re-classification and is served entirely from the
+//!   decision cache.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use xpsat_service::Session;
+//!
+//! let mut session = Session::new();
+//! session.load_dtd("r -> a*; a -> b?; b -> #;").unwrap();
+//! let served = session.check("a[b]").unwrap();
+//! assert!(matches!(
+//!     served.decision.result,
+//!     xpsat_core::Satisfiability::Satisfiable(_)
+//! ));
+//! assert!(!served.cached);
+//! assert!(session.check("a[b]").unwrap().cached); // memoised
+//! ```
+
+pub mod json;
+pub mod protocol;
+pub mod session;
+pub mod stats;
+pub mod workspace;
+
+pub use json::{Json, JsonError};
+pub use protocol::ProtocolServer;
+pub use session::Session;
+pub use stats::{CacheStats, StatsSnapshot};
+pub use workspace::{
+    decision_fingerprint, effective_threads, engine_slug, DtdArtifacts, DtdId, InternedQuery,
+    QueryId, ServedDecision, ServiceError, Workspace,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpsat_core::Solver;
+    use xpsat_dtd::parse_dtd;
+    use xpsat_xpath::parse_path;
+
+    const DTD: &str = "r -> a*; a -> b | c; b -> d?; c -> #; d -> #;";
+
+    #[test]
+    fn artifacts_are_computed_once_per_distinct_dtd() {
+        let mut ws = Workspace::default();
+        let a = ws.register_dtd(DTD).unwrap();
+        let b = ws.register_dtd(DTD).unwrap();
+        assert_eq!(a, b);
+        let c = ws.register_dtd("r -> a?; a -> #;").unwrap();
+        assert_ne!(a, c);
+        let stats = ws.stats();
+        assert_eq!(stats.dtds_registered, 2);
+        assert_eq!(stats.dtds_reused, 1);
+        assert_eq!(stats.classifications, 2);
+        assert_eq!(stats.normalizations, 2);
+        // One Glushkov automaton per element type of each registered DTD.
+        let total_elements = (ws.artifacts(a).unwrap().dtd.element_names().len()
+            + ws.artifacts(c).unwrap().dtd.element_names().len())
+            as u64;
+        assert_eq!(stats.automata_built, total_elements);
+    }
+
+    #[test]
+    fn artifacts_agree_with_direct_computation() {
+        let mut ws = Workspace::default();
+        let id = ws.register_dtd(DTD).unwrap();
+        let artifacts = ws.artifacts(id).unwrap();
+        let direct = parse_dtd(DTD).unwrap();
+        assert_eq!(artifacts.dtd, direct);
+        assert_eq!(artifacts.class, xpsat_dtd::classify(&direct));
+        assert_eq!(
+            artifacts.normalization.dtd,
+            xpsat_dtd::normalize(&direct).dtd
+        );
+        for (name, decl) in direct.elements() {
+            let nfa = &artifacts.automata[name];
+            // Spot-check the automaton against the content model on short words.
+            if let Some(word) = nfa.shortest_word() {
+                assert!(nfa.accepts(&word));
+            }
+            let _ = decl;
+        }
+    }
+
+    #[test]
+    fn interning_dedupes_by_canonical_form() {
+        let mut ws = Workspace::default();
+        let a = ws.intern("a[b]").unwrap();
+        // Same canonical rendering, different surface text.
+        let b = ws.intern("a[ b ]").unwrap();
+        assert_eq!(a, b);
+        let c = ws.intern("a[c]").unwrap();
+        assert_ne!(a, c);
+        let stats = ws.stats();
+        assert_eq!(stats.queries_interned, 2);
+        assert_eq!(stats.queries_reused, 1);
+        assert_eq!(ws.query(a).unwrap().canonical, "a[b]");
+    }
+
+    #[test]
+    fn decide_matches_solver_and_memoises() {
+        let mut ws = Workspace::default();
+        let dtd_id = ws.register_dtd(DTD).unwrap();
+        let dtd = parse_dtd(DTD).unwrap();
+        let solver = Solver::default();
+        for text in ["a/b", "a[b and not(c)]", "a/b/d", "a[c]/b", "d/.."] {
+            let q = ws.intern(text).unwrap();
+            let served = ws.decide(dtd_id, q).unwrap();
+            assert!(!served.cached, "{text}");
+            let direct = solver.decide(&dtd, &parse_path(text).unwrap());
+            assert_eq!(
+                decision_fingerprint(&served.decision),
+                decision_fingerprint(&direct),
+                "{text}"
+            );
+            let again = ws.decide(dtd_id, q).unwrap();
+            assert!(again.cached, "{text}");
+            assert_eq!(
+                decision_fingerprint(&again.decision),
+                decision_fingerprint(&served.decision),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut ws = Workspace::default();
+        let q = ws.intern("a").unwrap();
+        assert!(matches!(
+            ws.decide(DtdId(7), q),
+            Err(ServiceError::UnknownDtd(7))
+        ));
+        let d = ws.register_dtd(DTD).unwrap();
+        assert!(matches!(
+            ws.decide(d, QueryId(99)),
+            Err(ServiceError::UnknownQuery(99))
+        ));
+        assert!(ws.register_dtd("not a dtd ->").is_err());
+        assert!(ws.intern("[[[").is_err());
+    }
+
+    #[test]
+    fn batch_is_deterministic_across_thread_counts() {
+        let mut ws = Workspace::default();
+        let dtd_id = ws.register_dtd(DTD).unwrap();
+        let texts = ["a/b", "a[b]", "a[not(b)]", "a/b", "c", "a[b or c]", "b/d"];
+        let ids: Vec<QueryId> = texts.iter().map(|t| ws.intern(t).unwrap()).collect();
+        let single = ws.decide_batch(dtd_id, &ids, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let mut fresh = Workspace::default();
+            let d = fresh.register_dtd(DTD).unwrap();
+            let fresh_ids: Vec<QueryId> = texts.iter().map(|t| fresh.intern(t).unwrap()).collect();
+            let multi = fresh.decide_batch(d, &fresh_ids, threads).unwrap();
+            assert_eq!(single.len(), multi.len());
+            for (a, b) in single.iter().zip(&multi) {
+                assert_eq!(
+                    decision_fingerprint(&a.decision),
+                    decision_fingerprint(&b.decision)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! The JSON-lines request/response protocol.
+//!
+//! One request per line in, one response per line out; blank lines are ignored.  The
+//! protocol is stateful: `register_dtd` adds to the server-side [`Workspace`] and later
+//! requests refer to DTDs by the returned `dtd_id`.  See the README for the full spec.
+//!
+//! Requests (`op` selects the operation):
+//!
+//! ```text
+//! {"op":"register_dtd","dtd":"r -> a*; a -> #;"}
+//! {"op":"check","dtd_id":0,"query":"a","witness":true}
+//! {"op":"batch","dtd_id":0,"queries":["a","a[b]"],"threads":4,"witness":false}
+//! {"op":"classify","dtd_id":0}
+//! {"op":"stats"}
+//! ```
+//!
+//! Every response carries `"ok":true` plus operation-specific fields, or `"ok":false`
+//! with an `"error"` string.  A malformed line never kills the loop.
+
+use crate::json::Json;
+use crate::workspace::{engine_slug, DtdId, ServedDecision, ServiceError, Workspace};
+use std::io::{BufRead, Write};
+use xpsat_core::Satisfiability;
+
+/// A stateful protocol server over one workspace.
+#[derive(Debug, Default)]
+pub struct ProtocolServer {
+    workspace: Workspace,
+    default_threads: usize,
+}
+
+impl ProtocolServer {
+    /// A server over a fresh workspace; `default_threads` is used by `batch` requests
+    /// that do not specify their own `threads` (0 means "number of CPUs").
+    pub fn new(default_threads: usize) -> ProtocolServer {
+        ProtocolServer {
+            workspace: Workspace::default(),
+            default_threads,
+        }
+    }
+
+    /// The workspace behind the server.
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
+    }
+
+    /// Handle one request line, producing one response line (without the newline).
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let response = match Json::parse(line) {
+            Err(e) => error_response(&format!("malformed request: {e}")),
+            Ok(request) => match self.dispatch(&request) {
+                Ok(response) => response,
+                Err(e) => error_response(&e.to_string()),
+            },
+        };
+        response.to_string()
+    }
+
+    /// Serve requests from `input` until EOF, writing responses to `output`.
+    ///
+    /// Lines are read as raw bytes and converted lossily, so a stray non-UTF-8 byte
+    /// produces a per-line error response (the replacement character breaks the JSON
+    /// parse) instead of killing the loop; only genuine I/O failures abort.
+    pub fn serve(
+        &mut self,
+        mut input: impl BufRead,
+        mut output: impl Write,
+    ) -> std::io::Result<()> {
+        let mut buffer = Vec::new();
+        loop {
+            buffer.clear();
+            if input.read_until(b'\n', &mut buffer)? == 0 {
+                return Ok(());
+            }
+            let line = String::from_utf8_lossy(&buffer);
+            if line.trim().is_empty() {
+                continue;
+            }
+            writeln!(
+                output,
+                "{}",
+                self.handle_line(line.trim_end_matches(['\n', '\r']))
+            )?;
+            output.flush()?;
+        }
+    }
+
+    fn dispatch(&mut self, request: &Json) -> Result<Json, ProtocolError> {
+        let op = request
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtocolError::new("missing string field 'op'"))?;
+        match op {
+            "register_dtd" => self.op_register_dtd(request),
+            "check" => self.op_check(request),
+            "batch" => self.op_batch(request),
+            "classify" => self.op_classify(request),
+            "stats" => Ok(self.op_stats()),
+            other => Err(ProtocolError::new(format!("unknown op '{other}'"))),
+        }
+    }
+
+    fn op_register_dtd(&mut self, request: &Json) -> Result<Json, ProtocolError> {
+        let text = str_field(request, "dtd")?;
+        let before = self.workspace.dtd_count();
+        let id = self.workspace.register_dtd(text)?;
+        Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("register_dtd".into())),
+            ("dtd_id", Json::Num(id.index() as f64)),
+            ("reused", Json::Bool(self.workspace.dtd_count() == before)),
+        ]))
+    }
+
+    fn op_check(&mut self, request: &Json) -> Result<Json, ProtocolError> {
+        let dtd = dtd_id_field(request)?;
+        let text = str_field(request, "query")?;
+        let with_witness = request
+            .get("witness")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let query = self.workspace.intern(text)?;
+        let served = self.workspace.decide(dtd, query)?;
+        let canonical = self.workspace.query(query)?.canonical.clone();
+        let mut response = vec![
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("check".into())),
+            ("dtd_id", Json::Num(dtd.index() as f64)),
+            ("query", Json::Str(canonical)),
+        ];
+        response.extend(decision_fields(&served, with_witness));
+        Ok(Json::obj(response))
+    }
+
+    fn op_batch(&mut self, request: &Json) -> Result<Json, ProtocolError> {
+        let dtd = dtd_id_field(request)?;
+        let items = request
+            .get("queries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ProtocolError::new("missing array field 'queries'"))?;
+        let with_witness = request
+            .get("witness")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let threads = match request.get("threads").and_then(Json::as_u64) {
+            Some(n) if n > 0 => n as usize,
+            _ => self.effective_threads(),
+        };
+        let mut ids = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let text = item
+                .as_str()
+                .ok_or_else(|| ProtocolError::new(format!("queries[{i}] is not a string")))?;
+            ids.push(self.workspace.intern(text)?);
+        }
+        let served = self.workspace.decide_batch(dtd, &ids, threads)?;
+        let mut results = Vec::with_capacity(served.len());
+        for (id, one) in ids.iter().zip(&served) {
+            let mut fields = vec![(
+                "query",
+                Json::Str(self.workspace.query(*id)?.canonical.clone()),
+            )];
+            fields.extend(decision_fields(one, with_witness));
+            results.push(Json::obj(fields));
+        }
+        Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("batch".into())),
+            ("dtd_id", Json::Num(dtd.index() as f64)),
+            ("threads", Json::Num(threads as f64)),
+            ("results", Json::Arr(results)),
+        ]))
+    }
+
+    fn op_classify(&mut self, request: &Json) -> Result<Json, ProtocolError> {
+        let dtd = dtd_id_field(request)?;
+        let artifacts = self.workspace.artifacts(dtd)?;
+        let class = &artifacts.class;
+        Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("classify".into())),
+            ("dtd_id", Json::Num(dtd.index() as f64)),
+            ("root", Json::Str(artifacts.dtd.root().to_string())),
+            (
+                "elements",
+                Json::Num(artifacts.dtd.element_names().len() as f64),
+            ),
+            ("size", Json::Num(artifacts.dtd.size() as f64)),
+            ("recursive", Json::Bool(class.recursive)),
+            ("disjunction_free", Json::Bool(class.disjunction_free)),
+            ("has_star", Json::Bool(class.has_star)),
+            ("normalized", Json::Bool(class.normalized)),
+            (
+                "depth_bound",
+                class
+                    .depth_bound
+                    .map(|d| Json::Num(d as f64))
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "normalization_new_types",
+                Json::Num(artifacts.normalization.new_types.len() as f64),
+            ),
+            ("automata", Json::Num(artifacts.automata.len() as f64)),
+        ]))
+    }
+
+    fn op_stats(&self) -> Json {
+        let stats = self.workspace.stats();
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("stats".into())),
+            ("dtds_registered", Json::Num(stats.dtds_registered as f64)),
+            ("dtds_reused", Json::Num(stats.dtds_reused as f64)),
+            ("classifications", Json::Num(stats.classifications as f64)),
+            ("normalizations", Json::Num(stats.normalizations as f64)),
+            ("automata_built", Json::Num(stats.automata_built as f64)),
+            ("queries_interned", Json::Num(stats.queries_interned as f64)),
+            ("queries_reused", Json::Num(stats.queries_reused as f64)),
+            (
+                "decisions_computed",
+                Json::Num(stats.decisions_computed as f64),
+            ),
+            (
+                "decision_cache_hits",
+                Json::Num(stats.decision_cache_hits as f64),
+            ),
+        ])
+    }
+
+    fn effective_threads(&self) -> usize {
+        crate::workspace::effective_threads(self.default_threads)
+    }
+}
+
+/// Render the shared decision fields of `check` and `batch` results.
+fn decision_fields(served: &ServedDecision, with_witness: bool) -> Vec<(&'static str, Json)> {
+    let decision = &served.decision;
+    let mut fields = vec![
+        (
+            "result",
+            Json::Str(
+                match decision.result {
+                    Satisfiability::Satisfiable(_) => "satisfiable",
+                    Satisfiability::Unsatisfiable => "unsatisfiable",
+                    Satisfiability::Unknown => "unknown",
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "engine",
+            Json::Str(engine_slug(decision.engine).to_string()),
+        ),
+        ("complete", Json::Bool(decision.complete)),
+        ("cached", Json::Bool(served.cached)),
+    ];
+    if with_witness {
+        if let Satisfiability::Satisfiable(doc) = &decision.result {
+            fields.push(("witness", Json::Str(xpsat_xmltree::serialize::to_xml(doc))));
+        }
+    }
+    fields
+}
+
+fn error_response(message: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+/// A request-level failure (bad field, unknown id, parse error).
+#[derive(Debug, Clone)]
+pub struct ProtocolError {
+    message: String,
+}
+
+impl ProtocolError {
+    fn new(message: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ServiceError> for ProtocolError {
+    fn from(e: ServiceError) -> ProtocolError {
+        ProtocolError::new(e.to_string())
+    }
+}
+
+fn str_field<'a>(request: &'a Json, key: &str) -> Result<&'a str, ProtocolError> {
+    request
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::new(format!("missing string field '{key}'")))
+}
+
+fn dtd_id_field(request: &Json) -> Result<DtdId, ProtocolError> {
+    request
+        .get("dtd_id")
+        .and_then(Json::as_u64)
+        .map(|n| DtdId(n as usize))
+        .ok_or_else(|| ProtocolError::new("missing numeric field 'dtd_id'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field<'a>(response: &'a Json, key: &str) -> &'a Json {
+        response
+            .get(key)
+            .unwrap_or_else(|| panic!("missing {key} in {response}"))
+    }
+
+    #[test]
+    fn register_check_batch_stats_round_trip() {
+        let mut server = ProtocolServer::new(2);
+        let reg = Json::parse(
+            &server.handle_line(r#"{"op":"register_dtd","dtd":"r -> a*; a -> b?; b -> #;"}"#),
+        )
+        .unwrap();
+        assert_eq!(field(&reg, "ok").as_bool(), Some(true));
+        assert_eq!(field(&reg, "dtd_id").as_u64(), Some(0));
+        assert_eq!(field(&reg, "reused").as_bool(), Some(false));
+
+        let check = Json::parse(
+            &server.handle_line(r#"{"op":"check","dtd_id":0,"query":"a[b]","witness":true}"#),
+        )
+        .unwrap();
+        assert_eq!(field(&check, "result").as_str(), Some("satisfiable"));
+        assert!(field(&check, "witness")
+            .as_str()
+            .unwrap()
+            .starts_with("<r>"));
+        assert_eq!(field(&check, "cached").as_bool(), Some(false));
+
+        let batch =
+            Json::parse(&server.handle_line(
+                r#"{"op":"batch","dtd_id":0,"queries":["a[b]","b/..","c"],"threads":2}"#,
+            ))
+            .unwrap();
+        let results = field(&batch, "results").as_array().unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(field(&results[0], "cached").as_bool(), Some(true));
+        assert_eq!(field(&results[2], "result").as_str(), Some("unsatisfiable"));
+
+        let stats = Json::parse(&server.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        assert_eq!(field(&stats, "classifications").as_u64(), Some(1));
+        assert!(field(&stats, "decision_cache_hits").as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut server = ProtocolServer::new(1);
+        for bad in [
+            "not json",
+            r#"{"op":"teleport"}"#,
+            r#"{"op":"check","dtd_id":9,"query":"a"}"#,
+            r#"{"op":"check","dtd_id":0}"#,
+            r#"{"op":"register_dtd","dtd":"r -> ("}"#,
+        ] {
+            let response = Json::parse(&server.handle_line(bad)).unwrap();
+            assert_eq!(
+                response.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "{bad}"
+            );
+            assert!(response.get("error").is_some(), "{bad}");
+        }
+        // The server still works afterwards.
+        let reg = server.handle_line(r#"{"op":"register_dtd","dtd":"r -> a?; a -> #;"}"#);
+        assert!(reg.contains(r#""ok":true"#));
+    }
+
+    #[test]
+    fn serve_survives_non_utf8_lines() {
+        let mut server = ProtocolServer::new(1);
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"\xff\xfe garbage bytes\n");
+        input.extend_from_slice(b"{\"op\":\"register_dtd\",\"dtd\":\"r -> a?; a -> #;\"}\n");
+        let mut output = Vec::new();
+        server.serve(&input[..], &mut output).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&output)
+            .unwrap()
+            .trim()
+            .lines()
+            .collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""ok":false"#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""dtd_id":0"#), "{}", lines[1]);
+    }
+
+    #[test]
+    fn serve_loop_reads_and_writes_lines() {
+        let mut server = ProtocolServer::new(1);
+        let input = "\n{\"op\":\"register_dtd\",\"dtd\":\"r -> a?; a -> #;\"}\n{\"op\":\"check\",\"dtd_id\":0,\"query\":\"a\"}\n";
+        let mut output = Vec::new();
+        server.serve(input.as_bytes(), &mut output).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&output)
+            .unwrap()
+            .trim()
+            .lines()
+            .collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""dtd_id":0"#));
+        assert!(lines[1].contains(r#""result":"satisfiable""#));
+    }
+}

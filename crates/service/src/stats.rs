@@ -1,0 +1,90 @@
+//! Cache-effectiveness counters for a [`crate::Workspace`].
+//!
+//! The counters exist so that callers (and the acceptance tests) can *prove* that the
+//! service amortises per-DTD preprocessing: after a warm batch, a second identical
+//! batch must leave `classifications` untouched and grow only `decision_cache_hits`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters updated by the workspace; thread-safe, relaxed ordering (the
+/// counters are diagnostics, never synchronisation).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    pub(crate) dtds_registered: AtomicU64,
+    pub(crate) dtds_reused: AtomicU64,
+    pub(crate) classifications: AtomicU64,
+    pub(crate) normalizations: AtomicU64,
+    pub(crate) automata_built: AtomicU64,
+    pub(crate) queries_interned: AtomicU64,
+    pub(crate) queries_reused: AtomicU64,
+    pub(crate) decisions_computed: AtomicU64,
+    pub(crate) decision_cache_hits: AtomicU64,
+}
+
+impl CacheStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            dtds_registered: self.dtds_registered.load(Ordering::Relaxed),
+            dtds_reused: self.dtds_reused.load(Ordering::Relaxed),
+            classifications: self.classifications.load(Ordering::Relaxed),
+            normalizations: self.normalizations.load(Ordering::Relaxed),
+            automata_built: self.automata_built.load(Ordering::Relaxed),
+            queries_interned: self.queries_interned.load(Ordering::Relaxed),
+            queries_reused: self.queries_reused.load(Ordering::Relaxed),
+            decisions_computed: self.decisions_computed.load(Ordering::Relaxed),
+            decision_cache_hits: self.decision_cache_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of the workspace counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// DTDs registered for the first time (full preprocessing ran).
+    pub dtds_registered: u64,
+    /// `register_dtd` calls served by the canonical-text dedup table.
+    pub dtds_reused: u64,
+    /// How many times [`xpsat_dtd::classify`] actually ran.
+    pub classifications: u64,
+    /// How many times [`xpsat_dtd::normalize`] actually ran.
+    pub normalizations: u64,
+    /// Content-model Glushkov automata constructed (one per element type, at
+    /// registration).
+    pub automata_built: u64,
+    /// Queries interned for the first time.
+    pub queries_interned: u64,
+    /// `intern` calls served by the canonical-path dedup table.
+    pub queries_reused: u64,
+    /// Decisions computed by running a solver engine.
+    pub decisions_computed: u64,
+    /// Decisions served from the memoised `(dtd, query)` cache.
+    pub decision_cache_hits: u64,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dtds: {} registered, {} reused; classifications: {}; normalizations: {}; \
+             automata: {}; queries: {} interned, {} reused; decisions: {} computed, {} cache hits",
+            self.dtds_registered,
+            self.dtds_reused,
+            self.classifications,
+            self.normalizations,
+            self.automata_built,
+            self.queries_interned,
+            self.queries_reused,
+            self.decisions_computed,
+            self.decision_cache_hits,
+        )
+    }
+}

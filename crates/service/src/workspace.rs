@@ -1,0 +1,383 @@
+//! The [`Workspace`]: registered DTDs with precomputed artifacts, interned queries and
+//! a memoised decision cache.
+//!
+//! The paper's complexity landscape makes per-DTD work (classification, normalisation,
+//! content-model automata) the expensive, *reusable* part of `SAT(X, DTD)`, while
+//! per-query dispatch is often PTIME.  The workspace exploits that shape the way a
+//! production static analyzer would: a DTD is registered once, its artifacts are
+//! computed once and cached, and every subsequent decision against it reuses them.
+//! Queries are interned by canonical text so repeated paths share one [`QueryId`] and
+//! hit a memoised `(DtdId, QueryId)` decision cache.
+//!
+//! All `decide` paths take `&self` (the cache is behind a mutex), so one workspace can
+//! be shared across the worker threads of [`Workspace::decide_batch`].
+
+use crate::stats::{CacheStats, StatsSnapshot};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use xpsat_automata::Nfa;
+use xpsat_core::{Decision, EngineKind, Solver, SolverConfig};
+use xpsat_dtd::{classify, normalize, parse_dtd, Dtd, DtdClass, Normalization};
+use xpsat_xpath::{parse_path, Path};
+
+/// Handle of a registered DTD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DtdId(pub(crate) usize);
+
+impl DtdId {
+    /// The numeric value used by the JSON-lines protocol.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle of an interned query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub(crate) usize);
+
+impl QueryId {
+    /// The numeric value used by the JSON-lines protocol.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Everything the service precomputes for a registered DTD, exactly once.
+#[derive(Debug)]
+pub struct DtdArtifacts {
+    /// The DTD itself.
+    pub dtd: Dtd,
+    /// Canonical textual form (the dedup key; round-trips through the parser).
+    pub canonical: String,
+    /// Structural classification (Section 6 regimes) — drives engine dispatch.
+    pub class: DtdClass,
+    /// The normalisation `N(D)` of Proposition 3.3.
+    pub normalization: Normalization,
+    /// Glushkov NFA of every element type's content model, keyed by element name.
+    pub automata: BTreeMap<String, Nfa<String>>,
+}
+
+/// An interned query: the parsed path plus its canonical rendering.
+#[derive(Debug)]
+pub struct InternedQuery {
+    /// The parsed path.
+    pub path: Path,
+    /// Canonical textual form (the dedup key; `Display` round-trips through the
+    /// parser, so two queries intern to the same id iff they print identically).
+    pub canonical: String,
+}
+
+/// A decision together with its cache provenance.
+#[derive(Debug, Clone)]
+pub struct ServedDecision {
+    /// The solver's verdict, engine and completeness flag.
+    pub decision: Decision,
+    /// `true` when the decision came out of the memoised cache rather than a solver
+    /// engine run.
+    pub cached: bool,
+}
+
+/// Errors returned by workspace operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The DTD text did not parse.
+    DtdParse(String),
+    /// The query text did not parse.
+    QueryParse(String),
+    /// An id referred to no registered DTD.
+    UnknownDtd(usize),
+    /// An id referred to no interned query.
+    UnknownQuery(usize),
+    /// A session operation needed a current DTD but none was loaded.
+    NoCurrentDtd,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::DtdParse(e) => write!(f, "DTD parse error: {e}"),
+            ServiceError::QueryParse(e) => write!(f, "query parse error: {e}"),
+            ServiceError::UnknownDtd(id) => write!(f, "unknown DTD id {id}"),
+            ServiceError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
+            ServiceError::NoCurrentDtd => {
+                write!(f, "no DTD loaded (call load_dtd or use_dtd first)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The satisfiability service: DTD registry, query interner, decision cache.
+#[derive(Debug)]
+pub struct Workspace {
+    solver: Solver,
+    dtds: Vec<DtdArtifacts>,
+    dtd_by_canonical: HashMap<String, DtdId>,
+    queries: Vec<InternedQuery>,
+    query_by_canonical: HashMap<String, QueryId>,
+    cache: Mutex<HashMap<(DtdId, QueryId), Decision>>,
+    stats: CacheStats,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace::new(SolverConfig::default())
+    }
+}
+
+impl Workspace {
+    /// A workspace whose decisions use the given solver budgets.
+    pub fn new(config: SolverConfig) -> Workspace {
+        Workspace {
+            solver: Solver::new(config),
+            dtds: Vec::new(),
+            dtd_by_canonical: HashMap::new(),
+            queries: Vec::new(),
+            query_by_canonical: HashMap::new(),
+            cache: Mutex::new(HashMap::new()),
+            stats: CacheStats::default(),
+        }
+    }
+
+    // ---- DTD registry ----------------------------------------------------------
+
+    /// Register a DTD from its textual form, computing all artifacts, or return the
+    /// existing id when an identical DTD (same canonical form) is already registered.
+    pub fn register_dtd(&mut self, text: &str) -> Result<DtdId, ServiceError> {
+        let dtd = parse_dtd(text).map_err(|e| ServiceError::DtdParse(e.to_string()))?;
+        Ok(self.register_dtd_value(dtd))
+    }
+
+    /// Register an already-parsed DTD (same dedup and artifact rules).
+    pub fn register_dtd_value(&mut self, dtd: Dtd) -> DtdId {
+        let canonical = dtd.to_string();
+        if let Some(&id) = self.dtd_by_canonical.get(&canonical) {
+            CacheStats::bump(&self.stats.dtds_reused);
+            return id;
+        }
+        CacheStats::bump(&self.stats.classifications);
+        let class = classify(&dtd);
+        CacheStats::bump(&self.stats.normalizations);
+        let normalization = normalize(&dtd);
+        let mut automata = BTreeMap::new();
+        for (name, decl) in dtd.elements() {
+            automata.insert(name.clone(), Nfa::glushkov(&decl.content));
+        }
+        CacheStats::add(&self.stats.automata_built, automata.len() as u64);
+        CacheStats::bump(&self.stats.dtds_registered);
+        let id = DtdId(self.dtds.len());
+        self.dtds.push(DtdArtifacts {
+            dtd,
+            canonical: canonical.clone(),
+            class,
+            normalization,
+            automata,
+        });
+        self.dtd_by_canonical.insert(canonical, id);
+        id
+    }
+
+    /// The artifacts of a registered DTD.
+    pub fn artifacts(&self, id: DtdId) -> Result<&DtdArtifacts, ServiceError> {
+        self.dtds.get(id.0).ok_or(ServiceError::UnknownDtd(id.0))
+    }
+
+    /// Number of registered (distinct) DTDs.
+    pub fn dtd_count(&self) -> usize {
+        self.dtds.len()
+    }
+
+    // ---- query interner --------------------------------------------------------
+
+    /// Intern a query from its textual form; equal canonical renderings share an id.
+    pub fn intern(&mut self, text: &str) -> Result<QueryId, ServiceError> {
+        let path = parse_path(text).map_err(|e| ServiceError::QueryParse(e.to_string()))?;
+        Ok(self.intern_path(path))
+    }
+
+    /// Intern an already-parsed query.
+    pub fn intern_path(&mut self, path: Path) -> QueryId {
+        let canonical = path.to_string();
+        if let Some(&id) = self.query_by_canonical.get(&canonical) {
+            CacheStats::bump(&self.stats.queries_reused);
+            return id;
+        }
+        CacheStats::bump(&self.stats.queries_interned);
+        let id = QueryId(self.queries.len());
+        self.queries.push(InternedQuery {
+            path,
+            canonical: canonical.clone(),
+        });
+        self.query_by_canonical.insert(canonical, id);
+        id
+    }
+
+    /// The interned form of a query id.
+    pub fn query(&self, id: QueryId) -> Result<&InternedQuery, ServiceError> {
+        self.queries
+            .get(id.0)
+            .ok_or(ServiceError::UnknownQuery(id.0))
+    }
+
+    /// Number of interned (distinct) queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    // ---- deciding --------------------------------------------------------------
+
+    /// Decide one `(dtd, query)` instance, serving from the memoised cache when the
+    /// pair has been decided before.
+    pub fn decide(&self, dtd: DtdId, query: QueryId) -> Result<ServedDecision, ServiceError> {
+        self.query(query)?;
+        let artifacts = self.artifacts(dtd)?;
+        let key = (dtd, query);
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            CacheStats::bump(&self.stats.decision_cache_hits);
+            return Ok(ServedDecision {
+                decision: hit.clone(),
+                cached: true,
+            });
+        }
+        let decision = self
+            .solver
+            .decide(&artifacts.dtd, &self.queries[query.0].path);
+        CacheStats::bump(&self.stats.decisions_computed);
+        let mut cache = self.cache.lock().unwrap();
+        let stored = cache.entry(key).or_insert(decision);
+        Ok(ServedDecision {
+            decision: stored.clone(),
+            cached: false,
+        })
+    }
+
+    /// Decide many queries against one registered DTD, fanning the *uncached, distinct*
+    /// instances out across `threads` worker threads.  `results[i]` always corresponds
+    /// to `queries[i]`, and every decision is byte-identical to what a sequential
+    /// [`Solver::decide`] loop would produce (the solver is deterministic and engine
+    /// dispatch depends only on the instance).
+    pub fn decide_batch(
+        &self,
+        dtd: DtdId,
+        queries: &[QueryId],
+        threads: usize,
+    ) -> Result<Vec<ServedDecision>, ServiceError> {
+        let artifacts = self.artifacts(dtd)?;
+        for &q in queries {
+            self.query(q)?;
+        }
+
+        // The distinct query ids not yet in the cache: each is computed exactly once,
+        // no matter how often it repeats in `queries`.
+        let missing: Vec<QueryId> = {
+            let cache = self.cache.lock().unwrap();
+            queries
+                .iter()
+                .copied()
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .filter(|&q| !cache.contains_key(&(dtd, q)))
+                .collect()
+        };
+
+        if !missing.is_empty() {
+            let workers = threads.max(1).min(missing.len());
+            let next = AtomicUsize::new(0);
+            let computed: Mutex<Vec<(QueryId, Decision)>> =
+                Mutex::new(Vec::with_capacity(missing.len()));
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&q) = missing.get(i) else { break };
+                            let decision =
+                                self.solver.decide(&artifacts.dtd, &self.queries[q.0].path);
+                            local.push((q, decision));
+                        }
+                        computed.lock().unwrap().extend(local);
+                    });
+                }
+            });
+            let computed = computed.into_inner().unwrap();
+            CacheStats::add(&self.stats.decisions_computed, computed.len() as u64);
+            let mut cache = self.cache.lock().unwrap();
+            for (q, decision) in computed {
+                cache.entry((dtd, q)).or_insert(decision);
+            }
+        }
+
+        // Assemble results in request order; everything is in the cache now.
+        let cache = self.cache.lock().unwrap();
+        let first_served: BTreeSet<QueryId> = missing.iter().copied().collect();
+        let mut out = Vec::with_capacity(queries.len());
+        let mut fresh_seen: BTreeSet<QueryId> = BTreeSet::new();
+        for &q in queries {
+            // The first occurrence of a freshly computed query counts as a solver run;
+            // repeats within the batch and previously cached pairs are hits.
+            let cached = !(first_served.contains(&q) && fresh_seen.insert(q));
+            if cached {
+                CacheStats::bump(&self.stats.decision_cache_hits);
+            }
+            out.push(ServedDecision {
+                decision: cache[&(dtd, q)].clone(),
+                cached,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+/// Resolve a requested worker-thread count: `0` means "one per available CPU".
+///
+/// The single source of this policy for the protocol server and the CLI.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Short machine-readable engine name used by the protocol and fingerprints.
+pub fn engine_slug(engine: EngineKind) -> &'static str {
+    match engine {
+        EngineKind::Downward => "downward",
+        EngineKind::Sibling => "sibling",
+        EngineKind::DisjunctionFree => "disjunction-free",
+        EngineKind::Positive => "positive",
+        EngineKind::NegationFixpoint => "negation-fixpoint",
+        EngineKind::Rewritten => "rewritten",
+        EngineKind::Enumeration => "enumeration",
+    }
+}
+
+/// A canonical byte string capturing everything observable about a decision: verdict,
+/// witness XML (when satisfiable), engine provenance and completeness.  Two decisions
+/// fingerprint identically iff they are observationally the same; the acceptance tests
+/// compare batch output to sequential output through this.
+pub fn decision_fingerprint(decision: &Decision) -> String {
+    use xpsat_core::Satisfiability;
+    let verdict = match &decision.result {
+        Satisfiability::Satisfiable(doc) => {
+            format!("sat:{}", xpsat_xmltree::serialize::to_xml(doc))
+        }
+        Satisfiability::Unsatisfiable => "unsat".to_string(),
+        Satisfiability::Unknown => "unknown".to_string(),
+    };
+    format!(
+        "{verdict}|engine={}|complete={}",
+        engine_slug(decision.engine),
+        decision.complete
+    )
+}

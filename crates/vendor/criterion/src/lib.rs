@@ -1,0 +1,196 @@
+//! An offline, dependency-free stand-in for the subset of the `criterion` API that the
+//! `xpsat-bench` benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors the
+//! handful of items the benches need — [`Criterion`], [`BenchmarkId`], benchmark
+//! groups with `sample_size` / `bench_function` / `bench_with_input` / `finish`, the
+//! [`criterion_group!`] / [`criterion_main!`] macros and [`black_box`].  Each benchmark
+//! is timed with `std::time::Instant` over `sample_size` iterations (after one warm-up
+//! iteration) and reported as a mean per-iteration wall-clock line on stdout.  No
+//! statistics, plots or baselines — enough to regenerate the *shape* of the paper's
+//! tables, which is what `EXPERIMENTS.md` asks of the benches.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a value or the computation behind it.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The identifier of one benchmark within a group: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("dtd_depth", 8)` renders as `dtd_depth/8`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// The timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up pass pulls code and data into caches.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Run one benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations.max(1) as f64;
+        println!(
+            "{}/{:<40} {:>12.3} µs/iter ({} iters)",
+            self.name,
+            id,
+            per_iter * 1e6,
+            bencher.iterations
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Mark the group complete (report separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// Collect benchmark functions under one runner name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `main` for a bench binary, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_count() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("count", 1), &1u32, |b, _| {
+            b.iter(|| runs += 1)
+        });
+        group.finish();
+        // One warm-up + three timed iterations.
+        assert_eq!(runs, 4);
+        assert_eq!(c.benchmarks_run, 1);
+    }
+}

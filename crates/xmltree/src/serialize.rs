@@ -87,7 +87,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -190,8 +194,7 @@ impl<'a> Parser<'a> {
                     while self.pos < self.input.len() && self.input[self.pos] != b'"' {
                         self.pos += 1;
                     }
-                    let value =
-                        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    let value = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
                     self.expect(b'"')?;
                     doc.set_attr(node, attr, value);
                 }

@@ -152,10 +152,7 @@ mod tests {
                 Tag::Close { label } => format!("</{label}>"),
             })
             .collect();
-        assert_eq!(
-            rendered.join(""),
-            "<r><a><b></b></a><c></c></r>"
-        );
+        assert_eq!(rendered.join(""), "<r><a><b></b></a><c></c></r>");
     }
 
     #[test]
@@ -192,7 +189,10 @@ mod tests {
     #[test]
     fn parse_stream_rejects_bad_nesting() {
         let tags = vec![
-            Tag::Open { label: "a".into(), selected: false },
+            Tag::Open {
+                label: "a".into(),
+                selected: false,
+            },
             Tag::Close { label: "b".into() },
         ];
         assert!(parse_stream(&tags).is_none());

@@ -155,7 +155,9 @@ impl Path {
     /// Union of a nonempty sequence of alternatives (right-associated).
     pub fn union_all<I: IntoIterator<Item = Path>>(parts: I) -> Path {
         let mut parts: Vec<Path> = parts.into_iter().collect();
-        let mut acc = parts.pop().expect("union_all requires at least one alternative");
+        let mut acc = parts
+            .pop()
+            .expect("union_all requires at least one alternative");
         while let Some(p) = parts.pop() {
             acc = Path::union(p, acc);
         }
@@ -170,17 +172,17 @@ impl Path {
     /// `↓^n` — the n-fold wildcard chain (`ε` when `n = 0`), as used throughout the
     /// paper's reductions (e.g. `↓2/C1/↑3/...` in Proposition 4.3).
     pub fn wildcard_chain(n: usize) -> Path {
-        Path::seq_all(std::iter::repeat(Path::Wildcard).take(n))
+        Path::seq_all(std::iter::repeat_n(Path::Wildcard, n))
     }
 
     /// `↑^n` — the n-fold parent chain.
     pub fn parent_chain(n: usize) -> Path {
-        Path::seq_all(std::iter::repeat(Path::Parent).take(n))
+        Path::seq_all(std::iter::repeat_n(Path::Parent, n))
     }
 
     /// An n-fold chain of child steps with the same label (`l/l/.../l`).
     pub fn label_chain(name: &str, n: usize) -> Path {
-        Path::seq_all(std::iter::repeat(Path::label(name)).take(n))
+        Path::seq_all(std::iter::repeat_n(Path::label(name), n))
     }
 
     /// Number of AST nodes of the path (counting embedded qualifiers), the `|p|` of the
@@ -300,7 +302,9 @@ impl Qualifier {
         acc
     }
 
-    /// Negation.
+    /// Negation.  (An associated constructor, not `std::ops::Not` — it consumes a
+    /// qualifier and is called as `Qualifier::not(..)` throughout the workspace.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(q: Qualifier) -> Qualifier {
         Qualifier::Not(Box::new(q))
     }
@@ -327,13 +331,24 @@ impl Qualifier {
         match self {
             Qualifier::Path(p) => Qualifier::Path(p.right_assoc()),
             Qualifier::LabelIs(l) => Qualifier::LabelIs(l.clone()),
-            Qualifier::AttrCmp { path, attr, op, value } => Qualifier::AttrCmp {
+            Qualifier::AttrCmp {
+                path,
+                attr,
+                op,
+                value,
+            } => Qualifier::AttrCmp {
                 path: path.right_assoc(),
                 attr: attr.clone(),
                 op: *op,
                 value: value.clone(),
             },
-            Qualifier::AttrJoin { left, left_attr, op, right, right_attr } => Qualifier::AttrJoin {
+            Qualifier::AttrJoin {
+                left,
+                left_attr,
+                op,
+                right,
+                right_attr,
+            } => Qualifier::AttrJoin {
                 left: left.right_assoc(),
                 left_attr: left_attr.clone(),
                 op: *op,
@@ -375,7 +390,13 @@ impl Qualifier {
                 path.collect_attrs(out);
                 out.push(attr.clone());
             }
-            Qualifier::AttrJoin { left, left_attr, right, right_attr, .. } => {
+            Qualifier::AttrJoin {
+                left,
+                left_attr,
+                right,
+                right_attr,
+                ..
+            } => {
                 left.collect_attrs(out);
                 right.collect_attrs(out);
                 out.push(left_attr.clone());

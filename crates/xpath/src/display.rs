@@ -60,11 +60,22 @@ impl fmt::Display for Qualifier {
         match self {
             Qualifier::Path(p) => write!(f, "{p}"),
             Qualifier::LabelIs(l) => write!(f, "lab() = {l}"),
-            Qualifier::AttrCmp { path, attr, op, value } => {
+            Qualifier::AttrCmp {
+                path,
+                attr,
+                op,
+                value,
+            } => {
                 write_attr_access(f, path, attr)?;
                 write!(f, " {op} \"{value}\"")
             }
-            Qualifier::AttrJoin { left, left_attr, op, right, right_attr } => {
+            Qualifier::AttrJoin {
+                left,
+                left_attr,
+                op,
+                right,
+                right_attr,
+            } => {
                 write_attr_access(f, left, left_attr)?;
                 write!(f, " {op} ")?;
                 write_attr_access(f, right, right_attr)
@@ -153,8 +164,8 @@ mod tests {
 
     #[test]
     fn filter_over_sequence_is_parenthesised() {
-        let p = Path::seq(Path::label("a"), Path::label("b"))
-            .filter(Qualifier::path(Path::label("c")));
+        let p =
+            Path::seq(Path::label("a"), Path::label("b")).filter(Qualifier::path(Path::label("c")));
         assert_eq!(p.to_string(), "(a/b)[c]");
     }
 }

@@ -42,7 +42,10 @@ pub fn eval_set(doc: &Document, context: &BTreeSet<NodeId>, path: &Path) -> BTre
             }
             out
         }
-        Path::NextSibling => context.iter().filter_map(|&n| doc.next_sibling(n)).collect(),
+        Path::NextSibling => context
+            .iter()
+            .filter_map(|&n| doc.next_sibling(n))
+            .collect(),
         Path::FollowingSiblingOrSelf => {
             let mut out = context.clone();
             for &n in context {
@@ -50,7 +53,10 @@ pub fn eval_set(doc: &Document, context: &BTreeSet<NodeId>, path: &Path) -> BTre
             }
             out
         }
-        Path::PrevSibling => context.iter().filter_map(|&n| doc.prev_sibling(n)).collect(),
+        Path::PrevSibling => context
+            .iter()
+            .filter_map(|&n| doc.prev_sibling(n))
+            .collect(),
         Path::PrecedingSiblingOrSelf => {
             let mut out = context.clone();
             for &n in context {
@@ -100,17 +106,28 @@ pub fn holds(doc: &Document, node: NodeId, q: &Qualifier) -> bool {
     match q {
         Qualifier::Path(p) => !eval_from(doc, node, p).is_empty(),
         Qualifier::LabelIs(l) => doc.label(node) == l,
-        Qualifier::AttrCmp { path, attr, op, value } => eval_from(doc, node, path)
+        Qualifier::AttrCmp {
+            path,
+            attr,
+            op,
+            value,
+        } => eval_from(doc, node, path)
             .into_iter()
             .any(|n| doc.attr(n, attr).is_some_and(|v| op.eval(v, value))),
-        Qualifier::AttrJoin { left, left_attr, op, right, right_attr } => {
+        Qualifier::AttrJoin {
+            left,
+            left_attr,
+            op,
+            right,
+            right_attr,
+        } => {
             let left_nodes = eval_from(doc, node, left);
             let right_nodes = eval_from(doc, node, right);
             left_nodes.iter().any(|&l| {
                 doc.attr(l, left_attr).is_some_and(|lv| {
-                    right_nodes.iter().any(|&r| {
-                        doc.attr(r, right_attr).is_some_and(|rv| op.eval(lv, rv))
-                    })
+                    right_nodes
+                        .iter()
+                        .any(|&r| doc.attr(r, right_attr).is_some_and(|rv| op.eval(lv, rv)))
                 })
             })
         }
@@ -221,7 +238,10 @@ mod tests {
         // No two distinct-valued c nodes share a value, so an equality join across the
         // two different a subtrees fails.
         let disjoint_join = Qualifier::AttrJoin {
-            left: Path::seq(Path::label("a").filter(Qualifier::path(Path::label("b"))), Path::label("c")),
+            left: Path::seq(
+                Path::label("a").filter(Qualifier::path(Path::label("b"))),
+                Path::label("c"),
+            ),
             left_attr: "x".into(),
             op: CmpOp::Eq,
             right: Path::seq(

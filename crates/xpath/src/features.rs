@@ -62,9 +62,7 @@ impl Features {
             Path::Parent => self.parent = true,
             Path::AncestorOrSelf => self.ancestor = true,
             Path::NextSibling | Path::PrevSibling => self.sibling = true,
-            Path::FollowingSiblingOrSelf | Path::PrecedingSiblingOrSelf => {
-                self.sibling_star = true
-            }
+            Path::FollowingSiblingOrSelf | Path::PrecedingSiblingOrSelf => self.sibling_star = true,
             Path::Seq(a, b) => {
                 self.scan_path(a);
                 self.scan_path(b);
@@ -313,7 +311,6 @@ impl Fragment {
                 label_test: true,
                 data_value: true,
                 negation: true,
-                ..Features::default()
             },
         }
     }

@@ -34,10 +34,7 @@ pub fn inverse(p: &Path) -> Path {
         // (6) inverse(p3 ∪ p4) = inverse(p3) ∪ inverse(p4)
         Path::Union(a, b) => Path::union(inverse(a), inverse(b)),
         // (7) inverse(p3[q]) = ε[q]/inverse(p3)
-        Path::Filter(a, q) => Path::seq(
-            Path::Empty.filter((**q).clone()),
-            inverse(a),
-        ),
+        Path::Filter(a, q) => Path::seq(Path::Empty.filter((**q).clone()), inverse(a)),
     }
 }
 
@@ -91,16 +88,7 @@ mod tests {
     fn inverse_is_the_converse_relation() {
         let doc = sample();
         for q in [
-            "a",
-            "*",
-            "**",
-            "a/b",
-            "a/c/b",
-            "a[b]/c",
-            "a | c",
-            "**/b",
-            "a/>",
-            "a/>>",
+            "a", "*", "**", "a/b", "a/c/b", "a[b]/c", "a | c", "**/b", "a/>", "a/>>",
         ] {
             check_inverse_semantics(&doc, &parse_path(q).unwrap());
         }

@@ -33,7 +33,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XPath parse error at token {}: {}", self.position, self.message)
+        write!(
+            f,
+            "XPath parse error at token {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -380,7 +384,9 @@ impl Parser {
                 self.expect(Token::Eq)?;
                 match self.bump() {
                     Some(Token::Name(n)) => Ok(Qualifier::LabelIs(n)),
-                    other => Err(self.error(format!("expected a label after lab() =, found {other:?}"))),
+                    other => {
+                        Err(self.error(format!("expected a label after lab() =, found {other:?}")))
+                    }
                 }
             }
             Some(Token::LParen) => {
@@ -420,8 +426,15 @@ impl Parser {
                 };
                 match self.peek() {
                     Some(Token::Str(_)) => {
-                        let Some(Token::Str(value)) = self.bump() else { unreachable!() };
-                        Ok(Qualifier::AttrCmp { path, attr, op, value })
+                        let Some(Token::Str(value)) = self.bump() else {
+                            unreachable!()
+                        };
+                        Ok(Qualifier::AttrCmp {
+                            path,
+                            attr,
+                            op,
+                            value,
+                        })
                     }
                     _ => {
                         let (right, right_attr) = self.attr_access_or_path()?;
@@ -460,6 +473,17 @@ impl Parser {
         let mut acc = parts.pop().expect("at least one step");
         while let Some(p) = parts.pop() {
             acc = Path::Seq(Box::new(p), Box::new(acc));
+        }
+        // Union alternatives are part of the fragment's path grammar, so a path-shaped
+        // qualifier like `a[b | c]` must parse (Display prints it without parentheses).
+        // Attribute accesses distribute over unions only when parenthesised —
+        // `(a | b)/@x` — so a union alternative here must be attribute-free.
+        if attr.is_none() {
+            let mut alts = vec![acc];
+            while self.eat(&Token::Pipe) {
+                alts.push(self.sequence()?);
+            }
+            acc = Path::union_all(alts);
         }
         Ok((acc, attr))
     }
@@ -506,6 +530,26 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_unions_inside_qualifiers() {
+        // Display prints a path-shaped qualifier's union without parentheses, so the
+        // parser must accept it back (`a[b | c]` round-trips).
+        let p = parse_path("a[b | c]").unwrap();
+        match &p {
+            Path::Filter(base, q) => {
+                assert_eq!(**base, Path::label("a"));
+                assert!(matches!(&**q, Qualifier::Path(Path::Union(..))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parse_path(&p.to_string()).unwrap(), p);
+        // Unions combine with connectives and nested filters.
+        let q = parse_qualifier("b | c/d and not(e | f)").unwrap();
+        assert!(matches!(q, Qualifier::And(..)));
+        let deep = parse_path("a[b[c | d] | e]").unwrap();
+        assert_eq!(parse_path(&deep.to_string()).unwrap(), deep);
     }
 
     #[test]

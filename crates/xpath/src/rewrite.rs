@@ -27,9 +27,10 @@ pub fn eliminate_recursion(p: &Path, k: usize) -> Path {
         Path::AncestorOrSelf => bounded_chain(Path::Parent, k),
         Path::Seq(a, b) => Path::seq(eliminate_recursion(a, k), eliminate_recursion(b, k)),
         Path::Union(a, b) => Path::union(eliminate_recursion(a, k), eliminate_recursion(b, k)),
-        Path::Filter(a, q) => {
-            Path::Filter(Box::new(eliminate_recursion(a, k)), Box::new(eliminate_recursion_qual(q, k)))
-        }
+        Path::Filter(a, q) => Path::Filter(
+            Box::new(eliminate_recursion(a, k)),
+            Box::new(eliminate_recursion_qual(q, k)),
+        ),
         other => other.clone(),
     }
 }
@@ -38,13 +39,24 @@ fn eliminate_recursion_qual(q: &Qualifier, k: usize) -> Qualifier {
     match q {
         Qualifier::Path(p) => Qualifier::Path(eliminate_recursion(p, k)),
         Qualifier::LabelIs(l) => Qualifier::LabelIs(l.clone()),
-        Qualifier::AttrCmp { path, attr, op, value } => Qualifier::AttrCmp {
+        Qualifier::AttrCmp {
+            path,
+            attr,
+            op,
+            value,
+        } => Qualifier::AttrCmp {
             path: eliminate_recursion(path, k),
             attr: attr.clone(),
             op: *op,
             value: value.clone(),
         },
-        Qualifier::AttrJoin { left, left_attr, op, right, right_attr } => Qualifier::AttrJoin {
+        Qualifier::AttrJoin {
+            left,
+            left_attr,
+            op,
+            right,
+            right_attr,
+        } => Qualifier::AttrJoin {
             left: eliminate_recursion(left, k),
             left_attr: left_attr.clone(),
             op: *op,
@@ -66,7 +78,7 @@ fn eliminate_recursion_qual(q: &Qualifier, k: usize) -> Qualifier {
 fn bounded_chain(step: Path, k: usize) -> Path {
     let mut alts = vec![Path::Empty];
     for i in 1..=k {
-        alts.push(Path::seq_all(std::iter::repeat(step.clone()).take(i)));
+        alts.push(Path::seq_all(std::iter::repeat_n(step.clone(), i)));
     }
     Path::union_all(alts)
 }
@@ -221,7 +233,13 @@ mod tests {
     #[test]
     fn qualifier_rewriting_preserves_root_satisfaction() {
         let doc = sample();
-        for q in ["a[b]", "a[b/d]/c", "a[b and c]", ".[a[b[d] and c]]", "a[b[d]]/c"] {
+        for q in [
+            "a[b]",
+            "a[b/d]/c",
+            "a[b and c]",
+            ".[a[b[d] and c]]",
+            "a[b[d]]/c",
+        ] {
             let p = parse_path(q).unwrap();
             let rw = qualifiers_to_updown(&p).expect("fragment accepted");
             assert_eq!(

@@ -70,5 +70,9 @@ fn main() {
         dead.len(),
         workload.len()
     );
-    assert_eq!(dead.len(), 5, "exactly the five schema-violating queries are pruned");
+    assert_eq!(
+        dead.len(),
+        5,
+        "exactly the five schema-violating queries are pruned"
+    );
 }

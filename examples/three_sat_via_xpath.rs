@@ -15,7 +15,10 @@ use xpathsat::sat::reductions::threesat::{decode_assignment, threesat_to_downwar
 fn solve_via_xpath(formula: &CnfFormula) {
     println!("formula: {formula}");
     let (dtd, query) = threesat_to_downward_qualifiers(formula);
-    println!("encoded DTD has {} element types; query: {query}", dtd.element_names().len());
+    println!(
+        "encoded DTD has {} element types; query: {query}",
+        dtd.element_names().len()
+    );
 
     let solver = Solver::default();
     let decision = solver.decide(&dtd, &query);
@@ -26,7 +29,10 @@ fn solve_via_xpath(formula: &CnfFormula) {
             for (var, value) in &assignment {
                 println!("  x{} = {}", var.0, value);
             }
-            assert!(formula.eval(&assignment), "decoded assignment satisfies the formula");
+            assert!(
+                formula.eval(&assignment),
+                "decoded assignment satisfies the formula"
+            );
             assert!(dpll::satisfiable(formula), "DPLL agrees");
         }
         Satisfiability::Unsatisfiable => {
@@ -41,16 +47,36 @@ fn solve_via_xpath(formula: &CnfFormula) {
 fn main() {
     // (x1 ∨ x2 ∨ ¬x3) ∧ (¬x1 ∨ x3 ∨ x2) ∧ (¬x2 ∨ x3 ∨ x1) — satisfiable.
     let satisfiable = CnfFormula::from_clauses(vec![
-        vec![Literal::pos(Var(1)), Literal::pos(Var(2)), Literal::neg(Var(3))],
-        vec![Literal::neg(Var(1)), Literal::pos(Var(3)), Literal::pos(Var(2))],
-        vec![Literal::neg(Var(2)), Literal::pos(Var(3)), Literal::pos(Var(1))],
+        vec![
+            Literal::pos(Var(1)),
+            Literal::pos(Var(2)),
+            Literal::neg(Var(3)),
+        ],
+        vec![
+            Literal::neg(Var(1)),
+            Literal::pos(Var(3)),
+            Literal::pos(Var(2)),
+        ],
+        vec![
+            Literal::neg(Var(2)),
+            Literal::pos(Var(3)),
+            Literal::pos(Var(1)),
+        ],
     ]);
     solve_via_xpath(&satisfiable);
 
     // x1 ∧ ¬x1 (padded to three literals) — unsatisfiable.
     let unsatisfiable = CnfFormula::from_clauses(vec![
-        vec![Literal::pos(Var(1)), Literal::pos(Var(1)), Literal::pos(Var(1))],
-        vec![Literal::neg(Var(1)), Literal::neg(Var(1)), Literal::neg(Var(1))],
+        vec![
+            Literal::pos(Var(1)),
+            Literal::pos(Var(1)),
+            Literal::pos(Var(1)),
+        ],
+        vec![
+            Literal::neg(Var(1)),
+            Literal::neg(Var(1)),
+            Literal::neg(Var(1)),
+        ],
     ]);
     solve_via_xpath(&unsatisfiable);
 }

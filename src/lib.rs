@@ -12,7 +12,10 @@
 //!   rewritings;
 //! * [`logic`] — reference solvers for the lower-bound source problems;
 //! * [`sat`] — the satisfiability engines, the solver façade, the containment analysis
-//!   and the hardness-reduction generators.
+//!   and the hardness-reduction generators;
+//! * [`service`] — the batched, cached satisfiability service: DTD-artifact caching,
+//!   query interning, multi-threaded `decide_batch`, the JSON-lines protocol and the
+//!   `xpathsat` CLI (in `xpsat-service`).
 //!
 //! # Quickstart
 //!
@@ -39,6 +42,7 @@ pub use xpsat_automata as automata;
 pub use xpsat_core as sat;
 pub use xpsat_dtd as dtd;
 pub use xpsat_logic as logic;
+pub use xpsat_service as service;
 pub use xpsat_xmltree as xml;
 pub use xpsat_xpath as xpath;
 
@@ -50,6 +54,7 @@ pub mod prelude {
         Decision, EngineKind, Satisfiability, Solver, SolverConfig,
     };
     pub use xpsat_dtd::{classify, parse_dtd, validate, Dtd, TreeGenerator};
+    pub use xpsat_service::{ServedDecision, Session, StatsSnapshot, Workspace};
     pub use xpsat_xmltree::Document;
     pub use xpsat_xpath::{eval, parse_path, parse_qualifier, Features, Fragment, Path, Qualifier};
 }

@@ -5,7 +5,6 @@
 //! These tests are the workspace-level counterpart of the per-engine unit tests: they
 //! use only the public API.
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use xpathsat::prelude::*;
@@ -63,7 +62,10 @@ fn random_negation_query(rng: &mut StdRng, labels: &[String], depth: usize) -> P
                 ))),
             )
         };
-        Path::Empty.filter(Qualifier::And(Box::new(Qualifier::path(base)), Box::new(qual)))
+        Path::Empty.filter(Qualifier::And(
+            Box::new(Qualifier::path(base)),
+            Box::new(qual),
+        ))
     } else {
         base
     }
@@ -79,7 +81,11 @@ fn solver_agrees_with_oracle_on_random_positive_queries() {
     let mut rng = StdRng::seed_from_u64(2024);
     let solver = Solver::default();
     for dtd in oracle_dtds() {
-        let labels: Vec<String> = dtd.element_names().into_iter().filter(|l| l != "r").collect();
+        let labels: Vec<String> = dtd
+            .element_names()
+            .into_iter()
+            .filter(|l| l != "r")
+            .collect();
         for _ in 0..40 {
             let query = random_positive_query(&mut rng, &labels, 3);
             let expected = oracle(&dtd, &query).expect("oracle is exhaustive on these DTDs");
@@ -101,7 +107,11 @@ fn solver_agrees_with_oracle_on_random_negation_queries() {
     let mut rng = StdRng::seed_from_u64(4096);
     let solver = Solver::default();
     for dtd in oracle_dtds() {
-        let labels: Vec<String> = dtd.element_names().into_iter().filter(|l| l != "r").collect();
+        let labels: Vec<String> = dtd
+            .element_names()
+            .into_iter()
+            .filter(|l| l != "r")
+            .collect();
         for _ in 0..30 {
             let query = random_negation_query(&mut rng, &labels, 2);
             let expected = oracle(&dtd, &query).expect("oracle is exhaustive on these DTDs");
@@ -130,48 +140,71 @@ fn sibling_engine_agrees_with_oracle() {
         let expected = oracle(&dtd, &query).expect("exhaustive");
         let decision = solver.decide(&dtd, &query);
         assert_eq!(decision.engine, EngineKind::Sibling, "query {text}");
-        assert_eq!(decision.result.is_satisfiable(), Some(expected), "query {text}");
+        assert_eq!(
+            decision.result.is_satisfiable(),
+            Some(expected),
+            "query {text}"
+        );
         if let Satisfiability::Satisfiable(doc) = &decision.result {
             verify_witness(doc, &dtd, &query).unwrap();
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Proposition 3.3 (normalisation) and Proposition 3.1 (no-DTD reduction), checked
-    /// against the solver on random positive queries.
-    #[test]
-    fn normalization_preserves_satisfiability(seed in 0u64..5_000) {
+/// Proposition 3.3 (normalisation) and Proposition 3.1 (no-DTD reduction), checked
+/// against the solver on random positive queries.
+///
+/// Formerly a proptest block over `seed in 0u64..5_000` with 64 cases; the build
+/// environment has no crates.io access, so the same coverage is drawn as 64 fixed
+/// seeds through the deterministic workspace RNG.
+#[test]
+fn normalization_preserves_satisfiability() {
+    for seed in 0u64..64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let dtd = parse_dtd("r -> (a | b)*, c?; a -> (d, d) | #; b -> d?; c -> #; d -> #;").unwrap();
-        let labels: Vec<String> = dtd.element_names().into_iter().filter(|l| l != "r").collect();
+        let dtd =
+            parse_dtd("r -> (a | b)*, c?; a -> (d, d) | #; b -> d?; c -> #; d -> #;").unwrap();
+        let labels: Vec<String> = dtd
+            .element_names()
+            .into_iter()
+            .filter(|l| l != "r")
+            .collect();
         let query = random_positive_query(&mut rng, &labels, 2);
         let solver = Solver::default();
         let direct = solver.decide(&dtd, &query).result.is_satisfiable();
         let (norm, rewritten) = xpathsat::sat::transform::normalize_instance(&dtd, &query);
         let normalized = solver.decide(&norm.dtd, &rewritten).result.is_satisfiable();
-        prop_assert_eq!(direct, normalized, "query {} rewritten {}", query, rewritten);
+        assert_eq!(
+            direct, normalized,
+            "query {} rewritten {}",
+            query, rewritten
+        );
     }
+}
 
-    /// The recursion-elimination rewriting of Proposition 6.1 is equivalence-preserving
-    /// on every document of a nonrecursive DTD.
-    #[test]
-    fn recursion_elimination_is_equivalent_on_documents(seed in 0u64..5_000) {
+/// The recursion-elimination rewriting of Proposition 6.1 is equivalence-preserving
+/// on every document of a nonrecursive DTD.  (Formerly proptest; see above.)
+#[test]
+fn recursion_elimination_is_equivalent_on_documents() {
+    for seed in 0u64..64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let dtd = parse_dtd("r -> a?, b; a -> c*; b -> c?; c -> d?; d -> #;").unwrap();
-        let labels: Vec<String> = dtd.element_names().into_iter().filter(|l| l != "r").collect();
+        let labels: Vec<String> = dtd
+            .element_names()
+            .into_iter()
+            .filter(|l| l != "r")
+            .collect();
         let query = random_positive_query(&mut rng, &labels, 2);
         let rewritten = xpathsat::sat::transform::eliminate_recursion_for(&dtd, &query)
             .expect("the DTD is nonrecursive");
         let generator = TreeGenerator::new(&dtd);
         for _ in 0..5 {
             let doc = generator.random_tree(&mut rng, 4, 3);
-            prop_assert_eq!(
+            assert_eq!(
                 eval::satisfies(&doc, &query),
                 eval::satisfies(&doc, &rewritten),
-                "query {} on {}", query, doc
+                "query {} on {}",
+                query,
+                doc
             );
         }
     }

@@ -11,10 +11,8 @@ use xpathsat::sat::reductions;
 #[test]
 fn example_2_1_and_2_2() {
     // φ = (x1 ∨ ¬x2 ∨ x3) ∧ (¬x1 ∨ x2 ∨ x3): satisfiable.
-    let dtd = parse_dtd(
-        "r -> x1, x2, x3; x1 -> t | f; x2 -> t | f; x3 -> t | f; t -> #; f -> #;",
-    )
-    .unwrap();
+    let dtd = parse_dtd("r -> x1, x2, x3; x1 -> t | f; x2 -> t | f; x3 -> t | f; t -> #; f -> #;")
+        .unwrap();
     let query = parse_path(".[(x1/t | x2/f | x3/t) and (x1/f | x2/t | x3/t)]").unwrap();
     let decision = Solver::default().decide(&dtd, &query);
     match decision.result {
@@ -83,7 +81,11 @@ fn q3sat_reduction_agrees_with_qbf_evaluation() {
         // Tautological clauses drop out of the encoding, so a trivial instance may be
         // dispatched to a cheaper engine; non-trivial ones go to the negation fixpoint.
         assert!(decision.complete, "qbf {qbf}");
-        assert_eq!(decision.result.is_satisfiable(), Some(expected), "qbf {qbf}");
+        assert_eq!(
+            decision.result.is_satisfiable(),
+            Some(expected),
+            "qbf {qbf}"
+        );
         if let Satisfiability::Satisfiable(doc) = &decision.result {
             verify_witness(&doc.clone(), &dtd, &query).unwrap();
         }
@@ -95,7 +97,9 @@ fn q3sat_reduction_agrees_with_qbf_evaluation() {
 #[test]
 fn two_register_encoding_soundness() {
     use xpathsat::logic::trm::{RunOutcome, TwoRegisterMachine};
-    use xpathsat::sat::reductions::two_register::{two_register_to_full_fragment, witness_from_run};
+    use xpathsat::sat::reductions::two_register::{
+        two_register_to_full_fragment, witness_from_run,
+    };
 
     let machine = TwoRegisterMachine::bump_and_drain(3);
     let RunOutcome::Halted(trace) = machine.run(200) else {
@@ -133,7 +137,10 @@ fn no_dtd_satisfiability() {
     let solver = Solver::default();
     for text in ["a/b[c]/d", "**/x[y and z]", "(a | b)[c/d]"] {
         let decision = solver.decide_without_dtd(&parse_path(text).unwrap());
-        assert!(matches!(decision.result, Satisfiability::Satisfiable(_)), "query {text}");
+        assert!(
+            matches!(decision.result, Satisfiability::Satisfiable(_)),
+            "query {text}"
+        );
     }
     let dead = parse_path(".[lab() = a and lab() = b]").unwrap();
     assert!(matches!(
