@@ -1,0 +1,192 @@
+//! A compact growable bitset over `usize` indices.
+//!
+//! The dense artifact pipeline keys everything by small integer ids — element-type
+//! symbols, NFA states, DFA subset-construction states — so set-valued analyses
+//! (reachability closures, accepting-state sets, useful-state masks) become word-wide
+//! bit operations instead of `BTreeSet<String>` traffic.  The representation is kept
+//! *canonical* (no trailing zero blocks) so that `Eq`/`Ord`/`Hash` are structural and a
+//! `BitSet` can serve as a deterministic map key, e.g. in the subset construction.
+
+use std::fmt;
+
+const BITS: usize = 64;
+
+/// A set of small `usize` values stored as packed 64-bit blocks.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set.
+    pub const fn new() -> BitSet {
+        BitSet { blocks: Vec::new() }
+    }
+
+    /// The empty set with room for values `< capacity` preallocated.
+    pub fn with_capacity(capacity: usize) -> BitSet {
+        BitSet {
+            blocks: Vec::with_capacity(capacity.div_ceil(BITS)),
+        }
+    }
+
+    /// Insert `value`; returns `true` when it was not present before.
+    pub fn insert(&mut self, value: usize) -> bool {
+        let block = value / BITS;
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+        }
+        let mask = 1u64 << (value % BITS);
+        let fresh = self.blocks[block] & mask == 0;
+        self.blocks[block] |= mask;
+        fresh
+    }
+
+    /// Is `value` in the set?
+    pub fn contains(&self, value: usize) -> bool {
+        self.blocks
+            .get(value / BITS)
+            .is_some_and(|b| b & (1u64 << (value % BITS)) != 0)
+    }
+
+    /// Add every element of `other` to `self`; returns `true` when `self` grew.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.blocks.len() > self.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        let mut grew = false;
+        for (dst, &src) in self.blocks.iter_mut().zip(&other.blocks) {
+            let merged = *dst | src;
+            grew |= merged != *dst;
+            *dst = merged;
+        }
+        if grew {
+            self.normalize();
+        }
+        grew
+    }
+
+    /// Do the two sets share an element?
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Remove every element.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// The elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+            let mut rest = block;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(i * BITS + bit)
+            })
+        })
+    }
+
+    /// Drop trailing zero blocks so that structural equality is canonical.
+    fn normalize(&mut self) {
+        while self.blocks.last() == Some(&0) {
+            self.blocks.pop();
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> BitSet {
+        let mut set = BitSet::new();
+        for v in iter {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_iter() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(s.insert(64));
+        assert!(s.insert(200));
+        assert!(!s.insert(3));
+        assert!(s.contains(3) && s.contains(64) && s.contains(200));
+        assert!(!s.contains(4) && !s.contains(199));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 200]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a: BitSet = [1, 5, 100].into_iter().collect();
+        let mut b: BitSet = [5, 9].into_iter().collect();
+        assert!(b.union_with(&a));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![1, 5, 9, 100]);
+        assert!(!b.union_with(&a));
+        assert!(a.intersects(&b));
+        let c: BitSet = [2].into_iter().collect();
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn equality_is_canonical() {
+        // A set that grew to a high block and one that never did must compare equal once
+        // they hold the same elements.
+        let mut a = BitSet::new();
+        a.insert(700);
+        let mut b = BitSet::new();
+        b.union_with(&a);
+        let small: BitSet = [1].into_iter().collect();
+        let mut c: BitSet = [1].into_iter().collect();
+        c.union_with(&BitSet::new());
+        assert_eq!(a, b);
+        assert_eq!(small, c);
+        use std::collections::BTreeSet;
+        let mut keys = BTreeSet::new();
+        keys.insert(a.clone());
+        keys.insert(b);
+        assert_eq!(keys.len(), 1);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let s = BitSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        let mut t = BitSet::with_capacity(256);
+        assert!(t.is_empty());
+        t.insert(0);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![0]);
+    }
+}

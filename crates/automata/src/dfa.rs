@@ -5,6 +5,7 @@
 //! (for instance the normalisation `N(D)` of Proposition 3.3) accepts the intended
 //! children sequences.
 
+use crate::bitset::BitSet;
 use crate::nfa::Nfa;
 use crate::Symbol;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -13,11 +14,13 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 ///
 /// The transition function is partial: a missing entry denotes the (implicit) dead
 /// state.  `complete` materialises the dead state when a total automaton is needed
-/// (complementation).
+/// (complementation).  Accepting states and the NFA state sets of the subset
+/// construction are kept as [`BitSet`]s, so determinisation works word-at-a-time
+/// instead of element-at-a-time.
 #[derive(Debug, Clone)]
 pub struct Dfa<S> {
     transitions: Vec<BTreeMap<S, usize>>,
-    accepting: BTreeSet<usize>,
+    accepting: BitSet,
     alphabet: BTreeSet<S>,
 }
 
@@ -25,13 +28,14 @@ impl<S: Symbol> Dfa<S> {
     /// Determinise an NFA by the subset construction.
     pub fn from_nfa(nfa: &Nfa<S>) -> Dfa<S> {
         let alphabet = nfa.alphabet();
-        let mut states: BTreeMap<BTreeSet<usize>, usize> = BTreeMap::new();
+        let mut states: BTreeMap<BitSet, usize> = BTreeMap::new();
         let mut transitions: Vec<BTreeMap<S, usize>> = Vec::new();
-        let mut accepting = BTreeSet::new();
-        let start: BTreeSet<usize> = [nfa.start()].into_iter().collect();
+        let mut accepting = BitSet::new();
+        let nfa_accepting: BitSet = nfa.accepting_states().collect();
+        let start: BitSet = [nfa.start()].into_iter().collect();
         states.insert(start.clone(), 0);
         transitions.push(BTreeMap::new());
-        if start.iter().any(|&q| nfa.is_accepting(q)) {
+        if start.intersects(&nfa_accepting) {
             accepting.insert(0);
         }
         let mut queue = VecDeque::new();
@@ -39,9 +43,11 @@ impl<S: Symbol> Dfa<S> {
         while let Some(set) = queue.pop_front() {
             let id = states[&set];
             for sym in &alphabet {
-                let mut next = BTreeSet::new();
-                for &q in &set {
-                    next.extend(nfa.step(q, sym));
+                let mut next = BitSet::with_capacity(nfa.num_states());
+                for q in set.iter() {
+                    for t in nfa.step(q, sym) {
+                        next.insert(t);
+                    }
                 }
                 if next.is_empty() {
                     continue;
@@ -52,7 +58,7 @@ impl<S: Symbol> Dfa<S> {
                         let i = transitions.len();
                         states.insert(next.clone(), i);
                         transitions.push(BTreeMap::new());
-                        if next.iter().any(|&q| nfa.is_accepting(q)) {
+                        if next.intersects(&nfa_accepting) {
                             accepting.insert(i);
                         }
                         queue.push_back(next.clone());
@@ -83,7 +89,7 @@ impl<S: Symbol> Dfa<S> {
                 None => return false,
             }
         }
-        self.accepting.contains(&q)
+        self.accepting.contains(q)
     }
 
     /// Complement with respect to `alphabet` (which must contain the DFA's own alphabet).
@@ -97,8 +103,8 @@ impl<S: Symbol> Dfa<S> {
                 row.entry(sym.clone()).or_insert(dead);
             }
         }
-        let accepting: BTreeSet<usize> = (0..transitions.len())
-            .filter(|q| !self.accepting.contains(q))
+        let accepting: BitSet = (0..transitions.len())
+            .filter(|q| !self.accepting.contains(*q))
             .collect();
         Dfa {
             transitions,
@@ -112,10 +118,10 @@ impl<S: Symbol> Dfa<S> {
         let alphabet: BTreeSet<S> = self.alphabet.union(&other.alphabet).cloned().collect();
         let mut states: BTreeMap<(usize, usize), usize> = BTreeMap::new();
         let mut transitions: Vec<BTreeMap<S, usize>> = Vec::new();
-        let mut accepting = BTreeSet::new();
+        let mut accepting = BitSet::new();
         states.insert((0, 0), 0);
         transitions.push(BTreeMap::new());
-        if self.accepting.contains(&0) && other.accepting.contains(&0) {
+        if self.accepting.contains(0) && other.accepting.contains(0) {
             accepting.insert(0);
         }
         let mut queue = VecDeque::new();
@@ -135,7 +141,7 @@ impl<S: Symbol> Dfa<S> {
                         let i = transitions.len();
                         states.insert(key, i);
                         transitions.push(BTreeMap::new());
-                        if self.accepting.contains(&na) && other.accepting.contains(&nb) {
+                        if self.accepting.contains(na) && other.accepting.contains(nb) {
                             accepting.insert(i);
                         }
                         queue.push_back(key);
@@ -160,7 +166,7 @@ impl<S: Symbol> Dfa<S> {
         seen[0] = true;
         queue.push_back(0);
         while let Some(q) = queue.pop_front() {
-            if self.accepting.contains(&q) {
+            if self.accepting.contains(q) {
                 return false;
             }
             for &next in self.transitions[q].values() {

@@ -18,11 +18,13 @@
 //! The crate is generic over the symbol type; the DTD crate instantiates it with
 //! interned element-type identifiers.
 
+pub mod bitset;
 pub mod cover;
 pub mod dfa;
 pub mod nfa;
 pub mod regex;
 
+pub use bitset::BitSet;
 pub use cover::{shortest_covering_word, shortest_word, word_with_multiplicities, CoverDemand};
 pub use dfa::Dfa;
 pub use nfa::{Nfa, StateId};

@@ -9,7 +9,14 @@
 //! * its states *are* the positions of the content model, which is exactly the structure
 //!   the sibling-axis satisfiability algorithm of Theorem 7.1 walks over (a `→` move is
 //!   a forward transition between positions, a `←` move a backward one).
+//!
+//! Transitions are stored densely: per state a sorted `Vec<(symbol, successor list)>`
+//! rather than a `BTreeMap<S, BTreeSet<StateId>>`.  The automaton is immutable after
+//! construction, so the sorted-vector form gives binary-search lookup, cache-friendly
+//! iteration and no per-edge allocation — this matters because the satisfiability
+//! engines walk these automata in their innermost loops.
 
+use crate::bitset::BitSet;
 use crate::regex::Regex;
 use crate::Symbol;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -20,10 +27,11 @@ pub type StateId = usize;
 /// A nondeterministic finite automaton without epsilon transitions.
 #[derive(Debug, Clone)]
 pub struct Nfa<S> {
-    /// `transitions[q]` maps a symbol to the set of successor states.
-    transitions: Vec<BTreeMap<S, BTreeSet<StateId>>>,
+    /// `transitions[q]` lists `(symbol, successors)` pairs sorted by symbol; the
+    /// successor lists are sorted and deduplicated.
+    transitions: Vec<Vec<(S, Vec<StateId>)>>,
     /// Accepting states.
-    accepting: BTreeSet<StateId>,
+    accepting: BitSet,
     /// For Glushkov automata: the symbol whose occurrence a state represents
     /// (`None` for the initial state).
     state_symbol: Vec<Option<S>>,
@@ -46,31 +54,41 @@ impl<S: Symbol> Nfa<S> {
         let mut follow: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); m + 1];
         follow_sets(&lin, &mut follow);
 
-        let mut nfa = Nfa {
-            transitions: vec![BTreeMap::new(); m + 1],
-            accepting: BTreeSet::new(),
-            state_symbol: vec![None; m + 1],
-        };
-        for (i, sym) in positions.iter().enumerate() {
-            nfa.state_symbol[i + 1] = Some(sym.clone());
-        }
+        // Assemble into ordered maps first, then freeze into the dense form.
+        let mut building: Vec<BTreeMap<S, BTreeSet<StateId>>> = vec![BTreeMap::new(); m + 1];
         for &p in &first {
             let sym = positions[p - 1].clone();
-            nfa.transitions[0].entry(sym).or_default().insert(p);
+            building[0].entry(sym).or_default().insert(p);
         }
         for (p, follow_p) in follow.iter().enumerate().take(m + 1).skip(1) {
             for &q in follow_p {
                 let sym = positions[q - 1].clone();
-                nfa.transitions[p].entry(sym).or_default().insert(q);
+                building[p].entry(sym).or_default().insert(q);
             }
         }
+        let mut accepting = BitSet::with_capacity(m + 1);
         if nullable {
-            nfa.accepting.insert(0);
+            accepting.insert(0);
         }
         for &p in &last {
-            nfa.accepting.insert(p);
+            accepting.insert(p);
         }
-        nfa
+        let mut state_symbol = vec![None; m + 1];
+        for (i, sym) in positions.iter().enumerate() {
+            state_symbol[i + 1] = Some(sym.clone());
+        }
+        Nfa {
+            transitions: building
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|(sym, succs)| (sym, succs.into_iter().collect()))
+                        .collect()
+                })
+                .collect(),
+            accepting,
+            state_symbol,
+        }
     }
 
     /// Number of states (including the initial state).
@@ -85,12 +103,12 @@ impl<S: Symbol> Nfa<S> {
 
     /// Is `q` an accepting state?
     pub fn is_accepting(&self, q: StateId) -> bool {
-        self.accepting.contains(&q)
+        self.accepting.contains(q)
     }
 
     /// All accepting states.
     pub fn accepting_states(&self) -> impl Iterator<Item = StateId> + '_ {
-        self.accepting.iter().copied()
+        self.accepting.iter()
     }
 
     /// The symbol read to enter state `q` (None for the initial state).
@@ -98,24 +116,29 @@ impl<S: Symbol> Nfa<S> {
         self.state_symbol[q].as_ref()
     }
 
-    /// Outgoing transitions of `q`.
-    pub fn transitions_from(&self, q: StateId) -> impl Iterator<Item = (&S, &BTreeSet<StateId>)> {
-        self.transitions[q].iter()
+    /// Outgoing transitions of `q`, sorted by symbol.
+    pub fn transitions_from(&self, q: StateId) -> impl Iterator<Item = (&S, &[StateId])> {
+        self.transitions[q]
+            .iter()
+            .map(|(sym, succs)| (sym, succs.as_slice()))
     }
 
-    /// Successor states of `q` on `sym`.
+    /// Successor states of `q` on `sym` (binary search over the sorted row).
     pub fn step(&self, q: StateId, sym: &S) -> impl Iterator<Item = StateId> + '_ {
-        self.transitions[q]
-            .get(sym)
-            .into_iter()
-            .flat_map(|s| s.iter().copied())
+        let row = &self.transitions[q];
+        row.binary_search_by(|(s, _)| s.cmp(sym))
+            .ok()
+            .map(|i| row[i].1.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .copied()
     }
 
     /// All symbols appearing on some transition.
     pub fn alphabet(&self) -> BTreeSet<S> {
         let mut out = BTreeSet::new();
-        for t in &self.transitions {
-            for sym in t.keys() {
+        for row in &self.transitions {
+            for (sym, _) in row {
                 out.insert(sym.clone());
             }
         }
@@ -124,13 +147,13 @@ impl<S: Symbol> Nfa<S> {
 
     /// Does the automaton accept `word`?
     pub fn accepts(&self, word: &[S]) -> bool {
-        let mut current: BTreeSet<StateId> = BTreeSet::new();
+        let mut current = BitSet::with_capacity(self.num_states());
         current.insert(0);
         for sym in word {
-            let mut next = BTreeSet::new();
-            for &q in &current {
-                if let Some(succ) = self.transitions[q].get(sym) {
-                    next.extend(succ.iter().copied());
+            let mut next = BitSet::with_capacity(self.num_states());
+            for q in current.iter() {
+                for t in self.step(q, sym) {
+                    next.insert(t);
                 }
             }
             if next.is_empty() {
@@ -138,7 +161,7 @@ impl<S: Symbol> Nfa<S> {
             }
             current = next;
         }
-        current.iter().any(|q| self.accepting.contains(q))
+        current.intersects(&self.accepting)
     }
 
     /// Is the accepted language empty?
@@ -154,19 +177,19 @@ impl<S: Symbol> Nfa<S> {
         let mut queue = VecDeque::new();
         visited[0] = true;
         queue.push_back(0);
-        let mut goal = if self.accepting.contains(&0) {
+        let mut goal = if self.accepting.contains(0) {
             Some(0)
         } else {
             None
         };
         while goal.is_none() {
             let Some(q) = queue.pop_front() else { break };
-            for (sym, succ) in &self.transitions[q] {
+            for (sym, succ) in self.transitions_from(q) {
                 for &t in succ {
                     if !visited[t] {
                         visited[t] = true;
                         pred[t] = Some((q, sym.clone()));
-                        if self.accepting.contains(&t) {
+                        if self.accepting.contains(t) {
                             goal = Some(t);
                         }
                         queue.push_back(t);
@@ -188,19 +211,19 @@ impl<S: Symbol> Nfa<S> {
     }
 
     /// States from which an accepting state is reachable (co-accessible states).
-    pub fn coaccessible(&self) -> BTreeSet<StateId> {
+    pub fn coaccessible(&self) -> BitSet {
         // Reverse reachability from accepting states.
         let n = self.num_states();
         let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
-        for (q, trans) in self.transitions.iter().enumerate() {
-            for succ in trans.values() {
+        for (q, row) in self.transitions.iter().enumerate() {
+            for (_, succ) in row {
                 for &t in succ {
                     rev[t].push(q);
                 }
             }
         }
-        let mut seen: BTreeSet<StateId> = self.accepting.clone();
-        let mut queue: VecDeque<StateId> = self.accepting.iter().copied().collect();
+        let mut seen = self.accepting.clone();
+        let mut queue: VecDeque<StateId> = self.accepting.iter().collect();
         while let Some(q) = queue.pop_front() {
             for &p in &rev[q] {
                 if seen.insert(p) {
@@ -212,13 +235,13 @@ impl<S: Symbol> Nfa<S> {
     }
 
     /// States reachable from the initial state.
-    pub fn accessible(&self) -> BTreeSet<StateId> {
-        let mut seen = BTreeSet::new();
+    pub fn accessible(&self) -> BitSet {
+        let mut seen = BitSet::with_capacity(self.num_states());
         seen.insert(0);
         let mut queue = VecDeque::new();
         queue.push_back(0);
         while let Some(q) = queue.pop_front() {
-            for succ in self.transitions[q].values() {
+            for (_, succ) in self.transitions_from(q) {
                 for &t in succ {
                     if seen.insert(t) {
                         queue.push_back(t);
@@ -230,10 +253,15 @@ impl<S: Symbol> Nfa<S> {
     }
 
     /// States that lie on some accepting run (accessible and co-accessible).
-    pub fn useful_states(&self) -> BTreeSet<StateId> {
+    pub fn useful_states(&self) -> BitSet {
         let acc = self.accessible();
-        let co = self.coaccessible();
-        acc.intersection(&co).copied().collect()
+        let mut out = BitSet::with_capacity(self.num_states());
+        for q in self.coaccessible().iter() {
+            if acc.contains(q) {
+                out.insert(q);
+            }
+        }
+        out
     }
 }
 
@@ -417,5 +445,19 @@ mod tests {
         let re = Regex::Concat(vec![c('a'), Regex::Empty]);
         let nfa = Nfa::glushkov(&re);
         assert!(nfa.useful_states().is_empty());
+    }
+
+    #[test]
+    fn step_uses_sorted_rows() {
+        let re = Regex::star(Regex::alt(vec![c('a'), c('b'), c('c')]));
+        let nfa = Nfa::glushkov(&re);
+        for q in 0..nfa.num_states() {
+            let row: Vec<char> = nfa.transitions_from(q).map(|(s, _)| *s).collect();
+            let mut sorted = row.clone();
+            sorted.sort();
+            assert_eq!(row, sorted);
+        }
+        assert_eq!(nfa.step(0, &'b').collect::<Vec<_>>(), vec![2]);
+        assert_eq!(nfa.step(0, &'z').count(), 0);
     }
 }

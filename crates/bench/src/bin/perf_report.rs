@@ -1,0 +1,271 @@
+//! `perf_report`: the reproducible performance harness behind `BENCH_xpsat.json`.
+//!
+//! For every engine of the solver façade the binary times a fixed, seeded query corpus
+//! against one DTD in two modes:
+//!
+//! * **cold** — `Solver::decide`, which compiles the per-DTD artifacts inside every
+//!   call.  This reproduces the pre-artifact-pipeline behaviour (classification, graph
+//!   reachability, pruning and Glushkov construction re-derived per query), so the
+//!   committed baseline keeps an honest "what recompute costs" column.
+//! * **warm** — `Solver::decide_with_artifacts` against artifacts built once, the
+//!   one-compile-many-queries flow the service uses.
+//!
+//! It also times the warm-workspace batch path: `Workspace::decide_batch` over a corpus
+//! of 100+ distinct queries on one registered DTD (single-threaded, empty decision
+//! cache) against the cold per-query loop.
+//!
+//! The medians (nanoseconds per query) are written as JSON to `BENCH_xpsat.json` at the
+//! repo root so successive PRs have a trajectory to compare against:
+//!
+//! ```text
+//! cargo run --release -p xpsat-bench --bin perf_report
+//! cargo run --release -p xpsat-bench --bin perf_report -- --iters 3 --out /tmp/b.json
+//! ```
+//!
+//! Absolute numbers are machine-dependent; the tracked signals are the per-engine
+//! trend across commits and the cold/warm ratio (artifact reuse paying off).
+
+use std::time::Instant;
+use xpsat_bench::{chain_query, random_positive_query, rng};
+use xpsat_core::Solver;
+use xpsat_dtd::{parse_dtd, Dtd, DtdArtifacts};
+use xpsat_service::{engine_slug, Workspace};
+use xpsat_xpath::{parse_path, Path};
+
+struct EngineCorpus {
+    slug: &'static str,
+    dtd: Dtd,
+    queries: Vec<Path>,
+}
+
+fn corpus() -> Vec<EngineCorpus> {
+    let layered = xpsat_bench::layered_dtd(4, 3);
+    let sibling_dtd =
+        parse_dtd("r -> k0, k1, k2, k3, k4; k0 -> #; k1 -> #; k2 -> #; k3 -> #; k4 -> #;").unwrap();
+    let djfree_dtd = parse_dtd(
+        "r -> book*; book -> title, author+, price; title -> #; author -> #; price -> #;",
+    )
+    .unwrap();
+    let threesat_dtd =
+        parse_dtd("r -> x1, x2, x3; x1 -> t | f; x2 -> t | f; x3 -> t | f; t -> #; f -> #;")
+            .unwrap();
+    let nonrec_dtd = parse_dtd("r -> a; a -> b?; b -> c?; c -> #;").unwrap();
+    let enum_dtd = parse_dtd("r -> a, b?; a -> c?; b -> #; c -> #;").unwrap();
+
+    let paths =
+        |texts: &[&str]| -> Vec<Path> { texts.iter().map(|t| parse_path(t).unwrap()).collect() };
+
+    vec![
+        EngineCorpus {
+            slug: "downward",
+            dtd: layered.clone(),
+            queries: {
+                let mut qs: Vec<Path> = (1..=4).map(chain_query).collect();
+                qs.extend(paths(&[
+                    "**/l4_0",
+                    "**/l2_1/**/l4_2",
+                    "l1_0/l2_0 | l1_1/l2_1",
+                ]));
+                qs
+            },
+        },
+        EngineCorpus {
+            slug: "sibling",
+            dtd: sibling_dtd,
+            queries: paths(&["k0/>/>", "k4/</</<", "k2/>/<", "k0/>/>/>/>", "k3/<"]),
+        },
+        EngineCorpus {
+            slug: "disjunction-free",
+            dtd: djfree_dtd,
+            queries: paths(&[
+                "book[title and isbn]",
+                "book[price and missing]",
+                ".[book/ghost]",
+                "book[title][editor]",
+                "book[author and title and price and missing]",
+            ]),
+        },
+        EngineCorpus {
+            slug: "positive",
+            dtd: threesat_dtd.clone(),
+            queries: paths(&[
+                ".[x1[t] and x2[f] and x3[t]]",
+                ".[x1[t] and x1[f]]",
+                "x1[t or f]",
+                ".[x1[t] and x2[t] and x3[t] and x1[t]]",
+            ]),
+        },
+        EngineCorpus {
+            slug: "negation-fixpoint",
+            dtd: threesat_dtd,
+            queries: paths(&[
+                ".[not(x1/t)]",
+                ".[not(x1/t) and not(x2/f)]",
+                ".[x1[t] and not(x2[t])]",
+            ]),
+        },
+        EngineCorpus {
+            slug: "rewritten",
+            dtd: nonrec_dtd,
+            queries: paths(&["a/b/..", "a/b/c/../..", "a/.."]),
+        },
+        EngineCorpus {
+            slug: "enumeration",
+            dtd: enum_dtd,
+            queries: paths(&["a/>[lab() = b]", ".[a and not(b)]/a/..", "b/<[c]"]),
+        },
+    ]
+}
+
+/// The distinct-query corpus for the batch benchmark: seeded random positive queries
+/// over one layered DTD.
+fn batch_corpus(count: usize) -> (Dtd, Vec<Path>) {
+    let dtd = xpsat_bench::layered_dtd(3, 3);
+    let mut r = rng(42);
+    let mut queries: Vec<Path> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    while queries.len() < count {
+        let q = random_positive_query(&mut r, &dtd, 3);
+        if seen.insert(q.to_string()) {
+            queries.push(q);
+        }
+    }
+    (dtd, queries)
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
+}
+
+/// Median per-query nanoseconds over `iters` runs of `run` (which processes the whole
+/// corpus of `len` queries once).
+fn time_per_query(iters: usize, len: usize, mut run: impl FnMut()) -> f64 {
+    let samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_nanos() as f64 / len as f64
+        })
+        .collect();
+    median(samples)
+}
+
+fn json_f64(value: f64) -> String {
+    format!("{value:.1}")
+}
+
+fn main() {
+    let mut iters = 25usize;
+    let mut batch_queries = 120usize;
+    let mut out = "BENCH_xpsat.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                i += 1;
+                iters = args[i].parse().expect("--iters takes a number");
+            }
+            "--batch-queries" => {
+                i += 1;
+                batch_queries = args[i].parse().expect("--batch-queries takes a number");
+            }
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: perf_report [--iters N] [--batch-queries N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let iters = iters.max(1);
+    let batch_queries = batch_queries.max(100); // the acceptance bar: >= 100 queries
+
+    let solver = Solver::default();
+    let mut engine_sections = Vec::new();
+    for corpus in corpus() {
+        // Sanity: the warm path must dispatch every query to the corpus's engine.
+        let artifacts = DtdArtifacts::build(&corpus.dtd);
+        let dispatch_ok = corpus.queries.iter().all(|q| {
+            engine_slug(solver.decide_with_artifacts(&artifacts, q).engine) == corpus.slug
+        });
+        if !dispatch_ok {
+            eprintln!(
+                "warning: corpus `{}` has queries dispatching elsewhere",
+                corpus.slug
+            );
+        }
+        let cold_ns = time_per_query(iters, corpus.queries.len(), || {
+            for q in &corpus.queries {
+                std::hint::black_box(solver.decide(&corpus.dtd, q));
+            }
+        });
+        let warm_ns = time_per_query(iters, corpus.queries.len(), || {
+            for q in &corpus.queries {
+                std::hint::black_box(solver.decide_with_artifacts(&artifacts, q));
+            }
+        });
+        println!(
+            "{:<18} cold {:>12} ns/q   warm {:>12} ns/q   speedup {:>5.2}x   dispatch_ok {}",
+            corpus.slug,
+            json_f64(cold_ns),
+            json_f64(warm_ns),
+            cold_ns / warm_ns,
+            dispatch_ok
+        );
+        engine_sections.push(format!(
+            "    \"{}\": {{\"queries\": {}, \"cold_ns\": {}, \"warm_ns\": {}, \"speedup\": {:.2}, \"dispatch_ok\": {}}}",
+            corpus.slug,
+            corpus.queries.len(),
+            json_f64(cold_ns),
+            json_f64(warm_ns),
+            cold_ns / warm_ns,
+            dispatch_ok
+        ));
+    }
+
+    // Warm-workspace batch path vs the cold per-query loop.
+    let (batch_dtd, batch_qs) = batch_corpus(batch_queries);
+    let cold_loop_ns = time_per_query(iters, batch_qs.len(), || {
+        for q in &batch_qs {
+            std::hint::black_box(solver.decide(&batch_dtd, q));
+        }
+    });
+    let warm_workspace_ns = {
+        let samples: Vec<f64> = (0..iters)
+            .map(|_| {
+                // Fresh workspace per iteration so the decision cache is empty and the
+                // measurement covers real solver work over shared artifacts.
+                let mut ws = Workspace::default();
+                let dtd_id = ws.register_dtd_value(batch_dtd.clone());
+                let ids: Vec<_> = batch_qs.iter().map(|q| ws.intern_path(q.clone())).collect();
+                let start = Instant::now();
+                std::hint::black_box(ws.decide_batch(dtd_id, &ids, 1).unwrap());
+                start.elapsed().as_nanos() as f64 / batch_qs.len() as f64
+            })
+            .collect();
+        median(samples)
+    };
+    println!(
+        "batch ({} queries)  cold-loop {} ns/q   warm-workspace {} ns/q   speedup {:.2}x",
+        batch_qs.len(),
+        json_f64(cold_loop_ns),
+        json_f64(warm_workspace_ns),
+        cold_loop_ns / warm_workspace_ns
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"xpsat-perf-v1\",\n  \"iters\": {iters},\n  \"engines\": {{\n{}\n  }},\n  \"batch\": {{\"queries\": {}, \"cold_loop_ns\": {}, \"warm_workspace_ns\": {}, \"speedup\": {:.2}}}\n}}\n",
+        engine_sections.join(",\n"),
+        batch_qs.len(),
+        json_f64(cold_loop_ns),
+        json_f64(warm_workspace_ns),
+        cold_loop_ns / warm_workspace_ns
+    );
+    std::fs::write(&out, json).expect("write perf report");
+    println!("wrote {out}");
+}

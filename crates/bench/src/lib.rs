@@ -7,62 +7,17 @@
 //! from each table/figure to the bench group that reproduces it.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use xpsat_dtd::{parse_dtd, Dtd};
+use rand::SeedableRng;
 use xpsat_logic::{CnfFormula, Qbf};
-use xpsat_xpath::{Path, Qualifier};
+
+// The corpus generators live in `xpsat_core::corpus` (the deepest crate that sees both
+// DTDs and XPath), so the service CLI's `bench-gen` and these benches share one seeded
+// source of truth.
+pub use xpsat_core::corpus::{chain_query, layered_dtd, random_positive_query};
 
 /// A deterministic RNG for reproducible workloads.
 pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
-}
-
-/// A chain-and-branch DTD with `width` sibling types per level and `depth` levels,
-/// used to scale `|D|` for the PTIME engines.
-pub fn layered_dtd(depth: usize, width: usize) -> Dtd {
-    let mut text = String::from("root l0;\n");
-    let level_types =
-        |level: usize| -> Vec<String> { (0..width).map(|w| format!("l{level}_{w}")).collect() };
-    text.push_str(&format!("l0 -> ({})*;\n", level_types(1).join(" | ")));
-    for level in 1..=depth {
-        for name in level_types(level) {
-            if level == depth {
-                text.push_str(&format!("{name} -> #;\n"));
-            } else {
-                text.push_str(&format!(
-                    "{name} -> ({})*;\n",
-                    level_types(level + 1).join(" | ")
-                ));
-            }
-        }
-    }
-    parse_dtd(&text).expect("layered DTD is well-formed")
-}
-
-/// A deep chain query `* / * / … / l{depth}_0` of the given length over [`layered_dtd`].
-pub fn chain_query(depth: usize) -> Path {
-    let mut steps: Vec<Path> =
-        std::iter::repeat_n(Path::Wildcard, depth.saturating_sub(1)).collect();
-    steps.push(Path::label(format!("l{depth}_0")));
-    Path::seq_all(steps)
-}
-
-/// A random positive query with qualifiers over the labels of a DTD.
-pub fn random_positive_query(rng: &mut StdRng, dtd: &Dtd, depth: usize) -> Path {
-    let labels: Vec<String> = dtd.element_names();
-    fn go(rng: &mut StdRng, labels: &[String], depth: usize) -> Path {
-        if depth == 0 {
-            return Path::label(labels[rng.gen_range(0..labels.len())].clone());
-        }
-        match rng.gen_range(0..5) {
-            0 => Path::label(labels[rng.gen_range(0..labels.len())].clone()),
-            1 => Path::DescendantOrSelf,
-            2 => Path::seq(go(rng, labels, depth - 1), go(rng, labels, depth - 1)),
-            3 => Path::union(go(rng, labels, depth - 1), go(rng, labels, depth - 1)),
-            _ => go(rng, labels, depth - 1).filter(Qualifier::path(go(rng, labels, depth - 1))),
-        }
-    }
-    go(rng, &labels, depth)
 }
 
 /// A random 3SAT formula sized for the hardness benches.

@@ -7,12 +7,18 @@
 //! algorithm therefore extends the reachability tables of Theorem 4.1 with a boolean
 //! `sat(p', A)` table and decomposes conjunctions conjunct-by-conjunct.
 //!
+//! Both tables are dense: rows indexed by sub-expression position in the ascending
+//! closure, columns by interned element [`Sym`]s, with bitset reach rows — the earlier
+//! version keyed both tables by `(String, String)` pairs rebuilt with `to_string()` on
+//! every lookup.
+//!
 //! This engine only *decides*; when a witness is needed the solver façade re-runs the
 //! (NP, but here equally complete) positive engine, which constructs one.
 
 use crate::sat::{SatError, Satisfiability};
-use std::collections::{BTreeMap, BTreeSet};
-use xpsat_dtd::{classify, graph::prune_nonterminating, Dtd, DtdGraph};
+use std::collections::BTreeMap;
+use xpsat_automata::BitSet;
+use xpsat_dtd::{classify, CompiledDtd, Dtd, DtdArtifacts, Sym};
 use xpsat_xpath::{closure, Features, Path, Qualifier};
 
 const ENGINE: &str = "disjunction-free (Theorem 6.8)";
@@ -30,126 +36,152 @@ pub fn supports_dtd(dtd: &Dtd) -> bool {
 }
 
 /// Decide `(query, dtd)`.  Complete when [`supports_query`] and [`supports_dtd`] hold.
+///
+/// Convenience wrapper that compiles the artifacts for one call; batch callers should
+/// build [`DtdArtifacts`] once and use [`decide_with`].
 pub fn decide(dtd: &Dtd, query: &Path) -> Result<bool, SatError> {
+    decide_with(&DtdArtifacts::build(dtd), query)
+}
+
+/// Decide `(query, dtd)` against precompiled artifacts.
+pub fn decide_with(artifacts: &DtdArtifacts, query: &Path) -> Result<bool, SatError> {
     if !supports_query(query) {
         return Err(SatError::UnsupportedFragment {
             engine: ENGINE,
             detail: format!("query {query} uses negation, data values, upward or sibling axes"),
         });
     }
-    if !supports_dtd(dtd) {
+    if !artifacts.class().disjunction_free {
         return Err(SatError::UnsupportedDtd {
             engine: ENGINE,
             detail: "the DTD contains disjunction".to_string(),
         });
     }
-    let Some(pruned) = prune_nonterminating(dtd) else {
+    let Some(compiled) = artifacts.compiled() else {
         return Ok(false);
     };
-    let tables = Tables::compute(&pruned, query);
-    Ok(tables.sat_path(query, pruned.root()))
+    let tables = Tables::compute(compiled, query);
+    Ok(tables.reach_nonempty(query, compiled.root()))
 }
 
-/// The `reach` / `sat` tables of the proof, memoised per (sub-expression, element type).
+/// The `reach` / `sat` tables of the proof, dense over (sub-expression, element type).
 struct Tables<'a> {
-    graph: DtdGraph,
-    types: Vec<String>,
-    reach: BTreeMap<(String, String), BTreeSet<String>>,
-    sat_qual: BTreeMap<(String, String), bool>,
-    dtd: &'a Dtd,
+    compiled: &'a CompiledDtd,
+    path_index: BTreeMap<Path, usize>,
+    qual_index: BTreeMap<Qualifier, usize>,
+    /// `reach[i][a]`: types reachable from `a` via the `i`-th closure sub-path.
+    /// Rows are appended in ascending closure order, so sub-results exist when needed.
+    reach: Vec<Vec<BitSet>>,
+    /// `sat_qual[j][a]`: does the `j`-th closure sub-qualifier hold at an `a` node?
+    sat_qual: Vec<Vec<bool>>,
 }
 
 impl<'a> Tables<'a> {
-    fn compute(dtd: &'a Dtd, query: &Path) -> Tables<'a> {
+    fn compute(compiled: &'a CompiledDtd, query: &Path) -> Tables<'a> {
+        let sub_paths = closure::sub_paths_ascending(query);
+        let sub_quals = closure::sub_qualifiers_ascending(query);
         let mut tables = Tables {
-            graph: DtdGraph::new(dtd),
-            types: dtd.element_names(),
-            reach: BTreeMap::new(),
-            sat_qual: BTreeMap::new(),
-            dtd,
+            compiled,
+            path_index: sub_paths
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.clone(), i))
+                .collect(),
+            qual_index: sub_quals
+                .iter()
+                .enumerate()
+                .map(|(j, q)| (q.clone(), j))
+                .collect(),
+            reach: Vec::with_capacity(sub_paths.len()),
+            sat_qual: Vec::with_capacity(sub_quals.len()),
         };
-        // Fill tables bottom-up over the sub-expression closure.
-        let types = tables.types.clone();
-        for sub in closure::sub_paths_ascending(query) {
-            for a in &types {
-                let set = tables.reach_of(&sub, a);
-                tables.reach.insert((sub.to_string(), a.clone()), set);
-            }
+        // Fill tables bottom-up over the sub-expression closure: ascending order
+        // guarantees every proper sub-expression's row exists before it is consulted.
+        let n = compiled.num_elements();
+        for sub in &sub_paths {
+            let row: Vec<BitSet> = (0..n)
+                .map(|a| tables.compute_reach(sub, Sym::from_index(a)))
+                .collect();
+            tables.reach.push(row);
         }
-        for qual in closure::sub_qualifiers_ascending(query) {
-            for a in &types {
-                let value = tables.sat_of_qual(&qual, a);
-                tables.sat_qual.insert((qual.to_string(), a.clone()), value);
-            }
+        for qual in &sub_quals {
+            let row: Vec<bool> = (0..n)
+                .map(|a| tables.sat_of_qual(qual, Sym::from_index(a)))
+                .collect();
+            tables.sat_qual.push(row);
         }
         tables
     }
 
     /// `sat(p', A)`: is `p'` satisfiable at an `A` element?
-    fn sat_path(&self, p: &Path, a: &str) -> bool {
-        !self.reach_of(p, a).is_empty()
+    fn reach_nonempty(&self, p: &Path, a: Sym) -> bool {
+        match self.path_index.get(p) {
+            Some(&i) if i < self.reach.len() => !self.reach[i][a.index()].is_empty(),
+            _ => !self.compute_reach(p, a).is_empty(),
+        }
     }
 
-    /// `reach(p', A)`, recomputed from memoised sub-results.
-    fn reach_of(&self, p: &Path, a: &str) -> BTreeSet<String> {
-        if let Some(cached) = self.reach.get(&(p.to_string(), a.to_string())) {
-            return cached.clone();
+    /// `reach(p', A)`, served from the dense table when the row is already filled.
+    fn reach_of(&self, p: &Path, a: Sym) -> BitSet {
+        match self.path_index.get(p) {
+            Some(&i) if i < self.reach.len() => self.reach[i][a.index()].clone(),
+            _ => self.compute_reach(p, a),
         }
+    }
+
+    fn compute_reach(&self, p: &Path, a: Sym) -> BitSet {
+        let graph = self.compiled.graph();
         match p {
-            Path::Empty => [a.to_string()].into_iter().collect(),
-            Path::Label(l) => {
-                if self.graph.successors(a).contains(l) {
-                    [l.clone()].into_iter().collect()
-                } else {
-                    BTreeSet::new()
-                }
-            }
-            Path::Wildcard => self.graph.successors(a),
+            Path::Empty => [a.index()].into_iter().collect(),
+            Path::Label(l) => match self.compiled.elem_sym(l) {
+                Some(target) if graph.has_edge(a, target) => [target.index()].into_iter().collect(),
+                _ => BitSet::new(),
+            },
+            Path::Wildcard => graph.succ_bits(a).clone(),
             Path::DescendantOrSelf => {
-                let mut s = self.graph.reachable_from(a);
-                s.insert(a.to_string());
+                let mut s = graph.reach_bits(a).clone();
+                s.insert(a.index());
                 s
             }
             Path::Union(p1, p2) => {
                 let mut s = self.reach_of(p1, a);
-                s.extend(self.reach_of(p2, a));
+                s.union_with(&self.reach_of(p2, a));
                 s
             }
             Path::Seq(p1, p2) => {
-                let mut s = BTreeSet::new();
-                for b in self.reach_of(p1, a) {
-                    s.extend(self.reach_of(p2, &b));
+                let mut s = BitSet::new();
+                for b in self.reach_of(p1, a).iter() {
+                    s.union_with(&self.reach_of(p2, Sym::from_index(b)));
                 }
                 s
             }
             Path::Filter(p1, q) => self
                 .reach_of(p1, a)
-                .into_iter()
-                .filter(|b| self.qual_holds(q, b))
+                .iter()
+                .filter(|&b| self.qual_holds(q, Sym::from_index(b)))
                 .collect(),
-            _ => BTreeSet::new(),
+            _ => BitSet::new(),
         }
     }
 
-    fn qual_holds(&self, q: &Qualifier, a: &str) -> bool {
-        if let Some(&cached) = self.sat_qual.get(&(q.to_string(), a.to_string())) {
-            return cached;
+    fn qual_holds(&self, q: &Qualifier, a: Sym) -> bool {
+        match self.qual_index.get(q) {
+            Some(&j) if j < self.sat_qual.len() => self.sat_qual[j][a.index()],
+            _ => self.sat_of_qual(q, a),
         }
-        self.sat_of_qual(q, a)
     }
 
     /// `sat([q], A)`: under disjunction-free DTDs, conjunctions decompose independently.
-    fn sat_of_qual(&self, q: &Qualifier, a: &str) -> bool {
+    fn sat_of_qual(&self, q: &Qualifier, a: Sym) -> bool {
         match q {
-            Qualifier::Path(p) => self.sat_path(p, a),
-            Qualifier::LabelIs(l) => l == a,
+            Qualifier::Path(p) => self.reach_nonempty(p, a),
+            Qualifier::LabelIs(l) => self.compiled.elem_sym(l) == Some(a),
             Qualifier::And(q1, q2) => self.qual_holds(q1, a) && self.qual_holds(q2, a),
             Qualifier::Or(q1, q2) => self.qual_holds(q1, a) || self.qual_holds(q2, a),
             // Data values and negation are excluded by `supports_query`; treat
             // defensively as unsatisfiable.
             _ => {
                 debug_assert!(false, "unsupported qualifier reached the djfree engine");
-                let _ = self.dtd;
                 false
             }
         }
@@ -196,6 +228,14 @@ mod tests {
         assert!(decide(&dtd, &parse_path("**[lab() = c]").unwrap()).unwrap());
         assert!(!decide(&dtd, &parse_path("**[lab() = z]").unwrap()).unwrap());
         assert!(decide(&dtd, &parse_path("a[b/c]").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn artifacts_can_be_reused_across_queries() {
+        let dtd = parse_dtd("r -> a; a -> b*; b -> c; c -> #;").unwrap();
+        let artifacts = DtdArtifacts::build(&dtd);
+        assert!(decide_with(&artifacts, &parse_path("a[b/c]").unwrap()).unwrap());
+        assert!(!decide_with(&artifacts, &parse_path("a[c]").unwrap()).unwrap());
     }
 
     #[test]

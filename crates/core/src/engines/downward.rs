@@ -6,10 +6,15 @@
 //! iff `reach(p, r)` is nonempty.  A witness is obtained by realising one reachability
 //! chain in the DTD graph and expanding it to a conforming document (the `Tree(p, D)`
 //! construction of the proof).
+//!
+//! Element types are interned [`Sym`]s and the `reach` table is a dense matrix of bitset
+//! rows (`table[sub-query][type]`), filled from the precomputed reachability closure of
+//! the [`DtdArtifacts`] — no per-call graph construction or string keying.
 
 use crate::sat::{SatError, Satisfiability};
-use std::collections::{BTreeMap, BTreeSet};
-use xpsat_dtd::{graph::prune_nonterminating, Dtd, DtdGraph, TreeGenerator};
+use std::collections::BTreeMap;
+use xpsat_automata::BitSet;
+use xpsat_dtd::{CompiledDtd, Dtd, DtdArtifacts, Sym};
 use xpsat_xpath::{closure, Features, Path};
 
 const ENGINE: &str = "downward (Theorem 4.1)";
@@ -27,52 +32,59 @@ pub fn supports(query: &Path) -> bool {
 }
 
 /// Decide `(query, dtd)`; complete exactly for the fragment reported by [`supports`].
+///
+/// Convenience wrapper that compiles the artifacts for one call; batch callers should
+/// build [`DtdArtifacts`] once and use [`decide_with`].
 pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
+    decide_with(&DtdArtifacts::build(dtd), query)
+}
+
+/// Decide `(query, dtd)` against precompiled artifacts.
+pub fn decide_with(artifacts: &DtdArtifacts, query: &Path) -> Result<Satisfiability, SatError> {
     if !supports(query) {
         return Err(SatError::UnsupportedFragment {
             engine: ENGINE,
             detail: format!("query {query} uses operators outside X(child, desc, union)"),
         });
     }
-    let Some(pruned) = prune_nonterminating(dtd) else {
+    let Some(compiled) = artifacts.compiled() else {
         return Ok(Satisfiability::Unsatisfiable);
     };
-    let graph = DtdGraph::new(&pruned);
-    let types: Vec<String> = pruned.element_names();
+    let graph = compiled.graph();
+    let n = compiled.num_elements();
     let subqueries = closure::sub_paths_ascending(query);
 
-    // reach[(subquery index, type)] = element types reachable via the subquery.
+    // reach[subquery index][type] = element types reachable via the subquery.
     let index_of: BTreeMap<&Path, usize> =
         subqueries.iter().enumerate().map(|(i, p)| (p, i)).collect();
-    let mut reach: Vec<BTreeMap<String, BTreeSet<String>>> =
-        vec![BTreeMap::new(); subqueries.len()];
+    let mut reach: Vec<Vec<BitSet>> = vec![vec![BitSet::new(); n]; subqueries.len()];
 
     for (i, sub) in subqueries.iter().enumerate() {
-        for a in &types {
+        for a_index in 0..n {
+            let a = Sym::from_index(a_index);
             let set = match sub {
-                Path::Empty => [a.clone()].into_iter().collect(),
-                Path::Label(l) => {
-                    if graph.successors(a).contains(l) {
-                        [l.clone()].into_iter().collect()
-                    } else {
-                        BTreeSet::new()
+                Path::Empty => [a_index].into_iter().collect(),
+                Path::Label(l) => match compiled.elem_sym(l) {
+                    Some(target) if graph.has_edge(a, target) => {
+                        [target.index()].into_iter().collect()
                     }
-                }
-                Path::Wildcard => graph.successors(a),
+                    _ => BitSet::new(),
+                },
+                Path::Wildcard => graph.succ_bits(a).clone(),
                 Path::DescendantOrSelf => {
-                    let mut s = graph.reachable_from(a);
-                    s.insert(a.clone());
+                    let mut s = graph.reach_bits(a).clone();
+                    s.insert(a_index);
                     s
                 }
                 Path::Union(p1, p2) => {
-                    let mut s = lookup(&reach, &index_of, p1, a);
-                    s.extend(lookup(&reach, &index_of, p2, a));
+                    let mut s = lookup(&reach, &index_of, p1, a).clone();
+                    s.union_with(lookup(&reach, &index_of, p2, a));
                     s
                 }
                 Path::Seq(p1, p2) => {
-                    let mut s = BTreeSet::new();
-                    for b in lookup(&reach, &index_of, p1, a) {
-                        s.extend(lookup(&reach, &index_of, p2, &b));
+                    let mut s = BitSet::new();
+                    for b in lookup(&reach, &index_of, p1, a).iter() {
+                        s.union_with(lookup(&reach, &index_of, p2, Sym::from_index(b)));
                     }
                     s
                 }
@@ -83,89 +95,93 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
                     })
                 }
             };
-            reach[i].insert(a.clone(), set);
+            reach[i][a_index] = set;
         }
     }
 
-    let root_reach = lookup(&reach, &index_of, query, pruned.root());
-    let Some(target) = root_reach.iter().next().cloned() else {
+    let root = compiled.root();
+    let root_reach = lookup(&reach, &index_of, query, root);
+    let Some(target) = root_reach.iter().next().map(Sym::from_index) else {
         return Ok(Satisfiability::Unsatisfiable);
     };
 
     // Witness: realise a chain of element types from the root to `target` and expand it
     // into a conforming document.
-    let chain = realize_chain(query, pruned.root(), &target, &reach, &index_of, &graph)
+    let chain = realize_chain(query, root, target, &reach, &index_of, compiled)
         .expect("reachability table promised a chain");
-    let generator = TreeGenerator::new(&pruned);
-    let doc = crate::witness::materialize_chain(&pruned, &generator, &chain)
+    let doc = crate::witness::materialize_chain_compiled(compiled, &chain)
         .expect("chain uses terminating types only");
     Ok(Satisfiability::Satisfiable(doc))
 }
 
-fn lookup(
-    reach: &[BTreeMap<String, BTreeSet<String>>],
+fn lookup<'t>(
+    reach: &'t [Vec<BitSet>],
     index_of: &BTreeMap<&Path, usize>,
     sub: &Path,
-    a: &str,
-) -> BTreeSet<String> {
+    a: Sym,
+) -> &'t BitSet {
+    static EMPTY: BitSet = BitSet::new();
     index_of
         .get(sub)
-        .and_then(|&i| reach[i].get(a))
-        .cloned()
-        .unwrap_or_default()
+        .map(|&i| &reach[i][a.index()])
+        .unwrap_or(&EMPTY)
 }
 
 /// The `path(p', A, B)` construction of the proof: a chain of element types (excluding
 /// `A`, ending at `B`) realising `p'` in the DTD graph.
 fn realize_chain(
     sub: &Path,
-    from: &str,
-    to: &str,
-    reach: &[BTreeMap<String, BTreeSet<String>>],
+    from: Sym,
+    to: Sym,
+    reach: &[Vec<BitSet>],
     index_of: &BTreeMap<&Path, usize>,
-    graph: &DtdGraph,
-) -> Option<Vec<String>> {
-    if !lookup(reach, index_of, sub, from).contains(to) {
+    compiled: &CompiledDtd,
+) -> Option<Vec<Sym>> {
+    if !lookup(reach, index_of, sub, from).contains(to.index()) {
         return None;
     }
+    let graph = compiled.graph();
     match sub {
         Path::Empty => Some(Vec::new()),
-        Path::Label(_) | Path::Wildcard => Some(vec![to.to_string()]),
+        Path::Label(_) | Path::Wildcard => Some(vec![to]),
         Path::DescendantOrSelf => {
             if from == to {
                 return Some(Vec::new());
             }
             // Shortest path from `from` to `to` in the DTD graph (BFS).
-            let mut pred: BTreeMap<String, String> = BTreeMap::new();
+            let mut pred: BTreeMap<Sym, Sym> = BTreeMap::new();
             let mut queue = std::collections::VecDeque::new();
-            queue.push_back(from.to_string());
+            queue.push_back(from);
             while let Some(cur) = queue.pop_front() {
-                for succ in graph.successors(&cur) {
+                for &succ in graph.succ_syms(cur) {
                     if succ != from && !pred.contains_key(&succ) {
-                        pred.insert(succ.clone(), cur.clone());
+                        pred.insert(succ, cur);
                         queue.push_back(succ);
                     }
                 }
             }
-            let mut chain = vec![to.to_string()];
-            let mut cur = to.to_string();
-            while let Some(prev) = pred.get(&cur) {
+            let mut chain = vec![to];
+            let mut cur = to;
+            while let Some(&prev) = pred.get(&cur) {
                 if prev == from {
                     break;
                 }
-                chain.push(prev.clone());
-                cur = prev.clone();
+                chain.push(prev);
+                cur = prev;
             }
             chain.reverse();
             Some(chain)
         }
-        Path::Union(p1, p2) => realize_chain(p1, from, to, reach, index_of, graph)
-            .or_else(|| realize_chain(p2, from, to, reach, index_of, graph)),
+        Path::Union(p1, p2) => realize_chain(p1, from, to, reach, index_of, compiled)
+            .or_else(|| realize_chain(p2, from, to, reach, index_of, compiled)),
         Path::Seq(p1, p2) => {
-            for mid in lookup(reach, index_of, p1, from) {
-                if lookup(reach, index_of, p2, &mid).contains(to) {
-                    let mut chain = realize_chain(p1, from, &mid, reach, index_of, graph)?;
-                    chain.extend(realize_chain(p2, &mid, to, reach, index_of, graph)?);
+            for mid in lookup(reach, index_of, p1, from)
+                .iter()
+                .map(Sym::from_index)
+            {
+                if lookup(reach, index_of, p2, mid).contains(to.index()) {
+                    let mut chain = realize_chain(p1, from, mid, reach, index_of, compiled)?;
+                    chain.extend(realize_chain(p2, mid, to, reach, index_of, compiled)?);
                     return Some(chain);
                 }
             }
@@ -233,6 +249,20 @@ mod tests {
         check("r -> c; c -> (c, x) | #; x -> #;", "c/c/c/x", true);
         check("r -> c; c -> (c, x) | #; x -> #;", "x", false);
         check("r -> c; c -> (c, x) | #; x -> #;", "**/x", true);
+    }
+
+    #[test]
+    fn artifacts_can_be_reused_across_queries() {
+        let dtd = parse_dtd("r -> a; a -> b?; b -> c*; c -> #;").unwrap();
+        let artifacts = DtdArtifacts::build(&dtd);
+        for (q, expected) in [("**/c", true), ("a/c", false), ("a/b | a/c", true)] {
+            let verdict = decide_with(&artifacts, &parse_path(q).unwrap()).unwrap();
+            assert_eq!(
+                matches!(verdict, Satisfiability::Satisfiable(_)),
+                expected,
+                "{q}"
+            );
+        }
     }
 
     #[test]

@@ -13,13 +13,18 @@
 //! [`Satisfiability::Unknown`] unless the search provably covered every conforming
 //! document (no truncation happened), in which case `Unsatisfiable` is sound.
 //!
+//! The subtree memo is keyed by `(element Sym, depth)` and the children words come from
+//! the precompiled content-model automata of the [`DtdArtifacts`] — the earlier version
+//! keyed the memo by `String` label and rebuilt a Glushkov automaton per content model
+//! per call.
+//!
 //! Attribute values are enumerated over the constants mentioned in the query plus
 //! enough fresh values to realise every equality pattern among the document's attribute
 //! slots; queries without data-value comparisons skip that enumeration entirely.
 
 use crate::sat::Satisfiability;
 use std::collections::BTreeMap;
-use xpsat_dtd::{Dtd, DtdGraph};
+use xpsat_dtd::{CompiledDtd, Dtd, DtdArtifacts, DtdClass, Sym};
 use xpsat_xmltree::{Document, NodeId};
 use xpsat_xpath::{eval, Features, Path, Qualifier};
 
@@ -51,25 +56,38 @@ impl Default for EnumerationLimits {
 }
 
 /// Decide `(query, dtd)` by bounded enumeration of conforming documents.
+///
+/// Convenience wrapper that compiles the artifacts for one call; batch callers should
+/// build [`DtdArtifacts`] once and use [`decide_with`].
 pub fn decide(dtd: &Dtd, query: &Path, limits: &EnumerationLimits) -> Satisfiability {
-    let Some(pruned) = xpsat_dtd::graph::prune_nonterminating(dtd) else {
+    decide_with(&DtdArtifacts::build(dtd), query, limits)
+}
+
+/// Decide `(query, dtd)` against precompiled artifacts.
+pub fn decide_with(
+    artifacts: &DtdArtifacts,
+    query: &Path,
+    limits: &EnumerationLimits,
+) -> Satisfiability {
+    let Some(compiled) = artifacts.compiled() else {
         // No conforming document exists at all.
         return Satisfiability::Unsatisfiable;
     };
+    let original_dtd = artifacts.dtd();
     let mut enumerator = Enumerator {
-        dtd: &pruned,
-        original_dtd: dtd,
+        compiled,
+        original_dtd,
         limits,
         truncated: false,
         cache: BTreeMap::new(),
     };
     // For nonrecursive DTDs, raising the depth budget to the DTD's own depth bound makes
     // the enumeration exhaustive (when the other budgets suffice).
-    let depth = match DtdGraph::new(&pruned).depth_bound() {
+    let depth = match compiled.graph().depth_bound() {
         Some(bound) => bound.max(limits.max_depth).min(24),
         None => limits.max_depth,
     };
-    let candidates = enumerator.subtrees(pruned.root(), depth);
+    let candidates = enumerator.subtrees(compiled.root(), depth);
     let needs_values = Features::of_path(query).data_value;
     let constants = query_constants(query);
 
@@ -79,7 +97,7 @@ pub fn decide(dtd: &Dtd, query: &Path, limits: &EnumerationLimits) -> Satisfiabi
             break;
         }
         if needs_values {
-            match try_valuations(candidate, dtd, query, &constants, limits) {
+            match try_valuations(candidate, original_dtd, query, &constants, limits) {
                 ValuationOutcome::Found(doc) => return Satisfiability::Satisfiable(doc),
                 ValuationOutcome::Exhausted => {}
                 ValuationOutcome::Truncated => enumerator.truncated = true,
@@ -99,30 +117,33 @@ pub fn decide(dtd: &Dtd, query: &Path, limits: &EnumerationLimits) -> Satisfiabi
 /// `Unsatisfiable` answer is definitive)?  This is a quick syntactic check used by the
 /// solver façade to report completeness; [`decide`] itself tracks truncation exactly.
 pub fn is_exhaustive_for(dtd: &Dtd, limits: &EnumerationLimits) -> bool {
-    let class = xpsat_dtd::classify(dtd);
+    is_exhaustive_for_class(&xpsat_dtd::classify(dtd), limits)
+}
+
+/// [`is_exhaustive_for`] given an already-computed classification (from precomputed
+/// [`DtdArtifacts`]), so batch callers do not re-classify per query.
+pub fn is_exhaustive_for_class(class: &DtdClass, limits: &EnumerationLimits) -> bool {
     !class.recursive && !class.has_star && class.depth_bound.is_some_and(|d| d <= limits.max_depth)
 }
 
 struct Enumerator<'a> {
-    dtd: &'a Dtd,
+    compiled: &'a CompiledDtd,
     original_dtd: &'a Dtd,
     limits: &'a EnumerationLimits,
     truncated: bool,
-    cache: BTreeMap<(String, usize), Vec<Document>>,
+    cache: BTreeMap<(Sym, usize), Vec<Document>>,
 }
 
 impl<'a> Enumerator<'a> {
     /// All conforming subtrees rooted at an element of type `label`, up to the depth and
     /// variant budgets.  Attribute slots are filled with the placeholder `"0"`.
-    fn subtrees(&mut self, label: &str, depth: usize) -> Vec<Document> {
-        if let Some(cached) = self.cache.get(&(label.to_string(), depth)) {
+    fn subtrees(&mut self, label: Sym, depth: usize) -> Vec<Document> {
+        if let Some(cached) = self.cache.get(&(label, depth)) {
             return cached.clone();
         }
         let mut result = Vec::new();
-        let Some(decl) = self.dtd.element(label) else {
-            return result;
-        };
-        let words = self.children_words(&decl.content);
+        let label_name = self.compiled.name(label).to_string();
+        let words = self.children_words(label);
         for word in words {
             if depth == 0 && !word.is_empty() {
                 self.truncated = true;
@@ -130,7 +151,7 @@ impl<'a> Enumerator<'a> {
             }
             // Cartesian product of child subtree choices.
             let mut assemblies: Vec<Vec<Document>> = vec![Vec::new()];
-            for child_label in &word {
+            for &child_label in &word {
                 let options = self.subtrees(child_label, depth.saturating_sub(1));
                 if options.is_empty() {
                     assemblies.clear();
@@ -155,8 +176,8 @@ impl<'a> Enumerator<'a> {
                     self.truncated = true;
                     break;
                 }
-                let mut doc = Document::new(label);
-                for attr in &self.original_dtd.attributes(label) {
+                let mut doc = Document::new(&label_name);
+                for attr in &self.original_dtd.attributes(&label_name) {
                     doc.set_attr(doc.root(), attr.clone(), "0");
                 }
                 for subtree in &assembly {
@@ -165,18 +186,17 @@ impl<'a> Enumerator<'a> {
                 result.push(doc);
             }
         }
-        self.cache
-            .insert((label.to_string(), depth), result.clone());
+        self.cache.insert((label, depth), result.clone());
         result
     }
 
     /// All words of the content language up to the length budget; sets the truncation
-    /// flag when longer words exist.
-    fn children_words(&mut self, content: &xpsat_dtd::ContentModel) -> Vec<Vec<String>> {
-        let nfa = xpsat_automata::Nfa::glushkov(content);
+    /// flag when longer words exist.  The precompiled automaton is walked directly.
+    fn children_words(&mut self, label: Sym) -> Vec<Vec<Sym>> {
+        let nfa = self.compiled.automaton(label);
         let mut words = Vec::new();
         // BFS over (state, word) pairs up to the length budget.
-        let mut frontier: Vec<(usize, Vec<String>)> = vec![(nfa.start(), Vec::new())];
+        let mut frontier: Vec<(usize, Vec<Sym>)> = vec![(nfa.start(), Vec::new())];
         for len in 0..=self.limits.max_word_len {
             let mut next = Vec::new();
             for (state, word) in &frontier {
@@ -192,7 +212,7 @@ impl<'a> Enumerator<'a> {
                 for (sym, succs) in nfa.transitions_from(*state) {
                     for &succ in succs {
                         let mut extended = word.clone();
-                        extended.push(sym.clone());
+                        extended.push(*sym);
                         next.push((succ, extended));
                     }
                 }
@@ -429,6 +449,10 @@ mod tests {
     fn exhaustiveness_classification() {
         let finite = parse_dtd("r -> a, b?; a -> #; b -> #;").unwrap();
         assert!(is_exhaustive_for(&finite, &limits()));
+        assert!(is_exhaustive_for_class(
+            &xpsat_dtd::classify(&finite),
+            &limits()
+        ));
         let starred = parse_dtd("r -> a*; a -> #;").unwrap();
         assert!(!is_exhaustive_for(&starred, &limits()));
         let recursive = parse_dtd("r -> c; c -> c | #;").unwrap();

@@ -23,11 +23,17 @@
 //!
 //! Negation is handled exactly — profiles record both what holds and (by absence) what
 //! does not — which is what distinguishes this engine from the positive one.
+//!
+//! Element types are interned [`Sym`]s throughout: the achieved-profile sets and recipe
+//! words are indexed/keyed by symbol, label constraints on head-normal forms are
+//! resolved against the symbol table once at analysis time, and every `Step` alternative
+//! carries its precompiled demand index so the per-profile evaluation is a bitset-style
+//! membership test instead of a linear scan over string-labelled demands.
 
 use crate::sat::{SatError, Satisfiability};
 use crate::witness::fill_missing_attributes;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use xpsat_dtd::{graph::prune_nonterminating, Dtd};
+use xpsat_dtd::{CompiledDtd, Dtd, DtdArtifacts, Sym};
 use xpsat_xmltree::{Document, NodeId};
 use xpsat_xpath::{Features, Path, Qualifier};
 
@@ -44,10 +50,22 @@ pub fn supports(query: &Path) -> bool {
 type Profile = BTreeSet<usize>;
 
 /// A child demand: "some child with this label constraint satisfies this closure path".
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Demand {
-    label: Option<String>,
+    /// `None` = any label.
+    label: Option<Sym>,
     tail: usize,
+}
+
+/// The label constraint of a compiled child step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum LabelCk {
+    /// Wildcard step.
+    Any,
+    /// A label step naming a declared element type.
+    Is(Sym),
+    /// A label step naming an undeclared type: never satisfiable.
+    Never,
 }
 
 /// One alternative of a head-normal form.
@@ -55,40 +73,47 @@ struct Demand {
 enum HeadAlt {
     /// The path may end at the current node provided the qualifiers hold there.
     Done(Vec<Qualifier>),
-    /// After the qualifiers hold at the current node, move to a child satisfying the
-    /// label constraint and continue with the tail path (a closure index).
-    Step(Vec<Qualifier>, Option<String>, usize),
+    /// After the qualifiers hold at the current node, the demand with the given index
+    /// must be supplied by some child.  `usize::MAX` marks a dead step (undeclared
+    /// label) that can never be supplied.
+    Step(Vec<Qualifier>, usize),
     /// Construction-time only: the tail path is known but its closure index is not yet;
     /// patched into `Step` once the closure is saturated.
-    StepPending(Vec<Qualifier>, Option<String>, Path, usize),
+    StepPending(Vec<Qualifier>, LabelCk, Path, usize),
 }
 
 /// Decide `(query, dtd)`; complete for the fragment reported by [`supports`].
+///
+/// Convenience wrapper that compiles the artifacts for one call; batch callers should
+/// build [`DtdArtifacts`] once and use [`decide_with`].
 pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
+    decide_with(&DtdArtifacts::build(dtd), query)
+}
+
+/// Decide `(query, dtd)` against precompiled artifacts.
+pub fn decide_with(artifacts: &DtdArtifacts, query: &Path) -> Result<Satisfiability, SatError> {
     if !supports(query) {
         return Err(SatError::UnsupportedFragment {
             engine: ENGINE,
             detail: format!("query {query} uses data values, upward or sibling axes"),
         });
     }
-    let Some(pruned) = prune_nonterminating(dtd) else {
+    let Some(compiled) = artifacts.compiled() else {
         return Ok(Satisfiability::Unsatisfiable);
     };
-    let analysis = Analysis::build(&pruned, query)?;
+    let analysis = Analysis::build(compiled, query)?;
     let fixpoint = analysis.fixpoint();
     let query_index = analysis.index_of(&analysis.query.clone());
-    let winning = fixpoint
-        .achieved
-        .get(pruned.root())
-        .into_iter()
-        .flatten()
+    let root = compiled.root();
+    let winning = fixpoint.achieved[root.index()]
+        .iter()
         .find(|profile| profile.contains(&query_index));
     match winning {
         Some(profile) => {
-            let mut doc = Document::new(pruned.root());
-            let root = doc.root();
-            fixpoint.build_witness(&mut doc, root, pruned.root(), profile);
-            fill_missing_attributes(&mut doc, &pruned);
+            let mut doc = Document::new(compiled.name(root));
+            let doc_root = doc.root();
+            fixpoint.build_witness(compiled, &mut doc, doc_root, root, profile);
+            fill_missing_attributes(&mut doc, compiled.dtd());
             Ok(Satisfiability::Satisfiable(doc))
         }
         None => Ok(Satisfiability::Unsatisfiable),
@@ -98,22 +123,34 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
 /// The static analysis of the query against the DTD: the closure, the demands and the
 /// head-normal forms.
 struct Analysis<'a> {
-    dtd: &'a Dtd,
+    compiled: &'a CompiledDtd,
     query: Path,
     closure: Vec<Path>,
+    /// Closure indices sorted by structural size: evaluation order for `profile_of`.
+    eval_order: Vec<usize>,
     hnf: Vec<Vec<HeadAlt>>,
     demands: Vec<Demand>,
 }
 
 impl<'a> Analysis<'a> {
-    fn build(dtd: &'a Dtd, query: &Path) -> Result<Analysis<'a>, SatError> {
+    fn build(compiled: &'a CompiledDtd, query: &Path) -> Result<Analysis<'a>, SatError> {
         let query = query.right_assoc();
         let mut analysis = Analysis {
-            dtd,
+            compiled,
             query: query.clone(),
             closure: Vec::new(),
+            eval_order: Vec::new(),
             hnf: Vec::new(),
             demands: Vec::new(),
+        };
+        let resolve = |label: Option<String>| -> LabelCk {
+            match label {
+                None => LabelCk::Any,
+                Some(l) => match compiled.elem_sym(&l) {
+                    Some(sym) => LabelCk::Is(sym),
+                    None => LabelCk::Never,
+                },
+            }
         };
         // Seed the closure with the query and every qualifier path, then saturate with
         // head-normal-form tails.
@@ -135,7 +172,7 @@ impl<'a> Analysis<'a> {
             analysis.closure.push(path.clone());
             analysis.hnf.push(Vec::new()); // placeholder, filled below
             let alts = head_normal_form(&path);
-            let mut compiled = Vec::new();
+            let mut compiled_alts = Vec::new();
             for alt in alts {
                 match alt {
                     RawAlt::Done(quals) => {
@@ -146,7 +183,7 @@ impl<'a> Analysis<'a> {
                                 }
                             }
                         }
-                        compiled.push(HeadAlt::Done(quals));
+                        compiled_alts.push(HeadAlt::Done(quals));
                     }
                     RawAlt::Step(quals, label, tail) => {
                         for q in &quals {
@@ -167,17 +204,25 @@ impl<'a> Analysis<'a> {
                                 usize::MAX // patched below once every path has an index
                             }
                         };
-                        compiled.push(HeadAlt::StepPending(quals, label, tail, tail_index));
+                        compiled_alts.push(HeadAlt::StepPending(
+                            quals,
+                            resolve(label),
+                            tail,
+                            tail_index,
+                        ));
                     }
                 }
             }
-            analysis.hnf[index] = compiled;
+            analysis.hnf[index] = compiled_alts;
         }
-        // Patch pending tail indices now that the closure is complete.
+        // Resolve pending tail indices, collect the demand set and rewrite every Step
+        // to carry its demand index directly.
         let closure = analysis.closure.clone();
-        for alts in &mut analysis.hnf {
-            for alt in alts.iter_mut() {
-                if let HeadAlt::StepPending(quals, label, tail, idx) = alt {
+        let mut demands: BTreeSet<Demand> = BTreeSet::new();
+        let mut resolved_steps: Vec<(LabelCk, usize)> = Vec::new();
+        for alts in &analysis.hnf {
+            for alt in alts {
+                if let HeadAlt::StepPending(_, label, tail, idx) = alt {
                     let resolved = if *idx != usize::MAX {
                         *idx
                     } else {
@@ -186,23 +231,55 @@ impl<'a> Analysis<'a> {
                             .position(|p| p == tail)
                             .expect("tail was pushed to the worklist")
                     };
-                    *alt = HeadAlt::Step(std::mem::take(quals), label.take(), resolved);
-                }
-            }
-        }
-        // Collect the demand set.
-        let mut demands = BTreeSet::new();
-        for alts in &analysis.hnf {
-            for alt in alts {
-                if let HeadAlt::Step(_, label, tail) = alt {
-                    demands.insert(Demand {
-                        label: label.clone(),
-                        tail: *tail,
-                    });
+                    resolved_steps.push((*label, resolved));
+                    match label {
+                        LabelCk::Any => {
+                            demands.insert(Demand {
+                                label: None,
+                                tail: resolved,
+                            });
+                        }
+                        LabelCk::Is(sym) => {
+                            demands.insert(Demand {
+                                label: Some(*sym),
+                                tail: resolved,
+                            });
+                        }
+                        LabelCk::Never => {}
+                    }
                 }
             }
         }
         analysis.demands = demands.into_iter().collect();
+        let mut step_cursor = 0;
+        for alts in &mut analysis.hnf {
+            for alt in alts.iter_mut() {
+                if let HeadAlt::StepPending(quals, label, _, _) = alt {
+                    let (_, tail) = resolved_steps[step_cursor];
+                    step_cursor += 1;
+                    let demand_index = match label {
+                        LabelCk::Never => usize::MAX,
+                        LabelCk::Any => analysis
+                            .demands
+                            .binary_search(&Demand { label: None, tail })
+                            .expect("demand was collected"),
+                        LabelCk::Is(sym) => analysis
+                            .demands
+                            .binary_search(&Demand {
+                                label: Some(*sym),
+                                tail,
+                            })
+                            .expect("demand was collected"),
+                    };
+                    *alt = HeadAlt::Step(std::mem::take(quals), demand_index);
+                }
+            }
+        }
+        // Evaluation order: increasing structural size, so that qualifier paths
+        // (proper sub-expressions) are available when needed.
+        let mut order: Vec<usize> = (0..analysis.closure.len()).collect();
+        order.sort_by_key(|&i| analysis.closure[i].size());
+        analysis.eval_order = order;
         Ok(analysis)
     }
 
@@ -214,45 +291,39 @@ impl<'a> Analysis<'a> {
     }
 
     /// The demand bits provided by a child with the given label and profile.
-    fn bits(&self, label: &str, profile: &Profile) -> BTreeSet<usize> {
+    fn bits(&self, label: Sym, profile: &Profile) -> BTreeSet<usize> {
         self.demands
             .iter()
             .enumerate()
-            .filter(|(_, d)| {
-                d.label.as_deref().is_none_or(|l| l == label) && profile.contains(&d.tail)
-            })
+            .filter(|(_, d)| d.label.is_none_or(|l| l == label) && profile.contains(&d.tail))
             .map(|(i, _)| i)
             .collect()
     }
 
     /// Evaluate the profile of a node with the given label whose children provide the
     /// demand-bit union `supplied`.
-    fn profile_of(&self, label: &str, supplied: &BTreeSet<usize>) -> Profile {
-        // Closure paths are evaluated in increasing structural size so that qualifier
-        // paths (proper sub-expressions) are available when needed.
-        let mut order: Vec<usize> = (0..self.closure.len()).collect();
-        order.sort_by_key(|&i| self.closure[i].size());
-        let mut truth: BTreeMap<usize, bool> = BTreeMap::new();
-        for index in order {
+    fn profile_of(&self, label: Sym, supplied: &BTreeSet<usize>) -> Profile {
+        let mut truth = vec![false; self.closure.len()];
+        for &index in &self.eval_order {
             let value = self.hnf[index].iter().any(|alt| match alt {
                 HeadAlt::Done(quals) => quals.iter().all(|q| self.eval_qualifier(q, label, &truth)),
-                HeadAlt::Step(quals, step_label, tail) => {
-                    quals.iter().all(|q| self.eval_qualifier(q, label, &truth))
-                        && self.demands.iter().enumerate().any(|(i, d)| {
-                            d.tail == *tail && d.label == *step_label && supplied.contains(&i)
-                        })
+                HeadAlt::Step(quals, demand_index) => {
+                    *demand_index != usize::MAX
+                        && supplied.contains(demand_index)
+                        && quals.iter().all(|q| self.eval_qualifier(q, label, &truth))
                 }
                 HeadAlt::StepPending(..) => unreachable!("patched during construction"),
             });
-            truth.insert(index, value);
+            truth[index] = value;
         }
         truth
             .into_iter()
+            .enumerate()
             .filter_map(|(i, v)| v.then_some(i))
             .collect()
     }
 
-    fn eval_qualifier(&self, q: &Qualifier, label: &str, truth: &BTreeMap<usize, bool>) -> bool {
+    fn eval_qualifier(&self, q: &Qualifier, label: Sym, truth: &[bool]) -> bool {
         match q {
             Qualifier::Path(p) => {
                 let normalized = p.right_assoc();
@@ -261,9 +332,9 @@ impl<'a> Analysis<'a> {
                     .iter()
                     .position(|c| *c == normalized)
                     .expect("qualifier paths are seeded into the closure");
-                *truth.get(&index).unwrap_or(&false)
+                truth[index]
             }
-            Qualifier::LabelIs(l) => l == label,
+            Qualifier::LabelIs(l) => self.compiled.elem_sym(l) == Some(label),
             Qualifier::And(a, b) => {
                 self.eval_qualifier(a, label, truth) && self.eval_qualifier(b, label, truth)
             }
@@ -278,32 +349,31 @@ impl<'a> Analysis<'a> {
 
     /// Run the least fixpoint over achievable profiles.
     fn fixpoint(&self) -> Fixpoint {
-        let mut achieved: BTreeMap<String, BTreeSet<Profile>> = BTreeMap::new();
-        let mut recipes: BTreeMap<(String, Profile), Recipe> = BTreeMap::new();
-        let automata: BTreeMap<String, xpsat_automata::Nfa<String>> = self
-            .dtd
-            .elements()
-            .map(|(name, decl)| (name.clone(), xpsat_automata::Nfa::glushkov(&decl.content)))
-            .collect();
+        let compiled = self.compiled;
+        let n = compiled.num_elements();
+        let mut achieved: Vec<BTreeSet<Profile>> = vec![BTreeSet::new(); n];
+        let mut recipes: BTreeMap<(Sym, Profile), Recipe> = BTreeMap::new();
         loop {
             let snapshot = achieved.clone();
             let mut changed = false;
-            for (name, _) in self.dtd.elements() {
-                let nfa = &automata[name];
+            #[allow(clippy::needless_range_loop)]
+            for elem_index in 0..n {
+                let elem = Sym::from_index(elem_index);
+                let nfa = compiled.automaton(elem);
                 // Forward product of the Glushkov automaton with the accumulated
                 // demand-bit union; every accepting (state, union) yields a profile.
                 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
                 struct Key(usize, BTreeSet<usize>);
                 let mut seen: BTreeSet<Key> = BTreeSet::new();
-                let mut back: BTreeMap<Key, (Key, String, Profile)> = BTreeMap::new();
+                let mut back: BTreeMap<Key, (Key, Sym, Profile)> = BTreeMap::new();
                 let start = Key(nfa.start(), BTreeSet::new());
                 seen.insert(start.clone());
                 let mut queue = VecDeque::new();
                 queue.push_back(start);
                 while let Some(key) = queue.pop_front() {
                     if nfa.is_accepting(key.0) {
-                        let profile = self.profile_of(name, &key.1);
-                        let entry = achieved.entry(name.clone()).or_default();
+                        let profile = self.profile_of(elem, &key.1);
+                        let entry = &mut achieved[elem_index];
                         if !entry.contains(&profile) {
                             entry.insert(profile.clone());
                             changed = true;
@@ -312,28 +382,29 @@ impl<'a> Analysis<'a> {
                             let mut child_profiles = Vec::new();
                             let mut cursor = key.clone();
                             while let Some((prev, sym, child_profile)) = back.get(&cursor) {
-                                word.push(sym.clone());
+                                word.push(*sym);
                                 child_profiles.push(child_profile.clone());
                                 cursor = prev.clone();
                             }
                             word.reverse();
                             child_profiles.reverse();
-                            recipes.entry((name.clone(), profile)).or_insert(Recipe {
+                            recipes.entry((elem, profile)).or_insert(Recipe {
                                 word,
                                 child_profiles,
                             });
                         }
                     }
                     for (sym, succs) in nfa.transitions_from(key.0) {
-                        let Some(child_options) = snapshot.get(sym) else {
+                        let child_options = &snapshot[sym.index()];
+                        if child_options.is_empty() {
                             continue;
-                        };
+                        }
                         // Distinct demand-bit contributions only (representatives keep
                         // the product small without losing achievable unions).
                         let mut contributions: BTreeMap<BTreeSet<usize>, Profile> = BTreeMap::new();
                         for child_profile in child_options {
                             contributions
-                                .entry(self.bits(sym, child_profile))
+                                .entry(self.bits(*sym, child_profile))
                                 .or_insert_with(|| child_profile.clone());
                         }
                         for (bits, representative) in contributions {
@@ -344,7 +415,7 @@ impl<'a> Analysis<'a> {
                                 if seen.insert(next.clone()) {
                                     back.insert(
                                         next.clone(),
-                                        (key.clone(), sym.clone(), representative.clone()),
+                                        (key.clone(), *sym, representative.clone()),
                                     );
                                     queue.push_back(next);
                                 }
@@ -364,24 +435,32 @@ impl<'a> Analysis<'a> {
 /// each child must itself realise.
 #[derive(Debug, Clone)]
 struct Recipe {
-    word: Vec<String>,
+    word: Vec<Sym>,
     child_profiles: Vec<Profile>,
 }
 
 struct Fixpoint {
-    achieved: BTreeMap<String, BTreeSet<Profile>>,
-    recipes: BTreeMap<(String, Profile), Recipe>,
+    /// Achievable profiles indexed by element symbol.
+    achieved: Vec<BTreeSet<Profile>>,
+    recipes: BTreeMap<(Sym, Profile), Recipe>,
 }
 
 impl Fixpoint {
     /// Rebuild a witness subtree realising `profile` at a node of type `label`.
-    fn build_witness(&self, doc: &mut Document, node: NodeId, label: &str, profile: &Profile) {
-        let Some(recipe) = self.recipes.get(&(label.to_string(), profile.clone())) else {
+    fn build_witness(
+        &self,
+        compiled: &CompiledDtd,
+        doc: &mut Document,
+        node: NodeId,
+        label: Sym,
+        profile: &Profile,
+    ) {
+        let Some(recipe) = self.recipes.get(&(label, profile.clone())) else {
             return;
         };
-        for (sym, child_profile) in recipe.word.iter().zip(&recipe.child_profiles) {
-            let child = doc.add_child(node, sym.clone());
-            self.build_witness(doc, child, sym, child_profile);
+        for (&sym, child_profile) in recipe.word.iter().zip(&recipe.child_profiles) {
+            let child = doc.add_child(node, compiled.name(sym));
+            self.build_witness(compiled, doc, child, sym, child_profile);
         }
     }
 }
@@ -543,6 +622,14 @@ mod tests {
         check(dtd, ".[a and not(a[b])]", true);
         check(dtd, ".[a[b] and not(a[b])]", false);
         check(dtd, ".[a and not(a[b]) and not(a[c])]", false);
+    }
+
+    #[test]
+    fn undeclared_labels_interact_correctly_with_negation() {
+        let dtd = "r -> a?; a -> #;";
+        check(dtd, "ghost", false);
+        check(dtd, ".[not(ghost)]", true);
+        check(dtd, ".[a and not(ghost)]", true);
     }
 
     #[test]

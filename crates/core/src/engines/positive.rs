@@ -25,14 +25,20 @@
 //!   never succeed, which keeps satisfiable instances fast in practice without affecting
 //!   completeness.
 //!
+//! The hot path is fully interned: routing works over [`Sym`] ids, the reachability
+//! over-approximation is bitset arithmetic against the precomputed closure of the
+//! [`DtdArtifacts`], the content-model automata come precompiled (they used to be
+//! rebuilt for *every* `decide` call), and the constraint union-find runs over integer
+//! ids instead of formatted `String` keys.
+//!
 //! The search constructs the witness document as it goes (using `Document::truncate` to
 //! backtrack), so a `Satisfiable` verdict always carries a verified witness.
 
 use crate::sat::{SatError, Satisfiability};
 use crate::witness::fill_missing_attributes;
-use std::collections::{BTreeMap, BTreeSet};
-use xpsat_automata::{CoverDemand, Nfa};
-use xpsat_dtd::{graph::prune_nonterminating, Dtd, DtdGraph, TreeGenerator};
+use std::collections::{BTreeMap, HashMap};
+use xpsat_automata::{BitSet, CoverDemand};
+use xpsat_dtd::{CompiledDtd, Dtd, DtdArtifacts, Sym};
 use xpsat_xmltree::{Document, NodeId};
 use xpsat_xpath::{CmpOp, Features, Path, Qualifier};
 
@@ -47,36 +53,45 @@ pub fn supports(query: &Path) -> bool {
 
 /// Decide `(query, dtd)`, returning a witness on success.  Complete for the fragment
 /// reported by [`supports`].
+///
+/// Convenience wrapper that compiles the artifacts for one call; batch callers should
+/// build [`DtdArtifacts`] once and use [`decide_with`].
 pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
+    decide_with(&DtdArtifacts::build(dtd), query)
+}
+
+/// Decide `(query, dtd)` against precompiled artifacts.
+pub fn decide_with(artifacts: &DtdArtifacts, query: &Path) -> Result<Satisfiability, SatError> {
     if !supports(query) {
         return Err(SatError::UnsupportedFragment {
             engine: ENGINE,
             detail: format!("query {query} uses negation, upward or sibling axes"),
         });
     }
-    let Some(pruned) = prune_nonterminating(dtd) else {
+    let Some(compiled) = artifacts.compiled() else {
         return Ok(Satisfiability::Unsatisfiable);
     };
     let query = query.right_assoc();
-    let depth_limit = (3 * query.size()).saturating_sub(1) * pruned.size().max(1) + 2;
+    let depth_limit = (3 * query.size()).saturating_sub(1) * compiled.size().max(1) + 2;
     let mut search = Search {
-        dtd: &pruned,
-        graph: DtdGraph::new(&pruned),
-        generator: TreeGenerator::new(&pruned),
-        automata: pruned
-            .elements()
-            .map(|(name, decl)| (name.clone(), Nfa::glushkov(&decl.content)))
-            .collect(),
+        compiled,
         next_slot: 0,
         depth_limit,
     };
-    let mut doc = Document::new(pruned.root());
+    let mut doc = Document::new(compiled.name(compiled.root()));
     let root = doc.root();
     let obligations = vec![Ob::At(query.clone(), vec![])];
-    match search.satisfy(&mut doc, root, obligations, Bindings::default(), 0) {
+    match search.satisfy(
+        &mut doc,
+        root,
+        compiled.root(),
+        obligations,
+        Bindings::default(),
+        0,
+    ) {
         Some(bindings) => {
             assign_values(&mut doc, &bindings);
-            fill_missing_attributes(&mut doc, &pruned);
+            fill_missing_attributes(&mut doc, compiled.dtd());
             Ok(Satisfiability::Satisfiable(doc))
         }
         None => Ok(Satisfiability::Unsatisfiable),
@@ -102,7 +117,7 @@ enum Ob {
 /// satisfies a list of obligations.
 #[derive(Debug, Clone)]
 struct ChildReq {
-    label: Option<String>,
+    label: Option<Sym>,
     obligations: Vec<Ob>,
 }
 
@@ -118,10 +133,7 @@ struct Bindings {
 }
 
 struct Search<'a> {
-    dtd: &'a Dtd,
-    graph: DtdGraph,
-    generator: TreeGenerator,
-    automata: BTreeMap<String, Nfa<String>>,
+    compiled: &'a CompiledDtd,
     next_slot: usize,
     depth_limit: usize,
 }
@@ -143,7 +155,7 @@ impl Branch {
         }
     }
 
-    fn child(label: Option<String>, obligations: Vec<Ob>) -> Branch {
+    fn child(label: Option<Sym>, obligations: Vec<Ob>) -> Branch {
         Branch {
             child_requirements: vec![ChildReq { label, obligations }],
             ..Branch::default()
@@ -152,13 +164,14 @@ impl Branch {
 }
 
 impl<'a> Search<'a> {
-    /// Try to satisfy all obligations at `node` (whose subtree is not yet expanded).
-    /// Returns the extended bindings on success; on failure the document is restored to
-    /// its state at entry.
+    /// Try to satisfy all obligations at `node` (whose subtree is not yet expanded and
+    /// whose element type is `label`).  Returns the extended bindings on success; on
+    /// failure the document is restored to its state at entry.
     fn satisfy(
         &mut self,
         doc: &mut Document,
         node: NodeId,
+        label: Sym,
         obligations: Vec<Ob>,
         bindings: Bindings,
         depth: usize,
@@ -167,21 +180,20 @@ impl<'a> Search<'a> {
             return None;
         }
         let doc_snapshot = doc.snapshot();
-        let label = doc.label(node).to_string();
         // DFS over decomposition alternatives; each alternative carries its own pending
         // obligations, accumulated child requirements and value bindings.
         let mut alternatives = vec![(obligations, Vec::<ChildReq>::new(), bindings)];
         while let Some((mut pending, reqs, mut alt_bindings)) = alternatives.pop() {
             let Some(ob) = pending.pop() else {
                 if let Some(result) =
-                    self.route_children(doc, node, &label, reqs, alt_bindings, depth)
+                    self.route_children(doc, node, label, reqs, alt_bindings, depth)
                 {
                     return Some(result);
                 }
                 doc.truncate(doc_snapshot);
                 continue;
             };
-            match self.decompose(node, &label, ob, &mut alt_bindings) {
+            match self.decompose(node, label, ob, &mut alt_bindings) {
                 None => continue,
                 Some(branches) => {
                     for branch in branches.into_iter().rev() {
@@ -211,13 +223,13 @@ impl<'a> Search<'a> {
     fn decompose(
         &mut self,
         node: NodeId,
-        label: &str,
+        label: Sym,
         ob: Ob,
         bindings: &mut Bindings,
     ) -> Option<Vec<Branch>> {
         match ob {
             Ob::BindSlot(attr, slot) => {
-                if self.dtd.attributes(label).contains(&attr) {
+                if self.compiled.has_attribute(label, &attr) {
                     bindings.locations.insert(slot, (node, attr));
                     Some(vec![Branch::obligations(vec![])])
                 } else {
@@ -227,7 +239,10 @@ impl<'a> Search<'a> {
             Ob::Qual(q) => self.decompose_qualifier(q, label),
             Ob::At(path, obs) => match path {
                 Path::Empty => Some(vec![Branch::obligations(obs)]),
-                Path::Label(l) => Some(vec![Branch::child(Some(l), obs)]),
+                Path::Label(l) => self
+                    .compiled
+                    .elem_sym(&l)
+                    .map(|sym| vec![Branch::child(Some(sym), obs)]),
                 Path::Wildcard => Some(vec![Branch::child(None, obs)]),
                 Path::DescendantOrSelf => Some(vec![
                     Branch::obligations(obs.clone()),
@@ -257,14 +272,14 @@ impl<'a> Search<'a> {
         }
     }
 
-    fn decompose_qualifier(&mut self, q: Qualifier, label: &str) -> Option<Vec<Branch>> {
+    fn decompose_qualifier(&mut self, q: Qualifier, label: Sym) -> Option<Vec<Branch>> {
         match q {
             Qualifier::Path(p) => Some(vec![Branch::obligations(vec![Ob::At(
                 p.right_assoc(),
                 vec![],
             )])]),
             Qualifier::LabelIs(l) => {
-                if l == label {
+                if self.compiled.elem_sym(&l) == Some(label) {
                     Some(vec![Branch::obligations(vec![])])
                 } else {
                     None
@@ -331,18 +346,18 @@ impl<'a> Search<'a> {
         &mut self,
         doc: &mut Document,
         node: NodeId,
-        label: &str,
+        label: Sym,
         reqs: Vec<ChildReq>,
         bindings: Bindings,
         depth: usize,
     ) -> Option<Bindings> {
         if reqs.is_empty() {
             if doc.children(node).is_empty() {
-                self.generator.expand_minimal(doc, node);
+                self.compiled.generator().expand_minimal(doc, node);
             }
             return check_constraints(&bindings).then_some(bindings);
         }
-        let plan: Vec<(String, Vec<Ob>)> = Vec::new();
+        let plan: Vec<(Sym, Vec<Ob>)> = Vec::new();
         self.assign(doc, node, label, &reqs, 0, plan, bindings, depth)
     }
 
@@ -352,10 +367,10 @@ impl<'a> Search<'a> {
         &mut self,
         doc: &mut Document,
         node: NodeId,
-        label: &str,
+        label: Sym,
         reqs: &[ChildReq],
         idx: usize,
-        plan: Vec<(String, Vec<Ob>)>,
+        plan: Vec<(Sym, Vec<Ob>)>,
         bindings: Bindings,
         depth: usize,
     ) -> Option<Bindings> {
@@ -363,13 +378,14 @@ impl<'a> Search<'a> {
             return self.realize_plan(doc, node, label, &plan, bindings, depth);
         }
         let req = &reqs[idx];
+        let graph = self.compiled.graph();
         // Option (a): open a new child occurrence for this requirement.
-        let candidate_labels: Vec<String> = match &req.label {
-            Some(l) => vec![l.clone()],
-            None => self.graph.successors(label).into_iter().collect(),
+        let candidate_labels: Vec<Sym> = match req.label {
+            Some(l) => vec![l],
+            None => graph.succ_syms(label).to_vec(),
         };
-        for candidate in &candidate_labels {
-            if !self.graph.successors(label).contains(candidate) {
+        for &candidate in &candidate_labels {
+            if !graph.has_edge(label, candidate) {
                 continue;
             }
             if !self.feasible(candidate, &req.obligations) {
@@ -379,14 +395,14 @@ impl<'a> Search<'a> {
             // covering the plan plus this new occurrence.
             let mut demand = CoverDemand::none();
             for (planned, _) in &plan {
-                demand = demand.require(planned.clone(), 1);
+                demand = demand.require(*planned, 1);
             }
-            demand = demand.require(candidate.clone(), 1);
-            if !xpsat_automata::word_with_multiplicities(&self.automata[label], &demand) {
+            demand = demand.require(candidate, 1);
+            if !xpsat_automata::word_with_multiplicities(self.compiled.automaton(label), &demand) {
                 continue;
             }
             let mut next_plan = plan.clone();
-            next_plan.push((candidate.clone(), req.obligations.clone()));
+            next_plan.push((candidate, req.obligations.clone()));
             if let Some(result) = self.assign(
                 doc,
                 node,
@@ -402,11 +418,11 @@ impl<'a> Search<'a> {
         }
         // Option (b): share an existing planned child.
         for j in 0..plan.len() {
-            let compatible = match &req.label {
-                Some(l) => plan[j].0 == *l,
+            let compatible = match req.label {
+                Some(l) => plan[j].0 == l,
                 None => true,
             };
-            if !compatible || !self.feasible(&plan[j].0, &req.obligations) {
+            if !compatible || !self.feasible(plan[j].0, &req.obligations) {
                 continue;
             }
             let mut next_plan = plan.clone();
@@ -433,20 +449,21 @@ impl<'a> Search<'a> {
         &mut self,
         doc: &mut Document,
         node: NodeId,
-        label: &str,
-        plan: &[(String, Vec<Ob>)],
+        label: Sym,
+        plan: &[(Sym, Vec<Ob>)],
         bindings: Bindings,
         depth: usize,
     ) -> Option<Bindings> {
         let doc_snapshot = doc.snapshot();
         let mut demand = CoverDemand::none();
         for (planned, _) in plan {
-            demand = demand.require(planned.clone(), 1);
+            demand = demand.require(*planned, 1);
         }
-        let word = xpsat_automata::shortest_covering_word(&self.automata[label], &demand)?;
-        let mut children = Vec::new();
-        for sym in &word {
-            children.push(doc.add_child(node, sym.clone()));
+        let word = xpsat_automata::shortest_covering_word(self.compiled.automaton(label), &demand)?;
+        let mut children: Vec<(NodeId, Sym)> = Vec::with_capacity(word.len());
+        for &sym in &word {
+            let child = doc.add_child(node, self.compiled.name(sym));
+            children.push((child, sym));
         }
         // Map each plan entry to a distinct occurrence of its label.
         let mut used = vec![false; children.len()];
@@ -455,9 +472,9 @@ impl<'a> Search<'a> {
             let found = children
                 .iter()
                 .enumerate()
-                .find(|(i, &c)| !used[*i] && doc.label(c) == planned_label);
+                .find(|(i, (_, sym))| !used[*i] && sym == planned_label);
             match found {
-                Some((i, &c)) => {
+                Some((i, &(c, _))) => {
                     used[i] = true;
                     planned_nodes.push(c);
                 }
@@ -468,10 +485,11 @@ impl<'a> Search<'a> {
             }
         }
         let mut current_bindings = bindings;
-        for (child, (_, obligations)) in planned_nodes.iter().zip(plan) {
+        for (child, (child_label, obligations)) in planned_nodes.iter().zip(plan) {
             match self.satisfy(
                 doc,
                 *child,
+                *child_label,
                 obligations.clone(),
                 current_bindings,
                 depth + 1,
@@ -483,9 +501,9 @@ impl<'a> Search<'a> {
                 }
             }
         }
-        for (i, &child) in children.iter().enumerate() {
+        for (i, &(child, _)) in children.iter().enumerate() {
             if !used[i] && doc.children(child).is_empty() {
-                self.generator.expand_minimal(doc, child);
+                self.compiled.generator().expand_minimal(doc, child);
             }
         }
         if check_constraints(&current_bindings) {
@@ -499,118 +517,127 @@ impl<'a> Search<'a> {
     /// Cheap over-approximation: can the obligations possibly be satisfied in a subtree
     /// rooted at an element of type `label`?  Ignores qualifiers and data values (an
     /// over-approximation, hence a sound pruning test).
-    fn feasible(&self, label: &str, obligations: &[Ob]) -> bool {
+    fn feasible(&self, label: Sym, obligations: &[Ob]) -> bool {
         obligations.iter().all(|ob| match ob {
             Ob::At(path, inner) => {
                 let targets = self.approx_reach(path, label);
-                targets.iter().any(|t| self.feasible(t, inner))
+                let mut ids = targets.iter();
+                ids.any(|t| self.feasible(Sym::from_index(t), inner))
             }
-            Ob::BindSlot(attr, _) => self.dtd.attributes(label).contains(attr),
+            Ob::BindSlot(attr, _) => self.compiled.has_attribute(label, attr),
             Ob::Qual(_) => true,
         })
     }
 
     /// Element types reachable from `from` via the navigational skeleton of `path`
-    /// (filters ignored).
-    fn approx_reach(&self, path: &Path, from: &str) -> BTreeSet<String> {
+    /// (filters ignored), as a bitset over element symbols.
+    fn approx_reach(&self, path: &Path, from: Sym) -> BitSet {
+        let graph = self.compiled.graph();
         match path {
-            Path::Empty => [from.to_string()].into_iter().collect(),
-            Path::Label(l) => {
-                if self.graph.successors(from).contains(l) {
-                    [l.clone()].into_iter().collect()
-                } else {
-                    BTreeSet::new()
+            Path::Empty => [from.index()].into_iter().collect(),
+            Path::Label(l) => match self.compiled.elem_sym(l) {
+                Some(target) if graph.has_edge(from, target) => {
+                    [target.index()].into_iter().collect()
                 }
-            }
-            Path::Wildcard => self.graph.successors(from),
+                _ => BitSet::new(),
+            },
+            Path::Wildcard => graph.succ_bits(from).clone(),
             Path::DescendantOrSelf => {
-                let mut s = self.graph.reachable_from(from);
-                s.insert(from.to_string());
+                let mut s = graph.reach_bits(from).clone();
+                s.insert(from.index());
                 s
             }
             Path::Seq(a, b) => {
-                let mut out = BTreeSet::new();
-                for mid in self.approx_reach(a, from) {
-                    out.extend(self.approx_reach(b, &mid));
+                let mut out = BitSet::new();
+                for mid in self.approx_reach(a, from).iter() {
+                    out.union_with(&self.approx_reach(b, Sym::from_index(mid)));
                 }
                 out
             }
             Path::Union(a, b) => {
                 let mut out = self.approx_reach(a, from);
-                out.extend(self.approx_reach(b, from));
+                out.union_with(&self.approx_reach(b, from));
                 out
             }
             Path::Filter(p, _) => self.approx_reach(p, from),
-            _ => BTreeSet::new(),
+            _ => BitSet::new(),
         }
     }
 }
 
 /// Check the accumulated value constraints by union-find over slots and constants.
 fn check_constraints(bindings: &Bindings) -> bool {
+    let mut keys = KeySpace::default();
     let mut uf = UnionFind::default();
-    let mut inequalities: Vec<(String, String)> = Vec::new();
+    let mut inequalities: Vec<(usize, usize)> = Vec::new();
     for (slot, op, value) in &bindings.const_constraints {
-        let a = slot_key(bindings, *slot);
-        let b = const_key(value);
+        let a = keys.slot_key(bindings, *slot);
+        let b = keys.const_key(value);
         match op {
-            CmpOp::Eq => uf.union(&a, &b),
+            CmpOp::Eq => uf.union(a, b),
             CmpOp::Ne => inequalities.push((a, b)),
         }
     }
     for (s1, op, s2) in &bindings.join_constraints {
-        let a = slot_key(bindings, *s1);
-        let b = slot_key(bindings, *s2);
+        let a = keys.slot_key(bindings, *s1);
+        let b = keys.slot_key(bindings, *s2);
         match op {
-            CmpOp::Eq => uf.union(&a, &b),
+            CmpOp::Eq => uf.union(a, b),
             CmpOp::Ne => inequalities.push((a, b)),
         }
     }
-    let constants: BTreeSet<&String> = bindings
-        .const_constraints
-        .iter()
-        .map(|(_, _, c)| c)
-        .collect();
-    let constants: Vec<&String> = constants.into_iter().collect();
-    for (i, c1) in constants.iter().enumerate() {
-        for c2 in constants.iter().skip(i + 1) {
-            if uf.find(&const_key(c1)) == uf.find(&const_key(c2)) {
+    let constants: Vec<usize> = keys.constant_ids();
+    for (i, &c1) in constants.iter().enumerate() {
+        for &c2 in constants.iter().skip(i + 1) {
+            if uf.find(c1) == uf.find(c2) {
                 return false;
             }
         }
     }
-    inequalities.iter().all(|(a, b)| uf.find(a) != uf.find(b))
+    inequalities
+        .into_iter()
+        .all(|(a, b)| uf.find(a) != uf.find(b))
 }
 
 /// Write concrete values into the witness according to the constraints: every
 /// equivalence class keeps its constant (if any) or receives a distinct fresh value.
 fn assign_values(doc: &mut Document, bindings: &Bindings) {
+    let mut keys = KeySpace::default();
     let mut uf = UnionFind::default();
     for (slot, op, value) in &bindings.const_constraints {
         if *op == CmpOp::Eq {
-            uf.union(&slot_key(bindings, *slot), &const_key(value));
+            let a = keys.slot_key(bindings, *slot);
+            let b = keys.const_key(value);
+            uf.union(a, b);
         }
     }
     for (s1, op, s2) in &bindings.join_constraints {
         if *op == CmpOp::Eq {
-            uf.union(&slot_key(bindings, *s1), &slot_key(bindings, *s2));
+            let a = keys.slot_key(bindings, *s1);
+            let b = keys.slot_key(bindings, *s2);
+            uf.union(a, b);
         }
     }
-    let mut class_value: BTreeMap<String, String> = BTreeMap::new();
+    let mut class_value: BTreeMap<usize, String> = BTreeMap::new();
     for (_, op, value) in &bindings.const_constraints {
         if *op == CmpOp::Eq {
-            class_value.insert(uf.find(&const_key(value)), value.clone());
+            let c = keys.const_key(value);
+            let root = uf.find(c);
+            class_value.insert(root, value.clone());
         }
     }
     let mut fresh = 0usize;
-    let mut assigned: BTreeMap<String, String> = BTreeMap::new();
+    let mut assigned: BTreeMap<usize, String> = BTreeMap::new();
     for (slot, (node, attr)) in &bindings.locations {
-        let class = uf.find(&slot_key(bindings, *slot));
+        let class = {
+            let k = keys.slot_key(bindings, *slot);
+            uf.find(k)
+        };
         let value = class_value.get(&class).cloned().unwrap_or_else(|| {
             assigned.get(&class).cloned().unwrap_or_else(|| {
                 fresh += 1;
                 let v = format!("_v{fresh}");
-                assigned.insert(class.clone(), v.clone());
+                assigned.insert(class, v.clone());
                 v
             })
         });
@@ -618,45 +645,100 @@ fn assign_values(doc: &mut Document, bindings: &Bindings) {
     }
 }
 
-fn slot_key(bindings: &Bindings, slot: SlotId) -> String {
-    match bindings.locations.get(&slot) {
-        Some((node, attr)) => format!("loc:{}:{attr}", node.0),
-        None => format!("slot:{slot}"),
-    }
-}
-
-fn const_key(c: &str) -> String {
-    format!("const:{c}")
-}
-
-/// A tiny string-keyed union-find.
+/// Integer key space for the union-find: locations, unbound slots and constants all map
+/// to dense ids (the former `String` keys were formatted and re-hashed per operation).
 #[derive(Default)]
-struct UnionFind {
-    parents: BTreeMap<String, String>,
+struct KeySpace<'a> {
+    locations: HashMap<(usize, &'a str), usize>,
+    slots: HashMap<usize, usize>,
+    constants: HashMap<&'a str, usize>,
+    next: usize,
 }
 
-impl UnionFind {
-    fn find(&mut self, x: &str) -> String {
-        let parent = self.parents.get(x).cloned();
-        match parent {
-            None => {
-                self.parents.insert(x.to_string(), x.to_string());
-                x.to_string()
+impl<'a> KeySpace<'a> {
+    fn fresh(&mut self) -> usize {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    fn slot_key(&mut self, bindings: &'a Bindings, slot: SlotId) -> usize {
+        match bindings.locations.get(&slot) {
+            Some((node, attr)) => {
+                let key = (node.0, attr.as_str());
+                if let Some(&id) = self.locations.get(&key) {
+                    id
+                } else {
+                    let id = self.fresh();
+                    self.locations.insert(key, id);
+                    id
+                }
             }
-            Some(p) if p == x => p,
-            Some(p) => {
-                let root = self.find(&p);
-                self.parents.insert(x.to_string(), root.clone());
-                root
+            None => {
+                if let Some(&id) = self.slots.get(&slot) {
+                    id
+                } else {
+                    let id = self.fresh();
+                    self.slots.insert(slot, id);
+                    id
+                }
             }
         }
     }
 
-    fn union(&mut self, a: &str, b: &str) {
+    fn const_key(&mut self, value: &'a str) -> usize {
+        if let Some(&id) = self.constants.get(value) {
+            id
+        } else {
+            let id = self.fresh();
+            self.constants.insert(value, id);
+            id
+        }
+    }
+
+    /// The ids of all distinct constants interned so far, in deterministic order.
+    fn constant_ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.constants.values().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// A tiny index-based union-find with path compression.
+#[derive(Default)]
+struct UnionFind {
+    parents: Vec<usize>,
+}
+
+impl UnionFind {
+    fn ensure(&mut self, x: usize) {
+        while self.parents.len() <= x {
+            let next = self.parents.len();
+            self.parents.push(next);
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        self.ensure(x);
+        let mut root = x;
+        while self.parents[root] != root {
+            root = self.parents[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parents[cur] != root {
+            let next = self.parents[cur];
+            self.parents[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
         let ra = self.find(a);
         let rb = self.find(b);
         if ra != rb {
-            self.parents.insert(ra, rb);
+            self.parents[ra] = rb;
         }
     }
 }
@@ -724,6 +806,14 @@ mod tests {
     }
 
     #[test]
+    fn undeclared_labels_are_unsatisfiable() {
+        let dtd = "r -> a; a -> #;";
+        check(dtd, "ghost", false);
+        check(dtd, "a[ghost]", false);
+        check(dtd, "*[lab() = ghost]", false);
+    }
+
+    #[test]
     fn data_value_constants() {
         let dtd = "r -> a; a -> #; @a: x;";
         check(dtd, "a[@x = \"1\"]", true);
@@ -762,6 +852,24 @@ mod tests {
         let dtd = parse_dtd("r -> a; a -> #;").unwrap();
         assert!(decide(&dtd, &parse_path("a/..").unwrap()).is_err());
         assert!(decide(&dtd, &parse_path("a[not(b)]").unwrap()).is_err());
+    }
+
+    #[test]
+    fn artifacts_can_be_reused_across_queries() {
+        let dtd = parse_dtd("r -> x1, x2; x1 -> t | f; x2 -> t | f; t -> #; f -> #;").unwrap();
+        let artifacts = DtdArtifacts::build(&dtd);
+        for (q, expected) in [
+            ("x1[t]", true),
+            ("x1[t and f]", false),
+            (".[x1[t] and x2[f]]", true),
+        ] {
+            let verdict = decide_with(&artifacts, &parse_path(q).unwrap()).unwrap();
+            assert_eq!(
+                matches!(verdict, Satisfiability::Satisfiable(_)),
+                expected,
+                "{q}"
+            );
+        }
     }
 
     #[test]

@@ -7,15 +7,16 @@
 //! forward transition between positions and a `←` hop a backward one, and a further
 //! downward step descends into the content model of the position's symbol.
 //!
-//! The walk is implemented as a BFS over configurations `(parent type, position)` with
+//! The walk is implemented as a DFS over configurations `(parent type, position)` with
 //! back-pointers, from which a witness document is reconstructed by laying out, per
-//! level, one children word containing all visited positions.
+//! level, one children word containing all visited positions.  The automata and their
+//! useful-state masks come precomputed from [`DtdArtifacts`]; the walk itself only
+//! touches interned [`Sym`]s and position indices.
 
 use crate::sat::{SatError, Satisfiability};
 use crate::witness::fill_missing_attributes;
 use std::collections::BTreeMap;
-use xpsat_automata::Nfa;
-use xpsat_dtd::{graph::prune_nonterminating, Dtd, TreeGenerator};
+use xpsat_dtd::{CompiledDtd, Dtd, DtdArtifacts, Sym, SymNfa};
 use xpsat_xmltree::Document;
 use xpsat_xpath::Path;
 
@@ -63,15 +64,32 @@ fn collect(p: &Path, out: &mut Vec<Step>) -> bool {
     }
 }
 
+/// A down-step with its label resolved against the symbol table (`None` when the label
+/// is not a declared element type, which makes the step unsatisfiable).
+#[derive(Debug, Clone, Copy)]
+enum SymStep {
+    Down(Option<Sym>),
+    Right,
+    Left,
+}
+
 /// Decide `(query, dtd)`; complete for the fragment reported by [`supports`].
+///
+/// Convenience wrapper that compiles the artifacts for one call; batch callers should
+/// build [`DtdArtifacts`] once and use [`decide_with`].
 pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
+    decide_with(&DtdArtifacts::build(dtd), query)
+}
+
+/// Decide `(query, dtd)` against precompiled artifacts.
+pub fn decide_with(artifacts: &DtdArtifacts, query: &Path) -> Result<Satisfiability, SatError> {
     let Some(steps) = flatten(query) else {
         return Err(SatError::UnsupportedFragment {
             engine: ENGINE,
             detail: format!("query {query} uses operators outside X(label, next-sib, prev-sib)"),
         });
     };
-    let Some(pruned) = prune_nonterminating(dtd) else {
+    let Some(compiled) = artifacts.compiled() else {
         return Ok(Satisfiability::Unsatisfiable);
     };
     // A query that starts with a sibling hop is unsatisfiable at the root (the root has
@@ -79,10 +97,13 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
     if matches!(steps.first(), Some(Step::Right) | Some(Step::Left)) {
         return Ok(Satisfiability::Unsatisfiable);
     }
-
-    let automata: BTreeMap<String, Nfa<String>> = pruned
-        .elements()
-        .map(|(name, decl)| (name.clone(), Nfa::glushkov(&decl.content)))
+    let steps: Vec<SymStep> = steps
+        .iter()
+        .map(|s| match s {
+            Step::Down(label) => SymStep::Down(compiled.elem_sym(label)),
+            Step::Right => SymStep::Right,
+            Step::Left => SymStep::Left,
+        })
         .collect();
 
     // A level of the search: the parent element type and the walk over the positions of
@@ -90,7 +111,7 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
     // so far, `cursor` the index of the current node within it.
     #[derive(Debug, Clone)]
     struct Level {
-        parent: String,
+        parent: Sym,
         laid: Vec<usize>,
         cursor: usize,
     }
@@ -98,53 +119,48 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
     // Depth-first search over the steps; levels form a stack (outer levels are frozen
     // once we descend, because the fragment cannot go back up).
     fn search(
-        steps: &[Step],
-        automata: &BTreeMap<String, Nfa<String>>,
+        steps: &[SymStep],
+        compiled: &CompiledDtd,
         level: &mut Level,
-    ) -> Option<Vec<(String, Vec<usize>, usize)>> {
+    ) -> Option<Vec<(Sym, Vec<usize>, usize)>> {
         let Some(step) = steps.first() else {
-            return Some(vec![(
-                level.parent.clone(),
-                level.laid.clone(),
-                level.cursor,
-            )]);
+            return Some(vec![(level.parent, level.laid.clone(), level.cursor)]);
         };
         let rest = &steps[1..];
-        let nfa = &automata[&level.parent];
-        let useful = nfa.useful_states();
+        let nfa = compiled.automaton(level.parent);
+        let useful = compiled.useful_states(level.parent);
         match step {
-            Step::Down(label) => {
+            SymStep::Down(label) => {
+                let label = (*label)?;
                 // Descend into the content model of the current position's symbol.
-                let current_symbol = nfa
+                let current_symbol = *nfa
                     .symbol_of(level.laid[level.cursor])
-                    .expect("positions carry symbols")
-                    .clone();
-                let child_nfa = automata.get(&current_symbol)?;
-                let child_useful = child_nfa.useful_states();
+                    .expect("positions carry symbols");
+                let child_nfa = compiled.automaton(current_symbol);
+                let child_useful = compiled.useful_states(current_symbol);
                 for position in 1..child_nfa.num_states() {
-                    if !child_useful.contains(&position)
-                        || child_nfa.symbol_of(position) != Some(label)
+                    if !child_useful.contains(position)
+                        || child_nfa.symbol_of(position) != Some(&label)
                     {
                         continue;
                     }
                     let mut child_level = Level {
-                        parent: current_symbol.clone(),
+                        parent: current_symbol,
                         laid: vec![position],
                         cursor: 0,
                     };
-                    if let Some(mut tail) = search(rest, automata, &mut child_level) {
-                        let mut result =
-                            vec![(level.parent.clone(), level.laid.clone(), level.cursor)];
+                    if let Some(mut tail) = search(rest, compiled, &mut child_level) {
+                        let mut result = vec![(level.parent, level.laid.clone(), level.cursor)];
                         result.append(&mut tail);
                         return Some(result);
                     }
                 }
                 None
             }
-            Step::Right => {
+            SymStep::Right => {
                 if level.cursor + 1 < level.laid.len() {
                     level.cursor += 1;
-                    let result = search(rest, automata, level);
+                    let result = search(rest, compiled, level);
                     level.cursor -= 1;
                     return result;
                 }
@@ -153,12 +169,12 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
                 let successors: Vec<usize> = nfa
                     .transitions_from(last)
                     .flat_map(|(_, succs)| succs.iter().copied())
-                    .filter(|s| useful.contains(s))
+                    .filter(|s| useful.contains(*s))
                     .collect();
                 for succ in successors {
                     level.laid.push(succ);
                     level.cursor += 1;
-                    if let Some(result) = search(rest, automata, level) {
+                    if let Some(result) = search(rest, compiled, level) {
                         return Some(result);
                     }
                     level.cursor -= 1;
@@ -166,10 +182,10 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
                 }
                 None
             }
-            Step::Left => {
+            SymStep::Left => {
                 if level.cursor > 0 {
                     level.cursor -= 1;
-                    let result = search(rest, automata, level);
+                    let result = search(rest, compiled, level);
                     level.cursor += 1;
                     return result;
                 }
@@ -177,7 +193,7 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
                 let first = level.laid[0];
                 let predecessors: Vec<usize> = (1..nfa.num_states())
                     .filter(|&q| {
-                        useful.contains(&q)
+                        useful.contains(q)
                             && nfa
                                 .step(q, nfa.symbol_of(first).expect("position"))
                                 .any(|t| t == first)
@@ -185,7 +201,7 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
                     .collect();
                 for pred in predecessors {
                     level.laid.insert(0, pred);
-                    if let Some(result) = search(rest, automata, level) {
+                    if let Some(result) = search(rest, compiled, level) {
                         return Some(result);
                     }
                     level.laid.remove(0);
@@ -196,32 +212,37 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
     }
 
     // The first step must be a Down into the root's content model.
-    let Some(Step::Down(first_label)) = steps.first().cloned() else {
+    let Some(SymStep::Down(first_label)) = steps.first().copied() else {
         // Empty query: trivially satisfiable by any conforming document.
-        let generator = TreeGenerator::new(&pruned);
-        let doc = generator
-            .minimal_tree(pruned.root())
+        let doc = compiled
+            .generator()
+            .minimal_tree(compiled.name(compiled.root()))
             .map(|mut d| {
-                fill_missing_attributes(&mut d, &pruned);
+                fill_missing_attributes(&mut d, compiled.dtd());
                 d
             })
             .ok_or(SatError::NonTerminatingRoot)?;
         return Ok(Satisfiability::Satisfiable(doc));
     };
+    let Some(first_label) = first_label else {
+        // The first label is not a declared element type.
+        return Ok(Satisfiability::Unsatisfiable);
+    };
 
-    let root_nfa = &automata[pruned.root()];
-    let root_useful = root_nfa.useful_states();
+    let root = compiled.root();
+    let root_nfa = compiled.automaton(root);
+    let root_useful = compiled.useful_states(root);
     for position in 1..root_nfa.num_states() {
-        if !root_useful.contains(&position) || root_nfa.symbol_of(position) != Some(&first_label) {
+        if !root_useful.contains(position) || root_nfa.symbol_of(position) != Some(&first_label) {
             continue;
         }
         let mut level = Level {
-            parent: pruned.root().to_string(),
+            parent: root,
             laid: vec![position],
             cursor: 0,
         };
-        if let Some(levels) = search(&steps[1..], &automata, &mut level) {
-            if let Some(doc) = build_witness(&pruned, &automata, &levels) {
+        if let Some(levels) = search(&steps[1..], compiled, &mut level) {
+            if let Some(doc) = build_witness(compiled, &levels) {
                 return Ok(Satisfiability::Satisfiable(doc));
             }
         }
@@ -230,17 +251,13 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
 }
 
 /// Materialise the per-level laid positions into a conforming document.
-fn build_witness(
-    dtd: &Dtd,
-    automata: &BTreeMap<String, Nfa<String>>,
-    levels: &[(String, Vec<usize>, usize)],
-) -> Option<Document> {
-    let generator = TreeGenerator::new(dtd);
-    let mut doc = Document::new(dtd.root());
+fn build_witness(compiled: &CompiledDtd, levels: &[(Sym, Vec<usize>, usize)]) -> Option<Document> {
+    let generator = compiled.generator();
+    let mut doc = Document::new(compiled.name(compiled.root()));
     let mut current = doc.root();
     for (parent_type, laid, cursor) in levels {
-        debug_assert_eq!(doc.label(current), parent_type);
-        let nfa = &automata[parent_type];
+        debug_assert_eq!(doc.label(current), compiled.name(*parent_type));
+        let nfa = compiled.automaton(*parent_type);
         // Full children word: shortest prefix from the start state to laid[0] (the
         // prefix *ends* at laid[0]), the remaining laid positions, and a shortest
         // suffix to acceptance.
@@ -253,7 +270,7 @@ fn build_witness(
 
         let mut next_current = None;
         for (i, position) in word_positions.iter().enumerate() {
-            let label = nfa.symbol_of(*position)?.clone();
+            let label = compiled.name(*nfa.symbol_of(*position)?);
             let child = doc.add_child(current, label);
             if i == cursor_index {
                 next_current = Some(child);
@@ -270,7 +287,7 @@ fn build_witness(
         current = descend_into;
     }
     generator.expand_minimal(&mut doc, current);
-    fill_missing_attributes(&mut doc, dtd);
+    fill_missing_attributes(&mut doc, compiled.dtd());
     Some(doc)
 }
 
@@ -278,7 +295,7 @@ fn build_witness(
 /// forward transitions; when `from == to`, returns just `[to]` if `to` is an entry
 /// position... — for our use `from` is the initial state, so the result is the prefix of
 /// a word ending at `to`.
-fn shortest_state_path(nfa: &Nfa<String>, from: usize, to: usize) -> Option<Vec<usize>> {
+fn shortest_state_path(nfa: &SymNfa, from: usize, to: usize) -> Option<Vec<usize>> {
     use std::collections::VecDeque;
     if from == to {
         return Some(vec![]);
@@ -316,7 +333,7 @@ fn shortest_state_path(nfa: &Nfa<String>, from: usize, to: usize) -> Option<Vec<
 }
 
 /// Shortest sequence of positions continuing from `state` to an accepting state.
-fn shortest_suffix_to_acceptance(nfa: &Nfa<String>, state: usize) -> Option<Vec<usize>> {
+fn shortest_suffix_to_acceptance(nfa: &SymNfa, state: usize) -> Option<Vec<usize>> {
     use std::collections::VecDeque;
     if nfa.is_accepting(state) {
         return Some(vec![]);
@@ -403,6 +420,13 @@ mod tests {
         check(dtd, "a/>", true);
         check(dtd, "a/>/>/>", true);
         check(dtd, "b/</>", true);
+    }
+
+    #[test]
+    fn undeclared_labels_are_unsatisfiable() {
+        let dtd = "r -> a; a -> #;";
+        check(dtd, "ghost", false);
+        check(dtd, "a/ghost", false);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //!   two-register machines) as generators of `(Dtd, Path)` instances.
 
 pub mod containment;
+pub mod corpus;
 pub mod engines;
 pub mod reductions;
 pub mod sat;

@@ -2,7 +2,7 @@
 //!
 //! The paper's message is that the complexity of `SAT(X)` depends on the operators the
 //! query uses and on the class of the DTD.  [`Solver::decide`] re-enacts that message
-//! operationally: it inspects the query's [`Features`] and the DTD's [`DtdClass`] and
+//! operationally: it inspects the query's [`Features`] and the DTD's [`xpsat_dtd::DtdClass`] and
 //! picks
 //!
 //! 1. the PTIME reachability engine for `X(↓, ↓*, ∪)` (Theorem 4.1),
@@ -20,7 +20,7 @@
 use crate::engines::enumeration::EnumerationLimits;
 use crate::engines::{djfree, downward, enumeration, negation, nodtd, positive, sibling};
 use crate::sat::Satisfiability;
-use xpsat_dtd::{classify, Dtd};
+use xpsat_dtd::{Dtd, DtdArtifacts};
 use xpsat_xpath::{Features, Path};
 
 /// Which decision procedure produced a verdict.
@@ -90,12 +90,22 @@ impl Solver {
     }
 
     /// Decide whether some document conforms to `dtd` and satisfies `query`.
+    ///
+    /// Compiles the per-DTD artifacts for this one call.  Batch callers (the service
+    /// workspace, benchmark loops) should build [`DtdArtifacts`] once per DTD and use
+    /// [`Solver::decide_with_artifacts`] so preprocessing is amortised across queries.
     pub fn decide(&self, dtd: &Dtd, query: &Path) -> Decision {
+        self.decide_with_artifacts(&DtdArtifacts::build(dtd), query)
+    }
+
+    /// Decide against precompiled artifacts: no engine re-derives classification,
+    /// graph reachability, pruning or Glushkov automata inside this call.
+    pub fn decide_with_artifacts(&self, artifacts: &DtdArtifacts, query: &Path) -> Decision {
         let features = Features::of_path(query);
-        let class = classify(dtd);
+        let class = artifacts.class();
 
         if downward::supports(query) {
-            if let Ok(result) = downward::decide(dtd, query) {
+            if let Ok(result) = downward::decide_with(artifacts, query) {
                 return Decision {
                     result,
                     engine: EngineKind::Downward,
@@ -104,7 +114,7 @@ impl Solver {
             }
         }
         if sibling::supports(query) {
-            if let Ok(result) = sibling::decide(dtd, query) {
+            if let Ok(result) = sibling::decide_with(artifacts, query) {
                 return Decision {
                     result,
                     engine: EngineKind::Sibling,
@@ -115,8 +125,8 @@ impl Solver {
         if positive::supports(query) {
             // Prefer the PTIME decision under disjunction-free DTDs; the witness (when
             // needed) still comes from the positive engine, which is complete here too.
-            if !features.data_value && djfree::supports_dtd(dtd) && djfree::supports_query(query) {
-                if let Ok(false) = djfree::decide(dtd, query) {
+            if !features.data_value && class.disjunction_free && djfree::supports_query(query) {
+                if let Ok(false) = djfree::decide_with(artifacts, query) {
                     return Decision {
                         result: Satisfiability::Unsatisfiable,
                         engine: EngineKind::DisjunctionFree,
@@ -124,7 +134,7 @@ impl Solver {
                     };
                 }
             }
-            if let Ok(result) = positive::decide(dtd, query) {
+            if let Ok(result) = positive::decide_with(artifacts, query) {
                 return Decision {
                     result,
                     engine: EngineKind::Positive,
@@ -133,7 +143,7 @@ impl Solver {
             }
         }
         if negation::supports(query) {
-            if let Ok(result) = negation::decide(dtd, query) {
+            if let Ok(result) = negation::decide_with(artifacts, query) {
                 return Decision {
                     result,
                     engine: EngineKind::NegationFixpoint,
@@ -157,21 +167,23 @@ impl Solver {
                     engine: EngineKind::Rewritten,
                     complete: true,
                 },
-                Some(rewritten) => match positive::decide(dtd, &rewritten) {
+                Some(rewritten) => match positive::decide_with(artifacts, &rewritten) {
                     Ok(result) => Decision {
                         result,
                         engine: EngineKind::Rewritten,
                         complete: true,
                     },
-                    Err(_) => self.enumerate(dtd, query, &class),
+                    Err(_) => self.enumerate(artifacts, query),
                 },
             };
         }
         // Nonrecursive DTDs: eliminate the recursive axes (Proposition 6.1) and try the
         // dispatch once more; this turns e.g. the EXPTIME fragment into the PSPACE one.
         if features.has_recursion() && !class.recursive {
-            if let Some(rewritten) = crate::transform::eliminate_recursion_for(dtd, query) {
-                let inner = self.decide_no_recursion_retry(dtd, &rewritten, &class);
+            if let Some(rewritten) =
+                crate::transform::eliminate_recursion_with(class.depth_bound, query)
+            {
+                let inner = self.decide_no_recursion_retry(artifacts, &rewritten);
                 if inner.result.is_definite() {
                     return Decision {
                         result: inner.result,
@@ -181,18 +193,13 @@ impl Solver {
                 }
             }
         }
-        self.enumerate(dtd, query, &class)
+        self.enumerate(artifacts, query)
     }
 
     /// Second-round dispatch used after recursion elimination (never recurses further).
-    fn decide_no_recursion_retry(
-        &self,
-        dtd: &Dtd,
-        query: &Path,
-        class: &xpsat_dtd::DtdClass,
-    ) -> Decision {
+    fn decide_no_recursion_retry(&self, artifacts: &DtdArtifacts, query: &Path) -> Decision {
         if positive::supports(query) {
-            if let Ok(result) = positive::decide(dtd, query) {
+            if let Ok(result) = positive::decide_with(artifacts, query) {
                 return Decision {
                     result,
                     engine: EngineKind::Positive,
@@ -201,7 +208,7 @@ impl Solver {
             }
         }
         if negation::supports(query) {
-            if let Ok(result) = negation::decide(dtd, query) {
+            if let Ok(result) = negation::decide_with(artifacts, query) {
                 return Decision {
                     result,
                     engine: EngineKind::NegationFixpoint,
@@ -209,12 +216,13 @@ impl Solver {
                 };
             }
         }
-        self.enumerate(dtd, query, class)
+        self.enumerate(artifacts, query)
     }
 
-    fn enumerate(&self, dtd: &Dtd, query: &Path, class: &xpsat_dtd::DtdClass) -> Decision {
-        let result = enumeration::decide(dtd, query, &self.config.enumeration);
-        let exhaustive = enumeration::is_exhaustive_for(dtd, &self.config.enumeration)
+    fn enumerate(&self, artifacts: &DtdArtifacts, query: &Path) -> Decision {
+        let class = artifacts.class();
+        let result = enumeration::decide_with(artifacts, query, &self.config.enumeration);
+        let exhaustive = enumeration::is_exhaustive_for_class(class, &self.config.enumeration)
             || result.is_definite() && !class.recursive && !class.has_star;
         Decision {
             result,

@@ -44,7 +44,13 @@ pub fn normalize_instance(dtd: &Dtd, query: &Path) -> (Normalization, Path) {
 /// chains.  Returns `None` when the DTD is recursive (the rewriting would be unsound).
 pub fn eliminate_recursion_for(dtd: &Dtd, query: &Path) -> Option<Path> {
     let class = classify(dtd);
-    let bound = class.depth_bound?;
+    eliminate_recursion_with(class.depth_bound, query)
+}
+
+/// [`eliminate_recursion_for`] given an already-known depth bound (from precomputed
+/// [`xpsat_dtd::DtdArtifacts`]), so the caller does not re-classify the DTD per query.
+pub fn eliminate_recursion_with(depth_bound: Option<usize>, query: &Path) -> Option<Path> {
+    let bound = depth_bound?;
     Some(xpsat_xpath::rewrite::eliminate_recursion(query, bound))
 }
 

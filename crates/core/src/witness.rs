@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 use xpsat_automata::{CoverDemand, Nfa};
-use xpsat_dtd::{Dtd, TreeGenerator};
+use xpsat_dtd::{CompiledDtd, Dtd, Sym, TreeGenerator};
 use xpsat_xmltree::{Document, NodeId};
 
 /// Build a conforming document containing a root-to-leaf chain of elements whose labels
@@ -44,6 +44,38 @@ pub fn materialize_chain(
     }
     generator.expand_minimal(&mut doc, current);
     fill_missing_attributes(&mut doc, dtd);
+    Some(doc)
+}
+
+/// [`materialize_chain`] over a compiled DTD: the chain is given in interned symbols and
+/// the children words come from the precompiled content-model automata, so nothing is
+/// re-derived per call.
+pub fn materialize_chain_compiled(compiled: &CompiledDtd, chain: &[Sym]) -> Option<Document> {
+    let mut doc = Document::new(compiled.name(compiled.root()));
+    let mut current = doc.root();
+    let mut current_sym = compiled.root();
+    for &step in chain {
+        let nfa = compiled.automaton(current_sym);
+        let demand = CoverDemand::none().require(step, 1);
+        let word = xpsat_automata::shortest_covering_word(nfa, &demand)?;
+        let mut chain_child = None;
+        for sym in word {
+            let child = doc.add_child(current, compiled.name(sym));
+            if chain_child.is_none() && sym == step {
+                chain_child = Some(child);
+            }
+        }
+        let children: Vec<NodeId> = doc.children(current).to_vec();
+        for child in children {
+            if Some(child) != chain_child {
+                compiled.generator().expand_minimal(&mut doc, child);
+            }
+        }
+        current = chain_child?;
+        current_sym = step;
+    }
+    compiled.generator().expand_minimal(&mut doc, current);
+    fill_missing_attributes(&mut doc, compiled.dtd());
     Some(doc)
 }
 

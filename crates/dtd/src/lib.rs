@@ -15,21 +15,25 @@
 //! * the "universal" DTD of Proposition 3.1 used to reduce DTD-free satisfiability to
 //!   the DTD-aware problem.
 
+pub mod artifacts;
 pub mod classify;
 pub mod dtd;
 pub mod generate;
 pub mod graph;
 pub mod normalize;
 pub mod parse;
+pub mod symbols;
 pub mod universal;
 pub mod validate;
 
+pub use artifacts::{CompiledDtd, DtdArtifacts, SymNfa};
 pub use classify::{classify, DtdClass};
 pub use dtd::{Dtd, ElementDecl};
 pub use generate::TreeGenerator;
 pub use graph::DtdGraph;
 pub use normalize::{normalize, Normalization};
 pub use parse::parse_dtd;
+pub use symbols::{Sym, SymbolTable};
 pub use universal::universal_dtd;
 pub use validate::{validate, ValidationError};
 

@@ -1,0 +1,119 @@
+//! Interned symbols: dense `u32` ids for element-type and attribute names.
+//!
+//! Every per-query algorithm in the paper runs over structures whose vertices are the
+//! element types of one fixed DTD.  Keying those structures by `String` makes each
+//! lookup a hash/compare over the name bytes and each set a `BTreeSet<String>`;
+//! interning the names once per DTD turns them into dense `Sym(u32)` ids, so adjacency
+//! becomes `Vec<Vec<Sym>>`, type sets become bitsets and the hot paths never touch a
+//! string again.  Names are interned in sorted order, which keeps the ids (and thus
+//! every downstream iteration order) deterministic run-to-run.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned name: a dense index into the owning [`SymbolTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The dense index (usable directly as a `Vec` index).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a symbol from an index obtained through [`Sym::index`].
+    pub fn from_index(index: usize) -> Sym {
+        Sym(u32::try_from(index).expect("symbol index fits in u32"))
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({})", self.0)
+    }
+}
+
+/// A bidirectional map between names and dense [`Sym`] ids.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, Sym>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Intern `name`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&sym) = self.index.get(name) {
+            return sym;
+        }
+        let sym = Sym(u32::try_from(self.names.len()).expect("symbol count fits in u32"));
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), sym);
+        sym
+    }
+
+    /// The id of `name`, if it has been interned.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.index.get(name).copied()
+    }
+
+    /// The name behind an id.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_dense_and_stable() {
+        let mut table = SymbolTable::new();
+        let a = table.intern("a");
+        let b = table.intern("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(table.intern("a"), a);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.name(a), "a");
+        assert_eq!(table.lookup("b"), Some(b));
+        assert_eq!(table.lookup("zzz"), None);
+        assert_eq!(Sym::from_index(a.index()), a);
+    }
+
+    #[test]
+    fn iteration_follows_id_order() {
+        let mut table = SymbolTable::new();
+        for name in ["r", "a", "m"] {
+            table.intern(name);
+        }
+        let names: Vec<&str> = table.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["r", "a", "m"]);
+        let ids: Vec<usize> = table.iter().map(|(s, _)| s.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

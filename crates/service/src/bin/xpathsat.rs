@@ -266,7 +266,10 @@ fn cmd_classify(args: &[String]) -> Result<(), CliError> {
         "normalisation N(D): {} fresh types",
         artifacts.normalization.new_types.len()
     );
-    println!("content automata:   {}", artifacts.automata.len());
+    println!(
+        "content automata:   {}",
+        artifacts.compiled.automata_count()
+    );
     Ok(())
 }
 
@@ -277,10 +280,12 @@ fn cmd_bench_gen(args: &[String]) -> Result<(), CliError> {
             "bench-gen takes no positional arguments".into(),
         ));
     }
-    let dtd = xpsat_bench::layered_dtd(options.depth, options.width);
+    let dtd = xpsat_core::corpus::layered_dtd(options.depth, options.width);
     let mut rng = StdRng::seed_from_u64(options.seed);
     let queries: Vec<Json> = (0..options.queries)
-        .map(|_| Json::Str(xpsat_bench::random_positive_query(&mut rng, &dtd, 3).to_string()))
+        .map(|_| {
+            Json::Str(xpsat_core::corpus::random_positive_query(&mut rng, &dtd, 3).to_string())
+        })
         .collect();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();

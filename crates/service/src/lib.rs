@@ -7,8 +7,8 @@
 //! tractable fragments that dominate real-world workloads.  This crate is the
 //! architectural seam that exploits that shape at service scale:
 //!
-//! * [`Workspace`] — register a DTD once; classification ([`xpsat_dtd::classify`]),
-//!   normalisation ([`xpsat_dtd::normalize`]) and the Glushkov automata of every
+//! * [`Workspace`] — register a DTD once; classification ([`xpsat_dtd::classify()`]),
+//!   normalisation ([`xpsat_dtd::normalize()`]) and the Glushkov automata of every
 //!   content model are computed once and cached as [`DtdArtifacts`].  Queries are
 //!   interned by canonical text ([`QueryId`]), and decisions are memoised per
 //!   `(DtdId, QueryId)` with engine provenance ([`ServedDecision`]).
@@ -96,8 +96,10 @@ mod tests {
             artifacts.normalization.dtd,
             xpsat_dtd::normalize(&direct).dtd
         );
+        let compiled = artifacts.compiled.compiled().unwrap();
         for (name, decl) in direct.elements() {
-            let nfa = &artifacts.automata[name];
+            let sym = compiled.elem_sym(name).unwrap();
+            let nfa = compiled.automaton(sym);
             // Spot-check the automaton against the content model on short words.
             if let Some(word) = nfa.shortest_word() {
                 assert!(nfa.accepts(&word));

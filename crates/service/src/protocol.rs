@@ -201,7 +201,10 @@ impl ProtocolServer {
                 "normalization_new_types",
                 Json::Num(artifacts.normalization.new_types.len() as f64),
             ),
-            ("automata", Json::Num(artifacts.automata.len() as f64)),
+            (
+                "automata",
+                Json::Num(artifacts.compiled.automata_count() as f64),
+            ),
         ]))
     }
 

@@ -53,9 +53,9 @@ pub struct StatsSnapshot {
     pub dtds_registered: u64,
     /// `register_dtd` calls served by the canonical-text dedup table.
     pub dtds_reused: u64,
-    /// How many times [`xpsat_dtd::classify`] actually ran.
+    /// How many times [`xpsat_dtd::classify()`] actually ran.
     pub classifications: u64,
-    /// How many times [`xpsat_dtd::normalize`] actually ran.
+    /// How many times [`xpsat_dtd::normalize()`] actually ran.
     pub normalizations: u64,
     /// Content-model Glushkov automata constructed (one per element type, at
     /// registration).

@@ -13,12 +13,11 @@
 //! be shared across the worker threads of [`Workspace::decide_batch`].
 
 use crate::stats::{CacheStats, StatsSnapshot};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use xpsat_automata::Nfa;
 use xpsat_core::{Decision, EngineKind, Solver, SolverConfig};
-use xpsat_dtd::{classify, normalize, parse_dtd, Dtd, DtdClass, Normalization};
+use xpsat_dtd::{normalize, parse_dtd, Dtd, DtdClass, Normalization};
 use xpsat_xpath::{parse_path, Path};
 
 /// Handle of a registered DTD.
@@ -54,8 +53,11 @@ pub struct DtdArtifacts {
     pub class: DtdClass,
     /// The normalisation `N(D)` of Proposition 3.3.
     pub normalization: Normalization,
-    /// Glushkov NFA of every element type's content model, keyed by element name.
-    pub automata: BTreeMap<String, Nfa<String>>,
+    /// The compiled solver artifacts: interned symbols, pruned DTD, dense DTD graph
+    /// with reachability closure, and the Glushkov automaton of every content model.
+    /// Handed to [`xpsat_core::Solver::decide_with_artifacts`] on every decision so the
+    /// engines never recompute per-DTD structure.
+    pub compiled: xpsat_dtd::DtdArtifacts,
 }
 
 /// An interned query: the parsed path plus its canonical rendering.
@@ -158,14 +160,11 @@ impl Workspace {
             return id;
         }
         CacheStats::bump(&self.stats.classifications);
-        let class = classify(&dtd);
         CacheStats::bump(&self.stats.normalizations);
         let normalization = normalize(&dtd);
-        let mut automata = BTreeMap::new();
-        for (name, decl) in dtd.elements() {
-            automata.insert(name.clone(), Nfa::glushkov(&decl.content));
-        }
-        CacheStats::add(&self.stats.automata_built, automata.len() as u64);
+        let compiled = xpsat_dtd::DtdArtifacts::build(&dtd);
+        let class = compiled.class().clone();
+        CacheStats::add(&self.stats.automata_built, compiled.automata_count() as u64);
         CacheStats::bump(&self.stats.dtds_registered);
         let id = DtdId(self.dtds.len());
         self.dtds.push(DtdArtifacts {
@@ -173,7 +172,7 @@ impl Workspace {
             canonical: canonical.clone(),
             class,
             normalization,
-            automata,
+            compiled,
         });
         self.dtd_by_canonical.insert(canonical, id);
         id
@@ -243,7 +242,7 @@ impl Workspace {
         }
         let decision = self
             .solver
-            .decide(&artifacts.dtd, &self.queries[query.0].path);
+            .decide_with_artifacts(&artifacts.compiled, &self.queries[query.0].path);
         CacheStats::bump(&self.stats.decisions_computed);
         let mut cache = self.cache.lock().unwrap();
         let stored = cache.entry(key).or_insert(decision);
@@ -294,8 +293,10 @@ impl Workspace {
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&q) = missing.get(i) else { break };
-                            let decision =
-                                self.solver.decide(&artifacts.dtd, &self.queries[q.0].path);
+                            let decision = self.solver.decide_with_artifacts(
+                                &artifacts.compiled,
+                                &self.queries[q.0].path,
+                            );
                             local.push((q, decision));
                         }
                         computed.lock().unwrap().extend(local);
