@@ -74,6 +74,49 @@ impl BitSet {
             .any(|(a, b)| a & b != 0)
     }
 
+    /// Keep only the elements also in `other`; returns `true` when `self` shrank.
+    /// One AND per 64-element block.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut shrank = false;
+        for (i, dst) in self.blocks.iter_mut().enumerate() {
+            let src = other.blocks.get(i).copied().unwrap_or(0);
+            let masked = *dst & src;
+            shrank |= masked != *dst;
+            *dst = masked;
+        }
+        if shrank {
+            self.normalize();
+        }
+        shrank
+    }
+
+    /// Is every element of `self` also in `other`?  One AND-compare per block; blocks
+    /// beyond `other`'s length must be zero (the representation is canonical, so they
+    /// never are unless `self` is longer *and* nonempty there).
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        if self.blocks.len() > other.blocks.len() {
+            return false; // canonical form: a longer block vector has a high bit set
+        }
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// The union of the two sets as a new set.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let (longer, shorter) = if self.blocks.len() >= other.blocks.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut blocks = longer.blocks.clone();
+        for (dst, &src) in blocks.iter_mut().zip(&shorter.blocks) {
+            *dst |= src;
+        }
+        BitSet { blocks }
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.blocks.iter().map(|b| b.count_ones() as usize).sum()
@@ -176,6 +219,35 @@ mod tests {
         keys.insert(a.clone());
         keys.insert(b);
         assert_eq!(keys.len(), 1);
+    }
+
+    #[test]
+    fn word_level_fast_paths() {
+        let a: BitSet = [1, 5, 100, 130].into_iter().collect();
+        let b: BitSet = [5, 100].into_iter().collect();
+        assert!(b.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        assert!(a.is_subset_of(&a));
+        assert!(BitSet::new().is_subset_of(&b));
+        assert!(!b.is_subset_of(&BitSet::new()));
+
+        let u = a.union(&b);
+        assert_eq!(u, a);
+        let c: BitSet = [2, 200].into_iter().collect();
+        let u2 = a.union(&c);
+        assert_eq!(u2.iter().collect::<Vec<_>>(), vec![1, 2, 5, 100, 130, 200]);
+
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i, b);
+        // Intersection result stays canonical even when high blocks vanish.
+        let mut high: BitSet = [700].into_iter().collect();
+        assert!(high.intersect_with(&b));
+        assert!(high.is_empty());
+        assert_eq!(high, BitSet::new());
+        let mut same = b.clone();
+        assert!(!same.intersect_with(&a));
+        assert_eq!(same, b);
     }
 
     #[test]

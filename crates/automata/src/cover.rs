@@ -15,7 +15,7 @@
 
 use crate::nfa::{Nfa, StateId};
 use crate::Symbol;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 /// A demand on the children sequence of a node: which symbols are allowed at all and how
 /// many occurrences of particular symbols are required at minimum.
@@ -72,8 +72,8 @@ pub fn shortest_covering_word<S: Symbol>(nfa: &Nfa<S>, demand: &CoverDemand<S>) 
 
     type Key = (StateId, Vec<usize>);
     let start: Key = (nfa.start(), start_counts);
-    let mut pred: BTreeMap<Key, (Key, S)> = BTreeMap::new();
-    let mut seen: BTreeSet<Key> = BTreeSet::new();
+    let mut pred: HashMap<Key, (Key, S)> = HashMap::new();
+    let mut seen: HashSet<Key> = HashSet::new();
     let mut queue: VecDeque<Key> = VecDeque::new();
     seen.insert(start.clone());
     queue.push_back(start.clone());
@@ -125,9 +125,50 @@ pub fn shortest_covering_word<S: Symbol>(nfa: &Nfa<S>, demand: &CoverDemand<S>) 
 
 /// Does the language contain a word with at least the demanded multiplicities
 /// (and within the allowed alphabet)?  Equivalent to `shortest_covering_word(..).is_some()`
-/// but without materialising the word.
+/// but without materialising the word — the decision BFS skips the predecessor map
+/// entirely (the backtracking searches of the positive engine call this in their inner
+/// loop and only materialise a word once per accepted plan).
 pub fn word_with_multiplicities<S: Symbol>(nfa: &Nfa<S>, demand: &CoverDemand<S>) -> bool {
-    shortest_covering_word(nfa, demand).is_some()
+    let demanded: Vec<(&S, usize)> = demand.required.iter().map(|(s, &k)| (s, k)).collect();
+    let goal: Vec<usize> = demanded.iter().map(|&(_, k)| k).collect();
+    let start_counts: Vec<usize> = vec![0; demanded.len()];
+
+    type Key = (StateId, Vec<usize>);
+    let is_goal = |nfa: &Nfa<S>, key: &Key, goal: &[usize]| -> bool {
+        nfa.is_accepting(key.0) && key.1.iter().zip(goal).all(|(c, g)| c >= g)
+    };
+    let start: Key = (nfa.start(), start_counts);
+    if is_goal(nfa, &start, &goal) {
+        return true;
+    }
+    let mut seen: HashSet<Key> = HashSet::new();
+    let mut queue: VecDeque<Key> = VecDeque::new();
+    seen.insert(start.clone());
+    queue.push_back(start);
+    while let Some(key) = queue.pop_front() {
+        let (q, counts) = &key;
+        for (sym, succs) in nfa.transitions_from(*q) {
+            if !demand.symbol_allowed(sym) {
+                continue;
+            }
+            let mut next_counts = counts.clone();
+            for (i, (dsym, _)) in demanded.iter().enumerate() {
+                if *dsym == sym && next_counts[i] < goal[i] {
+                    next_counts[i] += 1;
+                }
+            }
+            for &t in succs {
+                let next: Key = (t, next_counts.clone());
+                if seen.insert(next.clone()) {
+                    if is_goal(nfa, &next, &goal) {
+                        return true;
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    false
 }
 
 #[cfg(test)]

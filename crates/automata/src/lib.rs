@@ -26,7 +26,7 @@ pub mod regex;
 
 pub use bitset::BitSet;
 pub use cover::{shortest_covering_word, shortest_word, word_with_multiplicities, CoverDemand};
-pub use dfa::Dfa;
+pub use dfa::{DenseDfa, Dfa, DENSE_DEAD};
 pub use nfa::{Nfa, StateId};
 pub use regex::Regex;
 

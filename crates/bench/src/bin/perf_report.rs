@@ -10,9 +10,18 @@
 //! * **warm** — `Solver::decide_with_artifacts` against artifacts built once, the
 //!   one-compile-many-queries flow the service uses.
 //!
-//! It also times the warm-workspace batch path: `Workspace::decide_batch` over a corpus
-//! of 100+ distinct queries on one registered DTD (single-threaded, empty decision
-//! cache) against the cold per-query loop.
+//! It also times:
+//!
+//! * a **negation-heavy bucket** — a larger corpus of nested-negation queries over
+//!   richer DTDs, all dispatching to the EXPTIME fixpoint engine (the engine the
+//!   dirty-worklist rework targets);
+//! * the warm-workspace batch path: `Workspace::decide_batch` over a corpus of 100+
+//!   distinct queries on one registered DTD (single-threaded, empty decision cache)
+//!   against the cold per-query loop;
+//! * a **thread-scaling sweep** of the same batch at 1/2/4/8 workers (fresh workspace
+//!   per run).  The report records the host's `available_parallelism` alongside — on a
+//!   single-core container the sweep measures scheduling overhead, not parallel
+//!   speedup, and readers must interpret it against the `cpus` field.
 //!
 //! The medians (nanoseconds per query) are written as JSON to `BENCH_xpsat.json` at the
 //! repo root so successive PRs have a trajectory to compare against:
@@ -23,7 +32,9 @@
 //! ```
 //!
 //! Absolute numbers are machine-dependent; the tracked signals are the per-engine
-//! trend across commits and the cold/warm ratio (artifact reuse paying off).
+//! trend across commits and the cold/warm ratio (artifact reuse paying off).  The CI
+//! perf-regression step compares the warm medians of a fresh run against the committed
+//! baseline and fails on >25% regressions.
 
 use std::time::Instant;
 use xpsat_bench::{chain_query, random_positive_query, rng};
@@ -115,6 +126,31 @@ fn corpus() -> Vec<EngineCorpus> {
             queries: paths(&["a/>[lab() = b]", ".[a and not(b)]/a/..", "b/<[c]"]),
         },
     ]
+}
+
+/// The negation-heavy bucket: nested and conjoined negations over two DTD shapes that
+/// stress the fixpoint (wide independent choices and a recursive chain), all within
+/// `X(↓, ↓*, ∪, [], ¬)` so every query dispatches to the negation-fixpoint engine.
+fn negation_heavy_corpus() -> (Dtd, Vec<Path>) {
+    let dtd = parse_dtd(
+        "r -> x1, x2, x3, x4, chain; x1 -> t | f; x2 -> t | f; x3 -> t | f; x4 -> t | f; \
+         t -> #; f -> #; chain -> (chain, leaf) | leaf; leaf -> a?, b?; a -> #; b -> #;",
+    )
+    .unwrap();
+    let texts = [
+        ".[not(x1/t)]",
+        ".[not(x1/t) and not(x2/t) and not(x3/t) and not(x4/t)]",
+        ".[not(x1/t) and x1/f and not(x2/f)]",
+        ".[not(x1/t) and not(x1/f)]",
+        "**[lab() = leaf and not(a)]",
+        "**[lab() = leaf and not(a) and not(b)]",
+        "**[lab() = chain and not(chain[leaf[a]])]",
+        ".[chain and not(chain/leaf/a) and not(chain/leaf/b)]",
+        ".[not(**[lab() = leaf and a])]",
+        ".[not(x1[t]) and not(x2[f]) and **[lab() = leaf and not(b)]]",
+    ];
+    let queries = texts.iter().map(|t| parse_path(t).unwrap()).collect();
+    (dtd, queries)
 }
 
 /// The distinct-query corpus for the batch benchmark: seeded random positive queries
@@ -228,6 +264,35 @@ fn main() {
         ));
     }
 
+    // Negation-heavy bucket: the EXPTIME fixpoint engine under a workload an order of
+    // magnitude wider than its per-engine corpus row.
+    let (neg_dtd, neg_qs) = negation_heavy_corpus();
+    let neg_artifacts = DtdArtifacts::build(&neg_dtd);
+    let neg_dispatch_ok = neg_qs.iter().all(|q| {
+        engine_slug(solver.decide_with_artifacts(&neg_artifacts, q).engine) == "negation-fixpoint"
+    });
+    if !neg_dispatch_ok {
+        eprintln!("warning: negation-heavy corpus has queries dispatching elsewhere");
+    }
+    let neg_cold_ns = time_per_query(iters, neg_qs.len(), || {
+        for q in &neg_qs {
+            std::hint::black_box(solver.decide(&neg_dtd, q));
+        }
+    });
+    let neg_warm_ns = time_per_query(iters, neg_qs.len(), || {
+        for q in &neg_qs {
+            std::hint::black_box(solver.decide_with_artifacts(&neg_artifacts, q));
+        }
+    });
+    println!(
+        "negation-heavy ({} queries)  cold {} ns/q   warm {} ns/q   speedup {:.2}x   dispatch_ok {}",
+        neg_qs.len(),
+        json_f64(neg_cold_ns),
+        json_f64(neg_warm_ns),
+        neg_cold_ns / neg_warm_ns,
+        neg_dispatch_ok
+    );
+
     // Warm-workspace batch path vs the cold per-query loop.
     let (batch_dtd, batch_qs) = batch_corpus(batch_queries);
     let cold_loop_ns = time_per_query(iters, batch_qs.len(), || {
@@ -235,7 +300,7 @@ fn main() {
             std::hint::black_box(solver.decide(&batch_dtd, q));
         }
     });
-    let warm_workspace_ns = {
+    let time_warm_batch = |threads: usize| -> f64 {
         let samples: Vec<f64> = (0..iters)
             .map(|_| {
                 // Fresh workspace per iteration so the decision cache is empty and the
@@ -244,12 +309,13 @@ fn main() {
                 let dtd_id = ws.register_dtd_value(batch_dtd.clone());
                 let ids: Vec<_> = batch_qs.iter().map(|q| ws.intern_path(q.clone())).collect();
                 let start = Instant::now();
-                std::hint::black_box(ws.decide_batch(dtd_id, &ids, 1).unwrap());
+                std::hint::black_box(ws.decide_batch(dtd_id, &ids, threads).unwrap());
                 start.elapsed().as_nanos() as f64 / batch_qs.len() as f64
             })
             .collect();
         median(samples)
     };
+    let warm_workspace_ns = time_warm_batch(1);
     println!(
         "batch ({} queries)  cold-loop {} ns/q   warm-workspace {} ns/q   speedup {:.2}x",
         batch_qs.len(),
@@ -258,13 +324,49 @@ fn main() {
         cold_loop_ns / warm_workspace_ns
     );
 
+    // Thread-scaling sweep over the same warm batch.  The workspace caps its worker
+    // pool at the hardware parallelism (oversubscription only adds overhead for
+    // CPU-bound work), so requested widths sharing one *effective* width are the same
+    // configuration and are measured once — on a single-core host the whole sweep
+    // degenerates to one measurement, which is exactly what the hardware can show.
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut by_effective: std::collections::BTreeMap<usize, f64> =
+        [(1usize, warm_workspace_ns)].into_iter().collect();
+    let mut sweep_sections = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let effective = workers.min(cpus).min(batch_qs.len().max(1));
+        let ns = *by_effective
+            .entry(effective)
+            .or_insert_with(|| time_warm_batch(effective));
+        let qps = 1e9 / ns;
+        println!(
+            "thread-scaling  {workers} worker(s) (effective {effective})  {} ns/q   {:.0} q/s",
+            json_f64(ns),
+            qps
+        );
+        sweep_sections.push(format!(
+            "      {{\"threads\": {workers}, \"effective_threads\": {effective}, \"warm_workspace_ns\": {}, \"throughput_qps\": {:.0}}}",
+            json_f64(ns),
+            qps
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"schema\": \"xpsat-perf-v1\",\n  \"iters\": {iters},\n  \"engines\": {{\n{}\n  }},\n  \"batch\": {{\"queries\": {}, \"cold_loop_ns\": {}, \"warm_workspace_ns\": {}, \"speedup\": {:.2}}}\n}}\n",
+        "{{\n  \"schema\": \"xpsat-perf-v2\",\n  \"iters\": {iters},\n  \"cpus\": {cpus},\n  \"engines\": {{\n{}\n  }},\n  \"negation_heavy\": {{\"queries\": {}, \"cold_ns\": {}, \"warm_ns\": {}, \"speedup\": {:.2}, \"dispatch_ok\": {}}},\n  \"batch\": {{\"queries\": {}, \"cold_loop_ns\": {}, \"warm_workspace_ns\": {}, \"speedup\": {:.2}}},\n  \"thread_scaling\": {{\n    \"queries\": {},\n    \"workers\": [\n{}\n    ]\n  }}\n}}\n",
         engine_sections.join(",\n"),
+        neg_qs.len(),
+        json_f64(neg_cold_ns),
+        json_f64(neg_warm_ns),
+        neg_cold_ns / neg_warm_ns,
+        neg_dispatch_ok,
         batch_qs.len(),
         json_f64(cold_loop_ns),
         json_f64(warm_workspace_ns),
-        cold_loop_ns / warm_workspace_ns
+        cold_loop_ns / warm_workspace_ns,
+        batch_qs.len(),
+        sweep_sections.join(",\n")
     );
     std::fs::write(&out, json).expect("write perf report");
     println!("wrote {out}");

@@ -26,7 +26,11 @@ const ENGINE: &str = "disjunction-free (Theorem 6.8)";
 /// Does the query lie in `X(↓, ↓*, ∪, [])` with label tests (no negation, data values,
 /// upward or sibling axes)?
 pub fn supports_query(query: &Path) -> bool {
-    let f = Features::of_path(query);
+    supports_query_features(&Features::of_path(query))
+}
+
+/// [`supports_query`] over precomputed features (the solver computes them once).
+pub fn supports_query_features(f: &Features) -> bool {
     !f.negation && !f.data_value && !f.has_upward() && !f.has_sibling()
 }
 

@@ -22,7 +22,11 @@ const ENGINE: &str = "downward (Theorem 4.1)";
 /// Does the query lie in `X(↓, ↓*, ∪)` (child-label steps, wildcard, descendant-or-self,
 /// union, composition — no qualifiers)?
 pub fn supports(query: &Path) -> bool {
-    let f = Features::of_path(query);
+    supports_features(&Features::of_path(query))
+}
+
+/// [`supports`] over precomputed features (the solver computes them once per dispatch).
+pub fn supports_features(f: &Features) -> bool {
     !f.qualifier
         && !f.negation
         && !f.data_value

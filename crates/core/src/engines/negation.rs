@@ -32,7 +32,8 @@
 
 use crate::sat::{SatError, Satisfiability};
 use crate::witness::fill_missing_attributes;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use xpsat_automata::BitSet;
 use xpsat_dtd::{CompiledDtd, Dtd, DtdArtifacts, Sym};
 use xpsat_xmltree::{Document, NodeId};
 use xpsat_xpath::{Features, Path, Qualifier};
@@ -42,12 +43,17 @@ const ENGINE: &str = "negation fixpoint (Theorems 5.2/5.3)";
 /// Does the query lie in `X(↓, ↓*, ∪, [], ¬)` with label tests (no data values, upward
 /// or sibling axes)?
 pub fn supports(query: &Path) -> bool {
-    let f = Features::of_path(query);
+    supports_features(&Features::of_path(query))
+}
+
+/// [`supports`] over precomputed features (the solver computes them once per dispatch).
+pub fn supports_features(f: &Features) -> bool {
     !f.data_value && !f.has_upward() && !f.has_sibling()
 }
 
-/// A profile: the set of closure paths (by index) true at a node.
-type Profile = BTreeSet<usize>;
+/// A profile: the set of closure paths (by index) true at a node, as a bitset — profile
+/// and demand-union manipulation inside the fixpoint is word-level block arithmetic.
+type Profile = BitSet;
 
 /// A child demand: "some child with this label constraint satisfies this closure path".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -102,12 +108,12 @@ pub fn decide_with(artifacts: &DtdArtifacts, query: &Path) -> Result<Satisfiabil
         return Ok(Satisfiability::Unsatisfiable);
     };
     let analysis = Analysis::build(compiled, query)?;
-    let fixpoint = analysis.fixpoint();
     let query_index = analysis.index_of(&analysis.query.clone());
+    let fixpoint = analysis.fixpoint(query_index);
     let root = compiled.root();
     let winning = fixpoint.achieved[root.index()]
         .iter()
-        .find(|profile| profile.contains(&query_index));
+        .find(|profile| profile.contains(query_index));
     match winning {
         Some(profile) => {
             let mut doc = Document::new(compiled.name(root));
@@ -130,6 +136,10 @@ struct Analysis<'a> {
     eval_order: Vec<usize>,
     hnf: Vec<Vec<HeadAlt>>,
     demands: Vec<Demand>,
+    /// Per element symbol: the demands a child with that label can supply, as
+    /// `(demand index, tail closure index)` pairs — the precompiled demand index that
+    /// turns `bits` into a short indexed scan instead of a full-demand-list filter.
+    applicable: Vec<Vec<(usize, usize)>>,
 }
 
 impl<'a> Analysis<'a> {
@@ -142,6 +152,7 @@ impl<'a> Analysis<'a> {
             eval_order: Vec::new(),
             hnf: Vec::new(),
             demands: Vec::new(),
+            applicable: Vec::new(),
         };
         let resolve = |label: Option<String>| -> LabelCk {
             match label {
@@ -280,6 +291,20 @@ impl<'a> Analysis<'a> {
         let mut order: Vec<usize> = (0..analysis.closure.len()).collect();
         order.sort_by_key(|&i| analysis.closure[i].size());
         analysis.eval_order = order;
+        // Per-element applicable-demand index: wildcard demands apply to every label,
+        // labelled demands to their own symbol only.
+        analysis.applicable = (0..compiled.num_elements())
+            .map(|elem_index| {
+                let sym = Sym::from_index(elem_index);
+                analysis
+                    .demands
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.label.is_none_or(|l| l == sym))
+                    .map(|(i, d)| (i, d.tail))
+                    .collect()
+            })
+            .collect();
         Ok(analysis)
     }
 
@@ -290,26 +315,28 @@ impl<'a> Analysis<'a> {
             .expect("the query is seeded into the closure")
     }
 
-    /// The demand bits provided by a child with the given label and profile.
-    fn bits(&self, label: Sym, profile: &Profile) -> BTreeSet<usize> {
-        self.demands
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.label.is_none_or(|l| l == label) && profile.contains(&d.tail))
-            .map(|(i, _)| i)
-            .collect()
+    /// The demand bits provided by a child with the given label and profile: an
+    /// indexed scan over the label's precompiled applicable demands.
+    fn bits(&self, label: Sym, profile: &Profile) -> BitSet {
+        let mut out = BitSet::new();
+        for &(demand_index, tail) in &self.applicable[label.index()] {
+            if profile.contains(tail) {
+                out.insert(demand_index);
+            }
+        }
+        out
     }
 
     /// Evaluate the profile of a node with the given label whose children provide the
     /// demand-bit union `supplied`.
-    fn profile_of(&self, label: Sym, supplied: &BTreeSet<usize>) -> Profile {
+    fn profile_of(&self, label: Sym, supplied: &BitSet) -> Profile {
         let mut truth = vec![false; self.closure.len()];
         for &index in &self.eval_order {
             let value = self.hnf[index].iter().any(|alt| match alt {
                 HeadAlt::Done(quals) => quals.iter().all(|q| self.eval_qualifier(q, label, &truth)),
                 HeadAlt::Step(quals, demand_index) => {
                     *demand_index != usize::MAX
-                        && supplied.contains(demand_index)
+                        && supplied.contains(*demand_index)
                         && quals.iter().all(|q| self.eval_qualifier(q, label, &truth))
                 }
                 HeadAlt::StepPending(..) => unreachable!("patched during construction"),
@@ -347,87 +374,130 @@ impl<'a> Analysis<'a> {
         }
     }
 
-    /// Run the least fixpoint over achievable profiles.
-    fn fixpoint(&self) -> Fixpoint {
+    /// Run the least fixpoint over achievable profiles, driven by a dirty worklist.
+    ///
+    /// An element type's achievable-profile set can only grow when a type mentioned in
+    /// its content model gains a profile, so instead of re-scanning every element per
+    /// round the worklist re-visits exactly the dirtied dependents (read off the
+    /// precomputed DTD graph).  Each visit runs one forward product of the Glushkov
+    /// automaton with the accumulated demand-bit union over a frozen view of the
+    /// achieved sets; distinct demand-bit contributions per child symbol are computed
+    /// once per visit (they are key-independent) and memoised across visits.
+    ///
+    /// Stops early as soon as the root type achieves a profile containing
+    /// `query_index`: recipes are recorded the moment a profile is first achieved, so
+    /// the witness for that profile is already fully expandable.
+    fn fixpoint(&self, query_index: usize) -> Fixpoint {
         let compiled = self.compiled;
         let n = compiled.num_elements();
+        let root = compiled.root();
         let mut achieved: Vec<BTreeSet<Profile>> = vec![BTreeSet::new(); n];
         let mut recipes: BTreeMap<(Sym, Profile), Recipe> = BTreeMap::new();
-        loop {
-            let snapshot = achieved.clone();
-            let mut changed = false;
-            #[allow(clippy::needless_range_loop)]
-            for elem_index in 0..n {
-                let elem = Sym::from_index(elem_index);
-                let nfa = compiled.automaton(elem);
-                // Forward product of the Glushkov automaton with the accumulated
-                // demand-bit union; every accepting (state, union) yields a profile.
-                #[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
-                struct Key(usize, BTreeSet<usize>);
-                let mut seen: BTreeSet<Key> = BTreeSet::new();
-                let mut back: BTreeMap<Key, (Key, Sym, Profile)> = BTreeMap::new();
-                let start = Key(nfa.start(), BTreeSet::new());
-                seen.insert(start.clone());
-                let mut queue = VecDeque::new();
-                queue.push_back(start);
-                while let Some(key) = queue.pop_front() {
-                    if nfa.is_accepting(key.0) {
-                        let profile = self.profile_of(elem, &key.1);
-                        let entry = &mut achieved[elem_index];
-                        if !entry.contains(&profile) {
-                            entry.insert(profile.clone());
-                            changed = true;
-                            // Record the recipe: trace the word and child profiles back.
-                            let mut word = Vec::new();
-                            let mut child_profiles = Vec::new();
-                            let mut cursor = key.clone();
-                            while let Some((prev, sym, child_profile)) = back.get(&cursor) {
-                                word.push(*sym);
-                                child_profiles.push(child_profile.clone());
-                                cursor = prev.clone();
-                            }
-                            word.reverse();
-                            child_profiles.reverse();
-                            recipes.entry((elem, profile)).or_insert(Recipe {
-                                word,
-                                child_profiles,
-                            });
+        // Reverse dependency index: `dependents[s]` lists the element types whose
+        // content model mentions `s`.
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for elem_index in 0..n {
+            for s in compiled.graph().succ_syms(Sym::from_index(elem_index)) {
+                dependents[s.index()].push(elem_index);
+            }
+        }
+        // Demand bits per (child label, child profile), memoised across visits.
+        let mut bits_cache: HashMap<(Sym, Profile), BitSet> = HashMap::new();
+
+        let mut queued = vec![true; n];
+        let mut worklist: VecDeque<usize> = (0..n).collect();
+        while let Some(elem_index) = worklist.pop_front() {
+            queued[elem_index] = false;
+            let elem = Sym::from_index(elem_index);
+            let nfa = compiled.automaton(elem);
+
+            // Distinct demand-bit contributions per child symbol, over the achieved
+            // sets as of this visit (the BFS below never consults them again).
+            let mut contributions: HashMap<Sym, Vec<(BitSet, Profile)>> = HashMap::new();
+            for &sym in compiled.graph().succ_syms(elem) {
+                let child_options = &achieved[sym.index()];
+                if child_options.is_empty() {
+                    continue;
+                }
+                let mut distinct: BTreeMap<BitSet, Profile> = BTreeMap::new();
+                for child_profile in child_options {
+                    let bits = bits_cache
+                        .entry((sym, child_profile.clone()))
+                        .or_insert_with(|| self.bits(sym, child_profile));
+                    if !distinct.contains_key(bits) {
+                        distinct.insert(bits.clone(), child_profile.clone());
+                    }
+                }
+                contributions.insert(sym, distinct.into_iter().collect());
+            }
+
+            // Forward product of the Glushkov automaton with the accumulated
+            // demand-bit union; every accepting (state, union) yields a profile.
+            type Key = (usize, BitSet);
+            let mut seen: HashSet<Key> = HashSet::new();
+            let mut back: HashMap<Key, (Key, Sym, Profile)> = HashMap::new();
+            let start: Key = (nfa.start(), BitSet::new());
+            seen.insert(start.clone());
+            let mut queue = VecDeque::new();
+            queue.push_back(start);
+            let mut gained = false;
+            while let Some(key) = queue.pop_front() {
+                if nfa.is_accepting(key.0) {
+                    let profile = self.profile_of(elem, &key.1);
+                    let entry = &mut achieved[elem_index];
+                    if !entry.contains(&profile) {
+                        entry.insert(profile.clone());
+                        gained = true;
+                        // Record the recipe: trace the word and child profiles back.
+                        let mut word = Vec::new();
+                        let mut child_profiles = Vec::new();
+                        let mut cursor = key.clone();
+                        while let Some((prev, sym, child_profile)) = back.get(&cursor) {
+                            word.push(*sym);
+                            child_profiles.push(child_profile.clone());
+                            cursor = prev.clone();
+                        }
+                        word.reverse();
+                        child_profiles.reverse();
+                        let winning = elem == root && profile.contains(query_index);
+                        recipes.entry((elem, profile)).or_insert(Recipe {
+                            word,
+                            child_profiles,
+                        });
+                        if winning {
+                            return Fixpoint { achieved, recipes };
                         }
                     }
-                    for (sym, succs) in nfa.transitions_from(key.0) {
-                        let child_options = &snapshot[sym.index()];
-                        if child_options.is_empty() {
-                            continue;
-                        }
-                        // Distinct demand-bit contributions only (representatives keep
-                        // the product small without losing achievable unions).
-                        let mut contributions: BTreeMap<BTreeSet<usize>, Profile> = BTreeMap::new();
-                        for child_profile in child_options {
-                            contributions
-                                .entry(self.bits(*sym, child_profile))
-                                .or_insert_with(|| child_profile.clone());
-                        }
-                        for (bits, representative) in contributions {
-                            let mut union = key.1.clone();
-                            union.extend(bits);
-                            for &succ in succs {
-                                let next = Key(succ, union.clone());
-                                if seen.insert(next.clone()) {
-                                    back.insert(
-                                        next.clone(),
-                                        (key.clone(), *sym, representative.clone()),
-                                    );
-                                    queue.push_back(next);
-                                }
+                }
+                for (sym, succs) in nfa.transitions_from(key.0) {
+                    let Some(options) = contributions.get(sym) else {
+                        continue;
+                    };
+                    for (bits, representative) in options {
+                        let union = key.1.union(bits);
+                        for &succ in succs {
+                            let next: Key = (succ, union.clone());
+                            if seen.insert(next.clone()) {
+                                back.insert(
+                                    next.clone(),
+                                    (key.clone(), *sym, representative.clone()),
+                                );
+                                queue.push_back(next);
                             }
                         }
                     }
                 }
             }
-            if !changed {
-                return Fixpoint { achieved, recipes };
+            if gained {
+                for &parent in &dependents[elem_index] {
+                    if !queued[parent] {
+                        queued[parent] = true;
+                        worklist.push_back(parent);
+                    }
+                }
             }
         }
+        Fixpoint { achieved, recipes }
     }
 }
 

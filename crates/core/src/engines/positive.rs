@@ -47,7 +47,11 @@ const ENGINE: &str = "positive (Theorem 4.4)";
 /// Does the query lie in the downward positive fragment `X(↓, ↓*, ∪, [], =)` with label
 /// tests?
 pub fn supports(query: &Path) -> bool {
-    let f = Features::of_path(query);
+    supports_features(&Features::of_path(query))
+}
+
+/// [`supports`] over precomputed features (the solver computes them once per dispatch).
+pub fn supports_features(f: &Features) -> bool {
     !f.negation && !f.has_upward() && !f.has_sibling()
 }
 
@@ -77,10 +81,17 @@ pub fn decide_with(artifacts: &DtdArtifacts, query: &Path) -> Result<Satisfiabil
         compiled,
         next_slot: 0,
         depth_limit,
+        cover_memo: HashMap::new(),
+        word_memo: HashMap::new(),
     };
     let mut doc = Document::new(compiled.name(compiled.root()));
     let root = doc.root();
     let obligations = vec![Ob::At(query.clone(), vec![])];
+    // Root-level reachability prune: if even the over-approximation fails, skip the
+    // backtracking search entirely.
+    if !search.feasible(compiled.root(), &obligations) {
+        return Ok(Satisfiability::Unsatisfiable);
+    }
     match search.satisfy(
         &mut doc,
         root,
@@ -136,6 +147,12 @@ struct Search<'a> {
     compiled: &'a CompiledDtd,
     next_slot: usize,
     depth_limit: usize,
+    /// Memo for "does `P(label)` have a word covering this multiset?" — the routing
+    /// search re-asks the same `(label, multiset)` question many times while
+    /// backtracking, and the answer depends only on the content model.
+    cover_memo: HashMap<(Sym, Vec<Sym>), bool>,
+    /// Memo for the materialised shortest covering word per `(label, multiset)`.
+    word_memo: HashMap<(Sym, Vec<Sym>), Option<Vec<Sym>>>,
 }
 
 /// One branch of a decomposition choice point.
@@ -183,7 +200,7 @@ impl<'a> Search<'a> {
         // DFS over decomposition alternatives; each alternative carries its own pending
         // obligations, accumulated child requirements and value bindings.
         let mut alternatives = vec![(obligations, Vec::<ChildReq>::new(), bindings)];
-        while let Some((mut pending, reqs, mut alt_bindings)) = alternatives.pop() {
+        while let Some((mut pending, mut reqs, mut alt_bindings)) = alternatives.pop() {
             let Some(ob) = pending.pop() else {
                 if let Some(result) =
                     self.route_children(doc, node, label, reqs, alt_bindings, depth)
@@ -196,10 +213,21 @@ impl<'a> Search<'a> {
             match self.decompose(node, label, ob, &mut alt_bindings) {
                 None => continue,
                 Some(branches) => {
-                    for branch in branches.into_iter().rev() {
-                        let mut next_pending = pending.clone();
-                        let mut next_reqs = reqs.clone();
-                        let mut next_bindings = alt_bindings.clone();
+                    // Reverse so the first branch ends up on top of the stack; that
+                    // last push *moves* the current state instead of cloning it, which
+                    // makes the (very common) single-branch decomposition clone-free.
+                    let mut iter = branches.into_iter().rev().peekable();
+                    while let Some(branch) = iter.next() {
+                        let (mut next_pending, mut next_reqs, mut next_bindings) =
+                            if iter.peek().is_none() {
+                                (
+                                    std::mem::take(&mut pending),
+                                    std::mem::take(&mut reqs),
+                                    std::mem::take(&mut alt_bindings),
+                                )
+                            } else {
+                                (pending.clone(), reqs.clone(), alt_bindings.clone())
+                            };
                         next_pending.extend(branch.new_obligations);
                         next_reqs.extend(branch.child_requirements);
                         if let Some(c) = branch.const_constraint {
@@ -392,13 +420,28 @@ impl<'a> Search<'a> {
                 continue;
             }
             // Quick multiset feasibility check: the content model must still have a word
-            // covering the plan plus this new occurrence.
-            let mut demand = CoverDemand::none();
-            for (planned, _) in &plan {
-                demand = demand.require(*planned, 1);
-            }
-            demand = demand.require(candidate, 1);
-            if !xpsat_automata::word_with_multiplicities(self.compiled.automaton(label), &demand) {
+            // covering the plan plus this new occurrence.  Memoised per (label,
+            // multiset) — backtracking revisits the same questions constantly.
+            let mut multiset: Vec<Sym> = plan.iter().map(|(planned, _)| *planned).collect();
+            multiset.push(candidate);
+            multiset.sort_unstable();
+            let memo_key = (label, multiset);
+            let coverable = match self.cover_memo.get(&memo_key) {
+                Some(&cached) => cached,
+                None => {
+                    let mut demand = CoverDemand::none();
+                    for &planned in &memo_key.1 {
+                        demand = demand.require(planned, 1);
+                    }
+                    let answer = xpsat_automata::word_with_multiplicities(
+                        self.compiled.automaton(label),
+                        &demand,
+                    );
+                    self.cover_memo.insert(memo_key, answer);
+                    answer
+                }
+            };
+            if !coverable {
                 continue;
             }
             let mut next_plan = plan.clone();
@@ -455,11 +498,22 @@ impl<'a> Search<'a> {
         depth: usize,
     ) -> Option<Bindings> {
         let doc_snapshot = doc.snapshot();
-        let mut demand = CoverDemand::none();
-        for (planned, _) in plan {
-            demand = demand.require(*planned, 1);
-        }
-        let word = xpsat_automata::shortest_covering_word(self.compiled.automaton(label), &demand)?;
+        let mut multiset: Vec<Sym> = plan.iter().map(|(planned, _)| *planned).collect();
+        multiset.sort_unstable();
+        let memo_key = (label, multiset);
+        let word = match self.word_memo.get(&memo_key) {
+            Some(cached) => cached.clone(),
+            None => {
+                let mut demand = CoverDemand::none();
+                for &planned in &memo_key.1 {
+                    demand = demand.require(planned, 1);
+                }
+                let word =
+                    xpsat_automata::shortest_covering_word(self.compiled.automaton(label), &demand);
+                self.word_memo.insert(memo_key, word.clone());
+                word
+            }
+        }?;
         let mut children: Vec<(NodeId, Sym)> = Vec::with_capacity(word.len());
         for &sym in &word {
             let child = doc.add_child(node, self.compiled.name(sym));
@@ -515,8 +569,10 @@ impl<'a> Search<'a> {
     }
 
     /// Cheap over-approximation: can the obligations possibly be satisfied in a subtree
-    /// rooted at an element of type `label`?  Ignores qualifiers and data values (an
-    /// over-approximation, hence a sound pruning test).
+    /// rooted at an element of type `label`?  Navigational steps are approximated by
+    /// graph reachability and qualifiers by [`Search::qual_feasible`]; data-value
+    /// comparisons only check attribute declarations.  Always an over-approximation,
+    /// hence a sound pruning test.
     fn feasible(&self, label: Sym, obligations: &[Ob]) -> bool {
         obligations.iter().all(|ob| match ob {
             Ob::At(path, inner) => {
@@ -525,8 +581,40 @@ impl<'a> Search<'a> {
                 ids.any(|t| self.feasible(Sym::from_index(t), inner))
             }
             Ob::BindSlot(attr, _) => self.compiled.has_attribute(label, attr),
-            Ob::Qual(_) => true,
+            Ob::Qual(q) => self.qual_feasible(label, q),
         })
+    }
+
+    /// Can the qualifier possibly hold at a node of type `label`?  Positive paths are
+    /// checked by reachability (ignoring their own filters), label tests exactly,
+    /// attribute comparisons by declaredness; negation is approximated by `true`.
+    fn qual_feasible(&self, label: Sym, q: &Qualifier) -> bool {
+        match q {
+            Qualifier::Path(p) => !self.approx_reach(p, label).is_empty(),
+            Qualifier::LabelIs(l) => self.compiled.elem_sym(l) == Some(label),
+            Qualifier::And(a, b) => self.qual_feasible(label, a) && self.qual_feasible(label, b),
+            Qualifier::Or(a, b) => self.qual_feasible(label, a) || self.qual_feasible(label, b),
+            Qualifier::AttrCmp { path, attr, .. } => self
+                .approx_reach(path, label)
+                .iter()
+                .any(|t| self.compiled.has_attribute(Sym::from_index(t), attr)),
+            Qualifier::AttrJoin {
+                left,
+                left_attr,
+                right,
+                right_attr,
+                ..
+            } => {
+                self.approx_reach(left, label)
+                    .iter()
+                    .any(|t| self.compiled.has_attribute(Sym::from_index(t), left_attr))
+                    && self
+                        .approx_reach(right, label)
+                        .iter()
+                        .any(|t| self.compiled.has_attribute(Sym::from_index(t), right_attr))
+            }
+            Qualifier::Not(_) => true,
+        }
     }
 
     /// Element types reachable from `from` via the navigational skeleton of `path`

@@ -101,10 +101,12 @@ impl Solver {
     /// Decide against precompiled artifacts: no engine re-derives classification,
     /// graph reachability, pruning or Glushkov automata inside this call.
     pub fn decide_with_artifacts(&self, artifacts: &DtdArtifacts, query: &Path) -> Decision {
+        // One feature scan serves every fragment test below (the engines' own
+        // `supports(query)` wrappers would each rescan the path).
         let features = Features::of_path(query);
         let class = artifacts.class();
 
-        if downward::supports(query) {
+        if downward::supports_features(&features) {
             if let Ok(result) = downward::decide_with(artifacts, query) {
                 return Decision {
                     result,
@@ -122,10 +124,13 @@ impl Solver {
                 };
             }
         }
-        if positive::supports(query) {
+        if positive::supports_features(&features) {
             // Prefer the PTIME decision under disjunction-free DTDs; the witness (when
             // needed) still comes from the positive engine, which is complete here too.
-            if !features.data_value && class.disjunction_free && djfree::supports_query(query) {
+            if !features.data_value
+                && class.disjunction_free
+                && djfree::supports_query_features(&features)
+            {
                 if let Ok(false) = djfree::decide_with(artifacts, query) {
                     return Decision {
                         result: Satisfiability::Unsatisfiable,
@@ -142,7 +147,7 @@ impl Solver {
                 };
             }
         }
-        if negation::supports(query) {
+        if negation::supports_features(&features) {
             if let Ok(result) = negation::decide_with(artifacts, query) {
                 return Decision {
                     result,

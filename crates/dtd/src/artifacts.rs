@@ -19,6 +19,7 @@ use crate::generate::TreeGenerator;
 use crate::graph::{prune_nonterminating, DtdGraph};
 use crate::symbols::{Sym, SymbolTable};
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 use xpsat_automata::{BitSet, Nfa};
 
 /// A content-model automaton over interned element-type symbols.
@@ -62,13 +63,33 @@ impl DtdArtifacts {
         self.compiled.as_ref()
     }
 
-    /// Number of content-model automata compiled (one per terminating element type).
+    /// Number of content-model automata a full compile yields (one per terminating
+    /// element type).  Does not force the lazy automata.
     pub fn automata_count(&self) -> usize {
-        self.compiled.as_ref().map_or(0, |c| c.automata.len())
+        self.compiled.as_ref().map_or(0, |c| c.num_elements())
+    }
+
+    /// Force every lazily-initialised artifact (automata, useful-state masks, tree
+    /// generator).  Long-lived holders — the service workspace registering a DTD it
+    /// will serve many queries against — warm eagerly so no decision ever pays
+    /// first-touch latency; one-shot `Solver::decide` callers skip this and only build
+    /// what their engine actually walks.
+    pub fn warm(&self) {
+        if let Some(compiled) = &self.compiled {
+            compiled.warm();
+        }
     }
 }
 
 /// The dense, symbol-interned compilation of a pruned DTD.
+///
+/// The cheap, always-needed structures (interner, dense graph with reachability
+/// closure, attribute sets) are built eagerly; the expensive ones — the per-element
+/// Glushkov automata, their useful-state masks and the [`TreeGenerator`] — live behind
+/// [`OnceLock`]s and are built on first touch.  A one-shot `Solver::decide` whose query
+/// dispatches to the downward or disjunction-free engine (pure graph reachability)
+/// never constructs an automaton at all; the service workspace calls
+/// [`CompiledDtd::warm`] once at registration instead.
 #[derive(Debug, Clone)]
 pub struct CompiledDtd {
     dtd: Dtd,
@@ -77,13 +98,14 @@ pub struct CompiledDtd {
     num_elements: usize,
     root: Sym,
     graph: DtdGraph,
-    /// Glushkov automaton of `P(A)` indexed by the element symbol of `A`.
-    automata: Vec<SymNfa>,
-    /// Useful (accessible and co-accessible) states of each automaton.
-    useful: Vec<BitSet>,
     /// Declared attribute names per element symbol.
     attrs: Vec<BTreeSet<String>>,
-    generator: TreeGenerator,
+    /// Glushkov automaton of `P(A)` indexed by the element symbol of `A` (lazy).
+    automata: OnceLock<Vec<SymNfa>>,
+    /// Useful (accessible and co-accessible) states of each automaton (lazy).
+    useful: OnceLock<Vec<BitSet>>,
+    /// The shared tree generator (lazy; reuses the compiled automata when built).
+    generator: OnceLock<TreeGenerator>,
 }
 
 impl CompiledDtd {
@@ -100,26 +122,14 @@ impl CompiledDtd {
         }
         let root = graph.root_sym();
 
-        let mut automata = Vec::with_capacity(num_elements);
-        let mut useful = Vec::with_capacity(num_elements);
         let mut attrs = Vec::with_capacity(num_elements);
         for index in 0..num_elements {
-            let sym = Sym::from_index(index);
-            let name = symbols.name(sym).to_string();
+            let name = symbols.name(Sym::from_index(index)).to_string();
             let decl = pruned
                 .element(&name)
                 .expect("graph vertices of a pruned DTD are declared");
-            let content = decl.content.map_symbols(&|s| {
-                graph
-                    .sym(s)
-                    .expect("pruned content references declared types")
-            });
-            let nfa = Nfa::glushkov(&content);
-            useful.push(nfa.useful_states());
-            automata.push(nfa);
             attrs.push(decl.attributes.clone());
         }
-        let generator = TreeGenerator::new(&pruned);
         CompiledDtd {
             size: pruned.size(),
             dtd: pruned,
@@ -127,11 +137,44 @@ impl CompiledDtd {
             num_elements,
             root,
             graph,
-            automata,
-            useful,
             attrs,
-            generator,
+            automata: OnceLock::new(),
+            useful: OnceLock::new(),
+            generator: OnceLock::new(),
         }
+    }
+
+    /// The automata vector, built on first touch.
+    fn automata(&self) -> &[SymNfa] {
+        self.automata.get_or_init(|| {
+            (0..self.num_elements)
+                .map(|index| {
+                    let name = self.symbols.name(Sym::from_index(index));
+                    let decl = self
+                        .dtd
+                        .element(name)
+                        .expect("graph vertices of a pruned DTD are declared");
+                    let content = decl.content.map_symbols(&|s| {
+                        self.graph
+                            .sym(s)
+                            .expect("pruned content references declared types")
+                    });
+                    Nfa::glushkov(&content)
+                })
+                .collect()
+        })
+    }
+
+    /// The useful-state masks, built on first touch (forces the automata).
+    fn useful_vec(&self) -> &[BitSet] {
+        self.useful
+            .get_or_init(|| self.automata().iter().map(Nfa::useful_states).collect())
+    }
+
+    /// Force every lazy artifact now (see [`DtdArtifacts::warm`]).
+    pub fn warm(&self) {
+        let _ = self.useful_vec();
+        let _ = self.generator();
     }
 
     /// The pruned DTD (all element types terminating).
@@ -164,9 +207,23 @@ impl CompiledDtd {
         &self.graph
     }
 
-    /// The shared tree generator (minimal expansions, random sampling).
+    /// The shared tree generator (minimal expansions, random sampling), built on first
+    /// touch.  The generator reuses this compile's automata — cloned, not re-derived —
+    /// so forcing it never runs the Glushkov construction twice.
     pub fn generator(&self) -> &TreeGenerator {
-        &self.generator
+        self.generator.get_or_init(|| {
+            // The generator's interner must cover every name it may resolve; hand it
+            // this compile's table (elements in the dense prefix, attribute names
+            // after) with `None` automata for the non-element tail.
+            let automata: Vec<Option<SymNfa>> = self
+                .automata()
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain((self.num_elements..self.symbols.len()).map(|_| None))
+                .collect();
+            TreeGenerator::from_parts(&self.dtd, self.symbols.clone(), automata)
+        })
     }
 
     /// The element symbol of `name`, if it is a declared element type.
@@ -186,14 +243,16 @@ impl CompiledDtd {
         (0..self.num_elements).map(Sym::from_index)
     }
 
-    /// The Glushkov automaton of `P(A)` for element symbol `A`.
+    /// The Glushkov automaton of `P(A)` for element symbol `A` (forces the lazy build
+    /// on first touch).
     pub fn automaton(&self, elem: Sym) -> &SymNfa {
-        &self.automata[elem.index()]
+        &self.automata()[elem.index()]
     }
 
-    /// The useful (on-some-accepting-run) states of `A`'s automaton.
+    /// The useful (on-some-accepting-run) states of `A`'s automaton (forces the lazy
+    /// build on first touch).
     pub fn useful_states(&self, elem: Sym) -> &BitSet {
-        &self.useful[elem.index()]
+        &self.useful_vec()[elem.index()]
     }
 
     /// The declared attribute set `R(A)`.

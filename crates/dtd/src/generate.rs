@@ -10,39 +10,139 @@
 //! * [`TreeGenerator::attach_minimal`] — graft such a tree below an existing node;
 //! * [`TreeGenerator::random_tree`] — a random conforming document, used by the property
 //!   tests and benchmark workloads (depth- and width-bounded so recursion terminates).
+//!
+//! Internally everything runs over interned [`Sym`] ids: the per-type Glushkov automata
+//! are `Nfa<Sym>`, the terminating set and the sampling good-state masks are bitsets,
+//! and — crucially for the witness-expansion hot path — the minimal children word of
+//! every terminating type is precomputed once at construction, so `expand_minimal` is a
+//! table lookup plus node insertion instead of a per-node covering-word BFS over
+//! `String` labels.
 
 use crate::dtd::Dtd;
 use crate::graph::{minimal_heights, terminating_types};
+use crate::symbols::{Sym, SymbolTable};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
-use xpsat_automata::{CoverDemand, Nfa};
+use xpsat_automata::{BitSet, CoverDemand, Nfa};
 use xpsat_xmltree::{Document, NodeId};
 
 /// A generator of conforming documents for one DTD.
 ///
-/// Construction precomputes the Glushkov automata of all content models, the set of
-/// terminating types and the minimal derivation heights, so repeated expansions are
-/// cheap.
+/// Construction precomputes the Glushkov automata of all content models (over interned
+/// symbols), the set of terminating types, the minimal derivation heights, the minimal
+/// children word of every terminating type and the sampling good-state masks, so
+/// repeated expansions are cheap.
 #[derive(Debug, Clone)]
 pub struct TreeGenerator {
     dtd: Dtd,
-    automata: BTreeMap<String, Nfa<String>>,
-    terminating: BTreeSet<String>,
-    heights: BTreeMap<String, usize>,
+    /// Declared element types first (in sorted order), then referenced-only names.
+    symbols: SymbolTable,
+    /// Content-model automaton per symbol; `None` for referenced-but-undeclared names.
+    automata: Vec<Option<Nfa<Sym>>>,
+    /// Terminating types as a bitset over symbol indices.
+    terminating: BitSet,
+    /// Precomputed minimal children word per symbol (empty for non-terminating types,
+    /// whose expansion is a no-op).
+    minimal_words: Vec<Vec<Sym>>,
+    /// Per symbol: NFA states from which acceptance stays reachable through
+    /// terminating symbols (used by the random sampler).
+    good: Vec<BitSet>,
 }
 
 impl TreeGenerator {
     /// Build a generator for a DTD.
     pub fn new(dtd: &Dtd) -> TreeGenerator {
-        let automata = dtd
-            .elements()
-            .map(|(name, decl)| (name.clone(), Nfa::glushkov(&decl.content)))
+        // Intern declared types in sorted order first — for a pruned DTD this yields
+        // exactly the `CompiledDtd` symbol assignment — then referenced-only names.
+        let declared: BTreeSet<String> = dtd.element_names().into_iter().collect();
+        let mut referenced: BTreeSet<String> = BTreeSet::new();
+        for (_, decl) in dtd.elements() {
+            referenced.extend(decl.content.symbols());
+        }
+        let mut symbols = SymbolTable::new();
+        for name in &declared {
+            symbols.intern(name);
+        }
+        for name in &referenced {
+            symbols.intern(name);
+        }
+        let automata: Vec<Option<Nfa<Sym>>> = (0..symbols.len())
+            .map(|index| {
+                let name = symbols.name(Sym::from_index(index));
+                dtd.element(name).map(|decl| {
+                    let content = decl.content.map_symbols(&|s| {
+                        symbols.lookup(s).expect("referenced names are interned")
+                    });
+                    Nfa::glushkov(&content)
+                })
+            })
             .collect();
+        Self::from_parts(dtd, symbols, automata)
+    }
+
+    /// Build a generator from an existing interner and per-symbol automata, skipping
+    /// the Glushkov construction.  The interner must cover every declared *and*
+    /// referenced name of the DTD, with `automata[sym]` the automaton of `P(sym)` for
+    /// every declared type (the artifact pipeline shares its compiled automata this
+    /// way instead of re-deriving them).
+    pub fn from_parts(
+        dtd: &Dtd,
+        symbols: SymbolTable,
+        automata: Vec<Option<Nfa<Sym>>>,
+    ) -> TreeGenerator {
+        let n = symbols.len();
+        let terminating_names = terminating_types(dtd);
+        let mut terminating = BitSet::with_capacity(n);
+        for name in &terminating_names {
+            if let Some(sym) = symbols.lookup(name) {
+                terminating.insert(sym.index());
+            }
+        }
+        let height_map: BTreeMap<String, usize> = minimal_heights(dtd);
+        let heights: Vec<Option<usize>> = (0..n)
+            .map(|i| height_map.get(symbols.name(Sym::from_index(i))).copied())
+            .collect();
+
+        // Minimal children word per terminating type: the shortest word of the content
+        // model over types of strictly smaller minimal height (such a word exists by
+        // the definition of minimal heights).  Computed once; every expansion reuses it.
+        let minimal_words: Vec<Vec<Sym>> = (0..n)
+            .map(|index| {
+                if !terminating.contains(index) {
+                    return Vec::new();
+                }
+                let Some(nfa) = &automata[index] else {
+                    return Vec::new();
+                };
+                let my_height = heights[index].unwrap_or(1);
+                let allowed: BTreeSet<Sym> = heights
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, h)| h.is_some_and(|h| h < my_height))
+                    .map(|(i, _)| Sym::from_index(i))
+                    .collect();
+                let demand = CoverDemand::none().restrict_to(allowed);
+                xpsat_automata::shortest_covering_word(nfa, &demand)
+                    .or_else(|| nfa.shortest_word())
+                    .unwrap_or_default()
+            })
+            .collect();
+
+        let good: Vec<BitSet> = automata
+            .iter()
+            .map(|nfa| match nfa {
+                Some(nfa) => good_states(nfa, &terminating),
+                None => BitSet::new(),
+            })
+            .collect();
+
         TreeGenerator {
             dtd: dtd.clone(),
+            symbols,
             automata,
-            terminating: terminating_types(dtd),
-            heights: minimal_heights(dtd),
+            terminating,
+            minimal_words,
+            good,
         }
     }
 
@@ -53,18 +153,21 @@ impl TreeGenerator {
 
     /// Is this element type terminating (does it derive any finite tree)?
     pub fn is_terminating(&self, name: &str) -> bool {
-        self.terminating.contains(name)
+        self.symbols
+            .lookup(name)
+            .is_some_and(|sym| self.terminating.contains(sym.index()))
     }
 
     /// A minimal-height conforming tree rooted at an element of type `label`.
     /// Returns `None` when the type is not terminating (or not declared).
     pub fn minimal_tree(&self, label: &str) -> Option<Document> {
-        if !self.terminating.contains(label) {
+        let sym = self.symbols.lookup(label)?;
+        if !self.terminating.contains(sym.index()) {
             return None;
         }
         let mut doc = Document::new(label);
         let root = doc.root();
-        self.expand_minimal(&mut doc, root);
+        self.expand_minimal_sym(&mut doc, root, sym);
         Some(doc)
     }
 
@@ -76,38 +179,37 @@ impl TreeGenerator {
         parent: NodeId,
         label: &str,
     ) -> Option<NodeId> {
-        if !self.terminating.contains(label) {
+        let sym = self.symbols.lookup(label)?;
+        if !self.terminating.contains(sym.index()) {
             return None;
         }
         let child = doc.add_child(parent, label);
-        self.expand_minimal(doc, child);
+        self.expand_minimal_sym(doc, child, sym);
         Some(child)
     }
 
     /// Expand `node` (assumed childless) into a minimal conforming subtree, filling
     /// declared attributes with the placeholder value `"0"`.
     pub fn expand_minimal(&self, doc: &mut Document, node: NodeId) {
-        let label = doc.label(node).to_string();
+        match self.symbols.lookup(doc.label(node)) {
+            Some(sym) => self.expand_minimal_sym(doc, node, sym),
+            None => {
+                let label = doc.label(node).to_string();
+                self.fill_attributes(doc, node, &label);
+            }
+        }
+    }
+
+    /// [`TreeGenerator::expand_minimal`] with the label already resolved: a walk over
+    /// the precomputed minimal-word table.
+    fn expand_minimal_sym(&self, doc: &mut Document, node: NodeId, sym: Sym) {
+        let label = self.symbols.name(sym).to_string();
         self.fill_attributes(doc, node, &label);
-        let Some(nfa) = self.automata.get(&label) else {
-            return;
-        };
-        let my_height = self.heights.get(&label).copied().unwrap_or(1);
-        // Choose the shortest children word over types of strictly smaller minimal
-        // height; such a word exists by the definition of minimal heights.
-        let allowed: BTreeSet<String> = self
-            .heights
-            .iter()
-            .filter(|(_, &h)| h < my_height)
-            .map(|(name, _)| name.clone())
-            .collect();
-        let demand = CoverDemand::none().restrict_to(allowed);
-        let word = xpsat_automata::shortest_covering_word(nfa, &demand)
-            .or_else(|| nfa.shortest_word())
-            .unwrap_or_default();
-        for child_label in word {
-            let child = doc.add_child(node, child_label);
-            self.expand_minimal(doc, child);
+        // Minimal words only mention types of strictly smaller minimal height, so the
+        // recursion terminates even on recursive DTDs.
+        for &child_sym in &self.minimal_words[sym.index()] {
+            let child = doc.add_child(node, self.symbols.name(child_sym));
+            self.expand_minimal_sym(doc, child, child_sym);
         }
     }
 
@@ -122,18 +224,38 @@ impl TreeGenerator {
     ) -> Option<Vec<NodeId>> {
         let label = doc.label(node).to_string();
         self.fill_attributes(doc, node, &label);
-        let nfa = self.automata.get(&label)?;
-        let word = xpsat_automata::shortest_covering_word(nfa, demand)?;
-        let mut children = Vec::with_capacity(word.len());
-        for child_label in word {
-            if !self.terminating.contains(&child_label) {
-                return None;
+        let sym = self.symbols.lookup(&label)?;
+        let nfa = self.automata[sym.index()].as_ref()?;
+        // Lower the demand to interned form.  A required name the interner has never
+        // seen cannot occur in any children word, so the demand is unsatisfiable.
+        let mut sym_demand: CoverDemand<Sym> = CoverDemand::none();
+        for (name, &count) in &demand.required {
+            match self.symbols.lookup(name) {
+                Some(s) => {
+                    sym_demand = sym_demand.require(s, count);
+                }
+                None if count > 0 => return None,
+                None => {}
             }
-            let child = doc.add_child(node, child_label);
+        }
+        if let Some(allowed) = &demand.allowed {
+            let allowed_syms: BTreeSet<Sym> = allowed
+                .iter()
+                .filter_map(|name| self.symbols.lookup(name))
+                .collect();
+            sym_demand = sym_demand.restrict_to(allowed_syms);
+        }
+        let word = xpsat_automata::shortest_covering_word(nfa, &sym_demand)?;
+        if word.iter().any(|s| !self.terminating.contains(s.index())) {
+            return None;
+        }
+        let mut children = Vec::with_capacity(word.len());
+        for &child_sym in &word {
+            let child = doc.add_child(node, self.symbols.name(child_sym));
             children.push(child);
         }
-        for &child in &children {
-            self.expand_minimal(doc, child);
+        for (child, &child_sym) in children.iter().zip(&word) {
+            self.expand_minimal_sym(doc, *child, child_sym);
         }
         Some(children)
     }
@@ -162,17 +284,20 @@ impl TreeGenerator {
         max_word_len: usize,
     ) {
         let label = doc.label(node).to_string();
+        let Some(sym) = self.symbols.lookup(&label) else {
+            return;
+        };
         if depth_budget == 0 {
-            self.expand_minimal(doc, node);
+            self.expand_minimal_sym(doc, node, sym);
             return;
         }
         self.fill_attributes(doc, node, &label);
-        let Some(nfa) = self.automata.get(&label) else {
+        let Some(nfa) = self.automata[sym.index()].as_ref() else {
             return;
         };
-        let word = self.sample_word(nfa, rng, max_word_len);
-        for child_label in word {
-            let child = doc.add_child(node, child_label);
+        let word = self.sample_word(nfa, &self.good[sym.index()], rng, max_word_len);
+        for child_sym in word {
+            let child = doc.add_child(node, self.symbols.name(child_sym));
             self.expand_random(doc, child, rng, depth_budget - 1, max_word_len);
         }
         // Randomise attribute values a little so data-value queries see variety.
@@ -187,37 +312,86 @@ impl TreeGenerator {
     /// biased towards stopping once an accepting state is reached.  The walk only ever
     /// visits states from which acceptance stays reachable through terminating symbols,
     /// so the returned word is always in the (restricted) language.
-    fn sample_word<R: Rng>(&self, nfa: &Nfa<String>, rng: &mut R, max_len: usize) -> Vec<String> {
-        let good = good_states(nfa, &self.terminating);
-        if !good.contains(&nfa.start()) {
+    fn sample_word<R: Rng>(
+        &self,
+        nfa: &Nfa<Sym>,
+        good: &BitSet,
+        rng: &mut R,
+        max_len: usize,
+    ) -> Vec<Sym> {
+        if !good.contains(nfa.start()) {
             return Vec::new();
         }
         let mut word = Vec::new();
         let mut state = nfa.start();
+        let mut options: Vec<(Sym, usize)> = Vec::new();
         while word.len() < max_len {
             if nfa.is_accepting(state) && rng.gen_bool(0.4) {
                 return word;
             }
-            let options: Vec<(String, usize)> = nfa
-                .transitions_from(state)
-                .flat_map(|(sym, succs)| {
+            options.clear();
+            for (sym, succs) in nfa.transitions_from(state) {
+                if !self.terminating.contains(sym.index()) {
+                    continue;
+                }
+                options.extend(
                     succs
                         .iter()
-                        .map(move |&s| (sym.clone(), s))
-                        .collect::<Vec<_>>()
-                })
-                .filter(|(sym, next)| self.terminating.contains(sym) && good.contains(next))
-                .collect();
+                        .filter(|s| good.contains(**s))
+                        .map(|&s| (*sym, s)),
+                );
+            }
             if options.is_empty() {
                 break;
             }
-            let (sym, next) = options[rng.gen_range(0..options.len())].clone();
+            let (sym, next) = options[rng.gen_range(0..options.len())];
             word.push(sym);
             state = next;
         }
         // Completion phase: append a shortest accepted suffix from the current state.
-        word.extend(shortest_suffix(nfa, state, &self.terminating, &good));
+        word.extend(self.shortest_suffix(nfa, state, good));
         word
+    }
+
+    /// A shortest word leading from `state` to acceptance using only terminating
+    /// symbols.
+    fn shortest_suffix(&self, nfa: &Nfa<Sym>, state: usize, good: &BitSet) -> Vec<Sym> {
+        use std::collections::VecDeque;
+        if nfa.is_accepting(state) {
+            return Vec::new();
+        }
+        let mut pred: BTreeMap<usize, (usize, Sym)> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(state);
+        let mut goal = None;
+        'search: while let Some(q) = queue.pop_front() {
+            for (sym, succs) in nfa.transitions_from(q) {
+                if !self.terminating.contains(sym.index()) {
+                    continue;
+                }
+                for &next in succs {
+                    if next != state && !pred.contains_key(&next) && good.contains(next) {
+                        pred.insert(next, (q, *sym));
+                        if nfa.is_accepting(next) {
+                            goal = Some(next);
+                            break 'search;
+                        }
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        let Some(mut cur) = goal else {
+            return Vec::new();
+        };
+        let mut suffix = Vec::new();
+        while cur != state {
+            let (prev, sym) = pred[&cur];
+            suffix.push(sym);
+            cur = prev;
+        }
+        suffix.reverse();
+        suffix
     }
 
     fn fill_attributes(&self, doc: &mut Document, node: NodeId, label: &str) {
@@ -230,18 +404,18 @@ impl TreeGenerator {
 }
 
 /// States from which an accepting state is reachable using only terminating symbols.
-fn good_states(nfa: &Nfa<String>, terminating: &BTreeSet<String>) -> BTreeSet<usize> {
-    let mut good: BTreeSet<usize> = (0..nfa.num_states())
+fn good_states(nfa: &Nfa<Sym>, terminating: &BitSet) -> BitSet {
+    let mut good: BitSet = (0..nfa.num_states())
         .filter(|&q| nfa.is_accepting(q))
         .collect();
     loop {
         let mut changed = false;
         for q in 0..nfa.num_states() {
-            if good.contains(&q) {
+            if good.contains(q) {
                 continue;
             }
             let reaches = nfa.transitions_from(q).any(|(sym, succs)| {
-                terminating.contains(sym) && succs.iter().any(|s| good.contains(s))
+                terminating.contains(sym.index()) && succs.iter().any(|s| good.contains(*s))
             });
             if reaches {
                 good.insert(q);
@@ -252,51 +426,6 @@ fn good_states(nfa: &Nfa<String>, terminating: &BTreeSet<String>) -> BTreeSet<us
             return good;
         }
     }
-}
-
-/// A shortest word leading from `state` to acceptance using only terminating symbols.
-fn shortest_suffix(
-    nfa: &Nfa<String>,
-    state: usize,
-    terminating: &BTreeSet<String>,
-    good: &BTreeSet<usize>,
-) -> Vec<String> {
-    use std::collections::VecDeque;
-    if nfa.is_accepting(state) {
-        return Vec::new();
-    }
-    let mut pred: BTreeMap<usize, (usize, String)> = BTreeMap::new();
-    let mut queue = VecDeque::new();
-    queue.push_back(state);
-    let mut goal = None;
-    'search: while let Some(q) = queue.pop_front() {
-        for (sym, succs) in nfa.transitions_from(q) {
-            if !terminating.contains(sym) {
-                continue;
-            }
-            for &next in succs {
-                if next != state && !pred.contains_key(&next) && good.contains(&next) {
-                    pred.insert(next, (q, sym.clone()));
-                    if nfa.is_accepting(next) {
-                        goal = Some(next);
-                        break 'search;
-                    }
-                    queue.push_back(next);
-                }
-            }
-        }
-    }
-    let Some(mut cur) = goal else {
-        return Vec::new();
-    };
-    let mut suffix = Vec::new();
-    while cur != state {
-        let (prev, sym) = pred[&cur].clone();
-        suffix.push(sym);
-        cur = prev;
-    }
-    suffix.reverse();
-    suffix
 }
 
 #[cfg(test)]
@@ -357,6 +486,16 @@ mod tests {
         let children = gen.expand_with_demand(&mut doc, root, &demand).unwrap();
         assert_eq!(children.len(), 3);
         assert_eq!(validate(&doc, &dtd), Ok(()));
+    }
+
+    #[test]
+    fn expansion_with_unknown_required_name_fails() {
+        let dtd = bookstore();
+        let gen = TreeGenerator::new(&dtd);
+        let mut doc = Document::new("store");
+        let root = doc.root();
+        let demand = CoverDemand::none().require("ghost".to_string(), 1);
+        assert!(gen.expand_with_demand(&mut doc, root, &demand).is_none());
     }
 
     #[test]

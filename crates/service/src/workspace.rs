@@ -9,16 +9,71 @@
 //! Queries are interned by canonical text so repeated paths share one [`QueryId`] and
 //! hit a memoised `(DtdId, QueryId)` decision cache.
 //!
-//! All `decide` paths take `&self` (the cache is behind a mutex), so one workspace can
-//! be shared across the worker threads of [`Workspace::decide_batch`].
+//! All `decide` paths take `&self` (the cache is lock-striped), so one workspace can
+//! be shared across the worker threads of [`Workspace::decide_batch`].  Decisions are
+//! stored and served as [`Arc<Decision>`]: a cache hit is a pointer bump, never a
+//! witness-document clone.
 
 use crate::stats::{CacheStats, StatsSnapshot};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use xpsat_core::{Decision, EngineKind, Solver, SolverConfig};
 use xpsat_dtd::{normalize, parse_dtd, Dtd, DtdClass, Normalization};
 use xpsat_xpath::{parse_path, Path};
+
+/// Number of lock stripes in the decision cache (a power of two).
+///
+/// Worker threads of [`Workspace::decide_batch`] and concurrent [`Workspace::decide`]
+/// callers contend only when their `(DtdId, QueryId)` keys hash to the same stripe, so
+/// the effective contention drops by roughly this factor compared to one global mutex.
+const CACHE_SHARDS: usize = 16;
+
+/// One stripe of the decision cache.
+type CacheShard = Mutex<HashMap<(DtdId, QueryId), Arc<Decision>>>;
+
+/// The lock-striped memoised decision cache.
+#[derive(Debug)]
+struct ShardedCache {
+    shards: Vec<CacheShard>,
+}
+
+impl ShardedCache {
+    fn new() -> ShardedCache {
+        ShardedCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    /// The stripe of a key: a multiplicative hash over both ids, taken from the high
+    /// bits (the ids themselves are small sequential integers, so masking low bits
+    /// directly would stripe poorly for single-DTD batches).
+    fn shard_index(key: &(DtdId, QueryId)) -> usize {
+        let h = (key.0 .0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((key.1 .0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        ((h >> 32) as usize) & (CACHE_SHARDS - 1)
+    }
+
+    fn get(&self, key: &(DtdId, QueryId)) -> Option<Arc<Decision>> {
+        self.shards[Self::shard_index(key)]
+            .lock()
+            .unwrap()
+            .get(key)
+            .cloned()
+    }
+
+    /// Insert unless the key is already present; returns the decision that ended up
+    /// stored (the existing one wins a race, keeping served output deterministic).
+    fn insert_if_absent(&self, key: (DtdId, QueryId), decision: Decision) -> Arc<Decision> {
+        self.shards[Self::shard_index(&key)]
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::new(decision))
+            .clone()
+    }
+}
 
 /// Handle of a registered DTD.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -73,8 +128,9 @@ pub struct InternedQuery {
 /// A decision together with its cache provenance.
 #[derive(Debug, Clone)]
 pub struct ServedDecision {
-    /// The solver's verdict, engine and completeness flag.
-    pub decision: Decision,
+    /// The solver's verdict, engine and completeness flag.  Shared with the cache:
+    /// serving a decision (even a large satisfiable witness) never clones a document.
+    pub decision: Arc<Decision>,
     /// `true` when the decision came out of the memoised cache rather than a solver
     /// engine run.
     pub cached: bool,
@@ -119,7 +175,7 @@ pub struct Workspace {
     dtd_by_canonical: HashMap<String, DtdId>,
     queries: Vec<InternedQuery>,
     query_by_canonical: HashMap<String, QueryId>,
-    cache: Mutex<HashMap<(DtdId, QueryId), Decision>>,
+    cache: ShardedCache,
     stats: CacheStats,
 }
 
@@ -138,7 +194,7 @@ impl Workspace {
             dtd_by_canonical: HashMap::new(),
             queries: Vec::new(),
             query_by_canonical: HashMap::new(),
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedCache::new(),
             stats: CacheStats::default(),
         }
     }
@@ -163,6 +219,10 @@ impl Workspace {
         CacheStats::bump(&self.stats.normalizations);
         let normalization = normalize(&dtd);
         let compiled = xpsat_dtd::DtdArtifacts::build(&dtd);
+        // The workspace serves many queries per DTD: force the lazy artifact fields
+        // (automata, useful-state masks, generator) now so no decision — and no batch
+        // worker — ever pays first-touch latency or contends on a OnceLock.
+        compiled.warm();
         let class = compiled.class().clone();
         CacheStats::add(&self.stats.automata_built, compiled.automata_count() as u64);
         CacheStats::bump(&self.stats.dtds_registered);
@@ -233,10 +293,10 @@ impl Workspace {
         self.query(query)?;
         let artifacts = self.artifacts(dtd)?;
         let key = (dtd, query);
-        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+        if let Some(hit) = self.cache.get(&key) {
             CacheStats::bump(&self.stats.decision_cache_hits);
             return Ok(ServedDecision {
-                decision: hit.clone(),
+                decision: hit,
                 cached: true,
             });
         }
@@ -244,10 +304,8 @@ impl Workspace {
             .solver
             .decide_with_artifacts(&artifacts.compiled, &self.queries[query.0].path);
         CacheStats::bump(&self.stats.decisions_computed);
-        let mut cache = self.cache.lock().unwrap();
-        let stored = cache.entry(key).or_insert(decision);
         Ok(ServedDecision {
-            decision: stored.clone(),
+            decision: self.cache.insert_if_absent(key, decision),
             cached: false,
         })
     }
@@ -268,51 +326,116 @@ impl Workspace {
             self.query(q)?;
         }
 
+        // The distinct query ids in the batch, grouped by cache stripe so the lookup
+        // phase takes each stripe lock exactly once.
+        let distinct: Vec<QueryId> = queries
+            .iter()
+            .copied()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut by_shard: Vec<Vec<QueryId>> = vec![Vec::new(); CACHE_SHARDS];
+        for &q in &distinct {
+            by_shard[ShardedCache::shard_index(&(dtd, q))].push(q);
+        }
+
         // The distinct query ids not yet in the cache: each is computed exactly once,
-        // no matter how often it repeats in `queries`.
-        let missing: Vec<QueryId> = {
-            let cache = self.cache.lock().unwrap();
-            queries
-                .iter()
-                .copied()
-                .collect::<BTreeSet<_>>()
-                .into_iter()
-                .filter(|&q| !cache.contains_key(&(dtd, q)))
-                .collect()
-        };
+        // no matter how often it repeats in `queries`.  Also collect the already-cached
+        // decisions while the stripe lock is held.
+        let mut missing: Vec<QueryId> = Vec::new();
+        let mut resolved: HashMap<QueryId, Arc<Decision>> = HashMap::with_capacity(distinct.len());
+        for (shard, members) in self.cache.shards.iter().zip(&by_shard) {
+            if members.is_empty() {
+                continue;
+            }
+            let shard = shard.lock().unwrap();
+            for &q in members {
+                match shard.get(&(dtd, q)) {
+                    Some(hit) => {
+                        resolved.insert(q, hit.clone());
+                    }
+                    None => missing.push(q),
+                }
+            }
+        }
+        missing.sort_unstable();
 
         if !missing.is_empty() {
-            let workers = threads.max(1).min(missing.len());
-            let next = AtomicUsize::new(0);
-            let computed: Mutex<Vec<(QueryId, Decision)>> =
-                Mutex::new(Vec::with_capacity(missing.len()));
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&q) = missing.get(i) else { break };
-                            let decision = self.solver.decide_with_artifacts(
-                                &artifacts.compiled,
-                                &self.queries[q.0].path,
-                            );
-                            local.push((q, decision));
-                        }
-                        computed.lock().unwrap().extend(local);
-                    });
+            // Cap the pool at the hardware parallelism: the work is CPU-bound, so
+            // oversubscribed workers only add spawn and scheduling overhead (on a
+            // single-core host every requested width degenerates to one worker).
+            let hardware = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let workers = threads.max(1).min(missing.len()).min(hardware);
+            // Per-worker result buffers, merged at join: workers share nothing but the
+            // work-stealing cursor, so computing a decision never takes a lock.  A
+            // single-worker batch runs inline — no scope, no spawn, no join.
+            let worker_buffers: Vec<Vec<(QueryId, Decision)>> = if workers == 1 {
+                let buffer = missing
+                    .iter()
+                    .map(|&q| {
+                        let decision = self
+                            .solver
+                            .decide_with_artifacts(&artifacts.compiled, &self.queries[q.0].path);
+                        (q, decision)
+                    })
+                    .collect();
+                vec![buffer]
+            } else {
+                let next = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            scope.spawn(|| {
+                                let mut local: Vec<(QueryId, Decision)> = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    let Some(&q) = missing.get(i) else { break };
+                                    let decision = self.solver.decide_with_artifacts(
+                                        &artifacts.compiled,
+                                        &self.queries[q.0].path,
+                                    );
+                                    local.push((q, decision));
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("batch worker panicked"))
+                        .collect()
+                })
+            };
+
+            // Publish into the cache, one stripe lock per touched stripe.
+            let mut inserts: Vec<Vec<(QueryId, Decision)>> = vec![Vec::new(); CACHE_SHARDS];
+            let mut computed = 0u64;
+            for buffer in worker_buffers {
+                computed += buffer.len() as u64;
+                for (q, decision) in buffer {
+                    inserts[ShardedCache::shard_index(&(dtd, q))].push((q, decision));
                 }
-            });
-            let computed = computed.into_inner().unwrap();
-            CacheStats::add(&self.stats.decisions_computed, computed.len() as u64);
-            let mut cache = self.cache.lock().unwrap();
-            for (q, decision) in computed {
-                cache.entry((dtd, q)).or_insert(decision);
+            }
+            CacheStats::add(&self.stats.decisions_computed, computed);
+            for (shard, batch) in self.cache.shards.iter().zip(inserts) {
+                if batch.is_empty() {
+                    continue;
+                }
+                let mut shard = shard.lock().unwrap();
+                for (q, decision) in batch {
+                    let stored = shard
+                        .entry((dtd, q))
+                        .or_insert_with(|| Arc::new(decision))
+                        .clone();
+                    resolved.insert(q, stored);
+                }
             }
         }
 
-        // Assemble results in request order; everything is in the cache now.
-        let cache = self.cache.lock().unwrap();
+        // Assemble results in request order from the per-batch resolution map — no
+        // further cache locking.
         let first_served: BTreeSet<QueryId> = missing.iter().copied().collect();
         let mut out = Vec::with_capacity(queries.len());
         let mut fresh_seen: BTreeSet<QueryId> = BTreeSet::new();
@@ -324,7 +447,7 @@ impl Workspace {
                 CacheStats::bump(&self.stats.decision_cache_hits);
             }
             out.push(ServedDecision {
-                decision: cache[&(dtd, q)].clone(),
+                decision: resolved[&q].clone(),
                 cached,
             });
         }

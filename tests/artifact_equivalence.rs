@@ -16,6 +16,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 use xpsat_automata::{Dfa, Nfa, Regex};
 use xpsat_core::Solver;
 use xpsat_dtd::{parse_dtd, Dtd, DtdArtifacts, DtdGraph, Sym, SymbolTable};
@@ -86,6 +87,85 @@ fn dense_nfa_and_dfa_match_the_derivative_oracle_on_random_words() {
             );
         }
     }
+}
+
+#[test]
+fn dense_dfa_matches_sparse_dfa_on_random_regexes() {
+    let mut rng = StdRng::seed_from_u64(20260730);
+    let alphabet: BTreeSet<char> = ['a', 'b', 'c'].into_iter().collect();
+    let index = |ch: char| (ch as usize) - ('a' as usize);
+    for _ in 0..60 {
+        let re = random_regex(&mut rng, 3);
+        let sparse = Dfa::from_nfa(&Nfa::glushkov(&re));
+        let dense = sparse.to_dense(&alphabet);
+        for _ in 0..40 {
+            let len = rng.gen_range(0..6);
+            let word: Vec<char> = (0..len)
+                .map(|_| {
+                    *alphabet
+                        .iter()
+                        .nth(rng.gen_range(0..alphabet.len()))
+                        .unwrap()
+                })
+                .collect();
+            let cols: Vec<usize> = word.iter().map(|&ch| index(ch)).collect();
+            assert_eq!(
+                dense.accepts(&cols),
+                sparse.accepts(&word),
+                "dense/sparse divergence for {re:?} on {word:?}"
+            );
+            // Complement flips membership for every word.
+            assert_eq!(dense.complement().accepts(&cols), !dense.accepts(&cols));
+        }
+        assert_eq!(dense.is_empty(), sparse.is_empty(), "emptiness for {re:?}");
+    }
+}
+
+#[test]
+fn dense_dfa_equivalence_agrees_with_sparse_equivalence() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let alphabet: BTreeSet<char> = ['a', 'b', 'c'].into_iter().collect();
+    let mut seen_equal = 0;
+    for _ in 0..40 {
+        let r1 = random_regex(&mut rng, 2);
+        let r2 = random_regex(&mut rng, 2);
+        let d1 = Dfa::from_nfa(&Nfa::glushkov(&r1));
+        let d2 = Dfa::from_nfa(&Nfa::glushkov(&r2));
+        // Oracle: brute-force membership agreement over all words up to length 4.
+        let mut brute_equal = true;
+        let letters: Vec<char> = alphabet.iter().copied().collect();
+        let mut words: Vec<Vec<char>> = vec![vec![]];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for w in &words {
+                for &ch in &letters {
+                    let mut w2 = w.clone();
+                    w2.push(ch);
+                    next.push(w2);
+                }
+            }
+            words.extend(next);
+        }
+        for w in &words {
+            if r1.matches(w) != r2.matches(w) {
+                brute_equal = false;
+                break;
+            }
+        }
+        let dense_equal = d1.to_dense(&alphabet).equivalent(&d2.to_dense(&alphabet));
+        // Short-word disagreement certainly refutes equivalence; agreement up to
+        // length 4 on these tiny expressions is decided exactly by the automata.
+        if !brute_equal {
+            assert!(!dense_equal, "{r1:?} vs {r2:?}");
+        }
+        assert_eq!(dense_equal, d1.equivalent(&d2), "{r1:?} vs {r2:?}");
+        seen_equal += usize::from(dense_equal);
+        // Reflexivity through an independent construction.
+        assert!(d1
+            .to_dense(&alphabet)
+            .equivalent(&Dfa::from_nfa(&Nfa::glushkov(&r1)).to_dense(&alphabet)));
+    }
+    let _ = seen_equal;
 }
 
 /// A random DTD over `n` element types, with occasional cycles and references to one
@@ -248,6 +328,38 @@ fn solver_verdicts_identical_with_and_without_artifacts() {
                 decision_fingerprint(&per_call),
                 decision_fingerprint(&shared),
                 "cold/warm divergence on `{query_text}` under `{dtd_text}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn lazy_and_eagerly_warmed_artifacts_yield_identical_fingerprints() {
+    let solver = Solver::default();
+    for (dtd_text, queries) in solver_corpus() {
+        let dtd = parse_dtd(dtd_text).unwrap();
+        // `lazy` builds its automata/useful-masks/generator on first touch per query;
+        // `eager` is fully forced up front (the service-registration path).
+        let lazy = DtdArtifacts::build(&dtd);
+        let eager = DtdArtifacts::build(&dtd);
+        eager.warm();
+        for query_text in &queries {
+            let query = parse_path(query_text).unwrap();
+            let from_lazy = solver.decide_with_artifacts(&lazy, &query);
+            let from_eager = solver.decide_with_artifacts(&eager, &query);
+            assert_eq!(
+                decision_fingerprint(&from_lazy),
+                decision_fingerprint(&from_eager),
+                "lazy/eager divergence on `{query_text}` under `{dtd_text}`"
+            );
+        }
+        // Forcing after the fact must also be a no-op observably.
+        lazy.warm();
+        for query_text in &queries {
+            let query = parse_path(query_text).unwrap();
+            assert_eq!(
+                decision_fingerprint(&solver.decide_with_artifacts(&lazy, &query)),
+                decision_fingerprint(&solver.decide_with_artifacts(&eager, &query)),
             );
         }
     }

@@ -165,7 +165,7 @@ fn workspace_level_batch_is_order_preserving_and_thread_invariant() {
     let texts = corpus_queries(&mut rng, &dtd, 60);
 
     let mut baseline: Option<Vec<String>> = None;
-    for threads in [1, 2, 8] {
+    for threads in [1, 2, 4, 8] {
         let mut ws = Workspace::default();
         let d = ws.register_dtd(&dtd.to_string()).unwrap();
         let ids: Vec<QueryId> = texts.iter().map(|t| ws.intern(t).unwrap()).collect();
@@ -178,6 +178,49 @@ fn workspace_level_batch_is_order_preserving_and_thread_invariant() {
             None => baseline = Some(fingerprints),
             Some(expected) => assert_eq!(expected, &fingerprints, "threads = {threads}"),
         }
+    }
+}
+
+#[test]
+fn sharded_cache_agrees_with_per_query_decides_across_entry_points() {
+    // The decision cache is striped across lock shards; whichever path warms a pair —
+    // a batch worker or a single `decide` — every later read must see the identical
+    // decision.  Mix the two entry points over several DTDs and orders.
+    let mut rng = StdRng::seed_from_u64(1234);
+    for dtd in corpus_dtds() {
+        let texts = corpus_queries(&mut rng, &dtd, 50);
+        // Reference: a dedicated workspace that only ever uses single decides.
+        let mut singles = Workspace::default();
+        let ds = singles.register_dtd(&dtd.to_string()).unwrap();
+        let single_ids: Vec<QueryId> = texts.iter().map(|t| singles.intern(t).unwrap()).collect();
+        let expected: Vec<String> = single_ids
+            .iter()
+            .map(|&q| decision_fingerprint(&singles.decide(ds, q).unwrap().decision))
+            .collect();
+
+        // Mixed workspace: first half warmed through decide(), then a threaded batch
+        // over everything, then decide() reads for all (now fully cached).
+        let mut mixed = Workspace::default();
+        let dm = mixed.register_dtd(&dtd.to_string()).unwrap();
+        let ids: Vec<QueryId> = texts.iter().map(|t| mixed.intern(t).unwrap()).collect();
+        for &q in ids.iter().take(ids.len() / 2) {
+            mixed.decide(dm, q).unwrap();
+        }
+        let batched = mixed.decide_batch(dm, &ids, 4).unwrap();
+        for (one, want) in batched.iter().zip(&expected) {
+            assert_eq!(&decision_fingerprint(&one.decision), want);
+        }
+        let stats_after_batch = mixed.stats();
+        for (&q, want) in ids.iter().zip(&expected) {
+            let served = mixed.decide(dm, q).unwrap();
+            assert!(served.cached, "pair must be cached after the batch");
+            assert_eq!(&decision_fingerprint(&served.decision), want);
+        }
+        // The post-batch reads ran no solver engine.
+        assert_eq!(
+            mixed.stats().decisions_computed,
+            stats_after_batch.decisions_computed
+        );
     }
 }
 
