@@ -91,6 +91,52 @@ impl<S: Symbol> Nfa<S> {
         }
     }
 
+    /// Reassemble an automaton from previously extracted parts (the inverse of reading
+    /// it back out through [`Nfa::transitions_from`], [`Nfa::accepting_states`] and
+    /// [`Nfa::symbol_of`]).  Used by persistent artifact stores to rehydrate compiled
+    /// automata without re-running the Glushkov construction.
+    ///
+    /// Rows are normalised (sorted by symbol, successor lists sorted and deduplicated)
+    /// so lookups by binary search keep working even if the caller hands rows back in a
+    /// different order.
+    ///
+    /// # Panics
+    /// Panics when `transitions`, `state_symbol` and the accepting set disagree on the
+    /// number of states, or when a successor index is out of range.
+    pub fn from_parts(
+        mut transitions: Vec<Vec<(S, Vec<StateId>)>>,
+        accepting: impl IntoIterator<Item = StateId>,
+        state_symbol: Vec<Option<S>>,
+    ) -> Nfa<S> {
+        let n = transitions.len();
+        assert_eq!(
+            state_symbol.len(),
+            n,
+            "from_parts: state_symbol length must equal the number of states"
+        );
+        let mut acc = BitSet::with_capacity(n);
+        for q in accepting {
+            assert!(q < n, "from_parts: accepting state {q} out of range");
+            acc.insert(q);
+        }
+        for row in &mut transitions {
+            row.sort_by(|(a, _), (b, _)| a.cmp(b));
+            for (_, succs) in row.iter_mut() {
+                succs.sort_unstable();
+                succs.dedup();
+                assert!(
+                    succs.iter().all(|&t| t < n),
+                    "from_parts: successor out of range"
+                );
+            }
+        }
+        Nfa {
+            transitions,
+            accepting: acc,
+            state_symbol,
+        }
+    }
+
     /// Number of states (including the initial state).
     pub fn num_states(&self) -> usize {
         self.transitions.len()
@@ -445,6 +491,41 @@ mod tests {
         let re = Regex::Concat(vec![c('a'), Regex::Empty]);
         let nfa = Nfa::glushkov(&re);
         assert!(nfa.useful_states().is_empty());
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let re = Regex::concat(vec![
+            Regex::star(Regex::alt(vec![c('a'), c('b')])),
+            c('c'),
+            Regex::opt(c('d')),
+        ]);
+        let nfa = Nfa::glushkov(&re);
+        let transitions: Vec<Vec<(char, Vec<StateId>)>> = (0..nfa.num_states())
+            .map(|q| {
+                nfa.transitions_from(q)
+                    .map(|(sym, succs)| (*sym, succs.to_vec()))
+                    .collect()
+            })
+            .collect();
+        let accepting: Vec<StateId> = nfa.accepting_states().collect();
+        let state_symbol: Vec<Option<char>> = (0..nfa.num_states())
+            .map(|q| nfa.symbol_of(q).copied())
+            .collect();
+        let rebuilt = Nfa::from_parts(transitions, accepting, state_symbol);
+        for w in [
+            vec![],
+            vec!['c'],
+            vec!['a', 'b', 'c'],
+            vec!['c', 'd'],
+            vec!['d'],
+        ] {
+            assert_eq!(nfa.accepts(&w), rebuilt.accepts(&w), "{w:?}");
+        }
+        assert_eq!(
+            nfa.useful_states().iter().collect::<Vec<_>>(),
+            rebuilt.useful_states().iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]

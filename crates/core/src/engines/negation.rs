@@ -98,18 +98,42 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
 
 /// Decide `(query, dtd)` against precompiled artifacts.
 pub fn decide_with(artifacts: &DtdArtifacts, query: &Path) -> Result<Satisfiability, SatError> {
+    let Some(compiled) = artifacts.compiled() else {
+        if !supports(query) {
+            return Err(SatError::UnsupportedFragment {
+                engine: ENGINE,
+                detail: format!("query {query} uses data values, upward or sibling axes"),
+            });
+        }
+        return Ok(Satisfiability::Unsatisfiable);
+    };
+    let prepared = prepare(compiled, query)?;
+    Ok(decide_prepared(compiled, &prepared))
+}
+
+/// Build the reusable static analysis of `query` against `compiled`: the suffix
+/// closure, the head-normal forms with precompiled demand indices and the per-element
+/// applicable-demand index.  The result is owned (no borrow of the compile), so callers
+/// serving repeated negation-heavy traffic can memoise it per `(artifact, query)` and
+/// amortise the closure computation — which dominates when the same query is re-decided
+/// after a decision-cache miss.
+///
+/// A [`PreparedQuery`] resolves element labels to this compile's [`Sym`]s; it must only
+/// ever be replayed against the same compile (or a byte-identical one).
+pub fn prepare(compiled: &CompiledDtd, query: &Path) -> Result<PreparedQuery, SatError> {
     if !supports(query) {
         return Err(SatError::UnsupportedFragment {
             engine: ENGINE,
             detail: format!("query {query} uses data values, upward or sibling axes"),
         });
     }
-    let Some(compiled) = artifacts.compiled() else {
-        return Ok(Satisfiability::Unsatisfiable);
-    };
-    let analysis = Analysis::build(compiled, query)?;
-    let query_index = analysis.index_of(&analysis.query.clone());
-    let fixpoint = analysis.fixpoint(query_index);
+    PreparedQuery::build(compiled, query)
+}
+
+/// Run the fixpoint of a previously [`prepare`]d query against the same compile.
+pub fn decide_prepared(compiled: &CompiledDtd, prepared: &PreparedQuery) -> Satisfiability {
+    let query_index = prepared.query_index;
+    let fixpoint = prepared.fixpoint(compiled, query_index);
     let root = compiled.root();
     let winning = fixpoint.achieved[root.index()]
         .iter()
@@ -120,17 +144,19 @@ pub fn decide_with(artifacts: &DtdArtifacts, query: &Path) -> Result<Satisfiabil
             let doc_root = doc.root();
             fixpoint.build_witness(compiled, &mut doc, doc_root, root, profile);
             fill_missing_attributes(&mut doc, compiled.dtd());
-            Ok(Satisfiability::Satisfiable(doc))
+            Satisfiability::Satisfiable(doc)
         }
-        None => Ok(Satisfiability::Unsatisfiable),
+        None => Satisfiability::Unsatisfiable,
     }
 }
 
 /// The static analysis of the query against the DTD: the closure, the demands and the
-/// head-normal forms.
-struct Analysis<'a> {
-    compiled: &'a CompiledDtd,
+/// head-normal forms.  Owned — see [`prepare`] for the memoisation contract.
+#[derive(Debug)]
+pub struct PreparedQuery {
     query: Path,
+    /// Closure index of `query` itself.
+    query_index: usize,
     closure: Vec<Path>,
     /// Closure indices sorted by structural size: evaluation order for `profile_of`.
     eval_order: Vec<usize>,
@@ -142,12 +168,22 @@ struct Analysis<'a> {
     applicable: Vec<Vec<(usize, usize)>>,
 }
 
-impl<'a> Analysis<'a> {
-    fn build(compiled: &'a CompiledDtd, query: &Path) -> Result<Analysis<'a>, SatError> {
+impl PreparedQuery {
+    /// The right-associated form of the prepared query.
+    pub fn query(&self) -> &Path {
+        &self.query
+    }
+
+    /// Number of paths in the suffix closure (a size proxy for memo accounting).
+    pub fn closure_len(&self) -> usize {
+        self.closure.len()
+    }
+
+    fn build(compiled: &CompiledDtd, query: &Path) -> Result<PreparedQuery, SatError> {
         let query = query.right_assoc();
-        let mut analysis = Analysis {
-            compiled,
+        let mut analysis = PreparedQuery {
             query: query.clone(),
+            query_index: 0,
             closure: Vec::new(),
             eval_order: Vec::new(),
             hnf: Vec::new(),
@@ -305,14 +341,12 @@ impl<'a> Analysis<'a> {
                     .collect()
             })
             .collect();
-        Ok(analysis)
-    }
-
-    fn index_of(&self, path: &Path) -> usize {
-        self.closure
+        analysis.query_index = analysis
+            .closure
             .iter()
-            .position(|p| p == path)
-            .expect("the query is seeded into the closure")
+            .position(|p| *p == query)
+            .expect("the query is seeded into the closure");
+        Ok(analysis)
     }
 
     /// The demand bits provided by a child with the given label and profile: an
@@ -329,15 +363,19 @@ impl<'a> Analysis<'a> {
 
     /// Evaluate the profile of a node with the given label whose children provide the
     /// demand-bit union `supplied`.
-    fn profile_of(&self, label: Sym, supplied: &BitSet) -> Profile {
+    fn profile_of(&self, compiled: &CompiledDtd, label: Sym, supplied: &BitSet) -> Profile {
         let mut truth = vec![false; self.closure.len()];
         for &index in &self.eval_order {
             let value = self.hnf[index].iter().any(|alt| match alt {
-                HeadAlt::Done(quals) => quals.iter().all(|q| self.eval_qualifier(q, label, &truth)),
+                HeadAlt::Done(quals) => quals
+                    .iter()
+                    .all(|q| self.eval_qualifier(compiled, q, label, &truth)),
                 HeadAlt::Step(quals, demand_index) => {
                     *demand_index != usize::MAX
                         && supplied.contains(*demand_index)
-                        && quals.iter().all(|q| self.eval_qualifier(q, label, &truth))
+                        && quals
+                            .iter()
+                            .all(|q| self.eval_qualifier(compiled, q, label, &truth))
                 }
                 HeadAlt::StepPending(..) => unreachable!("patched during construction"),
             });
@@ -350,7 +388,13 @@ impl<'a> Analysis<'a> {
             .collect()
     }
 
-    fn eval_qualifier(&self, q: &Qualifier, label: Sym, truth: &[bool]) -> bool {
+    fn eval_qualifier(
+        &self,
+        compiled: &CompiledDtd,
+        q: &Qualifier,
+        label: Sym,
+        truth: &[bool],
+    ) -> bool {
         match q {
             Qualifier::Path(p) => {
                 let normalized = p.right_assoc();
@@ -361,14 +405,16 @@ impl<'a> Analysis<'a> {
                     .expect("qualifier paths are seeded into the closure");
                 truth[index]
             }
-            Qualifier::LabelIs(l) => self.compiled.elem_sym(l) == Some(label),
+            Qualifier::LabelIs(l) => compiled.elem_sym(l) == Some(label),
             Qualifier::And(a, b) => {
-                self.eval_qualifier(a, label, truth) && self.eval_qualifier(b, label, truth)
+                self.eval_qualifier(compiled, a, label, truth)
+                    && self.eval_qualifier(compiled, b, label, truth)
             }
             Qualifier::Or(a, b) => {
-                self.eval_qualifier(a, label, truth) || self.eval_qualifier(b, label, truth)
+                self.eval_qualifier(compiled, a, label, truth)
+                    || self.eval_qualifier(compiled, b, label, truth)
             }
-            Qualifier::Not(inner) => !self.eval_qualifier(inner, label, truth),
+            Qualifier::Not(inner) => !self.eval_qualifier(compiled, inner, label, truth),
             // Data values are rejected by `supports`.
             _ => false,
         }
@@ -387,8 +433,7 @@ impl<'a> Analysis<'a> {
     /// Stops early as soon as the root type achieves a profile containing
     /// `query_index`: recipes are recorded the moment a profile is first achieved, so
     /// the witness for that profile is already fully expandable.
-    fn fixpoint(&self, query_index: usize) -> Fixpoint {
-        let compiled = self.compiled;
+    fn fixpoint(&self, compiled: &CompiledDtd, query_index: usize) -> Fixpoint {
         let n = compiled.num_elements();
         let root = compiled.root();
         let mut achieved: Vec<BTreeSet<Profile>> = vec![BTreeSet::new(); n];
@@ -443,7 +488,7 @@ impl<'a> Analysis<'a> {
             let mut gained = false;
             while let Some(key) = queue.pop_front() {
                 if nfa.is_accepting(key.0) {
-                    let profile = self.profile_of(elem, &key.1);
+                    let profile = self.profile_of(compiled, elem, &key.1);
                     let entry = &mut achieved[elem_index];
                     if !entry.contains(&profile) {
                         entry.insert(profile.clone());

@@ -18,8 +18,12 @@
 //!    the honest thing to do in the undecidable corner of Theorem 5.4).
 
 use crate::engines::enumeration::EnumerationLimits;
+use crate::engines::negation::PreparedQuery;
 use crate::engines::{djfree, downward, enumeration, negation, nodtd, positive, sibling};
-use crate::sat::Satisfiability;
+use crate::sat::{SatError, Satisfiability};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use xpsat_dtd::{Dtd, DtdArtifacts};
 use xpsat_xpath::{Features, Path};
 
@@ -77,16 +81,96 @@ pub struct SolverConfig {
     pub enumeration: EnumerationLimits,
 }
 
+/// Entries the negation-analysis memo holds before it is wholesale cleared; generous
+/// for real workloads (thousands of distinct negation-heavy queries per DTD) while
+/// bounding a pathological stream of one-shot queries.
+const NEGATION_MEMO_CAP: usize = 4096;
+
+/// Memoised negation-fixpoint analyses, keyed by `(artifact uid, canonical query)`.
+///
+/// [`negation::prepare`] builds the suffix closure, head-normal forms and demand
+/// indices of a query — work that depends only on `(DTD, query)` and dominates repeated
+/// negation-heavy traffic that misses the service's decision cache (distinct
+/// workspaces, eviction, or direct [`Solver::decide_with_artifacts`] loops).  The memo
+/// replays the owned [`PreparedQuery`] instead.  Keying by [`DtdArtifacts::uid`] makes
+/// entries die with their compile: a re-registered or rematerialised DTD gets a fresh
+/// uid, so stale symbol resolutions can never be replayed against the wrong compile.
+#[derive(Debug, Default)]
+struct NegationMemo {
+    prepared: Mutex<HashMap<(u64, String), Arc<PreparedQuery>>>,
+    hits: AtomicU64,
+    built: AtomicU64,
+}
+
 /// The satisfiability solver façade.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Solver {
     config: SolverConfig,
+    negation_memo: NegationMemo,
+}
+
+impl Clone for Solver {
+    /// Clones share configuration but start with an empty analysis memo (the memo is a
+    /// cache, not semantics).
+    fn clone(&self) -> Solver {
+        Solver::new(self.config.clone())
+    }
 }
 
 impl Solver {
     /// A solver with explicit budgets.
     pub fn new(config: SolverConfig) -> Solver {
-        Solver { config }
+        Solver {
+            config,
+            negation_memo: NegationMemo::default(),
+        }
+    }
+
+    /// `(hits, analyses built)` of the negation-analysis memo, for observability.
+    pub fn negation_memo_stats(&self) -> (u64, u64) {
+        (
+            self.negation_memo.hits.load(Ordering::Relaxed),
+            self.negation_memo.built.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The negation engine, fronted by the per-`(artifact, query)` analysis memo.
+    fn decide_negation_cached(
+        &self,
+        artifacts: &DtdArtifacts,
+        query: &Path,
+    ) -> Result<Satisfiability, SatError> {
+        let Some(compiled) = artifacts.compiled() else {
+            // No compile means no analysis to reuse; the plain path handles the
+            // vacuous-DTD verdict (and fragment rejection) directly.
+            return negation::decide_with(artifacts, query);
+        };
+        let key = (artifacts.uid(), query.right_assoc().to_string());
+        let cached = self
+            .negation_memo
+            .prepared
+            .lock()
+            .expect("negation memo lock")
+            .get(&key)
+            .cloned();
+        if let Some(prepared) = cached {
+            self.negation_memo.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(negation::decide_prepared(compiled, &prepared));
+        }
+        let prepared = Arc::new(negation::prepare(compiled, query)?);
+        self.negation_memo.built.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut memo = self
+                .negation_memo
+                .prepared
+                .lock()
+                .expect("negation memo lock");
+            if memo.len() >= NEGATION_MEMO_CAP {
+                memo.clear();
+            }
+            memo.insert(key, Arc::clone(&prepared));
+        }
+        Ok(negation::decide_prepared(compiled, &prepared))
     }
 
     /// Decide whether some document conforms to `dtd` and satisfies `query`.
@@ -148,7 +232,7 @@ impl Solver {
             }
         }
         if negation::supports_features(&features) {
-            if let Ok(result) = negation::decide_with(artifacts, query) {
+            if let Ok(result) = self.decide_negation_cached(artifacts, query) {
                 return Decision {
                     result,
                     engine: EngineKind::NegationFixpoint,
@@ -213,7 +297,7 @@ impl Solver {
             }
         }
         if negation::supports(query) {
-            if let Ok(result) = negation::decide_with(artifacts, query) {
+            if let Ok(result) = self.decide_negation_cached(artifacts, query) {
                 return Decision {
                     result,
                     engine: EngineKind::NegationFixpoint,
@@ -336,6 +420,28 @@ mod tests {
         if let Satisfiability::Satisfiable(doc) = &decision.result {
             verify_witness(doc, &dtd, &q).unwrap();
         }
+    }
+
+    #[test]
+    fn negation_memo_reuses_analyses_per_artifact() {
+        let dtd = parse_dtd("r -> a*; a -> b | c; b -> #; c -> #;").unwrap();
+        let artifacts = xpsat_dtd::DtdArtifacts::build(&dtd);
+        let solver = solver();
+        let query = parse_path("a[not(b)]").unwrap();
+        let first = solver.decide_with_artifacts(&artifacts, &query);
+        assert_eq!(first.engine, EngineKind::NegationFixpoint);
+        assert_eq!(solver.negation_memo_stats(), (0, 1));
+        let second = solver.decide_with_artifacts(&artifacts, &query);
+        assert_eq!(second.engine, EngineKind::NegationFixpoint);
+        assert_eq!(solver.negation_memo_stats(), (1, 1));
+        assert!(matches!(second.result, Satisfiability::Satisfiable(_)));
+        // A fresh compile of the same DTD has a different uid: no cross-compile reuse.
+        let recompiled = xpsat_dtd::DtdArtifacts::build(&dtd);
+        let third = solver.decide_with_artifacts(&recompiled, &query);
+        assert_eq!(third.engine, EngineKind::NegationFixpoint);
+        assert_eq!(solver.negation_memo_stats(), (1, 2));
+        // Clones start cold.
+        assert_eq!(solver.clone().negation_memo_stats(), (0, 0));
     }
 
     #[test]

@@ -19,15 +19,20 @@ use crate::generate::TreeGenerator;
 use crate::graph::{prune_nonterminating, DtdGraph};
 use crate::symbols::{Sym, SymbolTable};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use xpsat_automata::{BitSet, Nfa};
 
 /// A content-model automaton over interned element-type symbols.
 pub type SymNfa = Nfa<Sym>;
 
+/// Process-global source of artifact identities (see [`DtdArtifacts::uid`]).
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
 /// All precomputed artifacts of one DTD.
 #[derive(Debug, Clone)]
 pub struct DtdArtifacts {
+    uid: u64,
     dtd: Dtd,
     class: DtdClass,
     compiled: Option<CompiledDtd>,
@@ -40,10 +45,35 @@ impl DtdArtifacts {
         let class = classify(dtd);
         let compiled = prune_nonterminating(dtd).map(CompiledDtd::new);
         DtdArtifacts {
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
             dtd: dtd.clone(),
             class,
             compiled,
         }
+    }
+
+    /// Assemble artifacts from parts rehydrated out of a persistent store, skipping the
+    /// classification and compilation passes.  The caller vouches that `class` and
+    /// `compiled` were produced by [`DtdArtifacts::build`] (or an equivalent pipeline)
+    /// for this exact `dtd`.
+    pub fn from_cached_parts(
+        dtd: Dtd,
+        class: DtdClass,
+        compiled: Option<CompiledDtd>,
+    ) -> DtdArtifacts {
+        DtdArtifacts {
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            dtd,
+            class,
+            compiled,
+        }
+    }
+
+    /// A process-unique identity for this compile, stable for the artifact's lifetime.
+    /// Clones share the uid (they are the same compile), so per-artifact memo tables
+    /// keyed by it stay valid across cheap handle copies.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// The DTD exactly as registered (before pruning).
@@ -142,6 +172,45 @@ impl CompiledDtd {
             useful: OnceLock::new(),
             generator: OnceLock::new(),
         }
+    }
+
+    /// Rebuild a compile from a pruned DTD plus automata and useful-state masks that
+    /// were serialised out of an earlier compile, skipping the Glushkov construction
+    /// and the useful-state analysis.
+    ///
+    /// The eager structures (interner, graph, attribute sets) are re-derived from the
+    /// pruned DTD — [`DtdGraph::new`] interns element names in sorted order, so symbol
+    /// ids are deterministic and the stored `Sym`-indexed automata remain valid.
+    /// Callers must verify that `element names in id order` match the serialised
+    /// compile before trusting the indices (the persistent store does).
+    ///
+    /// # Panics
+    /// Panics when `automata` or `useful` do not have one entry per element type.
+    pub fn from_cached_automata(
+        pruned: Dtd,
+        automata: Vec<SymNfa>,
+        useful: Vec<BitSet>,
+    ) -> CompiledDtd {
+        let compiled = CompiledDtd::new(pruned);
+        assert_eq!(
+            automata.len(),
+            compiled.num_elements,
+            "from_cached_automata: one automaton per element type"
+        );
+        assert_eq!(
+            useful.len(),
+            compiled.num_elements,
+            "from_cached_automata: one useful-state mask per element type"
+        );
+        compiled
+            .automata
+            .set(automata)
+            .expect("fresh compile has no automata yet");
+        compiled
+            .useful
+            .set(useful)
+            .expect("fresh compile has no useful masks yet");
+        compiled
     }
 
     /// The automata vector, built on first touch.
@@ -303,6 +372,37 @@ mod tests {
         let art = DtdArtifacts::build(&dtd);
         assert!(art.compiled().is_none());
         assert_eq!(art.automata_count(), 0);
+    }
+
+    #[test]
+    fn cached_automata_rebuild_matches_fresh_compile() {
+        let dtd = parse_dtd("r -> a*, b; a -> c | d; b -> #; c -> #; d -> #; @a: id;").unwrap();
+        let fresh = DtdArtifacts::build(&dtd);
+        let compiled = fresh.compiled().unwrap();
+        compiled.warm();
+        let automata: Vec<SymNfa> = compiled
+            .elements()
+            .map(|e| compiled.automaton(e).clone())
+            .collect();
+        let useful: Vec<BitSet> = compiled
+            .elements()
+            .map(|e| compiled.useful_states(e).clone())
+            .collect();
+        let rebuilt = CompiledDtd::from_cached_automata(compiled.dtd().clone(), automata, useful);
+        assert_eq!(rebuilt.num_elements(), compiled.num_elements());
+        assert_eq!(rebuilt.root(), compiled.root());
+        for sym in compiled.elements() {
+            assert_eq!(rebuilt.name(sym), compiled.name(sym));
+            let word = compiled.automaton(sym).shortest_word();
+            assert_eq!(rebuilt.automaton(sym).shortest_word(), word);
+            assert_eq!(
+                rebuilt.useful_states(sym).iter().collect::<Vec<_>>(),
+                compiled.useful_states(sym).iter().collect::<Vec<_>>()
+            );
+        }
+        let cached = DtdArtifacts::from_cached_parts(dtd.clone(), fresh.class().clone(), None);
+        assert_ne!(cached.uid(), fresh.uid());
+        assert_eq!(fresh.clone().uid(), fresh.uid());
     }
 
     #[test]

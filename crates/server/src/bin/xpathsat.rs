@@ -1,0 +1,538 @@
+//! `xpathsat` — command-line front-end of the satisfiability service.
+//!
+//! ```text
+//! xpathsat check --dtd <file|-> [--witness] <query>...
+//! xpathsat batch [--threads N] [--input <file>]
+//! xpathsat classify --dtd <file|->
+//! xpathsat bench-gen [--depth D] [--width W] [--queries N] [--seed S] [--threads T]
+//! xpathsat serve [--addr A | --unix PATH] [--cache-dir DIR] [...]
+//! xpathsat connect (--addr A | --unix PATH) [--input <file>]
+//! xpathsat stats (--addr A | --unix PATH) [--tenant NAME]
+//! ```
+//!
+//! `check` decides each query against one DTD and prints a human-readable verdict per
+//! line.  `batch` runs the JSON-lines protocol (stdin or `--input` file → stdout), which
+//! is the service's machine endpoint.  `classify` prints the DTD's structural class and
+//! preprocessing summary.  `bench-gen` emits a reproducible JSON-lines workload
+//! (`register_dtd` + a large `batch` + `stats`) ready to pipe back into `xpathsat
+//! batch`.  `serve` runs the same protocol as a persistent multi-tenant TCP (or
+//! Unix-socket) daemon with an on-disk artifact cache; `connect` pipes a script to a
+//! running daemon; `stats` asks one for its counters.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::ExitCode;
+use xpsat_server::{Bind, Server, ServerConfig};
+use xpsat_service::{effective_threads, Json, ProtocolServer, Session};
+
+const USAGE: &str = "xpathsat — XPath-satisfiability service CLI
+
+USAGE:
+    xpathsat check --dtd <file|-> [--witness] <query>...
+    xpathsat batch [--threads N] [--input <file>]
+    xpathsat classify --dtd <file|->
+    xpathsat bench-gen [--depth D] [--width W] [--queries N] [--seed S] [--threads T]
+    xpathsat serve [--addr A | --unix PATH] [--workers N] [--queue N]
+                   [--max-inflight N] [--deadline-ms MS] [--cache-dir DIR]
+                   [--max-resident N] [--max-line-bytes N] [--threads T]
+    xpathsat connect (--addr A | --unix PATH) [--input <file>]
+    xpathsat stats (--addr A | --unix PATH) [--tenant NAME]
+
+SUBCOMMANDS:
+    check       Decide queries against a DTD, one verdict per line
+    batch       Serve the JSON-lines protocol (one request per line on stdin)
+    classify    Print the DTD's structural classification and artifact summary
+    bench-gen   Emit a reproducible JSON-lines workload for `xpathsat batch`
+    serve       Run the protocol as a persistent TCP/Unix-socket daemon
+    connect     Pipe protocol lines (stdin or --input) to a running daemon
+    stats       Print a running daemon's counters as one JSON line
+
+OPTIONS:
+    --dtd <file|->     DTD in the workspace's textual syntax ('-' reads stdin)
+    --witness          Include witness documents in `check` output
+    --threads N        Worker threads for batch dispatch (default: CPU count)
+    --input <file>     Read protocol lines from a file instead of stdin
+    --depth D          bench-gen: layered-DTD depth (default 4)
+    --width W          bench-gen: sibling types per level (default 3)
+    --queries N        bench-gen: number of random queries (default 100)
+    --seed S           bench-gen: RNG seed (default 2005)
+    --addr A           serve/connect/stats: TCP address (default 127.0.0.1:7878;
+                       serve with port 0 picks an ephemeral port and prints it)
+    --unix PATH        serve/connect/stats: Unix-socket path instead of TCP
+    --workers N        serve: connection worker threads (default: CPUs, min 4)
+    --queue N          serve: pending-connection queue bound (default 32)
+    --max-inflight N   serve: in-flight query admission bound (default 256)
+    --deadline-ms MS   serve: default per-request deadline (default: none)
+    --cache-dir DIR    serve: persistent artifact cache root (default: none)
+    --max-resident N   serve: per-tenant resident compiled-DTD bound (default: none)
+    --max-line-bytes N serve: request line length cap (default 1048576)
+    --tenant NAME      stats: tenant to report workspace counters for
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((subcommand, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match subcommand.as_str() {
+        "check" => cmd_check(rest),
+        "batch" => cmd_batch(rest),
+        "classify" => cmd_classify(rest),
+        "bench-gen" => cmd_bench_gen(rest),
+        "serve" => cmd_serve(rest),
+        "connect" => cmd_connect(rest),
+        "stats" => cmd_stats(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError::Runtime(e.to_string())
+    }
+}
+
+/// Parsed `--flag value` / `--switch` options plus positional arguments.
+struct Options {
+    dtd: Option<String>,
+    witness: bool,
+    threads: usize,
+    input: Option<String>,
+    depth: usize,
+    width: usize,
+    queries: usize,
+    seed: u64,
+    addr: Option<String>,
+    unix: Option<String>,
+    workers: usize,
+    queue: usize,
+    max_inflight: u64,
+    deadline_ms: Option<u64>,
+    cache_dir: Option<String>,
+    max_resident: Option<usize>,
+    max_line_bytes: usize,
+    tenant: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut options = Options {
+        dtd: None,
+        witness: false,
+        threads: 0,
+        input: None,
+        depth: 4,
+        width: 3,
+        queries: 100,
+        seed: 2005,
+        addr: None,
+        unix: None,
+        workers: 0,
+        queue: 32,
+        max_inflight: 256,
+        deadline_ms: None,
+        cache_dir: None,
+        max_resident: None,
+        max_line_bytes: xpsat_service::DEFAULT_MAX_LINE_BYTES,
+        tenant: None,
+        positional: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        fn numeric<T: std::str::FromStr>(flag: &str, value: String) -> Result<T, CliError> {
+            value
+                .parse()
+                .map_err(|_| CliError::Usage(format!("{flag} needs a number")))
+        }
+        match arg.as_str() {
+            "--dtd" => options.dtd = Some(value_of("--dtd")?),
+            "--witness" => options.witness = true,
+            "--threads" => options.threads = numeric("--threads", value_of("--threads")?)?,
+            "--input" => options.input = Some(value_of("--input")?),
+            "--depth" => options.depth = numeric("--depth", value_of("--depth")?)?,
+            "--width" => options.width = numeric("--width", value_of("--width")?)?,
+            "--queries" => options.queries = numeric("--queries", value_of("--queries")?)?,
+            "--seed" => options.seed = numeric("--seed", value_of("--seed")?)?,
+            "--addr" => options.addr = Some(value_of("--addr")?),
+            "--unix" => options.unix = Some(value_of("--unix")?),
+            "--workers" => options.workers = numeric("--workers", value_of("--workers")?)?,
+            "--queue" => options.queue = numeric("--queue", value_of("--queue")?)?,
+            "--max-inflight" => {
+                options.max_inflight = numeric("--max-inflight", value_of("--max-inflight")?)?
+            }
+            "--deadline-ms" => {
+                options.deadline_ms = Some(numeric("--deadline-ms", value_of("--deadline-ms")?)?)
+            }
+            "--cache-dir" => options.cache_dir = Some(value_of("--cache-dir")?),
+            "--max-resident" => {
+                options.max_resident = Some(numeric("--max-resident", value_of("--max-resident")?)?)
+            }
+            "--max-line-bytes" => {
+                options.max_line_bytes = numeric("--max-line-bytes", value_of("--max-line-bytes")?)?
+            }
+            "--tenant" => options.tenant = Some(value_of("--tenant")?),
+            other if other.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option '{other}'")))
+            }
+            other => options.positional.push(other.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn read_dtd(options: &Options) -> Result<String, CliError> {
+    let source = options
+        .dtd
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("--dtd is required".into()))?;
+    if source == "-" {
+        let mut text = String::new();
+        std::io::stdin().read_to_string(&mut text)?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(source)
+            .map_err(|e| CliError::Runtime(format!("cannot read {source}: {e}")))
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    if options.positional.is_empty() {
+        return Err(CliError::Usage("check needs at least one query".into()));
+    }
+    let dtd_text = read_dtd(&options)?;
+    let mut session = Session::new();
+    session
+        .load_dtd(&dtd_text)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let threads = effective_threads(options.threads);
+    let served = session
+        .check_batch(&options.positional, threads)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut any_unknown = false;
+    for (query, one) in options.positional.iter().zip(&served) {
+        let decision = &one.decision;
+        writeln!(
+            out,
+            "{query}: {} [engine: {}; complete: {}; cached: {}]",
+            decision.result,
+            xpsat_service::engine_slug(decision.engine),
+            decision.complete,
+            one.cached,
+        )?;
+        if options.witness {
+            if let xpsat_core::Satisfiability::Satisfiable(doc) = &decision.result {
+                writeln!(out, "  witness: {}", xpsat_xmltree::serialize::to_xml(doc))?;
+            }
+        }
+        any_unknown |= !decision.result.is_definite();
+    }
+    if any_unknown {
+        Err(CliError::Runtime("some verdicts were 'unknown'".into()))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    if !options.positional.is_empty() {
+        return Err(CliError::Usage(
+            "batch takes no positional arguments".into(),
+        ));
+    }
+    let mut server = ProtocolServer::new(options.threads);
+    let stdout = std::io::stdout();
+    match &options.input {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+            server.serve(BufReader::new(file), stdout.lock())?;
+        }
+        None => {
+            let stdin = std::io::stdin();
+            server.serve(stdin.lock(), stdout.lock())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let dtd_text = read_dtd(&options)?;
+    let mut session = Session::new();
+    let id = session
+        .load_dtd(&dtd_text)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let artifacts = session
+        .workspace()
+        .artifacts(id)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let class = &artifacts.class;
+    println!("root:               {}", artifacts.dtd.root());
+    println!(
+        "element types:      {}",
+        artifacts.dtd.element_names().len()
+    );
+    println!("size |D|:           {}", artifacts.dtd.size());
+    println!("recursive:          {}", class.recursive);
+    println!("disjunction-free:   {}", class.disjunction_free);
+    println!("has star:           {}", class.has_star);
+    println!("normalized:         {}", class.normalized);
+    match class.depth_bound {
+        Some(depth) => println!("depth bound:        {depth}"),
+        None => println!("depth bound:        unbounded (recursive)"),
+    }
+    println!(
+        "normalisation N(D): {} fresh types",
+        artifacts.normalization.new_types.len()
+    );
+    println!(
+        "content automata:   {}",
+        artifacts.compiled.automata_count()
+    );
+    Ok(())
+}
+
+fn cmd_bench_gen(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    if !options.positional.is_empty() {
+        return Err(CliError::Usage(
+            "bench-gen takes no positional arguments".into(),
+        ));
+    }
+    let dtd = xpsat_core::corpus::layered_dtd(options.depth, options.width);
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let queries: Vec<Json> = (0..options.queries)
+        .map(|_| {
+            Json::Str(xpsat_core::corpus::random_positive_query(&mut rng, &dtd, 3).to_string())
+        })
+        .collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "{}",
+        Json::obj(vec![
+            ("op", Json::Str("register_dtd".into())),
+            ("dtd", Json::Str(dtd.to_string())),
+        ])
+    )?;
+    let mut batch = vec![
+        ("op", Json::Str("batch".into())),
+        ("dtd_id", Json::Num(0.0)),
+        ("queries", Json::Arr(queries)),
+    ];
+    if options.threads > 0 {
+        batch.push(("threads", Json::Num(options.threads as f64)));
+    }
+    writeln!(out, "{}", Json::obj(batch))?;
+    writeln!(
+        out,
+        "{}",
+        Json::obj(vec![("op", Json::Str("stats".into()))])
+    )?;
+    Ok(())
+}
+
+/// A client connection to a running daemon (TCP or Unix socket).
+enum ClientConn {
+    Tcp(std::net::TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+/// A buffered reader plus writer over the same server connection.
+type ClientHalves = (Box<dyn BufRead>, Box<dyn Write>);
+
+impl ClientConn {
+    fn open(options: &Options) -> Result<ClientConn, CliError> {
+        if let Some(path) = &options.unix {
+            #[cfg(unix)]
+            {
+                return Ok(ClientConn::Unix(
+                    std::os::unix::net::UnixStream::connect(path)
+                        .map_err(|e| CliError::Runtime(format!("cannot connect to {path}: {e}")))?,
+                ));
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(CliError::Usage(
+                    "--unix is only supported on Unix platforms".into(),
+                ));
+            }
+        }
+        let addr = options.addr.as_deref().unwrap_or("127.0.0.1:7878");
+        Ok(ClientConn::Tcp(
+            std::net::TcpStream::connect(addr)
+                .map_err(|e| CliError::Runtime(format!("cannot connect to {addr}: {e}")))?,
+        ))
+    }
+
+    fn split(self) -> Result<ClientHalves, CliError> {
+        Ok(match self {
+            ClientConn::Tcp(stream) => {
+                let reader = stream.try_clone().map_err(CliError::from)?;
+                (
+                    Box::new(BufReader::new(reader)) as Box<dyn BufRead>,
+                    Box::new(stream) as Box<dyn Write>,
+                )
+            }
+            #[cfg(unix)]
+            ClientConn::Unix(stream) => {
+                let reader = stream.try_clone().map_err(CliError::from)?;
+                (
+                    Box::new(BufReader::new(reader)) as Box<dyn BufRead>,
+                    Box::new(stream) as Box<dyn Write>,
+                )
+            }
+        })
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    if !options.positional.is_empty() {
+        return Err(CliError::Usage(
+            "serve takes no positional arguments".into(),
+        ));
+    }
+    if options.addr.is_some() && options.unix.is_some() {
+        return Err(CliError::Usage("--addr and --unix are exclusive".into()));
+    }
+    let bind = if let Some(path) = &options.unix {
+        #[cfg(unix)]
+        {
+            Bind::Unix(std::path::PathBuf::from(path))
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            return Err(CliError::Usage(
+                "--unix is only supported on Unix platforms".into(),
+            ));
+        }
+    } else {
+        Bind::Tcp(
+            options
+                .addr
+                .clone()
+                .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        )
+    };
+    let config = ServerConfig {
+        bind,
+        workers: options.workers,
+        queue_depth: options.queue,
+        max_inflight_queries: options.max_inflight,
+        default_deadline_ms: options.deadline_ms,
+        max_line_bytes: options.max_line_bytes,
+        cache_dir: options.cache_dir.as_ref().map(std::path::PathBuf::from),
+        max_resident_dtds: options.max_resident,
+        default_threads: options.threads,
+    };
+    let handle = Server::start(config).map_err(|e| CliError::Runtime(e.to_string()))?;
+    // One machine-readable line announcing readiness (and the ephemeral port when
+    // the caller bound port 0), then serve until killed.
+    let mut ready = vec![("serving", Json::Bool(true))];
+    let addr_text = handle.local_addr().map(|a| a.to_string());
+    if let Some(addr) = &addr_text {
+        ready.push(("addr", Json::Str(addr.clone())));
+    }
+    if let Some(path) = &options.unix {
+        ready.push(("unix", Json::Str(path.clone())));
+    }
+    if let Some(dir) = &options.cache_dir {
+        ready.push(("cache_dir", Json::Str(dir.clone())));
+    }
+    println!("{}", Json::obj(ready));
+    std::io::stdout().flush()?;
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_connect(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    if !options.positional.is_empty() {
+        return Err(CliError::Usage(
+            "connect takes no positional arguments".into(),
+        ));
+    }
+    let (mut reader, mut writer) = ClientConn::open(&options)?.split()?;
+    let input: Box<dyn BufRead> = match &options.input {
+        Some(path) => {
+            Box::new(BufReader::new(std::fs::File::open(path).map_err(|e| {
+                CliError::Runtime(format!("cannot read {path}: {e}"))
+            })?))
+        }
+        None => Box::new(BufReader::new(std::io::stdin())),
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut response = String::new();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        response.clear();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(CliError::Runtime(
+                "server closed the connection mid-script".into(),
+            ));
+        }
+        out.write_all(response.as_bytes())?;
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let (mut reader, mut writer) = ClientConn::open(&options)?.split()?;
+    let mut request = vec![("op", Json::Str("stats".into()))];
+    if let Some(tenant) = &options.tenant {
+        request.push(("tenant", Json::Str(tenant.clone())));
+    }
+    writeln!(writer, "{}", Json::obj(request))?;
+    writer.flush()?;
+    let mut response = String::new();
+    if reader.read_line(&mut response)? == 0 {
+        return Err(CliError::Runtime("server closed the connection".into()));
+    }
+    print!("{response}");
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! The in-flight query gate: a counting semaphore that *fails fast*.
+//!
+//! Backpressure at the connection layer (the bounded accept queue) is not enough:
+//! one connection can ship a 10 000-query batch.  The gate bounds the total decide
+//! work admitted at once, measured in queries, so an overloaded server answers
+//! `overloaded` in microseconds instead of queueing work it cannot finish before
+//! every caller's deadline.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A fail-fast counting semaphore over query permits.
+#[derive(Debug)]
+pub struct InflightGate {
+    permits: AtomicI64,
+}
+
+impl InflightGate {
+    /// A gate admitting at most `max` queries at once (at least 1).
+    pub fn new(max: u64) -> InflightGate {
+        InflightGate {
+            permits: AtomicI64::new((max.max(1)).min(i64::MAX as u64) as i64),
+        }
+    }
+
+    /// Try to admit `cost` queries; `None` means the server is saturated (nothing
+    /// was acquired).  The permit releases on drop.
+    pub fn try_acquire(&self, cost: u64) -> Option<InflightPermit<'_>> {
+        let cost = cost.max(1).min(i64::MAX as u64) as i64;
+        let before = self.permits.fetch_sub(cost, Ordering::AcqRel);
+        if before < cost {
+            self.permits.fetch_add(cost, Ordering::AcqRel);
+            return None;
+        }
+        Some(InflightPermit { gate: self, cost })
+    }
+
+    /// Permits currently available (may be transiently negative mid-acquire).
+    pub fn available(&self) -> i64 {
+        self.permits.load(Ordering::Acquire)
+    }
+}
+
+/// An admitted request's permits; released on drop.
+#[derive(Debug)]
+pub struct InflightPermit<'a> {
+    gate: &'a InflightGate,
+    cost: i64,
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.permits.fetch_add(self.cost, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_and_saturation() {
+        let gate = InflightGate::new(3);
+        let a = gate.try_acquire(2).expect("2 of 3");
+        assert!(gate.try_acquire(2).is_none(), "only 1 left");
+        let b = gate.try_acquire(1).expect("exactly the last");
+        assert!(gate.try_acquire(1).is_none());
+        drop(a);
+        assert!(gate.try_acquire(2).is_some());
+        drop(b);
+        assert_eq!(gate.available(), 3);
+    }
+
+    #[test]
+    fn oversized_cost_never_wedges_the_gate() {
+        let gate = InflightGate::new(4);
+        assert!(gate.try_acquire(100).is_none());
+        // A failed acquire must leave the permits untouched.
+        assert_eq!(gate.available(), 4);
+        assert!(gate.try_acquire(4).is_some());
+    }
+
+    #[test]
+    fn zero_cost_counts_as_one() {
+        let gate = InflightGate::new(1);
+        let permit = gate.try_acquire(0).unwrap();
+        assert!(gate.try_acquire(0).is_none());
+        drop(permit);
+        assert_eq!(gate.available(), 1);
+    }
+}

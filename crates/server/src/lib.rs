@@ -1,0 +1,112 @@
+//! `xpsat-server` — a persistent, multi-tenant network front-end for the
+//! [`xpsat_service`] satisfiability stack.
+//!
+//! The service crate turned the paper's per-DTD-heavy cost model into an in-process
+//! workspace; this crate turns that workspace into a long-running daemon so the
+//! amortisation survives *across processes and machines*:
+//!
+//! * [`Server`] — a `std::net` TCP (or Unix-socket) listener speaking the same
+//!   JSON-lines protocol as `xpathsat` stdio mode, with a hand-rolled worker pool
+//!   (no async runtime, no extra dependencies).  Connections beyond the worker pool
+//!   wait in a bounded queue ([`pool::BoundedQueue`]); connections beyond *that*
+//!   are refused with an explicit `overloaded` response — backpressure is a protocol
+//!   feature, not a TCP accident.
+//! * Tenants — each request may carry a `"tenant"` field; every tenant gets its own
+//!   [`xpsat_service::Workspace`] (own DTD ids, interner, decision cache), so two
+//!   clients sharing a server cannot observe each other's registrations.  Resident
+//!   compiled artifacts are bounded per tenant (LRU eviction + transparent
+//!   rematerialisation).
+//! * Persistence — with a cache directory configured, every tenant workspace is
+//!   backed by an [`xpsat_service::ArtifactStore`]: a restarted (or sibling) server
+//!   loads compiled artifacts from disk instead of re-running classification,
+//!   normalisation and automata construction, and `register_dtd` reports
+//!   `"cached":true`.
+//! * Deadlines — a server-wide default deadline (and per-request `"deadline_ms"`)
+//!   bounds tail latency; expired requests answer `"deadline_exceeded":true` while
+//!   still publishing partial progress to the decision cache.
+//! * An in-flight query gate ([`gate::InflightGate`]) bounds the total decide work
+//!   admitted at once (a batch of `n` queries costs `n` permits); requests beyond
+//!   the bound answer `"overloaded":true` immediately instead of queueing without
+//!   bound.
+//!
+//! The `xpathsat` binary (in this crate) fronts both modes: `serve` runs the daemon,
+//! `connect` pipes a script to a running server, and the stdio subcommands from the
+//! service crate continue to work unchanged.
+
+pub mod gate;
+pub mod pool;
+pub mod server;
+pub mod stats;
+pub mod tenant;
+
+pub use gate::InflightGate;
+pub use pool::{BoundedQueue, PushError};
+pub use server::{Server, ServerHandle};
+pub use stats::{ServerStats, ServerStatsSnapshot};
+pub use tenant::{Tenant, TenantMap, DEFAULT_TENANT};
+
+use std::path::PathBuf;
+
+/// Where the server listens.
+#[derive(Debug, Clone)]
+pub enum Bind {
+    /// A TCP address such as `127.0.0.1:7878` (use port `0` for an ephemeral port —
+    /// [`ServerHandle::local_addr`] reports what was bound).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address.
+    pub bind: Bind,
+    /// Worker threads serving connections (each worker owns one connection at a
+    /// time); `0` means [`default_workers`].
+    pub workers: usize,
+    /// Bound on connections waiting for a free worker; connections arriving beyond
+    /// it are answered with an `overloaded` error and closed.
+    pub queue_depth: usize,
+    /// Bound on the total queries being decided at once across all workers (a batch
+    /// of `n` costs `n`); requests that would exceed it answer `overloaded`.
+    pub max_inflight_queries: u64,
+    /// Deadline applied to `check`/`batch` requests that carry no `deadline_ms`.
+    pub default_deadline_ms: Option<u64>,
+    /// Per-request line-length cap (bytes).
+    pub max_line_bytes: usize,
+    /// Root of the persistent artifact cache; `None` disables persistence.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-tenant bound on resident compiled DTD artifacts; `None` = unbounded.
+    pub max_resident_dtds: Option<usize>,
+    /// Default `threads` for `batch` requests that do not specify their own
+    /// (`0` = number of CPUs).
+    pub default_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            bind: Bind::Tcp("127.0.0.1:7878".to_string()),
+            workers: 0,
+            queue_depth: 32,
+            max_inflight_queries: 256,
+            default_deadline_ms: None,
+            max_line_bytes: xpsat_service::DEFAULT_MAX_LINE_BYTES,
+            cache_dir: None,
+            max_resident_dtds: None,
+            default_threads: 0,
+        }
+    }
+}
+
+/// Default worker-pool width: enough to serve a handful of concurrent connections
+/// even on small hosts (workers block on socket reads most of the time; the decide
+/// work itself is capped at hardware parallelism inside the workspace).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(4)
+}

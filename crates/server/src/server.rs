@@ -1,0 +1,407 @@
+//! The network front-end: accept loop, worker pool and per-request admission.
+//!
+//! Threading model (all `std`, no async runtime):
+//!
+//! * One **accept thread** polls the listener (non-blocking, ~10 ms cadence so it
+//!   notices shutdown) and pushes accepted connections into a [`BoundedQueue`].
+//!   When the queue is full the connection is answered with an `overloaded` JSON
+//!   response and closed immediately — callers see backpressure as data, not as a
+//!   hung connect.
+//! * `workers` **worker threads** each pop a connection and own it until it
+//!   disconnects, speaking the same JSON-lines protocol as stdio mode.  Socket reads
+//!   use a short timeout so workers poll the shutdown flag without corrupting
+//!   framing (the [`LineReader`] resumes mid-line after a timeout).
+//! * Per request, the worker extracts the `"tenant"` field, charges the request's
+//!   query cost against the [`InflightGate`], and — only if admitted — locks that
+//!   tenant's [`ProtocolServer`] for the duration of one request.  Distinct tenants
+//!   never contend; connections of one tenant interleave at request granularity.
+
+use crate::gate::InflightGate;
+use crate::pool::{BoundedQueue, PushError};
+use crate::stats::{ServerStats, ServerStatsSnapshot};
+use crate::tenant::{TenantMap, DEFAULT_TENANT};
+use crate::{Bind, ServerConfig};
+use std::io::{BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use xpsat_service::{oversized_response, Json, LineRead, LineReader};
+
+/// How long a worker blocks in one socket read before re-checking shutdown.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// How long the accept thread sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// One accepted connection (TCP or Unix), unified for the worker pool.
+#[derive(Debug)]
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The listener half, unified over both bind modes.
+#[derive(Debug)]
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Conn> {
+        Ok(match self {
+            Listener::Tcp(l) => Conn::Tcp(l.accept()?.0),
+            #[cfg(unix)]
+            Listener::Unix(l) => Conn::Unix(l.accept()?.0),
+        })
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+/// The running server's shared state.
+#[derive(Debug)]
+struct Shared {
+    tenants: TenantMap,
+    gate: InflightGate,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    max_line_bytes: usize,
+}
+
+/// The server: binds, spawns the pool, hands back a [`ServerHandle`].
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Bind and start serving in background threads.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = match &config.bind {
+            Bind::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr)?),
+            #[cfg(unix)]
+            Bind::Unix(path) => {
+                // A stale socket file from a previous run would make bind fail.
+                let _ = std::fs::remove_file(path);
+                Listener::Unix(UnixListener::bind(path)?)
+            }
+        };
+        listener.set_nonblocking(true)?;
+        let local_addr = match &listener {
+            Listener::Tcp(l) => Some(l.local_addr()?),
+            #[cfg(unix)]
+            Listener::Unix(_) => None,
+        };
+        #[cfg(unix)]
+        let socket_path = match &config.bind {
+            Bind::Unix(path) => Some(path.clone()),
+            _ => None,
+        };
+
+        let workers = if config.workers > 0 {
+            config.workers
+        } else {
+            crate::default_workers()
+        };
+        let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+        let max_line_bytes = config.max_line_bytes.max(1);
+        let shared = Arc::new(Shared {
+            gate: InflightGate::new(config.max_inflight_queries),
+            stats: ServerStats::default(),
+            shutdown: AtomicBool::new(false),
+            max_line_bytes,
+            tenants: TenantMap::new(config)?,
+        });
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || accept_loop(listener, &shared, &queue))
+        };
+        let worker_threads: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    while let Some(conn) = queue.pop() {
+                        handle_connection(conn, &shared);
+                    }
+                })
+            })
+            .collect();
+
+        Ok(ServerHandle {
+            shared,
+            queue,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+            #[cfg(unix)]
+            socket_path,
+        })
+    }
+}
+
+/// Handle to a running server: inspect it, then shut it down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    queue: Arc<BoundedQueue<Conn>>,
+    local_addr: Option<SocketAddr>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    #[cfg(unix)]
+    socket_path: Option<std::path::PathBuf>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address (`None` for Unix-socket servers) — with port `0` in the
+    /// config, this is where clients actually connect.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// Server-level counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Tenants created so far.
+    pub fn tenant_count(&self) -> usize {
+        self.shared.tenants.tenant_count()
+    }
+
+    /// Stop accepting, drain the pool and join all threads.  In-flight requests
+    /// finish; idle connections are dropped at the next read poll.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        for worker in self.worker_threads.drain(..) {
+            let _ = worker.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = self.socket_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.queue.close();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A dropped handle still stops the threads (they are detached otherwise);
+        // `shutdown()` is the graceful path that also joins them.
+        self.begin_shutdown();
+    }
+}
+
+fn accept_loop(listener: Listener, shared: &Shared, queue: &BoundedQueue<Conn>) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok(conn) => match queue.try_push(conn) {
+                Ok(()) => ServerStats::bump(&shared.stats.connections_accepted),
+                Err(PushError::Full(mut conn) | PushError::Closed(mut conn)) => {
+                    ServerStats::bump(&shared.stats.connections_rejected);
+                    let refusal = overloaded_response("connection queue full");
+                    let _ = writeln!(conn, "{refusal}");
+                    // Dropping `conn` closes it.
+                }
+            },
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Serve one connection until EOF, error or shutdown.
+fn handle_connection(conn: Conn, shared: &Shared) {
+    let _ = conn.set_read_timeout(Some(READ_POLL));
+    let Ok(mut writer) = conn.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(conn);
+    let mut line_reader = LineReader::new(shared.max_line_bytes);
+    loop {
+        match line_reader.read_from(&mut reader) {
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(_) | Ok(LineRead::Eof) => return,
+            Ok(LineRead::Oversized) => {
+                ServerStats::bump(&shared.stats.requests_oversized);
+                let response = oversized_response(shared.max_line_bytes);
+                if writeln!(writer, "{response}")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(LineRead::Line) => {
+                let line = String::from_utf8_lossy(line_reader.line()).into_owned();
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = handle_request_line(&line, shared);
+                if writeln!(writer, "{response}")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Process one request line: parse, resolve tenant, admit through the gate, serve.
+fn handle_request_line(line: &str, shared: &Shared) -> Json {
+    let request = match Json::parse(line.trim_end_matches(['\n', '\r'])) {
+        Ok(request) => request,
+        Err(e) => {
+            ServerStats::bump(&shared.stats.requests_malformed);
+            return error_response(&format!("malformed request: {e}"));
+        }
+    };
+    let tenant_name = request
+        .get("tenant")
+        .and_then(Json::as_str)
+        .unwrap_or(DEFAULT_TENANT)
+        .to_string();
+    let tenant = match shared.tenants.tenant(&tenant_name) {
+        Ok(tenant) => tenant,
+        Err(reason) => return error_response(&format!("invalid tenant: {reason}")),
+    };
+
+    // Admission: a batch of n queries costs n permits, anything else costs 1.
+    let cost = request
+        .get("queries")
+        .and_then(Json::as_array)
+        .map(|qs| qs.len() as u64)
+        .unwrap_or(1);
+    let Some(_permit) = shared.gate.try_acquire(cost) else {
+        ServerStats::bump(&shared.stats.requests_overloaded);
+        return overloaded_response("in-flight query limit reached");
+    };
+
+    let mut response = tenant.proto().lock().unwrap().handle_request(&request);
+    ServerStats::bump(&shared.stats.requests_served);
+
+    // `stats` responses additionally report the server-wide view.
+    if request.get("op").and_then(Json::as_str) == Some("stats") {
+        if let Json::Obj(fields) = &mut response {
+            let server = shared.stats.snapshot();
+            fields.push(("tenant".to_string(), Json::Str(tenant_name)));
+            fields.push((
+                "tenants".to_string(),
+                Json::Num(shared.tenants.tenant_count() as f64),
+            ));
+            fields.push((
+                "server_connections_accepted".to_string(),
+                Json::Num(server.connections_accepted as f64),
+            ));
+            fields.push((
+                "server_connections_rejected".to_string(),
+                Json::Num(server.connections_rejected as f64),
+            ));
+            fields.push((
+                "server_requests_served".to_string(),
+                Json::Num(server.requests_served as f64),
+            ));
+            fields.push((
+                "server_requests_overloaded".to_string(),
+                Json::Num(server.requests_overloaded as f64),
+            ));
+            fields.push((
+                "server_requests_malformed".to_string(),
+                Json::Num(server.requests_malformed as f64),
+            ));
+            fields.push((
+                "server_requests_oversized".to_string(),
+                Json::Num(server.requests_oversized as f64),
+            ));
+        }
+    }
+    response
+}
+
+fn error_response(message: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+/// The explicit backpressure response: `"overloaded":true` tells a well-behaved
+/// client to back off and retry, distinguishing load shedding from request errors.
+fn overloaded_response(reason: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(format!("server overloaded: {reason}"))),
+        ("overloaded", Json::Bool(true)),
+    ])
+}

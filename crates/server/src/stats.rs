@@ -1,0 +1,68 @@
+//! Server-wide counters (connection and admission level — the per-workspace cache
+//! counters live in [`xpsat_service::CacheStats`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters updated by the accept loop and the workers; relaxed ordering
+/// (diagnostics, never synchronisation).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) connections_rejected: AtomicU64,
+    pub(crate) requests_served: AtomicU64,
+    pub(crate) requests_overloaded: AtomicU64,
+    pub(crate) requests_malformed: AtomicU64,
+    pub(crate) requests_oversized: AtomicU64,
+}
+
+impl ServerStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            requests_overloaded: self.requests_overloaded.load(Ordering::Relaxed),
+            requests_malformed: self.requests_malformed.load(Ordering::Relaxed),
+            requests_oversized: self.requests_oversized.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of the server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStatsSnapshot {
+    /// Connections handed to the worker pool.
+    pub connections_accepted: u64,
+    /// Connections refused because the pending queue was full (answered with an
+    /// `overloaded` response and closed).
+    pub connections_rejected: u64,
+    /// Requests answered (any outcome other than overload/malformed/oversized).
+    pub requests_served: u64,
+    /// Requests refused by the in-flight query gate.
+    pub requests_overloaded: u64,
+    /// Lines that failed to parse as JSON.
+    pub requests_malformed: u64,
+    /// Lines rejected by the line-length cap.
+    pub requests_oversized: u64,
+}
+
+impl std::fmt::Display for ServerStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "connections: {} accepted, {} rejected; requests: {} served, \
+             {} overloaded, {} malformed, {} oversized",
+            self.connections_accepted,
+            self.connections_rejected,
+            self.requests_served,
+            self.requests_overloaded,
+            self.requests_malformed,
+            self.requests_oversized,
+        )
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-tenant isolation: every tenant name maps to its own
+//! [`xpsat_service::Workspace`] behind its own [`ProtocolServer`].
+//!
+//! Isolation is at the *workspace* level — DTD ids, the query interner and the
+//! decision cache are all per-tenant, so one client can never observe (or collide
+//! with) another's registrations.  The persistent [`ArtifactStore`] is deliberately
+//! *shared*: it is content-addressed by the hash of a DTD's canonical text, so a
+//! cross-tenant hit leaks nothing beyond "someone compiled this exact DTD before"
+//! and saves the full compilation.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use xpsat_service::{ArtifactStore, ProtocolServer, Workspace};
+
+use crate::ServerConfig;
+
+/// The tenant used by requests that carry no `"tenant"` field.
+pub const DEFAULT_TENANT: &str = "public";
+
+/// One tenant: its protocol server (and thus workspace), serialised by a mutex.
+/// Workers lock it per *request*, so many connections of one tenant interleave at
+/// request granularity while distinct tenants never contend.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    proto: Mutex<ProtocolServer>,
+}
+
+impl Tenant {
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's protocol server, for one request's worth of work.
+    pub fn proto(&self) -> &Mutex<ProtocolServer> {
+        &self.proto
+    }
+}
+
+/// Lazily-created tenants, keyed by validated name.
+#[derive(Debug)]
+pub struct TenantMap {
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+    store: Option<ArtifactStore>,
+    config: ServerConfig,
+}
+
+impl TenantMap {
+    /// A tenant map for the given server configuration; opens (and creates) the
+    /// shared artifact store when a cache directory is configured.
+    pub fn new(config: ServerConfig) -> std::io::Result<TenantMap> {
+        let store = match &config.cache_dir {
+            Some(dir) => Some(ArtifactStore::open(dir)?),
+            None => None,
+        };
+        Ok(TenantMap {
+            tenants: Mutex::new(HashMap::new()),
+            store,
+            config,
+        })
+    }
+
+    /// The shared artifact store, if persistence is configured.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
+    }
+
+    /// Look up (or create) a tenant.  Returns `Err` with a reason for names that
+    /// fail validation.
+    pub fn tenant(&self, name: &str) -> Result<Arc<Tenant>, String> {
+        validate_tenant_name(name)?;
+        let mut tenants = self.tenants.lock().unwrap();
+        if let Some(tenant) = tenants.get(name) {
+            return Ok(Arc::clone(tenant));
+        }
+        let mut workspace = Workspace::default();
+        if let Some(store) = &self.store {
+            workspace = workspace.with_store(store.clone());
+        }
+        if let Some(bound) = self.config.max_resident_dtds {
+            workspace = workspace.with_resident_bound(bound);
+        }
+        let mut proto = ProtocolServer::with_workspace(workspace, self.config.default_threads);
+        proto.set_default_deadline_ms(self.config.default_deadline_ms);
+        proto.set_max_line_bytes(self.config.max_line_bytes);
+        let tenant = Arc::new(Tenant {
+            name: name.to_string(),
+            proto: Mutex::new(proto),
+        });
+        tenants.insert(name.to_string(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// Number of tenants created so far.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.lock().unwrap().len()
+    }
+}
+
+/// Tenant names are short identifiers: 1–64 chars from `[A-Za-z0-9._-]`, not
+/// starting with a dot or dash (no path games, no hidden files, shell-safe).
+pub fn validate_tenant_name(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 64 {
+        return Err("tenant name must be 1-64 characters".to_string());
+    }
+    if name.starts_with(['.', '-']) {
+        return Err("tenant name must not start with '.' or '-'".to_string());
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+    {
+        return Err(
+            "tenant name may contain only ASCII letters, digits, '.', '_' and '-'".to_string(),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenants_are_isolated_workspaces() {
+        let map = TenantMap::new(ServerConfig::default()).unwrap();
+        let a = map.tenant("alice").unwrap();
+        let b = map.tenant("bob").unwrap();
+        let again = map.tenant("alice").unwrap();
+        assert!(Arc::ptr_eq(&a, &again));
+        assert_eq!(map.tenant_count(), 2);
+
+        // A DTD registered for alice is invisible to bob.
+        let reg = a
+            .proto()
+            .lock()
+            .unwrap()
+            .handle_line(r#"{"op":"register_dtd","dtd":"r -> a?; a -> #;"}"#);
+        assert!(reg.contains(r#""dtd_id":0"#), "{reg}");
+        let check = b
+            .proto()
+            .lock()
+            .unwrap()
+            .handle_line(r#"{"op":"check","dtd_id":0,"query":"a"}"#);
+        assert!(check.contains(r#""ok":false"#), "{check}");
+        assert!(check.contains("unknown DTD id 0"), "{check}");
+    }
+
+    #[test]
+    fn tenant_names_are_validated() {
+        assert!(validate_tenant_name("team-a.prod_2").is_ok());
+        for bad in ["", ".hidden", "-flag", "a/b", "a b", "ü", &"x".repeat(65)] {
+            assert!(validate_tenant_name(bad).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! End-to-end tests of the TCP front-end: protocol round-trips, restart
+//! persistence through the artifact store, tenant isolation, deadlines and
+//! backpressure.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use xpsat_server::{Bind, Server, ServerConfig, ServerHandle};
+use xpsat_service::Json;
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "xpsat-server-test-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(mut config: ServerConfig) -> (ServerHandle, String) {
+    config.bind = Bind::Tcp("127.0.0.1:0".to_string());
+    let handle = Server::start(config).expect("server starts");
+    let addr = handle.local_addr().expect("tcp server has an address");
+    (handle, addr.to_string())
+}
+
+/// A blocking request/response client over one connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send_raw(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).expect("recv");
+        assert!(n > 0, "server closed the connection");
+        Json::parse(response.trim()).expect("response parses")
+    }
+
+    fn round_trip(&mut self, line: &str) -> Json {
+        self.send_raw(line);
+        self.recv()
+    }
+}
+
+fn field<'a>(response: &'a Json, key: &str) -> &'a Json {
+    response
+        .get(key)
+        .unwrap_or_else(|| panic!("missing {key} in {response}"))
+}
+
+const DTD: &str = "r -> a*; a -> b?; b -> #;";
+
+#[test]
+fn register_check_batch_over_tcp() {
+    let (handle, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr);
+
+    let reg = client.round_trip(&format!(r#"{{"op":"register_dtd","dtd":"{DTD}"}}"#));
+    assert_eq!(field(&reg, "ok").as_bool(), Some(true));
+    assert_eq!(field(&reg, "dtd_id").as_u64(), Some(0));
+    assert_eq!(field(&reg, "cached").as_bool(), Some(false));
+
+    let check = client.round_trip(r#"{"op":"check","dtd_id":0,"query":"a[b]","witness":true}"#);
+    assert_eq!(field(&check, "result").as_str(), Some("satisfiable"));
+    assert!(field(&check, "witness")
+        .as_str()
+        .unwrap()
+        .starts_with("<r>"));
+
+    let batch =
+        client.round_trip(r#"{"op":"batch","dtd_id":0,"queries":["a[b]","b/..","c"],"threads":2}"#);
+    let results = field(&batch, "results").as_array().unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(field(&results[0], "cached").as_bool(), Some(true));
+    assert_eq!(field(&results[1], "result").as_str(), Some("unsatisfiable"));
+
+    // Several concurrent connections serve the same workspace.
+    let mut other = Client::connect(&addr);
+    let check2 = other.round_trip(r#"{"op":"check","dtd_id":0,"query":"a[b]"}"#);
+    assert_eq!(field(&check2, "cached").as_bool(), Some(true));
+
+    let stats = client.round_trip(r#"{"op":"stats"}"#);
+    assert_eq!(field(&stats, "classifications").as_u64(), Some(1));
+    assert!(
+        field(&stats, "server_connections_accepted")
+            .as_u64()
+            .unwrap()
+            >= 2
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn restart_serves_artifacts_from_the_store() {
+    let dir = scratch_dir("restart");
+    let config = ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let (first, addr) = start(config.clone());
+    let mut client = Client::connect(&addr);
+    let reg = client.round_trip(&format!(r#"{{"op":"register_dtd","dtd":"{DTD}"}}"#));
+    assert_eq!(field(&reg, "cached").as_bool(), Some(false));
+    let check = client.round_trip(r#"{"op":"check","dtd_id":0,"query":"a[b]","witness":true}"#);
+    let witness = field(&check, "witness").as_str().unwrap().to_string();
+    drop(client);
+    first.shutdown();
+
+    // A fresh process (modelled by a fresh server) finds the compiled artifacts on
+    // disk: `cached:true`, no classification/normalisation/automata work, and the
+    // decisions are identical.
+    let (second, addr) = start(config);
+    let mut client = Client::connect(&addr);
+    let reg = client.round_trip(&format!(r#"{{"op":"register_dtd","dtd":"{DTD}"}}"#));
+    assert_eq!(field(&reg, "ok").as_bool(), Some(true));
+    assert_eq!(field(&reg, "cached").as_bool(), Some(true));
+    let stats = client.round_trip(r#"{"op":"stats"}"#);
+    assert_eq!(field(&stats, "classifications").as_u64(), Some(0));
+    assert_eq!(field(&stats, "artifact_store_hits").as_u64(), Some(1));
+    let check = client.round_trip(r#"{"op":"check","dtd_id":0,"query":"a[b]","witness":true}"#);
+    assert_eq!(field(&check, "witness").as_str(), Some(witness.as_str()));
+    drop(client);
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tenants_do_not_observe_each_other() {
+    let (handle, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr);
+
+    let reg = client.round_trip(&format!(
+        r#"{{"op":"register_dtd","dtd":"{DTD}","tenant":"alice"}}"#
+    ));
+    assert_eq!(field(&reg, "dtd_id").as_u64(), Some(0));
+
+    // Bob's workspace has no DTD 0; the default tenant is distinct from both.
+    let bob = client.round_trip(r#"{"op":"check","dtd_id":0,"query":"a","tenant":"bob"}"#);
+    assert_eq!(field(&bob, "ok").as_bool(), Some(false));
+    let public = client.round_trip(r#"{"op":"check","dtd_id":0,"query":"a"}"#);
+    assert_eq!(field(&public, "ok").as_bool(), Some(false));
+    let alice = client.round_trip(r#"{"op":"check","dtd_id":0,"query":"a","tenant":"alice"}"#);
+    assert_eq!(field(&alice, "ok").as_bool(), Some(true));
+
+    // Invalid tenant names are rejected without creating workspaces.
+    let bad = client.round_trip(r#"{"op":"stats","tenant":"../etc"}"#);
+    assert_eq!(field(&bad, "ok").as_bool(), Some(false));
+    assert!(field(&bad, "error").as_str().unwrap().contains("tenant"));
+
+    assert_eq!(handle.tenant_count(), 3);
+    handle.shutdown();
+}
+
+#[test]
+fn expired_deadlines_answer_deadline_exceeded() {
+    let (handle, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr);
+    client.round_trip(&format!(r#"{{"op":"register_dtd","dtd":"{DTD}"}}"#));
+
+    // A zero-millisecond deadline expires before any query is decided.
+    let expired =
+        client.round_trip(r#"{"op":"batch","dtd_id":0,"queries":["a","a[b]"],"deadline_ms":0}"#);
+    assert_eq!(field(&expired, "ok").as_bool(), Some(false));
+    assert_eq!(field(&expired, "deadline_exceeded").as_bool(), Some(true));
+
+    // The same request without a deadline succeeds on the same connection.
+    let fine = client.round_trip(r#"{"op":"batch","dtd_id":0,"queries":["a","a[b]"]}"#);
+    assert_eq!(field(&fine, "ok").as_bool(), Some(true));
+    handle.shutdown();
+}
+
+#[test]
+fn inflight_gate_sheds_oversized_batches() {
+    let config = ServerConfig {
+        max_inflight_queries: 4,
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+    let mut client = Client::connect(&addr);
+    client.round_trip(&format!(r#"{{"op":"register_dtd","dtd":"{DTD}"}}"#));
+
+    // A batch costing more than the whole gate is refused immediately with the
+    // explicit backpressure marker...
+    let shed = client
+        .round_trip(r#"{"op":"batch","dtd_id":0,"queries":["a","a","a","a","a"],"threads":1}"#);
+    assert_eq!(field(&shed, "ok").as_bool(), Some(false));
+    assert_eq!(field(&shed, "overloaded").as_bool(), Some(true));
+
+    // ...while a batch within the bound is served on the same connection.
+    let fine = client.round_trip(r#"{"op":"batch","dtd_id":0,"queries":["a","a[b]"]}"#);
+    assert_eq!(field(&fine, "ok").as_bool(), Some(true));
+    assert!(handle.stats().requests_overloaded >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn resident_bound_applies_per_tenant_workspace() {
+    let dir = scratch_dir("resident");
+    let config = ServerConfig {
+        cache_dir: Some(dir.clone()),
+        max_resident_dtds: Some(1),
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+    let mut client = Client::connect(&addr);
+    client.round_trip(&format!(r#"{{"op":"register_dtd","dtd":"{DTD}"}}"#));
+    client.round_trip(r#"{"op":"register_dtd","dtd":"r -> c?; c -> #;"}"#);
+
+    // Only one artifact stays resident; the first DTD still answers (rematerialised
+    // from the shared store, not recompiled).
+    let check = client.round_trip(r#"{"op":"check","dtd_id":0,"query":"a[b]"}"#);
+    assert_eq!(field(&check, "result").as_str(), Some("satisfiable"));
+    let stats = client.round_trip(r#"{"op":"stats"}"#);
+    assert_eq!(field(&stats, "resident_dtds").as_u64(), Some(1));
+    assert!(field(&stats, "dtd_evictions").as_u64().unwrap() >= 1);
+    assert!(field(&stats, "artifact_rebuilds").as_u64().unwrap() >= 1);
+    assert_eq!(field(&stats, "classifications").as_u64(), Some(2));
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

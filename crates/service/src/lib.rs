@@ -44,15 +44,19 @@ pub mod json;
 pub mod protocol;
 pub mod session;
 pub mod stats;
+pub mod store;
 pub mod workspace;
 
 pub use json::{Json, JsonError};
-pub use protocol::ProtocolServer;
+pub use protocol::{
+    oversized_response, LineRead, LineReader, ProtocolServer, DEFAULT_MAX_LINE_BYTES,
+};
 pub use session::Session;
 pub use stats::{CacheStats, StatsSnapshot};
+pub use store::{canonical_key, ArtifactStore, StoreMiss, STORE_VERSION};
 pub use workspace::{
-    decision_fingerprint, effective_threads, engine_slug, DtdArtifacts, DtdId, InternedQuery,
-    QueryId, ServedDecision, ServiceError, Workspace,
+    decision_fingerprint, effective_threads, engine_slug, BatchScratch, DtdArtifacts, DtdId,
+    InternedQuery, QueryId, RegisterOutcome, ServedDecision, ServiceError, Workspace,
 };
 
 #[cfg(test)]

@@ -18,25 +18,64 @@
 //! with an `"error"` string.  A malformed line never kills the loop.
 
 use crate::json::Json;
-use crate::workspace::{engine_slug, DtdId, ServedDecision, ServiceError, Workspace};
+use crate::workspace::{engine_slug, BatchScratch, DtdId, ServedDecision, ServiceError, Workspace};
 use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
 use xpsat_core::Satisfiability;
 
+/// Default cap on the length of one request line (bytes, newline excluded).
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
 /// A stateful protocol server over one workspace.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ProtocolServer {
     workspace: Workspace,
     default_threads: usize,
+    default_deadline_ms: Option<u64>,
+    max_line_bytes: usize,
+    scratch: BatchScratch,
+}
+
+impl Default for ProtocolServer {
+    fn default() -> ProtocolServer {
+        ProtocolServer::new(0)
+    }
 }
 
 impl ProtocolServer {
     /// A server over a fresh workspace; `default_threads` is used by `batch` requests
     /// that do not specify their own `threads` (0 means "number of CPUs").
     pub fn new(default_threads: usize) -> ProtocolServer {
+        ProtocolServer::with_workspace(Workspace::default(), default_threads)
+    }
+
+    /// A server over an existing workspace (e.g. one attached to a persistent
+    /// artifact store or carrying a residency bound).
+    pub fn with_workspace(workspace: Workspace, default_threads: usize) -> ProtocolServer {
         ProtocolServer {
-            workspace: Workspace::default(),
+            workspace,
             default_threads,
+            default_deadline_ms: None,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            scratch: BatchScratch::default(),
         }
+    }
+
+    /// Deadline applied to `check`/`batch` requests that carry no `deadline_ms` of
+    /// their own (`None` = no default deadline).
+    pub fn set_default_deadline_ms(&mut self, ms: Option<u64>) {
+        self.default_deadline_ms = ms;
+    }
+
+    /// Cap on the length of one request line; longer lines are rejected with an
+    /// error response and skipped without being buffered in full.
+    pub fn set_max_line_bytes(&mut self, bytes: usize) {
+        self.max_line_bytes = bytes.max(1);
+    }
+
+    /// The current request-line length cap.
+    pub fn max_line_bytes(&self) -> usize {
+        self.max_line_bytes
     }
 
     /// The workspace behind the server.
@@ -48,39 +87,52 @@ impl ProtocolServer {
     pub fn handle_line(&mut self, line: &str) -> String {
         let response = match Json::parse(line) {
             Err(e) => error_response(&format!("malformed request: {e}")),
-            Ok(request) => match self.dispatch(&request) {
-                Ok(response) => response,
-                Err(e) => error_response(&e.to_string()),
-            },
+            Ok(request) => self.handle_request(&request),
         };
         response.to_string()
+    }
+
+    /// Handle one already-parsed request, producing the response object.  This is the
+    /// seam the network server drives: it owns framing (line reading, size caps) and
+    /// hands parsed requests here.
+    pub fn handle_request(&mut self, request: &Json) -> Json {
+        match self.dispatch(request) {
+            Ok(response) => response,
+            Err(e) => e.into_response(),
+        }
     }
 
     /// Serve requests from `input` until EOF, writing responses to `output`.
     ///
     /// Lines are read as raw bytes and converted lossily, so a stray non-UTF-8 byte
     /// produces a per-line error response (the replacement character breaks the JSON
-    /// parse) instead of killing the loop; only genuine I/O failures abort.
+    /// parse) instead of killing the loop; only genuine I/O failures abort.  Lines
+    /// longer than [`ProtocolServer::max_line_bytes`] are rejected with an error
+    /// response without ever being buffered in full.
     pub fn serve(
         &mut self,
         mut input: impl BufRead,
         mut output: impl Write,
     ) -> std::io::Result<()> {
-        let mut buffer = Vec::new();
+        let mut reader = LineReader::new(self.max_line_bytes);
         loop {
-            buffer.clear();
-            if input.read_until(b'\n', &mut buffer)? == 0 {
-                return Ok(());
+            match reader.read_from(&mut input)? {
+                LineRead::Eof => return Ok(()),
+                LineRead::Oversized => {
+                    writeln!(output, "{}", oversized_response(self.max_line_bytes))?;
+                }
+                LineRead::Line => {
+                    let line = String::from_utf8_lossy(reader.line()).into_owned();
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    writeln!(
+                        output,
+                        "{}",
+                        self.handle_line(line.trim_end_matches(['\n', '\r']))
+                    )?;
+                }
             }
-            let line = String::from_utf8_lossy(&buffer);
-            if line.trim().is_empty() {
-                continue;
-            }
-            writeln!(
-                output,
-                "{}",
-                self.handle_line(line.trim_end_matches(['\n', '\r']))
-            )?;
             output.flush()?;
         }
     }
@@ -102,14 +154,27 @@ impl ProtocolServer {
 
     fn op_register_dtd(&mut self, request: &Json) -> Result<Json, ProtocolError> {
         let text = str_field(request, "dtd")?;
-        let before = self.workspace.dtd_count();
-        let id = self.workspace.register_dtd(text)?;
+        let outcome = self.workspace.register_dtd_report(text)?;
         Ok(Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("op", Json::Str("register_dtd".into())),
-            ("dtd_id", Json::Num(id.index() as f64)),
-            ("reused", Json::Bool(self.workspace.dtd_count() == before)),
+            ("dtd_id", Json::Num(outcome.id.index() as f64)),
+            ("reused", Json::Bool(outcome.reused)),
+            // `cached` = artifacts loaded from the persistent store instead of
+            // compiled; always false when no store is attached or the DTD was
+            // already registered in this process.
+            ("cached", Json::Bool(outcome.from_store)),
         ]))
+    }
+
+    /// The deadline of a request: its own `deadline_ms` if present, else the server
+    /// default.
+    fn deadline_of(&self, request: &Json) -> Option<Instant> {
+        request
+            .get("deadline_ms")
+            .and_then(Json::as_u64)
+            .or(self.default_deadline_ms)
+            .map(|ms| Instant::now() + Duration::from_millis(ms))
     }
 
     fn op_check(&mut self, request: &Json) -> Result<Json, ProtocolError> {
@@ -119,8 +184,18 @@ impl ProtocolServer {
             .get("witness")
             .and_then(Json::as_bool)
             .unwrap_or(false);
+        let deadline = self.deadline_of(request);
         let query = self.workspace.intern(text)?;
-        let served = self.workspace.decide(dtd, query)?;
+        let served = match deadline {
+            // A single-query "batch" gives the check path the same deadline
+            // machinery; the result (and the cached flag) is identical to decide().
+            Some(_) => self
+                .workspace
+                .decide_batch_with(dtd, &[query], 1, deadline, &mut self.scratch)?
+                .pop()
+                .expect("one decision per query"),
+            None => self.workspace.decide(dtd, query)?,
+        };
         let canonical = self.workspace.query(query)?.canonical.clone();
         let mut response = vec![
             ("ok", Json::Bool(true)),
@@ -146,6 +221,7 @@ impl ProtocolServer {
             Some(n) if n > 0 => n as usize,
             _ => self.effective_threads(),
         };
+        let deadline = self.deadline_of(request);
         let mut ids = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
             let text = item
@@ -153,7 +229,9 @@ impl ProtocolServer {
                 .ok_or_else(|| ProtocolError::new(format!("queries[{i}] is not a string")))?;
             ids.push(self.workspace.intern(text)?);
         }
-        let served = self.workspace.decide_batch(dtd, &ids, threads)?;
+        let served =
+            self.workspace
+                .decide_batch_with(dtd, &ids, threads, deadline, &mut self.scratch)?;
         let mut results = Vec::with_capacity(served.len());
         for (id, one) in ids.iter().zip(&served) {
             let mut fields = vec![(
@@ -210,11 +288,18 @@ impl ProtocolServer {
 
     fn op_stats(&self) -> Json {
         let stats = self.workspace.stats();
+        let (memo_hits, memo_built) = self.workspace.negation_memo_stats();
         Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("op", Json::Str("stats".into())),
             ("dtds_registered", Json::Num(stats.dtds_registered as f64)),
             ("dtds_reused", Json::Num(stats.dtds_reused as f64)),
+            ("resident_dtds", Json::Num(stats.resident_dtds as f64)),
+            ("dtd_evictions", Json::Num(stats.dtd_evictions as f64)),
+            (
+                "artifact_rebuilds",
+                Json::Num(stats.artifact_rebuilds as f64),
+            ),
             ("classifications", Json::Num(stats.classifications as f64)),
             ("normalizations", Json::Num(stats.normalizations as f64)),
             ("automata_built", Json::Num(stats.automata_built as f64)),
@@ -228,6 +313,24 @@ impl ProtocolServer {
                 "decision_cache_hits",
                 Json::Num(stats.decision_cache_hits as f64),
             ),
+            (
+                "artifact_store_hits",
+                Json::Num(stats.artifact_store_hits as f64),
+            ),
+            (
+                "artifact_store_misses",
+                Json::Num(stats.artifact_store_misses as f64),
+            ),
+            (
+                "artifact_store_writes",
+                Json::Num(stats.artifact_store_writes as f64),
+            ),
+            (
+                "deadline_exceeded",
+                Json::Num(stats.deadline_exceeded as f64),
+            ),
+            ("negation_memo_hits", Json::Num(memo_hits as f64)),
+            ("negation_memo_built", Json::Num(memo_built as f64)),
         ])
     }
 
@@ -273,17 +376,137 @@ fn error_response(message: &str) -> Json {
     ])
 }
 
+/// The response for a request line exceeding the size cap.
+pub fn oversized_response(max_line_bytes: usize) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::Str(format!(
+                "request line exceeds the {max_line_bytes}-byte limit"
+            )),
+        ),
+        ("oversized", Json::Bool(true)),
+    ])
+}
+
+/// Result of reading one length-capped line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineRead {
+    /// End of input before any byte of a new line.
+    Eof,
+    /// A complete line is in the buffer (newline stripped).
+    Line,
+    /// The line exceeded the cap; it was consumed (through its newline or EOF) but
+    /// only the first `max_bytes` are buffered.
+    Oversized,
+}
+
+/// A resumable, length-capped line reader, shared by the stdio loop and the TCP/Unix
+/// server so both enforce identical framing and caps.
+///
+/// An overlong line is drained from the input (so the stream stays framed on line
+/// boundaries) but reported as [`LineRead::Oversized`] instead of being returned —
+/// the caller answers with [`oversized_response`] and carries on.  If the underlying
+/// reader fails with a *transient* error (`WouldBlock`/`TimedOut` from a socket read
+/// timeout), all partial progress is kept and the next [`LineReader::read_from`] call
+/// resumes mid-line — the network server relies on this to poll its shutdown flag
+/// without ever corrupting framing.
+#[derive(Debug)]
+pub struct LineReader {
+    buffer: Vec<u8>,
+    overflowed: bool,
+    finished: bool,
+    max_bytes: usize,
+}
+
+impl LineReader {
+    /// A reader enforcing the given per-line byte cap (newline excluded).
+    pub fn new(max_bytes: usize) -> LineReader {
+        LineReader {
+            buffer: Vec::new(),
+            overflowed: false,
+            finished: true,
+            max_bytes: max_bytes.max(1),
+        }
+    }
+
+    /// The last completely read line (valid after [`LineRead::Line`]).
+    pub fn line(&self) -> &[u8] {
+        &self.buffer
+    }
+
+    /// Read (or, after a transient error, continue reading) one line.
+    pub fn read_from(&mut self, input: &mut impl BufRead) -> std::io::Result<LineRead> {
+        if self.finished {
+            self.buffer.clear();
+            self.overflowed = false;
+            self.finished = false;
+        }
+        loop {
+            let chunk = match input.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                // EOF: a trailing unterminated line still counts as a line.
+                self.finished = true;
+                return Ok(if self.overflowed {
+                    LineRead::Oversized
+                } else if self.buffer.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                });
+            }
+            let newline = chunk.iter().position(|&b| b == b'\n');
+            let upto = newline.map(|p| p + 1).unwrap_or(chunk.len());
+            if !self.overflowed {
+                let body = newline.unwrap_or(chunk.len());
+                if self.buffer.len() + body > self.max_bytes {
+                    self.overflowed = true;
+                } else {
+                    self.buffer.extend_from_slice(&chunk[..body]);
+                }
+            }
+            input.consume(upto);
+            if newline.is_some() {
+                self.finished = true;
+                return Ok(if self.overflowed {
+                    LineRead::Oversized
+                } else {
+                    LineRead::Line
+                });
+            }
+        }
+    }
+}
+
 /// A request-level failure (bad field, unknown id, parse error).
 #[derive(Debug, Clone)]
 pub struct ProtocolError {
     message: String,
+    deadline_exceeded: bool,
 }
 
 impl ProtocolError {
     fn new(message: impl Into<String>) -> ProtocolError {
         ProtocolError {
             message: message.into(),
+            deadline_exceeded: false,
         }
+    }
+
+    /// Render as an `"ok":false` response object.
+    fn into_response(self) -> Json {
+        let mut response = error_response(&self.message);
+        if self.deadline_exceeded {
+            if let Json::Obj(fields) = &mut response {
+                fields.push(("deadline_exceeded".to_string(), Json::Bool(true)));
+            }
+        }
+        response
     }
 }
 
@@ -297,7 +520,10 @@ impl std::error::Error for ProtocolError {}
 
 impl From<ServiceError> for ProtocolError {
     fn from(e: ServiceError) -> ProtocolError {
-        ProtocolError::new(e.to_string())
+        ProtocolError {
+            message: e.to_string(),
+            deadline_exceeded: matches!(e, ServiceError::DeadlineExceeded),
+        }
     }
 }
 

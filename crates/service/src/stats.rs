@@ -19,6 +19,12 @@ pub struct CacheStats {
     pub(crate) queries_reused: AtomicU64,
     pub(crate) decisions_computed: AtomicU64,
     pub(crate) decision_cache_hits: AtomicU64,
+    pub(crate) artifact_store_hits: AtomicU64,
+    pub(crate) artifact_store_misses: AtomicU64,
+    pub(crate) artifact_store_writes: AtomicU64,
+    pub(crate) dtd_evictions: AtomicU64,
+    pub(crate) artifact_rebuilds: AtomicU64,
+    pub(crate) deadline_exceeded: AtomicU64,
 }
 
 impl CacheStats {
@@ -42,6 +48,13 @@ impl CacheStats {
             queries_reused: self.queries_reused.load(Ordering::Relaxed),
             decisions_computed: self.decisions_computed.load(Ordering::Relaxed),
             decision_cache_hits: self.decision_cache_hits.load(Ordering::Relaxed),
+            artifact_store_hits: self.artifact_store_hits.load(Ordering::Relaxed),
+            artifact_store_misses: self.artifact_store_misses.load(Ordering::Relaxed),
+            artifact_store_writes: self.artifact_store_writes.load(Ordering::Relaxed),
+            dtd_evictions: self.dtd_evictions.load(Ordering::Relaxed),
+            artifact_rebuilds: self.artifact_rebuilds.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            resident_dtds: 0,
         }
     }
 }
@@ -68,16 +81,35 @@ pub struct StatsSnapshot {
     pub decisions_computed: u64,
     /// Decisions served from the memoised `(dtd, query)` cache.
     pub decision_cache_hits: u64,
+    /// Registrations (or rematerialisations) served from the on-disk artifact store.
+    pub artifact_store_hits: u64,
+    /// Store lookups that found no valid entry (absent or corrupt).
+    pub artifact_store_misses: u64,
+    /// Entries written to the on-disk artifact store.
+    pub artifact_store_writes: u64,
+    /// Resident compiled artifacts evicted by the LRU residency bound.
+    pub dtd_evictions: u64,
+    /// Evicted artifacts brought back (from the store or by recompiling).
+    pub artifact_rebuilds: u64,
+    /// Requests abandoned because their deadline expired mid-batch.
+    pub deadline_exceeded: u64,
+    /// Gauge (not a counter): compiled artifacts currently resident in memory.
+    pub resident_dtds: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "dtds: {} registered, {} reused; classifications: {}; normalizations: {}; \
-             automata: {}; queries: {} interned, {} reused; decisions: {} computed, {} cache hits",
+            "dtds: {} registered, {} reused, {} resident, {} evicted, {} rebuilt; \
+             classifications: {}; normalizations: {}; automata: {}; \
+             queries: {} interned, {} reused; decisions: {} computed, {} cache hits; \
+             artifact store: {} hits, {} misses, {} writes; deadlines exceeded: {}",
             self.dtds_registered,
             self.dtds_reused,
+            self.resident_dtds,
+            self.dtd_evictions,
+            self.artifact_rebuilds,
             self.classifications,
             self.normalizations,
             self.automata_built,
@@ -85,6 +117,10 @@ impl std::fmt::Display for StatsSnapshot {
             self.queries_reused,
             self.decisions_computed,
             self.decision_cache_hits,
+            self.artifact_store_hits,
+            self.artifact_store_misses,
+            self.artifact_store_writes,
+            self.deadline_exceeded,
         )
     }
 }

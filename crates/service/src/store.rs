@@ -1,0 +1,579 @@
+//! The persistent artifact store: compiled DTD artifacts serialised to a versioned
+//! on-disk cache so restarts and sibling servers skip recompilation.
+//!
+//! # Layout and keying
+//!
+//! One file per DTD under `<root>/v<STORE_VERSION>/<key>.art`, where `<key>` is the
+//! FNV-1a-64 hash of the DTD's *canonical* text (the same dedup key the in-memory
+//! [`Workspace`](crate::Workspace) registry uses) rendered as 16 hex digits.  The
+//! canonical text itself is stored inside the file and compared on load, so a hash
+//! collision or an overwritten file degrades to a cache miss, never a wrong artifact.
+//!
+//! # Versioning and invalidation
+//!
+//! The format version is part of the directory name *and* the file header.  Any change
+//! to the serialised shape (or to the artifact pipeline it snapshots) bumps
+//! [`STORE_VERSION`], which silently orphans the old directory — old and new binaries
+//! can share a cache root without reading each other's entries.  There is no in-place
+//! migration: entries are pure caches, rebuilt from the DTD text on a miss.
+//!
+//! # What is stored
+//!
+//! Everything expensive about [`DtdArtifacts`]: the structural classification, the
+//! normalisation `N(D)`, the pruned DTD, and per element type the Glushkov automaton
+//! with its useful-state mask.  The cheap eager structures (symbol interner, dense DTD
+//! graph, attribute sets) are *re-derived* on load — [`xpsat_dtd::DtdGraph`] interns
+//! element names in sorted order, so symbol ids are deterministic and the stored
+//! `Sym`-indexed automata stay valid; the loader verifies the stored element-name list
+//! against the reparsed DTD before trusting any index.
+//!
+//! # Concurrency
+//!
+//! Writes go to a unique temp file in the version directory and are `rename`d into
+//! place, so concurrent servers sharing one cache root either see a complete entry or
+//! none.  Every field is length-prefixed little-endian; a truncated or corrupt file
+//! fails decoding and is treated as a miss.
+
+use crate::workspace::DtdArtifacts;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use xpsat_automata::BitSet;
+use xpsat_dtd::{parse_dtd, CompiledDtd, DtdClass, Normalization, Sym, SymNfa};
+
+/// Format version; bump on any change to the serialised shape.
+pub const STORE_VERSION: u32 = 1;
+
+/// File magic, so stray files in the cache directory are rejected immediately.
+const MAGIC: &[u8; 8] = b"XPSATART";
+
+/// Marker for "no symbol" in a serialised state-symbol table.
+const NO_SYM: u32 = u32::MAX;
+
+/// FNV-1a-64 of the canonical DTD text: the on-disk key.
+pub fn canonical_key(canonical: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in canonical.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a [`ArtifactStore::load`] returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreMiss {
+    /// No entry under this key.
+    Absent,
+    /// An entry existed but failed validation (truncated, corrupt, version or
+    /// canonical-text mismatch).  Counted separately so operators can spot damage.
+    Invalid,
+}
+
+/// A handle on one on-disk cache root.  Cheap to clone; all state is the path.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    version_dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Open (creating directories as needed) the store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<ArtifactStore> {
+        let version_dir = root.into().join(format!("v{STORE_VERSION}"));
+        std::fs::create_dir_all(&version_dir)?;
+        Ok(ArtifactStore { version_dir })
+    }
+
+    /// The directory entries of the current version live in.
+    pub fn version_dir(&self) -> &Path {
+        &self.version_dir
+    }
+
+    fn entry_path(&self, canonical: &str) -> PathBuf {
+        self.version_dir
+            .join(format!("{:016x}.art", canonical_key(canonical)))
+    }
+
+    /// Is an entry present for this canonical text (without decoding it)?
+    pub fn contains(&self, canonical: &str) -> bool {
+        self.entry_path(canonical).exists()
+    }
+
+    /// Serialise `artifacts` under its canonical key.  Atomic: concurrent writers of
+    /// the same DTD race benignly (same bytes), and readers never see half a file.
+    pub fn save(&self, artifacts: &DtdArtifacts) -> std::io::Result<()> {
+        let bytes = encode(artifacts);
+        let final_path = self.entry_path(&artifacts.canonical);
+        let tmp_path = self.version_dir.join(format!(
+            ".tmp-{:016x}-{}",
+            canonical_key(&artifacts.canonical),
+            std::process::id()
+        ));
+        {
+            let mut file = std::fs::File::create(&tmp_path)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        match std::fs::rename(&tmp_path, &final_path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp_path);
+                Err(e)
+            }
+        }
+    }
+
+    /// Rehydrate the artifacts of `canonical`, or report why it could not be served.
+    pub fn load(&self, canonical: &str) -> Result<DtdArtifacts, StoreMiss> {
+        let path = self.entry_path(canonical);
+        let bytes = std::fs::read(&path).map_err(|_| StoreMiss::Absent)?;
+        decode(&bytes, canonical).ok_or(StoreMiss::Invalid)
+    }
+
+    /// Remove the entry of `canonical`, if present (used by tests and operators).
+    pub fn evict(&self, canonical: &str) -> std::io::Result<()> {
+        match std::fs::remove_file(self.entry_path(canonical)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+// ---- encoding --------------------------------------------------------------------
+
+fn encode(artifacts: &DtdArtifacts) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.bytes(MAGIC);
+    w.u32(STORE_VERSION);
+    w.str(&artifacts.canonical);
+    encode_class(&mut w, &artifacts.class);
+    w.str(&artifacts.normalization.dtd.to_string());
+    w.u32(artifacts.normalization.new_types.len() as u32);
+    for name in &artifacts.normalization.new_types {
+        w.str(name);
+    }
+    match artifacts.compiled.compiled() {
+        None => w.u8(0),
+        Some(compiled) => {
+            w.u8(1);
+            w.str(&compiled.dtd().to_string());
+            w.u32(compiled.num_elements() as u32);
+            for elem in compiled.elements() {
+                w.str(compiled.name(elem));
+            }
+            for elem in compiled.elements() {
+                encode_nfa(&mut w, compiled.automaton(elem));
+            }
+            for elem in compiled.elements() {
+                let useful = compiled.useful_states(elem);
+                w.u32(useful.len() as u32);
+                for state in useful.iter() {
+                    w.u32(state as u32);
+                }
+            }
+        }
+    }
+    w.finish()
+}
+
+fn encode_class(w: &mut Writer, class: &DtdClass) {
+    w.u8(class.recursive as u8);
+    w.u8(class.disjunction_free as u8);
+    w.u8(class.has_star as u8);
+    w.u8(class.normalized as u8);
+    match class.depth_bound {
+        None => w.u8(0),
+        Some(bound) => {
+            w.u8(1);
+            w.u64(bound as u64);
+        }
+    }
+}
+
+fn encode_nfa(w: &mut Writer, nfa: &SymNfa) {
+    let n = nfa.num_states();
+    w.u32(n as u32);
+    for q in 0..n {
+        w.u32(nfa.symbol_of(q).map_or(NO_SYM, |s| s.index() as u32));
+    }
+    let accepting: Vec<usize> = nfa.accepting_states().collect();
+    w.u32(accepting.len() as u32);
+    for q in accepting {
+        w.u32(q as u32);
+    }
+    for q in 0..n {
+        let row: Vec<(Sym, &[usize])> = nfa.transitions_from(q).map(|(s, t)| (*s, t)).collect();
+        w.u32(row.len() as u32);
+        for (sym, succs) in row {
+            w.u32(sym.index() as u32);
+            w.u32(succs.len() as u32);
+            for &t in succs {
+                w.u32(t as u32);
+            }
+        }
+    }
+}
+
+// ---- decoding --------------------------------------------------------------------
+
+fn decode(bytes: &[u8], expected_canonical: &str) -> Option<DtdArtifacts> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(MAGIC.len())? != MAGIC.as_slice() || r.u32()? != STORE_VERSION {
+        return None;
+    }
+    let canonical = r.str()?;
+    // Key collision or foreign entry: refuse, the caller recompiles.
+    if canonical != expected_canonical {
+        return None;
+    }
+    let dtd = parse_dtd(&canonical).ok()?;
+    let class = decode_class(&mut r)?;
+    let normalized_text = r.str()?;
+    let normalized_dtd = parse_dtd(&normalized_text).ok()?;
+    let new_types = (0..r.u32()?)
+        .map(|_| r.str())
+        .collect::<Option<std::collections::BTreeSet<String>>>()?;
+    let normalization = Normalization {
+        dtd: normalized_dtd,
+        new_types,
+    };
+    let compiled = match r.u8()? {
+        0 => None,
+        1 => {
+            let pruned_text = r.str()?;
+            let pruned = parse_dtd(&pruned_text).ok()?;
+            // Symbol ids are positions in the sorted element-name list; verify the
+            // stored layout matches what the reparsed DTD will intern before trusting
+            // any stored index.
+            let expected_names = pruned.element_names();
+            let stored_count = r.u32()? as usize;
+            if stored_count != expected_names.len() {
+                return None;
+            }
+            for expected in &expected_names {
+                if r.str()?.as_str() != expected {
+                    return None;
+                }
+            }
+            let num_elements = expected_names.len();
+            let automata = (0..num_elements)
+                .map(|_| decode_nfa(&mut r, num_elements))
+                .collect::<Option<Vec<SymNfa>>>()?;
+            let useful = automata
+                .iter()
+                .map(|nfa| {
+                    let mut mask = BitSet::with_capacity(nfa.num_states());
+                    for _ in 0..r.u32()? {
+                        let state = r.u32()? as usize;
+                        if state >= nfa.num_states() {
+                            return None;
+                        }
+                        mask.insert(state);
+                    }
+                    Some(mask)
+                })
+                .collect::<Option<Vec<BitSet>>>()?;
+            Some(CompiledDtd::from_cached_automata(pruned, automata, useful))
+        }
+        _ => return None,
+    };
+    if !r.at_end() {
+        return None;
+    }
+    Some(DtdArtifacts {
+        dtd: dtd.clone(),
+        canonical,
+        class: class.clone(),
+        normalization,
+        compiled: xpsat_dtd::DtdArtifacts::from_cached_parts(dtd, class, compiled),
+    })
+}
+
+fn decode_class(r: &mut Reader) -> Option<DtdClass> {
+    let recursive = r.bool()?;
+    let disjunction_free = r.bool()?;
+    let has_star = r.bool()?;
+    let normalized = r.bool()?;
+    let depth_bound = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()? as usize),
+        _ => return None,
+    };
+    Some(DtdClass {
+        recursive,
+        disjunction_free,
+        has_star,
+        normalized,
+        depth_bound,
+    })
+}
+
+fn decode_nfa(r: &mut Reader, num_elements: usize) -> Option<SymNfa> {
+    let n = r.u32()? as usize;
+    let state_symbol = (0..n)
+        .map(|_| match r.u32()? {
+            NO_SYM => Some(None),
+            index if (index as usize) < num_elements => Some(Some(Sym::from_index(index as usize))),
+            _ => None,
+        })
+        .collect::<Option<Vec<Option<Sym>>>>()?;
+    let accepting = (0..r.u32()?)
+        .map(|_| {
+            let q = r.u32()? as usize;
+            (q < n).then_some(q)
+        })
+        .collect::<Option<Vec<usize>>>()?;
+    let transitions = (0..n)
+        .map(|_| {
+            (0..r.u32()?)
+                .map(|_| {
+                    let sym_index = r.u32()? as usize;
+                    if sym_index >= num_elements {
+                        return None;
+                    }
+                    let succs = (0..r.u32()?)
+                        .map(|_| {
+                            let t = r.u32()? as usize;
+                            (t < n).then_some(t)
+                        })
+                        .collect::<Option<Vec<usize>>>()?;
+                    Some((Sym::from_index(sym_index), succs))
+                })
+                .collect::<Option<Vec<(Sym, Vec<usize>)>>>()
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(SymNfa::from_parts(transitions, accepting, state_symbol))
+}
+
+// ---- little-endian framing -------------------------------------------------------
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+    fn u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+    fn u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+    fn u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+    fn str(&mut self, value: &str) {
+        self.u32(value.len() as u32);
+        self.buf.extend_from_slice(value.as_bytes());
+    }
+    fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+    fn bytes(&mut self, len: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(len)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.bytes(1)?[0])
+    }
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.bytes(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.bytes(8)?.try_into().ok()?))
+    }
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.bytes(len)?.to_vec()).ok()
+    }
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{decision_fingerprint, Workspace};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn scratch_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xpsat-store-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const DTD: &str = "r -> a*, b; a -> c | d; b -> #; c -> #; d -> #; @a: id;";
+
+    fn build(text: &str) -> DtdArtifacts {
+        let dtd = parse_dtd(text).unwrap();
+        let canonical = dtd.to_string();
+        let compiled = xpsat_dtd::DtdArtifacts::build(&dtd);
+        compiled.warm();
+        DtdArtifacts {
+            dtd: dtd.clone(),
+            canonical,
+            class: compiled.class().clone(),
+            normalization: xpsat_dtd::normalize(&dtd),
+            compiled,
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = scratch_dir();
+        let store = ArtifactStore::open(&dir).unwrap();
+        let fresh = build(DTD);
+        assert!(!store.contains(&fresh.canonical));
+        assert!(matches!(
+            store.load(&fresh.canonical),
+            Err(StoreMiss::Absent)
+        ));
+        store.save(&fresh).unwrap();
+        assert!(store.contains(&fresh.canonical));
+        let loaded = store.load(&fresh.canonical).unwrap();
+        assert_eq!(loaded.canonical, fresh.canonical);
+        assert_eq!(loaded.dtd, fresh.dtd);
+        assert_eq!(loaded.class, fresh.class);
+        assert_eq!(loaded.normalization.dtd, fresh.normalization.dtd);
+        assert_eq!(
+            loaded.normalization.new_types,
+            fresh.normalization.new_types
+        );
+        let a = fresh.compiled.compiled().unwrap();
+        let b = loaded.compiled.compiled().unwrap();
+        assert_eq!(a.num_elements(), b.num_elements());
+        for elem in a.elements() {
+            assert_eq!(a.name(elem), b.name(elem));
+            assert_eq!(
+                a.automaton(elem).shortest_word(),
+                b.automaton(elem).shortest_word()
+            );
+            assert_eq!(
+                a.useful_states(elem).iter().collect::<Vec<_>>(),
+                b.useful_states(elem).iter().collect::<Vec<_>>()
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rehydrated_artifacts_decide_identically() {
+        let dir = scratch_dir();
+        let store = ArtifactStore::open(&dir).unwrap();
+        let fresh = build(DTD);
+        store.save(&fresh).unwrap();
+        let loaded = store.load(&fresh.canonical).unwrap();
+        let solver = xpsat_core::Solver::default();
+        for text in ["a/c", "a[not(c)]", "b", "a[c and not(d)]", "ghost"] {
+            let query = xpsat_xpath::parse_path(text).unwrap();
+            let direct = solver.decide_with_artifacts(&fresh.compiled, &query);
+            let replayed = solver.decide_with_artifacts(&loaded.compiled, &query);
+            assert_eq!(
+                decision_fingerprint(&direct),
+                decision_fingerprint(&replayed),
+                "{text}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_or_foreign_entries_miss() {
+        let dir = scratch_dir();
+        let store = ArtifactStore::open(&dir).unwrap();
+        let fresh = build(DTD);
+        store.save(&fresh).unwrap();
+        let path = store
+            .version_dir()
+            .join(format!("{:016x}.art", canonical_key(&fresh.canonical)));
+        // Truncation.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            store.load(&fresh.canonical),
+            Err(StoreMiss::Invalid)
+        ));
+        // Flipped interior byte (inside the automata region).
+        let mut flipped = full.clone();
+        let mid = flipped.len() - 9;
+        flipped[mid] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(store.load(&fresh.canonical).is_err());
+        // A different DTD's bytes under this key: canonical mismatch.
+        let other = build("r -> x?; x -> #;");
+        std::fs::write(&path, encode(&other)).unwrap();
+        assert!(matches!(
+            store.load(&fresh.canonical),
+            Err(StoreMiss::Invalid)
+        ));
+        // Restore and confirm it loads again.
+        std::fs::write(&path, &full).unwrap();
+        assert!(store.load(&fresh.canonical).is_ok());
+        store.evict(&fresh.canonical).unwrap();
+        assert!(matches!(
+            store.load(&fresh.canonical),
+            Err(StoreMiss::Absent)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nonterminating_root_round_trips_without_compile() {
+        let dir = scratch_dir();
+        let store = ArtifactStore::open(&dir).unwrap();
+        let fresh = build("r -> r;");
+        assert!(fresh.compiled.compiled().is_none());
+        store.save(&fresh).unwrap();
+        let loaded = store.load(&fresh.canonical).unwrap();
+        assert!(loaded.compiled.compiled().is_none());
+        assert_eq!(loaded.class, fresh.class);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn workspaces_share_entries_through_one_store() {
+        let dir = scratch_dir();
+        let store = ArtifactStore::open(&dir).unwrap();
+        let mut first = Workspace::default().with_store(store.clone());
+        first.register_dtd(DTD).unwrap();
+        assert_eq!(first.stats().artifact_store_writes, 1);
+        let mut second = Workspace::default().with_store(store);
+        let id = second.register_dtd(DTD).unwrap();
+        let stats = second.stats();
+        assert_eq!(stats.artifact_store_hits, 1);
+        assert_eq!(stats.classifications, 0, "served from disk, not recompiled");
+        let q = second.intern("a[not(c)]").unwrap();
+        assert!(second.decide(id, q).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

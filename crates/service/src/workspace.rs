@@ -9,15 +9,25 @@
 //! Queries are interned by canonical text so repeated paths share one [`QueryId`] and
 //! hit a memoised `(DtdId, QueryId)` decision cache.
 //!
+//! Registered artifacts are held as [`Arc<DtdArtifacts>`] behind per-slot residency:
+//! with a [`Workspace::with_resident_bound`] in force, the least-recently-used compiled
+//! artifacts are dropped from memory once the bound is exceeded and transparently
+//! *rematerialised* on next touch — from the optional persistent
+//! [`ArtifactStore`](crate::store::ArtifactStore) when one is attached
+//! ([`Workspace::with_store`]), else by recompiling from the canonical text.  Ids,
+//! interned queries and cached decisions all survive eviction.
+//!
 //! All `decide` paths take `&self` (the cache is lock-striped), so one workspace can
 //! be shared across the worker threads of [`Workspace::decide_batch`].  Decisions are
 //! stored and served as [`Arc<Decision>`]: a cache hit is a pointer bump, never a
 //! witness-document clone.
 
 use crate::stats::{CacheStats, StatsSnapshot};
+use crate::store::{ArtifactStore, StoreMiss};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use xpsat_core::{Decision, EngineKind, Solver, SolverConfig};
 use xpsat_dtd::{normalize, parse_dtd, Dtd, DtdClass, Normalization};
 use xpsat_xpath::{parse_path, Path};
@@ -136,6 +146,19 @@ pub struct ServedDecision {
     pub cached: bool,
 }
 
+/// What a registration did, beyond handing back the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterOutcome {
+    /// The id under which the DTD is (now) registered.
+    pub id: DtdId,
+    /// `true` when an identical DTD was already registered in this workspace.
+    pub reused: bool,
+    /// `true` when the artifacts were loaded from the persistent store instead of
+    /// being compiled (always `false` when `reused` is `true` or no store is
+    /// attached).
+    pub from_store: bool,
+}
+
 /// Errors returned by workspace operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
@@ -149,6 +172,9 @@ pub enum ServiceError {
     UnknownQuery(usize),
     /// A session operation needed a current DTD but none was loaded.
     NoCurrentDtd,
+    /// The request's deadline expired before the batch completed.  Decisions already
+    /// computed were still published to the cache, so a retry resumes, not restarts.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -161,22 +187,55 @@ impl std::fmt::Display for ServiceError {
             ServiceError::NoCurrentDtd => {
                 write!(f, "no DTD loaded (call load_dtd or use_dtd first)")
             }
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the request completed")
+            }
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
 
+/// One registered DTD: the immutable identity (canonical text) plus the evictable
+/// compiled artifacts.  The id is the slot index, so ids never die — only residency
+/// changes.
+#[derive(Debug)]
+struct DtdSlot {
+    canonical: String,
+    /// The compiled artifacts while resident; `None` after LRU eviction.
+    resident: Mutex<Option<Arc<DtdArtifacts>>>,
+    /// Logical timestamp of the last touch (from the workspace's LRU clock).
+    last_used: AtomicU64,
+}
+
+/// Reusable buffers for [`Workspace::decide_batch_with`]: per-worker result arenas and
+/// the bookkeeping vectors of the lookup phase.  A long-lived caller (the protocol
+/// server) keeps one scratch per connection worker, so steady-state batches allocate
+/// only their output vector.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    worker_buffers: Vec<Vec<(QueryId, Decision)>>,
+    distinct: Vec<QueryId>,
+    by_shard: Vec<Vec<QueryId>>,
+    missing: Vec<QueryId>,
+    resolved: HashMap<QueryId, Arc<Decision>>,
+}
+
 /// The satisfiability service: DTD registry, query interner, decision cache.
 #[derive(Debug)]
 pub struct Workspace {
     solver: Solver,
-    dtds: Vec<DtdArtifacts>,
+    dtds: Vec<DtdSlot>,
     dtd_by_canonical: HashMap<String, DtdId>,
     queries: Vec<InternedQuery>,
     query_by_canonical: HashMap<String, QueryId>,
     cache: ShardedCache,
     stats: CacheStats,
+    store: Option<ArtifactStore>,
+    /// Maximum number of *resident* compiled artifacts; `None` = unbounded.
+    resident_bound: Option<usize>,
+    resident_count: AtomicUsize,
+    lru_clock: AtomicU64,
 }
 
 impl Default for Workspace {
@@ -196,7 +255,30 @@ impl Workspace {
             query_by_canonical: HashMap::new(),
             cache: ShardedCache::new(),
             stats: CacheStats::default(),
+            store: None,
+            resident_bound: None,
+            resident_count: AtomicUsize::new(0),
+            lru_clock: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a persistent artifact store: registrations consult it before compiling
+    /// and write fresh compiles back, and evicted artifacts rematerialise from it.
+    pub fn with_store(mut self, store: ArtifactStore) -> Workspace {
+        self.store = Some(store);
+        self
+    }
+
+    /// Bound the number of compiled artifacts resident in memory (at least 1).  Excess
+    /// artifacts are evicted least-recently-used and rematerialised on next touch.
+    pub fn with_resident_bound(mut self, bound: usize) -> Workspace {
+        self.resident_bound = Some(bound.max(1));
+        self
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
     }
 
     // ---- DTD registry ----------------------------------------------------------
@@ -204,16 +286,65 @@ impl Workspace {
     /// Register a DTD from its textual form, computing all artifacts, or return the
     /// existing id when an identical DTD (same canonical form) is already registered.
     pub fn register_dtd(&mut self, text: &str) -> Result<DtdId, ServiceError> {
+        self.register_dtd_report(text).map(|outcome| outcome.id)
+    }
+
+    /// [`Workspace::register_dtd`], reporting whether the DTD was deduplicated and
+    /// whether its artifacts came out of the persistent store.
+    pub fn register_dtd_report(&mut self, text: &str) -> Result<RegisterOutcome, ServiceError> {
         let dtd = parse_dtd(text).map_err(|e| ServiceError::DtdParse(e.to_string()))?;
-        Ok(self.register_dtd_value(dtd))
+        Ok(self.register_dtd_value_report(dtd))
     }
 
     /// Register an already-parsed DTD (same dedup and artifact rules).
     pub fn register_dtd_value(&mut self, dtd: Dtd) -> DtdId {
+        self.register_dtd_value_report(dtd).id
+    }
+
+    /// [`Workspace::register_dtd_value`] with the full [`RegisterOutcome`].
+    pub fn register_dtd_value_report(&mut self, dtd: Dtd) -> RegisterOutcome {
         let canonical = dtd.to_string();
         if let Some(&id) = self.dtd_by_canonical.get(&canonical) {
             CacheStats::bump(&self.stats.dtds_reused);
-            return id;
+            return RegisterOutcome {
+                id,
+                reused: true,
+                from_store: false,
+            };
+        }
+        let (artifacts, from_store) = self.materialize(dtd, canonical.clone());
+        CacheStats::bump(&self.stats.dtds_registered);
+        let id = DtdId(self.dtds.len());
+        self.dtds.push(DtdSlot {
+            canonical: canonical.clone(),
+            resident: Mutex::new(Some(artifacts)),
+            last_used: AtomicU64::new(self.touch()),
+        });
+        self.resident_count.fetch_add(1, Ordering::Relaxed);
+        self.dtd_by_canonical.insert(canonical, id);
+        self.enforce_residency(id);
+        RegisterOutcome {
+            id,
+            reused: false,
+            from_store,
+        }
+    }
+
+    /// Produce the artifacts of a DTD: from the persistent store when possible, else
+    /// by running the full pipeline (and writing the result back to the store).
+    fn materialize(&self, dtd: Dtd, canonical: String) -> (Arc<DtdArtifacts>, bool) {
+        if let Some(store) = &self.store {
+            match store.load(&canonical) {
+                Ok(artifacts) => {
+                    CacheStats::bump(&self.stats.artifact_store_hits);
+                    // Lazy fields not serialised (the tree generator) still warm here.
+                    artifacts.compiled.warm();
+                    return (Arc::new(artifacts), true);
+                }
+                Err(StoreMiss::Absent | StoreMiss::Invalid) => {
+                    CacheStats::bump(&self.stats.artifact_store_misses);
+                }
+            }
         }
         CacheStats::bump(&self.stats.classifications);
         CacheStats::bump(&self.stats.normalizations);
@@ -225,27 +356,96 @@ impl Workspace {
         compiled.warm();
         let class = compiled.class().clone();
         CacheStats::add(&self.stats.automata_built, compiled.automata_count() as u64);
-        CacheStats::bump(&self.stats.dtds_registered);
-        let id = DtdId(self.dtds.len());
-        self.dtds.push(DtdArtifacts {
+        let artifacts = Arc::new(DtdArtifacts {
             dtd,
-            canonical: canonical.clone(),
+            canonical,
             class,
             normalization,
             compiled,
         });
-        self.dtd_by_canonical.insert(canonical, id);
-        id
+        if let Some(store) = &self.store {
+            if store.save(&artifacts).is_ok() {
+                CacheStats::bump(&self.stats.artifact_store_writes);
+            }
+        }
+        (artifacts, false)
     }
 
-    /// The artifacts of a registered DTD.
-    pub fn artifacts(&self, id: DtdId) -> Result<&DtdArtifacts, ServiceError> {
-        self.dtds.get(id.0).ok_or(ServiceError::UnknownDtd(id.0))
+    /// Advance the LRU clock and return the new timestamp.
+    fn touch(&self) -> u64 {
+        self.lru_clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Evict least-recently-used resident artifacts until the bound holds, never
+    /// touching `just_used` (the slot the caller is about to hand out).  Best-effort
+    /// under concurrency: slots whose locks are contended are skipped this round.
+    fn enforce_residency(&self, just_used: DtdId) {
+        let Some(bound) = self.resident_bound else {
+            return;
+        };
+        while self.resident_count.load(Ordering::Relaxed) > bound {
+            let mut victim: Option<(usize, u64)> = None;
+            for (index, slot) in self.dtds.iter().enumerate() {
+                if index == just_used.0 {
+                    continue;
+                }
+                if let Ok(resident) = slot.resident.try_lock() {
+                    if resident.is_some() {
+                        let stamp = slot.last_used.load(Ordering::Relaxed);
+                        if victim.is_none_or(|(_, best)| stamp < best) {
+                            victim = Some((index, stamp));
+                        }
+                    }
+                }
+            }
+            let Some((index, stamp)) = victim else {
+                return;
+            };
+            let Ok(mut resident) = self.dtds[index].resident.try_lock() else {
+                return;
+            };
+            // Re-check under the lock: a concurrent touch since the scan means the
+            // slot is no longer the LRU — give up this round rather than evict hot
+            // artifacts.
+            if resident.is_some() && self.dtds[index].last_used.load(Ordering::Relaxed) == stamp {
+                *resident = None;
+                drop(resident);
+                self.resident_count.fetch_sub(1, Ordering::Relaxed);
+                CacheStats::bump(&self.stats.dtd_evictions);
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// The artifacts of a registered DTD, rematerialising them if they were evicted.
+    pub fn artifacts(&self, id: DtdId) -> Result<Arc<DtdArtifacts>, ServiceError> {
+        let slot = self.dtds.get(id.0).ok_or(ServiceError::UnknownDtd(id.0))?;
+        slot.last_used.store(self.touch(), Ordering::Relaxed);
+        let mut resident = slot.resident.lock().unwrap();
+        if let Some(artifacts) = resident.as_ref() {
+            return Ok(Arc::clone(artifacts));
+        }
+        // Evicted: bring it back from the store or by recompiling.  The canonical
+        // text always reparses (it round-tripped at registration).
+        let dtd = parse_dtd(&slot.canonical).expect("canonical DTD text round-trips");
+        let (artifacts, _) = self.materialize(dtd, slot.canonical.clone());
+        CacheStats::bump(&self.stats.artifact_rebuilds);
+        *resident = Some(Arc::clone(&artifacts));
+        drop(resident);
+        self.resident_count.fetch_add(1, Ordering::Relaxed);
+        self.enforce_residency(id);
+        Ok(artifacts)
     }
 
     /// Number of registered (distinct) DTDs.
     pub fn dtd_count(&self) -> usize {
         self.dtds.len()
+    }
+
+    /// Number of compiled artifacts currently resident in memory.
+    pub fn resident_dtds(&self) -> usize {
+        self.resident_count.load(Ordering::Relaxed)
     }
 
     // ---- query interner --------------------------------------------------------
@@ -291,15 +491,19 @@ impl Workspace {
     /// pair has been decided before.
     pub fn decide(&self, dtd: DtdId, query: QueryId) -> Result<ServedDecision, ServiceError> {
         self.query(query)?;
-        let artifacts = self.artifacts(dtd)?;
         let key = (dtd, query);
         if let Some(hit) = self.cache.get(&key) {
+            // A cache hit must still validate the id (the artifacts call does both).
+            if dtd.0 >= self.dtds.len() {
+                return Err(ServiceError::UnknownDtd(dtd.0));
+            }
             CacheStats::bump(&self.stats.decision_cache_hits);
             return Ok(ServedDecision {
                 decision: hit,
                 cached: true,
             });
         }
+        let artifacts = self.artifacts(dtd)?;
         let decision = self
             .solver
             .decide_with_artifacts(&artifacts.compiled, &self.queries[query.0].path);
@@ -321,6 +525,27 @@ impl Workspace {
         queries: &[QueryId],
         threads: usize,
     ) -> Result<Vec<ServedDecision>, ServiceError> {
+        self.decide_batch_with(dtd, queries, threads, None, &mut BatchScratch::default())
+    }
+
+    /// [`Workspace::decide_batch`] with an optional deadline and caller-owned scratch
+    /// buffers.
+    ///
+    /// * `deadline` — workers check it between queries and abandon the batch once it
+    ///   passes.  Decisions computed before expiry are still published to the cache
+    ///   (a retry resumes rather than restarts), the `deadline_exceeded` counter is
+    ///   bumped and [`ServiceError::DeadlineExceeded`] is returned.
+    /// * `scratch` — per-worker result arenas reused across batches; a long-lived
+    ///   caller passes the same scratch every time so steady-state batches stop
+    ///   re-allocating worker buffers and lookup bookkeeping.
+    pub fn decide_batch_with(
+        &self,
+        dtd: DtdId,
+        queries: &[QueryId],
+        threads: usize,
+        deadline: Option<Instant>,
+        scratch: &mut BatchScratch,
+    ) -> Result<Vec<ServedDecision>, ServiceError> {
         let artifacts = self.artifacts(dtd)?;
         for &q in queries {
             self.query(q)?;
@@ -328,23 +553,24 @@ impl Workspace {
 
         // The distinct query ids in the batch, grouped by cache stripe so the lookup
         // phase takes each stripe lock exactly once.
-        let distinct: Vec<QueryId> = queries
-            .iter()
-            .copied()
-            .collect::<BTreeSet<_>>()
-            .into_iter()
-            .collect();
-        let mut by_shard: Vec<Vec<QueryId>> = vec![Vec::new(); CACHE_SHARDS];
-        for &q in &distinct {
-            by_shard[ShardedCache::shard_index(&(dtd, q))].push(q);
+        scratch.distinct.clear();
+        scratch
+            .distinct
+            .extend(queries.iter().copied().collect::<BTreeSet<_>>());
+        scratch.by_shard.resize_with(CACHE_SHARDS, Vec::new);
+        for shard in &mut scratch.by_shard {
+            shard.clear();
+        }
+        for &q in &scratch.distinct {
+            scratch.by_shard[ShardedCache::shard_index(&(dtd, q))].push(q);
         }
 
         // The distinct query ids not yet in the cache: each is computed exactly once,
         // no matter how often it repeats in `queries`.  Also collect the already-cached
         // decisions while the stripe lock is held.
-        let mut missing: Vec<QueryId> = Vec::new();
-        let mut resolved: HashMap<QueryId, Arc<Decision>> = HashMap::with_capacity(distinct.len());
-        for (shard, members) in self.cache.shards.iter().zip(&by_shard) {
+        scratch.missing.clear();
+        scratch.resolved.clear();
+        for (shard, members) in self.cache.shards.iter().zip(&scratch.by_shard) {
             if members.is_empty() {
                 continue;
             }
@@ -352,14 +578,16 @@ impl Workspace {
             for &q in members {
                 match shard.get(&(dtd, q)) {
                     Some(hit) => {
-                        resolved.insert(q, hit.clone());
+                        scratch.resolved.insert(q, hit.clone());
                     }
-                    None => missing.push(q),
+                    None => scratch.missing.push(q),
                 }
             }
         }
-        missing.sort_unstable();
+        scratch.missing.sort_unstable();
+        let missing = &scratch.missing;
 
+        let mut expired = false;
         if !missing.is_empty() {
             // Cap the pool at the hardware parallelism: the work is CPU-bound, so
             // oversubscribed workers only add spawn and scheduling overhead (on a
@@ -368,28 +596,49 @@ impl Workspace {
                 .map(|n| n.get())
                 .unwrap_or(1);
             let workers = threads.max(1).min(missing.len()).min(hardware);
+            if scratch.worker_buffers.len() < workers {
+                scratch.worker_buffers.resize_with(workers, Vec::new);
+            }
             // Per-worker result buffers, merged at join: workers share nothing but the
-            // work-stealing cursor, so computing a decision never takes a lock.  A
-            // single-worker batch runs inline — no scope, no spawn, no join.
-            let worker_buffers: Vec<Vec<(QueryId, Decision)>> = if workers == 1 {
-                let buffer = missing
-                    .iter()
-                    .map(|&q| {
-                        let decision = self
-                            .solver
-                            .decide_with_artifacts(&artifacts.compiled, &self.queries[q.0].path);
-                        (q, decision)
-                    })
-                    .collect();
-                vec![buffer]
+            // work-stealing cursor (and the deadline flag), so computing a decision
+            // never takes a lock.  A single-worker batch runs inline — no scope, no
+            // spawn, no join.  Buffers are taken from and returned to the scratch so
+            // their capacity persists across batches.
+            let mut taken: Vec<Vec<(QueryId, Decision)>> = scratch.worker_buffers[..workers]
+                .iter_mut()
+                .map(std::mem::take)
+                .collect();
+            let deadline_hit = AtomicBool::new(false);
+            if workers == 1 {
+                let buffer = &mut taken[0];
+                for &q in missing.iter() {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        deadline_hit.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    let decision = self
+                        .solver
+                        .decide_with_artifacts(&artifacts.compiled, &self.queries[q.0].path);
+                    buffer.push((q, decision));
+                }
             } else {
                 let next = AtomicUsize::new(0);
                 std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..workers)
-                        .map(|_| {
-                            scope.spawn(|| {
-                                let mut local: Vec<(QueryId, Decision)> = Vec::new();
+                    let handles: Vec<_> = taken
+                        .drain(..)
+                        .map(|mut local| {
+                            let next = &next;
+                            let deadline_hit = &deadline_hit;
+                            let artifacts = &artifacts;
+                            scope.spawn(move || {
                                 loop {
+                                    if deadline_hit.load(Ordering::Relaxed) {
+                                        break;
+                                    }
+                                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                                        deadline_hit.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
                                     let i = next.fetch_add(1, Ordering::Relaxed);
                                     let Some(&q) = missing.get(i) else { break };
                                     let decision = self.solver.decide_with_artifacts(
@@ -402,19 +651,21 @@ impl Workspace {
                             })
                         })
                         .collect();
-                    handles
+                    taken = handles
                         .into_iter()
                         .map(|h| h.join().expect("batch worker panicked"))
-                        .collect()
-                })
-            };
+                        .collect();
+                });
+            }
+            expired = deadline_hit.load(Ordering::Relaxed);
 
-            // Publish into the cache, one stripe lock per touched stripe.
+            // Publish into the cache, one stripe lock per touched stripe; even an
+            // expired batch publishes what it managed to compute.
             let mut inserts: Vec<Vec<(QueryId, Decision)>> = vec![Vec::new(); CACHE_SHARDS];
             let mut computed = 0u64;
-            for buffer in worker_buffers {
+            for buffer in &mut taken {
                 computed += buffer.len() as u64;
-                for (q, decision) in buffer {
+                for (q, decision) in buffer.drain(..) {
                     inserts[ShardedCache::shard_index(&(dtd, q))].push((q, decision));
                 }
             }
@@ -429,9 +680,18 @@ impl Workspace {
                         .entry((dtd, q))
                         .or_insert_with(|| Arc::new(decision))
                         .clone();
-                    resolved.insert(q, stored);
+                    scratch.resolved.insert(q, stored);
                 }
             }
+            // Return the (drained) buffers to the scratch, capacity intact.
+            for (slot, buffer) in scratch.worker_buffers.iter_mut().zip(taken) {
+                *slot = buffer;
+            }
+        }
+
+        if expired {
+            CacheStats::bump(&self.stats.deadline_exceeded);
+            return Err(ServiceError::DeadlineExceeded);
         }
 
         // Assemble results in request order from the per-batch resolution map — no
@@ -447,16 +707,23 @@ impl Workspace {
                 CacheStats::bump(&self.stats.decision_cache_hits);
             }
             out.push(ServedDecision {
-                decision: resolved[&q].clone(),
+                decision: scratch.resolved[&q].clone(),
                 cached,
             });
         }
         Ok(out)
     }
 
-    /// Current counter values.
+    /// Current counter values (including the resident-artifact gauge).
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snapshot = self.stats.snapshot();
+        snapshot.resident_dtds = self.resident_count.load(Ordering::Relaxed) as u64;
+        snapshot
+    }
+
+    /// `(hits, analyses built)` of the solver's negation-analysis memo.
+    pub fn negation_memo_stats(&self) -> (u64, u64) {
+        self.solver.negation_memo_stats()
     }
 }
 
@@ -504,4 +771,115 @@ pub fn decision_fingerprint(decision: &Decision) -> String {
         engine_slug(decision.engine),
         decision.complete
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DTD_A: &str = "r -> a*; a -> b?; b -> #;";
+    const DTD_B: &str = "r -> c | d; c -> #; d -> #;";
+    const DTD_C: &str = "r -> e+; e -> #;";
+
+    #[test]
+    fn resident_bound_evicts_lru_and_rematerialises() {
+        let mut ws = Workspace::default().with_resident_bound(1);
+        let a = ws.register_dtd(DTD_A).unwrap();
+        let b = ws.register_dtd(DTD_B).unwrap();
+        let c = ws.register_dtd(DTD_C).unwrap();
+        assert_eq!(ws.dtd_count(), 3);
+        assert_eq!(ws.resident_dtds(), 1);
+        let stats = ws.stats();
+        assert!(stats.dtd_evictions >= 2, "{stats}");
+
+        // Ids survive eviction: deciding against an evicted DTD recompiles it
+        // transparently and the verdict is unchanged.
+        let q = ws.intern("a[b]").unwrap();
+        let served = ws.decide(a, q).unwrap();
+        assert!(matches!(
+            served.decision.result,
+            xpsat_core::Satisfiability::Satisfiable(_)
+        ));
+        let rebuilds = ws.stats().artifact_rebuilds;
+        assert!(rebuilds >= 1, "expected a rematerialisation");
+        assert_eq!(ws.resident_dtds(), 1);
+
+        // The decision cache outlives residency: re-deciding after another eviction
+        // cycle is still a cache hit and needs no rebuild.
+        let qc = ws.intern("e").unwrap();
+        ws.decide(c, qc).unwrap();
+        let qb = ws.intern("c").unwrap();
+        ws.decide(b, qb).unwrap();
+        let again = ws.decide(a, q).unwrap();
+        assert!(again.cached);
+        let _ = (b, c);
+    }
+
+    #[test]
+    fn rematerialisation_prefers_the_store() {
+        let dir = std::env::temp_dir().join(format!("xpsat-ws-lru-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = crate::store::ArtifactStore::open(&dir).unwrap();
+        let mut ws = Workspace::default()
+            .with_store(store)
+            .with_resident_bound(1);
+        let a = ws.register_dtd(DTD_A).unwrap();
+        ws.register_dtd(DTD_B).unwrap();
+        // DTD_A was evicted; touching it again must hit the store, not reclassify.
+        let before = ws.stats();
+        ws.artifacts(a).unwrap();
+        let after = ws.stats();
+        assert_eq!(after.classifications, before.classifications);
+        assert_eq!(after.artifact_store_hits, before.artifact_store_hits + 1);
+        assert_eq!(after.artifact_rebuilds, before.artifact_rebuilds + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadline_exceeded_aborts_batch_but_publishes_progress() {
+        let mut ws = Workspace::default();
+        let d = ws.register_dtd(DTD_A).unwrap();
+        let ids: Vec<QueryId> = ["a", "a/b", "a[b]", "b/..", "a[not(b)]"]
+            .iter()
+            .map(|t| ws.intern(t).unwrap())
+            .collect();
+        let expired = Instant::now() - std::time::Duration::from_millis(1);
+        let err = ws
+            .decide_batch_with(d, &ids, 2, Some(expired), &mut BatchScratch::default())
+            .unwrap_err();
+        assert_eq!(err, ServiceError::DeadlineExceeded);
+        assert_eq!(ws.stats().deadline_exceeded, 1);
+
+        // Without a deadline the same batch completes, reusing anything published.
+        let served = ws.decide_batch(d, &ids, 2).unwrap();
+        assert_eq!(served.len(), ids.len());
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused_across_batches() {
+        let mut ws = Workspace::default();
+        let d = ws.register_dtd(DTD_A).unwrap();
+        let mut scratch = BatchScratch::default();
+        let warm: Vec<QueryId> = ["a", "a/b", "a[b]"]
+            .iter()
+            .map(|t| ws.intern(t).unwrap())
+            .collect();
+        ws.decide_batch_with(d, &warm, 2, None, &mut scratch)
+            .unwrap();
+        let capacities: Vec<usize> = scratch.worker_buffers.iter().map(Vec::capacity).collect();
+        assert!(capacities.iter().any(|&c| c > 0));
+        let cool: Vec<QueryId> = ["b", "b/.."]
+            .iter()
+            .map(|t| ws.intern(t).unwrap())
+            .collect();
+        ws.decide_batch_with(d, &cool, 2, None, &mut scratch)
+            .unwrap();
+        // Buffers kept their allocations (and are drained between uses).
+        assert!(scratch.worker_buffers.iter().all(|b| b.is_empty()));
+        assert!(scratch
+            .worker_buffers
+            .iter()
+            .zip(&capacities)
+            .all(|(b, &c)| b.capacity() >= c.min(b.capacity())));
+    }
 }

@@ -13,9 +13,12 @@
 //! * [`logic`] — reference solvers for the lower-bound source problems;
 //! * [`sat`] — the satisfiability engines, the solver façade, the containment analysis
 //!   and the hardness-reduction generators;
-//! * [`service`] — the batched, cached satisfiability service: DTD-artifact caching,
-//!   query interning, multi-threaded `decide_batch`, the JSON-lines protocol and the
-//!   `xpathsat` CLI (in `xpsat-service`).
+//! * [`service`] — the batched, cached satisfiability service: DTD-artifact caching
+//!   with a persistent on-disk store, query interning, multi-threaded `decide_batch`
+//!   with deadlines, and the JSON-lines protocol (in `xpsat-service`);
+//! * [`server`] — the persistent multi-tenant network front-end: TCP/Unix-socket
+//!   JSON-lines server with a hand-rolled worker pool, per-tenant workspaces,
+//!   backpressure and the `xpathsat` CLI (in `xpsat-server`).
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@ pub use xpsat_automata as automata;
 pub use xpsat_core as sat;
 pub use xpsat_dtd as dtd;
 pub use xpsat_logic as logic;
+pub use xpsat_server as server;
 pub use xpsat_service as service;
 pub use xpsat_xmltree as xml;
 pub use xpsat_xpath as xpath;
