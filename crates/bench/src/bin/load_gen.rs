@@ -196,6 +196,9 @@ struct ConnReport {
     deadline_exceeded: u64,
     registered_cached: u64,
     protocol_errors: u64,
+    /// Failures tallied by the structured `error.kind` of the response
+    /// (overloaded / deadline_exceeded / resource_exhausted / internal_error / …).
+    errors_by_kind: std::collections::BTreeMap<String, u64>,
 }
 
 fn drive_connection(addr: &str, script: Script) -> Result<ConnReport, String> {
@@ -257,12 +260,19 @@ fn drive_connection(addr: &str, script: Script) -> Result<ConnReport, String> {
                         .and_then(Json::as_array)
                         .map(|r| r.len() as u64);
                     report.queries += batch.unwrap_or(1);
-                } else if parsed.get("overloaded").and_then(Json::as_bool) == Some(true) {
-                    report.overloaded += 1;
-                } else if parsed.get("deadline_exceeded").and_then(Json::as_bool) == Some(true) {
-                    report.deadline_exceeded += 1;
                 } else {
-                    report.errors += 1;
+                    let kind = parsed
+                        .get("error")
+                        .and_then(|e| e.get("kind"))
+                        .and_then(Json::as_str)
+                        .unwrap_or("unstructured")
+                        .to_string();
+                    match kind.as_str() {
+                        "overloaded" => report.overloaded += 1,
+                        "deadline_exceeded" => report.deadline_exceeded += 1,
+                        _ => report.errors += 1,
+                    }
+                    *report.errors_by_kind.entry(kind).or_insert(0) += 1;
                 }
             }
         }
@@ -316,6 +326,9 @@ fn main() -> ExitCode {
                 merged.deadline_exceeded += report.deadline_exceeded;
                 merged.registered_cached += report.registered_cached;
                 merged.protocol_errors += report.protocol_errors;
+                for (kind, count) in report.errors_by_kind {
+                    *merged.errors_by_kind.entry(kind).or_insert(0) += count;
+                }
             }
             Err(message) => {
                 eprintln!("error: connection {c}: {message}");
@@ -327,12 +340,18 @@ fn main() -> ExitCode {
 
     let responses = merged.latencies_ns.len() as u64;
     let qps = merged.queries as f64 / wall.as_secs_f64().max(1e-9);
+    let by_kind = merged
+        .errors_by_kind
+        .iter()
+        .map(|(kind, count)| format!("\"{kind}\": {count}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let section = format!(
         "{{\"connections\": {}, \"requests\": {}, \"responses\": {}, \"queries\": {}, \
 \"rate_per_conn\": {:.1}, \"duration_s\": {:.3}, \"throughput_qps\": {:.0}, \
 \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}, \
 \"errors\": {}, \"protocol_errors\": {}, \"overloaded\": {}, \"deadline_exceeded\": {}, \
-\"registered_cached\": {}, \"seed\": {}}}",
+\"errors_by_kind\": {{{by_kind}}}, \"registered_cached\": {}, \"seed\": {}}}",
         options.connections,
         options.connections * options.requests,
         responses,

@@ -353,8 +353,69 @@ fn main() {
         ));
     }
 
+    // Realistic-DTD bucket: schema-sized grammars (XHTML- and DocBook-scale) measuring
+    // what a tenant pays to register a real schema (artifact build) and the warm decide
+    // latency once artifacts exist.  The synthetic corpora above isolate engines; this
+    // bucket tracks the end-to-end costs deployments actually see.
+    let realistic = [
+        (
+            "xhtml",
+            xpsat_bench::xhtml_dtd(),
+            vec![
+                "body/**/div[table]",
+                "**/table[thead and tbody]",
+                "**/form[fieldset[legend]]",
+                "**[lab() = div and not(p)]",
+            ],
+        ),
+        (
+            "docbook",
+            xpsat_bench::docbook_dtd(),
+            vec![
+                "**/chapter/section[title]",
+                "**/section[not(title)]",
+                "**/listitem[para]",
+                "book/chapter[qandaset]",
+            ],
+        ),
+    ];
+    let mut realistic_sections = Vec::new();
+    for (slug, dtd, query_texts) in realistic {
+        let queries: Vec<Path> = query_texts.iter().map(|t| parse_path(t).unwrap()).collect();
+        let build_ns = median(
+            (0..iters)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(DtdArtifacts::build(&dtd));
+                    start.elapsed().as_nanos() as f64
+                })
+                .collect(),
+        );
+        let artifacts = DtdArtifacts::build(&dtd);
+        let warm_ns = time_per_query(iters, queries.len(), || {
+            for q in &queries {
+                std::hint::black_box(solver.decide_with_artifacts(&artifacts, q));
+            }
+        });
+        println!(
+            "realistic-dtd {:<8} ({} elements)  build {:>12} ns   warm {:>12} ns/q",
+            slug,
+            dtd.element_names().len(),
+            json_f64(build_ns),
+            json_f64(warm_ns)
+        );
+        realistic_sections.push(format!(
+            "    \"{}\": {{\"elements\": {}, \"queries\": {}, \"build_ns\": {}, \"warm_ns\": {}}}",
+            slug,
+            dtd.element_names().len(),
+            queries.len(),
+            json_f64(build_ns),
+            json_f64(warm_ns)
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"schema\": \"xpsat-perf-v2\",\n  \"iters\": {iters},\n  \"cpus\": {cpus},\n  \"engines\": {{\n{}\n  }},\n  \"negation_heavy\": {{\"queries\": {}, \"cold_ns\": {}, \"warm_ns\": {}, \"speedup\": {:.2}, \"dispatch_ok\": {}}},\n  \"batch\": {{\"queries\": {}, \"cold_loop_ns\": {}, \"warm_workspace_ns\": {}, \"speedup\": {:.2}}},\n  \"thread_scaling\": {{\n    \"queries\": {},\n    \"workers\": [\n{}\n    ]\n  }}\n}}\n",
+        "{{\n  \"schema\": \"xpsat-perf-v2\",\n  \"iters\": {iters},\n  \"cpus\": {cpus},\n  \"engines\": {{\n{}\n  }},\n  \"negation_heavy\": {{\"queries\": {}, \"cold_ns\": {}, \"warm_ns\": {}, \"speedup\": {:.2}, \"dispatch_ok\": {}}},\n  \"batch\": {{\"queries\": {}, \"cold_loop_ns\": {}, \"warm_workspace_ns\": {}, \"speedup\": {:.2}}},\n  \"thread_scaling\": {{\n    \"queries\": {},\n    \"workers\": [\n{}\n    ]\n  }},\n  \"realistic_dtds\": {{\n{}\n  }}\n}}\n",
         engine_sections.join(",\n"),
         neg_qs.len(),
         json_f64(neg_cold_ns),
@@ -366,7 +427,8 @@ fn main() {
         json_f64(warm_workspace_ns),
         cold_loop_ns / warm_workspace_ns,
         batch_qs.len(),
-        sweep_sections.join(",\n")
+        sweep_sections.join(",\n"),
+        realistic_sections.join(",\n")
     );
     std::fs::write(&out, json).expect("write perf report");
     println!("wrote {out}");

@@ -13,7 +13,9 @@ use xpsat_logic::{CnfFormula, Qbf};
 // The corpus generators live in `xpsat_core::corpus` (the deepest crate that sees both
 // DTDs and XPath), so the service CLI's `bench-gen` and these benches share one seeded
 // source of truth.
-pub use xpsat_core::corpus::{chain_query, layered_dtd, random_positive_query};
+pub use xpsat_core::corpus::{
+    chain_query, docbook_dtd, layered_dtd, random_positive_query, xhtml_dtd,
+};
 
 /// A deterministic RNG for reproducible workloads.
 pub fn rng(seed: u64) -> StdRng {

@@ -41,6 +41,24 @@ pub fn chain_query(depth: usize) -> Path {
     Path::seq_all(steps)
 }
 
+/// A realistic XHTML-1.0-scale document grammar (~80 element types, deeply mutually
+/// recursive inline/block structure).  Unlike the synthetic generators above, its
+/// content models have the shape real schemas do — wide alternations under `*`,
+/// optional-then-required sequences, attribute lists — which is what the artifact
+/// pipeline and the hostile-input corpus need to be exercised against.
+pub fn xhtml_dtd() -> Dtd {
+    parse_dtd(include_str!("../corpus/xhtml1.dtd")).expect("xhtml corpus DTD is well-formed")
+}
+
+/// A DocBook-scale book grammar (~170 element types, recursive sections, table and
+/// admonition models).  The largest fixture in the repo; used by the realistic-DTD
+/// perf bucket to measure artifact build cost and warm decide latency at schema
+/// sizes real deployments see.
+pub fn docbook_dtd() -> Dtd {
+    parse_dtd(include_str!("../corpus/docbook-lite.dtd"))
+        .expect("docbook corpus DTD is well-formed")
+}
+
 /// A random positive query with qualifiers over the labels of a DTD.
 pub fn random_positive_query(rng: &mut StdRng, dtd: &Dtd, depth: usize) -> Path {
     let labels: Vec<String> = dtd.element_names();
@@ -70,6 +88,30 @@ mod tests {
         assert_eq!(dtd.root(), "l0");
         assert_eq!(dtd.element_names().len(), 7);
         assert!(dtd.contains("l2_2"));
+    }
+
+    #[test]
+    fn realistic_dtds_parse_and_classify() {
+        let xhtml = xhtml_dtd();
+        assert_eq!(xhtml.root(), "html");
+        assert!(
+            xhtml.element_names().len() >= 75,
+            "{}",
+            xhtml.element_names().len()
+        );
+        let docbook = docbook_dtd();
+        assert_eq!(docbook.root(), "book");
+        assert!(
+            docbook.element_names().len() >= 150,
+            "{}",
+            docbook.element_names().len()
+        );
+        // Both are recursive (div-in-div, section-in-section) and answer queries.
+        let solver = crate::Solver::default();
+        let q = xpsat_xpath::parse_path("body/**/div[table]").unwrap();
+        assert!(solver.decide(&xhtml, &q).result.is_definite());
+        let q = xpsat_xpath::parse_path("**/section[not(title)]").unwrap();
+        assert!(solver.decide(&docbook, &q).result.is_definite());
     }
 
     #[test]

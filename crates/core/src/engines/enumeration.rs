@@ -22,6 +22,7 @@
 //! enough fresh values to realise every equality pattern among the document's attribute
 //! slots; queries without data-value comparisons skip that enumeration entirely.
 
+use crate::budget::{BudgetMeter, Exhausted};
 use crate::sat::Satisfiability;
 use std::collections::BTreeMap;
 use xpsat_dtd::{CompiledDtd, Dtd, DtdArtifacts, DtdClass, Sym};
@@ -69,15 +70,30 @@ pub fn decide_with(
     query: &Path,
     limits: &EnumerationLimits,
 ) -> Satisfiability {
+    decide_with_budget(artifacts, query, limits, &BudgetMeter::unlimited())
+        .expect("unlimited meter never exhausts")
+}
+
+/// Decide `(query, dtd)` under a step/deadline budget.  The meter is charged per
+/// subtree assembled and per candidate document evaluated; on exhaustion the search
+/// stops where it stands and reports [`Exhausted`] (any witness found before that
+/// point would already have been returned).
+pub fn decide_with_budget(
+    artifacts: &DtdArtifacts,
+    query: &Path,
+    limits: &EnumerationLimits,
+    meter: &BudgetMeter,
+) -> Result<Satisfiability, Exhausted> {
     let Some(compiled) = artifacts.compiled() else {
         // No conforming document exists at all.
-        return Satisfiability::Unsatisfiable;
+        return Ok(Satisfiability::Unsatisfiable);
     };
     let original_dtd = artifacts.dtd();
     let mut enumerator = Enumerator {
         compiled,
         original_dtd,
         limits,
+        meter,
         truncated: false,
         cache: BTreeMap::new(),
     };
@@ -87,7 +103,7 @@ pub fn decide_with(
         Some(bound) => bound.max(limits.max_depth).min(24),
         None => limits.max_depth,
     };
-    let candidates = enumerator.subtrees(compiled.root(), depth);
+    let candidates = enumerator.subtrees(compiled.root(), depth)?;
     let needs_values = Features::of_path(query).data_value;
     let constants = query_constants(query);
 
@@ -96,21 +112,24 @@ pub fn decide_with(
             enumerator.truncated = true;
             break;
         }
+        meter.spend(1)?;
         if needs_values {
-            match try_valuations(candidate, original_dtd, query, &constants, limits) {
-                ValuationOutcome::Found(doc) => return Satisfiability::Satisfiable(doc),
+            match try_valuations(candidate, original_dtd, query, &constants, limits, meter)? {
+                ValuationOutcome::Found(doc) => return Ok(Satisfiability::Satisfiable(doc)),
                 ValuationOutcome::Exhausted => {}
                 ValuationOutcome::Truncated => enumerator.truncated = true,
             }
         } else if eval::satisfies(candidate, query) {
-            return Satisfiability::Satisfiable(candidate.clone());
+            return Ok(Satisfiability::Satisfiable(candidate.clone()));
         }
     }
-    if enumerator.truncated || candidates.len() > limits.max_documents {
-        Satisfiability::Unknown
-    } else {
-        Satisfiability::Unsatisfiable
-    }
+    Ok(
+        if enumerator.truncated || candidates.len() > limits.max_documents {
+            Satisfiability::Unknown
+        } else {
+            Satisfiability::Unsatisfiable
+        },
+    )
 }
 
 /// Is the bounded search exhaustive for this DTD under the given limits (so that an
@@ -130,6 +149,7 @@ struct Enumerator<'a> {
     compiled: &'a CompiledDtd,
     original_dtd: &'a Dtd,
     limits: &'a EnumerationLimits,
+    meter: &'a BudgetMeter,
     truncated: bool,
     cache: BTreeMap<(Sym, usize), Vec<Document>>,
 }
@@ -137,13 +157,13 @@ struct Enumerator<'a> {
 impl<'a> Enumerator<'a> {
     /// All conforming subtrees rooted at an element of type `label`, up to the depth and
     /// variant budgets.  Attribute slots are filled with the placeholder `"0"`.
-    fn subtrees(&mut self, label: Sym, depth: usize) -> Vec<Document> {
+    fn subtrees(&mut self, label: Sym, depth: usize) -> Result<Vec<Document>, Exhausted> {
         if let Some(cached) = self.cache.get(&(label, depth)) {
-            return cached.clone();
+            return Ok(cached.clone());
         }
         let mut result = Vec::new();
         let label_name = self.compiled.name(label).to_string();
-        let words = self.children_words(label);
+        let words = self.children_words(label)?;
         for word in words {
             if depth == 0 && !word.is_empty() {
                 self.truncated = true;
@@ -152,7 +172,7 @@ impl<'a> Enumerator<'a> {
             // Cartesian product of child subtree choices.
             let mut assemblies: Vec<Vec<Document>> = vec![Vec::new()];
             for &child_label in &word {
-                let options = self.subtrees(child_label, depth.saturating_sub(1));
+                let options = self.subtrees(child_label, depth.saturating_sub(1))?;
                 if options.is_empty() {
                     assemblies.clear();
                     break;
@@ -160,6 +180,9 @@ impl<'a> Enumerator<'a> {
                 let mut next = Vec::new();
                 for assembly in &assemblies {
                     for option in &options {
+                        // One partial assembly cloned: the unit the cartesian
+                        // product's blow-up is made of.
+                        self.meter.spend(1)?;
                         if next.len() + result.len() > self.limits.max_variants {
                             self.truncated = true;
                             break;
@@ -172,6 +195,7 @@ impl<'a> Enumerator<'a> {
                 assemblies = next;
             }
             for assembly in assemblies {
+                self.meter.spend(1)?;
                 if result.len() >= self.limits.max_variants {
                     self.truncated = true;
                     break;
@@ -187,12 +211,12 @@ impl<'a> Enumerator<'a> {
             }
         }
         self.cache.insert((label, depth), result.clone());
-        result
+        Ok(result)
     }
 
     /// All words of the content language up to the length budget; sets the truncation
     /// flag when longer words exist.  The precompiled automaton is walked directly.
-    fn children_words(&mut self, label: Sym) -> Vec<Vec<Sym>> {
+    fn children_words(&mut self, label: Sym) -> Result<Vec<Vec<Sym>>, Exhausted> {
         let nfa = self.compiled.automaton(label);
         let mut words = Vec::new();
         // BFS over (state, word) pairs up to the length budget.
@@ -200,6 +224,7 @@ impl<'a> Enumerator<'a> {
         for len in 0..=self.limits.max_word_len {
             let mut next = Vec::new();
             for (state, word) in &frontier {
+                self.meter.spend(1)?;
                 if nfa.is_accepting(*state) {
                     words.push(word.clone());
                 }
@@ -224,7 +249,7 @@ impl<'a> Enumerator<'a> {
         }
         words.sort();
         words.dedup();
-        words
+        Ok(words)
     }
 }
 
@@ -283,7 +308,8 @@ fn try_valuations(
     query: &Path,
     constants: &[String],
     limits: &EnumerationLimits,
-) -> ValuationOutcome {
+    meter: &BudgetMeter,
+) -> Result<ValuationOutcome, Exhausted> {
     // Collect attribute slots in a fixed order.
     let mut slots: Vec<(NodeId, String)> = Vec::new();
     for node in doc.all_nodes() {
@@ -292,11 +318,11 @@ fn try_valuations(
         }
     }
     if slots.is_empty() {
-        return if eval::satisfies(doc, query) {
+        return Ok(if eval::satisfies(doc, query) {
             ValuationOutcome::Found(doc.clone())
         } else {
             ValuationOutcome::Exhausted
-        };
+        });
     }
     let mut domain: Vec<String> = constants.to_vec();
     for i in 0..slots.len() {
@@ -311,12 +337,13 @@ fn try_valuations(
 
     let mut counters = vec![0usize; slots.len()];
     for _ in 0..budget {
+        meter.spend(1)?;
         let mut candidate = doc.clone();
         for (slot, &value_index) in slots.iter().zip(&counters) {
             candidate.set_attr(slot.0, slot.1.clone(), domain[value_index].clone());
         }
         if eval::satisfies(&candidate, query) {
-            return ValuationOutcome::Found(candidate);
+            return Ok(ValuationOutcome::Found(candidate));
         }
         // Increment the mixed-radix counter.
         for digit in counters.iter_mut() {
@@ -327,11 +354,11 @@ fn try_valuations(
             *digit = 0;
         }
     }
-    if truncated {
+    Ok(if truncated {
         ValuationOutcome::Truncated
     } else {
         ValuationOutcome::Exhausted
-    }
+    })
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@
 //! carries its precompiled demand index so the per-profile evaluation is a bitset-style
 //! membership test instead of a linear scan over string-labelled demands.
 
+use crate::budget::{BudgetMeter, Exhausted};
 use crate::sat::{SatError, Satisfiability};
 use crate::witness::fill_missing_attributes;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
@@ -132,13 +133,25 @@ pub fn prepare(compiled: &CompiledDtd, query: &Path) -> Result<PreparedQuery, Sa
 
 /// Run the fixpoint of a previously [`prepare`]d query against the same compile.
 pub fn decide_prepared(compiled: &CompiledDtd, prepared: &PreparedQuery) -> Satisfiability {
+    decide_prepared_budgeted(compiled, prepared, &BudgetMeter::unlimited())
+        .expect("unlimited meter never exhausts")
+}
+
+/// Run the fixpoint under a step/deadline budget.  The EXPTIME lives in the product of
+/// the Glushkov automata with the demand-bit unions; the meter is charged per product
+/// state expanded, so exhaustion surfaces within a bounded amount of extra work.
+pub fn decide_prepared_budgeted(
+    compiled: &CompiledDtd,
+    prepared: &PreparedQuery,
+    meter: &BudgetMeter,
+) -> Result<Satisfiability, Exhausted> {
     let query_index = prepared.query_index;
-    let fixpoint = prepared.fixpoint(compiled, query_index);
+    let fixpoint = prepared.fixpoint(compiled, query_index, meter)?;
     let root = compiled.root();
     let winning = fixpoint.achieved[root.index()]
         .iter()
         .find(|profile| profile.contains(query_index));
-    match winning {
+    Ok(match winning {
         Some(profile) => {
             let mut doc = Document::new(compiled.name(root));
             let doc_root = doc.root();
@@ -147,7 +160,7 @@ pub fn decide_prepared(compiled: &CompiledDtd, prepared: &PreparedQuery) -> Sati
             Satisfiability::Satisfiable(doc)
         }
         None => Satisfiability::Unsatisfiable,
-    }
+    })
 }
 
 /// The static analysis of the query against the DTD: the closure, the demands and the
@@ -433,7 +446,12 @@ impl PreparedQuery {
     /// Stops early as soon as the root type achieves a profile containing
     /// `query_index`: recipes are recorded the moment a profile is first achieved, so
     /// the witness for that profile is already fully expandable.
-    fn fixpoint(&self, compiled: &CompiledDtd, query_index: usize) -> Fixpoint {
+    fn fixpoint(
+        &self,
+        compiled: &CompiledDtd,
+        query_index: usize,
+        meter: &BudgetMeter,
+    ) -> Result<Fixpoint, Exhausted> {
         let n = compiled.num_elements();
         let root = compiled.root();
         let mut achieved: Vec<BTreeSet<Profile>> = vec![BTreeSet::new(); n];
@@ -452,6 +470,7 @@ impl PreparedQuery {
         let mut queued = vec![true; n];
         let mut worklist: VecDeque<usize> = (0..n).collect();
         while let Some(elem_index) = worklist.pop_front() {
+            meter.spend(1)?;
             queued[elem_index] = false;
             let elem = Sym::from_index(elem_index);
             let nfa = compiled.automaton(elem);
@@ -487,6 +506,9 @@ impl PreparedQuery {
             queue.push_back(start);
             let mut gained = false;
             while let Some(key) = queue.pop_front() {
+                // One product state of the Glushkov automaton with the demand-bit
+                // union: the unit the EXPTIME blow-up is made of.
+                meter.spend(1)?;
                 if nfa.is_accepting(key.0) {
                     let profile = self.profile_of(compiled, elem, &key.1);
                     let entry = &mut achieved[elem_index];
@@ -510,7 +532,7 @@ impl PreparedQuery {
                             child_profiles,
                         });
                         if winning {
-                            return Fixpoint { achieved, recipes };
+                            return Ok(Fixpoint { achieved, recipes });
                         }
                     }
                 }
@@ -542,7 +564,7 @@ impl PreparedQuery {
                 }
             }
         }
-        Fixpoint { achieved, recipes }
+        Ok(Fixpoint { achieved, recipes })
     }
 }
 

@@ -29,6 +29,7 @@
 //! * [`reductions`] — the lower-bound encodings (3SAT, Q3SAT, corridor tiling,
 //!   two-register machines) as generators of `(Dtd, Path)` instances.
 
+pub mod budget;
 pub mod containment;
 pub mod corpus;
 pub mod engines;
@@ -38,5 +39,6 @@ pub mod solver;
 pub mod transform;
 pub mod witness;
 
+pub use budget::{Budget, BudgetMeter, Exhausted};
 pub use sat::{SatError, Satisfiability};
 pub use solver::{Decision, EngineKind, Solver, SolverConfig};

@@ -17,6 +17,7 @@
 //!    star-free DTDs — Proposition 6.4; a best-effort semi-decision elsewhere, which is
 //!    the honest thing to do in the undecidable corner of Theorem 5.4).
 
+use crate::budget::{Budget, BudgetMeter, Exhausted};
 use crate::engines::enumeration::EnumerationLimits;
 use crate::engines::negation::PreparedQuery;
 use crate::engines::{djfree, downward, enumeration, negation, nodtd, positive, sibling};
@@ -72,6 +73,21 @@ pub struct Decision {
     /// an `Unknown` or missing-witness outcome is possible; definite answers are always
     /// sound regardless.
     pub complete: bool,
+    /// `Some` when the engine gave up because the [`Budget`] ran dry (the result is
+    /// then `Unknown`).  Exhausted decisions reflect the budget, not the instance, and
+    /// must not be cached.
+    pub exhausted: Option<Exhausted>,
+}
+
+impl Decision {
+    fn exhausted(engine: EngineKind, cause: Exhausted) -> Decision {
+        Decision {
+            result: Satisfiability::Unknown,
+            engine,
+            complete: false,
+            exhausted: Some(cause),
+        }
+    }
 }
 
 /// Configuration of the solver façade.
@@ -79,6 +95,17 @@ pub struct Decision {
 pub struct SolverConfig {
     /// Budgets used by the enumeration fallback.
     pub enumeration: EnumerationLimits,
+    /// Default step/deadline budget applied to every decision (unlimited by default;
+    /// callers can override per call with [`Solver::decide_budgeted`]).
+    pub budget: Budget,
+}
+
+/// Why an engine produced no verdict: outside its fragment, or out of budget.
+enum EngineFailure {
+    /// The engine rejected the instance; dispatch may try the next engine.
+    Rejected,
+    /// The budget ran dry mid-engine; dispatch must stop and report it.
+    Exhausted(Exhausted),
 }
 
 /// Entries the negation-analysis memo holds before it is wholesale cleared; generous
@@ -139,38 +166,49 @@ impl Solver {
         &self,
         artifacts: &DtdArtifacts,
         query: &Path,
-    ) -> Result<Satisfiability, SatError> {
+        meter: &BudgetMeter,
+    ) -> Result<Satisfiability, EngineFailure> {
         let Some(compiled) = artifacts.compiled() else {
             // No compile means no analysis to reuse; the plain path handles the
             // vacuous-DTD verdict (and fragment rejection) directly.
-            return negation::decide_with(artifacts, query);
+            return negation::decide_with(artifacts, query).map_err(|_| EngineFailure::Rejected);
         };
         let key = (artifacts.uid(), query.right_assoc().to_string());
         let cached = self
             .negation_memo
             .prepared
             .lock()
-            .expect("negation memo lock")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .get(&key)
             .cloned();
         if let Some(prepared) = cached {
             self.negation_memo.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(negation::decide_prepared(compiled, &prepared));
+            return negation::decide_prepared_budgeted(compiled, &prepared, meter)
+                .map_err(EngineFailure::Exhausted);
         }
-        let prepared = Arc::new(negation::prepare(compiled, query)?);
+        let prepared = match negation::prepare(compiled, query) {
+            Ok(prepared) => Arc::new(prepared),
+            Err(SatError::BudgetExceeded { .. }) => {
+                // The closure itself blew the analysis cap: the instance is
+                // budget-shaped, not fragment-shaped.
+                return Err(EngineFailure::Exhausted(Exhausted::Steps));
+            }
+            Err(_) => return Err(EngineFailure::Rejected),
+        };
         self.negation_memo.built.fetch_add(1, Ordering::Relaxed);
         {
             let mut memo = self
                 .negation_memo
                 .prepared
                 .lock()
-                .expect("negation memo lock");
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             if memo.len() >= NEGATION_MEMO_CAP {
                 memo.clear();
             }
             memo.insert(key, Arc::clone(&prepared));
         }
-        Ok(negation::decide_prepared(compiled, &prepared))
+        negation::decide_prepared_budgeted(compiled, &prepared, meter)
+            .map_err(EngineFailure::Exhausted)
     }
 
     /// Decide whether some document conforms to `dtd` and satisfies `query`.
@@ -184,7 +222,24 @@ impl Solver {
 
     /// Decide against precompiled artifacts: no engine re-derives classification,
     /// graph reachability, pruning or Glushkov automata inside this call.
+    ///
+    /// Runs under the configured default [`Budget`] (unlimited unless set); use
+    /// [`Solver::decide_budgeted`] for a per-call budget.
     pub fn decide_with_artifacts(&self, artifacts: &DtdArtifacts, query: &Path) -> Decision {
+        self.decide_budgeted(artifacts, query, &self.config.budget)
+    }
+
+    /// Decide against precompiled artifacts under an explicit per-call budget.  When
+    /// the budget runs dry inside the enumeration or negation-fixpoint engines the
+    /// decision comes back `Unknown` with [`Decision::exhausted`] set; definite
+    /// verdicts reached within budget are unaffected.
+    pub fn decide_budgeted(
+        &self,
+        artifacts: &DtdArtifacts,
+        query: &Path,
+        budget: &Budget,
+    ) -> Decision {
+        let meter = budget.meter();
         // One feature scan serves every fragment test below (the engines' own
         // `supports(query)` wrappers would each rescan the path).
         let features = Features::of_path(query);
@@ -196,6 +251,7 @@ impl Solver {
                     result,
                     engine: EngineKind::Downward,
                     complete: true,
+                    exhausted: None,
                 };
             }
         }
@@ -205,6 +261,7 @@ impl Solver {
                     result,
                     engine: EngineKind::Sibling,
                     complete: true,
+                    exhausted: None,
                 };
             }
         }
@@ -220,6 +277,7 @@ impl Solver {
                         result: Satisfiability::Unsatisfiable,
                         engine: EngineKind::DisjunctionFree,
                         complete: true,
+                        exhausted: None,
                     };
                 }
             }
@@ -228,16 +286,24 @@ impl Solver {
                     result,
                     engine: EngineKind::Positive,
                     complete: true,
+                    exhausted: None,
                 };
             }
         }
         if negation::supports_features(&features) {
-            if let Ok(result) = self.decide_negation_cached(artifacts, query) {
-                return Decision {
-                    result,
-                    engine: EngineKind::NegationFixpoint,
-                    complete: true,
-                };
+            match self.decide_negation_cached(artifacts, query, &meter) {
+                Ok(result) => {
+                    return Decision {
+                        result,
+                        engine: EngineKind::NegationFixpoint,
+                        complete: true,
+                        exhausted: None,
+                    }
+                }
+                Err(EngineFailure::Exhausted(cause)) => {
+                    return Decision::exhausted(EngineKind::NegationFixpoint, cause)
+                }
+                Err(EngineFailure::Rejected) => {}
             }
         }
         // Upward axes without qualifiers/union/recursion: Theorem 6.8(2)'s rewriting
@@ -255,14 +321,16 @@ impl Solver {
                     result: Satisfiability::Unsatisfiable,
                     engine: EngineKind::Rewritten,
                     complete: true,
+                    exhausted: None,
                 },
                 Some(rewritten) => match positive::decide_with(artifacts, &rewritten) {
                     Ok(result) => Decision {
                         result,
                         engine: EngineKind::Rewritten,
                         complete: true,
+                        exhausted: None,
                     },
-                    Err(_) => self.enumerate(artifacts, query),
+                    Err(_) => self.enumerate(artifacts, query, &meter),
                 },
             };
         }
@@ -272,51 +340,77 @@ impl Solver {
             if let Some(rewritten) =
                 crate::transform::eliminate_recursion_with(class.depth_bound, query)
             {
-                let inner = self.decide_no_recursion_retry(artifacts, &rewritten);
+                let inner = self.decide_no_recursion_retry(artifacts, &rewritten, &meter);
+                if inner.exhausted.is_some() {
+                    return inner;
+                }
                 if inner.result.is_definite() {
                     return Decision {
                         result: inner.result,
                         engine: EngineKind::Rewritten,
                         complete: inner.complete,
+                        exhausted: None,
                     };
                 }
             }
         }
-        self.enumerate(artifacts, query)
+        self.enumerate(artifacts, query, &meter)
     }
 
     /// Second-round dispatch used after recursion elimination (never recurses further).
-    fn decide_no_recursion_retry(&self, artifacts: &DtdArtifacts, query: &Path) -> Decision {
+    fn decide_no_recursion_retry(
+        &self,
+        artifacts: &DtdArtifacts,
+        query: &Path,
+        meter: &BudgetMeter,
+    ) -> Decision {
         if positive::supports(query) {
             if let Ok(result) = positive::decide_with(artifacts, query) {
                 return Decision {
                     result,
                     engine: EngineKind::Positive,
                     complete: true,
+                    exhausted: None,
                 };
             }
         }
         if negation::supports(query) {
-            if let Ok(result) = self.decide_negation_cached(artifacts, query) {
-                return Decision {
-                    result,
-                    engine: EngineKind::NegationFixpoint,
-                    complete: true,
-                };
+            match self.decide_negation_cached(artifacts, query, meter) {
+                Ok(result) => {
+                    return Decision {
+                        result,
+                        engine: EngineKind::NegationFixpoint,
+                        complete: true,
+                        exhausted: None,
+                    }
+                }
+                Err(EngineFailure::Exhausted(cause)) => {
+                    return Decision::exhausted(EngineKind::NegationFixpoint, cause)
+                }
+                Err(EngineFailure::Rejected) => {}
             }
         }
-        self.enumerate(artifacts, query)
+        self.enumerate(artifacts, query, meter)
     }
 
-    fn enumerate(&self, artifacts: &DtdArtifacts, query: &Path) -> Decision {
+    fn enumerate(&self, artifacts: &DtdArtifacts, query: &Path, meter: &BudgetMeter) -> Decision {
         let class = artifacts.class();
-        let result = enumeration::decide_with(artifacts, query, &self.config.enumeration);
+        let result = match enumeration::decide_with_budget(
+            artifacts,
+            query,
+            &self.config.enumeration,
+            meter,
+        ) {
+            Ok(result) => result,
+            Err(cause) => return Decision::exhausted(EngineKind::Enumeration, cause),
+        };
         let exhaustive = enumeration::is_exhaustive_for_class(class, &self.config.enumeration)
             || result.is_definite() && !class.recursive && !class.has_star;
         Decision {
             result,
             engine: EngineKind::Enumeration,
             complete: exhaustive,
+            exhausted: None,
         }
     }
 
@@ -328,6 +422,7 @@ impl Solver {
                     result,
                     engine: EngineKind::Positive,
                     complete: true,
+                    exhausted: None,
                 };
             }
         }
@@ -341,6 +436,7 @@ impl Solver {
                         result: Satisfiability::Satisfiable(doc),
                         engine: decision.engine,
                         complete: decision.complete,
+                        exhausted: decision.exhausted,
                     }
                 }
                 Satisfiability::Unsatisfiable => {}
@@ -355,6 +451,7 @@ impl Solver {
             },
             engine: EngineKind::Enumeration,
             complete: !any_unknown,
+            exhausted: None,
         }
     }
 }
@@ -442,6 +539,46 @@ mod tests {
         assert_eq!(solver.negation_memo_stats(), (1, 2));
         // Clones start cold.
         assert_eq!(solver.clone().negation_memo_stats(), (0, 0));
+    }
+
+    #[test]
+    fn tight_budget_turns_negation_into_resource_exhausted() {
+        let dtd = parse_dtd("r -> a*; a -> b | c; b -> #; c -> #;").unwrap();
+        let artifacts = xpsat_dtd::DtdArtifacts::build(&dtd);
+        let solver = solver();
+        let query = parse_path("a[not(b)]").unwrap();
+        let capped = solver.decide_budgeted(&artifacts, &query, &Budget::steps(1));
+        assert_eq!(capped.engine, EngineKind::NegationFixpoint);
+        assert_eq!(capped.exhausted, Some(Exhausted::Steps));
+        assert!(matches!(capped.result, Satisfiability::Unknown));
+        assert!(!capped.complete);
+        // The same query within budget is unaffected.
+        let free = solver.decide_budgeted(&artifacts, &query, &Budget::unlimited());
+        assert_eq!(free.exhausted, None);
+        assert!(matches!(free.result, Satisfiability::Satisfiable(_)));
+    }
+
+    #[test]
+    fn tight_budget_turns_enumeration_into_resource_exhausted() {
+        let dtd = parse_dtd("r -> a; a -> b?; b -> #;").unwrap();
+        let artifacts = xpsat_dtd::DtdArtifacts::build(&dtd);
+        // Negation over a data-value join is outside every symbolic engine.
+        let query = parse_path("a[not(@x = @y)]").unwrap();
+        let capped = solver().decide_budgeted(&artifacts, &query, &Budget::steps(1));
+        assert_eq!(capped.engine, EngineKind::Enumeration);
+        assert_eq!(capped.exhausted, Some(Exhausted::Steps));
+        assert!(matches!(capped.result, Satisfiability::Unknown));
+    }
+
+    #[test]
+    fn config_budget_governs_decide() {
+        let dtd = parse_dtd("r -> a*; a -> b | c; b -> #; c -> #;").unwrap();
+        let solver = Solver::new(SolverConfig {
+            budget: Budget::steps(1),
+            ..SolverConfig::default()
+        });
+        let decision = solver.decide(&dtd, &parse_path("a[not(b)]").unwrap());
+        assert_eq!(decision.exhausted, Some(Exhausted::Steps));
     }
 
     #[test]

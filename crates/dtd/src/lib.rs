@@ -32,7 +32,7 @@ pub use dtd::{Dtd, ElementDecl};
 pub use generate::TreeGenerator;
 pub use graph::DtdGraph;
 pub use normalize::{normalize, Normalization};
-pub use parse::parse_dtd;
+pub use parse::{parse_dtd, parse_dtd_with_limits, DtdParseError, DtdParseLimits, Span};
 pub use symbols::{Sym, SymbolTable};
 pub use universal::universal_dtd;
 pub use validate::{validate, ValidationError};

@@ -24,7 +24,7 @@ use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
 use xpsat_server::{Bind, Server, ServerConfig};
-use xpsat_service::{effective_threads, Json, ProtocolServer, Session};
+use xpsat_service::{effective_threads, Json, ProtocolServer, ServiceError, Session};
 
 const USAGE: &str = "xpathsat — XPath-satisfiability service CLI
 
@@ -34,8 +34,9 @@ USAGE:
     xpathsat classify --dtd <file|->
     xpathsat bench-gen [--depth D] [--width W] [--queries N] [--seed S] [--threads T]
     xpathsat serve [--addr A | --unix PATH] [--workers N] [--queue N]
-                   [--max-inflight N] [--deadline-ms MS] [--cache-dir DIR]
-                   [--max-resident N] [--max-line-bytes N] [--threads T]
+                   [--max-inflight N] [--deadline-ms MS] [--max-steps N]
+                   [--cache-dir DIR] [--max-resident N] [--max-line-bytes N]
+                   [--threads T]
     xpathsat connect (--addr A | --unix PATH) [--input <file>]
     xpathsat stats (--addr A | --unix PATH) [--tenant NAME]
 
@@ -64,6 +65,8 @@ OPTIONS:
     --queue N          serve: pending-connection queue bound (default 32)
     --max-inflight N   serve: in-flight query admission bound (default 256)
     --deadline-ms MS   serve: default per-request deadline (default: none)
+    --max-steps N      serve: default per-decision solver step budget; a decision
+                       that spends it answers resource_exhausted (default: none)
     --cache-dir DIR    serve: persistent artifact cache root (default: none)
     --max-resident N   serve: per-tenant resident compiled-DTD bound (default: none)
     --max-line-bytes N serve: request line length cap (default 1048576)
@@ -131,6 +134,7 @@ struct Options {
     queue: usize,
     max_inflight: u64,
     deadline_ms: Option<u64>,
+    max_steps: Option<u64>,
     cache_dir: Option<String>,
     max_resident: Option<usize>,
     max_line_bytes: usize,
@@ -154,6 +158,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         queue: 32,
         max_inflight: 256,
         deadline_ms: None,
+        max_steps: None,
         cache_dir: None,
         max_resident: None,
         max_line_bytes: xpsat_service::DEFAULT_MAX_LINE_BYTES,
@@ -191,6 +196,9 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--deadline-ms" => {
                 options.deadline_ms = Some(numeric("--deadline-ms", value_of("--deadline-ms")?)?)
             }
+            "--max-steps" => {
+                options.max_steps = Some(numeric("--max-steps", value_of("--max-steps")?)?)
+            }
             "--cache-dir" => options.cache_dir = Some(value_of("--cache-dir")?),
             "--max-resident" => {
                 options.max_resident = Some(numeric("--max-resident", value_of("--max-resident")?)?)
@@ -223,6 +231,50 @@ fn read_dtd(options: &Options) -> Result<String, CliError> {
     }
 }
 
+/// Render the source line containing a parse-error span with a caret run under the
+/// offending bytes.  Pathologically long lines (hostile single-line inputs) are
+/// windowed around the span so the terminal stays readable.
+fn caret_snippet(source: &str, offset: usize, len: usize) -> String {
+    let offset = offset.min(source.len());
+    let line_start = source[..offset].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = source[offset..]
+        .find('\n')
+        .map_or(source.len(), |i| offset + i);
+    const WINDOW: usize = 60;
+    let mut start = line_start.max(offset.saturating_sub(WINDOW));
+    while !source.is_char_boundary(start) {
+        start -= 1;
+    }
+    let mut end = line_end.min(offset.saturating_add(len.max(1)).saturating_add(WINDOW));
+    while end < line_end && !source.is_char_boundary(end) {
+        end += 1;
+    }
+    let prefix = if start > line_start { "…" } else { "" };
+    let suffix = if end < line_end { "…" } else { "" };
+    let caret_col = prefix.chars().count() + source[start..offset].chars().count();
+    let caret_len = source[offset..(offset + len).min(end).max(offset)]
+        .chars()
+        .count()
+        .max(1);
+    format!(
+        "  {prefix}{}{suffix}\n  {:caret_col$}{}",
+        &source[start..end],
+        "",
+        "^".repeat(caret_len),
+    )
+}
+
+/// Turn a service error into a CLI error, attaching a caret snippet against `source`
+/// when the error carries a span into it.
+fn service_error_to_cli(e: ServiceError, source: &str) -> CliError {
+    match &e {
+        ServiceError::DtdParse { span, .. } | ServiceError::QueryParse { span, .. } => {
+            CliError::Runtime(format!("{e}\n{}", caret_snippet(source, span.0, span.1)))
+        }
+        _ => CliError::Runtime(e.to_string()),
+    }
+}
+
 fn cmd_check(args: &[String]) -> Result<(), CliError> {
     let options = parse_options(args)?;
     if options.positional.is_empty() {
@@ -232,11 +284,24 @@ fn cmd_check(args: &[String]) -> Result<(), CliError> {
     let mut session = Session::new();
     session
         .load_dtd(&dtd_text)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+        .map_err(|e| service_error_to_cli(e, &dtd_text))?;
     let threads = effective_threads(options.threads);
     let served = session
         .check_batch(&options.positional, threads)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+        .map_err(|e| {
+            // A batch parse error does not say which query failed; re-parse to find it
+            // so the caret lands on the right source text.
+            if matches!(e, ServiceError::QueryParse { .. }) {
+                if let Some(query) = options
+                    .positional
+                    .iter()
+                    .find(|q| xpsat_xpath::parse_path(q).is_err())
+                {
+                    return service_error_to_cli(e, query);
+                }
+            }
+            CliError::Runtime(e.to_string())
+        })?;
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut any_unknown = false;
@@ -293,7 +358,7 @@ fn cmd_classify(args: &[String]) -> Result<(), CliError> {
     let mut session = Session::new();
     let id = session
         .load_dtd(&dtd_text)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+        .map_err(|e| service_error_to_cli(e, &dtd_text))?;
     let artifacts = session
         .workspace()
         .artifacts(id)
@@ -457,10 +522,12 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         queue_depth: options.queue,
         max_inflight_queries: options.max_inflight,
         default_deadline_ms: options.deadline_ms,
+        default_max_steps: options.max_steps,
         max_line_bytes: options.max_line_bytes,
         cache_dir: options.cache_dir.as_ref().map(std::path::PathBuf::from),
         max_resident_dtds: options.max_resident,
         default_threads: options.threads,
+        ..ServerConfig::default()
     };
     let handle = Server::start(config).map_err(|e| CliError::Runtime(e.to_string()))?;
     // One machine-readable line announcing readiness (and the ephemeral port when

@@ -74,8 +74,23 @@ pub struct ServerConfig {
     pub max_inflight_queries: u64,
     /// Deadline applied to `check`/`batch` requests that carry no `deadline_ms`.
     pub default_deadline_ms: Option<u64>,
+    /// Per-decision solver step budget applied to `check`/`batch` requests that carry
+    /// no `max_steps` of their own; a decision that spends it is answered as
+    /// `resource_exhausted` instead of spinning on an EXPTIME-shaped input.
+    /// `None` = unlimited.
+    pub default_max_steps: Option<u64>,
     /// Per-request line-length cap (bytes).
     pub max_line_bytes: usize,
+    /// Socket write timeout: a client that stops draining its responses for this long
+    /// gets its connection dropped instead of pinning a worker. `None` = block forever.
+    pub write_timeout_ms: Option<u64>,
+    /// How long a client may stall *mid-request-line* (bytes sent, no newline) before
+    /// the connection is dropped — the slow-loris guard.  Idle connections between
+    /// requests are never affected.  `None` = no limit.
+    pub stalled_read_timeout_ms: Option<u64>,
+    /// Enable the fault-injection protocol ops (`debug_panic`) on every tenant; used
+    /// by resilience tests, never in production.
+    pub debug_ops: bool,
     /// Root of the persistent artifact cache; `None` disables persistence.
     pub cache_dir: Option<PathBuf>,
     /// Per-tenant bound on resident compiled DTD artifacts; `None` = unbounded.
@@ -93,7 +108,11 @@ impl Default for ServerConfig {
             queue_depth: 32,
             max_inflight_queries: 256,
             default_deadline_ms: None,
+            default_max_steps: None,
             max_line_bytes: xpsat_service::DEFAULT_MAX_LINE_BYTES,
+            write_timeout_ms: Some(10_000),
+            stalled_read_timeout_ms: Some(30_000),
+            debug_ops: false,
             cache_dir: None,
             max_resident_dtds: None,
             default_threads: 0,

@@ -25,11 +25,12 @@ use std::io::{BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
-use xpsat_service::{oversized_response, Json, LineRead, LineReader};
+use std::time::{Duration, Instant};
+use xpsat_service::{error_response, oversized_response, Json, LineRead, LineReader};
 
 /// How long a worker blocks in one socket read before re-checking shutdown.
 const READ_POLL: Duration = Duration::from_millis(50);
@@ -58,6 +59,14 @@ impl Conn {
             Conn::Tcp(s) => s.set_read_timeout(timeout),
             #[cfg(unix)]
             Conn::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(timeout),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_write_timeout(timeout),
         }
     }
 }
@@ -124,6 +133,8 @@ struct Shared {
     stats: ServerStats,
     shutdown: AtomicBool,
     max_line_bytes: usize,
+    write_timeout: Option<Duration>,
+    stalled_read_timeout: Option<Duration>,
 }
 
 /// The server: binds, spawns the pool, hands back a [`ServerHandle`].
@@ -166,6 +177,8 @@ impl Server {
             stats: ServerStats::default(),
             shutdown: AtomicBool::new(false),
             max_line_bytes,
+            write_timeout: config.write_timeout_ms.map(Duration::from_millis),
+            stalled_read_timeout: config.stalled_read_timeout_ms.map(Duration::from_millis),
             tenants: TenantMap::new(config)?,
         });
 
@@ -278,20 +291,37 @@ fn accept_loop(listener: Listener, shared: &Shared, queue: &BoundedQueue<Conn>) 
 /// Serve one connection until EOF, error or shutdown.
 fn handle_connection(conn: Conn, shared: &Shared) {
     let _ = conn.set_read_timeout(Some(READ_POLL));
+    let _ = conn.set_write_timeout(shared.write_timeout);
     let Ok(mut writer) = conn.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(conn);
     let mut line_reader = LineReader::new(shared.max_line_bytes);
+    // Slow-loris guard: set when the reader is mid-line (bytes received, no newline
+    // yet); a client that stalls there past the configured timeout is dropped.  Idle
+    // connections *between* requests never trip it.
+    let mut line_started: Option<Instant> = None;
     loop {
         match line_reader.read_from(&mut reader) {
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 if shared.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
+                if line_reader.mid_line() {
+                    let started = *line_started.get_or_insert_with(Instant::now);
+                    if let Some(limit) = shared.stalled_read_timeout {
+                        if started.elapsed() >= limit {
+                            ServerStats::bump(&shared.stats.connections_stalled);
+                            return;
+                        }
+                    }
+                } else {
+                    line_started = None;
+                }
             }
             Err(_) | Ok(LineRead::Eof) => return,
             Ok(LineRead::Oversized) => {
+                line_started = None;
                 ServerStats::bump(&shared.stats.requests_oversized);
                 let response = oversized_response(shared.max_line_bytes);
                 if writeln!(writer, "{response}")
@@ -302,6 +332,7 @@ fn handle_connection(conn: Conn, shared: &Shared) {
                 }
             }
             Ok(LineRead::Line) => {
+                line_started = None;
                 let line = String::from_utf8_lossy(line_reader.line()).into_owned();
                 if line.trim().is_empty() {
                     continue;
@@ -324,7 +355,12 @@ fn handle_request_line(line: &str, shared: &Shared) -> Json {
         Ok(request) => request,
         Err(e) => {
             ServerStats::bump(&shared.stats.requests_malformed);
-            return error_response(&format!("malformed request: {e}"));
+            return error_response(
+                "malformed_request",
+                &format!("malformed request: {e}"),
+                None,
+                false,
+            );
         }
     };
     let tenant_name = request
@@ -334,7 +370,14 @@ fn handle_request_line(line: &str, shared: &Shared) -> Json {
         .to_string();
     let tenant = match shared.tenants.tenant(&tenant_name) {
         Ok(tenant) => tenant,
-        Err(reason) => return error_response(&format!("invalid tenant: {reason}")),
+        Err(reason) => {
+            return error_response(
+                "invalid_tenant",
+                &format!("invalid tenant: {reason}"),
+                None,
+                false,
+            )
+        }
     };
 
     // Admission: a batch of n queries costs n permits, anything else costs 1.
@@ -348,7 +391,32 @@ fn handle_request_line(line: &str, shared: &Shared) -> Json {
         return overloaded_response("in-flight query limit reached");
     };
 
-    let mut response = tenant.proto().lock().unwrap().handle_request(&request);
+    // Panic isolation: a request that panics (a solver bug, a hostile input that
+    // found a hole in the resource governor) answers `internal_error` and leaves the
+    // worker — and every other tenant — serving.  The per-tenant protocol lock
+    // recovers from poisoning for the same reason: the tenant state is monotone
+    // (registrations and caches), so a panic mid-request cannot corrupt it.
+    let mut response = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        tenant
+            .proto()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .handle_request(&request)
+    }))
+    .unwrap_or_else(|panic| {
+        ServerStats::bump(&shared.stats.requests_panicked);
+        let detail = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        error_response(
+            "internal_error",
+            &format!("request handling panicked: {detail}"),
+            None,
+            false,
+        )
+    });
     ServerStats::bump(&shared.stats.requests_served);
 
     // `stats` responses additionally report the server-wide view.
@@ -384,24 +452,31 @@ fn handle_request_line(line: &str, shared: &Shared) -> Json {
                 "server_requests_oversized".to_string(),
                 Json::Num(server.requests_oversized as f64),
             ));
+            fields.push((
+                "server_requests_panicked".to_string(),
+                Json::Num(server.requests_panicked as f64),
+            ));
+            fields.push((
+                "server_connections_stalled".to_string(),
+                Json::Num(server.connections_stalled as f64),
+            ));
         }
     }
     response
 }
 
-fn error_response(message: &str) -> Json {
-    Json::obj(vec![
-        ("ok", Json::Bool(false)),
-        ("error", Json::Str(message.to_string())),
-    ])
-}
-
 /// The explicit backpressure response: `"overloaded":true` tells a well-behaved
 /// client to back off and retry, distinguishing load shedding from request errors.
+/// Kept as a top-level flag alongside the structured error object for older clients.
 fn overloaded_response(reason: &str) -> Json {
-    Json::obj(vec![
-        ("ok", Json::Bool(false)),
-        ("error", Json::Str(format!("server overloaded: {reason}"))),
-        ("overloaded", Json::Bool(true)),
-    ])
+    let mut response = error_response(
+        "overloaded",
+        &format!("server overloaded: {reason}"),
+        None,
+        true,
+    );
+    if let Json::Obj(fields) = &mut response {
+        fields.push(("overloaded".to_string(), Json::Bool(true)));
+    }
+    response
 }

@@ -13,6 +13,8 @@ pub struct ServerStats {
     pub(crate) requests_overloaded: AtomicU64,
     pub(crate) requests_malformed: AtomicU64,
     pub(crate) requests_oversized: AtomicU64,
+    pub(crate) requests_panicked: AtomicU64,
+    pub(crate) connections_stalled: AtomicU64,
 }
 
 impl ServerStats {
@@ -29,6 +31,8 @@ impl ServerStats {
             requests_overloaded: self.requests_overloaded.load(Ordering::Relaxed),
             requests_malformed: self.requests_malformed.load(Ordering::Relaxed),
             requests_oversized: self.requests_oversized.load(Ordering::Relaxed),
+            requests_panicked: self.requests_panicked.load(Ordering::Relaxed),
+            connections_stalled: self.connections_stalled.load(Ordering::Relaxed),
         }
     }
 }
@@ -49,20 +53,27 @@ pub struct ServerStatsSnapshot {
     pub requests_malformed: u64,
     /// Lines rejected by the line-length cap.
     pub requests_oversized: u64,
+    /// Requests whose handling panicked; each was answered `internal_error` and the
+    /// worker kept serving.
+    pub requests_panicked: u64,
+    /// Connections dropped by the mid-line stall timeout (slow-loris guard).
+    pub connections_stalled: u64,
 }
 
 impl std::fmt::Display for ServerStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "connections: {} accepted, {} rejected; requests: {} served, \
-             {} overloaded, {} malformed, {} oversized",
+            "connections: {} accepted, {} rejected, {} stalled; requests: {} served, \
+             {} overloaded, {} malformed, {} oversized, {} panicked",
             self.connections_accepted,
             self.connections_rejected,
+            self.connections_stalled,
             self.requests_served,
             self.requests_overloaded,
             self.requests_malformed,
             self.requests_oversized,
+            self.requests_panicked,
         )
     }
 }

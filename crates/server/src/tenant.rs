@@ -70,7 +70,12 @@ impl TenantMap {
     /// fail validation.
     pub fn tenant(&self, name: &str) -> Result<Arc<Tenant>, String> {
         validate_tenant_name(name)?;
-        let mut tenants = self.tenants.lock().unwrap();
+        // Recover from poisoning: the map only ever grows, so a panic while holding
+        // the lock cannot leave it inconsistent.
+        let mut tenants = self
+            .tenants
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         if let Some(tenant) = tenants.get(name) {
             return Ok(Arc::clone(tenant));
         }
@@ -83,7 +88,9 @@ impl TenantMap {
         }
         let mut proto = ProtocolServer::with_workspace(workspace, self.config.default_threads);
         proto.set_default_deadline_ms(self.config.default_deadline_ms);
+        proto.set_default_max_steps(self.config.default_max_steps);
         proto.set_max_line_bytes(self.config.max_line_bytes);
+        proto.set_debug_ops(self.config.debug_ops);
         let tenant = Arc::new(Tenant {
             name: name.to_string(),
             proto: Mutex::new(proto),
@@ -94,7 +101,10 @@ impl TenantMap {
 
     /// Number of tenants created so far.
     pub fn tenant_count(&self) -> usize {
-        self.tenants.lock().unwrap().len()
+        self.tenants
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
     }
 }
 

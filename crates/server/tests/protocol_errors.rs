@@ -29,6 +29,11 @@ fn script() -> Vec<String> {
         // Recovery: the same stream still serves valid requests afterwards.
         format!(r#"{{"op":"register_dtd","dtd":"{DTD}"}}"#),
         r#"{"op":"check","dtd_id":0,"query":"a[b]"}"#.to_string(),
+        // Span-carrying parse errors: the error object must locate the fault.
+        r#"{"op":"check","dtd_id":0,"query":"a[["}"#.to_string(),
+        r#"{"op":"register_dtd","dtd":"r -> a*; a ->"}"#.to_string(),
+        // A one-step budget starves the negation fixpoint: structured exhaustion.
+        r#"{"op":"check","dtd_id":0,"query":"a[not(b)]","max_steps":1}"#.to_string(),
     ]
 }
 
@@ -109,7 +114,22 @@ fn error_paths_are_identical_over_stdio_and_tcp() {
         "{}",
         stdio[8]
     );
+    // Parse errors carry spans locating the fault in the submitted text.
+    assert!(stdio[9].contains(r#""kind":"query_parse""#), "{}", stdio[9]);
+    assert!(stdio[9].contains(r#""span":{"offset":"#), "{}", stdio[9]);
+    assert!(stdio[10].contains(r#""kind":"dtd_parse""#), "{}", stdio[10]);
+    assert!(stdio[10].contains(r#""span":{"offset":"#), "{}", stdio[10]);
+    // Budget starvation is a structured, non-retryable error, not a hang.
+    assert!(
+        stdio[11].contains(r#""kind":"resource_exhausted""#),
+        "{}",
+        stdio[11]
+    );
+    assert!(stdio[11].contains(r#""retryable":false"#), "{}", stdio[11]);
     for response in &stdio[..7] {
+        assert!(response.contains(r#""ok":false"#), "{response}");
+    }
+    for response in [&stdio[9], &stdio[10], &stdio[11]] {
         assert!(response.contains(r#""ok":false"#), "{response}");
     }
 }

@@ -168,7 +168,9 @@ fn tenants_do_not_observe_each_other() {
     // Invalid tenant names are rejected without creating workspaces.
     let bad = client.round_trip(r#"{"op":"stats","tenant":"../etc"}"#);
     assert_eq!(field(&bad, "ok").as_bool(), Some(false));
-    assert!(field(&bad, "error").as_str().unwrap().contains("tenant"));
+    let error = field(&bad, "error");
+    assert_eq!(field(error, "kind").as_str(), Some("invalid_tenant"));
+    assert!(field(error, "message").as_str().unwrap().contains("tenant"));
 
     assert_eq!(handle.tenant_count(), 3);
     handle.shutdown();
@@ -240,4 +242,96 @@ fn resident_bound_applies_per_tenant_workspace() {
     assert_eq!(field(&stats, "classifications").as_u64(), Some(2));
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_request_answers_internal_error_and_pool_survives() {
+    let config = ServerConfig {
+        debug_ops: true,
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+    let mut client = Client::connect(&addr);
+    client.round_trip(&format!(r#"{{"op":"register_dtd","dtd":"{DTD}"}}"#));
+
+    // The fault-injection op panics inside request handling; the worker answers a
+    // structured internal_error instead of dying.
+    let boom = client.round_trip(r#"{"op":"debug_panic"}"#);
+    assert_eq!(field(&boom, "ok").as_bool(), Some(false));
+    let error = field(&boom, "error");
+    assert_eq!(field(error, "kind").as_str(), Some("internal_error"));
+    assert_eq!(field(error, "retryable").as_bool(), Some(false));
+
+    // The same connection, the same tenant and fresh connections all keep serving.
+    let check = client.round_trip(r#"{"op":"check","dtd_id":0,"query":"a[b]"}"#);
+    assert_eq!(field(&check, "result").as_str(), Some("satisfiable"));
+    let mut other = Client::connect(&addr);
+    let check2 = other.round_trip(r#"{"op":"check","dtd_id":0,"query":"a[b]"}"#);
+    assert_eq!(field(&check2, "cached").as_bool(), Some(true));
+    assert!(handle.stats().requests_panicked >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn debug_ops_are_refused_unless_enabled() {
+    let (handle, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr);
+    let refused = client.round_trip(r#"{"op":"debug_panic"}"#);
+    assert_eq!(field(&refused, "ok").as_bool(), Some(false));
+    assert_eq!(
+        field(field(&refused, "error"), "kind").as_str(),
+        Some("unknown_op")
+    );
+    assert_eq!(handle.stats().requests_panicked, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn server_default_max_steps_governs_decisions() {
+    let config = ServerConfig {
+        default_max_steps: Some(1),
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+    let mut client = Client::connect(&addr);
+    client.round_trip(&format!(r#"{{"op":"register_dtd","dtd":"{DTD}"}}"#));
+
+    // The negation engine cannot finish inside one step: structured, retryable:false.
+    let capped = client.round_trip(r#"{"op":"check","dtd_id":0,"query":"a[not(b)]"}"#);
+    assert_eq!(field(&capped, "ok").as_bool(), Some(false));
+    let error = field(&capped, "error");
+    assert_eq!(field(error, "kind").as_str(), Some("resource_exhausted"));
+    assert_eq!(field(error, "retryable").as_bool(), Some(false));
+
+    // A per-request budget overrides the server default upward.
+    let fine =
+        client.round_trip(r#"{"op":"check","dtd_id":0,"query":"a[not(b)]","max_steps":100000000}"#);
+    assert_eq!(field(&fine, "ok").as_bool(), Some(true));
+    assert_eq!(field(&fine, "result").as_str(), Some("satisfiable"));
+    handle.shutdown();
+}
+
+#[test]
+fn mid_line_stall_drops_the_connection() {
+    let config = ServerConfig {
+        stalled_read_timeout_ms: Some(200),
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+
+    // A slow-loris client: send half a request line, then stall.
+    let mut loris = Client::connect(&addr);
+    loris.writer.write_all(b"{\"op\":\"che").expect("send");
+    loris.writer.flush().expect("flush");
+    let mut response = String::new();
+    let n = loris.reader.read_line(&mut response).expect("read EOF");
+    assert_eq!(n, 0, "stalled connection should be closed, got {response}");
+    assert!(handle.stats().connections_stalled >= 1);
+
+    // An idle connection (no bytes at all) is NOT affected by the stall guard.
+    let mut idle = Client::connect(&addr);
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let check = idle.round_trip(&format!(r#"{{"op":"register_dtd","dtd":"{DTD}"}}"#));
+    assert_eq!(field(&check, "ok").as_bool(), Some(true));
+    handle.shutdown();
 }

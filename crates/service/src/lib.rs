@@ -49,14 +49,15 @@ pub mod workspace;
 
 pub use json::{Json, JsonError};
 pub use protocol::{
-    oversized_response, LineRead, LineReader, ProtocolServer, DEFAULT_MAX_LINE_BYTES,
+    error_object, error_response, oversized_response, LineRead, LineReader, ProtocolError,
+    ProtocolServer, DEFAULT_MAX_LINE_BYTES,
 };
 pub use session::Session;
 pub use stats::{CacheStats, StatsSnapshot};
 pub use store::{canonical_key, ArtifactStore, StoreMiss, STORE_VERSION};
 pub use workspace::{
     decision_fingerprint, effective_threads, engine_slug, BatchScratch, DtdArtifacts, DtdId,
-    InternedQuery, QueryId, RegisterOutcome, ServedDecision, ServiceError, Workspace,
+    ErrorSpan, InternedQuery, QueryId, RegisterOutcome, ServedDecision, ServiceError, Workspace,
 };
 
 #[cfg(test)]

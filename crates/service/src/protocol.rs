@@ -15,13 +15,23 @@
 //! ```
 //!
 //! Every response carries `"ok":true` plus operation-specific fields, or `"ok":false`
-//! with an `"error"` string.  A malformed line never kills the loop.
+//! with a structured `"error"` object:
+//!
+//! ```text
+//! {"ok":false,"error":{"kind":"query_parse","message":"XPath parse error at byte 3: …",
+//!                      "span":{"offset":3,"len":1},"retryable":false}}
+//! ```
+//!
+//! `kind` is a stable machine-readable tag (see the README's error taxonomy), `span`
+//! locates the offending bytes of the submitted text when the error is a parse error,
+//! and `retryable` says whether resending the identical request can succeed.  A
+//! malformed line never kills the loop.
 
 use crate::json::Json;
 use crate::workspace::{engine_slug, BatchScratch, DtdId, ServedDecision, ServiceError, Workspace};
 use std::io::{BufRead, Write};
 use std::time::{Duration, Instant};
-use xpsat_core::Satisfiability;
+use xpsat_core::{Exhausted, Satisfiability};
 
 /// Default cap on the length of one request line (bytes, newline excluded).
 pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
@@ -32,7 +42,9 @@ pub struct ProtocolServer {
     workspace: Workspace,
     default_threads: usize,
     default_deadline_ms: Option<u64>,
+    default_max_steps: Option<u64>,
     max_line_bytes: usize,
+    debug_ops: bool,
     scratch: BatchScratch,
 }
 
@@ -56,15 +68,30 @@ impl ProtocolServer {
             workspace,
             default_threads,
             default_deadline_ms: None,
+            default_max_steps: None,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            debug_ops: false,
             scratch: BatchScratch::default(),
         }
+    }
+
+    /// Enable the fault-injection ops (`debug_panic`), used by the resilience tests
+    /// to prove the hosting server survives a panicking request.  Off by default.
+    pub fn set_debug_ops(&mut self, enabled: bool) {
+        self.debug_ops = enabled;
     }
 
     /// Deadline applied to `check`/`batch` requests that carry no `deadline_ms` of
     /// their own (`None` = no default deadline).
     pub fn set_default_deadline_ms(&mut self, ms: Option<u64>) {
         self.default_deadline_ms = ms;
+    }
+
+    /// Per-decision solver step budget applied to `check`/`batch` requests that carry
+    /// no `max_steps` of their own (`None` = unlimited).  A decision that spends its
+    /// budget is answered as `resource_exhausted` instead of spinning.
+    pub fn set_default_max_steps(&mut self, steps: Option<u64>) {
+        self.default_max_steps = steps;
     }
 
     /// Cap on the length of one request line; longer lines are rejected with an
@@ -86,7 +113,8 @@ impl ProtocolServer {
     /// Handle one request line, producing one response line (without the newline).
     pub fn handle_line(&mut self, line: &str) -> String {
         let response = match Json::parse(line) {
-            Err(e) => error_response(&format!("malformed request: {e}")),
+            Err(e) => ProtocolError::new("malformed_request", format!("malformed request: {e}"))
+                .into_response(),
             Ok(request) => self.handle_request(&request),
         };
         response.to_string()
@@ -141,14 +169,20 @@ impl ProtocolServer {
         let op = request
             .get("op")
             .and_then(Json::as_str)
-            .ok_or_else(|| ProtocolError::new("missing string field 'op'"))?;
+            .ok_or_else(|| ProtocolError::new("malformed_request", "missing string field 'op'"))?;
         match op {
             "register_dtd" => self.op_register_dtd(request),
             "check" => self.op_check(request),
             "batch" => self.op_batch(request),
             "classify" => self.op_classify(request),
             "stats" => Ok(self.op_stats()),
-            other => Err(ProtocolError::new(format!("unknown op '{other}'"))),
+            "debug_panic" if self.debug_ops => {
+                panic!("debug_panic requested by the client")
+            }
+            other => Err(ProtocolError::new(
+                "unknown_op",
+                format!("unknown op '{other}'"),
+            )),
         }
     }
 
@@ -177,6 +211,15 @@ impl ProtocolServer {
             .map(|ms| Instant::now() + Duration::from_millis(ms))
     }
 
+    /// The per-decision step budget of a request: its own `max_steps` if present, else
+    /// the server default.
+    fn max_steps_of(&self, request: &Json) -> Option<u64> {
+        request
+            .get("max_steps")
+            .and_then(Json::as_u64)
+            .or(self.default_max_steps)
+    }
+
     fn op_check(&mut self, request: &Json) -> Result<Json, ProtocolError> {
         let dtd = dtd_id_field(request)?;
         let text = str_field(request, "query")?;
@@ -185,17 +228,27 @@ impl ProtocolServer {
             .and_then(Json::as_bool)
             .unwrap_or(false);
         let deadline = self.deadline_of(request);
+        let max_steps = self.max_steps_of(request);
         let query = self.workspace.intern(text)?;
-        let served = match deadline {
-            // A single-query "batch" gives the check path the same deadline
-            // machinery; the result (and the cached flag) is identical to decide().
-            Some(_) => self
-                .workspace
-                .decide_batch_with(dtd, &[query], 1, deadline, &mut self.scratch)?
+        let served = if deadline.is_some() || max_steps.is_some() {
+            // A single-query "batch" gives the check path the same deadline and
+            // budget machinery; the result (and the cached flag) is identical to
+            // decide().
+            self.workspace
+                .decide_batch_governed(dtd, &[query], 1, deadline, max_steps, &mut self.scratch)?
                 .pop()
-                .expect("one decision per query"),
-            None => self.workspace.decide(dtd, query)?,
+                .expect("one decision per query")
+        } else {
+            self.workspace.decide(dtd, query)?
         };
+        // A spent step budget is a request-level failure for `check` (a deadline hit
+        // already surfaced as ServiceError::DeadlineExceeded above).
+        if let Some(cause) = served.decision.exhausted {
+            return Err(ProtocolError::resource_exhausted(
+                cause,
+                served.decision.engine,
+            ));
+        }
         let canonical = self.workspace.query(query)?.canonical.clone();
         let mut response = vec![
             ("ok", Json::Bool(true)),
@@ -212,7 +265,9 @@ impl ProtocolServer {
         let items = request
             .get("queries")
             .and_then(Json::as_array)
-            .ok_or_else(|| ProtocolError::new("missing array field 'queries'"))?;
+            .ok_or_else(|| {
+                ProtocolError::new("malformed_request", "missing array field 'queries'")
+            })?;
         let with_witness = request
             .get("witness")
             .and_then(Json::as_bool)
@@ -222,16 +277,22 @@ impl ProtocolServer {
             _ => self.effective_threads(),
         };
         let deadline = self.deadline_of(request);
+        let max_steps = self.max_steps_of(request);
         let mut ids = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
-            let text = item
-                .as_str()
-                .ok_or_else(|| ProtocolError::new(format!("queries[{i}] is not a string")))?;
+            let text = item.as_str().ok_or_else(|| {
+                ProtocolError::new("malformed_request", format!("queries[{i}] is not a string"))
+            })?;
             ids.push(self.workspace.intern(text)?);
         }
-        let served =
-            self.workspace
-                .decide_batch_with(dtd, &ids, threads, deadline, &mut self.scratch)?;
+        let served = self.workspace.decide_batch_governed(
+            dtd,
+            &ids,
+            threads,
+            deadline,
+            max_steps,
+            &mut self.scratch,
+        )?;
         let mut results = Vec::with_capacity(served.len());
         for (id, one) in ids.iter().zip(&served) {
             let mut fields = vec![(
@@ -326,8 +387,16 @@ impl ProtocolServer {
                 Json::Num(stats.artifact_store_writes as f64),
             ),
             (
+                "artifact_store_corrupt",
+                Json::Num(stats.artifact_store_corrupt as f64),
+            ),
+            (
                 "deadline_exceeded",
                 Json::Num(stats.deadline_exceeded as f64),
+            ),
+            (
+                "resource_exhausted",
+                Json::Num(stats.resource_exhausted as f64),
             ),
             ("negation_memo_hits", Json::Num(memo_hits as f64)),
             ("negation_memo_built", Json::Num(memo_built as f64)),
@@ -361,6 +430,10 @@ fn decision_fields(served: &ServedDecision, with_witness: bool) -> Vec<(&'static
         ("complete", Json::Bool(decision.complete)),
         ("cached", Json::Bool(served.cached)),
     ];
+    // Budget-exhausted batch results keep their slot (result "unknown") but say why.
+    if decision.exhausted.is_some() {
+        fields.push(("resource_exhausted", Json::Bool(true)));
+    }
     if with_witness {
         if let Satisfiability::Satisfiable(doc) = &decision.result {
             fields.push(("witness", Json::Str(xpsat_xmltree::serialize::to_xml(doc))));
@@ -369,25 +442,56 @@ fn decision_fields(served: &ServedDecision, with_witness: bool) -> Vec<(&'static
     fields
 }
 
-fn error_response(message: &str) -> Json {
+/// Build the structured error object of an `"ok":false` response.
+pub fn error_object(
+    kind: &str,
+    message: &str,
+    span: Option<(usize, usize)>,
+    retryable: bool,
+) -> Json {
+    let mut fields = vec![
+        ("kind", Json::Str(kind.to_string())),
+        ("message", Json::Str(message.to_string())),
+    ];
+    if let Some((offset, len)) = span {
+        fields.push((
+            "span",
+            Json::obj(vec![
+                ("offset", Json::Num(offset as f64)),
+                ("len", Json::Num(len as f64)),
+            ]),
+        ));
+    }
+    fields.push(("retryable", Json::Bool(retryable)));
+    Json::obj(fields)
+}
+
+/// Build a complete `"ok":false` response around [`error_object`].
+pub fn error_response(
+    kind: &str,
+    message: &str,
+    span: Option<(usize, usize)>,
+    retryable: bool,
+) -> Json {
     Json::obj(vec![
         ("ok", Json::Bool(false)),
-        ("error", Json::Str(message.to_string())),
+        ("error", error_object(kind, message, span, retryable)),
     ])
 }
 
 /// The response for a request line exceeding the size cap.
 pub fn oversized_response(max_line_bytes: usize) -> Json {
-    Json::obj(vec![
-        ("ok", Json::Bool(false)),
-        (
-            "error",
-            Json::Str(format!(
-                "request line exceeds the {max_line_bytes}-byte limit"
-            )),
-        ),
-        ("oversized", Json::Bool(true)),
-    ])
+    let mut response = error_response(
+        "oversized",
+        &format!("request line exceeds the {max_line_bytes}-byte limit"),
+        None,
+        false,
+    );
+    if let Json::Obj(fields) = &mut response {
+        // Legacy top-level marker, kept for older clients.
+        fields.push(("oversized".to_string(), Json::Bool(true)));
+    }
+    response
 }
 
 /// Result of reading one length-capped line.
@@ -434,6 +538,14 @@ impl LineReader {
     /// The last completely read line (valid after [`LineRead::Line`]).
     pub fn line(&self) -> &[u8] {
         &self.buffer
+    }
+
+    /// Is the reader holding a *partial* line (bytes arrived, no newline yet)?
+    ///
+    /// Distinguishes a slow-loris client stalled mid-request (worth a timeout) from
+    /// an idle keep-alive connection between requests (legitimate).
+    pub fn mid_line(&self) -> bool {
+        !self.finished && (!self.buffer.is_empty() || self.overflowed)
     }
 
     /// Read (or, after a transient error, continue reading) one line.
@@ -483,26 +595,47 @@ impl LineReader {
     }
 }
 
-/// A request-level failure (bad field, unknown id, parse error).
+/// A request-level failure (bad field, unknown id, parse error, spent budget) carrying
+/// the structured-error fields of the protocol's taxonomy.
 #[derive(Debug, Clone)]
 pub struct ProtocolError {
+    kind: &'static str,
     message: String,
-    deadline_exceeded: bool,
+    span: Option<(usize, usize)>,
+    retryable: bool,
 }
 
 impl ProtocolError {
-    fn new(message: impl Into<String>) -> ProtocolError {
+    fn new(kind: &'static str, message: impl Into<String>) -> ProtocolError {
         ProtocolError {
+            kind,
             message: message.into(),
-            deadline_exceeded: false,
+            span: None,
+            retryable: false,
         }
     }
 
+    fn resource_exhausted(cause: Exhausted, engine: xpsat_core::EngineKind) -> ProtocolError {
+        ProtocolError::new(
+            "resource_exhausted",
+            format!(
+                "{cause} before the decision completed (engine: {})",
+                engine_slug(engine)
+            ),
+        )
+    }
+
+    /// The machine-readable error tag.
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
     /// Render as an `"ok":false` response object.
-    fn into_response(self) -> Json {
-        let mut response = error_response(&self.message);
-        if self.deadline_exceeded {
+    pub fn into_response(self) -> Json {
+        let mut response = error_response(self.kind, &self.message, self.span, self.retryable);
+        if self.kind == "deadline_exceeded" {
             if let Json::Obj(fields) = &mut response {
+                // Legacy top-level marker, kept for older clients.
                 fields.push(("deadline_exceeded".to_string(), Json::Bool(true)));
             }
         }
@@ -520,18 +653,30 @@ impl std::error::Error for ProtocolError {}
 
 impl From<ServiceError> for ProtocolError {
     fn from(e: ServiceError) -> ProtocolError {
+        let message = e.to_string();
+        let (kind, span, retryable) = match e {
+            ServiceError::DtdParse { span, .. } => ("dtd_parse", Some(span), false),
+            ServiceError::QueryParse { span, .. } => ("query_parse", Some(span), false),
+            ServiceError::UnknownDtd(_) => ("unknown_dtd", None, false),
+            ServiceError::UnknownQuery(_) => ("unknown_query", None, false),
+            ServiceError::NoCurrentDtd => ("no_current_dtd", None, false),
+            // Retrying a deadline-expired batch resumes from the published partial
+            // progress, so it genuinely can succeed.
+            ServiceError::DeadlineExceeded => ("deadline_exceeded", None, true),
+        };
         ProtocolError {
-            message: e.to_string(),
-            deadline_exceeded: matches!(e, ServiceError::DeadlineExceeded),
+            kind,
+            message,
+            span,
+            retryable,
         }
     }
 }
 
 fn str_field<'a>(request: &'a Json, key: &str) -> Result<&'a str, ProtocolError> {
-    request
-        .get(key)
-        .and_then(Json::as_str)
-        .ok_or_else(|| ProtocolError::new(format!("missing string field '{key}'")))
+    request.get(key).and_then(Json::as_str).ok_or_else(|| {
+        ProtocolError::new("malformed_request", format!("missing string field '{key}'"))
+    })
 }
 
 fn dtd_id_field(request: &Json) -> Result<DtdId, ProtocolError> {
@@ -539,7 +684,7 @@ fn dtd_id_field(request: &Json) -> Result<DtdId, ProtocolError> {
         .get("dtd_id")
         .and_then(Json::as_u64)
         .map(|n| DtdId(n as usize))
-        .ok_or_else(|| ProtocolError::new("missing numeric field 'dtd_id'"))
+        .ok_or_else(|| ProtocolError::new("malformed_request", "missing numeric field 'dtd_id'"))
 }
 
 #[cfg(test)]
@@ -610,6 +755,66 @@ mod tests {
         // The server still works afterwards.
         let reg = server.handle_line(r#"{"op":"register_dtd","dtd":"r -> a?; a -> #;"}"#);
         assert!(reg.contains(r#""ok":true"#));
+    }
+
+    #[test]
+    fn parse_errors_are_structured_with_spans() {
+        let mut server = ProtocolServer::new(1);
+        let resp = Json::parse(&server.handle_line(r#"{"op":"check","dtd_id":0,"query":"a/ |b"}"#))
+            .unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(false));
+        let error = field(&resp, "error");
+        assert_eq!(field(error, "kind").as_str(), Some("query_parse"));
+        assert!(field(error, "message")
+            .as_str()
+            .unwrap()
+            .contains("at byte 3"));
+        let span = field(error, "span");
+        assert_eq!(field(span, "offset").as_u64(), Some(3));
+        assert_eq!(field(span, "len").as_u64(), Some(1));
+        assert_eq!(field(error, "retryable").as_bool(), Some(false));
+
+        let resp =
+            Json::parse(&server.handle_line(r#"{"op":"register_dtd","dtd":"r -> (a; a -> #;"}"#))
+                .unwrap();
+        let error = field(&resp, "error");
+        assert_eq!(field(error, "kind").as_str(), Some("dtd_parse"));
+        assert!(error.get("span").is_some());
+    }
+
+    #[test]
+    fn budget_capped_requests_report_resource_exhausted() {
+        let mut server = ProtocolServer::new(1);
+        server.handle_line(r#"{"op":"register_dtd","dtd":"r -> a*; a -> b | c; b -> #; c -> #;"}"#);
+        let resp = Json::parse(
+            &server.handle_line(r#"{"op":"check","dtd_id":0,"query":"a[not(b)]","max_steps":1}"#),
+        )
+        .unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(false));
+        let error = field(&resp, "error");
+        assert_eq!(field(error, "kind").as_str(), Some("resource_exhausted"));
+        assert_eq!(field(error, "retryable").as_bool(), Some(false));
+
+        // Batch results keep their slot with an exhaustion marker.
+        let batch = Json::parse(&server.handle_line(
+            r#"{"op":"batch","dtd_id":0,"queries":["a[not(b)]","a/b"],"max_steps":1,"threads":1}"#,
+        ))
+        .unwrap();
+        assert_eq!(field(&batch, "ok").as_bool(), Some(true));
+        let results = field(&batch, "results").as_array().unwrap();
+        assert_eq!(field(&results[0], "result").as_str(), Some("unknown"));
+        assert_eq!(
+            field(&results[0], "resource_exhausted").as_bool(),
+            Some(true)
+        );
+        assert!(results[1].get("resource_exhausted").is_none());
+
+        // The exhausted Unknown was never cached: the unconstrained retry decides.
+        let retry =
+            Json::parse(&server.handle_line(r#"{"op":"check","dtd_id":0,"query":"a[not(b)]"}"#))
+                .unwrap();
+        assert_eq!(field(&retry, "result").as_str(), Some("satisfiable"));
+        assert_eq!(field(&retry, "cached").as_bool(), Some(false));
     }
 
     #[test]

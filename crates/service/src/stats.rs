@@ -22,9 +22,11 @@ pub struct CacheStats {
     pub(crate) artifact_store_hits: AtomicU64,
     pub(crate) artifact_store_misses: AtomicU64,
     pub(crate) artifact_store_writes: AtomicU64,
+    pub(crate) artifact_store_corrupt: AtomicU64,
     pub(crate) dtd_evictions: AtomicU64,
     pub(crate) artifact_rebuilds: AtomicU64,
     pub(crate) deadline_exceeded: AtomicU64,
+    pub(crate) resource_exhausted: AtomicU64,
 }
 
 impl CacheStats {
@@ -51,9 +53,11 @@ impl CacheStats {
             artifact_store_hits: self.artifact_store_hits.load(Ordering::Relaxed),
             artifact_store_misses: self.artifact_store_misses.load(Ordering::Relaxed),
             artifact_store_writes: self.artifact_store_writes.load(Ordering::Relaxed),
+            artifact_store_corrupt: self.artifact_store_corrupt.load(Ordering::Relaxed),
             dtd_evictions: self.dtd_evictions.load(Ordering::Relaxed),
             artifact_rebuilds: self.artifact_rebuilds.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            resource_exhausted: self.resource_exhausted.load(Ordering::Relaxed),
             resident_dtds: 0,
         }
     }
@@ -87,12 +91,19 @@ pub struct StatsSnapshot {
     pub artifact_store_misses: u64,
     /// Entries written to the on-disk artifact store.
     pub artifact_store_writes: u64,
+    /// Store lookups that found a *corrupt* entry (bad magic, truncation, failed
+    /// decode) — a subset of `artifact_store_misses`, split out because corruption
+    /// signals disk trouble or tampering while a plain miss is just a cold cache.
+    pub artifact_store_corrupt: u64,
     /// Resident compiled artifacts evicted by the LRU residency bound.
     pub dtd_evictions: u64,
     /// Evicted artifacts brought back (from the store or by recompiling).
     pub artifact_rebuilds: u64,
     /// Requests abandoned because their deadline expired mid-batch.
     pub deadline_exceeded: u64,
+    /// Decisions that spent their step budget and were answered `Unknown` with an
+    /// exhaustion marker (never cached).
+    pub resource_exhausted: u64,
     /// Gauge (not a counter): compiled artifacts currently resident in memory.
     pub resident_dtds: u64,
 }
@@ -104,7 +115,8 @@ impl std::fmt::Display for StatsSnapshot {
             "dtds: {} registered, {} reused, {} resident, {} evicted, {} rebuilt; \
              classifications: {}; normalizations: {}; automata: {}; \
              queries: {} interned, {} reused; decisions: {} computed, {} cache hits; \
-             artifact store: {} hits, {} misses, {} writes; deadlines exceeded: {}",
+             artifact store: {} hits, {} misses ({} corrupt), {} writes; \
+             deadlines exceeded: {}; budgets exhausted: {}",
             self.dtds_registered,
             self.dtds_reused,
             self.resident_dtds,
@@ -119,8 +131,10 @@ impl std::fmt::Display for StatsSnapshot {
             self.decision_cache_hits,
             self.artifact_store_hits,
             self.artifact_store_misses,
+            self.artifact_store_corrupt,
             self.artifact_store_writes,
             self.deadline_exceeded,
+            self.resource_exhausted,
         )
     }
 }

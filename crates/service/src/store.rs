@@ -41,7 +41,8 @@ use xpsat_automata::BitSet;
 use xpsat_dtd::{parse_dtd, CompiledDtd, DtdClass, Normalization, Sym, SymNfa};
 
 /// Format version; bump on any change to the serialised shape.
-pub const STORE_VERSION: u32 = 1;
+/// v2 added the FNV-1a-64 integrity trailer.
+pub const STORE_VERSION: u32 = 2;
 
 /// File magic, so stray files in the cache directory are rejected immediately.
 const MAGIC: &[u8; 8] = b"XPSATART";
@@ -51,8 +52,16 @@ const NO_SYM: u32 = u32::MAX;
 
 /// FNV-1a-64 of the canonical DTD text: the on-disk key.
 pub fn canonical_key(canonical: &str) -> u64 {
+    fnv64(canonical.as_bytes())
+}
+
+/// FNV-1a-64, also used as the entry integrity checksum: structural validation
+/// alone cannot catch a bit flip inside an automaton transition table (the damaged
+/// entry still decodes, then answers wrongly), so every entry carries a checksum
+/// trailer over its full body.
+fn fnv64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in canonical.as_bytes() {
+    for byte in bytes {
         hash ^= u64::from(*byte);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
@@ -123,10 +132,20 @@ impl ArtifactStore {
     }
 
     /// Rehydrate the artifacts of `canonical`, or report why it could not be served.
+    ///
+    /// A corrupt entry is deleted on sight: entries are pure caches rebuilt from the
+    /// DTD text, so leaving damage in place would fail every future load of this key
+    /// while deleting it lets the next save repopulate the slot.
     pub fn load(&self, canonical: &str) -> Result<DtdArtifacts, StoreMiss> {
         let path = self.entry_path(canonical);
         let bytes = std::fs::read(&path).map_err(|_| StoreMiss::Absent)?;
-        decode(&bytes, canonical).ok_or(StoreMiss::Invalid)
+        match decode(&bytes, canonical) {
+            Some(artifacts) => Ok(artifacts),
+            None => {
+                let _ = std::fs::remove_file(&path);
+                Err(StoreMiss::Invalid)
+            }
+        }
     }
 
     /// Remove the entry of `canonical`, if present (used by tests and operators).
@@ -173,7 +192,10 @@ fn encode(artifacts: &DtdArtifacts) -> Vec<u8> {
             }
         }
     }
-    w.finish()
+    let mut bytes = w.finish();
+    let checksum = fnv64(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
 }
 
 fn encode_class(w: &mut Writer, class: &DtdClass) {
@@ -217,7 +239,14 @@ fn encode_nfa(w: &mut Writer, nfa: &SymNfa) {
 // ---- decoding --------------------------------------------------------------------
 
 fn decode(bytes: &[u8], expected_canonical: &str) -> Option<DtdArtifacts> {
-    let mut r = Reader::new(bytes);
+    // The integrity trailer first: any flipped or torn byte fails here, before the
+    // structural decode gets a chance to mis-trust the contents.
+    let body_len = bytes.len().checked_sub(8)?;
+    let (body, trailer) = bytes.split_at(body_len);
+    if u64::from_le_bytes(trailer.try_into().ok()?) != fnv64(body) {
+        return None;
+    }
+    let mut r = Reader::new(body);
     if r.bytes(MAGIC.len())? != MAGIC.as_slice() || r.u32()? != STORE_VERSION {
         return None;
     }
@@ -522,6 +551,12 @@ mod tests {
         assert!(matches!(
             store.load(&fresh.canonical),
             Err(StoreMiss::Invalid)
+        ));
+        // The corrupt entry was deleted on sight; the next miss is a plain Absent.
+        assert!(!path.exists());
+        assert!(matches!(
+            store.load(&fresh.canonical),
+            Err(StoreMiss::Absent)
         ));
         // Flipped interior byte (inside the automata region).
         let mut flipped = full.clone();

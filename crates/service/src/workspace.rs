@@ -28,7 +28,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use xpsat_core::{Decision, EngineKind, Solver, SolverConfig};
+use xpsat_core::{Budget, Decision, EngineKind, Exhausted, Solver, SolverConfig};
 use xpsat_dtd::{normalize, parse_dtd, Dtd, DtdClass, Normalization};
 use xpsat_xpath::{parse_path, Path};
 
@@ -41,6 +41,16 @@ const CACHE_SHARDS: usize = 16;
 
 /// One stripe of the decision cache.
 type CacheShard = Mutex<HashMap<(DtdId, QueryId), Arc<Decision>>>;
+
+/// Lock a mutex, recovering from poison.  Everything guarded this way (cache stripes,
+/// residency slots) holds plain data whose every intermediate state is valid, so a
+/// panic while the lock was held — e.g. a panicking engine isolated by the server's
+/// `catch_unwind` — must not wedge the structure for every later request.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// The lock-striped memoised decision cache.
 #[derive(Debug)]
@@ -66,9 +76,7 @@ impl ShardedCache {
     }
 
     fn get(&self, key: &(DtdId, QueryId)) -> Option<Arc<Decision>> {
-        self.shards[Self::shard_index(key)]
-            .lock()
-            .unwrap()
+        lock_recovering(&self.shards[Self::shard_index(key)])
             .get(key)
             .cloned()
     }
@@ -76,9 +84,7 @@ impl ShardedCache {
     /// Insert unless the key is already present; returns the decision that ended up
     /// stored (the existing one wins a race, keeping served output deterministic).
     fn insert_if_absent(&self, key: (DtdId, QueryId), decision: Decision) -> Arc<Decision> {
-        self.shards[Self::shard_index(&key)]
-            .lock()
-            .unwrap()
+        lock_recovering(&self.shards[Self::shard_index(&key)])
             .entry(key)
             .or_insert_with(|| Arc::new(decision))
             .clone()
@@ -159,13 +165,28 @@ pub struct RegisterOutcome {
     pub from_store: bool,
 }
 
+/// Byte range of an input error, as reported by the parsers (`(offset, len)` into the
+/// original request text).  Mirrors the parser crates' `Span` types without coupling
+/// the service API to either.
+pub type ErrorSpan = (usize, usize);
+
 /// Errors returned by workspace operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
-    /// The DTD text did not parse.
-    DtdParse(String),
-    /// The query text did not parse.
-    QueryParse(String),
+    /// The DTD text did not parse; `span` locates the offending bytes.
+    DtdParse {
+        /// The parser's message (no position prefix).
+        message: String,
+        /// `(offset, len)` into the submitted DTD text.
+        span: ErrorSpan,
+    },
+    /// The query text did not parse; `span` locates the offending bytes.
+    QueryParse {
+        /// The parser's message (no position prefix).
+        message: String,
+        /// `(offset, len)` into the submitted query text.
+        span: ErrorSpan,
+    },
     /// An id referred to no registered DTD.
     UnknownDtd(usize),
     /// An id referred to no interned query.
@@ -180,8 +201,12 @@ pub enum ServiceError {
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServiceError::DtdParse(e) => write!(f, "DTD parse error: {e}"),
-            ServiceError::QueryParse(e) => write!(f, "query parse error: {e}"),
+            ServiceError::DtdParse { message, span } => {
+                write!(f, "DTD parse error at byte {}: {message}", span.0)
+            }
+            ServiceError::QueryParse { message, span } => {
+                write!(f, "XPath parse error at byte {}: {message}", span.0)
+            }
             ServiceError::UnknownDtd(id) => write!(f, "unknown DTD id {id}"),
             ServiceError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
             ServiceError::NoCurrentDtd => {
@@ -225,6 +250,10 @@ pub struct BatchScratch {
 #[derive(Debug)]
 pub struct Workspace {
     solver: Solver,
+    /// The budget applied when a decide call carries no budget of its own (a copy of
+    /// the solver config's budget, kept here because the config moves into the
+    /// solver).
+    default_budget: Budget,
     dtds: Vec<DtdSlot>,
     dtd_by_canonical: HashMap<String, DtdId>,
     queries: Vec<InternedQuery>,
@@ -247,8 +276,10 @@ impl Default for Workspace {
 impl Workspace {
     /// A workspace whose decisions use the given solver budgets.
     pub fn new(config: SolverConfig) -> Workspace {
+        let default_budget = config.budget;
         Workspace {
             solver: Solver::new(config),
+            default_budget,
             dtds: Vec::new(),
             dtd_by_canonical: HashMap::new(),
             queries: Vec::new(),
@@ -292,7 +323,10 @@ impl Workspace {
     /// [`Workspace::register_dtd`], reporting whether the DTD was deduplicated and
     /// whether its artifacts came out of the persistent store.
     pub fn register_dtd_report(&mut self, text: &str) -> Result<RegisterOutcome, ServiceError> {
-        let dtd = parse_dtd(text).map_err(|e| ServiceError::DtdParse(e.to_string()))?;
+        let dtd = parse_dtd(text).map_err(|e| ServiceError::DtdParse {
+            message: e.message.clone(),
+            span: (e.span.offset, e.span.len),
+        })?;
         Ok(self.register_dtd_value_report(dtd))
     }
 
@@ -341,7 +375,12 @@ impl Workspace {
                     artifacts.compiled.warm();
                     return (Arc::new(artifacts), true);
                 }
-                Err(StoreMiss::Absent | StoreMiss::Invalid) => {
+                Err(miss) => {
+                    if miss == StoreMiss::Invalid {
+                        // Corruption is a distinct signal from a cold cache: operators
+                        // alert on it (disk trouble, torn writes, tampering).
+                        CacheStats::bump(&self.stats.artifact_store_corrupt);
+                    }
                     CacheStats::bump(&self.stats.artifact_store_misses);
                 }
             }
@@ -422,7 +461,7 @@ impl Workspace {
     pub fn artifacts(&self, id: DtdId) -> Result<Arc<DtdArtifacts>, ServiceError> {
         let slot = self.dtds.get(id.0).ok_or(ServiceError::UnknownDtd(id.0))?;
         slot.last_used.store(self.touch(), Ordering::Relaxed);
-        let mut resident = slot.resident.lock().unwrap();
+        let mut resident = lock_recovering(&slot.resident);
         if let Some(artifacts) = resident.as_ref() {
             return Ok(Arc::clone(artifacts));
         }
@@ -452,7 +491,10 @@ impl Workspace {
 
     /// Intern a query from its textual form; equal canonical renderings share an id.
     pub fn intern(&mut self, text: &str) -> Result<QueryId, ServiceError> {
-        let path = parse_path(text).map_err(|e| ServiceError::QueryParse(e.to_string()))?;
+        let path = parse_path(text).map_err(|e| ServiceError::QueryParse {
+            message: e.message.clone(),
+            span: (e.span.offset, e.span.len),
+        })?;
         Ok(self.intern_path(path))
     }
 
@@ -490,6 +532,20 @@ impl Workspace {
     /// Decide one `(dtd, query)` instance, serving from the memoised cache when the
     /// pair has been decided before.
     pub fn decide(&self, dtd: DtdId, query: QueryId) -> Result<ServedDecision, ServiceError> {
+        let budget = self.default_budget;
+        self.decide_governed(dtd, query, &budget)
+    }
+
+    /// [`Workspace::decide`] under an explicit per-call [`Budget`].  A decision that
+    /// exhausts its budget is returned (result `Unknown`, [`Decision::exhausted`] set)
+    /// but **never cached**: the verdict reflects the caller's allowance, not the
+    /// instance, so a later caller with a larger budget must get a fresh run.
+    pub fn decide_governed(
+        &self,
+        dtd: DtdId,
+        query: QueryId,
+        budget: &Budget,
+    ) -> Result<ServedDecision, ServiceError> {
         self.query(query)?;
         let key = (dtd, query);
         if let Some(hit) = self.cache.get(&key) {
@@ -504,10 +560,17 @@ impl Workspace {
             });
         }
         let artifacts = self.artifacts(dtd)?;
-        let decision = self
-            .solver
-            .decide_with_artifacts(&artifacts.compiled, &self.queries[query.0].path);
+        let decision =
+            self.solver
+                .decide_budgeted(&artifacts.compiled, &self.queries[query.0].path, budget);
         CacheStats::bump(&self.stats.decisions_computed);
+        if decision.exhausted.is_some() {
+            CacheStats::bump(&self.stats.resource_exhausted);
+            return Ok(ServedDecision {
+                decision: Arc::new(decision),
+                cached: false,
+            });
+        }
         Ok(ServedDecision {
             decision: self.cache.insert_if_absent(key, decision),
             cached: false,
@@ -546,6 +609,32 @@ impl Workspace {
         deadline: Option<Instant>,
         scratch: &mut BatchScratch,
     ) -> Result<Vec<ServedDecision>, ServiceError> {
+        self.decide_batch_governed(dtd, queries, threads, deadline, None, scratch)
+    }
+
+    /// [`Workspace::decide_batch_with`] under per-decision resource governance.
+    ///
+    /// * `max_steps` — per-*decision* step fuel (falls back to the workspace's default
+    ///   budget when `None`).  A decision that spends its fuel comes back `Unknown`
+    ///   with [`Decision::exhausted`] set; it is returned in its slot but never
+    ///   published to the cache, and the batch keeps going.
+    /// * `deadline` — also threaded *into* the engines, so a single monster decision
+    ///   is interrupted mid-fixpoint instead of only between queries.  A
+    ///   deadline-interrupted decision is discarded (the batch reports
+    ///   [`ServiceError::DeadlineExceeded`], and a retry recomputes it).
+    pub fn decide_batch_governed(
+        &self,
+        dtd: DtdId,
+        queries: &[QueryId],
+        threads: usize,
+        deadline: Option<Instant>,
+        max_steps: Option<u64>,
+        scratch: &mut BatchScratch,
+    ) -> Result<Vec<ServedDecision>, ServiceError> {
+        let budget = Budget {
+            max_steps: max_steps.or(self.default_budget.max_steps),
+            deadline: deadline.or(self.default_budget.deadline),
+        };
         let artifacts = self.artifacts(dtd)?;
         for &q in queries {
             self.query(q)?;
@@ -574,7 +663,7 @@ impl Workspace {
             if members.is_empty() {
                 continue;
             }
-            let shard = shard.lock().unwrap();
+            let shard = lock_recovering(shard);
             for &q in members {
                 match shard.get(&(dtd, q)) {
                     Some(hit) => {
@@ -616,9 +705,17 @@ impl Workspace {
                         deadline_hit.store(true, Ordering::Relaxed);
                         break;
                     }
-                    let decision = self
-                        .solver
-                        .decide_with_artifacts(&artifacts.compiled, &self.queries[q.0].path);
+                    let decision = self.solver.decide_budgeted(
+                        &artifacts.compiled,
+                        &self.queries[q.0].path,
+                        &budget,
+                    );
+                    // A deadline interruption mid-decision aborts the batch like the
+                    // between-queries check does; a spent step allowance is a result.
+                    if decision.exhausted == Some(Exhausted::Deadline) {
+                        deadline_hit.store(true, Ordering::Relaxed);
+                        break;
+                    }
                     buffer.push((q, decision));
                 }
             } else {
@@ -630,6 +727,7 @@ impl Workspace {
                             let next = &next;
                             let deadline_hit = &deadline_hit;
                             let artifacts = &artifacts;
+                            let budget = &budget;
                             scope.spawn(move || {
                                 loop {
                                     if deadline_hit.load(Ordering::Relaxed) {
@@ -641,10 +739,15 @@ impl Workspace {
                                     }
                                     let i = next.fetch_add(1, Ordering::Relaxed);
                                     let Some(&q) = missing.get(i) else { break };
-                                    let decision = self.solver.decide_with_artifacts(
+                                    let decision = self.solver.decide_budgeted(
                                         &artifacts.compiled,
                                         &self.queries[q.0].path,
+                                        budget,
                                     );
+                                    if decision.exhausted == Some(Exhausted::Deadline) {
+                                        deadline_hit.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
                                     local.push((q, decision));
                                 }
                                 local
@@ -674,8 +777,15 @@ impl Workspace {
                 if batch.is_empty() {
                     continue;
                 }
-                let mut shard = shard.lock().unwrap();
+                let mut shard = lock_recovering(shard);
                 for (q, decision) in batch {
+                    // Budget-exhausted decisions are served but never cached: the
+                    // `Unknown` reflects this request's allowance, not the instance.
+                    if decision.exhausted.is_some() {
+                        CacheStats::bump(&self.stats.resource_exhausted);
+                        scratch.resolved.insert(q, Arc::new(decision));
+                        continue;
+                    }
                     let stored = shard
                         .entry((dtd, q))
                         .or_insert_with(|| Arc::new(decision))
@@ -853,6 +963,57 @@ mod tests {
         // Without a deadline the same batch completes, reusing anything published.
         let served = ws.decide_batch(d, &ids, 2).unwrap();
         assert_eq!(served.len(), ids.len());
+    }
+
+    #[test]
+    fn exhausted_decisions_are_served_but_never_cached() {
+        let mut ws = Workspace::default();
+        let d = ws
+            .register_dtd("r -> a*; a -> b | c; b -> #; c -> #;")
+            .unwrap();
+        let q = ws.intern("a[not(b)]").unwrap();
+        let capped = ws.decide_governed(d, q, &Budget::steps(1)).unwrap();
+        assert!(capped.decision.exhausted.is_some());
+        assert!(matches!(
+            capped.decision.result,
+            xpsat_core::Satisfiability::Unknown
+        ));
+        assert_eq!(ws.stats().resource_exhausted, 1);
+        // The Unknown was not published: an unconstrained retry computes fresh and
+        // gets the real verdict.
+        let free = ws.decide(d, q).unwrap();
+        assert!(!free.cached);
+        assert!(matches!(
+            free.decision.result,
+            xpsat_core::Satisfiability::Satisfiable(_)
+        ));
+
+        // Same through the batch path.
+        let mut ws = Workspace::default();
+        let d = ws
+            .register_dtd("r -> a*; a -> b | c; b -> #; c -> #;")
+            .unwrap();
+        let qs = [ws.intern("a[not(b)]").unwrap(), ws.intern("a/b").unwrap()];
+        let served = ws
+            .decide_batch_governed(d, &qs, 2, None, Some(1), &mut BatchScratch::default())
+            .unwrap();
+        assert!(served[0].decision.exhausted.is_some());
+        let retry = ws.decide(d, qs[0]).unwrap();
+        assert!(!retry.cached);
+        assert!(retry.decision.exhausted.is_none());
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        let mut ws = Workspace::default();
+        match ws.register_dtd("r -> (a; a -> #;").unwrap_err() {
+            ServiceError::DtdParse { span, .. } => assert!(span.0 < "r -> (a; a -> #;".len()),
+            other => panic!("expected DtdParse, got {other:?}"),
+        }
+        match ws.intern("a/ |b").unwrap_err() {
+            ServiceError::QueryParse { span, .. } => assert_eq!(span, (3, 1)),
+            other => panic!("expected QueryParse, got {other:?}"),
+        }
     }
 
     #[test]

@@ -36,4 +36,7 @@ pub mod rewrite;
 pub use ast::{CmpOp, Path, Qualifier};
 pub use features::{Features, Fragment};
 pub use inverse::{containment_witness_query, inverse, root_test};
-pub use parse::{parse_path, parse_qualifier, ParseError};
+pub use parse::{
+    parse_path, parse_path_with_limits, parse_qualifier, parse_qualifier_with_limits, ParseError,
+    ParseLimits, Span,
+};

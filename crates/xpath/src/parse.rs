@@ -22,40 +22,93 @@
 use crate::ast::{CmpOp, Path, Qualifier};
 use std::fmt;
 
+/// A byte range into the source text an error refers to.
+///
+/// `len` may be zero (e.g. "unexpected end of input" points just past the last byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first offending byte.
+    pub offset: usize,
+    /// Length in bytes of the offending region.
+    pub len: usize,
+}
+
+impl Span {
+    /// A span covering `len` bytes starting at `offset`.
+    pub fn new(offset: usize, len: usize) -> Span {
+        Span { offset, len }
+    }
+}
+
 /// Error raised by [`parse_path`] / [`parse_qualifier`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Description of the problem.
     pub message: String,
-    /// Offset (in tokens) at which the problem was found.
-    pub position: usize,
+    /// Byte range of the offending input.
+    pub span: Span,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "XPath parse error at token {}: {}",
-            self.position, self.message
+            "XPath parse error at byte {}: {}",
+            self.span.offset, self.message
         )
     }
 }
 
 impl std::error::Error for ParseError {}
 
-/// Parse a path expression.
+/// Resource limits applied while parsing untrusted query text.
+///
+/// The parser is a recursive descent over the token stream, so unbounded nesting
+/// would translate directly into unbounded native stack usage.  `max_depth` caps the
+/// grammar nesting (filters, parentheses) well below stack exhaustion; `max_tokens`
+/// caps the token stream; the fuel budget (derived from the token count) bounds total
+/// parser work even through qualifier backtracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum grammar nesting depth (filters / parentheses / nested qualifiers).
+    pub max_depth: usize,
+    /// Maximum number of tokens accepted from one input.
+    pub max_tokens: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> ParseLimits {
+        ParseLimits {
+            max_depth: 128,
+            max_tokens: 1 << 20,
+        }
+    }
+}
+
+/// Parse a path expression with default [`ParseLimits`].
 pub fn parse_path(input: &str) -> Result<Path, ParseError> {
-    let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    parse_path_with_limits(input, &ParseLimits::default())
+}
+
+/// Parse a path expression under explicit resource limits.
+pub fn parse_path_with_limits(input: &str, limits: &ParseLimits) -> Result<Path, ParseError> {
+    let mut p = Parser::new(input, limits)?;
     let path = p.path()?;
     p.expect_end()?;
     Ok(path)
 }
 
-/// Parse a qualifier expression.
+/// Parse a qualifier expression with default [`ParseLimits`].
 pub fn parse_qualifier(input: &str) -> Result<Qualifier, ParseError> {
-    let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    parse_qualifier_with_limits(input, &ParseLimits::default())
+}
+
+/// Parse a qualifier expression under explicit resource limits.
+pub fn parse_qualifier_with_limits(
+    input: &str,
+    limits: &ParseLimits,
+) -> Result<Qualifier, ParseError> {
+    let mut p = Parser::new(input, limits)?;
     let q = p.qualifier()?;
     p.expect_end()?;
     Ok(q)
@@ -89,124 +142,135 @@ enum Token {
     KwLab,
 }
 
-fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+fn tokenize(input: &str, limits: &ParseLimits) -> Result<Vec<(Token, Span)>, ParseError> {
     let bytes = input.as_bytes();
-    let mut out = Vec::new();
+    let mut out: Vec<(Token, Span)> = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
+        if out.len() >= limits.max_tokens {
+            return Err(ParseError {
+                message: format!(
+                    "query exceeds the token budget ({} tokens)",
+                    limits.max_tokens
+                ),
+                span: Span::new(i, 1),
+            });
+        }
         let b = bytes[i];
-        match b {
-            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
-            b'/' => {
-                out.push(Token::Slash);
+        let start = i;
+        let token = match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
                 i += 1;
+                continue;
+            }
+            b'/' => {
+                i += 1;
+                Token::Slash
             }
             b'|' => {
-                out.push(Token::Pipe);
                 i += 1;
+                Token::Pipe
             }
             b'[' => {
-                out.push(Token::LBracket);
                 i += 1;
+                Token::LBracket
             }
             b']' => {
-                out.push(Token::RBracket);
                 i += 1;
+                Token::RBracket
             }
             b'(' => {
-                out.push(Token::LParen);
                 i += 1;
+                Token::LParen
             }
             b')' => {
-                out.push(Token::RParen);
                 i += 1;
+                Token::RParen
             }
             b'@' => {
-                out.push(Token::At);
                 i += 1;
+                Token::At
             }
             b'.' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'.' {
-                    out.push(Token::DotDot);
                     i += 2;
+                    Token::DotDot
                 } else {
-                    out.push(Token::Dot);
                     i += 1;
+                    Token::Dot
                 }
             }
             b'*' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                    out.push(Token::StarStar);
                     i += 2;
+                    Token::StarStar
                 } else {
-                    out.push(Token::Star);
                     i += 1;
+                    Token::Star
                 }
             }
             b'^' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                    out.push(Token::CaretStar);
                     i += 2;
+                    Token::CaretStar
                 } else {
                     return Err(ParseError {
                         message: "expected '*' after '^'".into(),
-                        position: out.len(),
+                        span: Span::new(i, 1),
                     });
                 }
             }
             b'>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    out.push(Token::GtGt);
                     i += 2;
+                    Token::GtGt
                 } else {
-                    out.push(Token::Gt);
                     i += 1;
+                    Token::Gt
                 }
             }
             b'<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'<' {
-                    out.push(Token::LtLt);
                     i += 2;
+                    Token::LtLt
                 } else {
-                    out.push(Token::Lt);
                     i += 1;
+                    Token::Lt
                 }
             }
             b'=' => {
-                out.push(Token::Eq);
                 i += 1;
+                Token::Eq
             }
             b'!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Token::Neq);
                     i += 2;
+                    Token::Neq
                 } else {
                     return Err(ParseError {
                         message: "expected '=' after '!'".into(),
-                        position: out.len(),
+                        span: Span::new(i, 1),
                     });
                 }
             }
             b'"' | b'\'' => {
                 let quote = b;
-                let start = i + 1;
-                let mut j = start;
+                let lit_start = i + 1;
+                let mut j = lit_start;
                 while j < bytes.len() && bytes[j] != quote {
                     j += 1;
                 }
                 if j >= bytes.len() {
                     return Err(ParseError {
                         message: "unterminated string literal".into(),
-                        position: out.len(),
+                        span: Span::new(start, bytes.len() - start),
                     });
                 }
-                out.push(Token::Str(
-                    String::from_utf8_lossy(&bytes[start..j]).into_owned(),
-                ));
+                let value = String::from_utf8_lossy(&bytes[lit_start..j]).into_owned();
                 i = j + 1;
+                Token::Str(value)
             }
             _ if b.is_ascii_alphanumeric() || b == b'_' => {
-                let start = i;
                 while i < bytes.len()
                     && (bytes[i].is_ascii_alphanumeric()
                         || bytes[i] == b'_'
@@ -220,37 +284,123 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                     i += 1;
                 }
                 let name = String::from_utf8_lossy(&bytes[start..i]).into_owned();
-                let token = match name.as_str() {
+                match name.as_str() {
                     "and" => Token::KwAnd,
                     "or" => Token::KwOr,
                     "not" => Token::KwNot,
                     "lab" => Token::KwLab,
                     _ => Token::Name(name),
-                };
-                out.push(token);
+                }
             }
             _ => {
                 return Err(ParseError {
                     message: format!("unexpected character '{}'", b as char),
-                    position: out.len(),
+                    span: Span::new(i, 1),
                 })
             }
-        }
+        };
+        out.push((token, Span::new(start, i - start)));
     }
     Ok(out)
 }
 
 struct Parser {
     tokens: Vec<Token>,
+    spans: Vec<Span>,
     pos: usize,
+    /// Current grammar nesting depth, capped by `max_depth`.
+    depth: usize,
+    max_depth: usize,
+    /// Remaining work budget; every parser-function entry spends one unit, so even a
+    /// pathological backtracking pattern terminates with a structured error.
+    fuel: usize,
+    /// Byte length of the input, for end-of-input spans.
+    input_len: usize,
 }
 
 impl Parser {
+    fn new(input: &str, limits: &ParseLimits) -> Result<Parser, ParseError> {
+        let lexed = tokenize(input, limits)?;
+        let (tokens, spans): (Vec<Token>, Vec<Span>) = lexed.into_iter().unzip();
+        // Linear in the token count plus slack for backtracking; nesting is already
+        // bounded by `max_depth`, so this only trips on non-progress bugs or inputs
+        // engineered to thrash the qualifier backtracking.
+        let fuel = 4096 + tokens.len().saturating_mul(64);
+        Ok(Parser {
+            tokens,
+            spans,
+            pos: 0,
+            depth: 0,
+            max_depth: limits.max_depth,
+            fuel,
+            input_len: input.len(),
+        })
+    }
+
+    /// The span of the token at `pos`, or a zero-length span at end of input.
+    fn span_at(&self, pos: usize) -> Span {
+        self.spans
+            .get(pos)
+            .copied()
+            .unwrap_or(Span::new(self.input_len, 0))
+    }
+
     fn error(&self, message: impl Into<String>) -> ParseError {
         ParseError {
             message: message.into(),
-            position: self.pos,
+            span: self.span_at(self.pos),
         }
+    }
+
+    /// An error raised just after a `bump`: points at the consumed token, or at end of
+    /// input when `bump` returned `None`.
+    fn error_after_bump(&self, consumed: &Option<Token>, message: impl Into<String>) -> ParseError {
+        let at = if consumed.is_some() {
+            self.pos.saturating_sub(1)
+        } else {
+            self.pos
+        };
+        ParseError {
+            message: message.into(),
+            span: self.span_at(at),
+        }
+    }
+
+    /// Charge one unit of fuel and enter one nesting level.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.spend()?;
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(self.error(format!(
+                "query nesting exceeds the depth limit ({})",
+                self.max_depth
+            )));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    /// Run `f` one nesting level deeper; the depth counter is restored even when `f`
+    /// fails, so qualifier backtracking (which swallows errors) stays balanced.
+    fn with_depth<T>(
+        &mut self,
+        f: impl FnOnce(&mut Parser) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        self.enter()?;
+        let result = f(self);
+        self.leave();
+        result
+    }
+
+    fn spend(&mut self) -> Result<(), ParseError> {
+        if self.fuel == 0 {
+            return Err(self.error("query exceeds the parser work budget"));
+        }
+        self.fuel -= 1;
+        Ok(())
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -291,11 +441,13 @@ impl Parser {
     }
 
     fn path(&mut self) -> Result<Path, ParseError> {
-        let mut alts = vec![self.sequence()?];
-        while self.eat(&Token::Pipe) {
-            alts.push(self.sequence()?);
-        }
-        Ok(Path::union_all(alts))
+        self.with_depth(|p| {
+            let mut alts = vec![p.sequence()?];
+            while p.eat(&Token::Pipe) {
+                alts.push(p.sequence()?);
+            }
+            Ok(Path::union_all(alts))
+        })
     }
 
     fn sequence(&mut self) -> Result<Path, ParseError> {
@@ -340,20 +492,25 @@ impl Parser {
                 self.expect(Token::RParen)?;
                 Ok(p)
             }
-            other => Err(self.error(format!("expected a path step, found {other:?}"))),
+            other => {
+                let msg = format!("expected a path step, found {other:?}");
+                Err(self.error_after_bump(&other, msg))
+            }
         }
     }
 
     fn qualifier(&mut self) -> Result<Qualifier, ParseError> {
-        let mut disjuncts = vec![self.conjunction()?];
-        while self.eat(&Token::KwOr) {
-            disjuncts.push(self.conjunction()?);
-        }
-        let mut acc = disjuncts.pop().expect("nonempty");
-        while let Some(q) = disjuncts.pop() {
-            acc = Qualifier::Or(Box::new(q), Box::new(acc));
-        }
-        Ok(acc)
+        self.with_depth(|p| {
+            let mut disjuncts = vec![p.conjunction()?];
+            while p.eat(&Token::KwOr) {
+                disjuncts.push(p.conjunction()?);
+            }
+            let mut acc = disjuncts.pop().expect("nonempty");
+            while let Some(q) = disjuncts.pop() {
+                acc = Qualifier::Or(Box::new(q), Box::new(acc));
+            }
+            Ok(acc)
+        })
     }
 
     fn conjunction(&mut self) -> Result<Qualifier, ParseError> {
@@ -385,7 +542,8 @@ impl Parser {
                 match self.bump() {
                     Some(Token::Name(n)) => Ok(Qualifier::LabelIs(n)),
                     other => {
-                        Err(self.error(format!("expected a label after lab() =, found {other:?}")))
+                        let msg = format!("expected a label after lab() =, found {other:?}");
+                        Err(self.error_after_bump(&other, msg))
                     }
                 }
             }
@@ -419,9 +577,9 @@ impl Parser {
                     Some(Token::Eq) => CmpOp::Eq,
                     Some(Token::Neq) => CmpOp::Ne,
                     other => {
-                        return Err(self.error(format!(
-                            "expected '=' or '!=' after attribute access, found {other:?}"
-                        )))
+                        let msg =
+                            format!("expected '=' or '!=' after attribute access, found {other:?}");
+                        return Err(self.error_after_bump(&other, msg));
                     }
                 };
                 match self.peek() {
@@ -491,7 +649,10 @@ impl Parser {
     fn attr_name(&mut self) -> Result<String, ParseError> {
         match self.bump() {
             Some(Token::Name(n)) => Ok(n),
-            other => Err(self.error(format!("expected an attribute name, found {other:?}"))),
+            other => {
+                let msg = format!("expected an attribute name, found {other:?}");
+                Err(self.error_after_bump(&other, msg))
+            }
         }
     }
 }
@@ -600,10 +761,65 @@ mod tests {
     }
 
     #[test]
-    fn reports_errors_with_position() {
+    fn reports_errors_with_spans() {
         assert!(parse_path("a//").is_err());
         assert!(parse_path("a[").is_err());
         assert!(parse_qualifier("@x >").is_err());
-        assert!(parse_path("a ^ b").is_err());
+        // Tokenizer errors point at the offending byte.
+        let err = parse_path("a ^ b").unwrap_err();
+        assert_eq!(err.span, Span::new(2, 1));
+        // Parser errors point at the offending token's byte range.
+        let err = parse_path("a/ |b").unwrap_err();
+        assert_eq!(err.span, Span::new(3, 1));
+        // End-of-input errors carry a zero-length span just past the input.
+        let err = parse_path("a[b").unwrap_err();
+        assert_eq!(err.span, Span::new(3, 0));
+        let err = parse_path("a/").unwrap_err();
+        assert_eq!(err.span, Span::new(2, 0));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // 100k nested qualifiers: must come back as a structured depth error, never a
+        // native stack overflow.
+        let mut q = String::from("a");
+        for _ in 0..100_000 {
+            q.push_str("[a");
+        }
+        let err = parse_path(&q).unwrap_err();
+        assert!(err.message.contains("depth limit"), "{err}");
+        assert!(err.span.offset > 0);
+
+        // Same for parenthesised paths.
+        let deep = format!("{}a{}", "(".repeat(100_000), ")".repeat(100_000));
+        let err = parse_path(&deep).unwrap_err();
+        assert!(err.message.contains("depth limit"), "{err}");
+
+        // A comfortably nested query still parses under the default limits.
+        let mut ok = String::from("a");
+        for _ in 0..60 {
+            ok.push_str("[a");
+        }
+        ok.push_str(&"]".repeat(60));
+        assert!(parse_path(&ok).is_ok());
+    }
+
+    #[test]
+    fn token_budget_is_enforced() {
+        let limits = ParseLimits {
+            max_tokens: 8,
+            ..ParseLimits::default()
+        };
+        let err = parse_path_with_limits("a/b/c/d/e/f", &limits).unwrap_err();
+        assert!(err.message.contains("token budget"), "{err}");
+        assert!(parse_path_with_limits("a/b/c", &limits).is_ok());
+    }
+
+    #[test]
+    fn backtracking_keeps_depth_balanced() {
+        // Parenthesised qualifiers force the try-path-then-qualifier backtrack at each
+        // level; depth accounting must stay balanced or this errors spuriously.
+        let nested = format!("a[{}b or c{}]", "(".repeat(40), ")".repeat(40));
+        assert!(parse_path(&nested).is_ok());
     }
 }
