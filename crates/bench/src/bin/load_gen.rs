@@ -13,9 +13,17 @@
 //! throughput and error counts, and `--merge-into BENCH_xpsat.json` records it as
 //! the `served_traffic` section next to the in-process numbers.
 //!
+//! Failures the server marks `"retryable":true` (overload shedding, rate limits,
+//! drains) can be retried client-side: `--retries N` re-submits each such request
+//! closed-loop after the main run, with jittered exponential backoff
+//! (`--retry-backoff-ms` base).  The report then counts `retries` (resends) and
+//! `gave_up` (requests still failing after the last attempt); error counters
+//! reflect final outcomes, so a flood that recovers on retry reads as success.
+//!
 //! ```text
 //! load_gen --addr 127.0.0.1:7878 [--connections 4] [--rate 200] [--requests 100]
 //!          [--seed 2005] [--dtds 3] [--tenants 1] [--deadline-ms MS]
+//!          [--retries N] [--retry-backoff-ms MS]
 //!          [--out FILE] [--merge-into BENCH_xpsat.json]
 //! ```
 
@@ -36,6 +44,8 @@ struct Options {
     dtds: usize,
     tenants: usize,
     deadline_ms: Option<u64>,
+    retries: u32,
+    retry_backoff_ms: u64,
     out: Option<String>,
     merge_into: Option<String>,
 }
@@ -50,6 +60,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         dtds: 3,
         tenants: 1,
         deadline_ms: None,
+        retries: 0,
+        retry_backoff_ms: 25,
         out: None,
         merge_into: None,
     };
@@ -75,6 +87,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--tenants" => options.tenants = numeric("--tenants", value_of("--tenants")?)?,
             "--deadline-ms" => {
                 options.deadline_ms = Some(numeric("--deadline-ms", value_of("--deadline-ms")?)?)
+            }
+            "--retries" => options.retries = numeric("--retries", value_of("--retries")?)?,
+            "--retry-backoff-ms" => {
+                options.retry_backoff_ms =
+                    numeric("--retry-backoff-ms", value_of("--retry-backoff-ms")?)?
             }
             "--out" => options.out = Some(value_of("--out")?),
             "--merge-into" => options.merge_into = Some(value_of("--merge-into")?),
@@ -196,13 +213,62 @@ struct ConnReport {
     deadline_exceeded: u64,
     registered_cached: u64,
     protocol_errors: u64,
+    /// Resends issued by the client-side retry pass (`--retries`).
+    retries: u64,
+    /// Requests still failing retryably after the final retry attempt.
+    gave_up: u64,
     /// Failures tallied by the structured `error.kind` of the response
     /// (overloaded / deadline_exceeded / resource_exhausted / internal_error / …).
+    /// With retries enabled these reflect *final* outcomes.
     errors_by_kind: std::collections::BTreeMap<String, u64>,
 }
 
-fn drive_connection(addr: &str, script: Script) -> Result<ConnReport, String> {
+/// Count one final response into the report.  Returns whether it was a success.
+fn tally(report: &mut ConnReport, parsed: &Json) -> bool {
+    if parsed.get("ok").and_then(Json::as_bool) == Some(true) {
+        let batch = parsed
+            .get("results")
+            .and_then(Json::as_array)
+            .map(|r| r.len() as u64);
+        report.queries += batch.unwrap_or(1);
+        true
+    } else {
+        let kind = parsed
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .unwrap_or("unstructured")
+            .to_string();
+        match kind.as_str() {
+            "overloaded" => report.overloaded += 1,
+            "deadline_exceeded" => report.deadline_exceeded += 1,
+            _ => report.errors += 1,
+        }
+        *report.errors_by_kind.entry(kind).or_insert(0) += 1;
+        false
+    }
+}
+
+/// Did the server mark this failure worth retrying?
+fn is_retryable_failure(parsed: &Json) -> bool {
+    parsed.get("ok").and_then(Json::as_bool) == Some(false)
+        && parsed
+            .get("error")
+            .and_then(|e| e.get("retryable"))
+            .and_then(Json::as_bool)
+            == Some(true)
+}
+
+fn drive_connection(
+    addr: &str,
+    script: Script,
+    connection: usize,
+    options: &Options,
+) -> Result<ConnReport, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    // Request/response over small lines: without TCP_NODELAY the measured
+    // latency is mostly Nagle + delayed ACK, not the server.
+    let _ = stream.set_nodelay(true);
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
         .map_err(|e| e.to_string())?;
@@ -231,6 +297,7 @@ fn drive_connection(addr: &str, script: Script) -> Result<ConnReport, String> {
 
     let start = Instant::now();
     let schedule: Vec<Duration> = script.requests.iter().map(|(at, _, _)| *at).collect();
+    let lines: Vec<String> = script.requests.iter().map(|(_, l, _)| l.clone()).collect();
     let writer_thread = std::thread::spawn(move || -> Result<(), String> {
         for (at, line, _) in &script.requests {
             if let Some(wait) = at.checked_sub(start.elapsed()) {
@@ -242,7 +309,8 @@ fn drive_connection(addr: &str, script: Script) -> Result<ConnReport, String> {
         Ok(())
     });
 
-    for at in &schedule {
+    let mut retry_queue: Vec<usize> = Vec::new();
+    for (i, at) in schedule.iter().enumerate() {
         response.clear();
         if reader.read_line(&mut response).map_err(|e| e.to_string())? == 0 {
             report.protocol_errors += 1;
@@ -254,25 +322,11 @@ fn drive_connection(addr: &str, script: Script) -> Result<ConnReport, String> {
         match Json::parse(response.trim()) {
             Err(_) => report.protocol_errors += 1,
             Ok(parsed) => {
-                if parsed.get("ok").and_then(Json::as_bool) == Some(true) {
-                    let batch = parsed
-                        .get("results")
-                        .and_then(Json::as_array)
-                        .map(|r| r.len() as u64);
-                    report.queries += batch.unwrap_or(1);
+                if options.retries > 0 && is_retryable_failure(&parsed) {
+                    // Deferred: the retry pass below decides the final outcome.
+                    retry_queue.push(i);
                 } else {
-                    let kind = parsed
-                        .get("error")
-                        .and_then(|e| e.get("kind"))
-                        .and_then(Json::as_str)
-                        .unwrap_or("unstructured")
-                        .to_string();
-                    match kind.as_str() {
-                        "overloaded" => report.overloaded += 1,
-                        "deadline_exceeded" => report.deadline_exceeded += 1,
-                        _ => report.errors += 1,
-                    }
-                    *report.errors_by_kind.entry(kind).or_insert(0) += 1;
+                    tally(&mut report, &parsed);
                 }
             }
         }
@@ -280,6 +334,53 @@ fn drive_connection(addr: &str, script: Script) -> Result<ConnReport, String> {
     writer_thread
         .join()
         .map_err(|_| "writer thread panicked".to_string())??;
+
+    // Closed-loop retry pass: jittered exponential backoff, honouring the
+    // server's own `retryable` verdict.  Runs after the open-loop phase so the
+    // resends never perturb the measured schedule.
+    if !retry_queue.is_empty() {
+        let mut rng = StdRng::seed_from_u64(
+            options
+                .seed
+                .wrapping_mul(0xA24B_AED4_963E_E407)
+                .wrapping_add(connection as u64),
+        );
+        let mut writer = reader
+            .get_ref()
+            .try_clone()
+            .map_err(|e| format!("reopen writer for retries: {e}"))?;
+        'requests: for i in retry_queue {
+            let mut settled = false;
+            for attempt in 0..options.retries {
+                let backoff_ms = options.retry_backoff_ms.saturating_mul(1 << attempt.min(6));
+                let jitter = 0.5 + unit_open(&mut rng); // 0.5x .. 1.5x
+                std::thread::sleep(Duration::from_secs_f64(backoff_ms as f64 / 1000.0 * jitter));
+                report.retries += 1;
+                writeln!(writer, "{}", lines[i]).map_err(|e| e.to_string())?;
+                writer.flush().map_err(|e| e.to_string())?;
+                response.clear();
+                if reader.read_line(&mut response).map_err(|e| e.to_string())? == 0 {
+                    report.protocol_errors += 1;
+                    break 'requests;
+                }
+                let Ok(parsed) = Json::parse(response.trim()) else {
+                    report.protocol_errors += 1;
+                    continue;
+                };
+                if is_retryable_failure(&parsed) && attempt + 1 < options.retries {
+                    continue; // back off harder and try again
+                }
+                if !tally(&mut report, &parsed) && is_retryable_failure(&parsed) {
+                    report.gave_up += 1;
+                }
+                settled = true;
+                break;
+            }
+            if !settled {
+                report.gave_up += 1;
+            }
+        }
+    }
     let _ = script.tenant;
     Ok(report)
 }
@@ -304,11 +405,11 @@ fn main() -> ExitCode {
 
     let started = Instant::now();
     let reports: Vec<Result<ConnReport, String>> = std::thread::scope(|scope| {
+        let options = &options;
         let handles: Vec<_> = (0..options.connections)
             .map(|c| {
-                let script = build_script(&options, c);
-                let addr = options.addr.clone();
-                scope.spawn(move || drive_connection(&addr, script))
+                let script = build_script(options, c);
+                scope.spawn(move || drive_connection(&options.addr, script, c, options))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -326,6 +427,8 @@ fn main() -> ExitCode {
                 merged.deadline_exceeded += report.deadline_exceeded;
                 merged.registered_cached += report.registered_cached;
                 merged.protocol_errors += report.protocol_errors;
+                merged.retries += report.retries;
+                merged.gave_up += report.gave_up;
                 for (kind, count) in report.errors_by_kind {
                     *merged.errors_by_kind.entry(kind).or_insert(0) += count;
                 }
@@ -351,6 +454,7 @@ fn main() -> ExitCode {
 \"rate_per_conn\": {:.1}, \"duration_s\": {:.3}, \"throughput_qps\": {:.0}, \
 \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}, \
 \"errors\": {}, \"protocol_errors\": {}, \"overloaded\": {}, \"deadline_exceeded\": {}, \
+\"retries\": {}, \"gave_up\": {}, \
 \"errors_by_kind\": {{{by_kind}}}, \"registered_cached\": {}, \"seed\": {}}}",
         options.connections,
         options.connections * options.requests,
@@ -367,6 +471,8 @@ fn main() -> ExitCode {
         merged.protocol_errors,
         merged.overloaded,
         merged.deadline_exceeded,
+        merged.retries,
+        merged.gave_up,
         merged.registered_cached,
         options.seed,
     );

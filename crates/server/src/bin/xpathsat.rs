@@ -16,8 +16,10 @@
 //! preprocessing summary.  `bench-gen` emits a reproducible JSON-lines workload
 //! (`register_dtd` + a large `batch` + `stats`) ready to pipe back into `xpathsat
 //! batch`.  `serve` runs the same protocol as a persistent multi-tenant TCP (or
-//! Unix-socket) daemon with an on-disk artifact cache; `connect` pipes a script to a
-//! running daemon; `stats` asks one for its counters.
+//! Unix-socket) daemon with an on-disk artifact cache, tenant-fair scheduling and a
+//! graceful drain lifecycle; `connect` pipes a script to a running daemon; `stats`
+//! asks one for its counters; `health` probes liveness; `drain` asks it to shut
+//! down gracefully (finish in-flight work, refuse new work, flush, exit).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,11 +36,17 @@ USAGE:
     xpathsat classify --dtd <file|->
     xpathsat bench-gen [--depth D] [--width W] [--queries N] [--seed S] [--threads T]
     xpathsat serve [--addr A | --unix PATH] [--workers N] [--queue N]
+                   [--decide-workers N] [--request-queue N]
                    [--max-inflight N] [--deadline-ms MS] [--max-steps N]
+                   [--tenant-rate QPS] [--tenant-burst N] [--tenant-inflight N]
+                   [--tenant-weight NAME=W]... [--shed-target-ms MS]
+                   [--drain-deadline-ms MS] [--watchdog-ms MS]
                    [--cache-dir DIR] [--max-resident N] [--max-line-bytes N]
                    [--threads T]
     xpathsat connect (--addr A | --unix PATH) [--input <file>]
     xpathsat stats (--addr A | --unix PATH) [--tenant NAME]
+    xpathsat health (--addr A | --unix PATH)
+    xpathsat drain (--addr A | --unix PATH)
 
 SUBCOMMANDS:
     check       Decide queries against a DTD, one verdict per line
@@ -48,6 +56,8 @@ SUBCOMMANDS:
     serve       Run the protocol as a persistent TCP/Unix-socket daemon
     connect     Pipe protocol lines (stdin or --input) to a running daemon
     stats       Print a running daemon's counters as one JSON line
+    health      Print a running daemon's lifecycle phase and load as one JSON line
+    drain       Gracefully shut a running daemon down (it finishes in-flight work)
 
 OPTIONS:
     --dtd <file|->     DTD in the workspace's textual syntax ('-' reads stdin)
@@ -63,7 +73,21 @@ OPTIONS:
     --unix PATH        serve/connect/stats: Unix-socket path instead of TCP
     --workers N        serve: connection worker threads (default: CPUs, min 4)
     --queue N          serve: pending-connection queue bound (default 32)
+    --decide-workers N serve: decide worker threads (default: CPUs, min 2)
+    --request-queue N  serve: fair-scheduler request queue bound (default 256)
     --max-inflight N   serve: in-flight query admission bound (default 256)
+    --tenant-rate QPS  serve: per-tenant token-bucket refill rate in query cost
+                       per second (default: unlimited)
+    --tenant-burst N   serve: token-bucket burst capacity (default 64)
+    --tenant-inflight N serve: per-tenant queued+executing cost quota (default:
+                       unbounded)
+    --tenant-weight NAME=W serve: scheduling weight for a tenant (repeatable;
+                       unlisted tenants weigh 1)
+    --shed-target-ms MS serve: CoDel shed target for queue delay (default 200;
+                       0 disables adaptive shedding)
+    --drain-deadline-ms MS serve: graceful-shutdown drain deadline (default 5000)
+    --watchdog-ms MS   serve: stuck-worker watchdog threshold (default 30000;
+                       0 disables the watchdog)
     --deadline-ms MS   serve: default per-request deadline (default: none)
     --max-steps N      serve: default per-decision solver step budget; a decision
                        that spends it answers resource_exhausted (default: none)
@@ -87,6 +111,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "connect" => cmd_connect(rest),
         "stats" => cmd_stats(rest),
+        "health" => cmd_one_shot_op(rest, "health"),
+        "drain" => cmd_one_shot_op(rest, "drain"),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -132,7 +158,16 @@ struct Options {
     unix: Option<String>,
     workers: usize,
     queue: usize,
+    decide_workers: usize,
+    request_queue: usize,
     max_inflight: u64,
+    tenant_rate: Option<f64>,
+    tenant_burst: f64,
+    tenant_inflight: Option<u64>,
+    tenant_weights: Vec<(String, u64)>,
+    shed_target_ms: Option<u64>,
+    drain_deadline_ms: u64,
+    watchdog_ms: Option<u64>,
     deadline_ms: Option<u64>,
     max_steps: Option<u64>,
     cache_dir: Option<String>,
@@ -156,7 +191,16 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         unix: None,
         workers: 0,
         queue: 32,
+        decide_workers: 0,
+        request_queue: 256,
         max_inflight: 256,
+        tenant_rate: None,
+        tenant_burst: 64.0,
+        tenant_inflight: None,
+        tenant_weights: Vec::new(),
+        shed_target_ms: Some(200),
+        drain_deadline_ms: 5_000,
+        watchdog_ms: Some(30_000),
         deadline_ms: None,
         max_steps: None,
         cache_dir: None,
@@ -190,8 +234,50 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--unix" => options.unix = Some(value_of("--unix")?),
             "--workers" => options.workers = numeric("--workers", value_of("--workers")?)?,
             "--queue" => options.queue = numeric("--queue", value_of("--queue")?)?,
+            "--decide-workers" => {
+                options.decide_workers = numeric("--decide-workers", value_of("--decide-workers")?)?
+            }
+            "--request-queue" => {
+                options.request_queue = numeric("--request-queue", value_of("--request-queue")?)?
+            }
             "--max-inflight" => {
                 options.max_inflight = numeric("--max-inflight", value_of("--max-inflight")?)?
+            }
+            "--tenant-rate" => {
+                options.tenant_rate = Some(numeric("--tenant-rate", value_of("--tenant-rate")?)?)
+            }
+            "--tenant-burst" => {
+                options.tenant_burst = numeric("--tenant-burst", value_of("--tenant-burst")?)?
+            }
+            "--tenant-inflight" => {
+                options.tenant_inflight = Some(numeric(
+                    "--tenant-inflight",
+                    value_of("--tenant-inflight")?,
+                )?)
+            }
+            "--tenant-weight" => {
+                let spec = value_of("--tenant-weight")?;
+                let (name, weight) = spec.split_once('=').ok_or_else(|| {
+                    CliError::Usage("--tenant-weight needs NAME=WEIGHT".to_string())
+                })?;
+                let weight: u64 = weight.parse().map_err(|_| {
+                    CliError::Usage("--tenant-weight needs an integer weight".to_string())
+                })?;
+                options
+                    .tenant_weights
+                    .push((name.to_string(), weight.max(1)));
+            }
+            "--shed-target-ms" => {
+                let ms: u64 = numeric("--shed-target-ms", value_of("--shed-target-ms")?)?;
+                options.shed_target_ms = (ms > 0).then_some(ms);
+            }
+            "--drain-deadline-ms" => {
+                options.drain_deadline_ms =
+                    numeric("--drain-deadline-ms", value_of("--drain-deadline-ms")?)?
+            }
+            "--watchdog-ms" => {
+                let ms: u64 = numeric("--watchdog-ms", value_of("--watchdog-ms")?)?;
+                options.watchdog_ms = (ms > 0).then_some(ms);
             }
             "--deadline-ms" => {
                 options.deadline_ms = Some(numeric("--deadline-ms", value_of("--deadline-ms")?)?)
@@ -520,7 +606,16 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         bind,
         workers: options.workers,
         queue_depth: options.queue,
+        decide_workers: options.decide_workers,
         max_inflight_queries: options.max_inflight,
+        request_queue_depth: options.request_queue,
+        tenant_rate_qps: options.tenant_rate,
+        tenant_burst: options.tenant_burst,
+        tenant_max_inflight: options.tenant_inflight,
+        tenant_weights: options.tenant_weights.clone(),
+        shed_target_ms: options.shed_target_ms,
+        drain_deadline_ms: options.drain_deadline_ms,
+        watchdog_stuck_ms: options.watchdog_ms,
         default_deadline_ms: options.deadline_ms,
         default_max_steps: options.max_steps,
         max_line_bytes: options.max_line_bytes,
@@ -545,9 +640,11 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     println!("{}", Json::obj(ready));
     std::io::stdout().flush()?;
-    loop {
-        std::thread::park();
-    }
+    // Serve until something initiates drain (the `drain` protocol op, typically) —
+    // then finish in-flight work, abort the rest at the drain deadline, flush the
+    // artifact store, and exit cleanly.
+    handle.wait();
+    Ok(())
 }
 
 fn cmd_connect(args: &[String]) -> Result<(), CliError> {
@@ -584,6 +681,20 @@ fn cmd_connect(args: &[String]) -> Result<(), CliError> {
         }
         out.write_all(response.as_bytes())?;
     }
+    Ok(())
+}
+
+/// `health` / `drain`: send one lifecycle op, print the one-line answer.
+fn cmd_one_shot_op(args: &[String], op: &str) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let (mut reader, mut writer) = ClientConn::open(&options)?.split()?;
+    writeln!(writer, "{}", Json::obj(vec![("op", Json::Str(op.into()))]))?;
+    writer.flush()?;
+    let mut response = String::new();
+    if reader.read_line(&mut response)? == 0 {
+        return Err(CliError::Runtime("server closed the connection".into()));
+    }
+    print!("{response}");
     Ok(())
 }
 

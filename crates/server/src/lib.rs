@@ -6,16 +6,26 @@
 //! amortisation survives *across processes and machines*:
 //!
 //! * [`Server`] — a `std::net` TCP (or Unix-socket) listener speaking the same
-//!   JSON-lines protocol as `xpathsat` stdio mode, with a hand-rolled worker pool
-//!   (no async runtime, no extra dependencies).  Connections beyond the worker pool
-//!   wait in a bounded queue ([`pool::BoundedQueue`]); connections beyond *that*
-//!   are refused with an explicit `overloaded` response — backpressure is a protocol
-//!   feature, not a TCP accident.
+//!   JSON-lines protocol as `xpathsat` stdio mode, with hand-rolled thread pools
+//!   (no async runtime, no extra dependencies).  Connections beyond the connection
+//!   pool wait in a bounded queue ([`pool::BoundedQueue`]); connections beyond
+//!   *that* are refused with an explicit `overloaded` response — backpressure is a
+//!   protocol feature, not a TCP accident.
 //! * Tenants — each request may carry a `"tenant"` field; every tenant gets its own
 //!   [`xpsat_service::Workspace`] (own DTD ids, interner, decision cache), so two
 //!   clients sharing a server cannot observe each other's registrations.  Resident
 //!   compiled artifacts are bounded per tenant (LRU eviction + transparent
 //!   rematerialisation).
+//! * Fairness — requests are dispatched by a tenant-fair scheduler
+//!   ([`fair::FairScheduler`]): deficit round-robin over per-tenant sub-queues
+//!   (weighted via `tenant_weights`), per-tenant token-bucket rate limits and
+//!   in-flight quotas, CoDel-style shedding when queue delay stays above target,
+//!   and queue-full eviction from the *largest* backlog.  A flooding tenant is the
+//!   one that sees `overloaded`; everyone else keeps their latency.
+//! * Lifecycle — `health` and `drain` protocol ops, a drain-aware
+//!   [`ServerHandle::shutdown`] (stop admitting, finish or deadline-abort in-flight
+//!   work with `shutting_down` answers, flush the artifact store, join threads) and
+//!   a watchdog that replaces decide workers stuck past `watchdog_stuck_ms`.
 //! * Persistence — with a cache directory configured, every tenant workspace is
 //!   backed by an [`xpsat_service::ArtifactStore`]: a restarted (or sibling) server
 //!   loads compiled artifacts from disk instead of re-running classification,
@@ -24,22 +34,21 @@
 //! * Deadlines — a server-wide default deadline (and per-request `"deadline_ms"`)
 //!   bounds tail latency; expired requests answer `"deadline_exceeded":true` while
 //!   still publishing partial progress to the decision cache.
-//! * An in-flight query gate ([`gate::InflightGate`]) bounds the total decide work
-//!   admitted at once (a batch of `n` queries costs `n` permits); requests beyond
-//!   the bound answer `"overloaded":true` immediately instead of queueing without
-//!   bound.
 //!
 //! The `xpathsat` binary (in this crate) fronts both modes: `serve` runs the daemon,
 //! `connect` pipes a script to a running server, and the stdio subcommands from the
 //! service crate continue to work unchanged.
 
-pub mod gate;
+pub mod fair;
+pub mod lifecycle;
 pub mod pool;
+pub mod responses;
 pub mod server;
 pub mod stats;
 pub mod tenant;
 
-pub use gate::InflightGate;
+pub use fair::{FairConfig, FairScheduler, LaneSnapshot, SchedulerTotals};
+pub use lifecycle::{Lifecycle, Phase, WorkerHeart};
 pub use pool::{BoundedQueue, PushError};
 pub use server::{Server, ServerHandle};
 pub use stats::{ServerStats, ServerStatsSnapshot};
@@ -63,15 +72,48 @@ pub enum Bind {
 pub struct ServerConfig {
     /// Listen address.
     pub bind: Bind,
-    /// Worker threads serving connections (each worker owns one connection at a
-    /// time); `0` means [`default_workers`].
+    /// Connection threads (each owns one connection at a time, doing framing and
+    /// admission, never decide work); `0` means [`default_workers`].
     pub workers: usize,
-    /// Bound on connections waiting for a free worker; connections arriving beyond
-    /// it are answered with an `overloaded` error and closed.
+    /// Bound on connections waiting for a free connection thread; connections
+    /// arriving beyond it are answered with an `overloaded` error and closed.
     pub queue_depth: usize,
-    /// Bound on the total queries being decided at once across all workers (a batch
-    /// of `n` costs `n`); requests that would exceed it answer `overloaded`.
+    /// Decide worker threads executing fair-scheduled requests; `0` means
+    /// [`default_decide_workers`].
+    pub decide_workers: usize,
+    /// Bound on the total queries admitted at once across all tenants, queued +
+    /// executing (a batch of `n` costs `n`); requests that would exceed it answer
+    /// `overloaded`.
     pub max_inflight_queries: u64,
+    /// Bound on *requests* waiting in the fair scheduler across all tenants.  At
+    /// the bound, the newest job of the most-backlogged tenant is shed (answered
+    /// `overloaded`) to admit other tenants' arrivals.
+    pub request_queue_depth: usize,
+    /// Per-tenant token-bucket refill rate in query-cost units per second; a tenant
+    /// submitting faster answers `overloaded` (rate-limited) without affecting
+    /// anyone else.  `None` disables rate limiting.
+    pub tenant_rate_qps: Option<f64>,
+    /// Token-bucket capacity (burst allowance) when `tenant_rate_qps` is set.
+    pub tenant_burst: f64,
+    /// Per-tenant bound on queued + executing query cost; `None` = unbounded.
+    pub tenant_max_inflight: Option<u64>,
+    /// Per-tenant scheduling weights (name, weight); unlisted tenants weigh 1.  A
+    /// weight-4 tenant drains 4× the query cost of a weight-1 tenant per round when
+    /// both are backlogged.
+    pub tenant_weights: Vec<(String, u64)>,
+    /// CoDel-style shed target: when measured queue delay stays above this for
+    /// `shed_interval_ms`, over-fair-share backlog is shed until delay recovers.
+    /// `None` disables adaptive shedding.
+    pub shed_target_ms: Option<u64>,
+    /// How long queue delay must stay above `shed_target_ms` before shedding.
+    pub shed_interval_ms: u64,
+    /// How long a graceful shutdown waits for queued + in-flight work before
+    /// aborting the remainder with `shutting_down` answers.
+    pub drain_deadline_ms: u64,
+    /// A decide worker on one job longer than this is declared stuck: the watchdog
+    /// replaces it (restoring pool capacity) and its requester is answered
+    /// `internal_error`.  `None` disables the watchdog.
+    pub watchdog_stuck_ms: Option<u64>,
     /// Deadline applied to `check`/`batch` requests that carry no `deadline_ms`.
     pub default_deadline_ms: Option<u64>,
     /// Per-decision solver step budget applied to `check`/`batch` requests that carry
@@ -106,7 +148,17 @@ impl Default for ServerConfig {
             bind: Bind::Tcp("127.0.0.1:7878".to_string()),
             workers: 0,
             queue_depth: 32,
+            decide_workers: 0,
             max_inflight_queries: 256,
+            request_queue_depth: 256,
+            tenant_rate_qps: None,
+            tenant_burst: 64.0,
+            tenant_max_inflight: None,
+            tenant_weights: Vec::new(),
+            shed_target_ms: Some(200),
+            shed_interval_ms: 100,
+            drain_deadline_ms: 5_000,
+            watchdog_stuck_ms: Some(30_000),
             default_deadline_ms: None,
             default_max_steps: None,
             max_line_bytes: xpsat_service::DEFAULT_MAX_LINE_BYTES,
@@ -120,12 +172,21 @@ impl Default for ServerConfig {
     }
 }
 
-/// Default worker-pool width: enough to serve a handful of concurrent connections
-/// even on small hosts (workers block on socket reads most of the time; the decide
-/// work itself is capped at hardware parallelism inside the workspace).
+/// Default connection-pool width: enough to serve a handful of concurrent
+/// connections even on small hosts (connection threads block on socket reads most
+/// of the time; the decide work runs in the decide pool).
 pub fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .max(4)
+}
+
+/// Default decide-pool width: hardware parallelism, floored at 2 so a single
+/// long-running request cannot monopolise the whole decide pool on a 1-CPU host.
+pub fn default_decide_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2)
 }

@@ -1,0 +1,177 @@
+//! Graceful-lifecycle primitives: the server state machine and per-worker
+//! liveness hearts for the watchdog.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The server's lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Accepting and serving normally.
+    Running,
+    /// Drain initiated: no new work admitted; queued + in-flight work finishing.
+    Draining,
+    /// Drain complete (or deadline-aborted): every thread told to exit.
+    Stopped,
+}
+
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
+
+/// Shared lifecycle state: a monotone `Running → Draining → Stopped` machine.
+#[derive(Debug)]
+pub struct Lifecycle {
+    phase: AtomicU8,
+    started: Instant,
+    drain_started: Mutex<Option<Instant>>,
+    watchdog_trips: AtomicU64,
+}
+
+impl Default for Lifecycle {
+    fn default() -> Lifecycle {
+        Lifecycle {
+            phase: AtomicU8::new(RUNNING),
+            started: Instant::now(),
+            drain_started: Mutex::new(None),
+            watchdog_trips: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Lifecycle {
+    pub fn phase(&self) -> Phase {
+        match self.phase.load(Ordering::Acquire) {
+            RUNNING => Phase::Running,
+            DRAINING => Phase::Draining,
+            _ => Phase::Stopped,
+        }
+    }
+
+    /// How long the server has been up.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Move to `Draining` (monotone: a later `Running` can never reappear).
+    /// Returns `true` on the first call, `false` if already draining/stopped.
+    pub fn begin_drain(&self) -> bool {
+        let first = self
+            .phase
+            .compare_exchange(RUNNING, DRAINING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if first {
+            let mut started = self
+                .drain_started
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            *started = Some(Instant::now());
+        }
+        first
+    }
+
+    /// When drain began, if it has.
+    pub fn drain_started(&self) -> Option<Instant> {
+        *self
+            .drain_started
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Move to `Stopped` (from any phase).
+    pub fn stop(&self) {
+        self.phase.store(STOPPED, Ordering::Release);
+    }
+
+    /// Record a watchdog trip (a stuck worker replaced).
+    pub fn record_watchdog_trip(&self) {
+        self.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Watchdog trips so far.
+    pub fn watchdog_trips(&self) -> u64 {
+        self.watchdog_trips.load(Ordering::Relaxed)
+    }
+}
+
+/// A decide worker's liveness heart.  The worker stamps `begin`/`finish` around
+/// each job; the watchdog reads `busy_since` and, past the stuck threshold, marks
+/// the heart `abandoned` and spawns a replacement.  An abandoned worker exits as
+/// soon as its current job returns (its late result is discarded by the
+/// first-write-wins [`crate::fair::ResponseSlot`]).
+#[derive(Debug, Default)]
+pub struct WorkerHeart {
+    busy_since: Mutex<Option<Instant>>,
+    abandoned: AtomicBool,
+}
+
+impl WorkerHeart {
+    /// Stamp the start of a job.
+    pub fn begin(&self) {
+        let mut busy = self
+            .busy_since
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *busy = Some(Instant::now());
+    }
+
+    /// Stamp the end of a job.
+    pub fn finish(&self) {
+        let mut busy = self
+            .busy_since
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *busy = None;
+    }
+
+    /// How long the worker has been on its current job, if it is on one.
+    pub fn busy_for(&self) -> Option<Duration> {
+        self.busy_since
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .map(|since| since.elapsed())
+    }
+
+    /// Declared stuck by the watchdog; the worker must exit after its current job.
+    pub fn abandon(&self) {
+        self.abandoned.store(true, Ordering::Release);
+    }
+
+    pub fn is_abandoned(&self) -> bool {
+        self.abandoned.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_is_monotone() {
+        let lc = Lifecycle::default();
+        assert_eq!(lc.phase(), Phase::Running);
+        assert!(lc.drain_started().is_none());
+        assert!(lc.begin_drain());
+        assert!(!lc.begin_drain(), "second drain call is a no-op");
+        assert_eq!(lc.phase(), Phase::Draining);
+        assert!(lc.drain_started().is_some());
+        lc.stop();
+        assert_eq!(lc.phase(), Phase::Stopped);
+        assert!(!lc.begin_drain(), "cannot drain a stopped server");
+        assert_eq!(lc.phase(), Phase::Stopped);
+    }
+
+    #[test]
+    fn heart_tracks_busy_spans_and_abandonment() {
+        let heart = WorkerHeart::default();
+        assert!(heart.busy_for().is_none());
+        heart.begin();
+        assert!(heart.busy_for().is_some());
+        heart.finish();
+        assert!(heart.busy_for().is_none());
+        assert!(!heart.is_abandoned());
+        heart.abandon();
+        assert!(heart.is_abandoned());
+    }
+}

@@ -1,23 +1,42 @@
-//! The network front-end: accept loop, worker pool and per-request admission.
+//! The network front-end: accept loop, connection pool, tenant-fair decide
+//! workers, watchdog, and the graceful drain lifecycle.
 //!
 //! Threading model (all `std`, no async runtime):
 //!
 //! * One **accept thread** polls the listener (non-blocking, ~10 ms cadence so it
-//!   notices shutdown) and pushes accepted connections into a [`BoundedQueue`].
-//!   When the queue is full the connection is answered with an `overloaded` JSON
-//!   response and closed immediately — callers see backpressure as data, not as a
-//!   hung connect.
-//! * `workers` **worker threads** each pop a connection and own it until it
-//!   disconnects, speaking the same JSON-lines protocol as stdio mode.  Socket reads
-//!   use a short timeout so workers poll the shutdown flag without corrupting
-//!   framing (the [`LineReader`] resumes mid-line after a timeout).
-//! * Per request, the worker extracts the `"tenant"` field, charges the request's
-//!   query cost against the [`InflightGate`], and — only if admitted — locks that
-//!   tenant's [`ProtocolServer`] for the duration of one request.  Distinct tenants
-//!   never contend; connections of one tenant interleave at request granularity.
+//!   notices lifecycle changes) and pushes accepted connections into a
+//!   [`BoundedQueue`].  When the queue is full the connection is answered with an
+//!   `overloaded` JSON response and closed immediately; once the server is
+//!   draining, new connections are answered `shutting_down` instead — callers see
+//!   backpressure and lifecycle as data, not as a hung connect.
+//! * **Connection threads** (`workers` of them) each pop a connection and own it
+//!   until it disconnects: framing ([`LineReader`], size caps, the slow-loris
+//!   mid-line stall guard), parsing, tenant resolution and admission.  They do *no*
+//!   decide work: an admitted request becomes a [`Job`] submitted to the
+//!   [`FairScheduler`] and the connection thread blocks on the job's
+//!   [`ResponseSlot`].
+//! * **Decide workers** (`decide_workers` of them) pull jobs from the scheduler in
+//!   deficit-round-robin order across tenants — a flooding tenant's backlog cannot
+//!   starve anyone else — execute them under `catch_unwind`, and fulfill the slot.
+//!   Every admitted job is answered exactly once: by its worker, by the shedder,
+//!   or by the drain-abort path.
+//! * A **watchdog thread** samples each decide worker's [`WorkerHeart`]; a worker
+//!   stuck on one job past the threshold is abandoned (it exits after the job, its
+//!   late result discarded by the first-write-wins slot) and a replacement is
+//!   spawned, restoring pool capacity.  Connection threads waiting on a slot give
+//!   up after ~2× the threshold and answer `internal_error`.
+//!
+//! Lifecycle: `Running → Draining → Stopped` (see [`Lifecycle`]).  Drain — via
+//! [`ServerHandle::drain`], [`ServerHandle::shutdown`] or the `drain` protocol op —
+//! stops admission (new requests answer `shutting_down`), lets queued and
+//! in-flight jobs finish up to the drain deadline, then aborts what remains (each
+//! aborted job still gets a `shutting_down` answer), flushes the artifact store,
+//! and joins every thread that can be joined.
 
-use crate::gate::InflightGate;
+use crate::fair::{FairConfig, FairScheduler, Job, Refusal, ResponseSlot};
+use crate::lifecycle::{Lifecycle, Phase, WorkerHeart};
 use crate::pool::{BoundedQueue, PushError};
+use crate::responses::{abandoned_response, overloaded_response, shutting_down_response};
 use crate::stats::{ServerStats, ServerStatsSnapshot};
 use crate::tenant::{TenantMap, DEFAULT_TENANT};
 use crate::{Bind, ServerConfig};
@@ -26,16 +45,23 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xpsat_service::{error_response, oversized_response, Json, LineRead, LineReader};
 
-/// How long a worker blocks in one socket read before re-checking shutdown.
+/// How long a connection thread blocks in one socket read before re-checking the
+/// lifecycle phase.
 const READ_POLL: Duration = Duration::from_millis(50);
 /// How long the accept thread sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// How long a connection thread waits on a response slot per poll (it interleaves
+/// lifecycle and abandonment checks between polls).
+const SLOT_POLL: Duration = Duration::from_millis(25);
+/// How long after observing `Stopped` a connection thread keeps waiting for an
+/// unfulfilled slot before answering `internal_error` (covers a worker that is
+/// stuck at force-close time).
+const STOPPED_SLOT_GRACE: Duration = Duration::from_secs(2);
 
 /// One accepted connection (TCP or Unix), unified for the worker pool.
 #[derive(Debug)]
@@ -110,7 +136,13 @@ enum Listener {
 impl Listener {
     fn accept(&self) -> std::io::Result<Conn> {
         Ok(match self {
-            Listener::Tcp(l) => Conn::Tcp(l.accept()?.0),
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                // Strict request/response over small JSON lines: Nagle + delayed
+                // ACK would add ~40ms per turn, dwarfing the decide time.
+                let _ = stream.set_nodelay(true);
+                Conn::Tcp(stream)
+            }
             #[cfg(unix)]
             Listener::Unix(l) => Conn::Unix(l.accept()?.0),
         })
@@ -125,19 +157,40 @@ impl Listener {
     }
 }
 
+/// One decide worker's heart + thread handle; the watchdog appends replacements.
+#[derive(Debug)]
+struct WorkerSlot {
+    heart: Arc<WorkerHeart>,
+    handle: JoinHandle<()>,
+}
+
 /// The running server's shared state.
 #[derive(Debug)]
 struct Shared {
     tenants: TenantMap,
-    gate: InflightGate,
+    scheduler: FairScheduler,
     stats: ServerStats,
-    shutdown: AtomicBool,
+    lifecycle: Lifecycle,
+    conn_queue: BoundedQueue<Conn>,
+    decide_workers: Mutex<Vec<WorkerSlot>>,
     max_line_bytes: usize,
     write_timeout: Option<Duration>,
     stalled_read_timeout: Option<Duration>,
+    watchdog_stuck: Option<Duration>,
 }
 
-/// The server: binds, spawns the pool, hands back a [`ServerHandle`].
+impl Shared {
+    /// Initiate drain (idempotent): stop admitting requests and connections.
+    /// Queued and in-flight work keeps running; the finalizer enforces the deadline.
+    fn drain(&self) {
+        if self.lifecycle.begin_drain() {
+            self.scheduler.begin_drain();
+            self.conn_queue.close();
+        }
+    }
+}
+
+/// The server: binds, spawns the pools, hands back a [`ServerHandle`].
 #[derive(Debug)]
 pub struct Server;
 
@@ -165,60 +218,183 @@ impl Server {
             _ => None,
         };
 
-        let workers = if config.workers > 0 {
+        let conn_workers = if config.workers > 0 {
             config.workers
         } else {
             crate::default_workers()
         };
-        let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+        let decide_workers = if config.decide_workers > 0 {
+            config.decide_workers
+        } else {
+            crate::default_decide_workers()
+        };
+        let fair = FairConfig {
+            max_inflight: config.max_inflight_queries,
+            max_queued_jobs: config.request_queue_depth.max(1),
+            quantum: 4,
+            weights: config.tenant_weights.iter().cloned().collect(),
+            rate_qps: config.tenant_rate_qps,
+            burst: config.tenant_burst.max(1.0),
+            tenant_quota: config.tenant_max_inflight,
+            shed_target: config.shed_target_ms.map(Duration::from_millis),
+            shed_interval: Duration::from_millis(config.shed_interval_ms.max(1)),
+        };
+        let drain_deadline = Duration::from_millis(config.drain_deadline_ms.max(1));
         let max_line_bytes = config.max_line_bytes.max(1);
         let shared = Arc::new(Shared {
-            gate: InflightGate::new(config.max_inflight_queries),
+            scheduler: FairScheduler::new(fair),
             stats: ServerStats::default(),
-            shutdown: AtomicBool::new(false),
+            lifecycle: Lifecycle::default(),
+            conn_queue: BoundedQueue::new(config.queue_depth),
+            decide_workers: Mutex::new(Vec::new()),
             max_line_bytes,
             write_timeout: config.write_timeout_ms.map(Duration::from_millis),
             stalled_read_timeout: config.stalled_read_timeout_ms.map(Duration::from_millis),
+            watchdog_stuck: config.watchdog_stuck_ms.map(Duration::from_millis),
             tenants: TenantMap::new(config)?,
         });
 
         let accept_thread = {
             let shared = Arc::clone(&shared);
-            let queue = Arc::clone(&queue);
-            std::thread::spawn(move || accept_loop(listener, &shared, &queue))
+            std::thread::spawn(move || accept_loop(listener, &shared))
         };
-        let worker_threads: Vec<JoinHandle<()>> = (0..workers)
+        let conn_threads: Vec<JoinHandle<()>> = (0..conn_workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                let queue = Arc::clone(&queue);
                 std::thread::spawn(move || {
-                    while let Some(conn) = queue.pop() {
+                    while let Some(conn) = shared.conn_queue.pop() {
                         handle_connection(conn, &shared);
                     }
                 })
             })
             .collect();
+        for _ in 0..decide_workers {
+            spawn_decide_worker(&shared);
+        }
+        let watchdog_thread = shared.watchdog_stuck.map(|stuck| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || watchdog_loop(&shared, stuck))
+        });
 
         Ok(ServerHandle {
             shared,
-            queue,
             local_addr,
             accept_thread: Some(accept_thread),
-            worker_threads,
+            conn_threads,
+            watchdog_thread,
+            drain_deadline,
+            finalized: false,
             #[cfg(unix)]
             socket_path,
         })
     }
 }
 
-/// Handle to a running server: inspect it, then shut it down.
+/// Spawn one decide worker and register its heart with the watchdog list.
+fn spawn_decide_worker(shared: &Arc<Shared>) {
+    let heart = Arc::new(WorkerHeart::default());
+    let handle = {
+        let shared = Arc::clone(shared);
+        let heart = Arc::clone(&heart);
+        std::thread::spawn(move || decide_loop(&shared, &heart))
+    };
+    shared
+        .decide_workers
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .push(WorkerSlot { heart, handle });
+}
+
+/// A decide worker: pull fair-scheduled jobs until the scheduler signals drain.
+fn decide_loop(shared: &Arc<Shared>, heart: &Arc<WorkerHeart>) {
+    while let Some(job) = shared.scheduler.next_job() {
+        heart.begin();
+        let response = execute_job(&job, shared);
+        heart.finish();
+        shared.scheduler.complete(job.tenant.name(), job.cost);
+        job.slot.fulfill(response);
+        // Declared stuck by the watchdog while on that job: a replacement already
+        // runs, so this (now surplus) worker exits instead of doubling capacity.
+        if heart.is_abandoned() {
+            return;
+        }
+    }
+}
+
+/// Run one job under panic isolation against its tenant's protocol server.
+fn execute_job(job: &Job, shared: &Shared) -> Json {
+    // Panic isolation: a request that panics (a solver bug, a hostile input that
+    // found a hole in the resource governor) answers `internal_error` and leaves the
+    // worker — and every other tenant — serving.  The per-tenant protocol lock
+    // recovers from poisoning for the same reason: the tenant state is monotone
+    // (registrations and caches), so a panic mid-request cannot corrupt it.
+    let response = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        job.tenant
+            .proto()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .handle_request(&job.request)
+    }))
+    .unwrap_or_else(|panic| {
+        ServerStats::bump(&shared.stats.requests_panicked);
+        let detail = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        error_response(
+            "internal_error",
+            &format!("request handling panicked: {detail}"),
+            None,
+            false,
+        )
+    });
+    ServerStats::bump(&shared.stats.requests_served);
+    response
+}
+
+/// The watchdog: sample every decide worker's heart; abandon + replace the stuck.
+fn watchdog_loop(shared: &Arc<Shared>, stuck: Duration) {
+    let tick = (stuck / 8).clamp(Duration::from_millis(10), Duration::from_millis(250));
+    while shared.lifecycle.phase() != Phase::Stopped {
+        std::thread::sleep(tick);
+        let mut replacements = 0;
+        {
+            let slots = shared
+                .decide_workers
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            for slot in slots.iter() {
+                if slot.heart.is_abandoned() {
+                    continue;
+                }
+                if slot.heart.busy_for().is_some_and(|busy| busy >= stuck) {
+                    slot.heart.abandon();
+                    shared.lifecycle.record_watchdog_trip();
+                    replacements += 1;
+                }
+            }
+        }
+        // Spawn outside the lock: spawn_decide_worker reacquires it to register.
+        // Don't replace capacity the drain is about to retire anyway.
+        if shared.lifecycle.phase() == Phase::Running {
+            for _ in 0..replacements {
+                spawn_decide_worker(shared);
+            }
+        }
+    }
+}
+
+/// Handle to a running server: inspect it, drain it, shut it down.
 #[derive(Debug)]
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    queue: Arc<BoundedQueue<Conn>>,
     local_addr: Option<SocketAddr>,
     accept_thread: Option<JoinHandle<()>>,
-    worker_threads: Vec<JoinHandle<()>>,
+    conn_threads: Vec<JoinHandle<()>>,
+    watchdog_thread: Option<JoinHandle<()>>,
+    drain_deadline: Duration,
+    finalized: bool,
     #[cfg(unix)]
     socket_path: Option<std::path::PathBuf>,
 }
@@ -240,56 +416,177 @@ impl ServerHandle {
         self.shared.tenants.tenant_count()
     }
 
-    /// Stop accepting, drain the pool and join all threads.  In-flight requests
-    /// finish; idle connections are dropped at the next read poll.
+    /// Whether drain has begun (via this handle or the `drain` protocol op).
+    pub fn draining(&self) -> bool {
+        self.shared.lifecycle.phase() != Phase::Running
+    }
+
+    /// Stuck-worker replacements performed by the watchdog so far.
+    pub fn watchdog_trips(&self) -> u64 {
+        self.shared.lifecycle.watchdog_trips()
+    }
+
+    /// Begin drain without blocking: stop admitting, let in-flight work finish.
+    /// Follow with [`ServerHandle::shutdown`] (or [`ServerHandle::wait`]) to
+    /// enforce the deadline and join threads.
+    pub fn drain(&self) {
+        self.shared.drain();
+    }
+
+    /// Graceful shutdown: drain, wait for in-flight and queued work up to the
+    /// drain deadline, abort (with `shutting_down` answers) what remains, flush
+    /// the artifact store, join every thread.  Zero accepted requests are lost:
+    /// each is answered by a worker, the shedder, or the abort path.
     pub fn shutdown(mut self) {
-        self.begin_shutdown();
+        self.finalize();
+    }
+
+    /// Block until something requests drain — the `drain` protocol op, typically —
+    /// then run the same finalization as [`ServerHandle::shutdown`].  This is what
+    /// `xpathsat serve` sits in, so a remote `drain` brings the process down
+    /// cleanly.
+    pub fn wait(mut self) {
+        while self.shared.lifecycle.phase() == Phase::Running {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        self.finalize();
+    }
+
+    fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        self.shared.drain();
+
+        // Phase 1: let decide workers finish queued + in-flight jobs, bounded by
+        // the drain deadline.
+        let deadline = Instant::now() + self.drain_deadline;
+        loop {
+            let all_done = self
+                .shared
+                .decide_workers
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .iter()
+                .all(|slot| slot.handle.is_finished());
+            if all_done || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Phase 2: deadline (or no-op if already empty) — answer every still-queued
+        // job `shutting_down` and force `next_job` to `None`.
+        self.shared.scheduler.abort_queued();
+        self.shared.lifecycle.stop();
+
+        // Phase 3: join what can be joined.  Workers wedged on a stuck job (the
+        // watchdog already answered for their capacity) are detached, not waited on.
+        let worker_handles: Vec<JoinHandle<()>> = self
+            .shared
+            .decide_workers
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .drain(..)
+            .map(|slot| slot.handle)
+            .collect();
+        join_with_grace(worker_handles, Duration::from_secs(1));
         if let Some(accept) = self.accept_thread.take() {
             let _ = accept.join();
         }
-        for worker in self.worker_threads.drain(..) {
-            let _ = worker.join();
+        join_with_grace(
+            std::mem::take(&mut self.conn_threads),
+            STOPPED_SLOT_GRACE + Duration::from_secs(1),
+        );
+        if let Some(watchdog) = self.watchdog_thread.take() {
+            let _ = watchdog.join();
+        }
+
+        // Phase 4: durability + cleanup.
+        if let Some(store) = self.shared.tenants.store() {
+            let _ = store.flush();
         }
         #[cfg(unix)]
         if let Some(path) = self.socket_path.take() {
             let _ = std::fs::remove_file(path);
         }
     }
+}
 
-    fn begin_shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        self.queue.close();
+/// Join every handle that finishes within `grace`; detach the rest (they exit on
+/// their own once their blocking call returns — there is no force-join in std).
+fn join_with_grace(mut handles: Vec<JoinHandle<()>>, grace: Duration) {
+    let deadline = Instant::now() + grace;
+    loop {
+        let mut pending = Vec::new();
+        for handle in handles.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                pending.push(handle);
+            }
+        }
+        if pending.is_empty() || Instant::now() >= deadline {
+            return;
+        }
+        handles = pending;
+        std::thread::sleep(Duration::from_millis(10));
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        // A dropped handle still stops the threads (they are detached otherwise);
-        // `shutdown()` is the graceful path that also joins them.
-        self.begin_shutdown();
-    }
-}
-
-fn accept_loop(listener: Listener, shared: &Shared, queue: &BoundedQueue<Conn>) {
-    while !shared.shutdown.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok(conn) => match queue.try_push(conn) {
-                Ok(()) => ServerStats::bump(&shared.stats.connections_accepted),
-                Err(PushError::Full(mut conn) | PushError::Closed(mut conn)) => {
-                    ServerStats::bump(&shared.stats.connections_rejected);
-                    let refusal = overloaded_response("connection queue full");
-                    let _ = writeln!(conn, "{refusal}");
-                    // Dropping `conn` closes it.
-                }
-            },
-            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        if self.finalized {
+            return;
+        }
+        // A dropped handle still stops every thread promptly (without joining):
+        // abort queued work so no connection thread is left waiting on a slot, then
+        // flip to Stopped so read polls and the accept loop exit.
+        self.shared.drain();
+        self.shared.scheduler.abort_queued();
+        self.shared.lifecycle.stop();
+        #[cfg(unix)]
+        if let Some(path) = self.socket_path.take() {
+            let _ = std::fs::remove_file(path);
         }
     }
 }
 
-/// Serve one connection until EOF, error or shutdown.
-fn handle_connection(conn: Conn, shared: &Shared) {
+fn accept_loop(listener: Listener, shared: &Arc<Shared>) {
+    loop {
+        match shared.lifecycle.phase() {
+            Phase::Stopped => return,
+            phase => match listener.accept() {
+                Ok(mut conn) => {
+                    if phase != Phase::Running {
+                        // Draining: tell the client to go elsewhere, then close.
+                        let refusal = shutting_down_response("drain in progress");
+                        let _ = writeln!(conn, "{refusal}");
+                        continue;
+                    }
+                    match shared.conn_queue.try_push(conn) {
+                        Ok(()) => ServerStats::bump(&shared.stats.connections_accepted),
+                        Err(PushError::Full(mut conn)) => {
+                            ServerStats::bump(&shared.stats.connections_rejected);
+                            let refusal = overloaded_response("connection queue full");
+                            let _ = writeln!(conn, "{refusal}");
+                            // Dropping `conn` closes it.
+                        }
+                        Err(PushError::Closed(mut conn)) => {
+                            let refusal = shutting_down_response("drain in progress");
+                            let _ = writeln!(conn, "{refusal}");
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            },
+        }
+    }
+}
+
+/// Serve one connection until EOF, error or server stop.
+fn handle_connection(conn: Conn, shared: &Arc<Shared>) {
     let _ = conn.set_read_timeout(Some(READ_POLL));
     let _ = conn.set_write_timeout(shared.write_timeout);
     let Ok(mut writer) = conn.try_clone() else {
@@ -304,7 +601,7 @@ fn handle_connection(conn: Conn, shared: &Shared) {
     loop {
         match line_reader.read_from(&mut reader) {
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shared.shutdown.load(Ordering::Relaxed) {
+                if shared.lifecycle.phase() == Phase::Stopped {
                     return;
                 }
                 if line_reader.mid_line() {
@@ -344,13 +641,17 @@ fn handle_connection(conn: Conn, shared: &Shared) {
                 {
                     return;
                 }
+                if shared.lifecycle.phase() == Phase::Stopped {
+                    return;
+                }
             }
         }
     }
 }
 
-/// Process one request line: parse, resolve tenant, admit through the gate, serve.
-fn handle_request_line(line: &str, shared: &Shared) -> Json {
+/// Process one request line: parse, intercept lifecycle ops, resolve tenant,
+/// submit to the fair scheduler, wait for the answer.
+fn handle_request_line(line: &str, shared: &Arc<Shared>) -> Json {
     let request = match Json::parse(line.trim_end_matches(['\n', '\r'])) {
         Ok(request) => request,
         Err(e) => {
@@ -363,6 +664,24 @@ fn handle_request_line(line: &str, shared: &Shared) -> Json {
             );
         }
     };
+    let op = request.get("op").and_then(Json::as_str);
+
+    // Lifecycle ops are served by the front-end itself (no tenant, no queueing):
+    // they must answer even when the decide pool is saturated or draining.
+    match op {
+        Some("health") => return health_response(shared),
+        Some("drain") => {
+            shared.drain();
+            return Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("drain".into())),
+                ("phase", Json::Str(phase_name(shared).into())),
+                ("draining", Json::Bool(true)),
+            ]);
+        }
+        _ => {}
+    }
+
     let tenant_name = request
         .get("tenant")
         .and_then(Json::as_str)
@@ -380,103 +699,204 @@ fn handle_request_line(line: &str, shared: &Shared) -> Json {
         }
     };
 
-    // Admission: a batch of n queries costs n permits, anything else costs 1.
+    // Admission cost: a batch of n queries costs n, anything else costs 1.
     let cost = request
         .get("queries")
         .and_then(Json::as_array)
-        .map(|qs| qs.len() as u64)
+        .map(|qs| qs.len().max(1) as u64)
         .unwrap_or(1);
-    let Some(_permit) = shared.gate.try_acquire(cost) else {
-        ServerStats::bump(&shared.stats.requests_overloaded);
-        return overloaded_response("in-flight query limit reached");
+    let is_stats = op == Some("stats");
+    let slot = Arc::new(ResponseSlot::default());
+    let job = Job {
+        request,
+        tenant,
+        cost,
+        enqueued: Instant::now(),
+        slot: Arc::clone(&slot),
+    };
+    let mut response = match shared.scheduler.submit(job) {
+        Ok(()) => wait_for_slot(&slot, shared),
+        Err((_job, refusal)) => refusal_response(refusal, shared),
     };
 
-    // Panic isolation: a request that panics (a solver bug, a hostile input that
-    // found a hole in the resource governor) answers `internal_error` and leaves the
-    // worker — and every other tenant — serving.  The per-tenant protocol lock
-    // recovers from poisoning for the same reason: the tenant state is monotone
-    // (registrations and caches), so a panic mid-request cannot corrupt it.
-    let mut response = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        tenant
-            .proto()
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .handle_request(&request)
-    }))
-    .unwrap_or_else(|panic| {
-        ServerStats::bump(&shared.stats.requests_panicked);
-        let detail = panic
-            .downcast_ref::<&str>()
-            .map(|s| (*s).to_string())
-            .or_else(|| panic.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".to_string());
-        error_response(
-            "internal_error",
-            &format!("request handling panicked: {detail}"),
-            None,
-            false,
-        )
-    });
-    ServerStats::bump(&shared.stats.requests_served);
-
     // `stats` responses additionally report the server-wide view.
-    if request.get("op").and_then(Json::as_str) == Some("stats") {
-        if let Json::Obj(fields) = &mut response {
-            let server = shared.stats.snapshot();
-            fields.push(("tenant".to_string(), Json::Str(tenant_name)));
-            fields.push((
-                "tenants".to_string(),
-                Json::Num(shared.tenants.tenant_count() as f64),
-            ));
-            fields.push((
-                "server_connections_accepted".to_string(),
-                Json::Num(server.connections_accepted as f64),
-            ));
-            fields.push((
-                "server_connections_rejected".to_string(),
-                Json::Num(server.connections_rejected as f64),
-            ));
-            fields.push((
-                "server_requests_served".to_string(),
-                Json::Num(server.requests_served as f64),
-            ));
-            fields.push((
-                "server_requests_overloaded".to_string(),
-                Json::Num(server.requests_overloaded as f64),
-            ));
-            fields.push((
-                "server_requests_malformed".to_string(),
-                Json::Num(server.requests_malformed as f64),
-            ));
-            fields.push((
-                "server_requests_oversized".to_string(),
-                Json::Num(server.requests_oversized as f64),
-            ));
-            fields.push((
-                "server_requests_panicked".to_string(),
-                Json::Num(server.requests_panicked as f64),
-            ));
-            fields.push((
-                "server_connections_stalled".to_string(),
-                Json::Num(server.connections_stalled as f64),
-            ));
-        }
+    if is_stats {
+        append_server_stats(&mut response, &tenant_name, shared);
     }
     response
 }
 
-/// The explicit backpressure response: `"overloaded":true` tells a well-behaved
-/// client to back off and retry, distinguishing load shedding from request errors.
-/// Kept as a top-level flag alongside the structured error object for older clients.
-fn overloaded_response(reason: &str) -> Json {
-    let mut response = error_response(
-        "overloaded",
-        &format!("server overloaded: {reason}"),
-        None,
-        true,
-    );
-    if let Json::Obj(fields) = &mut response {
-        fields.push(("overloaded".to_string(), Json::Bool(true)));
+/// Map an admission refusal to its response (and counters).
+fn refusal_response(refusal: Refusal, shared: &Shared) -> Json {
+    match refusal {
+        Refusal::Draining => shutting_down_response("drain in progress"),
+        Refusal::RateLimited => {
+            ServerStats::bump(&shared.stats.requests_overloaded);
+            ServerStats::bump(&shared.stats.requests_rate_limited);
+            overloaded_response("tenant rate limit exceeded, slow down")
+        }
+        Refusal::OverQuota => {
+            ServerStats::bump(&shared.stats.requests_overloaded);
+            overloaded_response("tenant in-flight quota reached")
+        }
+        Refusal::Saturated => {
+            ServerStats::bump(&shared.stats.requests_overloaded);
+            overloaded_response("in-flight query limit reached")
+        }
+        Refusal::QueueFull => {
+            ServerStats::bump(&shared.stats.requests_overloaded);
+            overloaded_response("request queue full")
+        }
     }
-    response
+}
+
+/// Block until the job's answer arrives, with two backstops: the watchdog-stuck
+/// abandonment (~2× the stuck threshold) and the post-stop grace.
+fn wait_for_slot(slot: &ResponseSlot, shared: &Shared) -> Json {
+    let abandon_after = shared.watchdog_stuck.map(|stuck| stuck * 2);
+    let started = Instant::now();
+    let mut stopped_seen: Option<Instant> = None;
+    loop {
+        if let Some(response) = slot.wait_for(SLOT_POLL) {
+            return response;
+        }
+        if let Some(limit) = abandon_after {
+            if started.elapsed() >= limit {
+                return abandoned_response();
+            }
+        }
+        if shared.lifecycle.phase() == Phase::Stopped {
+            let seen = *stopped_seen.get_or_insert_with(Instant::now);
+            if seen.elapsed() >= STOPPED_SLOT_GRACE {
+                return abandoned_response();
+            }
+        }
+    }
+}
+
+fn phase_name(shared: &Shared) -> &'static str {
+    match shared.lifecycle.phase() {
+        Phase::Running => "running",
+        Phase::Draining => "draining",
+        Phase::Stopped => "stopped",
+    }
+}
+
+/// The `health` op: liveness + a cheap load summary, served without queueing.
+fn health_response(shared: &Shared) -> Json {
+    let totals = shared.scheduler.totals();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("health".into())),
+        ("phase", Json::Str(phase_name(shared).into())),
+        (
+            "draining",
+            Json::Bool(shared.lifecycle.phase() != Phase::Running),
+        ),
+        (
+            "uptime_ms",
+            Json::Num(shared.lifecycle.uptime().as_millis() as f64),
+        ),
+        ("queued_jobs", Json::Num(totals.queued_jobs as f64)),
+        ("inflight_cost", Json::Num(totals.inflight_cost as f64)),
+        (
+            "watchdog_trips",
+            Json::Num(shared.lifecycle.watchdog_trips() as f64),
+        ),
+    ])
+}
+
+/// Enrich a tenant's `stats` response with the server-wide view: counters,
+/// lifecycle, scheduler totals and the per-tenant lanes.
+fn append_server_stats(response: &mut Json, tenant_name: &str, shared: &Shared) {
+    let Json::Obj(fields) = response else { return };
+    let server = shared.stats.snapshot();
+    let totals = shared.scheduler.totals();
+    let mut push = |key: &str, value: Json| fields.push((key.to_string(), value));
+    push("tenant", Json::Str(tenant_name.to_string()));
+    push("tenants", Json::Num(shared.tenants.tenant_count() as f64));
+    push("server_phase", Json::Str(phase_name(shared).to_string()));
+    push(
+        "server_uptime_ms",
+        Json::Num(shared.lifecycle.uptime().as_millis() as f64),
+    );
+    push(
+        "server_connections_accepted",
+        Json::Num(server.connections_accepted as f64),
+    );
+    push(
+        "server_connections_rejected",
+        Json::Num(server.connections_rejected as f64),
+    );
+    push(
+        "server_requests_served",
+        Json::Num(server.requests_served as f64),
+    );
+    push(
+        "server_requests_overloaded",
+        Json::Num(server.requests_overloaded as f64),
+    );
+    push(
+        "server_requests_rate_limited",
+        Json::Num(server.requests_rate_limited as f64),
+    );
+    push(
+        "server_requests_malformed",
+        Json::Num(server.requests_malformed as f64),
+    );
+    push(
+        "server_requests_oversized",
+        Json::Num(server.requests_oversized as f64),
+    );
+    push(
+        "server_requests_panicked",
+        Json::Num(server.requests_panicked as f64),
+    );
+    push(
+        "server_connections_stalled",
+        Json::Num(server.connections_stalled as f64),
+    );
+    push("server_requests_shed", Json::Num(totals.shed as f64));
+    push(
+        "server_requests_aborted_at_drain",
+        Json::Num(totals.aborted_at_drain as f64),
+    );
+    push(
+        "server_requests_drained",
+        Json::Num(totals.drained_after_drain as f64),
+    );
+    push("server_queued_jobs", Json::Num(totals.queued_jobs as f64));
+    push(
+        "server_inflight_cost",
+        Json::Num(totals.inflight_cost as f64),
+    );
+    push(
+        "server_watchdog_trips",
+        Json::Num(shared.lifecycle.watchdog_trips() as f64),
+    );
+    let lanes: Vec<Json> = shared
+        .scheduler
+        .lane_snapshots()
+        .into_iter()
+        .map(|lane| {
+            Json::obj(vec![
+                ("tenant", Json::Str(lane.tenant)),
+                ("weight", Json::Num(lane.weight as f64)),
+                ("queued_jobs", Json::Num(lane.queued_jobs as f64)),
+                ("queued_cost", Json::Num(lane.queued_cost as f64)),
+                ("inflight_cost", Json::Num(lane.inflight_cost as f64)),
+                (
+                    "tokens_remaining",
+                    lane.tokens_remaining
+                        .map(|t| Json::Num(t.floor()))
+                        .unwrap_or(Json::Null),
+                ),
+                ("served", Json::Num(lane.served as f64)),
+                ("shed", Json::Num(lane.shed as f64)),
+                ("rate_limited", Json::Num(lane.rate_limited as f64)),
+                ("over_quota", Json::Num(lane.over_quota as f64)),
+            ])
+        })
+        .collect();
+    push("tenant_lanes", Json::Arr(lanes));
 }

@@ -11,6 +11,7 @@ pub struct ServerStats {
     pub(crate) connections_rejected: AtomicU64,
     pub(crate) requests_served: AtomicU64,
     pub(crate) requests_overloaded: AtomicU64,
+    pub(crate) requests_rate_limited: AtomicU64,
     pub(crate) requests_malformed: AtomicU64,
     pub(crate) requests_oversized: AtomicU64,
     pub(crate) requests_panicked: AtomicU64,
@@ -29,6 +30,7 @@ impl ServerStats {
             connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
             requests_served: self.requests_served.load(Ordering::Relaxed),
             requests_overloaded: self.requests_overloaded.load(Ordering::Relaxed),
+            requests_rate_limited: self.requests_rate_limited.load(Ordering::Relaxed),
             requests_malformed: self.requests_malformed.load(Ordering::Relaxed),
             requests_oversized: self.requests_oversized.load(Ordering::Relaxed),
             requests_panicked: self.requests_panicked.load(Ordering::Relaxed),
@@ -47,8 +49,11 @@ pub struct ServerStatsSnapshot {
     pub connections_rejected: u64,
     /// Requests answered (any outcome other than overload/malformed/oversized).
     pub requests_served: u64,
-    /// Requests refused by the in-flight query gate.
+    /// Requests refused at admission (rate limit, quota, global in-flight bound or
+    /// a full request queue) — every one answered `overloaded`.
     pub requests_overloaded: u64,
+    /// The subset of `requests_overloaded` refused by a tenant token bucket.
+    pub requests_rate_limited: u64,
     /// Lines that failed to parse as JSON.
     pub requests_malformed: u64,
     /// Lines rejected by the line-length cap.
@@ -65,12 +70,13 @@ impl std::fmt::Display for ServerStatsSnapshot {
         write!(
             f,
             "connections: {} accepted, {} rejected, {} stalled; requests: {} served, \
-             {} overloaded, {} malformed, {} oversized, {} panicked",
+             {} overloaded ({} rate-limited), {} malformed, {} oversized, {} panicked",
             self.connections_accepted,
             self.connections_rejected,
             self.connections_stalled,
             self.requests_served,
             self.requests_overloaded,
+            self.requests_rate_limited,
             self.requests_malformed,
             self.requests_oversized,
             self.requests_panicked,

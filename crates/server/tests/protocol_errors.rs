@@ -34,6 +34,10 @@ fn script() -> Vec<String> {
         r#"{"op":"register_dtd","dtd":"r -> a*; a ->"}"#.to_string(),
         // A one-step budget starves the negation fixpoint: structured exhaustion.
         r#"{"op":"check","dtd_id":0,"query":"a[not(b)]","max_steps":1}"#.to_string(),
+        // Zero and non-integer deadlines are malformed, not "already expired":
+        // refused as invalid_request before any work is admitted.
+        r#"{"op":"check","dtd_id":0,"query":"a","deadline_ms":0}"#.to_string(),
+        r#"{"op":"batch","dtd_id":0,"queries":["a"],"deadline_ms":-5}"#.to_string(),
     ]
 }
 
@@ -126,10 +130,19 @@ fn error_paths_are_identical_over_stdio_and_tcp() {
         stdio[11]
     );
     assert!(stdio[11].contains(r#""retryable":false"#), "{}", stdio[11]);
+    // deadline_ms must be a positive integer; zero and negatives are structured
+    // invalid_request errors, identical over both transports.
+    for response in [&stdio[12], &stdio[13]] {
+        assert!(
+            response.contains(r#""kind":"invalid_request""#),
+            "{response}"
+        );
+        assert!(response.contains("deadline_ms"), "{response}");
+    }
     for response in &stdio[..7] {
         assert!(response.contains(r#""ok":false"#), "{response}");
     }
-    for response in [&stdio[9], &stdio[10], &stdio[11]] {
+    for response in [&stdio[9], &stdio[10], &stdio[11], &stdio[12], &stdio[13]] {
         assert!(response.contains(r#""ok":false"#), "{response}");
     }
 }

@@ -182,15 +182,105 @@ fn expired_deadlines_answer_deadline_exceeded() {
     let mut client = Client::connect(&addr);
     client.round_trip(&format!(r#"{{"op":"register_dtd","dtd":"{DTD}"}}"#));
 
-    // A zero-millisecond deadline expires before any query is decided.
-    let expired =
-        client.round_trip(r#"{"op":"batch","dtd_id":0,"queries":["a","a[b]"],"deadline_ms":0}"#);
+    // A one-millisecond deadline cannot cover parsing and deciding hundreds of
+    // distinct negation queries single-threaded: the batch aborts mid-flight.
+    let queries: Vec<String> = (0..256)
+        .map(|i| format!(r#""{}a[not(b)]""#, "a/../".repeat(i)))
+        .collect();
+    let expired = client.round_trip(&format!(
+        r#"{{"op":"batch","dtd_id":0,"queries":[{}],"threads":1,"deadline_ms":1}}"#,
+        queries.join(",")
+    ));
     assert_eq!(field(&expired, "ok").as_bool(), Some(false));
     assert_eq!(field(&expired, "deadline_exceeded").as_bool(), Some(true));
+
+    // A zero deadline is not "already expired" — it is a malformed request,
+    // refused before any work is admitted.
+    let zero =
+        client.round_trip(r#"{"op":"batch","dtd_id":0,"queries":["a","a[b]"],"deadline_ms":0}"#);
+    assert_eq!(field(&zero, "ok").as_bool(), Some(false));
+    assert_eq!(
+        field(field(&zero, "error"), "kind").as_str(),
+        Some("invalid_request")
+    );
 
     // The same request without a deadline succeeds on the same connection.
     let fine = client.round_trip(r#"{"op":"batch","dtd_id":0,"queries":["a","a[b]"]}"#);
     assert_eq!(field(&fine, "ok").as_bool(), Some(true));
+    handle.shutdown();
+}
+
+#[test]
+fn health_and_drain_bring_the_server_down_cleanly() {
+    let (handle, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr);
+    client.round_trip(&format!(r#"{{"op":"register_dtd","dtd":"{DTD}"}}"#));
+
+    let health = client.round_trip(r#"{"op":"health"}"#);
+    assert_eq!(field(&health, "ok").as_bool(), Some(true));
+    assert_eq!(field(&health, "phase").as_str(), Some("running"));
+    assert_eq!(field(&health, "draining").as_bool(), Some(false));
+    assert!(field(&health, "uptime_ms").as_u64().is_some());
+
+    // `drain` acks, flips the phase, and in-flight connections learn on their
+    // next request that the server is going away (retryable `shutting_down`).
+    let drain = client.round_trip(r#"{"op":"drain"}"#);
+    assert_eq!(field(&drain, "ok").as_bool(), Some(true));
+    assert_eq!(field(&drain, "draining").as_bool(), Some(true));
+    assert!(handle.draining());
+
+    let refused = client.round_trip(r#"{"op":"check","dtd_id":0,"query":"a[b]"}"#);
+    assert_eq!(field(&refused, "ok").as_bool(), Some(false));
+    let error = field(&refused, "error");
+    assert_eq!(field(error, "kind").as_str(), Some("shutting_down"));
+    assert_eq!(field(error, "retryable").as_bool(), Some(true));
+    assert_eq!(field(&refused, "shutting_down").as_bool(), Some(true));
+
+    // health keeps answering during the drain (it bypasses admission)...
+    let health = client.round_trip(r#"{"op":"health"}"#);
+    assert_eq!(field(&health, "draining").as_bool(), Some(true));
+
+    // ...new connections are told off rather than silently refused...
+    let mut late = Client::connect(&addr);
+    let told = late.recv();
+    assert_eq!(
+        field(field(&told, "error"), "kind").as_str(),
+        Some("shutting_down")
+    );
+
+    // ...and shutdown completes without losing anything.
+    handle.shutdown();
+}
+
+#[test]
+fn stats_reports_lifecycle_scheduler_and_per_tenant_lanes() {
+    let config = ServerConfig {
+        tenant_rate_qps: Some(1000.0),
+        tenant_burst: 512.0,
+        tenant_weights: vec![("alice".to_string(), 4)],
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+    let mut client = Client::connect(&addr);
+    client.round_trip(&format!(
+        r#"{{"op":"register_dtd","dtd":"{DTD}","tenant":"alice"}}"#
+    ));
+    client.round_trip(r#"{"op":"check","dtd_id":0,"query":"a[b]","tenant":"alice"}"#);
+
+    let stats = client.round_trip(r#"{"op":"stats","tenant":"alice"}"#);
+    assert_eq!(field(&stats, "server_phase").as_str(), Some("running"));
+    assert!(field(&stats, "server_uptime_ms").as_u64().is_some());
+    assert_eq!(field(&stats, "server_queued_jobs").as_u64(), Some(0));
+    assert_eq!(field(&stats, "server_requests_shed").as_u64(), Some(0));
+    assert_eq!(field(&stats, "server_watchdog_trips").as_u64(), Some(0));
+    let lanes = field(&stats, "tenant_lanes").as_array().unwrap();
+    let alice = lanes
+        .iter()
+        .find(|lane| lane.get("tenant").and_then(Json::as_str) == Some("alice"))
+        .expect("alice has a lane");
+    assert_eq!(field(alice, "weight").as_u64(), Some(4));
+    assert!(field(alice, "served").as_u64().unwrap() >= 2);
+    assert!(field(alice, "tokens_remaining").as_u64().unwrap() <= 512);
     handle.shutdown();
 }
 

@@ -170,6 +170,7 @@ impl ProtocolServer {
             .get("op")
             .and_then(Json::as_str)
             .ok_or_else(|| ProtocolError::new("malformed_request", "missing string field 'op'"))?;
+        validate_deadline_ms(request)?;
         match op {
             "register_dtd" => self.op_register_dtd(request),
             "check" => self.op_check(request),
@@ -179,11 +180,29 @@ impl ProtocolServer {
             "debug_panic" if self.debug_ops => {
                 panic!("debug_panic requested by the client")
             }
+            "debug_stall" if self.debug_ops => Ok(Self::op_debug_stall(request)),
             other => Err(ProtocolError::new(
                 "unknown_op",
                 format!("unknown op '{other}'"),
             )),
         }
+    }
+
+    /// Fault-injection op (gated by `debug_ops`, like `debug_panic`): hold the
+    /// serving thread for `stall_ms` — the drill the server's worker watchdog is
+    /// tested against.  Capped at 60 s so a typo cannot wedge a thread for hours.
+    fn op_debug_stall(request: &Json) -> Json {
+        let ms = request
+            .get("stall_ms")
+            .and_then(Json::as_u64)
+            .unwrap_or(1_000)
+            .min(60_000);
+        std::thread::sleep(Duration::from_millis(ms));
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("debug_stall".into())),
+            ("stalled_ms", Json::Num(ms as f64)),
+        ])
     }
 
     fn op_register_dtd(&mut self, request: &Json) -> Result<Json, ProtocolError> {
@@ -202,7 +221,8 @@ impl ProtocolServer {
     }
 
     /// The deadline of a request: its own `deadline_ms` if present, else the server
-    /// default.
+    /// default.  [`validate_deadline_ms`] ran at dispatch, so a present field is a
+    /// positive integer here.
     fn deadline_of(&self, request: &Json) -> Option<Instant> {
         request
             .get("deadline_ms")
@@ -673,6 +693,29 @@ impl From<ServiceError> for ProtocolError {
     }
 }
 
+/// A present `deadline_ms` must be a positive integer.  `0` used to be accepted
+/// and was indistinguishable from "no deadline" on the `check` fast path (which
+/// skips the governed batch machinery when no deadline is set) while expiring
+/// instantly on the governed path — now both transports refuse it identically
+/// with a structured, non-retryable `invalid_request`.
+fn validate_deadline_ms(request: &Json) -> Result<(), ProtocolError> {
+    let Some(value) = request.get("deadline_ms") else {
+        return Ok(());
+    };
+    match value.as_u64() {
+        Some(ms) if ms > 0 => Ok(()),
+        Some(_) => Err(ProtocolError::new(
+            "invalid_request",
+            "invalid field 'deadline_ms': must be a positive integer of milliseconds \
+             (omit the field for no deadline)",
+        )),
+        None => Err(ProtocolError::new(
+            "invalid_request",
+            "invalid field 'deadline_ms': must be a positive integer of milliseconds",
+        )),
+    }
+}
+
 fn str_field<'a>(request: &'a Json, key: &str) -> Result<&'a str, ProtocolError> {
     request.get(key).and_then(Json::as_str).ok_or_else(|| {
         ProtocolError::new("malformed_request", format!("missing string field '{key}'"))
@@ -815,6 +858,35 @@ mod tests {
                 .unwrap();
         assert_eq!(field(&retry, "result").as_str(), Some("satisfiable"));
         assert_eq!(field(&retry, "cached").as_bool(), Some(false));
+    }
+
+    #[test]
+    fn zero_or_malformed_deadline_is_invalid_request() {
+        let mut server = ProtocolServer::new(1);
+        server.handle_line(r#"{"op":"register_dtd","dtd":"r -> a?; a -> #;"}"#);
+        for bad in [
+            r#"{"op":"check","dtd_id":0,"query":"a","deadline_ms":0}"#,
+            r#"{"op":"check","dtd_id":0,"query":"a","deadline_ms":-5}"#,
+            r#"{"op":"check","dtd_id":0,"query":"a","deadline_ms":"soon"}"#,
+            r#"{"op":"batch","dtd_id":0,"queries":["a"],"deadline_ms":0}"#,
+            r#"{"op":"register_dtd","dtd":"r -> #;","deadline_ms":0}"#,
+        ] {
+            let resp = Json::parse(&server.handle_line(bad)).unwrap();
+            assert_eq!(field(&resp, "ok").as_bool(), Some(false), "{bad}");
+            let error = field(&resp, "error");
+            assert_eq!(
+                field(error, "kind").as_str(),
+                Some("invalid_request"),
+                "{bad}"
+            );
+            assert_eq!(field(error, "retryable").as_bool(), Some(false), "{bad}");
+        }
+        // A positive deadline still works.
+        let ok = Json::parse(
+            &server.handle_line(r#"{"op":"check","dtd_id":0,"query":"a","deadline_ms":5000}"#),
+        )
+        .unwrap();
+        assert_eq!(field(&ok, "ok").as_bool(), Some(true));
     }
 
     #[test]

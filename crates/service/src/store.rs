@@ -148,6 +148,14 @@ impl ArtifactStore {
         }
     }
 
+    /// Durability barrier: fsync the version directory so every `rename`d entry is
+    /// findable after a crash.  Entry *contents* are already synced before the
+    /// rename; this pins the directory mutations themselves.  The server calls it
+    /// once at drain so a graceful shutdown never strands a freshly written entry.
+    pub fn flush(&self) -> std::io::Result<()> {
+        std::fs::File::open(&self.version_dir)?.sync_all()
+    }
+
     /// Remove the entry of `canonical`, if present (used by tests and operators).
     pub fn evict(&self, canonical: &str) -> std::io::Result<()> {
         match std::fs::remove_file(self.entry_path(canonical)) {

@@ -132,6 +132,8 @@ const KNOWN_KINDS: &[&str] = &[
     "resource_exhausted",
     "internal_error",
     "invalid_tenant",
+    "invalid_request",
+    "shutting_down",
 ];
 
 /// Every response line must parse, carry `ok`, and on failure carry a structured
