@@ -21,7 +21,15 @@
 //! * a **thread-scaling sweep** of the same batch at 1/2/4/8 workers (fresh workspace
 //!   per run).  The report records the host's `available_parallelism` alongside — on a
 //!   single-core container the sweep measures scheduling overhead, not parallel
-//!   speedup, and readers must interpret it against the `cpus` field.
+//!   speedup, and readers must interpret it against the `cpus` field;
+//! * a **compiled-VM bucket** — the batch corpus' in-fragment queries lowered once to
+//!   flat decision programs and replayed in the VM, against the AST solver's warm
+//!   dispatch on the same artifacts (compile cost reported separately, since it is
+//!   paid once per equivalence class and amortised by the program cache);
+//! * a **canonical-cache bucket** — the cross-tenant drill: one workspace decides the
+//!   corpus and publishes to a shared [`CanonicalCache`]; a second workspace (fresh
+//!   interner, fresh decision cache) then answers the same corpus entirely from
+//!   shared canonical hits, against the solve-everything cost a lone tenant pays.
 //!
 //! The medians (nanoseconds per query) are written as JSON to `BENCH_xpsat.json` at the
 //! repo root so successive PRs have a trajectory to compare against:
@@ -36,11 +44,13 @@
 //! perf-regression step compares the warm medians of a fresh run against the committed
 //! baseline and fails on >25% regressions.
 
+use std::sync::Arc;
 use std::time::Instant;
 use xpsat_bench::{chain_query, random_positive_query, rng};
-use xpsat_core::Solver;
+use xpsat_core::{Budget, Solver};
 use xpsat_dtd::{parse_dtd, Dtd, DtdArtifacts};
-use xpsat_service::{engine_slug, Workspace};
+use xpsat_plan::{compile, vm, CanonicalQuery, CompileLimits, DecisionProgram, Scratch};
+use xpsat_service::{engine_slug, CanonicalCache, Workspace};
 use xpsat_xpath::{parse_path, Path};
 
 struct EngineCorpus {
@@ -353,6 +363,89 @@ fn main() {
         ));
     }
 
+    // Compiled-VM bucket: lower the batch corpus' in-fragment queries to decision
+    // programs once, then replay them in the VM against the AST solver's warm
+    // dispatch on the same artifacts.
+    let vm_artifacts = DtdArtifacts::build(&batch_dtd);
+    let limits = CompileLimits::default();
+    let canon_paths: Vec<Path> = batch_qs
+        .iter()
+        .map(|q| CanonicalQuery::of(q).path)
+        .collect();
+    let programs: Vec<(usize, DecisionProgram)> = canon_paths
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| compile(&vm_artifacts, p, &limits).map(|prog| (i, prog)))
+        .collect();
+    let compile_ns = time_per_query(iters, programs.len().max(1), || {
+        for (i, _) in &programs {
+            std::hint::black_box(compile(&vm_artifacts, &canon_paths[*i], &limits));
+        }
+    });
+    let unlimited = Budget::unlimited();
+    let mut scratch = Scratch::new();
+    let vm_warm_ns = time_per_query(iters, programs.len().max(1), || {
+        for (_, program) in &programs {
+            std::hint::black_box(vm::decide(program, &vm_artifacts, &mut scratch, &unlimited));
+        }
+    });
+    let ast_warm_ns = time_per_query(iters, programs.len().max(1), || {
+        for (i, _) in &programs {
+            std::hint::black_box(solver.decide_with_artifacts(&vm_artifacts, &batch_qs[*i]));
+        }
+    });
+    println!(
+        "compiled-vm ({}/{} queries in fragment)  compile {} ns/q   vm-warm {} ns/q   ast-warm {} ns/q   speedup {:.2}x",
+        programs.len(),
+        batch_qs.len(),
+        json_f64(compile_ns),
+        json_f64(vm_warm_ns),
+        json_f64(ast_warm_ns),
+        ast_warm_ns / vm_warm_ns
+    );
+
+    // Canonical-cache bucket: tenant A decides the corpus and publishes; tenant B
+    // (fresh workspace sharing only the canonical cache) answers it from shared hits.
+    let mut shared_hits = 0u64;
+    let mut shared_recomputes = 0u64;
+    let mut shared_classes = 0usize;
+    let shared_hit_samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let shared = Arc::new(CanonicalCache::new());
+            let mut publisher = Workspace::default().with_canonical_cache(Arc::clone(&shared));
+            let d = publisher.register_dtd_value(batch_dtd.clone());
+            let ids: Vec<_> = batch_qs
+                .iter()
+                .map(|q| publisher.intern_path(q.clone()))
+                .collect();
+            publisher.decide_batch(d, &ids, 1).unwrap();
+            shared_classes = shared.len();
+
+            let mut subscriber = Workspace::default().with_canonical_cache(Arc::clone(&shared));
+            let d = subscriber.register_dtd_value(batch_dtd.clone());
+            let ids: Vec<_> = batch_qs
+                .iter()
+                .map(|q| subscriber.intern_path(q.clone()))
+                .collect();
+            let start = Instant::now();
+            std::hint::black_box(subscriber.decide_batch(d, &ids, 1).unwrap());
+            let per_query = start.elapsed().as_nanos() as f64 / batch_qs.len() as f64;
+            shared_hits = subscriber.stats().canonical_hits;
+            shared_recomputes = subscriber.stats().decisions_computed;
+            per_query
+        })
+        .collect();
+    let shared_hit_ns = median(shared_hit_samples);
+    println!(
+        "canonical-cache ({} classes)  lone-tenant {} ns/q   shared-hit {} ns/q   speedup {:.2}x   hits {}   recomputes {}",
+        shared_classes,
+        json_f64(warm_workspace_ns),
+        json_f64(shared_hit_ns),
+        warm_workspace_ns / shared_hit_ns,
+        shared_hits,
+        shared_recomputes
+    );
+
     // Realistic-DTD bucket: schema-sized grammars (XHTML- and DocBook-scale) measuring
     // what a tenant pays to register a real schema (artifact build) and the warm decide
     // latency once artifacts exist.  The synthetic corpora above isolate engines; this
@@ -415,7 +508,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"xpsat-perf-v2\",\n  \"iters\": {iters},\n  \"cpus\": {cpus},\n  \"engines\": {{\n{}\n  }},\n  \"negation_heavy\": {{\"queries\": {}, \"cold_ns\": {}, \"warm_ns\": {}, \"speedup\": {:.2}, \"dispatch_ok\": {}}},\n  \"batch\": {{\"queries\": {}, \"cold_loop_ns\": {}, \"warm_workspace_ns\": {}, \"speedup\": {:.2}}},\n  \"thread_scaling\": {{\n    \"queries\": {},\n    \"workers\": [\n{}\n    ]\n  }},\n  \"realistic_dtds\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"xpsat-perf-v3\",\n  \"iters\": {iters},\n  \"cpus\": {cpus},\n  \"engines\": {{\n{}\n  }},\n  \"negation_heavy\": {{\"queries\": {}, \"cold_ns\": {}, \"warm_ns\": {}, \"speedup\": {:.2}, \"dispatch_ok\": {}}},\n  \"batch\": {{\"queries\": {}, \"cold_loop_ns\": {}, \"warm_workspace_ns\": {}, \"speedup\": {:.2}}},\n  \"thread_scaling\": {{\n    \"queries\": {},\n    \"workers\": [\n{}\n    ]\n  }},\n  \"compiled_vm\": {{\"queries\": {}, \"compiled\": {}, \"compile_ns\": {}, \"vm_warm_ns\": {}, \"ast_warm_ns\": {}, \"speedup\": {:.2}}},\n  \"canonical_cache\": {{\"queries\": {}, \"classes\": {}, \"hits\": {}, \"recomputes\": {}, \"lone_tenant_ns\": {}, \"shared_hit_ns\": {}, \"speedup\": {:.2}}},\n  \"realistic_dtds\": {{\n{}\n  }}\n}}\n",
         engine_sections.join(",\n"),
         neg_qs.len(),
         json_f64(neg_cold_ns),
@@ -428,6 +521,19 @@ fn main() {
         cold_loop_ns / warm_workspace_ns,
         batch_qs.len(),
         sweep_sections.join(",\n"),
+        batch_qs.len(),
+        programs.len(),
+        json_f64(compile_ns),
+        json_f64(vm_warm_ns),
+        json_f64(ast_warm_ns),
+        ast_warm_ns / vm_warm_ns,
+        batch_qs.len(),
+        shared_classes,
+        shared_hits,
+        shared_recomputes,
+        json_f64(warm_workspace_ns),
+        json_f64(shared_hit_ns),
+        warm_workspace_ns / shared_hit_ns,
         realistic_sections.join(",\n")
     );
     std::fs::write(&out, json).expect("write perf report");

@@ -45,6 +45,9 @@ pub enum EngineKind {
     Rewritten,
     /// Bounded instance enumeration (Proposition 6.4 / fallback).
     Enumeration,
+    /// A precompiled decision program replayed by the plan VM (Theorems 4.1/4.4
+    /// specialised to one `(query, DTD)` pair at compile time).
+    CompiledVm,
 }
 
 impl std::fmt::Display for EngineKind {
@@ -57,6 +60,7 @@ impl std::fmt::Display for EngineKind {
             EngineKind::NegationFixpoint => "negation fixpoint (Thms 5.2/5.3)",
             EngineKind::Rewritten => "rewriting + dispatch (Thm 6.8(2)/Prop 6.1)",
             EngineKind::Enumeration => "instance enumeration (Prop 6.4)",
+            EngineKind::CompiledVm => "compiled decision program (plan VM)",
         };
         write!(f, "{name}")
     }

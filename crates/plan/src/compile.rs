@@ -1,0 +1,566 @@
+//! Lowering a canonical query × [`DtdArtifacts`] into a [`DecisionProgram`].
+//!
+//! The compiler specialises the paper's downward reachability procedure (Theorems
+//! 4.1/4.4) to one `(query, DTD)` pair.  The program's registers hold sets of element
+//! types the spine node can have; qualifier conjuncts become *pending demands* — child
+//! labels that must occur in the node's children word — which the **next** child step
+//! consumes through a joint content-model cover mask (`{t : L(P(t))` has a word
+//! containing the spine label and one occurrence of every demand label`}`).  The joint
+//! check is what keeps `a[b and c]/d` sound under `a → (b,c)|d`: each demand needs its
+//! own child occurrence *in the same word* as the spine child.
+//!
+//! The compiler bails (returns `None`, leaving the AST solver as oracle) whenever the
+//! discipline cannot guarantee exactness cheaply:
+//!
+//! * operators outside the downward fragment (upward/sibling axes, negation, data
+//!   values, disjunctive or attribute qualifiers);
+//! * a qualifier path not starting with a concrete child label;
+//! * a spine step whose label collides with a pending demand, or two demands on the
+//!   same label (one child could then serve two roles — a multiplicity interaction the
+//!   cover mask cannot see);
+//! * wildcard/descendant spine steps with demands pending, and union branches that
+//!   would carry pending demands past the join (except in tail position, where a
+//!   trailing cover mask resolves them);
+//! * compile-work or program-size limits exceeded (hostile inputs).
+//!
+//! Within the accepted fragment the lowering is exact: demands are pre-filtered by
+//! *type-level feasibility* of their remaining path (computed by the same analysis,
+//! recursively), and subtrees hanging off distinct children realise independently
+//! under a DTD, which is precisely the paper's `Tree(p, D)` argument.
+
+use crate::canon::path_is_trivial;
+use crate::program::{DecisionProgram, MaskId, Op, Reg};
+use std::collections::HashMap;
+use xpsat_automata::{word_with_multiplicities, BitSet, CoverDemand};
+use xpsat_dtd::{CompiledDtd, DtdArtifacts, Sym};
+use xpsat_xpath::{Features, Path, Qualifier};
+
+/// Bounds on compile-time work, so hostile queries degrade to the AST path instead of
+/// stalling the compiler.
+#[derive(Debug, Clone)]
+pub struct CompileLimits {
+    /// Maximum instructions (and registers) a program may have.
+    pub max_ops: usize,
+    /// Maximum pending demands at one spine position (cover BFS cost grows with it).
+    pub max_demands: usize,
+    /// Abstract work budget for feasibility analysis (≈ automaton states visited).
+    pub max_work: u64,
+}
+
+impl Default for CompileLimits {
+    fn default() -> CompileLimits {
+        CompileLimits {
+            max_ops: 512,
+            max_demands: 6,
+            max_work: 4_000_000,
+        }
+    }
+}
+
+/// One element of the flattened step stream.
+#[derive(Debug, Clone)]
+pub(crate) enum Atom<'a> {
+    /// A single spine step: `Label`, `Wildcard` or `DescendantOrSelf`.
+    Step(&'a Path),
+    /// A child step to an already-resolved element type (used by witness chains).
+    Sym(Sym),
+    /// A union of alternative continuations, each itself flattened.
+    Branch(Vec<Vec<Atom<'a>>>),
+    /// A filter: the flattened conjuncts applying at the current position.
+    Qual(Vec<&'a Qualifier>),
+}
+
+/// Flatten `p` into the atom stream, or `None` when it leaves the downward fragment.
+pub(crate) fn flatten(p: &Path) -> Option<Vec<Atom<'_>>> {
+    let mut out = Vec::new();
+    flatten_into(p, &mut out)?;
+    Some(out)
+}
+
+fn flatten_into<'a>(p: &'a Path, out: &mut Vec<Atom<'a>>) -> Option<()> {
+    match p {
+        Path::Empty => Some(()),
+        Path::Seq(a, b) => {
+            flatten_into(a, out)?;
+            flatten_into(b, out)
+        }
+        Path::Label(_) | Path::Wildcard | Path::DescendantOrSelf => {
+            out.push(Atom::Step(p));
+            Some(())
+        }
+        Path::Union(_, _) => {
+            let mut branches = Vec::new();
+            collect_union(p, &mut branches);
+            let mut flat = Vec::with_capacity(branches.len());
+            for b in branches {
+                flat.push(flatten(b)?);
+            }
+            out.push(Atom::Branch(flat));
+            Some(())
+        }
+        Path::Filter(base, q) => {
+            flatten_into(base, out)?;
+            let mut conjs = Vec::new();
+            collect_and(q, &mut conjs);
+            out.push(Atom::Qual(conjs));
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+fn collect_union<'a>(p: &'a Path, out: &mut Vec<&'a Path>) {
+    match p {
+        Path::Union(a, b) => {
+            collect_union(a, out);
+            collect_union(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn collect_and<'a>(q: &'a Qualifier, out: &mut Vec<&'a Qualifier>) {
+    match q {
+        Qualifier::And(a, b) => {
+            collect_and(a, out);
+            collect_and(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// What one qualifier conjunct contributes at a spine position.
+pub(crate) enum Conj {
+    /// Trivially true; contributes nothing.
+    True,
+    /// Unsatisfiable; the position's image is empty.
+    Dead,
+    /// Restrict the position to one element type (a label test).
+    Restrict(Sym),
+    /// Demand a child with this label (remaining path verified type-feasible).
+    Pend(Sym),
+}
+
+/// Shared feasibility analysis: pure bitset images of atom streams, memoised joint
+/// cover masks, and a work budget.  Used by the compiler (to build `ok` masks and
+/// pre-filter demands) and by the witness realiser (to steer choices).
+pub(crate) struct Analysis<'a> {
+    pub(crate) compiled: &'a CompiledDtd,
+    limits: &'a CompileLimits,
+    work: u64,
+    cover_memo: HashMap<(Option<Sym>, Vec<Sym>), BitSet>,
+}
+
+impl<'a> Analysis<'a> {
+    pub(crate) fn new(compiled: &'a CompiledDtd, limits: &'a CompileLimits) -> Analysis<'a> {
+        Analysis {
+            compiled,
+            limits,
+            work: 0,
+            cover_memo: HashMap::new(),
+        }
+    }
+
+    fn spend(&mut self, n: u64) -> Option<()> {
+        self.work = self.work.saturating_add(n);
+        (self.work <= self.limits.max_work).then_some(())
+    }
+
+    fn empty(&self) -> BitSet {
+        BitSet::with_capacity(self.compiled.num_elements())
+    }
+
+    pub(crate) fn singleton(&self, s: Sym) -> BitSet {
+        let mut b = self.empty();
+        b.insert(s.index());
+        b
+    }
+
+    /// The types whose content model has a word containing one occurrence of `base`
+    /// (when present) plus one occurrence of every demand label, all at distinct
+    /// positions.  Demands are pairwise distinct and distinct from `base` (enforced by
+    /// the callers' bail rules), so distinctness is automatic.
+    pub(crate) fn cover_mask(&mut self, base: Option<Sym>, demands: &[Sym]) -> Option<BitSet> {
+        let mut key: Vec<Sym> = demands.to_vec();
+        key.sort_unstable();
+        if let Some(m) = self.cover_memo.get(&(base, key.clone())) {
+            return Some(m.clone());
+        }
+        let mut dem = CoverDemand::none();
+        if let Some(s) = base {
+            dem = dem.require(s, 1);
+        }
+        for &d in &key {
+            dem = dem.require(d, 1);
+        }
+        let mut mask = self.empty();
+        let graph = self.compiled.graph();
+        for t in self.compiled.elements() {
+            // Every required label must be a successor of `t` at all; edges of the
+            // pruned graph mean "occurs in some word", which settles the base-only and
+            // no-demand cases without touching the automaton.
+            let succ = graph.succ_bits(t);
+            let present = base.is_none_or(|s| succ.contains(s.index()))
+                && key.iter().all(|d| succ.contains(d.index()));
+            if !present {
+                continue;
+            }
+            if key.is_empty() {
+                mask.insert(t.index());
+                continue;
+            }
+            self.spend(self.compiled.automaton(t).num_states() as u64 + 1)?;
+            if word_with_multiplicities(self.compiled.automaton(t), &dem) {
+                mask.insert(t.index());
+            }
+        }
+        self.cover_memo.insert((base, key), mask.clone());
+        Some(mask)
+    }
+
+    /// Image of a child step to `s` under pending demands.
+    fn child_image(&mut self, cur: &BitSet, s: Sym, pending: &[Sym]) -> Option<BitSet> {
+        if pending.contains(&s) {
+            return None;
+        }
+        let ok = self.cover_mask(Some(s), pending)?;
+        let mut dst = self.empty();
+        if cur.intersects(&ok) {
+            dst.insert(s.index());
+        }
+        Some(dst)
+    }
+
+    /// Classify one conjunct against the current pending set (shared by image,
+    /// emission and witness realisation so their bail behaviour cannot diverge).
+    pub(crate) fn analyze_conjunct(&mut self, pending: &[Sym], q: &Qualifier) -> Option<Conj> {
+        match q {
+            Qualifier::LabelIs(name) => match self.compiled.elem_sym(name) {
+                None => Some(Conj::Dead),
+                Some(s) => Some(Conj::Restrict(s)),
+            },
+            Qualifier::Path(p) => {
+                if path_is_trivial(p) {
+                    return Some(Conj::True);
+                }
+                let atoms = flatten(p)?;
+                let Some((first, rest)) = atoms.split_first() else {
+                    return Some(Conj::True); // ε qualifier
+                };
+                let s = match first {
+                    Atom::Step(Path::Label(name)) => match self.compiled.elem_sym(name) {
+                        None => return Some(Conj::Dead),
+                        Some(s) => s,
+                    },
+                    Atom::Sym(s) => *s,
+                    // A demand without a concrete first child label (wildcard, desc,
+                    // union, leading filter) needs per-type treatment; bail.
+                    _ => return None,
+                };
+                if pending.contains(&s) || pending.len() >= self.limits.max_demands {
+                    return None;
+                }
+                let start = self.singleton(s);
+                let img = self.image(&start, rest, &[], true)?;
+                if img.is_empty() {
+                    Some(Conj::Dead)
+                } else {
+                    Some(Conj::Pend(s))
+                }
+            }
+            // Or / Not / AttrCmp / AttrJoin: outside the compiled fragment.
+            _ => None,
+        }
+    }
+
+    /// Pure image of `atoms` from the types in `start`, under `incoming` pending
+    /// demands.  `tail` permits trailing demands (resolved by a cover mask); otherwise
+    /// they bail.  `None` = outside the fragment or out of work budget; an *empty*
+    /// image is a definite "nothing reachable".
+    pub(crate) fn image(
+        &mut self,
+        start: &BitSet,
+        atoms: &[Atom],
+        incoming: &[Sym],
+        tail: bool,
+    ) -> Option<BitSet> {
+        self.spend(atoms.len() as u64 + 1)?;
+        let mut cur = start.clone();
+        let mut pending: Vec<Sym> = incoming.to_vec();
+        for (i, atom) in atoms.iter().enumerate() {
+            let last = i + 1 == atoms.len();
+            match atom {
+                Atom::Step(step) => match step {
+                    Path::Label(name) => {
+                        cur = match self.compiled.elem_sym(name) {
+                            None => self.empty(),
+                            Some(s) => self.child_image(&cur, s, &pending)?,
+                        };
+                        pending.clear();
+                    }
+                    Path::Wildcard => {
+                        if !pending.is_empty() {
+                            return None;
+                        }
+                        let mut dst = self.empty();
+                        for t in cur.iter() {
+                            dst.union_with(self.compiled.graph().succ_bits(Sym::from_index(t)));
+                        }
+                        cur = dst;
+                    }
+                    Path::DescendantOrSelf => {
+                        if !pending.is_empty() {
+                            return None;
+                        }
+                        let mut dst = cur.clone();
+                        for t in cur.iter() {
+                            dst.union_with(self.compiled.graph().reach_bits(Sym::from_index(t)));
+                        }
+                        cur = dst;
+                    }
+                    _ => return None,
+                },
+                Atom::Sym(s) => {
+                    cur = self.child_image(&cur, *s, &pending)?;
+                    pending.clear();
+                }
+                Atom::Branch(branches) => {
+                    let branch_tail = tail && last;
+                    let mut dst = self.empty();
+                    for b in branches {
+                        let r = self.image(&cur, b, &pending, branch_tail)?;
+                        dst.union_with(&r);
+                    }
+                    cur = dst;
+                    pending.clear();
+                }
+                Atom::Qual(conjs) => {
+                    for c in conjs {
+                        match self.analyze_conjunct(&pending, c)? {
+                            Conj::True => {}
+                            Conj::Dead => {
+                                cur = self.empty();
+                                pending.clear();
+                            }
+                            Conj::Restrict(s) => {
+                                let m = self.singleton(s);
+                                cur.intersect_with(&m);
+                            }
+                            Conj::Pend(s) => pending.push(s),
+                        }
+                    }
+                }
+            }
+        }
+        if !pending.is_empty() {
+            if !tail {
+                return None;
+            }
+            let mask = self.cover_mask(None, &pending)?;
+            cur.intersect_with(&mask);
+        }
+        Some(cur)
+    }
+
+    /// Is the atom stream satisfiable from a node of type `s`?
+    pub(crate) fn feasible_from(&mut self, s: Sym, atoms: &[Atom]) -> Option<bool> {
+        let start = self.singleton(s);
+        Some(!self.image(&start, atoms, &[], true)?.is_empty())
+    }
+}
+
+/// Op emission: mirrors [`Analysis::image`] step for step, but materialises registers
+/// and interned masks instead of computing the sets.
+struct Compiler<'a> {
+    an: Analysis<'a>,
+    ops: Vec<Op>,
+    masks: Vec<BitSet>,
+    mask_memo: HashMap<(Option<Sym>, Vec<Sym>), MaskId>,
+}
+
+impl<'a> Compiler<'a> {
+    fn next_reg(&self) -> Option<Reg> {
+        (self.ops.len() < self.an.limits.max_ops).then_some(self.ops.len() as Reg)
+    }
+
+    fn push(&mut self, op: Op) -> Option<Reg> {
+        let dst = self.next_reg()?;
+        self.ops.push(op);
+        Some(dst)
+    }
+
+    fn push_mask(&mut self, mask: BitSet) -> Option<MaskId> {
+        if self.masks.len() >= self.an.limits.max_ops {
+            return None;
+        }
+        let id = self.masks.len() as MaskId;
+        self.masks.push(mask);
+        Some(id)
+    }
+
+    fn intern_cover(&mut self, base: Option<Sym>, demands: &[Sym]) -> Option<MaskId> {
+        let mut key: Vec<Sym> = demands.to_vec();
+        key.sort_unstable();
+        if let Some(&id) = self.mask_memo.get(&(base, key.clone())) {
+            return Some(id);
+        }
+        let mask = self.an.cover_mask(base, &key)?;
+        let id = self.push_mask(mask)?;
+        self.mask_memo.insert((base, key), id);
+        Some(id)
+    }
+
+    fn emit_child(&mut self, src: Reg, s: Sym, pending: &[Sym]) -> Option<Reg> {
+        if pending.contains(&s) {
+            return None;
+        }
+        let ok = self.intern_cover(Some(s), pending)?;
+        let dst = self.next_reg()?;
+        self.push(Op::Child {
+            src,
+            dst,
+            sym: s,
+            ok,
+        })
+    }
+
+    fn emit(&mut self, src: Reg, atoms: &[Atom], incoming: &[Sym], tail: bool) -> Option<Reg> {
+        let mut cur = src;
+        let mut pending: Vec<Sym> = incoming.to_vec();
+        for (i, atom) in atoms.iter().enumerate() {
+            let last = i + 1 == atoms.len();
+            match atom {
+                Atom::Step(step) => match step {
+                    Path::Label(name) => {
+                        cur = match self.an.compiled.elem_sym(name) {
+                            None => {
+                                let dst = self.next_reg()?;
+                                self.push(Op::Empty { dst })?
+                            }
+                            Some(s) => self.emit_child(cur, s, &pending)?,
+                        };
+                        pending.clear();
+                    }
+                    Path::Wildcard => {
+                        if !pending.is_empty() {
+                            return None;
+                        }
+                        let dst = self.next_reg()?;
+                        cur = self.push(Op::AnyChild { src: cur, dst })?;
+                    }
+                    Path::DescendantOrSelf => {
+                        if !pending.is_empty() {
+                            return None;
+                        }
+                        let dst = self.next_reg()?;
+                        cur = self.push(Op::DescOrSelf { src: cur, dst })?;
+                    }
+                    _ => return None,
+                },
+                Atom::Sym(s) => {
+                    cur = self.emit_child(cur, *s, &pending)?;
+                    pending.clear();
+                }
+                Atom::Branch(branches) => {
+                    let branch_tail = tail && last;
+                    let mut acc: Option<Reg> = None;
+                    for b in branches {
+                        let r = self.emit(cur, b, &pending, branch_tail)?;
+                        acc = Some(match acc {
+                            None => r,
+                            Some(a) => {
+                                let dst = self.next_reg()?;
+                                self.push(Op::Union { a, b: r, dst })?
+                            }
+                        });
+                    }
+                    cur = acc?;
+                    pending.clear();
+                }
+                Atom::Qual(conjs) => {
+                    for c in conjs {
+                        match self.an.analyze_conjunct(&pending, c)? {
+                            Conj::True => {}
+                            Conj::Dead => {
+                                let dst = self.next_reg()?;
+                                cur = self.push(Op::Empty { dst })?;
+                                pending.clear();
+                            }
+                            Conj::Restrict(s) => {
+                                let m = self.an.singleton(s);
+                                let mask = self.push_mask(m)?;
+                                let dst = self.next_reg()?;
+                                cur = self.push(Op::Intersect {
+                                    src: cur,
+                                    dst,
+                                    mask,
+                                })?;
+                            }
+                            Conj::Pend(s) => pending.push(s),
+                        }
+                    }
+                }
+            }
+        }
+        if !pending.is_empty() {
+            if !tail {
+                return None;
+            }
+            let mask = self.intern_cover(None, &pending)?;
+            let dst = self.next_reg()?;
+            cur = self.push(Op::Intersect {
+                src: cur,
+                dst,
+                mask,
+            })?;
+        }
+        Some(cur)
+    }
+}
+
+/// Lower `canonical` against `artifacts` into a replayable program, or `None` when the
+/// query leaves the compiled fragment (the caller keeps the AST solver as oracle).
+///
+/// The input should be the output of [`crate::canonicalize`]; a non-canonical path
+/// compiles correctly too, it just forfeits sharing.
+pub fn compile(
+    artifacts: &DtdArtifacts,
+    canonical: &Path,
+    limits: &CompileLimits,
+) -> Option<DecisionProgram> {
+    let f = Features::of_path(canonical);
+    if f.negation || f.data_value || f.has_upward() || f.has_sibling() {
+        return None;
+    }
+    let Some(compiled) = artifacts.compiled() else {
+        // Non-terminating root: no document conforms, every query is unsatisfiable.
+        return Some(DecisionProgram {
+            ops: Vec::new(),
+            masks: Vec::new(),
+            num_elements: 0,
+            out: 0,
+            const_unsat: true,
+            canon: canonical.clone(),
+            dtd_uid: artifacts.uid(),
+        });
+    };
+    let atoms = flatten(canonical)?;
+    let mut c = Compiler {
+        an: Analysis::new(compiled, limits),
+        ops: Vec::new(),
+        masks: Vec::new(),
+        mask_memo: HashMap::new(),
+    };
+    let dst = c.next_reg()?;
+    let root = c.push(Op::Root { dst })?;
+    let out = c.emit(root, &atoms, &[], true)?;
+    Some(DecisionProgram {
+        ops: c.ops,
+        masks: c.masks,
+        num_elements: compiled.num_elements(),
+        out,
+        const_unsat: false,
+        canon: canonical.clone(),
+        dtd_uid: artifacts.uid(),
+    })
+}

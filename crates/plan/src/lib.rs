@@ -1,0 +1,40 @@
+//! # xpsat-plan — decision-program compiler and VM
+//!
+//! The dispatch layer in `xpsat-core` re-interprets the query AST on every decide.
+//! This crate lowers a `(query, DTD)` pair **once** into a flat [`DecisionProgram`]
+//! that a tiny bitset [`vm`] replays allocation-free, and it defines the structural
+//! [`canon`]ical form whose hash lets caches share verdicts across every spelling of
+//! the same query — including across tenants.
+//!
+//! * [`canon`] — canonicalisation up to qualifier reordering, associativity and
+//!   trivial rewrites; canonical (FNV) and label-erased structural hashes.
+//! * [`compile`](mod@compile) — lowering to straight-line bitset ops with qualifier
+//!   demands baked into joint content-model cover masks; bails to the AST solver
+//!   outside its fragment.
+//! * [`vm`] — the replay loop plus witness-carrying [`vm::decide`].
+//!
+//! ```
+//! use xpsat_dtd::{parse_dtd, DtdArtifacts};
+//! use xpsat_plan::{canonicalize, compile, CompileLimits, vm};
+//! use xpsat_xpath::parse_path;
+//!
+//! let dtd = parse_dtd("r -> a; a -> b, c; b -> #; c -> #;").unwrap();
+//! let artifacts = DtdArtifacts::build(&dtd);
+//! let canon = canonicalize(&parse_path("a[c and b]").unwrap());
+//! let program = compile(&artifacts, &canon, &CompileLimits::default()).unwrap();
+//! let mut scratch = vm::Scratch::new();
+//! let budget = xpsat_core::Budget::unlimited();
+//! let decision = vm::decide(&program, &artifacts, &mut scratch, &budget).unwrap();
+//! assert_eq!(decision.result.is_satisfiable(), Some(true));
+//! ```
+
+pub mod canon;
+pub mod compile;
+pub mod program;
+pub mod vm;
+mod witness;
+
+pub use canon::{canonicalize, fnv64, structural_hash, CanonicalQuery};
+pub use compile::{compile, CompileLimits};
+pub use program::{DecisionProgram, MaskId, Op, Reg};
+pub use vm::Scratch;

@@ -1,0 +1,142 @@
+//! Replaying a [`DecisionProgram`]: a handful of bitset ops, fuel-metered, with no
+//! allocation once the [`Scratch`] registers are warm.
+
+use crate::program::{DecisionProgram, Op};
+use crate::witness;
+use xpsat_automata::BitSet;
+use xpsat_core::{Budget, BudgetMeter, Decision, EngineKind, Exhausted, Satisfiability};
+use xpsat_dtd::{DtdArtifacts, Sym};
+
+/// Reusable register file.  Replaying the same program shape reuses the allocation;
+/// a different shape reallocates once.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    regs: Vec<BitSet>,
+    num_elements: usize,
+}
+
+impl Scratch {
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    fn prepare(&mut self, num_regs: usize, num_elements: usize) {
+        if self.num_elements != num_elements || self.regs.len() < num_regs {
+            self.regs = (0..num_regs)
+                .map(|_| BitSet::with_capacity(num_elements))
+                .collect();
+            self.num_elements = num_elements;
+        } else {
+            for r in &mut self.regs[..num_regs] {
+                r.clear();
+            }
+        }
+    }
+}
+
+/// Replay `program` and report whether the final image is nonempty (= satisfiable).
+///
+/// Fuel: one unit per op plus one per source type expanded by the set-valued steps,
+/// drawn from `meter` so VM work shares the caller's [`Budget`] with everything else.
+pub fn run(
+    program: &DecisionProgram,
+    artifacts: &DtdArtifacts,
+    scratch: &mut Scratch,
+    meter: &BudgetMeter,
+) -> Result<bool, Exhausted> {
+    if program.const_unsat {
+        return Ok(false);
+    }
+    let compiled = artifacts
+        .compiled()
+        .expect("non-const programs are compiled against a compilable DTD");
+    let graph = compiled.graph();
+    scratch.prepare(program.num_regs(), program.num_elements);
+    let regs = &mut scratch.regs;
+    for op in &program.ops {
+        meter.spend(1)?;
+        match *op {
+            Op::Root { dst } => {
+                regs[dst as usize].insert(compiled.root().index());
+            }
+            Op::Empty { .. } => {}
+            Op::Child { src, dst, sym, ok } => {
+                if regs[src as usize].intersects(&program.masks[ok as usize]) {
+                    regs[dst as usize].insert(sym.index());
+                }
+            }
+            Op::AnyChild { src, dst } => {
+                let (left, right) = regs.split_at_mut(dst as usize);
+                let d = &mut right[0];
+                let mut n = 0u64;
+                for t in left[src as usize].iter() {
+                    d.union_with(graph.succ_bits(Sym::from_index(t)));
+                    n += 1;
+                }
+                meter.spend(n)?;
+            }
+            Op::DescOrSelf { src, dst } => {
+                let (left, right) = regs.split_at_mut(dst as usize);
+                let d = &mut right[0];
+                d.union_with(&left[src as usize]);
+                let mut n = 0u64;
+                for t in left[src as usize].iter() {
+                    d.union_with(graph.reach_bits(Sym::from_index(t)));
+                    n += 1;
+                }
+                meter.spend(n)?;
+            }
+            Op::Intersect { src, dst, mask } => {
+                let (left, right) = regs.split_at_mut(dst as usize);
+                right[0].union_with(&left[src as usize]);
+                right[0].intersect_with(&program.masks[mask as usize]);
+            }
+            Op::Union { a, b, dst } => {
+                let (left, right) = regs.split_at_mut(dst as usize);
+                right[0].union_with(&left[a as usize]);
+                right[0].union_with(&left[b as usize]);
+            }
+        }
+    }
+    Ok(!regs[program.out as usize].is_empty())
+}
+
+/// Decide through the compiled program: replay, then realise a witness on SAT.
+///
+/// Returns `None` when the program does not match `artifacts` or when witness
+/// realisation fails — the caller falls back to the AST solver.  Budget exhaustion
+/// returns the usual `Unknown`-with-`exhausted` decision.
+pub fn decide(
+    program: &DecisionProgram,
+    artifacts: &DtdArtifacts,
+    scratch: &mut Scratch,
+    budget: &Budget,
+) -> Option<Decision> {
+    if program.dtd_uid != artifacts.uid() {
+        return None;
+    }
+    let meter = budget.meter();
+    match run(program, artifacts, scratch, &meter) {
+        Err(cause) => Some(Decision {
+            result: Satisfiability::Unknown,
+            engine: EngineKind::CompiledVm,
+            complete: false,
+            exhausted: Some(cause),
+        }),
+        Ok(false) => Some(Decision {
+            result: Satisfiability::Unsatisfiable,
+            engine: EngineKind::CompiledVm,
+            complete: true,
+            exhausted: None,
+        }),
+        Ok(true) => {
+            let doc = witness::build(program, artifacts)?;
+            Some(Decision {
+                result: Satisfiability::Satisfiable(doc),
+                engine: EngineKind::CompiledVm,
+                complete: true,
+                exhausted: None,
+            })
+        }
+    }
+}

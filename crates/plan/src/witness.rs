@@ -1,0 +1,254 @@
+//! Witness realisation for satisfiable compiled programs: the paper's `Tree(p, D)`
+//! construction, steered by the same feasibility analysis the compiler used.
+//!
+//! The realiser walks the canonical query's atom stream top-down.  At each spine node
+//! it accumulates the qualifier demands pending there, then expands the node with a
+//! shortest children word jointly covering the spine child and one child per demand
+//! (distinct occurrences — the compiler's disjointness discipline guarantees a child
+//! can serve only one role).  Demand children recursively realise their qualifier
+//! remainder, the spine child continues the query, and every other child expands to a
+//! minimal conforming subtree.  Choice points (wildcard/descendant targets, union
+//! branches) are resolved by type-level feasibility images, which is sound because
+//! subtrees under distinct children realise independently under a DTD.
+//!
+//! This is the cold path — it runs once per `(DTD, canonical query)` cache fill — so
+//! allocation is fine here; only [`crate::vm::run`] is allocation-free.
+
+use crate::compile::{flatten, Analysis, Atom, CompileLimits, Conj};
+use crate::program::DecisionProgram;
+use std::collections::VecDeque;
+use xpsat_automata::{shortest_covering_word, CoverDemand};
+use xpsat_dtd::{CompiledDtd, DtdArtifacts, Sym, TreeGenerator};
+use xpsat_xmltree::{Document, NodeId};
+use xpsat_xpath::{Path, Qualifier};
+
+/// Nodes a witness may create before the realiser gives up (hostile-input guard).
+const MAX_WITNESS_NODES: usize = 50_000;
+
+/// Build a conforming document on which the program's canonical query selects a node.
+/// `None` sends the caller to the AST solver (never expected on a sound SAT replay,
+/// but the fallback keeps failures graceful).
+pub(crate) fn build(program: &DecisionProgram, artifacts: &DtdArtifacts) -> Option<Document> {
+    if program.const_unsat {
+        return None;
+    }
+    let compiled = artifacts.compiled()?;
+    let atoms = flatten(&program.canon)?;
+    let limits = CompileLimits::default();
+    let mut b = Builder {
+        an: Analysis::new(compiled, &limits),
+        gen: compiled.generator(),
+        compiled,
+        nodes: 0,
+    };
+    let root_sym = compiled.root();
+    let mut doc = Document::new(compiled.name(root_sym));
+    let root = doc.root();
+    b.realize(&mut doc, root, root_sym, Vec::new(), &atoms)?;
+    Some(doc)
+}
+
+/// A qualifier demand pending at the current spine node: the demanded child label and
+/// the flattened remainder of the qualifier path from that child.
+type Pending<'a> = (Sym, Vec<Atom<'a>>);
+
+struct Builder<'a> {
+    an: Analysis<'a>,
+    gen: &'a TreeGenerator,
+    compiled: &'a CompiledDtd,
+    nodes: usize,
+}
+
+impl<'a> Builder<'a> {
+    /// Realise `atoms` from `node` (of type `t`), with `pending` demands already owed
+    /// at this node.  Invariant: the instance is type-feasible (checked at every
+    /// choice point), and `node` is childless until exactly one `expand` call.
+    fn realize(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        t: Sym,
+        mut pending: Vec<Pending<'a>>,
+        atoms: &[Atom<'a>],
+    ) -> Option<()> {
+        let mut i = 0;
+        loop {
+            match atoms.get(i) {
+                None => return self.expand(doc, node, t, &pending, None),
+                Some(Atom::Qual(conjs)) => {
+                    for c in conjs {
+                        let pend_syms: Vec<Sym> = pending.iter().map(|p| p.0).collect();
+                        match self.an.analyze_conjunct(&pend_syms, c)? {
+                            Conj::True => {}
+                            Conj::Dead => return None,
+                            Conj::Restrict(s) => {
+                                if t != s {
+                                    return None;
+                                }
+                            }
+                            Conj::Pend(s) => {
+                                let Qualifier::Path(p) = c else { return None };
+                                let qatoms = flatten(p)?;
+                                pending.push((s, qatoms[1..].to_vec()));
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                Some(Atom::Sym(s)) => {
+                    return self.expand(doc, node, t, &pending, Some((*s, &atoms[i + 1..])));
+                }
+                Some(Atom::Step(step)) => match step {
+                    Path::Label(name) => {
+                        let s = self.compiled.elem_sym(name)?;
+                        return self.expand(doc, node, t, &pending, Some((s, &atoms[i + 1..])));
+                    }
+                    Path::Wildcard => {
+                        if !pending.is_empty() {
+                            return None; // compiler bails here; mirror it
+                        }
+                        let rest = &atoms[i + 1..];
+                        let u = self.pick_feasible(self.compiled.graph().succ_bits(t), rest)?;
+                        return self.expand(doc, node, t, &pending, Some((u, rest)));
+                    }
+                    Path::DescendantOrSelf => {
+                        if !pending.is_empty() {
+                            return None;
+                        }
+                        let rest = &atoms[i + 1..];
+                        if self.an.feasible_from(t, rest)? {
+                            i += 1; // self satisfies the descendant step
+                            continue;
+                        }
+                        let u = self.pick_feasible(self.compiled.graph().reach_bits(t), rest)?;
+                        let chain = self.graph_path(t, u)?;
+                        let mut cont: Vec<Atom<'a>> = chain.into_iter().map(Atom::Sym).collect();
+                        cont.extend_from_slice(rest);
+                        return self.realize(doc, node, t, pending, &cont);
+                    }
+                    _ => return None,
+                },
+                Some(Atom::Branch(branches)) => {
+                    let rest = &atoms[i + 1..];
+                    let pend_syms: Vec<Sym> = pending.iter().map(|p| p.0).collect();
+                    for b in branches {
+                        let mut cont: Vec<Atom<'a>> = b.clone();
+                        cont.extend_from_slice(rest);
+                        let start = self.an.singleton(t);
+                        let img = self.an.image(&start, &cont, &pend_syms, true)?;
+                        if !img.is_empty() {
+                            return self.realize(doc, node, t, pending, &cont);
+                        }
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// First type in `candidates` from which `rest` is feasible.
+    fn pick_feasible(
+        &mut self,
+        candidates: &xpsat_automata::BitSet,
+        rest: &[Atom<'a>],
+    ) -> Option<Sym> {
+        let cand: Vec<Sym> = candidates.iter().map(Sym::from_index).collect();
+        for u in cand {
+            if self.an.feasible_from(u, rest)? {
+                return Some(u);
+            }
+        }
+        None
+    }
+
+    /// A type path `from → … → to` along DTD-graph edges, excluding `from`.
+    fn graph_path(&self, from: Sym, to: Sym) -> Option<Vec<Sym>> {
+        let graph = self.compiled.graph();
+        let n = self.compiled.num_elements();
+        let mut prev: Vec<Option<Sym>> = vec![None; n];
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        'bfs: while let Some(v) = queue.pop_front() {
+            for w in graph.succ_bits(v).iter().map(Sym::from_index) {
+                if prev[w.index()].is_none() {
+                    prev[w.index()] = Some(v);
+                    if w == to {
+                        break 'bfs;
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        prev[to.index()]?;
+        let mut path = vec![to];
+        let mut cur = to;
+        while let Some(p) = prev[cur.index()] {
+            if p == from {
+                break;
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Expand `node` with a children word covering every pending demand plus the spine
+    /// child, realise those children, and minimally expand the fillers.
+    fn expand(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        t: Sym,
+        pending: &[Pending<'a>],
+        spine: Option<(Sym, &[Atom<'a>])>,
+    ) -> Option<()> {
+        for attr in self.compiled.attributes(t) {
+            doc.set_attr(node, attr.clone(), "0");
+        }
+        if pending.is_empty() && spine.is_none() {
+            self.gen.expand_minimal(doc, node);
+            return Some(());
+        }
+        let mut dem: CoverDemand<Sym> = CoverDemand::none();
+        for (s, _) in pending {
+            dem = dem.require(*s, 1);
+        }
+        if let Some((s, _)) = spine {
+            if pending.iter().any(|(d, _)| *d == s) {
+                return None; // compiler bails on this collision; mirror it
+            }
+            dem = dem.require(s, 1);
+        }
+        let word = shortest_covering_word(self.compiled.automaton(t), &dem)?;
+        self.nodes += word.len() + 1;
+        if self.nodes > MAX_WITNESS_NODES {
+            return None;
+        }
+        let mut spine_done = false;
+        let mut claimed = vec![false; pending.len()];
+        for &cs in &word {
+            let child = doc.add_child(node, self.compiled.name(cs));
+            if let Some((s, rest)) = spine {
+                if cs == s && !spine_done {
+                    spine_done = true;
+                    self.realize(doc, child, cs, Vec::new(), rest)?;
+                    continue;
+                }
+            }
+            let mut matched = false;
+            for (j, (d, rest)) in pending.iter().enumerate() {
+                if *d == cs && !claimed[j] {
+                    claimed[j] = true;
+                    self.realize(doc, child, cs, Vec::new(), rest)?;
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                self.gen.expand_minimal(doc, child);
+            }
+        }
+        (claimed.iter().all(|&c| c) && (spine.is_none() || spine_done)).then_some(())
+    }
+}

@@ -1,0 +1,183 @@
+//! Targeted compile/VM tests: fragment boundaries, the joint-cover soundness cases,
+//! and verdict+witness agreement with the AST solver on hand-built instances.
+
+use xpsat_core::{Budget, Satisfiability, Solver, SolverConfig};
+use xpsat_dtd::{parse_dtd, DtdArtifacts};
+use xpsat_plan::{canonicalize, compile, vm, CompileLimits};
+use xpsat_xpath::parse_path;
+
+fn artifacts(dtd: &str) -> DtdArtifacts {
+    DtdArtifacts::build(&parse_dtd(dtd).expect("test DTD parses"))
+}
+
+/// Compile and decide through the VM; panics if the query is outside the compiled
+/// fragment (these tests pick queries that must compile).
+fn vm_decide(a: &DtdArtifacts, query: &str) -> xpsat_core::Decision {
+    let canon = canonicalize(&parse_path(query).expect("query parses"));
+    let program = compile(a, &canon, &CompileLimits::default())
+        .unwrap_or_else(|| panic!("query {query} should compile"));
+    let mut scratch = vm::Scratch::new();
+    vm::decide(&program, a, &mut scratch, &Budget::unlimited())
+        .expect("VM decide should not fall back")
+}
+
+fn assert_agrees(a: &DtdArtifacts, query: &str) {
+    let d = vm_decide(a, query);
+    let solver = Solver::new(SolverConfig::default());
+    let s = solver.decide_with_artifacts(a, &parse_path(query).unwrap());
+    assert_eq!(
+        d.result.is_satisfiable(),
+        s.result.is_satisfiable(),
+        "VM and solver disagree on {query}: vm={:?} solver={:?} ({})",
+        d.result.is_satisfiable(),
+        s.result.is_satisfiable(),
+        s.engine,
+    );
+    if let Satisfiability::Satisfiable(doc) = &d.result {
+        xpsat_core::sat::verify_witness(doc, a.dtd(), &parse_path(query).unwrap())
+            .expect("VM witness verifies");
+    }
+}
+
+#[test]
+fn joint_cover_blocks_demand_spine_conflict() {
+    // The critical soundness case: a's content model offers (b, c) or d but never all
+    // three, so `a[b and c]/d` is unsatisfiable even though each piece alone is fine.
+    let a = artifacts("r -> a; a -> (b, c) | d; b -> #; c -> #; d -> #;");
+    assert_agrees(&a, "a[b and c]");
+    assert_agrees(&a, "a/d");
+    assert_agrees(&a, "a[b and c]/d");
+    assert_eq!(
+        vm_decide(&a, "a[b and c]/d").result.is_satisfiable(),
+        Some(false)
+    );
+}
+
+#[test]
+fn joint_cover_allows_compatible_demands() {
+    let a = artifacts("r -> a; a -> b, c, d; b -> #; c -> #; d -> #;");
+    let d = vm_decide(&a, "a[b and c]/d");
+    assert_eq!(d.result.is_satisfiable(), Some(true));
+    assert_agrees(&a, "a[b and c]/d");
+}
+
+#[test]
+fn demand_rest_feasibility_prunes() {
+    // b exists but can never have an x child, so the qualifier is unsatisfiable.
+    let a = artifacts("r -> a; a -> b, c; b -> #; c -> #;");
+    assert_agrees(&a, "a[b/x]");
+    assert_eq!(vm_decide(&a, "a[b/x]").result.is_satisfiable(), Some(false));
+    assert_agrees(&a, "a[b]");
+}
+
+#[test]
+fn nested_qualifiers_realise() {
+    let a = artifacts("r -> a; a -> b, d; b -> c*; c -> #; d -> #;");
+    assert_agrees(&a, "a[b[c]]/d");
+    assert_agrees(&a, "a[b/c and d]");
+}
+
+#[test]
+fn wildcard_desc_union_cases() {
+    let a = artifacts("r -> a | b; a -> a | c; b -> #; c -> #;");
+    assert_agrees(&a, "*/c");
+    assert_agrees(&a, "**/c");
+    assert_agrees(&a, "a/a/c | b");
+    assert_agrees(&a, "b/c"); // unsat: b has no children
+    assert_agrees(&a, "(a|b)[c]");
+}
+
+#[test]
+fn label_tests_intersect() {
+    let a = artifacts("r -> a; a -> b; b -> #;");
+    assert_agrees(&a, "a[lab() = a]");
+    assert_agrees(&a, "a[lab() = b]"); // unsat: the a node is not labelled b
+}
+
+#[test]
+fn undeclared_labels_are_unsat_not_errors() {
+    let a = artifacts("r -> a; a -> #;");
+    assert_agrees(&a, "zzz");
+    assert_agrees(&a, "a[zzz]");
+    assert_eq!(vm_decide(&a, "a[zzz]").result.is_satisfiable(), Some(false));
+}
+
+#[test]
+fn multiplicity_interactions_bail_to_the_solver() {
+    let a = artifacts("r -> a; a -> b; b -> c?; c -> #;");
+    let limits = CompileLimits::default();
+    // Spine label collides with a demand label: one b child cannot be counted twice.
+    let canon = canonicalize(&parse_path("a[b]/b").unwrap());
+    assert!(compile(&a, &canon, &limits).is_none());
+    // Two demands on the same label likewise.
+    let canon = canonicalize(&parse_path("a[b/c and b]").unwrap());
+    assert!(compile(&a, &canon, &limits).is_none());
+}
+
+#[test]
+fn out_of_fragment_queries_do_not_compile() {
+    let a = artifacts("r -> a; a -> #;");
+    let limits = CompileLimits::default();
+    for q in [
+        "..",
+        "a[not(b)]",
+        "^*/a",
+        "a[@x = \"1\"]",
+        "a[b or lab() = a]",
+    ] {
+        let canon = canonicalize(&parse_path(q).unwrap());
+        assert!(
+            compile(&a, &canon, &limits).is_none(),
+            "{q} should be outside the compiled fragment"
+        );
+    }
+}
+
+#[test]
+fn vacuous_dtd_compiles_to_const_unsat() {
+    // The root type never terminates, so no document conforms at all.
+    let a = artifacts("r -> r;");
+    assert!(a.compiled().is_none());
+    let canon = canonicalize(&parse_path("a").unwrap());
+    let program = compile(&a, &canon, &CompileLimits::default()).expect("const program");
+    assert!(program.const_unsat);
+    let mut scratch = vm::Scratch::new();
+    let d = vm::decide(&program, &a, &mut scratch, &Budget::unlimited()).unwrap();
+    assert_eq!(d.result.is_satisfiable(), Some(false));
+}
+
+#[test]
+fn budget_exhaustion_reports_unknown() {
+    let a = artifacts("r -> a; a -> b; b -> #;");
+    let canon = canonicalize(&parse_path("a/b").unwrap());
+    let program = compile(&a, &canon, &CompileLimits::default()).unwrap();
+    let mut scratch = vm::Scratch::new();
+    let d = vm::decide(&program, &a, &mut scratch, &Budget::steps(1)).unwrap();
+    assert_eq!(d.result.is_satisfiable(), None);
+    assert!(d.exhausted.is_some());
+}
+
+#[test]
+fn program_is_rejected_against_other_artifacts() {
+    let a = artifacts("r -> a; a -> #;");
+    let b = artifacts("r -> b; b -> #;");
+    let canon = canonicalize(&parse_path("a").unwrap());
+    let program = compile(&a, &canon, &CompileLimits::default()).unwrap();
+    let mut scratch = vm::Scratch::new();
+    assert!(vm::decide(&program, &b, &mut scratch, &Budget::unlimited()).is_none());
+}
+
+#[test]
+fn canonical_spellings_share_a_program_shape() {
+    let a = artifacts("r -> a; a -> b, c; b -> #; c -> #;");
+    let limits = CompileLimits::default();
+    let p1 = compile(
+        &a,
+        &canonicalize(&parse_path("a[b and c]").unwrap()),
+        &limits,
+    )
+    .unwrap();
+    let p2 = compile(&a, &canonicalize(&parse_path("a[c][b]").unwrap()), &limits).unwrap();
+    assert_eq!(p1.ops, p2.ops);
+    assert_eq!(p1.canon, p2.canon);
+}

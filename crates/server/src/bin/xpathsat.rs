@@ -3,7 +3,7 @@
 //! ```text
 //! xpathsat check --dtd <file|-> [--witness] <query>...
 //! xpathsat batch [--threads N] [--input <file>]
-//! xpathsat classify --dtd <file|->
+//! xpathsat classify --dtd <file|-> [<query>...]
 //! xpathsat bench-gen [--depth D] [--width W] [--queries N] [--seed S] [--threads T]
 //! xpathsat serve [--addr A | --unix PATH] [--cache-dir DIR] [...]
 //! xpathsat connect (--addr A | --unix PATH) [--input <file>]
@@ -13,7 +13,8 @@
 //! `check` decides each query against one DTD and prints a human-readable verdict per
 //! line.  `batch` runs the JSON-lines protocol (stdin or `--input` file → stdout), which
 //! is the service's machine endpoint.  `classify` prints the DTD's structural class and
-//! preprocessing summary.  `bench-gen` emits a reproducible JSON-lines workload
+//! preprocessing summary, plus — for each query given — its canonical form, structural
+//! hashes and compiled decision-program size.  `bench-gen` emits a reproducible JSON-lines workload
 //! (`register_dtd` + a large `batch` + `stats`) ready to pipe back into `xpathsat
 //! batch`.  `serve` runs the same protocol as a persistent multi-tenant TCP (or
 //! Unix-socket) daemon with an on-disk artifact cache, tenant-fair scheduling and a
@@ -33,7 +34,7 @@ const USAGE: &str = "xpathsat — XPath-satisfiability service CLI
 USAGE:
     xpathsat check --dtd <file|-> [--witness] <query>...
     xpathsat batch [--threads N] [--input <file>]
-    xpathsat classify --dtd <file|->
+    xpathsat classify --dtd <file|-> [<query>...]
     xpathsat bench-gen [--depth D] [--width W] [--queries N] [--seed S] [--threads T]
     xpathsat serve [--addr A | --unix PATH] [--workers N] [--queue N]
                    [--decide-workers N] [--request-queue N]
@@ -51,7 +52,9 @@ USAGE:
 SUBCOMMANDS:
     check       Decide queries against a DTD, one verdict per line
     batch       Serve the JSON-lines protocol (one request per line on stdin)
-    classify    Print the DTD's structural classification and artifact summary
+    classify    Print the DTD's structural classification and artifact summary;
+                with queries, also each query's canonical form, structural
+                hashes and compiled decision-program size
     bench-gen   Emit a reproducible JSON-lines workload for `xpathsat batch`
     serve       Run the protocol as a persistent TCP/Unix-socket daemon
     connect     Pipe protocol lines (stdin or --input) to a running daemon
@@ -472,6 +475,29 @@ fn cmd_classify(args: &[String]) -> Result<(), CliError> {
         "content automata:   {}",
         artifacts.compiled.automata_count()
     );
+    for text in &options.positional {
+        let q = session
+            .workspace_mut()
+            .intern(text)
+            .map_err(|e| service_error_to_cli(e, text))?;
+        let program = session
+            .workspace()
+            .compiled_program(id, q)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        let query = session
+            .workspace()
+            .query(q)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        println!();
+        println!("query:              {}", query.canonical);
+        println!("canonical form:     {}", query.canon_text);
+        println!("canonical hash:     {:016x}", query.canonical_hash);
+        println!("structural hash:    {:016x}", query.structural_hash);
+        match program {
+            Some(program) => println!("compiled program:   {} ops", program.ops.len()),
+            None => println!("compiled program:   none (outside the compiled fragment)"),
+        }
+    }
     Ok(())
 }
 

@@ -3,14 +3,20 @@
 //!
 //! Isolation is at the *workspace* level — DTD ids, the query interner and the
 //! decision cache are all per-tenant, so one client can never observe (or collide
-//! with) another's registrations.  The persistent [`ArtifactStore`] is deliberately
-//! *shared*: it is content-addressed by the hash of a DTD's canonical text, so a
-//! cross-tenant hit leaks nothing beyond "someone compiled this exact DTD before"
-//! and saves the full compilation.
+//! with) another's registrations.  Two things are deliberately *shared* because
+//! they are content-addressed and therefore leak nothing tenant-specific:
+//!
+//! * the persistent [`ArtifactStore`], keyed by the hash of a DTD's canonical
+//!   text — a cross-tenant hit means "someone compiled this exact DTD before"
+//!   and saves the full compilation;
+//! * the in-memory [`CanonicalCache`] of decisions, keyed by
+//!   `(DTD fingerprint, canonical query text)` — a cross-tenant hit means
+//!   "someone already decided this exact instance" (up to qualifier reordering
+//!   and the other structural rewrites) and saves the solve entirely.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use xpsat_service::{ArtifactStore, ProtocolServer, Workspace};
+use xpsat_service::{ArtifactStore, CanonicalCache, ProtocolServer, Workspace};
 
 use crate::ServerConfig;
 
@@ -43,6 +49,7 @@ impl Tenant {
 pub struct TenantMap {
     tenants: Mutex<HashMap<String, Arc<Tenant>>>,
     store: Option<ArtifactStore>,
+    canonical: Arc<CanonicalCache>,
     config: ServerConfig,
 }
 
@@ -57,6 +64,7 @@ impl TenantMap {
         Ok(TenantMap {
             tenants: Mutex::new(HashMap::new()),
             store,
+            canonical: Arc::new(CanonicalCache::new()),
             config,
         })
     }
@@ -64,6 +72,11 @@ impl TenantMap {
     /// The shared artifact store, if persistence is configured.
     pub fn store(&self) -> Option<&ArtifactStore> {
         self.store.as_ref()
+    }
+
+    /// The decision cache shared by every tenant's workspace.
+    pub fn canonical_cache(&self) -> &Arc<CanonicalCache> {
+        &self.canonical
     }
 
     /// Look up (or create) a tenant.  Returns `Err` with a reason for names that
@@ -79,7 +92,7 @@ impl TenantMap {
         if let Some(tenant) = tenants.get(name) {
             return Ok(Arc::clone(tenant));
         }
-        let mut workspace = Workspace::default();
+        let mut workspace = Workspace::default().with_canonical_cache(Arc::clone(&self.canonical));
         if let Some(store) = &self.store {
             workspace = workspace.with_store(store.clone());
         }
@@ -155,6 +168,41 @@ mod tests {
             .handle_line(r#"{"op":"check","dtd_id":0,"query":"a"}"#);
         assert!(check.contains(r#""ok":false"#), "{check}");
         assert!(check.contains("unknown DTD id 0"), "{check}");
+    }
+
+    #[test]
+    fn structurally_identical_queries_hit_across_tenants() {
+        let map = TenantMap::new(ServerConfig::default()).unwrap();
+        let a = map.tenant("alice").unwrap();
+        let b = map.tenant("bob").unwrap();
+        let dtd = r#"{"op":"register_dtd","dtd":"r -> a*; a -> b, c; b -> #; c -> #;"}"#;
+
+        // Alice decides a[b and c]; the verdict is published to the shared cache.
+        let reg = a.proto().lock().unwrap().handle_line(dtd);
+        assert!(reg.contains(r#""ok":true"#), "{reg}");
+        let first = a
+            .proto()
+            .lock()
+            .unwrap()
+            .handle_line(r#"{"op":"check","dtd_id":0,"query":"a[b and c]"}"#);
+        assert!(first.contains(r#""cached":false"#), "{first}");
+        assert_eq!(map.canonical_cache().len(), 1);
+
+        // Bob asks the structurally identical question spelled differently: the
+        // answer comes straight from the shared cache — no solve, no compile.
+        let reg = b.proto().lock().unwrap().handle_line(dtd);
+        assert!(reg.contains(r#""ok":true"#), "{reg}");
+        let second = b
+            .proto()
+            .lock()
+            .unwrap()
+            .handle_line(r#"{"op":"check","dtd_id":0,"query":"a[c][b]"}"#);
+        assert!(second.contains(r#""cached":true"#), "{second}");
+        assert!(second.contains(r#""result":"satisfiable""#), "{second}");
+        let stats = b.proto().lock().unwrap().handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains(r#""canonical_hits":1"#), "{stats}");
+        assert!(stats.contains(r#""decisions_computed":0"#), "{stats}");
+        assert!(stats.contains(r#""programs_compiled":0"#), "{stats}");
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! The shared canonical decision cache: verdicts keyed by *structural content*, not
+//! by tenant-local ids.
+//!
+//! Per-workspace decision caches key on `(DtdId, QueryId)` — handles that are private
+//! to one workspace, so two tenants asking the structurally identical question each
+//! pay a full solve.  This cache keys on `(DTD fingerprint, canonical query text)`
+//! instead: the fingerprint is the FNV-1a-64 of the DTD's canonical text (the same
+//! content address the on-disk artifact store uses) and the query is the plan
+//! compiler's canonical form, which is invariant under qualifier reordering,
+//! associativity and the trivial rewrites.  Any spelling of the same instance, from
+//! any workspace sharing the cache, lands on the same entry.
+//!
+//! Like the artifact store, sharing this cache across tenants leaks nothing beyond
+//! "someone already decided this exact instance" — the entry is a pure function of
+//! the (DTD, query) content.  Only *complete, unexhausted* decisions may be
+//! published: a budget-capped `Unknown` reflects one caller's allowance, never the
+//! instance, and must not poison other tenants.
+//!
+//! The canonical text is kept in the key (not just its hash) so a hash collision
+//! degrades to a miss-like separate entry, never a wrong verdict.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use xpsat_core::Decision;
+
+/// Number of lock stripes (a power of two); tenants contend only when their keys
+/// hash to the same stripe.
+const STRIPES: usize = 16;
+
+/// One stripe: a plain map under a mutex (entries are small — an `Arc` bump per hit).
+type Stripe = Mutex<HashMap<(u64, String), Arc<Decision>>>;
+
+/// A decision cache shared across workspaces, keyed by
+/// `(DTD fingerprint, canonical query text)`.
+#[derive(Debug)]
+pub struct CanonicalCache {
+    stripes: Vec<Stripe>,
+}
+
+impl Default for CanonicalCache {
+    fn default() -> CanonicalCache {
+        CanonicalCache::new()
+    }
+}
+
+impl CanonicalCache {
+    /// An empty cache.  Wrap it in an [`Arc`] and hand a clone to every workspace
+    /// that should share it ([`crate::Workspace::with_canonical_cache`]).
+    pub fn new() -> CanonicalCache {
+        CanonicalCache {
+            stripes: (0..STRIPES).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    fn stripe(&self, fingerprint: u64, canon_text: &str) -> &Stripe {
+        let h = fingerprint ^ crate::store::canonical_key(canon_text);
+        &self.stripes[((h >> 32) as usize) & (STRIPES - 1)]
+    }
+
+    /// The published decision of this instance, if any workspace has decided it.
+    pub fn get(&self, fingerprint: u64, canon_text: &str) -> Option<Arc<Decision>> {
+        lock_recovering(self.stripe(fingerprint, canon_text))
+            .get(&(fingerprint, canon_text.to_string()))
+            .cloned()
+    }
+
+    /// Publish a decision; the first writer wins so served output stays
+    /// deterministic under races.  Callers must only publish complete, unexhausted
+    /// decisions (the workspace enforces this).
+    pub fn publish(&self, fingerprint: u64, canon_text: &str, decision: Arc<Decision>) {
+        lock_recovering(self.stripe(fingerprint, canon_text))
+            .entry((fingerprint, canon_text.to_string()))
+            .or_insert(decision);
+    }
+
+    /// Number of cached instances (sums the stripes; approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| lock_recovering(s).len()).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Recover from poison: stripes hold plain data whose every intermediate state is
+/// valid, so a panic elsewhere must not wedge the cache for every later request.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpsat_core::{Decision, EngineKind, Satisfiability};
+
+    fn unsat() -> Arc<Decision> {
+        Arc::new(Decision {
+            result: Satisfiability::Unsatisfiable,
+            engine: EngineKind::CompiledVm,
+            complete: true,
+            exhausted: None,
+        })
+    }
+
+    #[test]
+    fn first_publish_wins_and_keys_are_exact() {
+        let cache = CanonicalCache::new();
+        assert!(cache.get(7, "a[b and c]").is_none());
+        let first = unsat();
+        cache.publish(7, "a[b and c]", Arc::clone(&first));
+        cache.publish(7, "a[b and c]", unsat());
+        assert!(Arc::ptr_eq(&cache.get(7, "a[b and c]").unwrap(), &first));
+        // Different DTD fingerprint or different canonical text: distinct entries.
+        assert!(cache.get(8, "a[b and c]").is_none());
+        assert!(cache.get(7, "a[c and b]").is_none());
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -40,6 +40,7 @@
 //! assert!(session.check("a[b]").unwrap().cached); // memoised
 //! ```
 
+pub mod canonical;
 pub mod json;
 pub mod protocol;
 pub mod session;
@@ -47,6 +48,7 @@ pub mod stats;
 pub mod store;
 pub mod workspace;
 
+pub use canonical::CanonicalCache;
 pub use json::{Json, JsonError};
 pub use protocol::{
     error_object, error_response, oversized_response, LineRead, LineReader, ProtocolError,
@@ -56,13 +58,16 @@ pub use session::Session;
 pub use stats::{CacheStats, StatsSnapshot};
 pub use store::{canonical_key, ArtifactStore, StoreMiss, STORE_VERSION};
 pub use workspace::{
-    decision_fingerprint, effective_threads, engine_slug, BatchScratch, DtdArtifacts, DtdId,
-    ErrorSpan, InternedQuery, QueryId, RegisterOutcome, ServedDecision, ServiceError, Workspace,
+    decision_fingerprint, effective_threads, engine_slug, verdict_fingerprint, BatchScratch,
+    DtdArtifacts, DtdId, ErrorSpan, InternedQuery, QueryId, RegisterOutcome, ServedDecision,
+    ServiceError, Workspace,
 };
+pub use xpsat_plan::DecisionProgram;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use xpsat_core::Solver;
     use xpsat_dtd::parse_dtd;
     use xpsat_xpath::parse_path;
@@ -138,12 +143,19 @@ mod tests {
             let q = ws.intern(text).unwrap();
             let served = ws.decide(dtd_id, q).unwrap();
             assert!(!served.cached, "{text}");
+            // The workspace may answer through the compiled-program VM, so the AST
+            // solver is an oracle for the *verdict*; a VM witness is validated on
+            // its own terms rather than compared byte-for-byte.
             let direct = solver.decide(&dtd, &parse_path(text).unwrap());
             assert_eq!(
-                decision_fingerprint(&served.decision),
-                decision_fingerprint(&direct),
+                verdict_fingerprint(&served.decision),
+                verdict_fingerprint(&direct),
                 "{text}"
             );
+            if let xpsat_core::Satisfiability::Satisfiable(doc) = &served.decision.result {
+                xpsat_core::sat::verify_witness(doc, &dtd, &parse_path(text).unwrap())
+                    .expect("served witness verifies");
+            }
             let again = ws.decide(dtd_id, q).unwrap();
             assert!(again.cached, "{text}");
             assert_eq!(
@@ -152,6 +164,30 @@ mod tests {
                 "{text}"
             );
         }
+        // The compiled fragment actually carried some of those decisions.
+        assert!(ws.stats().vm_decides >= 1);
+        assert!(ws.stats().programs_compiled >= 1);
+    }
+
+    #[test]
+    fn structurally_identical_spellings_share_one_decision() {
+        let mut ws = Workspace::default();
+        let d = ws.register_dtd(DTD).unwrap();
+        let q1 = ws.intern("a[b and not(c)]").unwrap();
+        let q2 = ws.intern("a[not(c)][b]").unwrap();
+        assert_ne!(q1, q2, "different spellings intern separately");
+        assert_eq!(
+            ws.query(q1).unwrap().canon_text,
+            ws.query(q2).unwrap().canon_text
+        );
+        assert_eq!(ws.query(q2).unwrap().rep, q1);
+        let first = ws.decide(d, q1).unwrap();
+        assert!(!first.cached);
+        // The equivalent spelling is a cache hit — same Arc, zero recomputation.
+        let second = ws.decide(d, q2).unwrap();
+        assert!(second.cached);
+        assert!(Arc::ptr_eq(&first.decision, &second.decision));
+        assert_eq!(ws.stats().decisions_computed, 1);
     }
 
     #[test]

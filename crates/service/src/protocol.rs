@@ -11,8 +11,13 @@
 //! {"op":"check","dtd_id":0,"query":"a","witness":true}
 //! {"op":"batch","dtd_id":0,"queries":["a","a[b]"],"threads":4,"witness":false}
 //! {"op":"classify","dtd_id":0}
+//! {"op":"classify","dtd_id":0,"query":"a[c][b]"}
 //! {"op":"stats"}
 //! ```
+//!
+//! `classify` with a `"query"` additionally reports the query's canonical form, its
+//! canonical/structural hashes and the size of its compiled decision program against
+//! that DTD (or `"compiled":false` when its class is decided by the AST solver).
 //!
 //! Every response carries `"ok":true` plus operation-specific fields, or `"ok":false`
 //! with a structured `"error"` object:
@@ -333,9 +338,39 @@ impl ProtocolServer {
 
     fn op_classify(&mut self, request: &Json) -> Result<Json, ProtocolError> {
         let dtd = dtd_id_field(request)?;
+        // With an optional "query", classify also reports the query's canonical
+        // form, its structural hashes and the compiled-program shape against this
+        // DTD — the introspection hook for the cross-tenant canonical cache.
+        let query_fields = match request.get("query").and_then(Json::as_str) {
+            None => None,
+            Some(text) => {
+                let id = self.workspace.intern(text)?;
+                let program = self.workspace.compiled_program(dtd, id)?;
+                let interned = self.workspace.query(id)?;
+                Some(vec![
+                    ("query", Json::Str(interned.canonical.clone())),
+                    ("canonical_query", Json::Str(interned.canon_text.clone())),
+                    (
+                        "canonical_hash",
+                        Json::Str(format!("{:016x}", interned.canonical_hash)),
+                    ),
+                    (
+                        "structural_hash",
+                        Json::Str(format!("{:016x}", interned.structural_hash)),
+                    ),
+                    ("compiled", Json::Bool(program.is_some())),
+                    (
+                        "program_ops",
+                        program
+                            .map(|p| Json::Num(p.size() as f64))
+                            .unwrap_or(Json::Null),
+                    ),
+                ])
+            }
+        };
         let artifacts = self.workspace.artifacts(dtd)?;
         let class = &artifacts.class;
-        Ok(Json::obj(vec![
+        let mut response = Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("op", Json::Str("classify".into())),
             ("dtd_id", Json::Num(dtd.index() as f64)),
@@ -364,7 +399,13 @@ impl ProtocolServer {
                 "automata",
                 Json::Num(artifacts.compiled.automata_count() as f64),
             ),
-        ]))
+        ]);
+        if let (Json::Obj(fields), Some(extra)) = (&mut response, query_fields) {
+            for (key, value) in extra {
+                fields.push((key.to_string(), value));
+            }
+        }
+        Ok(response)
     }
 
     fn op_stats(&self) -> Json {
@@ -417,6 +458,20 @@ impl ProtocolServer {
             (
                 "resource_exhausted",
                 Json::Num(stats.resource_exhausted as f64),
+            ),
+            ("canonical_hits", Json::Num(stats.canonical_hits as f64)),
+            (
+                "programs_compiled",
+                Json::Num(stats.programs_compiled as f64),
+            ),
+            (
+                "program_fallbacks",
+                Json::Num(stats.program_fallbacks as f64),
+            ),
+            ("vm_decides", Json::Num(stats.vm_decides as f64)),
+            (
+                "vm_witness_fallbacks",
+                Json::Num(stats.vm_witness_fallbacks as f64),
             ),
             ("negation_memo_hits", Json::Num(memo_hits as f64)),
             ("negation_memo_built", Json::Num(memo_built as f64)),
@@ -838,7 +893,9 @@ mod tests {
         assert_eq!(field(error, "kind").as_str(), Some("resource_exhausted"));
         assert_eq!(field(error, "retryable").as_bool(), Some(false));
 
-        // Batch results keep their slot with an exhaustion marker.
+        // Batch results keep their slot with an exhaustion marker, while the cached
+        // "a/b" (warmed without a cap) is served untouched by the budget.
+        server.handle_line(r#"{"op":"check","dtd_id":0,"query":"a/b"}"#);
         let batch = Json::parse(&server.handle_line(
             r#"{"op":"batch","dtd_id":0,"queries":["a[not(b)]","a/b"],"max_steps":1,"threads":1}"#,
         ))
@@ -858,6 +915,41 @@ mod tests {
                 .unwrap();
         assert_eq!(field(&retry, "result").as_str(), Some("satisfiable"));
         assert_eq!(field(&retry, "cached").as_bool(), Some(false));
+    }
+
+    #[test]
+    fn classify_reports_canonical_query_and_program() {
+        let mut server = ProtocolServer::new(1);
+        server.handle_line(r#"{"op":"register_dtd","dtd":"r -> a; a -> b, c; b -> #; c -> #;"}"#);
+        let one = Json::parse(
+            &server.handle_line(r#"{"op":"classify","dtd_id":0,"query":"a[b and c]"}"#),
+        )
+        .unwrap();
+        let two =
+            Json::parse(&server.handle_line(r#"{"op":"classify","dtd_id":0,"query":"a[c][b]"}"#))
+                .unwrap();
+        assert_eq!(field(&one, "ok").as_bool(), Some(true));
+        assert_eq!(field(&one, "compiled").as_bool(), Some(true));
+        assert!(field(&one, "program_ops").as_u64().unwrap() >= 1);
+        // Structurally identical spellings agree on every canonical field.
+        assert_eq!(
+            field(&one, "canonical_query").as_str(),
+            field(&two, "canonical_query").as_str()
+        );
+        assert_eq!(
+            field(&one, "canonical_hash").as_str(),
+            field(&two, "canonical_hash").as_str()
+        );
+        assert_eq!(
+            field(&one, "structural_hash").as_str(),
+            field(&two, "structural_hash").as_str()
+        );
+        // Negation is outside the compiled fragment: reported, not an error.
+        let neg =
+            Json::parse(&server.handle_line(r#"{"op":"classify","dtd_id":0,"query":"a[not(b)]"}"#))
+                .unwrap();
+        assert_eq!(field(&neg, "compiled").as_bool(), Some(false));
+        assert!(matches!(field(&neg, "program_ops"), Json::Null));
     }
 
     #[test]

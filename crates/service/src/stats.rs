@@ -27,6 +27,11 @@ pub struct CacheStats {
     pub(crate) artifact_rebuilds: AtomicU64,
     pub(crate) deadline_exceeded: AtomicU64,
     pub(crate) resource_exhausted: AtomicU64,
+    pub(crate) canonical_hits: AtomicU64,
+    pub(crate) programs_compiled: AtomicU64,
+    pub(crate) program_fallbacks: AtomicU64,
+    pub(crate) vm_decides: AtomicU64,
+    pub(crate) vm_witness_fallbacks: AtomicU64,
 }
 
 impl CacheStats {
@@ -58,6 +63,11 @@ impl CacheStats {
             artifact_rebuilds: self.artifact_rebuilds.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             resource_exhausted: self.resource_exhausted.load(Ordering::Relaxed),
+            canonical_hits: self.canonical_hits.load(Ordering::Relaxed),
+            programs_compiled: self.programs_compiled.load(Ordering::Relaxed),
+            program_fallbacks: self.program_fallbacks.load(Ordering::Relaxed),
+            vm_decides: self.vm_decides.load(Ordering::Relaxed),
+            vm_witness_fallbacks: self.vm_witness_fallbacks.load(Ordering::Relaxed),
             resident_dtds: 0,
         }
     }
@@ -104,6 +114,21 @@ pub struct StatsSnapshot {
     /// Decisions that spent their step budget and were answered `Unknown` with an
     /// exhaustion marker (never cached).
     pub resource_exhausted: u64,
+    /// Decisions served from the *shared* canonical cache: another workspace (or an
+    /// earlier structurally identical spelling) had already decided the same
+    /// `(DTD fingerprint, canonical query)` instance.
+    pub canonical_hits: u64,
+    /// Queries lowered to a decision program by the plan compiler (once per
+    /// `(DTD, canonical query)` class; replayed by the VM thereafter).
+    pub programs_compiled: u64,
+    /// Queries outside the compiled fragment, noted once and permanently routed to
+    /// the AST solver.
+    pub program_fallbacks: u64,
+    /// Decisions answered by replaying a compiled program in the plan VM.
+    pub vm_decides: u64,
+    /// VM SAT verdicts whose witness realisation failed, falling back to the AST
+    /// solver (expected to stay 0; counted so drift is visible).
+    pub vm_witness_fallbacks: u64,
     /// Gauge (not a counter): compiled artifacts currently resident in memory.
     pub resident_dtds: u64,
 }
@@ -116,7 +141,9 @@ impl std::fmt::Display for StatsSnapshot {
              classifications: {}; normalizations: {}; automata: {}; \
              queries: {} interned, {} reused; decisions: {} computed, {} cache hits; \
              artifact store: {} hits, {} misses ({} corrupt), {} writes; \
-             deadlines exceeded: {}; budgets exhausted: {}",
+             deadlines exceeded: {}; budgets exhausted: {}; \
+             canonical hits: {}; programs: {} compiled, {} fallbacks; \
+             vm: {} decides, {} witness fallbacks",
             self.dtds_registered,
             self.dtds_reused,
             self.resident_dtds,
@@ -135,6 +162,11 @@ impl std::fmt::Display for StatsSnapshot {
             self.artifact_store_writes,
             self.deadline_exceeded,
             self.resource_exhausted,
+            self.canonical_hits,
+            self.programs_compiled,
+            self.program_fallbacks,
+            self.vm_decides,
+            self.vm_witness_fallbacks,
         )
     }
 }

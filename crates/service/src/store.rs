@@ -317,9 +317,11 @@ fn decode(bytes: &[u8], expected_canonical: &str) -> Option<DtdArtifacts> {
     if !r.at_end() {
         return None;
     }
+    let fingerprint = canonical_key(&canonical);
     Some(DtdArtifacts {
         dtd: dtd.clone(),
         canonical,
+        fingerprint,
         class: class.clone(),
         normalization,
         compiled: xpsat_dtd::DtdArtifacts::from_cached_parts(dtd, class, compiled),
@@ -476,9 +478,11 @@ mod tests {
         let canonical = dtd.to_string();
         let compiled = xpsat_dtd::DtdArtifacts::build(&dtd);
         compiled.warm();
+        let fingerprint = canonical_key(&canonical);
         DtdArtifacts {
             dtd: dtd.clone(),
             canonical,
+            fingerprint,
             class: compiled.class().clone(),
             normalization: xpsat_dtd::normalize(&dtd),
             compiled,

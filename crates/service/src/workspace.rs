@@ -6,8 +6,15 @@
 //! per-query dispatch is often PTIME.  The workspace exploits that shape the way a
 //! production static analyzer would: a DTD is registered once, its artifacts are
 //! computed once and cached, and every subsequent decision against it reuses them.
-//! Queries are interned by canonical text so repeated paths share one [`QueryId`] and
-//! hit a memoised `(DtdId, QueryId)` decision cache.
+//! Queries are interned by canonical text so repeated paths share one [`QueryId`],
+//! grouped further into *structural equivalence classes* by the plan compiler's
+//! canonical form (`a[b and c]` ≡ `a[c][b]`), and decided at most once per class
+//! through a memoised `(DtdId, representative)` decision cache.  Classes inside the
+//! compiled fragment are lowered once to a flat [`DecisionProgram`] and every
+//! decision replays it in the allocation-free plan VM; the AST [`Solver`] remains
+//! the oracle for everything else.  Workspaces can additionally share a
+//! [`CanonicalCache`] keyed by `(DTD fingerprint, canonical query)`, so structurally
+//! identical instances are answered across workspace (tenant) boundaries.
 //!
 //! Registered artifacts are held as [`Arc<DtdArtifacts>`] behind per-slot residency:
 //! with a [`Workspace::with_resident_bound`] in force, the least-recently-used compiled
@@ -22,15 +29,24 @@
 //! stored and served as [`Arc<Decision>`]: a cache hit is a pointer bump, never a
 //! witness-document clone.
 
+use crate::canonical::CanonicalCache;
 use crate::stats::{CacheStats, StatsSnapshot};
 use crate::store::{ArtifactStore, StoreMiss};
+use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use xpsat_core::{Budget, Decision, EngineKind, Exhausted, Solver, SolverConfig};
 use xpsat_dtd::{normalize, parse_dtd, Dtd, DtdClass, Normalization};
+use xpsat_plan::{CanonicalQuery, CompileLimits, DecisionProgram};
 use xpsat_xpath::{parse_path, Path};
+
+thread_local! {
+    /// Per-thread VM register file, reused across decisions so replaying a compiled
+    /// program allocates nothing in steady state (batch workers each get their own).
+    static VM_SCRATCH: RefCell<xpsat_plan::Scratch> = RefCell::new(xpsat_plan::Scratch::new());
+}
 
 /// Number of lock stripes in the decision cache (a power of two).
 ///
@@ -41,6 +57,10 @@ const CACHE_SHARDS: usize = 16;
 
 /// One stripe of the decision cache.
 type CacheShard = Mutex<HashMap<(DtdId, QueryId), Arc<Decision>>>;
+
+/// One stripe of the compiled-program cache.  `None` records "outside the compiled
+/// fragment" so the bail is also paid once per class.
+type ProgramShard = Mutex<HashMap<(DtdId, QueryId), Option<Arc<DecisionProgram>>>>;
 
 /// Lock a mutex, recovering from poison.  Everything guarded this way (cache stripes,
 /// residency slots) holds plain data whose every intermediate state is valid, so a
@@ -89,6 +109,19 @@ impl ShardedCache {
             .or_insert_with(|| Arc::new(decision))
             .clone()
     }
+
+    /// [`ShardedCache::insert_if_absent`] for an already-shared decision (a hit from
+    /// the cross-workspace canonical cache republished locally).
+    fn insert_arc_if_absent(
+        &self,
+        key: (DtdId, QueryId),
+        decision: Arc<Decision>,
+    ) -> Arc<Decision> {
+        lock_recovering(&self.shards[Self::shard_index(&key)])
+            .entry(key)
+            .or_insert(decision)
+            .clone()
+    }
 }
 
 /// Handle of a registered DTD.
@@ -120,6 +153,10 @@ pub struct DtdArtifacts {
     pub dtd: Dtd,
     /// Canonical textual form (the dedup key; round-trips through the parser).
     pub canonical: String,
+    /// Content address of this DTD: FNV-1a-64 of the canonical text, the same key
+    /// the on-disk store files entries under.  Keys the cross-workspace
+    /// [`CanonicalCache`] so tenants with private [`DtdId`]s still share verdicts.
+    pub fingerprint: u64,
     /// Structural classification (Section 6 regimes) — drives engine dispatch.
     pub class: DtdClass,
     /// The normalisation `N(D)` of Proposition 3.3.
@@ -131,7 +168,8 @@ pub struct DtdArtifacts {
     pub compiled: xpsat_dtd::DtdArtifacts,
 }
 
-/// An interned query: the parsed path plus its canonical rendering.
+/// An interned query: the parsed path, its canonical rendering, and its *structural*
+/// canonical form under the plan compiler's rewrites.
 #[derive(Debug)]
 pub struct InternedQuery {
     /// The parsed path.
@@ -139,6 +177,22 @@ pub struct InternedQuery {
     /// Canonical textual form (the dedup key; `Display` round-trips through the
     /// parser, so two queries intern to the same id iff they print identically).
     pub canonical: String,
+    /// Structurally canonical path: qualifier conjuncts sorted, unions flattened and
+    /// deduplicated, trivial filters dropped ([`xpsat_plan::canonicalize`]).
+    /// Equivalent spellings — `a[b and c]` vs `a[c][b]` — share this form.
+    pub canon_path: Path,
+    /// `Display` text of [`InternedQuery::canon_path`]; the cross-spelling (and
+    /// cross-tenant) cache key.
+    pub canon_text: String,
+    /// FNV-1a-64 of [`InternedQuery::canon_text`].
+    pub canonical_hash: u64,
+    /// Label-erased structural-shape hash (spellings that differ only in element
+    /// names collide here by design; used for workload fleet analytics).
+    pub structural_hash: u64,
+    /// Id of this query's structural equivalence class representative — the first
+    /// interned member with the same canonical form.  Decision and program caches
+    /// key on it, so every spelling of an instance is decided at most once.
+    pub rep: QueryId,
 }
 
 /// A decision together with its cache provenance.
@@ -258,7 +312,15 @@ pub struct Workspace {
     dtd_by_canonical: HashMap<String, DtdId>,
     queries: Vec<InternedQuery>,
     query_by_canonical: HashMap<String, QueryId>,
+    /// Structural-class representatives: canonical (plan) text → the first interned
+    /// member.  Later spellings intern to fresh ids but share the representative.
+    query_by_canon_text: HashMap<String, QueryId>,
     cache: ShardedCache,
+    /// Compiled decision programs, keyed like the decision cache (on the class
+    /// representative).
+    programs: Vec<ProgramShard>,
+    /// Optional cross-workspace canonical decision cache (shared between tenants).
+    canonical: Option<Arc<CanonicalCache>>,
     stats: CacheStats,
     store: Option<ArtifactStore>,
     /// Maximum number of *resident* compiled artifacts; `None` = unbounded.
@@ -284,7 +346,10 @@ impl Workspace {
             dtd_by_canonical: HashMap::new(),
             queries: Vec::new(),
             query_by_canonical: HashMap::new(),
+            query_by_canon_text: HashMap::new(),
             cache: ShardedCache::new(),
+            programs: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            canonical: None,
             stats: CacheStats::default(),
             store: None,
             resident_bound: None,
@@ -305,6 +370,21 @@ impl Workspace {
     pub fn with_resident_bound(mut self, bound: usize) -> Workspace {
         self.resident_bound = Some(bound.max(1));
         self
+    }
+
+    /// Attach a shared [`CanonicalCache`]: decisions missing locally are looked up —
+    /// and complete fresh decisions published — under their content key
+    /// `(DTD fingerprint, canonical query text)`, so workspaces sharing one cache
+    /// (the server's tenants) answer structurally identical instances from each
+    /// other's work.
+    pub fn with_canonical_cache(mut self, cache: Arc<CanonicalCache>) -> Workspace {
+        self.canonical = Some(cache);
+        self
+    }
+
+    /// The attached shared canonical cache, if any.
+    pub fn canonical_cache(&self) -> Option<&Arc<CanonicalCache>> {
+        self.canonical.as_ref()
     }
 
     /// The attached persistent store, if any.
@@ -395,9 +475,11 @@ impl Workspace {
         compiled.warm();
         let class = compiled.class().clone();
         CacheStats::add(&self.stats.automata_built, compiled.automata_count() as u64);
+        let fingerprint = crate::store::canonical_key(&canonical);
         let artifacts = Arc::new(DtdArtifacts {
             dtd,
             canonical,
+            fingerprint,
             class,
             normalization,
             compiled,
@@ -498,7 +580,10 @@ impl Workspace {
         Ok(self.intern_path(path))
     }
 
-    /// Intern an already-parsed query.
+    /// Intern an already-parsed query.  Queries with the same `Display` rendering
+    /// share an id; queries with the same *structural* canonical form additionally
+    /// share a class representative, and through it every cached decision and
+    /// compiled program.
     pub fn intern_path(&mut self, path: Path) -> QueryId {
         let canonical = path.to_string();
         if let Some(&id) = self.query_by_canonical.get(&canonical) {
@@ -507,9 +592,19 @@ impl Workspace {
         }
         CacheStats::bump(&self.stats.queries_interned);
         let id = QueryId(self.queries.len());
+        let canon = CanonicalQuery::of(&path);
+        let rep = *self
+            .query_by_canon_text
+            .entry(canon.text.clone())
+            .or_insert(id);
         self.queries.push(InternedQuery {
             path,
             canonical: canonical.clone(),
+            canon_path: canon.path,
+            canon_text: canon.text,
+            canonical_hash: canon.canonical_hash,
+            structural_hash: canon.structural_hash,
+            rep,
         });
         self.query_by_canonical.insert(canonical, id);
         id
@@ -547,7 +642,10 @@ impl Workspace {
         budget: &Budget,
     ) -> Result<ServedDecision, ServiceError> {
         self.query(query)?;
-        let key = (dtd, query);
+        // All caching keys on the structural class representative, so every spelling
+        // of an instance is decided at most once per workspace.
+        let rep = self.queries[query.0].rep;
+        let key = (dtd, rep);
         if let Some(hit) = self.cache.get(&key) {
             // A cache hit must still validate the id (the artifacts call does both).
             if dtd.0 >= self.dtds.len() {
@@ -560,9 +658,13 @@ impl Workspace {
             });
         }
         let artifacts = self.artifacts(dtd)?;
-        let decision =
-            self.solver
-                .decide_budgeted(&artifacts.compiled, &self.queries[query.0].path, budget);
+        if let Some(hit) = self.shared_lookup(&artifacts, rep) {
+            return Ok(ServedDecision {
+                decision: self.cache.insert_arc_if_absent(key, hit),
+                cached: true,
+            });
+        }
+        let decision = self.compute(dtd, rep, &artifacts, budget);
         CacheStats::bump(&self.stats.decisions_computed);
         if decision.exhausted.is_some() {
             CacheStats::bump(&self.stats.resource_exhausted);
@@ -571,10 +673,100 @@ impl Workspace {
                 cached: false,
             });
         }
+        let stored = self.cache.insert_if_absent(key, decision);
+        self.publish_shared(&artifacts, rep, &stored);
         Ok(ServedDecision {
-            decision: self.cache.insert_if_absent(key, decision),
+            decision: stored,
             cached: false,
         })
+    }
+
+    /// Look an instance up in the shared canonical cache (if one is attached),
+    /// counting the hit.
+    fn shared_lookup(&self, artifacts: &DtdArtifacts, rep: QueryId) -> Option<Arc<Decision>> {
+        let shared = self.canonical.as_ref()?;
+        let hit = shared.get(artifacts.fingerprint, &self.queries[rep.0].canon_text)?;
+        CacheStats::bump(&self.stats.canonical_hits);
+        Some(hit)
+    }
+
+    /// Publish a complete, unexhausted decision to the shared canonical cache (if one
+    /// is attached).  Partial or budget-capped verdicts reflect one caller's
+    /// allowance and must never cross workspaces.
+    fn publish_shared(&self, artifacts: &DtdArtifacts, rep: QueryId, decision: &Arc<Decision>) {
+        if !decision.complete || decision.exhausted.is_some() {
+            return;
+        }
+        if let Some(shared) = &self.canonical {
+            shared.publish(
+                artifacts.fingerprint,
+                &self.queries[rep.0].canon_text,
+                Arc::clone(decision),
+            );
+        }
+    }
+
+    /// The compiled decision program of a class representative, compiling (or
+    /// recording the fragment bail) on first touch.  `None` = outside the compiled
+    /// fragment, decided by the AST solver.
+    fn program_for(
+        &self,
+        dtd: DtdId,
+        rep: QueryId,
+        artifacts: &DtdArtifacts,
+    ) -> Option<Arc<DecisionProgram>> {
+        let key = (dtd, rep);
+        let shard = &self.programs[ShardedCache::shard_index(&key)];
+        if let Some(entry) = lock_recovering(shard).get(&key) {
+            return entry.clone();
+        }
+        // Compile outside the lock: concurrent first touches race benignly (the
+        // compiler is deterministic, and the first insert wins below).
+        let program = xpsat_plan::compile(
+            &artifacts.compiled,
+            &self.queries[rep.0].canon_path,
+            &CompileLimits::default(),
+        )
+        .map(Arc::new);
+        match &program {
+            Some(_) => CacheStats::bump(&self.stats.programs_compiled),
+            None => CacheStats::bump(&self.stats.program_fallbacks),
+        }
+        lock_recovering(shard).entry(key).or_insert(program).clone()
+    }
+
+    /// Decide one class representative: replay its compiled program in the VM when
+    /// the instance is inside the compiled fragment, else run the AST solver on the
+    /// canonical path (so engine dispatch, like the caches, sees one spelling per
+    /// class).
+    fn compute(
+        &self,
+        dtd: DtdId,
+        rep: QueryId,
+        artifacts: &DtdArtifacts,
+        budget: &Budget,
+    ) -> Decision {
+        if let Some(program) = self.program_for(dtd, rep, artifacts) {
+            let replayed = VM_SCRATCH.with(|cell| {
+                xpsat_plan::vm::decide(
+                    &program,
+                    &artifacts.compiled,
+                    &mut cell.borrow_mut(),
+                    budget,
+                )
+            });
+            match replayed {
+                Some(decision) => {
+                    CacheStats::bump(&self.stats.vm_decides);
+                    return decision;
+                }
+                // A SAT verdict whose witness failed to realise (never expected, but
+                // the AST oracle keeps the failure graceful and counted).
+                None => CacheStats::bump(&self.stats.vm_witness_fallbacks),
+            }
+        }
+        self.solver
+            .decide_budgeted(&artifacts.compiled, &self.queries[rep.0].canon_path, budget)
     }
 
     /// Decide many queries against one registered DTD, fanning the *uncached, distinct*
@@ -640,12 +832,17 @@ impl Workspace {
             self.query(q)?;
         }
 
-        // The distinct query ids in the batch, grouped by cache stripe so the lookup
-        // phase takes each stripe lock exactly once.
+        // The distinct structural classes in the batch (every query is represented by
+        // its class representative, so `a[b and c]` and `a[c][b]` are one unit of
+        // work), grouped by cache stripe so the lookup phase takes each stripe lock
+        // exactly once.
         scratch.distinct.clear();
-        scratch
-            .distinct
-            .extend(queries.iter().copied().collect::<BTreeSet<_>>());
+        scratch.distinct.extend(
+            queries
+                .iter()
+                .map(|&q| self.queries[q.0].rep)
+                .collect::<BTreeSet<_>>(),
+        );
         scratch.by_shard.resize_with(CACHE_SHARDS, Vec::new);
         for shard in &mut scratch.by_shard {
             shard.clear();
@@ -674,6 +871,22 @@ impl Workspace {
             }
         }
         scratch.missing.sort_unstable();
+        // Sweep the shared canonical cache before spawning workers: instances another
+        // workspace already decided are republished locally and dropped from the
+        // compute set.
+        if let Some(shared) = &self.canonical {
+            let (missing, resolved) = (&mut scratch.missing, &mut scratch.resolved);
+            missing.retain(|&rep| {
+                match shared.get(artifacts.fingerprint, &self.queries[rep.0].canon_text) {
+                    Some(hit) => {
+                        CacheStats::bump(&self.stats.canonical_hits);
+                        resolved.insert(rep, self.cache.insert_arc_if_absent((dtd, rep), hit));
+                        false
+                    }
+                    None => true,
+                }
+            });
+        }
         let missing = &scratch.missing;
 
         let mut expired = false;
@@ -689,10 +902,11 @@ impl Workspace {
                 scratch.worker_buffers.resize_with(workers, Vec::new);
             }
             // Per-worker result buffers, merged at join: workers share nothing but the
-            // work-stealing cursor (and the deadline flag), so computing a decision
-            // never takes a lock.  A single-worker batch runs inline — no scope, no
-            // spawn, no join.  Buffers are taken from and returned to the scratch so
-            // their capacity persists across batches.
+            // work-stealing cursor, the deadline flag and the program cache (touched
+            // once per structural class, then lock-free), so computing a decision
+            // stays contention-free in steady state.  A single-worker batch runs
+            // inline — no scope, no spawn, no join.  Buffers are taken from and
+            // returned to the scratch so their capacity persists across batches.
             let mut taken: Vec<Vec<(QueryId, Decision)>> = scratch.worker_buffers[..workers]
                 .iter_mut()
                 .map(std::mem::take)
@@ -705,11 +919,7 @@ impl Workspace {
                         deadline_hit.store(true, Ordering::Relaxed);
                         break;
                     }
-                    let decision = self.solver.decide_budgeted(
-                        &artifacts.compiled,
-                        &self.queries[q.0].path,
-                        &budget,
-                    );
+                    let decision = self.compute(dtd, q, &artifacts, &budget);
                     // A deadline interruption mid-decision aborts the batch like the
                     // between-queries check does; a spent step allowance is a result.
                     if decision.exhausted == Some(Exhausted::Deadline) {
@@ -739,11 +949,7 @@ impl Workspace {
                                     }
                                     let i = next.fetch_add(1, Ordering::Relaxed);
                                     let Some(&q) = missing.get(i) else { break };
-                                    let decision = self.solver.decide_budgeted(
-                                        &artifacts.compiled,
-                                        &self.queries[q.0].path,
-                                        budget,
-                                    );
+                                    let decision = self.compute(dtd, q, artifacts, budget);
                                     if decision.exhausted == Some(Exhausted::Deadline) {
                                         deadline_hit.store(true, Ordering::Relaxed);
                                         break;
@@ -773,6 +979,7 @@ impl Workspace {
                 }
             }
             CacheStats::add(&self.stats.decisions_computed, computed);
+            let mut publishable: Vec<(QueryId, Arc<Decision>)> = Vec::new();
             for (shard, batch) in self.cache.shards.iter().zip(inserts) {
                 if batch.is_empty() {
                     continue;
@@ -790,8 +997,14 @@ impl Workspace {
                         .entry((dtd, q))
                         .or_insert_with(|| Arc::new(decision))
                         .clone();
+                    publishable.push((q, Arc::clone(&stored)));
                     scratch.resolved.insert(q, stored);
                 }
+            }
+            // Mirror fresh complete decisions into the shared canonical cache, after
+            // the stripe locks are released.
+            for (q, stored) in publishable {
+                self.publish_shared(&artifacts, q, &stored);
             }
             // Return the (drained) buffers to the scratch, capacity intact.
             for (slot, buffer) in scratch.worker_buffers.iter_mut().zip(taken) {
@@ -805,23 +1018,40 @@ impl Workspace {
         }
 
         // Assemble results in request order from the per-batch resolution map — no
-        // further cache locking.
-        let first_served: BTreeSet<QueryId> = missing.iter().copied().collect();
+        // further cache locking.  Resolution is per structural class: every spelling
+        // of an instance serves the class decision.
+        let first_served: BTreeSet<QueryId> = scratch.missing.iter().copied().collect();
         let mut out = Vec::with_capacity(queries.len());
         let mut fresh_seen: BTreeSet<QueryId> = BTreeSet::new();
         for &q in queries {
-            // The first occurrence of a freshly computed query counts as a solver run;
-            // repeats within the batch and previously cached pairs are hits.
-            let cached = !(first_served.contains(&q) && fresh_seen.insert(q));
+            let rep = self.queries[q.0].rep;
+            // The first occurrence of a freshly computed class counts as a solver
+            // run; repeats within the batch and previously cached pairs are hits.
+            let cached = !(first_served.contains(&rep) && fresh_seen.insert(rep));
             if cached {
                 CacheStats::bump(&self.stats.decision_cache_hits);
             }
             out.push(ServedDecision {
-                decision: scratch.resolved[&q].clone(),
+                decision: scratch.resolved[&rep].clone(),
                 cached,
             });
         }
         Ok(out)
+    }
+
+    /// The compiled decision program of a query against a registered DTD (compiling
+    /// on first touch), or `None` when the query's structural class is outside the
+    /// compiled fragment and is decided by the AST solver.  The protocol's
+    /// `classify` op reports program shape through this.
+    pub fn compiled_program(
+        &self,
+        dtd: DtdId,
+        query: QueryId,
+    ) -> Result<Option<Arc<DecisionProgram>>, ServiceError> {
+        self.query(query)?;
+        let rep = self.queries[query.0].rep;
+        let artifacts = self.artifacts(dtd)?;
+        Ok(self.program_for(dtd, rep, &artifacts))
     }
 
     /// Current counter values (including the resident-artifact gauge).
@@ -860,6 +1090,7 @@ pub fn engine_slug(engine: EngineKind) -> &'static str {
         EngineKind::NegationFixpoint => "negation-fixpoint",
         EngineKind::Rewritten => "rewritten",
         EngineKind::Enumeration => "enumeration",
+        EngineKind::CompiledVm => "compiled-vm",
     }
 }
 
@@ -881,6 +1112,22 @@ pub fn decision_fingerprint(decision: &Decision) -> String {
         engine_slug(decision.engine),
         decision.complete
     )
+}
+
+/// The engine-independent projection of [`decision_fingerprint`]: verdict and
+/// completeness only.  Used where a workspace decision (which may come from the
+/// compiled-program VM) is compared against the AST solver as an oracle — the two
+/// legitimately differ in engine provenance and may build different (equally valid)
+/// witnesses, so only the verdict is comparable; witness validity is checked
+/// separately with [`xpsat_core::sat::verify_witness`].
+pub fn verdict_fingerprint(decision: &Decision) -> String {
+    use xpsat_core::Satisfiability;
+    let verdict = match &decision.result {
+        Satisfiability::Satisfiable(_) => "sat",
+        Satisfiability::Unsatisfiable => "unsat",
+        Satisfiability::Unknown => "unknown",
+    };
+    format!("{verdict}|complete={}", decision.complete)
 }
 
 #[cfg(test)]

@@ -221,6 +221,78 @@ fn fuzzed_parsers_fail_with_in_bounds_spans() {
     }
 }
 
+// ---- decision-program pipeline under fuzzed inputs -------------------------------
+
+/// Canonical-hash collision probe over parsing mutants: whenever two fuzzed queries
+/// share a canonical hash they must share the canonical form, since every
+/// hash-keyed cache sweep (the cross-tenant canonical cache, batch dedup) treats
+/// equal hashes as equal classes.
+#[test]
+fn fuzzed_query_canonical_hashes_never_collide_across_classes() {
+    let iters = iterations();
+    let mut rng = Rng(0xc011_1de5);
+    let mut seen: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+    for _ in 0..iters {
+        let text = mutate(&mut rng, QUERY_SEEDS);
+        let Ok(path) = xpsat_xpath::parse_path(&text) else {
+            continue;
+        };
+        let canon = xpsat_plan::CanonicalQuery::of(&path);
+        if let Some(previous) = seen.insert(canon.canonical_hash, canon.text.clone()) {
+            assert_eq!(
+                previous, canon.text,
+                "canonical-hash collision across classes (mutant {text:?})"
+            );
+        }
+    }
+}
+
+/// Fuzzed mutants that land inside the compiled fragment must agree with the AST
+/// solver — same budget on both sides, verdicts compared only when both completed.
+#[test]
+fn fuzzed_in_fragment_queries_agree_with_ast_solver() {
+    let iters = iterations();
+    let mut rng = Rng(0x900d_5eed);
+    let solver = xpsat_core::Solver::default();
+    let mut scratch = xpsat_plan::Scratch::new();
+    let mut agreed = 0usize;
+    for _ in 0..iters {
+        let dtd_text = mutate(&mut rng, DTD_SEEDS);
+        let Ok(dtd) = xpsat_dtd::parse_dtd(&dtd_text) else {
+            continue;
+        };
+        let query_text = mutate(&mut rng, QUERY_SEEDS);
+        let Ok(query) = xpsat_xpath::parse_path(&query_text) else {
+            continue;
+        };
+        let artifacts = xpsat_dtd::DtdArtifacts::build(&dtd);
+        let canon = xpsat_plan::CanonicalQuery::of(&query);
+        let limits = xpsat_plan::CompileLimits::default();
+        let Some(program) = xpsat_plan::compile(&artifacts, &canon.path, &limits) else {
+            continue;
+        };
+        let budget = xpsat_core::Budget::steps(200_000);
+        let Some(replayed) = xpsat_plan::vm::decide(&program, &artifacts, &mut scratch, &budget)
+        else {
+            continue;
+        };
+        let direct = solver.decide_budgeted(&artifacts, &query, &budget);
+        if !replayed.complete || !direct.complete {
+            continue; // a capped side has no verdict to compare
+        }
+        assert_eq!(
+            xpsat_service::verdict_fingerprint(&replayed),
+            xpsat_service::verdict_fingerprint(&direct),
+            "VM/AST divergence on {query_text:?} under {dtd_text:?}"
+        );
+        agreed += 1;
+    }
+    assert!(
+        agreed > 0,
+        "no fuzzed mutant exercised the compiled fragment"
+    );
+}
+
 // ---- store fault injection -------------------------------------------------------
 
 fn scratch_dir(tag: &str) -> std::path::PathBuf {

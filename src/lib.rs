@@ -13,6 +13,9 @@
 //! * [`logic`] — reference solvers for the lower-bound source problems;
 //! * [`sat`] — the satisfiability engines, the solver façade, the containment analysis
 //!   and the hardness-reduction generators;
+//! * [`plan`] — the decision-program compiler: structural canonicalisation (cache keys
+//!   shared across query spellings and tenants), lowering to a flat bytecode program,
+//!   and the allocation-free replay VM (in `xpsat-plan`);
 //! * [`service`] — the batched, cached satisfiability service: DTD-artifact caching
 //!   with a persistent on-disk store, query interning, multi-threaded `decide_batch`
 //!   with deadlines, and the JSON-lines protocol (in `xpsat-service`);
@@ -45,6 +48,7 @@ pub use xpsat_automata as automata;
 pub use xpsat_core as sat;
 pub use xpsat_dtd as dtd;
 pub use xpsat_logic as logic;
+pub use xpsat_plan as plan;
 pub use xpsat_server as server;
 pub use xpsat_service as service;
 pub use xpsat_xmltree as xml;

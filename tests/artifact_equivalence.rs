@@ -11,8 +11,9 @@
 //! * the precomputed `DtdGraph` closure equals a naive BFS over the string adjacency,
 //!   and the precomputed recursion/depth answers match their from-scratch definitions;
 //! * `Solver::decide` verdicts are identical with and without precompiled artifacts
-//!   across a corpus covering every engine, and the service workspace serves the same
-//!   decisions through its cache.
+//!   across a corpus covering every engine, and the service workspace — which may
+//!   answer through the compiled-program VM — agrees verdict-for-verdict, with every
+//!   served witness verified on its own terms.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,7 +21,7 @@ use std::collections::BTreeSet;
 use xpsat_automata::{Dfa, Nfa, Regex};
 use xpsat_core::Solver;
 use xpsat_dtd::{parse_dtd, Dtd, DtdArtifacts, DtdGraph, Sym, SymbolTable};
-use xpsat_service::{decision_fingerprint, Workspace};
+use xpsat_service::{decision_fingerprint, verdict_fingerprint, Workspace};
 use xpsat_xpath::parse_path;
 
 #[test]
@@ -375,12 +376,19 @@ fn workspace_serves_the_same_decisions_as_a_fresh_solver() {
         for query_text in queries {
             let q = ws.intern(query_text).unwrap();
             let served = ws.decide(dtd_id, q).unwrap();
+            // The workspace may serve through the compiled-program VM (different
+            // engine tag, equally valid witness), so the direct solver is the
+            // oracle for the verdict and the witness is verified independently.
             let direct = solver.decide(&dtd, &parse_path(query_text).unwrap());
             assert_eq!(
-                decision_fingerprint(&served.decision),
-                decision_fingerprint(&direct),
+                verdict_fingerprint(&served.decision),
+                verdict_fingerprint(&direct),
                 "workspace divergence on `{query_text}` under `{dtd_text}`"
             );
+            if let xpsat_core::Satisfiability::Satisfiable(doc) = &served.decision.result {
+                xpsat_core::sat::verify_witness(doc, &dtd, &parse_path(query_text).unwrap())
+                    .unwrap_or_else(|e| panic!("witness for `{query_text}`: {e:?}"));
+            }
         }
     }
 }

@@ -1,0 +1,289 @@
+//! Seeded equivalence harness for the decision-program pipeline (`xpsat-plan`).
+//!
+//! Three properties, each over the full corpus — layered benchmark DTDs plus the
+//! realistic XHTML and DocBook fixtures — with seeded random queries:
+//!
+//! * **VM ≡ AST solver**: for every query inside the compiled fragment,
+//!   `VM(compile(q, A))` agrees verdict-for-verdict with
+//!   `Solver::decide_with_artifacts(A, q)`, and every VM witness verifies against
+//!   the DTD and the *original* (pre-canonicalisation) query;
+//! * **canonical-hash invariance**: random structure-preserving rewrites —
+//!   qualifier permutation and re-association, `p[q1][q2]` ↔ `p[q1 and q2]`,
+//!   union operand order, inserted `ε` steps, trivially-true conjuncts, double
+//!   negation — never change the canonical form or either hash;
+//! * **collision probe**: across everything generated above, two queries share a
+//!   canonical hash only when they share the canonical form (and therefore a
+//!   decision), so hash-keyed cache lookups can never cross classes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use xpsat_core::corpus::{docbook_dtd, layered_dtd, random_positive_query, xhtml_dtd};
+use xpsat_core::sat::verify_witness;
+use xpsat_core::{Budget, Satisfiability, Solver};
+use xpsat_dtd::{parse_dtd, Dtd, DtdArtifacts};
+use xpsat_plan::{compile, vm, CanonicalQuery, CompileLimits, Scratch};
+use xpsat_service::verdict_fingerprint;
+use xpsat_xpath::{Path, Qualifier};
+
+fn corpus() -> Vec<Dtd> {
+    let mut dtds: Vec<Dtd> = [
+        "r -> a?, b?; a -> c?; b -> c?, d?; c -> #; d -> #;",
+        "r -> a, b; a -> (c | d); b -> c?; c -> #; d -> #;",
+        "r -> (a | b)*, c?; a -> (d, d) | #; b -> d?; c -> #; d -> #;",
+        "r -> book*; book -> title, author; title -> #; author -> #;",
+    ]
+    .iter()
+    .map(|text| parse_dtd(text).unwrap())
+    .collect();
+    dtds.push(layered_dtd(3, 3));
+    dtds.push(layered_dtd(5, 2));
+    dtds.push(xhtml_dtd());
+    dtds.push(docbook_dtd());
+    dtds
+}
+
+/// A query generator that also mixes negation, wildcards and parent steps, so the
+/// harness exercises the compiler's bail paths, not just its accepted fragment.
+fn random_mixed_query(rng: &mut StdRng, labels: &[String], depth: usize) -> Path {
+    let pick = |rng: &mut StdRng| labels[rng.gen_range(0..labels.len())].clone();
+    if depth == 0 {
+        return Path::label(pick(rng));
+    }
+    match rng.gen_range(0..7) {
+        0 => Path::label(pick(rng)),
+        1 => Path::Wildcard,
+        2 => Path::DescendantOrSelf,
+        3 => Path::seq(
+            random_mixed_query(rng, labels, depth - 1),
+            random_mixed_query(rng, labels, depth - 1),
+        ),
+        4 => Path::union(
+            random_mixed_query(rng, labels, depth - 1),
+            random_mixed_query(rng, labels, depth - 1),
+        ),
+        5 => random_mixed_query(rng, labels, depth - 1)
+            .filter(Qualifier::path(random_mixed_query(rng, labels, depth - 1))),
+        _ => random_mixed_query(rng, labels, depth - 1).filter(Qualifier::not(Qualifier::path(
+            random_mixed_query(rng, labels, depth - 1),
+        ))),
+    }
+}
+
+/// Check one query: if it compiles, the VM verdict must match the AST solver's and
+/// a VM witness must verify against the original query.  Returns whether the query
+/// was inside the compiled fragment.
+fn check_one(
+    solver: &Solver,
+    dtd: &Dtd,
+    artifacts: &DtdArtifacts,
+    scratch: &mut Scratch,
+    query: &Path,
+) -> bool {
+    let canon = CanonicalQuery::of(query);
+    let Some(program) = compile(artifacts, &canon.path, &CompileLimits::default()) else {
+        return false;
+    };
+    let replayed = vm::decide(&program, artifacts, scratch, &Budget::unlimited())
+        .unwrap_or_else(|| panic!("in-fragment VM decide fell back on `{query}`"));
+    let direct = solver.decide_with_artifacts(artifacts, query);
+    assert_eq!(
+        verdict_fingerprint(&replayed),
+        verdict_fingerprint(&direct),
+        "VM/AST divergence on `{query}` under DTD rooted at `{}`",
+        dtd.root()
+    );
+    if let Satisfiability::Satisfiable(doc) = &replayed.result {
+        verify_witness(doc, dtd, query)
+            .unwrap_or_else(|e| panic!("VM witness for `{query}` fails to verify: {e:?}"));
+    }
+    true
+}
+
+#[test]
+fn vm_agrees_with_ast_solver_across_corpus() {
+    let solver = Solver::default();
+    let mut scratch = Scratch::new();
+    let mut compiled = 0usize;
+    let mut total = 0usize;
+    for dtd in corpus() {
+        let artifacts = DtdArtifacts::build(&dtd);
+        let labels: Vec<String> = dtd.element_names();
+        let mut rng = StdRng::seed_from_u64(0x2005_0613);
+        for _ in 0..40 {
+            total += 1;
+            if check_one(
+                &solver,
+                &dtd,
+                &artifacts,
+                &mut scratch,
+                &random_positive_query(&mut rng, &dtd, 3),
+            ) {
+                compiled += 1;
+            }
+            total += 1;
+            if check_one(
+                &solver,
+                &dtd,
+                &artifacts,
+                &mut scratch,
+                &random_mixed_query(&mut rng, &labels, 3),
+            ) {
+                compiled += 1;
+            }
+        }
+    }
+    // The fragment must actually carry a meaningful share of the corpus — a compiler
+    // that bails on everything would pass the agreement check vacuously.
+    assert!(
+        compiled * 8 >= total,
+        "only {compiled}/{total} corpus queries compiled"
+    );
+}
+
+// ---- canonical-hash invariance ---------------------------------------------------
+
+fn flatten_and(q: &Qualifier, out: &mut Vec<Qualifier>) {
+    match q {
+        Qualifier::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Rewrite `p` into a random structurally equivalent spelling: shuffled and
+/// re-associated qualifier conjuncts (`p[q1][q2]` ↔ `p[q2 and q1]`), swapped union
+/// operands, inserted `ε` steps, trivially-true extra conjuncts and double
+/// negations.  [`CanonicalQuery`] must be a fixpoint of all of it.
+fn scramble_path(rng: &mut StdRng, p: &Path) -> Path {
+    let scrambled = match p {
+        Path::Seq(a, b) => Path::Seq(
+            Box::new(scramble_path(rng, a)),
+            Box::new(scramble_path(rng, b)),
+        ),
+        Path::Union(a, b) => {
+            let x = scramble_path(rng, a);
+            let y = scramble_path(rng, b);
+            if rng.gen_bool(0.5) {
+                Path::Union(Box::new(y), Box::new(x))
+            } else {
+                Path::Union(Box::new(x), Box::new(y))
+            }
+        }
+        Path::Filter(_, _) => {
+            // Peel the whole filter chain off the spine and collect every conjunct.
+            let mut spine = p;
+            let mut conjuncts = Vec::new();
+            while let Path::Filter(inner, q) = spine {
+                flatten_and(q, &mut conjuncts);
+                spine = inner;
+            }
+            let mut conjuncts: Vec<Qualifier> = conjuncts
+                .iter()
+                .map(|q| scramble_qualifier(rng, q))
+                .collect();
+            for i in (1..conjuncts.len()).rev() {
+                conjuncts.swap(i, rng.gen_range(0..=i));
+            }
+            if rng.gen_bool(0.3) {
+                // A trivially-true conjunct the canonicaliser must drop.
+                conjuncts.push(Qualifier::path(Path::DescendantOrSelf));
+            }
+            let base = scramble_path(rng, spine);
+            if rng.gen_bool(0.5) {
+                base.filter(Qualifier::and_all(conjuncts))
+            } else {
+                conjuncts.into_iter().fold(base, Path::filter)
+            }
+        }
+        other => other.clone(),
+    };
+    if rng.gen_bool(0.2) {
+        // An `ε` unit the canonicaliser must drop from the composition.
+        Path::Seq(Box::new(scrambled), Box::new(Path::Empty))
+    } else {
+        scrambled
+    }
+}
+
+fn scramble_qualifier(rng: &mut StdRng, q: &Qualifier) -> Qualifier {
+    let scrambled = match q {
+        Qualifier::Path(p) => Qualifier::Path(scramble_path(rng, p)),
+        Qualifier::Not(inner) => Qualifier::not(scramble_qualifier(rng, inner)),
+        Qualifier::And(_, _) => {
+            let mut parts = Vec::new();
+            flatten_and(q, &mut parts);
+            let mut parts: Vec<Qualifier> =
+                parts.iter().map(|p| scramble_qualifier(rng, p)).collect();
+            for i in (1..parts.len()).rev() {
+                parts.swap(i, rng.gen_range(0..=i));
+            }
+            Qualifier::and_all(parts)
+        }
+        Qualifier::Or(a, b) => {
+            let x = scramble_qualifier(rng, a);
+            let y = scramble_qualifier(rng, b);
+            if rng.gen_bool(0.5) {
+                Qualifier::Or(Box::new(y), Box::new(x))
+            } else {
+                Qualifier::Or(Box::new(x), Box::new(y))
+            }
+        }
+        other => other.clone(),
+    };
+    if rng.gen_bool(0.15) {
+        Qualifier::not(Qualifier::not(scrambled))
+    } else {
+        scrambled
+    }
+}
+
+#[test]
+fn canonical_hash_is_invariant_under_random_equivalent_rewrites() {
+    let mut rng = StdRng::seed_from_u64(0xcafe_2005);
+    for dtd in corpus() {
+        let labels: Vec<String> = dtd.element_names();
+        for _ in 0..60 {
+            let query = random_mixed_query(&mut rng, &labels, 3);
+            let canon = CanonicalQuery::of(&query);
+            for _ in 0..4 {
+                let rewritten = scramble_path(&mut rng, &query);
+                let again = CanonicalQuery::of(&rewritten);
+                assert_eq!(
+                    canon.text, again.text,
+                    "canonical form changed: `{query}` vs rewrite `{rewritten}`"
+                );
+                assert_eq!(canon.canonical_hash, again.canonical_hash, "`{query}`");
+                assert_eq!(canon.structural_hash, again.structural_hash, "`{query}`");
+            }
+        }
+    }
+}
+
+#[test]
+fn canonical_hashes_do_not_collide_across_classes() {
+    // Probe the 64-bit canonical hash over every query this harness generates:
+    // distinct canonical forms must get distinct hashes (FNV-1a collisions at this
+    // scale would make hash-keyed sweeps unsound in practice), and equal hashes
+    // must therefore always mean one decision.
+    let mut seen: HashMap<u64, String> = HashMap::new();
+    let mut classes = 0usize;
+    for dtd in corpus() {
+        let labels: Vec<String> = dtd.element_names();
+        let mut rng = StdRng::seed_from_u64(0xdead_2005);
+        for _ in 0..80 {
+            let query = random_mixed_query(&mut rng, &labels, 3);
+            let canon = CanonicalQuery::of(&query);
+            match seen.insert(canon.canonical_hash, canon.text.clone()) {
+                None => classes += 1,
+                Some(previous) => assert_eq!(
+                    previous, canon.text,
+                    "canonical-hash collision across distinct classes"
+                ),
+            }
+        }
+    }
+    assert!(classes >= 100, "degenerate corpus: {classes} classes");
+}

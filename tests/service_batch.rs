@@ -1,9 +1,11 @@
 //! Acceptance tests of the satisfiability service (`xpsat-service`), driven through
 //! the `xpathsat` façade:
 //!
-//! 1. `decide_batch` over 100+ queries against one registered DTD is byte-identical
-//!    (via `decision_fingerprint`) to a sequential `Solver::decide` loop, across
-//!    thread counts, on seeded random DTD/query corpora;
+//! 1. `decide_batch` over 100+ queries against one registered DTD agrees verdict-
+//!    for-verdict (via `verdict_fingerprint`) with a sequential `Solver::decide`
+//!    loop, across thread counts, on seeded random DTD/query corpora — the service
+//!    may answer through the compiled-program VM, so the AST solver is the oracle
+//!    for the verdict while every served witness is validated on its own terms;
 //! 2. a repeated batch demonstrates cache reuse: the second run performs *no* DTD
 //!    re-classification and is served entirely from the decision cache, asserted
 //!    through the service's stats counters;
@@ -12,7 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use xpathsat::prelude::*;
-use xpathsat::service::{decision_fingerprint, Json, ProtocolServer, QueryId};
+use xpathsat::service::{decision_fingerprint, verdict_fingerprint, Json, ProtocolServer, QueryId};
 
 /// Random DTDs in the style of the engine-agreement suite: small alphabets, mixed
 /// operators, always with a terminating root.
@@ -82,10 +84,13 @@ fn batch_identical_to_sequential_solver_loop_over_100_queries() {
         }
         assert!(queries.len() >= 100);
 
-        // Sequential ground truth straight through the solver, no service.
+        // Sequential ground truth straight through the solver, no service.  The
+        // service may serve any query through the compiled-program VM (a different
+        // engine tag and an equally valid but possibly different witness), so the
+        // oracle compares verdicts and verifies served witnesses independently.
         let expected: Vec<String> = queries
             .iter()
-            .map(|text| decision_fingerprint(&solver.decide(&dtd, &parse_path(text).unwrap())))
+            .map(|text| verdict_fingerprint(&solver.decide(&dtd, &parse_path(text).unwrap())))
             .collect();
 
         for threads in [1, 4] {
@@ -95,7 +100,7 @@ fn batch_identical_to_sequential_solver_loop_over_100_queries() {
             assert_eq!(served.len(), queries.len());
             for ((text, one), want) in queries.iter().zip(&served).zip(&expected) {
                 assert_eq!(
-                    &decision_fingerprint(&one.decision),
+                    &verdict_fingerprint(&one.decision),
                     want,
                     "query {text} under\n{dtd} ({threads} threads)"
                 );
@@ -270,10 +275,13 @@ fn protocol_agrees_with_direct_api() {
             Some(verdict),
             "query {text}"
         );
-        assert_eq!(
-            result.get("engine").and_then(Json::as_str),
-            Some(xpathsat::service::engine_slug(direct.engine)),
-            "query {text}"
+        // The service is free to answer through the compiled-program VM instead of
+        // the AST engine that direct dispatch would pick; any other engine tag must
+        // match direct dispatch exactly.
+        let engine = result.get("engine").and_then(Json::as_str).unwrap();
+        assert!(
+            engine == "compiled-vm" || engine == xpathsat::service::engine_slug(direct.engine),
+            "query {text}: engine {engine}"
         );
     }
 }
