@@ -171,6 +171,202 @@ pub fn word_with_multiplicities<S: Symbol>(nfa: &Nfa<S>, demand: &CoverDemand<S>
     false
 }
 
+/// A *sibling window* demand on a children word: two positions `l ≤ r` with
+/// `r - l = gap` (or `≥ gap` when `flexible`), whose symbols match `left` /
+/// `right` (`None` = any symbol).  One of the two ends is *captured*: the search
+/// reports which symbols can stand at it.  This is how a compiled
+/// following/preceding-sibling chain `anchor/>/>*…` is decided against a parent's
+/// content model: the anchor is the constrained end, the chain target the
+/// captured end, `gap` the number of exact hops and `flexible` whether any
+/// or-self hop allows extra distance.  When `gap == 0` the two ends may be the
+/// *same* occurrence (an all-or-self chain can stay put).
+#[derive(Debug, Clone)]
+pub struct SibPattern<S: Symbol> {
+    /// Symbol required at the left end (`None` = unconstrained).
+    pub left: Option<S>,
+    /// Symbol required at the right end (`None` = unconstrained).
+    pub right: Option<S>,
+    /// Minimum distance (in positions) between the two ends.
+    pub gap: usize,
+    /// Whether the distance may exceed `gap`.
+    pub flexible: bool,
+    /// Capture the left end's symbol (else the right end's).
+    pub capture_left: bool,
+    /// If `Some`, the whole word may only use these symbols (local negation).
+    pub allowed: Option<BTreeSet<S>>,
+}
+
+impl<S: Symbol> SibPattern<S> {
+    fn left_matches(&self, s: &S) -> bool {
+        self.left.as_ref().is_none_or(|l| l == s)
+    }
+
+    fn right_matches(&self, s: &S) -> bool {
+        self.right.as_ref().is_none_or(|r| r == s)
+    }
+
+    fn symbol_allowed(&self, s: &S) -> bool {
+        match &self.allowed {
+            Some(set) => set.contains(s),
+            None => true,
+        }
+    }
+}
+
+/// The role a word position plays in a realised [`SibPattern`] (drives witness
+/// construction: the captured end continues the query spine, everything else is
+/// a filler subtree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SibRole {
+    /// Not part of the window (or a forced intermediate inside it).
+    Filler,
+    /// The left end of the window.
+    Left,
+    /// The right end of the window.
+    Right,
+    /// Both ends at once (`gap == 0`, distance 0).
+    Both,
+}
+
+/// Pattern-automaton state: 0 = window not started, `1 + d` = left end placed
+/// `d` positions ago (saturating at `gap`), `gap + 2` = both ends placed.
+type SibState = usize;
+
+fn sib_done(gap: usize) -> SibState {
+    gap + 2
+}
+
+/// Successor pattern states when consuming `s` at `ps` with captured symbol `cap`.
+fn sib_successors<S: Symbol>(
+    pat: &SibPattern<S>,
+    ps: SibState,
+    cap: &Option<S>,
+    s: &S,
+) -> Vec<(SibState, Option<S>, SibRole)> {
+    let done = sib_done(pat.gap);
+    let mut out = Vec::new();
+    if ps == done {
+        out.push((done, cap.clone(), SibRole::Filler));
+        return out;
+    }
+    if ps == 0 {
+        out.push((0, None, SibRole::Filler));
+        if pat.left_matches(s) {
+            if pat.gap == 0 && pat.right_matches(s) {
+                out.push((done, Some(s.clone()), SibRole::Both));
+            }
+            let cap0 = pat.capture_left.then(|| s.clone());
+            out.push((1, cap0, SibRole::Left));
+        }
+        return out;
+    }
+    let dist = ps; // ps = 1 + d, this symbol sits at distance d + 1 = ps
+    if dist < pat.gap {
+        out.push((1 + dist, cap.clone(), SibRole::Filler));
+    } else {
+        // At or beyond the minimum distance: this symbol may be the right end,
+        // or (when flexible) a filler inside the stretched window.
+        if (dist == pat.gap || pat.flexible) && pat.right_matches(s) {
+            let capr = if pat.capture_left {
+                cap.clone()
+            } else {
+                Some(s.clone())
+            };
+            out.push((done, capr, SibRole::Right));
+        }
+        if pat.flexible {
+            out.push((1 + pat.gap, cap.clone(), SibRole::Filler));
+        }
+    }
+    out
+}
+
+/// All symbols that can stand at the captured end of `pat` in some accepted word
+/// of the automaton.  This is the per-parent-type row of a compiled sibling-chain
+/// table: BFS over `(NFA state, pattern state, captured symbol)`.
+pub fn sib_pattern_symbols<S: Symbol>(nfa: &Nfa<S>, pat: &SibPattern<S>) -> BTreeSet<S> {
+    type Key<S> = (StateId, SibState, Option<S>);
+    let done = sib_done(pat.gap);
+    let start: Key<S> = (nfa.start(), 0, None);
+    let mut seen: HashSet<Key<S>> = HashSet::new();
+    let mut queue: VecDeque<Key<S>> = VecDeque::new();
+    let mut found = BTreeSet::new();
+    seen.insert(start.clone());
+    queue.push_back(start);
+    while let Some((q, ps, cap)) = queue.pop_front() {
+        if nfa.is_accepting(q) && ps == done {
+            if let Some(c) = &cap {
+                found.insert(c.clone());
+            }
+        }
+        for (sym, succs) in nfa.transitions_from(q) {
+            if !pat.symbol_allowed(sym) {
+                continue;
+            }
+            for (nps, ncap, _) in sib_successors(pat, ps, &cap, sym) {
+                for &t in succs {
+                    let next: Key<S> = (t, nps, ncap.clone());
+                    if seen.insert(next.clone()) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+/// A shortest accepted word realising `pat` with `target` at the captured end,
+/// with each position's [`SibRole`].  `None` when no such word exists.
+pub fn sib_pattern_word<S: Symbol>(
+    nfa: &Nfa<S>,
+    pat: &SibPattern<S>,
+    target: &S,
+) -> Option<Vec<(S, SibRole)>> {
+    type Key<S> = (StateId, SibState, Option<S>);
+    let done = sib_done(pat.gap);
+    let start: Key<S> = (nfa.start(), 0, None);
+    let is_goal = |key: &Key<S>| -> bool {
+        nfa.is_accepting(key.0) && key.1 == done && key.2.as_ref() == Some(target)
+    };
+    let mut pred: HashMap<Key<S>, (Key<S>, S, SibRole)> = HashMap::new();
+    let mut seen: HashSet<Key<S>> = HashSet::new();
+    let mut queue: VecDeque<Key<S>> = VecDeque::new();
+    seen.insert(start.clone());
+    queue.push_back(start.clone());
+    let mut goal_key = is_goal(&start).then_some(start);
+    while goal_key.is_none() {
+        let Some(key) = queue.pop_front() else { break };
+        let (q, ps, cap) = &key;
+        'edges: for (sym, succs) in nfa.transitions_from(*q) {
+            if !pat.symbol_allowed(sym) {
+                continue;
+            }
+            for (nps, ncap, role) in sib_successors(pat, *ps, cap, sym) {
+                for &t in succs {
+                    let next: Key<S> = (t, nps, ncap.clone());
+                    if seen.insert(next.clone()) {
+                        pred.insert(next.clone(), (key.clone(), sym.clone(), role));
+                        if is_goal(&next) {
+                            goal_key = Some(next);
+                            break 'edges;
+                        }
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+    }
+    let mut cur = goal_key?;
+    let mut word = Vec::new();
+    while let Some((prev, sym, role)) = pred.get(&cur).cloned() {
+        word.push((sym, role));
+        cur = prev;
+    }
+    word.reverse();
+    Some(word)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +415,95 @@ mod tests {
         let nfa = Nfa::glushkov(&re);
         let w = shortest_covering_word(&nfa, &CoverDemand::none()).unwrap();
         assert_eq!(w, vec!['b']);
+    }
+
+    fn fwd(left: Option<char>, gap: usize, flexible: bool) -> SibPattern<char> {
+        SibPattern {
+            left,
+            right: None,
+            gap,
+            flexible,
+            capture_left: false,
+            allowed: None,
+        }
+    }
+
+    #[test]
+    fn sibling_window_next_hop_is_exact() {
+        // a,b,c : the immediate following sibling of `a` is exactly `b`.
+        let re = Regex::concat(vec![c('a'), c('b'), c('c')]);
+        let nfa = Nfa::glushkov(&re);
+        let syms = sib_pattern_symbols(&nfa, &fwd(Some('a'), 1, false));
+        assert_eq!(syms.into_iter().collect::<Vec<_>>(), vec!['b']);
+        // Two exact hops land on `c`.
+        let syms = sib_pattern_symbols(&nfa, &fwd(Some('a'), 2, false));
+        assert_eq!(syms.into_iter().collect::<Vec<_>>(), vec!['c']);
+    }
+
+    #[test]
+    fn sibling_window_or_self_is_flexible_and_includes_self() {
+        let re = Regex::concat(vec![c('a'), c('b'), c('c')]);
+        let nfa = Nfa::glushkov(&re);
+        let syms = sib_pattern_symbols(&nfa, &fwd(Some('a'), 0, true));
+        assert_eq!(syms.into_iter().collect::<Vec<_>>(), vec!['a', 'b', 'c']);
+        // One exact hop plus or-self: at least distance 1.
+        let syms = sib_pattern_symbols(&nfa, &fwd(Some('a'), 1, true));
+        assert_eq!(syms.into_iter().collect::<Vec<_>>(), vec!['b', 'c']);
+    }
+
+    #[test]
+    fn sibling_window_respects_disjunction_structure() {
+        // (a,b)|(a,c) : after `a` comes `b` or `c`, but never both in one word.
+        let re = Regex::alt(vec![
+            Regex::concat(vec![c('a'), c('b')]),
+            Regex::concat(vec![c('a'), c('c')]),
+        ]);
+        let nfa = Nfa::glushkov(&re);
+        let syms = sib_pattern_symbols(&nfa, &fwd(Some('a'), 1, false));
+        assert_eq!(syms.into_iter().collect::<Vec<_>>(), vec!['b', 'c']);
+        // No word has distance 2 between `a` and anything.
+        assert!(sib_pattern_symbols(&nfa, &fwd(Some('a'), 2, false)).is_empty());
+    }
+
+    #[test]
+    fn sibling_window_backward_captures_the_left_end() {
+        // a,b,c : the preceding sibling of `c` is `b`.
+        let re = Regex::concat(vec![c('a'), c('b'), c('c')]);
+        let nfa = Nfa::glushkov(&re);
+        let pat = SibPattern {
+            left: None,
+            right: Some('c'),
+            gap: 1,
+            flexible: false,
+            capture_left: true,
+            allowed: None,
+        };
+        let syms = sib_pattern_symbols(&nfa, &pat);
+        assert_eq!(syms.into_iter().collect::<Vec<_>>(), vec!['b']);
+        let word = sib_pattern_word(&nfa, &pat, &'b').unwrap();
+        assert_eq!(
+            word,
+            vec![
+                ('a', SibRole::Filler),
+                ('b', SibRole::Left),
+                ('c', SibRole::Right)
+            ]
+        );
+    }
+
+    #[test]
+    fn sibling_word_reports_roles_and_respects_allowed() {
+        let re = Regex::star(Regex::alt(vec![c('a'), c('b'), c('x')]));
+        let nfa = Nfa::glushkov(&re);
+        let pat = fwd(Some('a'), 1, false);
+        let word = sib_pattern_word(&nfa, &pat, &'b').unwrap();
+        assert_eq!(word, vec![('a', SibRole::Left), ('b', SibRole::Right)]);
+        // Restricting the alphabet away from `b` leaves only a/x captures.
+        let mut restricted = fwd(Some('a'), 1, false);
+        restricted.allowed = Some(['a', 'x'].into_iter().collect());
+        let syms = sib_pattern_symbols(&nfa, &restricted);
+        assert_eq!(syms.into_iter().collect::<Vec<_>>(), vec!['a', 'x']);
+        assert!(sib_pattern_word(&nfa, &restricted, &'b').is_none());
     }
 
     #[test]

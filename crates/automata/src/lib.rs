@@ -25,7 +25,10 @@ pub mod nfa;
 pub mod regex;
 
 pub use bitset::BitSet;
-pub use cover::{shortest_covering_word, shortest_word, word_with_multiplicities, CoverDemand};
+pub use cover::{
+    shortest_covering_word, shortest_word, sib_pattern_symbols, sib_pattern_word,
+    word_with_multiplicities, CoverDemand, SibPattern, SibRole,
+};
 pub use dfa::{DenseDfa, Dfa, DENSE_DEAD};
 pub use nfa::{Nfa, StateId};
 pub use regex::Regex;

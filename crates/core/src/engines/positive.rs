@@ -34,6 +34,7 @@
 //! The search constructs the witness document as it goes (using `Document::truncate` to
 //! backtrack), so a `Satisfiable` verdict always carries a verified witness.
 
+use crate::budget::{BudgetMeter, Exhausted};
 use crate::sat::{SatError, Satisfiability};
 use crate::witness::fill_missing_attributes;
 use std::collections::{BTreeMap, HashMap};
@@ -64,16 +65,34 @@ pub fn decide(dtd: &Dtd, query: &Path) -> Result<Satisfiability, SatError> {
     decide_with(&DtdArtifacts::build(dtd), query)
 }
 
-/// Decide `(query, dtd)` against precompiled artifacts.
+/// Decide `(query, dtd)` against precompiled artifacts (unmetered).
 pub fn decide_with(artifacts: &DtdArtifacts, query: &Path) -> Result<Satisfiability, SatError> {
+    match decide_with_budget(artifacts, query, &BudgetMeter::unlimited()) {
+        Ok(result) => result,
+        Err(_) => unreachable!("an unlimited meter cannot exhaust"),
+    }
+}
+
+/// Decide `(query, dtd)` under a budget meter.
+///
+/// The backtracking routing search is NP in the worst case, so without a meter a
+/// single hostile instance can pin a thread indefinitely; every alternative the
+/// search pops and every requirement assignment spends one step.  `Err(cause)`
+/// reports meter exhaustion mid-search; fragment rejection and the vacuous-DTD
+/// verdict come back inside `Ok` exactly as from [`decide_with`].
+pub fn decide_with_budget(
+    artifacts: &DtdArtifacts,
+    query: &Path,
+    meter: &BudgetMeter,
+) -> Result<Result<Satisfiability, SatError>, Exhausted> {
     if !supports(query) {
-        return Err(SatError::UnsupportedFragment {
+        return Ok(Err(SatError::UnsupportedFragment {
             engine: ENGINE,
             detail: format!("query {query} uses negation, upward or sibling axes"),
-        });
+        }));
     }
     let Some(compiled) = artifacts.compiled() else {
-        return Ok(Satisfiability::Unsatisfiable);
+        return Ok(Ok(Satisfiability::Unsatisfiable));
     };
     let query = query.right_assoc();
     let depth_limit = (3 * query.size()).saturating_sub(1) * compiled.size().max(1) + 2;
@@ -83,6 +102,8 @@ pub fn decide_with(artifacts: &DtdArtifacts, query: &Path) -> Result<Satisfiabil
         depth_limit,
         cover_memo: HashMap::new(),
         word_memo: HashMap::new(),
+        meter,
+        exhausted: None,
     };
     let mut doc = Document::new(compiled.name(compiled.root()));
     let root = doc.root();
@@ -90,23 +111,27 @@ pub fn decide_with(artifacts: &DtdArtifacts, query: &Path) -> Result<Satisfiabil
     // Root-level reachability prune: if even the over-approximation fails, skip the
     // backtracking search entirely.
     if !search.feasible(compiled.root(), &obligations) {
-        return Ok(Satisfiability::Unsatisfiable);
+        return Ok(Ok(Satisfiability::Unsatisfiable));
     }
-    match search.satisfy(
+    let outcome = search.satisfy(
         &mut doc,
         root,
         compiled.root(),
         obligations,
         Bindings::default(),
         0,
-    ) {
+    );
+    if let Some(cause) = search.exhausted {
+        return Err(cause);
+    }
+    Ok(Ok(match outcome {
         Some(bindings) => {
             assign_values(&mut doc, &bindings);
             fill_missing_attributes(&mut doc, compiled.dtd());
-            Ok(Satisfiability::Satisfiable(doc))
+            Satisfiability::Satisfiable(doc)
         }
-        None => Ok(Satisfiability::Unsatisfiable),
-    }
+        None => Satisfiability::Unsatisfiable,
+    }))
 }
 
 /// A slot variable standing for "the value of attribute `a` of the witness node chosen
@@ -153,6 +178,11 @@ struct Search<'a> {
     cover_memo: HashMap<(Sym, Vec<Sym>), bool>,
     /// Memo for the materialised shortest covering word per `(label, multiset)`.
     word_memo: HashMap<(Sym, Vec<Sym>), Option<Vec<Sym>>>,
+    /// Step meter bounding the backtracking search.
+    meter: &'a BudgetMeter,
+    /// Set when the meter runs dry; the search then unwinds through its ordinary
+    /// `None` failure paths and the caller reports exhaustion instead of UNSAT.
+    exhausted: Option<Exhausted>,
 }
 
 /// One branch of a decomposition choice point.
@@ -181,6 +211,44 @@ impl Branch {
 }
 
 impl<'a> Search<'a> {
+    /// Spend one meter step.  On exhaustion the cause is recorded and `false` is
+    /// returned, unwinding the search through its normal failure paths.
+    fn step(&mut self) -> bool {
+        self.charge(1)
+    }
+
+    fn charge(&mut self, n: u64) -> bool {
+        if self.exhausted.is_some() {
+            return false;
+        }
+        match self.meter.spend(n) {
+            Ok(()) => true,
+            Err(cause) => {
+                self.exhausted = Some(cause);
+                false
+            }
+        }
+    }
+
+    /// Charge for one covering-word search: the BFS behind
+    /// [`xpsat_automata::word_with_multiplicities`] visits up to
+    /// `states × ∏(multiplicityᵢ + 1)` keys, which on realistic content models
+    /// dwarfs the flat per-alternative step, so budgets stay roughly proportional
+    /// to wall clock only if cover computations are charged at that size.
+    fn charge_cover(&mut self, label: Sym, multiset: &[Sym]) -> bool {
+        let mut cost: u64 = self.compiled.automaton(label).num_states() as u64;
+        let mut i = 0;
+        while i < multiset.len() {
+            let mut j = i;
+            while j < multiset.len() && multiset[j] == multiset[i] {
+                j += 1;
+            }
+            cost = cost.saturating_mul((j - i + 1) as u64);
+            i = j;
+        }
+        self.charge(cost)
+    }
+
     /// Try to satisfy all obligations at `node` (whose subtree is not yet expanded and
     /// whose element type is `label`).  Returns the extended bindings on success; on
     /// failure the document is restored to its state at entry.
@@ -201,6 +269,10 @@ impl<'a> Search<'a> {
         // obligations, accumulated child requirements and value bindings.
         let mut alternatives = vec![(obligations, Vec::<ChildReq>::new(), bindings)];
         while let Some((mut pending, mut reqs, mut alt_bindings)) = alternatives.pop() {
+            if !self.step() {
+                doc.truncate(doc_snapshot);
+                return None;
+            }
             let Some(ob) = pending.pop() else {
                 if let Some(result) =
                     self.route_children(doc, node, label, reqs, alt_bindings, depth)
@@ -402,6 +474,9 @@ impl<'a> Search<'a> {
         bindings: Bindings,
         depth: usize,
     ) -> Option<Bindings> {
+        if !self.step() {
+            return None;
+        }
         if idx == reqs.len() {
             return self.realize_plan(doc, node, label, &plan, bindings, depth);
         }
@@ -429,6 +504,9 @@ impl<'a> Search<'a> {
             let coverable = match self.cover_memo.get(&memo_key) {
                 Some(&cached) => cached,
                 None => {
+                    if !self.charge_cover(label, &memo_key.1) {
+                        return None;
+                    }
                     let mut demand = CoverDemand::none();
                     for &planned in &memo_key.1 {
                         demand = demand.require(planned, 1);
@@ -504,6 +582,9 @@ impl<'a> Search<'a> {
         let word = match self.word_memo.get(&memo_key) {
             Some(cached) => cached.clone(),
             None => {
+                if !self.charge_cover(label, &memo_key.1) {
+                    return None;
+                }
                 let mut demand = CoverDemand::none();
                 for &planned in &memo_key.1 {
                     demand = demand.require(planned, 1);

@@ -28,6 +28,15 @@ use std::sync::{Arc, Mutex};
 use xpsat_dtd::{Dtd, DtdArtifacts};
 use xpsat_xpath::{Features, Path};
 
+/// Recommended stack size for threads that run [`Solver`] dispatch on untrusted
+/// input.  The positive engine's witness search recurses to its Lemma 4.5 depth
+/// bound — `(3|p|−1)·|D| + 2` levels, several thousand frames on schema-sized
+/// DTDs — which overflows the 2 MiB default of spawned threads long before any
+/// step budget bites.  Stack overflow aborts the whole process (no unwinding,
+/// no panic isolation), so services must give decide workers room instead of
+/// relying on the budget.  Virtual reservation only; pages are committed on use.
+pub const DECIDE_STACK_BYTES: usize = 64 << 20;
+
 /// Which decision procedure produced a verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
@@ -90,6 +99,67 @@ impl Decision {
             engine,
             complete: false,
             exhausted: Some(cause),
+        }
+    }
+}
+
+/// A routing prediction computed from the query's [`Features`] and the DTD's
+/// [`xpsat_dtd::DtdProperties`] alone — before any engine runs.
+///
+/// The compiled-VM fast path (the `xpsat-plan` compiler) lives one crate above
+/// this one, so callers that own both — the service workspace, the benchmark
+/// driver — use the prediction to route work: attempt compilation only when
+/// `vm_eligible`, and label instances by the engine the AST dispatch would
+/// otherwise reach.  Eligibility is *necessary, not sufficient*: the compiler can
+/// still bail for instance-specific reasons (demand collisions, program-size and
+/// work budgets).  Ineligibility is definitive — the compiler gates on exactly
+/// these feature × property conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutePrediction {
+    /// May the compiled-VM fast path cover this instance?  Requires downward-only
+    /// axes, no data values, and — for qualifier negation — a *duplicate-free*
+    /// DTD (per-element Glushkov automata are then deterministic, so local
+    /// negation is a DFA complement; arXiv 1308.0769).
+    pub vm_eligible: bool,
+    /// The engine the AST dispatch is expected to reach when the VM does not
+    /// serve the instance.  `DisjunctionFree` unsat short-cuts are predicted as
+    /// [`EngineKind::Positive`] (the prediction cannot know the verdict).
+    pub ast_engine: EngineKind,
+}
+
+impl Solver {
+    /// Predict routing for `(artifacts, query)` from features × DTD properties.
+    pub fn predict_route(artifacts: &DtdArtifacts, query: &Path) -> RoutePrediction {
+        let features = Features::of_path(query);
+        let props = artifacts.properties();
+        let duplicate_free = props.is_some_and(|p| p.duplicate_free);
+        let vm_eligible = !features.has_upward()
+            && !features.data_value
+            && (!features.negation || duplicate_free);
+        let ast_engine = if downward::supports_features(&features) {
+            EngineKind::Downward
+        } else if sibling::supports(query) {
+            EngineKind::Sibling
+        } else if positive::supports_features(&features) {
+            EngineKind::Positive
+        } else if negation::supports_features(&features) {
+            EngineKind::NegationFixpoint
+        } else if (features.has_upward()
+            && !features.negation
+            && !features.qualifier
+            && !features.union
+            && !features.has_recursion()
+            && !features.has_sibling()
+            && !features.data_value)
+            || (features.has_recursion() && !artifacts.class().recursive)
+        {
+            EngineKind::Rewritten
+        } else {
+            EngineKind::Enumeration
+        };
+        RoutePrediction {
+            vm_eligible,
+            ast_engine,
         }
     }
 }
@@ -285,13 +355,17 @@ impl Solver {
                     };
                 }
             }
-            if let Ok(result) = positive::decide_with(artifacts, query) {
-                return Decision {
-                    result,
-                    engine: EngineKind::Positive,
-                    complete: true,
-                    exhausted: None,
-                };
+            match positive::decide_with_budget(artifacts, query, &meter) {
+                Err(cause) => return Decision::exhausted(EngineKind::Positive, cause),
+                Ok(Ok(result)) => {
+                    return Decision {
+                        result,
+                        engine: EngineKind::Positive,
+                        complete: true,
+                        exhausted: None,
+                    };
+                }
+                Ok(Err(_)) => {}
             }
         }
         if negation::supports_features(&features) {
@@ -327,15 +401,18 @@ impl Solver {
                     complete: true,
                     exhausted: None,
                 },
-                Some(rewritten) => match positive::decide_with(artifacts, &rewritten) {
-                    Ok(result) => Decision {
-                        result,
-                        engine: EngineKind::Rewritten,
-                        complete: true,
-                        exhausted: None,
-                    },
-                    Err(_) => self.enumerate(artifacts, query, &meter),
-                },
+                Some(rewritten) => {
+                    match positive::decide_with_budget(artifacts, &rewritten, &meter) {
+                        Err(cause) => Decision::exhausted(EngineKind::Rewritten, cause),
+                        Ok(Ok(result)) => Decision {
+                            result,
+                            engine: EngineKind::Rewritten,
+                            complete: true,
+                            exhausted: None,
+                        },
+                        Ok(Err(_)) => self.enumerate(artifacts, query, &meter),
+                    }
+                }
             };
         }
         // Nonrecursive DTDs: eliminate the recursive axes (Proposition 6.1) and try the
@@ -369,13 +446,17 @@ impl Solver {
         meter: &BudgetMeter,
     ) -> Decision {
         if positive::supports(query) {
-            if let Ok(result) = positive::decide_with(artifacts, query) {
-                return Decision {
-                    result,
-                    engine: EngineKind::Positive,
-                    complete: true,
-                    exhausted: None,
-                };
+            match positive::decide_with_budget(artifacts, query, meter) {
+                Err(cause) => return Decision::exhausted(EngineKind::Positive, cause),
+                Ok(Ok(result)) => {
+                    return Decision {
+                        result,
+                        engine: EngineKind::Positive,
+                        complete: true,
+                        exhausted: None,
+                    };
+                }
+                Ok(Err(_)) => {}
             }
         }
         if negation::supports(query) {
@@ -489,6 +570,41 @@ mod tests {
         }
         let sib = solver().decide(&dtd, &parse_path("a/>").unwrap());
         assert_eq!(sib.engine, EngineKind::Sibling);
+    }
+
+    #[test]
+    fn route_prediction_tracks_features_and_dtd_properties() {
+        // Duplicate-free DTD: negation is VM-eligible (DFA complement).
+        let df = xpsat_dtd::DtdArtifacts::build(
+            &parse_dtd("r -> a*; a -> b | c; b -> #; c -> #;").unwrap(),
+        );
+        // `a -> b, b?` repeats b: not duplicate-free, negation must stay on the AST.
+        let dup =
+            xpsat_dtd::DtdArtifacts::build(&parse_dtd("r -> a; a -> b, b?; b -> #;").unwrap());
+        assert!(df.properties().unwrap().duplicate_free);
+        assert!(!dup.properties().unwrap().duplicate_free);
+
+        let cases = [
+            ("a/b", true, EngineKind::Downward),
+            ("a[b or c]", true, EngineKind::Positive),
+            ("a[not(b)]", true, EngineKind::NegationFixpoint),
+            ("a/>", true, EngineKind::Sibling),
+            ("a/..", false, EngineKind::Rewritten),
+            ("a[@x = \"1\"]", false, EngineKind::Positive),
+        ];
+        for (text, vm, engine) in cases {
+            let p = Solver::predict_route(&df, &parse_path(text).unwrap());
+            assert_eq!(p.vm_eligible, vm, "{text}");
+            assert_eq!(p.ast_engine, engine, "{text}");
+        }
+        // Same negation query, property-dependent eligibility.
+        let q = parse_path("a[not(b)]").unwrap();
+        assert!(Solver::predict_route(&df, &q).vm_eligible);
+        assert!(!Solver::predict_route(&dup, &q).vm_eligible);
+        assert_eq!(
+            Solver::predict_route(&dup, &q).ast_engine,
+            EngineKind::NegationFixpoint
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::classify::{classify, DtdClass};
 use crate::dtd::Dtd;
 use crate::generate::TreeGenerator;
 use crate::graph::{prune_nonterminating, DtdGraph};
+use crate::props::DtdProperties;
 use crate::symbols::{Sym, SymbolTable};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -99,6 +100,11 @@ impl DtdArtifacts {
         self.compiled.as_ref().map_or(0, |c| c.num_elements())
     }
 
+    /// The structural properties of the pruned DTD (None when no document conforms).
+    pub fn properties(&self) -> Option<&DtdProperties> {
+        self.compiled.as_ref().map(|c| c.properties())
+    }
+
     /// Force every lazily-initialised artifact (automata, useful-state masks, tree
     /// generator).  Long-lived holders — the service workspace registering a DTD it
     /// will serve many queries against — warm eagerly so no decision ever pays
@@ -128,6 +134,8 @@ pub struct CompiledDtd {
     num_elements: usize,
     root: Sym,
     graph: DtdGraph,
+    /// Structural properties (duplicate-free, capsuled, covering, …) of the pruned DTD.
+    props: DtdProperties,
     /// Declared attribute names per element symbol.
     attrs: Vec<BTreeSet<String>>,
     /// Glushkov automaton of `P(A)` indexed by the element symbol of `A` (lazy).
@@ -141,6 +149,7 @@ pub struct CompiledDtd {
 impl CompiledDtd {
     fn new(pruned: Dtd) -> CompiledDtd {
         let graph = DtdGraph::new(&pruned);
+        let props = DtdProperties::analyze(&pruned, &graph);
         // Pruned DTDs reference declared types only, so the graph's vertices are
         // exactly the element types; extend its table with the attribute names so one
         // interner covers both namespaces (elements occupy the dense prefix).
@@ -167,6 +176,7 @@ impl CompiledDtd {
             num_elements,
             root,
             graph,
+            props,
             attrs,
             automata: OnceLock::new(),
             useful: OnceLock::new(),
@@ -274,6 +284,13 @@ impl CompiledDtd {
     /// The DTD graph with its precomputed reachability closure.
     pub fn graph(&self) -> &DtdGraph {
         &self.graph
+    }
+
+    /// The structural properties of the pruned DTD (computed eagerly at compile:
+    /// every construction path — fresh build or store rehydration — goes through
+    /// [`CompiledDtd::new`], so no store format change is needed).
+    pub fn properties(&self) -> &DtdProperties {
+        &self.props
     }
 
     /// The shared tree generator (minimal expansions, random sampling), built on first

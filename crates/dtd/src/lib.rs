@@ -22,6 +22,7 @@ pub mod generate;
 pub mod graph;
 pub mod normalize;
 pub mod parse;
+pub mod props;
 pub mod symbols;
 pub mod universal;
 pub mod validate;
@@ -33,6 +34,7 @@ pub use generate::TreeGenerator;
 pub use graph::DtdGraph;
 pub use normalize::{normalize, Normalization};
 pub use parse::{parse_dtd, parse_dtd_with_limits, DtdParseError, DtdParseLimits, Span};
+pub use props::DtdProperties;
 pub use symbols::{Sym, SymbolTable};
 pub use universal::universal_dtd;
 pub use validate::{validate, ValidationError};

@@ -1,0 +1,198 @@
+//! Structural DTD properties that widen the tractable query fragments.
+//!
+//! Ishihara–Suzuki–Hashimoto (arXiv 1308.0769, PAPERS.md) show that XPath
+//! satisfiability stays PTIME well beyond the downward fragment when the DTD —
+//! not the query — is restricted: content models that are *duplicate-free*
+//! (each element type occurs at most once syntactically), *disjunction-capsuled*
+//! (every disjunction operand is concatenation-free) or *covering* (every type
+//! mentioned in `P(A)` occurs in some word of `L(P(A))`) admit cheap exact
+//! reasoning about qualifier demands, local negation and sibling order.  Real
+//! schemas (XHTML, DocBook) overwhelmingly satisfy them.
+//!
+//! Each property here is one cheap syntactic pass over the pruned DTD plus the
+//! dense [`DtdGraph`]; the compiled-VM query compiler and the solver's shared
+//! pre-filter condition on them instead of bailing on query features alone.
+
+use crate::dtd::Dtd;
+use crate::graph::DtdGraph;
+use crate::ContentModel;
+use std::collections::BTreeMap;
+use xpsat_automata::{BitSet, Regex};
+
+/// Cheap structural properties of a (pruned) DTD, computed once per compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtdProperties {
+    /// Every content model mentions each element type at most once syntactically.
+    /// Glushkov automata of duplicate-free expressions are deterministic, so
+    /// restricting the alphabet (local qualifier negation) is a DFA complement.
+    pub duplicate_free: bool,
+    /// Every disjunction operand is concatenation-free ("capsuled"): choosing a
+    /// disjunct never commits to a sequence, so distributing qualifier
+    /// disjunctions over the remaining compilation cannot blow up demands.
+    pub disjunction_capsuled: bool,
+    /// Every element type mentioned in `P(A)` occurs in some word of `L(P(A))`:
+    /// the DTD graph's syntactic edges coincide with "can actually occur as a
+    /// child", making graph reachability an exact child-existence test.
+    pub covering: bool,
+    /// Element types that cannot reach themselves in the DTD graph — subtrees
+    /// below them have statically bounded depth even in a recursive DTD.
+    pub non_recursive: BitSet,
+}
+
+impl DtdProperties {
+    /// Analyse `pruned` (all types terminating) against its dense graph.
+    pub fn analyze(pruned: &Dtd, graph: &DtdGraph) -> DtdProperties {
+        let mut duplicate_free = true;
+        let mut disjunction_capsuled = true;
+        let mut covering = true;
+        for (_, decl) in pruned.elements() {
+            duplicate_free &= content_is_duplicate_free(&decl.content);
+            disjunction_capsuled &= alts_are_capsuled(&decl.content);
+            covering &= content_is_covering(&decl.content);
+        }
+        let n = graph.symbols().len();
+        let mut non_recursive = BitSet::with_capacity(n);
+        for index in 0..n {
+            let sym = crate::symbols::Sym::from_index(index);
+            if !graph.reaches(sym, sym) {
+                non_recursive.insert(index);
+            }
+        }
+        DtdProperties {
+            duplicate_free,
+            disjunction_capsuled,
+            covering,
+            non_recursive,
+        }
+    }
+}
+
+/// No element type occurs at two syntactic positions of the content model.
+fn content_is_duplicate_free(content: &ContentModel) -> bool {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    count_occurrences(content, &mut counts);
+    counts.values().all(|&c| c <= 1)
+}
+
+fn count_occurrences<'a>(r: &'a ContentModel, counts: &mut BTreeMap<&'a str, usize>) {
+    match r {
+        Regex::Epsilon | Regex::Empty => {}
+        Regex::Sym(s) => *counts.entry(s.as_str()).or_insert(0) += 1,
+        Regex::Concat(parts) | Regex::Alt(parts) => {
+            for p in parts {
+                count_occurrences(p, counts);
+            }
+        }
+        Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => {
+            count_occurrences(inner, counts);
+        }
+    }
+}
+
+/// Every `Alt` operand anywhere in the expression is concatenation-free.
+fn alts_are_capsuled(r: &ContentModel) -> bool {
+    match r {
+        Regex::Epsilon | Regex::Empty | Regex::Sym(_) => true,
+        Regex::Concat(parts) => parts.iter().all(alts_are_capsuled),
+        Regex::Alt(parts) => parts.iter().all(capsuled_operand),
+        Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => alts_are_capsuled(inner),
+    }
+}
+
+fn capsuled_operand(r: &ContentModel) -> bool {
+    match r {
+        Regex::Epsilon | Regex::Empty | Regex::Sym(_) => true,
+        Regex::Concat(_) => false,
+        Regex::Alt(parts) => parts.iter().all(capsuled_operand),
+        Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => capsuled_operand(inner),
+    }
+}
+
+/// Every symbol occurring syntactically in the expression occurs in some word of
+/// its language.
+fn content_is_covering(r: &ContentModel) -> bool {
+    let mut syms = r.symbols();
+    syms.sort();
+    syms.dedup();
+    syms.iter().all(|s| occurs_in_some_word(r, s))
+}
+
+/// Does some word of `L(r)` contain `s`?  (Purely syntactic recursion; no automaton.)
+fn occurs_in_some_word(r: &ContentModel, s: &str) -> bool {
+    match r {
+        Regex::Epsilon | Regex::Empty => false,
+        Regex::Sym(x) => x == s,
+        Regex::Concat(parts) => parts.iter().enumerate().any(|(i, p)| {
+            occurs_in_some_word(p, s)
+                && parts
+                    .iter()
+                    .enumerate()
+                    .all(|(j, q)| j == i || !q.is_empty_language())
+        }),
+        Regex::Alt(parts) => parts.iter().any(|p| occurs_in_some_word(p, s)),
+        Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => {
+            occurs_in_some_word(inner, s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::prune_nonterminating;
+    use crate::parse::parse_dtd;
+
+    fn props(text: &str) -> DtdProperties {
+        let dtd = parse_dtd(text).unwrap();
+        let pruned = prune_nonterminating(&dtd).expect("terminating root");
+        let graph = DtdGraph::new(&pruned);
+        DtdProperties::analyze(&pruned, &graph)
+    }
+
+    #[test]
+    fn duplicate_free_detects_repeated_types() {
+        assert!(props("r -> a, b; a -> #; b -> #;").duplicate_free);
+        assert!(!props("r -> a, b, a; a -> #; b -> #;").duplicate_free);
+        // A repeat under a star is still a syntactic duplicate.
+        assert!(!props("r -> a, a*; a -> #;").duplicate_free);
+    }
+
+    #[test]
+    fn capsuled_rejects_concatenation_inside_disjunction() {
+        assert!(props("r -> (a | b)*; a -> #; b -> #;").disjunction_capsuled);
+        assert!(props("r -> a | b?; a -> #; b -> #;").disjunction_capsuled);
+        assert!(!props("r -> (a, b) | c; a -> #; b -> #; c -> #;").disjunction_capsuled);
+    }
+
+    #[test]
+    fn covering_requires_every_mention_to_be_realisable() {
+        assert!(props("r -> a?, b; a -> #; b -> #;").covering);
+        // After pruning, `dead` disappears from `r`'s content, so the pruned DTD
+        // is covering even though the original mentions an unrealisable type.
+        assert!(props("r -> a, dead?; a -> #; dead -> dead;").covering);
+    }
+
+    #[test]
+    fn non_recursive_marks_self_unreachable_types() {
+        let p = props("r -> a*, b; a -> r?; b -> #;");
+        let dtd = parse_dtd("r -> a*, b; a -> r?; b -> #;").unwrap();
+        let pruned = prune_nonterminating(&dtd).unwrap();
+        let graph = DtdGraph::new(&pruned);
+        let r = graph.sym("r").unwrap();
+        let b = graph.sym("b").unwrap();
+        assert!(!p.non_recursive.contains(r.index()));
+        assert!(p.non_recursive.contains(b.index()));
+    }
+
+    #[test]
+    fn realistic_shapes_satisfy_the_bundle() {
+        // DocBook-ish: sequences with optional/starred parts, capsuled alts.
+        let p = props(
+            "book -> title, chapter+; chapter -> title, (para | note)*; \
+             title -> #; para -> #; note -> para*;",
+        );
+        assert!(p.duplicate_free);
+        assert!(p.disjunction_capsuled);
+        assert!(p.covering);
+    }
+}

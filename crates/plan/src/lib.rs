@@ -30,11 +30,12 @@
 
 pub mod canon;
 pub mod compile;
+mod opt;
 pub mod program;
 pub mod vm;
 mod witness;
 
 pub use canon::{canonicalize, fnv64, structural_hash, CanonicalQuery};
-pub use compile::{compile, CompileLimits};
-pub use program::{DecisionProgram, MaskId, Op, Reg};
+pub use compile::{compile, compile_with_reason, BailReason, CompileLimits};
+pub use program::{DecisionProgram, MaskId, Op, Reg, TableId};
 pub use vm::Scratch;

@@ -1,0 +1,157 @@
+//! Post-emission program optimisation.
+//!
+//! Disjunction expansion re-emits the shared continuation once per alternative, so raw
+//! programs carry duplicated masks and subcomputations that feed nothing (e.g. an
+//! alternative whose image is statically empty).  Three cheap passes run before a
+//! program leaves the compiler:
+//!
+//! 1. **constant folding** — ops whose result is provably empty from the program text
+//!    alone (empty `ok`/`mask` masks, all-empty table rows, empty sources) collapse to
+//!    [`Op::Empty`];
+//! 2. **dead-code elimination** — ops not reachable from the `out` register are
+//!    dropped and registers renumbered (the single-assignment `op i writes register i`
+//!    invariant is restored, which also shrinks the VM scratch file);
+//! 3. **mask/table GC** — masks and tables no longer referenced are dropped and
+//!    equal masks deduplicated.
+//!
+//! All passes preserve replay semantics exactly: they only remove work the VM would
+//! have done to produce sets that cannot influence the final image.
+
+use crate::program::{DecisionProgram, MaskId, Op, Reg, TableId};
+use std::collections::HashMap;
+
+/// Optimise `p` (see module docs).  Idempotent; `const_unsat` programs pass through.
+pub(crate) fn optimize(mut p: DecisionProgram) -> DecisionProgram {
+    if p.const_unsat || p.ops.is_empty() {
+        return p;
+    }
+
+    // Pass 1: fold statically-empty results to `Op::Empty`.
+    let n = p.ops.len();
+    let mut empty = vec![false; n];
+    for i in 0..n {
+        let e = match p.ops[i] {
+            Op::Root { .. } => false,
+            Op::Empty { .. } => true,
+            Op::Child { src, ok, .. } => empty[src as usize] || p.masks[ok as usize].is_empty(),
+            Op::AnyChild { src, .. } | Op::DescOrSelf { src, .. } => empty[src as usize],
+            Op::Intersect { src, mask, .. } => {
+                empty[src as usize] || p.masks[mask as usize].is_empty()
+            }
+            Op::Union { a, b, .. } => empty[a as usize] && empty[b as usize],
+            Op::Table { src, table, .. } => {
+                empty[src as usize] || p.tables[table as usize].iter().all(|row| row.is_empty())
+            }
+        };
+        empty[i] = e;
+        if e {
+            p.ops[i] = Op::Empty { dst: i as Reg };
+        }
+    }
+
+    // Pass 2: liveness from `out`, then compact with renumbering.  Sources always
+    // precede their op (single assignment), so one reverse sweep suffices.
+    let mut live = vec![false; n];
+    live[p.out as usize] = true;
+    for i in (0..n).rev() {
+        if !live[i] {
+            continue;
+        }
+        match p.ops[i] {
+            Op::Root { .. } | Op::Empty { .. } => {}
+            Op::Child { src, .. }
+            | Op::AnyChild { src, .. }
+            | Op::DescOrSelf { src, .. }
+            | Op::Intersect { src, .. }
+            | Op::Table { src, .. } => live[src as usize] = true,
+            Op::Union { a, b, .. } => {
+                live[a as usize] = true;
+                live[b as usize] = true;
+            }
+        }
+    }
+    let mut remap = vec![0 as Reg; n];
+    let mut ops = Vec::with_capacity(n);
+    for i in 0..n {
+        if !live[i] {
+            continue;
+        }
+        let dst = ops.len() as Reg;
+        remap[i] = dst;
+        let op = match p.ops[i] {
+            Op::Root { .. } => Op::Root { dst },
+            Op::Empty { .. } => Op::Empty { dst },
+            Op::Child { src, sym, ok, .. } => Op::Child {
+                src: remap[src as usize],
+                dst,
+                sym,
+                ok,
+            },
+            Op::AnyChild { src, .. } => Op::AnyChild {
+                src: remap[src as usize],
+                dst,
+            },
+            Op::DescOrSelf { src, .. } => Op::DescOrSelf {
+                src: remap[src as usize],
+                dst,
+            },
+            Op::Intersect { src, mask, .. } => Op::Intersect {
+                src: remap[src as usize],
+                dst,
+                mask,
+            },
+            Op::Union { a, b, .. } => Op::Union {
+                a: remap[a as usize],
+                b: remap[b as usize],
+                dst,
+            },
+            Op::Table { src, table, .. } => Op::Table {
+                src: remap[src as usize],
+                dst,
+                table,
+            },
+        };
+        ops.push(op);
+    }
+    p.out = remap[p.out as usize];
+    p.ops = ops;
+
+    // Pass 3: GC + dedup masks (by content) and GC tables.
+    let mut mask_of: HashMap<Vec<usize>, MaskId> = HashMap::new();
+    let mut masks = Vec::new();
+    let mut table_remap: HashMap<TableId, TableId> = HashMap::new();
+    let mut tables = Vec::new();
+    for op in &mut p.ops {
+        match op {
+            Op::Child { ok, .. } => *ok = intern_mask(&p.masks, *ok, &mut mask_of, &mut masks),
+            Op::Intersect { mask, .. } => {
+                *mask = intern_mask(&p.masks, *mask, &mut mask_of, &mut masks)
+            }
+            Op::Table { table, .. } => {
+                *table = *table_remap.entry(*table).or_insert_with(|| {
+                    let id = tables.len() as TableId;
+                    tables.push(p.tables[*table as usize].clone());
+                    id
+                });
+            }
+            _ => {}
+        }
+    }
+    p.masks = masks;
+    p.tables = tables;
+    p
+}
+
+fn intern_mask(
+    old: &[xpsat_automata::BitSet],
+    id: MaskId,
+    seen: &mut HashMap<Vec<usize>, MaskId>,
+    out: &mut Vec<xpsat_automata::BitSet>,
+) -> MaskId {
+    let key: Vec<usize> = old[id as usize].iter().collect();
+    *seen.entry(key).or_insert_with(|| {
+        let new = out.len() as MaskId;
+        out.push(old[id as usize].clone());
+        new
+    })
+}

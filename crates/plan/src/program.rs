@@ -17,6 +17,9 @@ pub type Reg = u16;
 /// Index into [`DecisionProgram::masks`].
 pub type MaskId = u16;
 
+/// Index into [`DecisionProgram::tables`].
+pub type TableId = u16;
+
 /// One bitset instruction over element-type sets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
@@ -41,6 +44,10 @@ pub enum Op {
     Intersect { src: Reg, dst: Reg, mask: MaskId },
     /// `dst = a ∪ b` (join of union branches).
     Union { a: Reg, b: Reg, dst: Reg },
+    /// Table-driven step: `dst = ⋃ {tables[table][t] : t ∈ src}`.  Used for fused
+    /// sibling chains: row `t` holds the element types reachable at the chain's end
+    /// inside the content model of parent type `t`.
+    Table { src: Reg, dst: Reg, table: TableId },
 }
 
 /// A compiled decision program for one `(canonical query, DTD artifacts)` pair.
@@ -50,6 +57,9 @@ pub struct DecisionProgram {
     pub ops: Vec<Op>,
     /// Precomputed element-type masks referenced by [`Op::Child`] / [`Op::Intersect`].
     pub masks: Vec<BitSet>,
+    /// Per-parent-type target rows referenced by [`Op::Table`] (one row per element
+    /// type; empty for programs without sibling chains).
+    pub tables: Vec<Vec<BitSet>>,
     /// Number of element types in the compiled DTD (bitset capacity).
     pub num_elements: usize,
     /// Register holding the final image; the instance is satisfiable iff it is

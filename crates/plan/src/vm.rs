@@ -96,6 +96,17 @@ pub fn run(
                 right[0].union_with(&left[a as usize]);
                 right[0].union_with(&left[b as usize]);
             }
+            Op::Table { src, dst, table } => {
+                let (left, right) = regs.split_at_mut(dst as usize);
+                let d = &mut right[0];
+                let rows = &program.tables[table as usize];
+                let mut n = 0u64;
+                for t in left[src as usize].iter() {
+                    d.union_with(&rows[t]);
+                    n += 1;
+                }
+                meter.spend(n)?;
+            }
         }
     }
     Ok(!regs[program.out as usize].is_empty())

@@ -2,25 +2,32 @@
 //! construction, steered by the same feasibility analysis the compiler used.
 //!
 //! The realiser walks the canonical query's atom stream top-down.  At each spine node
-//! it accumulates the qualifier demands pending there, then expands the node with a
-//! shortest children word jointly covering the spine child and one child per demand
+//! it accumulates the qualifier demands pending there (plus the *avoid set* of locally
+//! negated child labels), then expands the node with a shortest children word jointly
+//! covering the spine child and one child per demand while using no avoided label
 //! (distinct occurrences — the compiler's disjointness discipline guarantees a child
 //! can serve only one role).  Demand children recursively realise their qualifier
-//! remainder, the spine child continues the query, and every other child expands to a
-//! minimal conforming subtree.  Choice points (wildcard/descendant targets, union
-//! branches) are resolved by type-level feasibility images, which is sound because
-//! subtrees under distinct children realise independently under a DTD.
+//! remainder (carried on the pending entry since disjunction distribution makes the
+//! remainder synthetic), the spine child continues the query, and every other child
+//! expands to a minimal conforming subtree.  Choice points (wildcard/descendant
+//! targets, union branches, distributed disjuncts) are resolved by type-level
+//! feasibility images; sibling chains realise a whole children word from the
+//! content-model pattern search ([`xpsat_automata::sib_pattern_word`]), continuing the
+//! query at the captured position.  All of this is sound because subtrees under
+//! distinct children realise independently under a DTD.
 //!
 //! This is the cold path — it runs once per `(DTD, canonical query)` cache fill — so
 //! allocation is fine here; only [`crate::vm::run`] is allocation-free.
 
-use crate::compile::{flatten, Analysis, Atom, CompileLimits, Conj};
+use crate::compile::{flatten, sibling_chain, Analysis, Atom, ChainSpec, CompileLimits, Conj};
 use crate::program::DecisionProgram;
 use std::collections::VecDeque;
-use xpsat_automata::{shortest_covering_word, CoverDemand};
+use xpsat_automata::{
+    shortest_covering_word, sib_pattern_symbols, sib_pattern_word, CoverDemand, SibRole,
+};
 use xpsat_dtd::{CompiledDtd, DtdArtifacts, Sym, TreeGenerator};
 use xpsat_xmltree::{Document, NodeId};
-use xpsat_xpath::{Path, Qualifier};
+use xpsat_xpath::Path;
 
 /// Nodes a witness may create before the realiser gives up (hostile-input guard).
 const MAX_WITNESS_NODES: usize = 50_000;
@@ -34,9 +41,9 @@ pub(crate) fn build(program: &DecisionProgram, artifacts: &DtdArtifacts) -> Opti
     }
     let compiled = artifacts.compiled()?;
     let atoms = flatten(&program.canon)?;
-    let limits = CompileLimits::default();
+    let limits = CompileLimits::default().effective_for(compiled.properties());
     let mut b = Builder {
-        an: Analysis::new(compiled, &limits),
+        an: Analysis::new(compiled, limits),
         gen: compiled.generator(),
         compiled,
         nodes: 0,
@@ -44,7 +51,7 @@ pub(crate) fn build(program: &DecisionProgram, artifacts: &DtdArtifacts) -> Opti
     let root_sym = compiled.root();
     let mut doc = Document::new(compiled.name(root_sym));
     let root = doc.root();
-    b.realize(&mut doc, root, root_sym, Vec::new(), &atoms)?;
+    b.realize(&mut doc, root, root_sym, Vec::new(), Vec::new(), &atoms)?;
     Some(doc)
 }
 
@@ -60,25 +67,28 @@ struct Builder<'a> {
 }
 
 impl<'a> Builder<'a> {
-    /// Realise `atoms` from `node` (of type `t`), with `pending` demands already owed
-    /// at this node.  Invariant: the instance is type-feasible (checked at every
-    /// choice point), and `node` is childless until exactly one `expand` call.
+    /// Realise `atoms` from `node` (of type `t`), with `pending` demands and `avoid`
+    /// labels already owed at this node.  Invariant: the instance is type-feasible
+    /// (checked at every choice point), and `node` is childless until exactly one
+    /// `expand` / `expand_chain` call.
     fn realize(
         &mut self,
         doc: &mut Document,
         node: NodeId,
         t: Sym,
         mut pending: Vec<Pending<'a>>,
+        mut avoid: Vec<Sym>,
         atoms: &[Atom<'a>],
     ) -> Option<()> {
         let mut i = 0;
         loop {
             match atoms.get(i) {
-                None => return self.expand(doc, node, t, &pending, None),
+                None => return self.expand(doc, node, t, &pending, &avoid, None),
                 Some(Atom::Qual(conjs)) => {
-                    for c in conjs {
+                    let mut j = 0;
+                    while j < conjs.len() {
                         let pend_syms: Vec<Sym> = pending.iter().map(|p| p.0).collect();
-                        match self.an.analyze_conjunct(&pend_syms, c)? {
+                        match self.an.analyze_conjunct(&pend_syms, &avoid, conjs[j])? {
                             Conj::True => {}
                             Conj::Dead => return None,
                             Conj::Restrict(s) => {
@@ -86,33 +96,135 @@ impl<'a> Builder<'a> {
                                     return None;
                                 }
                             }
-                            Conj::Pend(s) => {
-                                let Qualifier::Path(p) = c else { return None };
-                                let qatoms = flatten(p)?;
-                                pending.push((s, qatoms[1..].to_vec()));
+                            Conj::Exclude(s) => {
+                                if t == s {
+                                    return None;
+                                }
                             }
+                            Conj::Pend(s, rest) => pending.push((s, rest)),
+                            Conj::Avoid(s) => {
+                                if !avoid.contains(&s) {
+                                    avoid.push(s);
+                                }
+                            }
+                            Conj::Expand(alts) => {
+                                let mut tails: Vec<Atom<'a>> = Vec::new();
+                                if j + 1 < conjs.len() {
+                                    tails.push(Atom::Qual(conjs[j + 1..].to_vec()));
+                                }
+                                tails.extend_from_slice(&atoms[i + 1..]);
+                                return self.realize_alternative(
+                                    doc, node, t, pending, avoid, alts, &tails,
+                                );
+                            }
+                        }
+                        j += 1;
+                    }
+                    i += 1;
+                }
+                Some(Atom::QualAtoms(stream)) => {
+                    let pend_syms: Vec<Sym> = pending.iter().map(|p| p.0).collect();
+                    match self.an.analyze_qual_atoms(&pend_syms, &avoid, stream)? {
+                        Conj::True => {}
+                        Conj::Dead => return None,
+                        Conj::Restrict(s) => {
+                            if t != s {
+                                return None;
+                            }
+                        }
+                        Conj::Exclude(s) => {
+                            if t == s {
+                                return None;
+                            }
+                        }
+                        Conj::Pend(s, rest) => pending.push((s, rest)),
+                        Conj::Avoid(s) => {
+                            if !avoid.contains(&s) {
+                                avoid.push(s);
+                            }
+                        }
+                        Conj::Expand(alts) => {
+                            return self.realize_alternative(
+                                doc,
+                                node,
+                                t,
+                                pending,
+                                avoid,
+                                alts,
+                                &atoms[i + 1..],
+                            );
                         }
                     }
                     i += 1;
                 }
                 Some(Atom::Sym(s)) => {
-                    return self.expand(doc, node, t, &pending, Some((*s, &atoms[i + 1..])));
+                    let s = *s;
+                    return match sibling_chain(&atoms[i + 1..]) {
+                        Some(Err(())) => None,
+                        Some(Ok(spec)) => {
+                            if !pending.is_empty() {
+                                return None;
+                            }
+                            let rest = &atoms[i + 1 + spec.consumed..];
+                            self.expand_chain(doc, node, t, Some(s), spec, &avoid, rest)
+                        }
+                        None => {
+                            self.expand(doc, node, t, &pending, &avoid, Some((s, &atoms[i + 1..])))
+                        }
+                    };
                 }
                 Some(Atom::Step(step)) => match step {
                     Path::Label(name) => {
                         let s = self.compiled.elem_sym(name)?;
-                        return self.expand(doc, node, t, &pending, Some((s, &atoms[i + 1..])));
+                        return match sibling_chain(&atoms[i + 1..]) {
+                            Some(Err(())) => None,
+                            Some(Ok(spec)) => {
+                                if !pending.is_empty() {
+                                    return None;
+                                }
+                                let rest = &atoms[i + 1 + spec.consumed..];
+                                self.expand_chain(doc, node, t, Some(s), spec, &avoid, rest)
+                            }
+                            None => self.expand(
+                                doc,
+                                node,
+                                t,
+                                &pending,
+                                &avoid,
+                                Some((s, &atoms[i + 1..])),
+                            ),
+                        };
                     }
                     Path::Wildcard => {
                         if !pending.is_empty() {
                             return None; // compiler bails here; mirror it
                         }
-                        let rest = &atoms[i + 1..];
-                        let u = self.pick_feasible(self.compiled.graph().succ_bits(t), rest)?;
-                        return self.expand(doc, node, t, &pending, Some((u, rest)));
+                        match sibling_chain(&atoms[i + 1..]) {
+                            Some(Err(())) => return None,
+                            Some(Ok(spec)) => {
+                                let rest = &atoms[i + 1 + spec.consumed..];
+                                return self.expand_chain(doc, node, t, None, spec, &avoid, rest);
+                            }
+                            None => {
+                                if !avoid.is_empty() {
+                                    return None;
+                                }
+                                let rest = &atoms[i + 1..];
+                                let u =
+                                    self.pick_feasible(self.compiled.graph().succ_bits(t), rest)?;
+                                return self.expand(
+                                    doc,
+                                    node,
+                                    t,
+                                    &pending,
+                                    &avoid,
+                                    Some((u, rest)),
+                                );
+                            }
+                        }
                     }
                     Path::DescendantOrSelf => {
-                        if !pending.is_empty() {
+                        if !pending.is_empty() || !avoid.is_empty() {
                             return None;
                         }
                         let rest = &atoms[i + 1..];
@@ -124,7 +236,7 @@ impl<'a> Builder<'a> {
                         let chain = self.graph_path(t, u)?;
                         let mut cont: Vec<Atom<'a>> = chain.into_iter().map(Atom::Sym).collect();
                         cont.extend_from_slice(rest);
-                        return self.realize(doc, node, t, pending, &cont);
+                        return self.realize(doc, node, t, pending, avoid, &cont);
                     }
                     _ => return None,
                 },
@@ -135,15 +247,41 @@ impl<'a> Builder<'a> {
                         let mut cont: Vec<Atom<'a>> = b.clone();
                         cont.extend_from_slice(rest);
                         let start = self.an.singleton(t);
-                        let img = self.an.image(&start, &cont, &pend_syms, true)?;
+                        let img = self.an.image(&start, &cont, &pend_syms, &avoid, true)?;
                         if !img.is_empty() {
-                            return self.realize(doc, node, t, pending, &cont);
+                            return self.realize(doc, node, t, pending, avoid, &cont);
                         }
                     }
                     return None;
                 }
             }
         }
+    }
+
+    /// Pick the first type-feasible alternative of a distributed disjunction and
+    /// realise it with the shared continuation appended.
+    #[allow(clippy::too_many_arguments)]
+    fn realize_alternative(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        t: Sym,
+        pending: Vec<Pending<'a>>,
+        avoid: Vec<Sym>,
+        alts: Vec<Vec<Atom<'a>>>,
+        tail: &[Atom<'a>],
+    ) -> Option<()> {
+        let pend_syms: Vec<Sym> = pending.iter().map(|p| p.0).collect();
+        for alt in alts {
+            let mut cont = alt;
+            cont.extend_from_slice(tail);
+            let start = self.an.singleton(t);
+            let img = self.an.image(&start, &cont, &pend_syms, &avoid, true)?;
+            if !img.is_empty() {
+                return self.realize(doc, node, t, pending, avoid, &cont);
+            }
+        }
+        None
     }
 
     /// First type in `candidates` from which `rest` is feasible.
@@ -193,32 +331,96 @@ impl<'a> Builder<'a> {
         Some(path)
     }
 
+    /// Expand `node` with a children word realising a sibling chain: the anchor child
+    /// plus the captured chain end at the demanded distance, then continue the query
+    /// at the captured child.  The compiler guarantees no demands are pending here;
+    /// the avoid set restricts the whole word's alphabet.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_chain(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        t: Sym,
+        anchor: Option<Sym>,
+        spec: ChainSpec,
+        avoid: &[Sym],
+        rest: &[Atom<'a>],
+    ) -> Option<()> {
+        for attr in self.compiled.attributes(t) {
+            doc.set_attr(node, attr.clone(), "0");
+        }
+        let pat = self.an.chain_pattern(anchor, spec, avoid);
+        let nfa = self.compiled.automaton(t);
+        let mut target = None;
+        for e in sib_pattern_symbols(nfa, &pat) {
+            if self.an.feasible_from(e, rest)? {
+                target = Some(e);
+                break;
+            }
+        }
+        let target = target?;
+        let word = sib_pattern_word(self.compiled.automaton(t), &pat, &target)?;
+        self.nodes += word.len() + 1;
+        if self.nodes > MAX_WITNESS_NODES {
+            return None;
+        }
+        let captured_role = if pat.capture_left {
+            SibRole::Left
+        } else {
+            SibRole::Right
+        };
+        let mut done = false;
+        for (cs, role) in word {
+            let child = doc.add_child(node, self.compiled.name(cs));
+            if !done && (role == captured_role || role == SibRole::Both) {
+                done = true;
+                self.realize(doc, child, cs, Vec::new(), Vec::new(), rest)?;
+            } else {
+                self.gen.expand_minimal(doc, child);
+            }
+        }
+        done.then_some(())
+    }
+
     /// Expand `node` with a children word covering every pending demand plus the spine
-    /// child, realise those children, and minimally expand the fillers.
+    /// child while avoiding every locally negated label, realise those children, and
+    /// minimally expand the fillers.
     fn expand(
         &mut self,
         doc: &mut Document,
         node: NodeId,
         t: Sym,
         pending: &[Pending<'a>],
+        avoid: &[Sym],
         spine: Option<(Sym, &[Atom<'a>])>,
     ) -> Option<()> {
         for attr in self.compiled.attributes(t) {
             doc.set_attr(node, attr.clone(), "0");
         }
-        if pending.is_empty() && spine.is_none() {
+        if pending.is_empty() && spine.is_none() && avoid.is_empty() {
             self.gen.expand_minimal(doc, node);
             return Some(());
         }
         let mut dem: CoverDemand<Sym> = CoverDemand::none();
         for (s, _) in pending {
+            if avoid.contains(s) {
+                return None; // compiler treats this as Dead; mirror it
+            }
             dem = dem.require(*s, 1);
         }
         if let Some((s, _)) = spine {
-            if pending.iter().any(|(d, _)| *d == s) {
-                return None; // compiler bails on this collision; mirror it
+            if pending.iter().any(|(d, _)| *d == s) || avoid.contains(&s) {
+                return None; // compiler bails / empties here; mirror it
             }
             dem = dem.require(s, 1);
+        }
+        if !avoid.is_empty() {
+            let allowed = self
+                .compiled
+                .elements()
+                .filter(|e| !avoid.contains(e))
+                .collect();
+            dem = dem.restrict_to(allowed);
         }
         let word = shortest_covering_word(self.compiled.automaton(t), &dem)?;
         self.nodes += word.len() + 1;
@@ -232,7 +434,7 @@ impl<'a> Builder<'a> {
             if let Some((s, rest)) = spine {
                 if cs == s && !spine_done {
                     spine_done = true;
-                    self.realize(doc, child, cs, Vec::new(), rest)?;
+                    self.realize(doc, child, cs, Vec::new(), Vec::new(), rest)?;
                     continue;
                 }
             }
@@ -240,7 +442,7 @@ impl<'a> Builder<'a> {
             for (j, (d, rest)) in pending.iter().enumerate() {
                 if *d == cs && !claimed[j] {
                     claimed[j] = true;
-                    self.realize(doc, child, cs, Vec::new(), rest)?;
+                    self.realize(doc, child, cs, Vec::new(), Vec::new(), rest)?;
                     matched = true;
                     break;
                 }

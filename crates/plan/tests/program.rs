@@ -3,7 +3,7 @@
 
 use xpsat_core::{Budget, Satisfiability, Solver, SolverConfig};
 use xpsat_dtd::{parse_dtd, DtdArtifacts};
-use xpsat_plan::{canonicalize, compile, vm, CompileLimits};
+use xpsat_plan::{canonicalize, compile, compile_with_reason, vm, BailReason, CompileLimits};
 use xpsat_xpath::parse_path;
 
 fn artifacts(dtd: &str) -> DtdArtifacts {
@@ -116,21 +116,99 @@ fn multiplicity_interactions_bail_to_the_solver() {
 
 #[test]
 fn out_of_fragment_queries_do_not_compile() {
-    let a = artifacts("r -> a; a -> #;");
+    let a = artifacts("r -> a; a -> b?; b -> #;");
     let limits = CompileLimits::default();
-    for q in [
-        "..",
-        "a[not(b)]",
-        "^*/a",
-        "a[@x = \"1\"]",
-        "a[b or lab() = a]",
+    for (q, reason) in [
+        ("..", BailReason::UpwardAxis),
+        ("^*/a", BailReason::UpwardAxis),
+        ("a[@x = \"1\"]", BailReason::DataValue),
+        // Negation of a whole path (not a single child label) stays on the AST path.
+        ("a[not(b/c)]", BailReason::Negation),
+        // A sibling hop with nothing to anchor it.
+        (">", BailReason::Sibling),
+        // A sibling hop leaving the qualified node crosses into the enclosing word.
+        ("a[b/>]", BailReason::Sibling),
     ] {
         let canon = canonicalize(&parse_path(q).unwrap());
-        assert!(
-            compile(&a, &canon, &limits).is_none(),
+        assert_eq!(
+            compile_with_reason(&a, &canon, &limits).err(),
+            Some(reason),
             "{q} should be outside the compiled fragment"
         );
+        assert!(compile(&a, &canon, &limits).is_none());
     }
+}
+
+#[test]
+fn local_negation_needs_a_duplicate_free_dtd() {
+    // `a -> (b, b?)` repeats `b`, so the Glushkov automaton is not deterministic
+    // enough for complement-style avoid sets; the compiler must bail.
+    let dup = artifacts("r -> a; a -> b, b?; b -> #;");
+    let canon = canonicalize(&parse_path("a[not(b)]").unwrap());
+    assert_eq!(
+        compile_with_reason(&dup, &canon, &CompileLimits::default()).err(),
+        Some(BailReason::Negation),
+    );
+    // On a duplicate-free DTD the same query compiles and agrees with the solver.
+    let df = artifacts("r -> a; a -> b | c; b -> #; c -> #;");
+    assert_agrees(&df, "a[not(b)]");
+    assert_eq!(
+        vm_decide(&df, "a[not(b)]").result.is_satisfiable(),
+        Some(true)
+    );
+    // `a -> b, c` forces a `b` child: not(b) is unsatisfiable there.
+    let forced = artifacts("r -> a; a -> b, c; b -> #; c -> #;");
+    assert_agrees(&forced, "a[not(b)]");
+    assert_eq!(
+        vm_decide(&forced, "a[not(b)]").result.is_satisfiable(),
+        Some(false)
+    );
+    // Label-test negation is a plain complement mask: allowed on any DTD.
+    assert_agrees(&dup, "*[not(lab() = a)]");
+}
+
+#[test]
+fn disjunctive_qualifiers_compile_by_expansion() {
+    let a = artifacts("r -> a; a -> b | c; b -> d?; c -> #; d -> #;");
+    for q in [
+        "a[b or c]",
+        "a[b or lab() = a]",
+        "a[b/d or c]",
+        "a[(b | c)]",
+        "a[b or c][lab() = a]",
+    ] {
+        assert_agrees(&a, q);
+        assert_eq!(vm_decide(&a, q).result.is_satisfiable(), Some(true), "{q}");
+    }
+    // Both disjuncts infeasible: UNSAT through the VM, not a bail.
+    assert_agrees(&a, "a[zzz or yyy]");
+    assert_eq!(
+        vm_decide(&a, "a[zzz or yyy]").result.is_satisfiable(),
+        Some(false)
+    );
+}
+
+#[test]
+fn sibling_chains_compile_to_tables() {
+    let a = artifacts("r -> a; a -> b, c, d; b -> #; c -> #; d -> #;");
+    for (q, sat) in [
+        ("a/b/>", true),      // c follows b
+        ("a/b/>/>", true),    // d two after b
+        ("a/b/>/>/>", false), // nothing three after b
+        ("a/b/>>[lab() = d]", true),
+        ("a/d/<<[lab() = c]", true),
+        ("a/d/<", true),
+        ("a/b/<", false), // nothing precedes b
+    ] {
+        assert_agrees(&a, q);
+        assert_eq!(vm_decide(&a, q).result.is_satisfiable(), Some(sat), "{q}");
+    }
+    // Chains with demands pending at the anchor stay on the AST path.
+    let canon = canonicalize(&parse_path("a[c]/b/>").unwrap());
+    assert_eq!(
+        compile_with_reason(&a, &canon, &CompileLimits::default()).err(),
+        Some(BailReason::Sibling),
+    );
 }
 
 #[test]

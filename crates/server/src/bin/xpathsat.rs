@@ -425,7 +425,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             "batch takes no positional arguments".into(),
         ));
     }
-    let mut server = ProtocolServer::new(options.threads);
+    let server = ProtocolServer::new(options.threads);
     let stdout = std::io::stdout();
     match &options.input {
         Some(path) => {

@@ -291,12 +291,20 @@ impl Server {
 }
 
 /// Spawn one decide worker and register its heart with the watchdog list.
+///
+/// Workers get a deep stack: the positive engine recurses to its Lemma 4.5 depth
+/// bound on schema-sized DTDs, and a stack overflow aborts the process — the one
+/// failure the catch-unwind panic isolation in [`execute_job`] cannot contain.
 fn spawn_decide_worker(shared: &Arc<Shared>) {
     let heart = Arc::new(WorkerHeart::default());
     let handle = {
         let shared = Arc::clone(shared);
         let heart = Arc::clone(&heart);
-        std::thread::spawn(move || decide_loop(&shared, &heart))
+        std::thread::Builder::new()
+            .name("xpsat-decide".into())
+            .stack_size(xpsat_core::DECIDE_STACK_BYTES)
+            .spawn(move || decide_loop(&shared, &heart))
+            .expect("spawn decide worker")
     };
     shared
         .decide_workers
@@ -325,15 +333,13 @@ fn decide_loop(shared: &Arc<Shared>, heart: &Arc<WorkerHeart>) {
 fn execute_job(job: &Job, shared: &Shared) -> Json {
     // Panic isolation: a request that panics (a solver bug, a hostile input that
     // found a hole in the resource governor) answers `internal_error` and leaves the
-    // worker — and every other tenant — serving.  The per-tenant protocol lock
-    // recovers from poisoning for the same reason: the tenant state is monotone
+    // worker — and every other tenant — serving.  `handle_request` takes `&self`
+    // (the protocol server locks internally, and only around workspace mutation),
+    // so jobs of one tenant execute concurrently across workers; the internal
+    // locks recover from poisoning because tenant state is monotone
     // (registrations and caches), so a panic mid-request cannot corrupt it.
     let response = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        job.tenant
-            .proto()
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .handle_request(&job.request)
+        job.tenant.proto().handle_request(&job.request)
     }))
     .unwrap_or_else(|panic| {
         ServerStats::bump(&shared.stats.requests_panicked);

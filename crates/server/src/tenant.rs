@@ -23,13 +23,16 @@ use crate::ServerConfig;
 /// The tenant used by requests that carry no `"tenant"` field.
 pub const DEFAULT_TENANT: &str = "public";
 
-/// One tenant: its protocol server (and thus workspace), serialised by a mutex.
-/// Workers lock it per *request*, so many connections of one tenant interleave at
-/// request granularity while distinct tenants never contend.
+/// One tenant: its protocol server (and thus workspace).  Request handling is
+/// `&self` all the way down — the protocol server locks internally, and only for
+/// the moments that actually mutate the workspace (registering a DTD, interning a
+/// query).  Decides from many connections of one tenant therefore run
+/// *concurrently*; the old design serialised every request of a tenant behind one
+/// outer mutex.
 #[derive(Debug)]
 pub struct Tenant {
     name: String,
-    proto: Mutex<ProtocolServer>,
+    proto: ProtocolServer,
 }
 
 impl Tenant {
@@ -38,8 +41,8 @@ impl Tenant {
         &self.name
     }
 
-    /// The tenant's protocol server, for one request's worth of work.
-    pub fn proto(&self) -> &Mutex<ProtocolServer> {
+    /// The tenant's protocol server; handlers take `&self`, so no outer lock.
+    pub fn proto(&self) -> &ProtocolServer {
         &self.proto
     }
 }
@@ -106,7 +109,7 @@ impl TenantMap {
         proto.set_debug_ops(self.config.debug_ops);
         let tenant = Arc::new(Tenant {
             name: name.to_string(),
-            proto: Mutex::new(proto),
+            proto,
         });
         tenants.insert(name.to_string(), Arc::clone(&tenant));
         Ok(tenant)
@@ -157,14 +160,10 @@ mod tests {
         // A DTD registered for alice is invisible to bob.
         let reg = a
             .proto()
-            .lock()
-            .unwrap()
             .handle_line(r#"{"op":"register_dtd","dtd":"r -> a?; a -> #;"}"#);
         assert!(reg.contains(r#""dtd_id":0"#), "{reg}");
         let check = b
             .proto()
-            .lock()
-            .unwrap()
             .handle_line(r#"{"op":"check","dtd_id":0,"query":"a"}"#);
         assert!(check.contains(r#""ok":false"#), "{check}");
         assert!(check.contains("unknown DTD id 0"), "{check}");
@@ -178,28 +177,24 @@ mod tests {
         let dtd = r#"{"op":"register_dtd","dtd":"r -> a*; a -> b, c; b -> #; c -> #;"}"#;
 
         // Alice decides a[b and c]; the verdict is published to the shared cache.
-        let reg = a.proto().lock().unwrap().handle_line(dtd);
+        let reg = a.proto().handle_line(dtd);
         assert!(reg.contains(r#""ok":true"#), "{reg}");
         let first = a
             .proto()
-            .lock()
-            .unwrap()
             .handle_line(r#"{"op":"check","dtd_id":0,"query":"a[b and c]"}"#);
         assert!(first.contains(r#""cached":false"#), "{first}");
         assert_eq!(map.canonical_cache().len(), 1);
 
         // Bob asks the structurally identical question spelled differently: the
         // answer comes straight from the shared cache — no solve, no compile.
-        let reg = b.proto().lock().unwrap().handle_line(dtd);
+        let reg = b.proto().handle_line(dtd);
         assert!(reg.contains(r#""ok":true"#), "{reg}");
         let second = b
             .proto()
-            .lock()
-            .unwrap()
             .handle_line(r#"{"op":"check","dtd_id":0,"query":"a[c][b]"}"#);
         assert!(second.contains(r#""cached":true"#), "{second}");
         assert!(second.contains(r#""result":"satisfiable""#), "{second}");
-        let stats = b.proto().lock().unwrap().handle_line(r#"{"op":"stats"}"#);
+        let stats = b.proto().handle_line(r#"{"op":"stats"}"#);
         assert!(stats.contains(r#""canonical_hits":1"#), "{stats}");
         assert!(stats.contains(r#""decisions_computed":0"#), "{stats}");
         assert!(stats.contains(r#""programs_compiled":0"#), "{stats}");

@@ -35,6 +35,7 @@
 use crate::json::Json;
 use crate::workspace::{engine_slug, BatchScratch, DtdId, ServedDecision, ServiceError, Workspace};
 use std::io::{BufRead, Write};
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 use std::time::{Duration, Instant};
 use xpsat_core::{Exhausted, Satisfiability};
 
@@ -42,15 +43,23 @@ use xpsat_core::{Exhausted, Satisfiability};
 pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
 
 /// A stateful protocol server over one workspace.
+///
+/// Request handling takes `&self`: the workspace sits behind a [`RwLock`] whose write
+/// lock guards only *registry mutation* (DTD registration, query interning), while
+/// decides — the long part of every request — run under the read lock, so concurrent
+/// requests against one tenant no longer serialise on a protocol-wide mutex.
 #[derive(Debug)]
 pub struct ProtocolServer {
-    workspace: Workspace,
+    workspace: RwLock<Workspace>,
     default_threads: usize,
     default_deadline_ms: Option<u64>,
     default_max_steps: Option<u64>,
     max_line_bytes: usize,
     debug_ops: bool,
-    scratch: BatchScratch,
+    /// Shared batch scratch buffers.  Contended takers fall back to a fresh local
+    /// scratch instead of blocking, so the amortisation is an optimisation, never a
+    /// serialisation point.
+    scratch: Mutex<BatchScratch>,
 }
 
 impl Default for ProtocolServer {
@@ -70,13 +79,41 @@ impl ProtocolServer {
     /// artifact store or carrying a residency bound).
     pub fn with_workspace(workspace: Workspace, default_threads: usize) -> ProtocolServer {
         ProtocolServer {
-            workspace,
+            workspace: RwLock::new(workspace),
             default_threads,
             default_deadline_ms: None,
             default_max_steps: None,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             debug_ops: false,
-            scratch: BatchScratch::default(),
+            scratch: Mutex::new(BatchScratch::default()),
+        }
+    }
+
+    /// Read access to the workspace (shared with in-flight decides).  Everything
+    /// guarded holds plain data whose every intermediate state is valid, so poison
+    /// from a panicked request is recovered rather than propagated.
+    fn read_ws(&self) -> RwLockReadGuard<'_, Workspace> {
+        self.workspace
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Write access to the workspace — held only for registry mutation (register,
+    /// intern), never across a decide.
+    fn write_ws(&self) -> RwLockWriteGuard<'_, Workspace> {
+        self.workspace
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Run `f` with batch scratch buffers: the shared (amortised) ones when free,
+    /// else a fresh local set — a contended scratch must never serialise independent
+    /// batches.
+    fn with_scratch<T>(&self, f: impl FnOnce(&mut BatchScratch) -> T) -> T {
+        match self.scratch.try_lock() {
+            Ok(mut guard) => f(&mut guard),
+            Err(TryLockError::Poisoned(poisoned)) => f(&mut poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => f(&mut BatchScratch::default()),
         }
     }
 
@@ -110,13 +147,14 @@ impl ProtocolServer {
         self.max_line_bytes
     }
 
-    /// The workspace behind the server.
-    pub fn workspace(&self) -> &Workspace {
-        &self.workspace
+    /// The workspace behind the server (a read guard; drop it before issuing
+    /// requests that mutate the registry).
+    pub fn workspace(&self) -> RwLockReadGuard<'_, Workspace> {
+        self.read_ws()
     }
 
     /// Handle one request line, producing one response line (without the newline).
-    pub fn handle_line(&mut self, line: &str) -> String {
+    pub fn handle_line(&self, line: &str) -> String {
         let response = match Json::parse(line) {
             Err(e) => ProtocolError::new("malformed_request", format!("malformed request: {e}"))
                 .into_response(),
@@ -128,7 +166,7 @@ impl ProtocolServer {
     /// Handle one already-parsed request, producing the response object.  This is the
     /// seam the network server drives: it owns framing (line reading, size caps) and
     /// hands parsed requests here.
-    pub fn handle_request(&mut self, request: &Json) -> Json {
+    pub fn handle_request(&self, request: &Json) -> Json {
         match self.dispatch(request) {
             Ok(response) => response,
             Err(e) => e.into_response(),
@@ -142,11 +180,7 @@ impl ProtocolServer {
     /// parse) instead of killing the loop; only genuine I/O failures abort.  Lines
     /// longer than [`ProtocolServer::max_line_bytes`] are rejected with an error
     /// response without ever being buffered in full.
-    pub fn serve(
-        &mut self,
-        mut input: impl BufRead,
-        mut output: impl Write,
-    ) -> std::io::Result<()> {
+    pub fn serve(&self, mut input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
         let mut reader = LineReader::new(self.max_line_bytes);
         loop {
             match reader.read_from(&mut input)? {
@@ -170,7 +204,7 @@ impl ProtocolServer {
         }
     }
 
-    fn dispatch(&mut self, request: &Json) -> Result<Json, ProtocolError> {
+    fn dispatch(&self, request: &Json) -> Result<Json, ProtocolError> {
         let op = request
             .get("op")
             .and_then(Json::as_str)
@@ -210,9 +244,9 @@ impl ProtocolServer {
         ])
     }
 
-    fn op_register_dtd(&mut self, request: &Json) -> Result<Json, ProtocolError> {
+    fn op_register_dtd(&self, request: &Json) -> Result<Json, ProtocolError> {
         let text = str_field(request, "dtd")?;
-        let outcome = self.workspace.register_dtd_report(text)?;
+        let outcome = self.write_ws().register_dtd_report(text)?;
         Ok(Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("op", Json::Str("register_dtd".into())),
@@ -245,7 +279,7 @@ impl ProtocolServer {
             .or(self.default_max_steps)
     }
 
-    fn op_check(&mut self, request: &Json) -> Result<Json, ProtocolError> {
+    fn op_check(&self, request: &Json) -> Result<Json, ProtocolError> {
         let dtd = dtd_id_field(request)?;
         let text = str_field(request, "query")?;
         let with_witness = request
@@ -254,17 +288,21 @@ impl ProtocolServer {
             .unwrap_or(false);
         let deadline = self.deadline_of(request);
         let max_steps = self.max_steps_of(request);
-        let query = self.workspace.intern(text)?;
+        // The write lock covers only the intern; the decide below runs under the
+        // read lock, concurrently with other requests.
+        let query = self.write_ws().intern(text)?;
+        let ws = self.read_ws();
         let served = if deadline.is_some() || max_steps.is_some() {
             // A single-query "batch" gives the check path the same deadline and
             // budget machinery; the result (and the cached flag) is identical to
             // decide().
-            self.workspace
-                .decide_batch_governed(dtd, &[query], 1, deadline, max_steps, &mut self.scratch)?
-                .pop()
-                .expect("one decision per query")
+            self.with_scratch(|scratch| {
+                ws.decide_batch_governed(dtd, &[query], 1, deadline, max_steps, scratch)
+            })?
+            .pop()
+            .expect("one decision per query")
         } else {
-            self.workspace.decide(dtd, query)?
+            ws.decide(dtd, query)?
         };
         // A spent step budget is a request-level failure for `check` (a deadline hit
         // already surfaced as ServiceError::DeadlineExceeded above).
@@ -274,7 +312,7 @@ impl ProtocolServer {
                 served.decision.engine,
             ));
         }
-        let canonical = self.workspace.query(query)?.canonical.clone();
+        let canonical = ws.query(query)?.canonical.clone();
         let mut response = vec![
             ("ok", Json::Bool(true)),
             ("op", Json::Str("check".into())),
@@ -285,7 +323,7 @@ impl ProtocolServer {
         Ok(Json::obj(response))
     }
 
-    fn op_batch(&mut self, request: &Json) -> Result<Json, ProtocolError> {
+    fn op_batch(&self, request: &Json) -> Result<Json, ProtocolError> {
         let dtd = dtd_id_field(request)?;
         let items = request
             .get("queries")
@@ -304,26 +342,24 @@ impl ProtocolServer {
         let deadline = self.deadline_of(request);
         let max_steps = self.max_steps_of(request);
         let mut ids = Vec::with_capacity(items.len());
-        for (i, item) in items.iter().enumerate() {
-            let text = item.as_str().ok_or_else(|| {
-                ProtocolError::new("malformed_request", format!("queries[{i}] is not a string"))
-            })?;
-            ids.push(self.workspace.intern(text)?);
+        {
+            // One write acquisition for the whole intern phase; released before the
+            // (parallel, possibly long) decide.
+            let mut ws = self.write_ws();
+            for (i, item) in items.iter().enumerate() {
+                let text = item.as_str().ok_or_else(|| {
+                    ProtocolError::new("malformed_request", format!("queries[{i}] is not a string"))
+                })?;
+                ids.push(ws.intern(text)?);
+            }
         }
-        let served = self.workspace.decide_batch_governed(
-            dtd,
-            &ids,
-            threads,
-            deadline,
-            max_steps,
-            &mut self.scratch,
-        )?;
+        let ws = self.read_ws();
+        let served = self.with_scratch(|scratch| {
+            ws.decide_batch_governed(dtd, &ids, threads, deadline, max_steps, scratch)
+        })?;
         let mut results = Vec::with_capacity(served.len());
         for (id, one) in ids.iter().zip(&served) {
-            let mut fields = vec![(
-                "query",
-                Json::Str(self.workspace.query(*id)?.canonical.clone()),
-            )];
+            let mut fields = vec![("query", Json::Str(ws.query(*id)?.canonical.clone()))];
             fields.extend(decision_fields(one, with_witness));
             results.push(Json::obj(fields));
         }
@@ -336,17 +372,37 @@ impl ProtocolServer {
         ]))
     }
 
-    fn op_classify(&mut self, request: &Json) -> Result<Json, ProtocolError> {
+    /// A DTD-property flag as JSON: `Null` when the DTD never compiled (vacuous).
+    fn props_field(
+        artifacts: &xpsat_dtd::DtdArtifacts,
+        pick: impl Fn(&xpsat_dtd::DtdProperties) -> bool,
+    ) -> Json {
+        artifacts
+            .properties()
+            .map(|p| Json::Bool(pick(p)))
+            .unwrap_or(Json::Null)
+    }
+
+    fn op_classify(&self, request: &Json) -> Result<Json, ProtocolError> {
         let dtd = dtd_id_field(request)?;
         // With an optional "query", classify also reports the query's canonical
         // form, its structural hashes and the compiled-program shape against this
         // DTD — the introspection hook for the cross-tenant canonical cache.
+        let ws;
         let query_fields = match request.get("query").and_then(Json::as_str) {
-            None => None,
+            None => {
+                ws = self.read_ws();
+                None
+            }
             Some(text) => {
-                let id = self.workspace.intern(text)?;
-                let program = self.workspace.compiled_program(dtd, id)?;
-                let interned = self.workspace.query(id)?;
+                let id = self.write_ws().intern(text)?;
+                ws = self.read_ws();
+                let program = ws.compiled_program(dtd, id)?;
+                let interned = ws.query(id)?;
+                let route = xpsat_core::Solver::predict_route(
+                    &ws.artifacts(dtd)?.compiled,
+                    &interned.canon_path,
+                );
                 Some(vec![
                     ("query", Json::Str(interned.canonical.clone())),
                     ("canonical_query", Json::Str(interned.canon_text.clone())),
@@ -365,10 +421,17 @@ impl ProtocolServer {
                             .map(|p| Json::Num(p.size() as f64))
                             .unwrap_or(Json::Null),
                     ),
+                    // Features × DTD-properties routing: may the compiled VM
+                    // cover this query here, and which AST engine backs it up?
+                    ("vm_eligible", Json::Bool(route.vm_eligible)),
+                    (
+                        "predicted_engine",
+                        Json::Str(engine_slug(route.ast_engine).to_string()),
+                    ),
                 ])
             }
         };
-        let artifacts = self.workspace.artifacts(dtd)?;
+        let artifacts = ws.artifacts(dtd)?;
         let class = &artifacts.class;
         let mut response = Json::obj(vec![
             ("ok", Json::Bool(true)),
@@ -384,6 +447,19 @@ impl ProtocolServer {
             ("disjunction_free", Json::Bool(class.disjunction_free)),
             ("has_star", Json::Bool(class.has_star)),
             ("normalized", Json::Bool(class.normalized)),
+            // The 1308.0769 property bundle the compiled-VM fragment widens on.
+            (
+                "duplicate_free",
+                Self::props_field(&artifacts.compiled, |p| p.duplicate_free),
+            ),
+            (
+                "disjunction_capsuled",
+                Self::props_field(&artifacts.compiled, |p| p.disjunction_capsuled),
+            ),
+            (
+                "covering",
+                Self::props_field(&artifacts.compiled, |p| p.covering),
+            ),
             (
                 "depth_bound",
                 class
@@ -409,8 +485,16 @@ impl ProtocolServer {
     }
 
     fn op_stats(&self) -> Json {
-        let stats = self.workspace.stats();
-        let (memo_hits, memo_built) = self.workspace.negation_memo_stats();
+        let ws = self.read_ws();
+        let stats = ws.stats();
+        let (memo_hits, memo_built) = ws.negation_memo_stats();
+        let bailouts = Json::Obj(
+            xpsat_plan::BailReason::ALL
+                .iter()
+                .zip(stats.compile_bailouts)
+                .map(|(reason, count)| (reason.as_str().to_string(), Json::Num(count as f64)))
+                .collect(),
+        );
         Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("op", Json::Str("stats".into())),
@@ -473,6 +557,24 @@ impl ProtocolServer {
                 "vm_witness_fallbacks",
                 Json::Num(stats.vm_witness_fallbacks as f64),
             ),
+            ("vm_coverage", Json::Num(stats.vm_coverage())),
+            (
+                "program_store_hits",
+                Json::Num(stats.program_store_hits as f64),
+            ),
+            (
+                "program_store_misses",
+                Json::Num(stats.program_store_misses as f64),
+            ),
+            (
+                "program_store_writes",
+                Json::Num(stats.program_store_writes as f64),
+            ),
+            (
+                "program_store_corrupt",
+                Json::Num(stats.program_store_corrupt as f64),
+            ),
+            ("compile_bailouts_by_reason", bailouts),
             ("negation_memo_hits", Json::Num(memo_hits as f64)),
             ("negation_memo_built", Json::Num(memo_built as f64)),
         ])
@@ -797,7 +899,7 @@ mod tests {
 
     #[test]
     fn register_check_batch_stats_round_trip() {
-        let mut server = ProtocolServer::new(2);
+        let server = ProtocolServer::new(2);
         let reg = Json::parse(
             &server.handle_line(r#"{"op":"register_dtd","dtd":"r -> a*; a -> b?; b -> #;"}"#),
         )
@@ -830,11 +932,16 @@ mod tests {
         let stats = Json::parse(&server.handle_line(r#"{"op":"stats"}"#)).unwrap();
         assert_eq!(field(&stats, "classifications").as_u64(), Some(1));
         assert!(field(&stats, "decision_cache_hits").as_u64().unwrap() >= 1);
+        // The compiled fast path is visible in the stats op.
+        assert!(field(&stats, "vm_decides").as_u64().unwrap() >= 1);
+        assert!(stats.get("vm_coverage").is_some());
+        assert!(stats.get("compile_bailouts_by_reason").is_some());
+        assert!(field(&stats, "program_store_hits").as_u64().is_some());
     }
 
     #[test]
     fn errors_are_reported_not_fatal() {
-        let mut server = ProtocolServer::new(1);
+        let server = ProtocolServer::new(1);
         for bad in [
             "not json",
             r#"{"op":"teleport"}"#,
@@ -857,7 +964,7 @@ mod tests {
 
     #[test]
     fn parse_errors_are_structured_with_spans() {
-        let mut server = ProtocolServer::new(1);
+        let server = ProtocolServer::new(1);
         let resp = Json::parse(&server.handle_line(r#"{"op":"check","dtd_id":0,"query":"a/ |b"}"#))
             .unwrap();
         assert_eq!(field(&resp, "ok").as_bool(), Some(false));
@@ -882,7 +989,7 @@ mod tests {
 
     #[test]
     fn budget_capped_requests_report_resource_exhausted() {
-        let mut server = ProtocolServer::new(1);
+        let server = ProtocolServer::new(1);
         server.handle_line(r#"{"op":"register_dtd","dtd":"r -> a*; a -> b | c; b -> #; c -> #;"}"#);
         let resp = Json::parse(
             &server.handle_line(r#"{"op":"check","dtd_id":0,"query":"a[not(b)]","max_steps":1}"#),
@@ -919,7 +1026,7 @@ mod tests {
 
     #[test]
     fn classify_reports_canonical_query_and_program() {
-        let mut server = ProtocolServer::new(1);
+        let server = ProtocolServer::new(1);
         server.handle_line(r#"{"op":"register_dtd","dtd":"r -> a; a -> b, c; b -> #; c -> #;"}"#);
         let one = Json::parse(
             &server.handle_line(r#"{"op":"classify","dtd_id":0,"query":"a[b and c]"}"#),
@@ -944,17 +1051,33 @@ mod tests {
             field(&one, "structural_hash").as_str(),
             field(&two, "structural_hash").as_str()
         );
-        // Negation is outside the compiled fragment: reported, not an error.
+        // Local negation now compiles on duplicate-free DTDs; an upward axis stays
+        // outside the compiled fragment: reported, not an error.
         let neg =
             Json::parse(&server.handle_line(r#"{"op":"classify","dtd_id":0,"query":"a[not(b)]"}"#))
                 .unwrap();
-        assert_eq!(field(&neg, "compiled").as_bool(), Some(false));
-        assert!(matches!(field(&neg, "program_ops"), Json::Null));
+        assert_eq!(field(&neg, "compiled").as_bool(), Some(true));
+        // The routing prediction and the 1308.0769 DTD-property bundle are reported.
+        assert_eq!(field(&neg, "duplicate_free").as_bool(), Some(true));
+        assert_eq!(field(&neg, "vm_eligible").as_bool(), Some(true));
+        assert_eq!(
+            field(&neg, "predicted_engine").as_str(),
+            Some("negation-fixpoint")
+        );
+        let up = Json::parse(&server.handle_line(r#"{"op":"classify","dtd_id":0,"query":"b/.."}"#))
+            .unwrap();
+        assert_eq!(field(&up, "compiled").as_bool(), Some(false));
+        assert!(matches!(field(&up, "program_ops"), Json::Null));
+        assert_eq!(field(&up, "vm_eligible").as_bool(), Some(false));
+        // The bail was counted under its reason.
+        let stats = Json::parse(&server.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        let by_reason = field(&stats, "compile_bailouts_by_reason");
+        assert_eq!(field(by_reason, "upward_axis").as_u64(), Some(1));
     }
 
     #[test]
     fn zero_or_malformed_deadline_is_invalid_request() {
-        let mut server = ProtocolServer::new(1);
+        let server = ProtocolServer::new(1);
         server.handle_line(r#"{"op":"register_dtd","dtd":"r -> a?; a -> #;"}"#);
         for bad in [
             r#"{"op":"check","dtd_id":0,"query":"a","deadline_ms":0}"#,
@@ -983,7 +1106,7 @@ mod tests {
 
     #[test]
     fn serve_survives_non_utf8_lines() {
-        let mut server = ProtocolServer::new(1);
+        let server = ProtocolServer::new(1);
         let mut input: Vec<u8> = Vec::new();
         input.extend_from_slice(b"\xff\xfe garbage bytes\n");
         input.extend_from_slice(b"{\"op\":\"register_dtd\",\"dtd\":\"r -> a?; a -> #;\"}\n");
@@ -1001,7 +1124,7 @@ mod tests {
 
     #[test]
     fn serve_loop_reads_and_writes_lines() {
-        let mut server = ProtocolServer::new(1);
+        let server = ProtocolServer::new(1);
         let input = "\n{\"op\":\"register_dtd\",\"dtd\":\"r -> a?; a -> #;\"}\n{\"op\":\"check\",\"dtd_id\":0,\"query\":\"a\"}\n";
         let mut output = Vec::new();
         server.serve(input.as_bytes(), &mut output).unwrap();

@@ -5,6 +5,11 @@
 //! batch must leave `classifications` untouched and grow only `decision_cache_hits`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use xpsat_plan::BailReason;
+
+/// Number of distinct compile-bail reasons ([`BailReason::ALL`]); the
+/// `compile_bailouts` array is indexed by [`BailReason::index`].
+pub const BAIL_REASONS: usize = BailReason::ALL.len();
 
 /// Monotone counters updated by the workspace; thread-safe, relaxed ordering (the
 /// counters are diagnostics, never synchronisation).
@@ -32,6 +37,11 @@ pub struct CacheStats {
     pub(crate) program_fallbacks: AtomicU64,
     pub(crate) vm_decides: AtomicU64,
     pub(crate) vm_witness_fallbacks: AtomicU64,
+    pub(crate) program_store_hits: AtomicU64,
+    pub(crate) program_store_misses: AtomicU64,
+    pub(crate) program_store_writes: AtomicU64,
+    pub(crate) program_store_corrupt: AtomicU64,
+    pub(crate) compile_bailouts: [AtomicU64; BAIL_REASONS],
 }
 
 impl CacheStats {
@@ -68,6 +78,13 @@ impl CacheStats {
             program_fallbacks: self.program_fallbacks.load(Ordering::Relaxed),
             vm_decides: self.vm_decides.load(Ordering::Relaxed),
             vm_witness_fallbacks: self.vm_witness_fallbacks.load(Ordering::Relaxed),
+            program_store_hits: self.program_store_hits.load(Ordering::Relaxed),
+            program_store_misses: self.program_store_misses.load(Ordering::Relaxed),
+            program_store_writes: self.program_store_writes.load(Ordering::Relaxed),
+            program_store_corrupt: self.program_store_corrupt.load(Ordering::Relaxed),
+            compile_bailouts: std::array::from_fn(|i| {
+                self.compile_bailouts[i].load(Ordering::Relaxed)
+            }),
             resident_dtds: 0,
         }
     }
@@ -129,8 +146,48 @@ pub struct StatsSnapshot {
     /// VM SAT verdicts whose witness realisation failed, falling back to the AST
     /// solver (expected to stay 0; counted so drift is visible).
     pub vm_witness_fallbacks: u64,
+    /// Compiled programs served from the persistent program store (a restarted
+    /// server replays these with zero compiles; does **not** count towards
+    /// `programs_compiled`).
+    pub program_store_hits: u64,
+    /// Program-store lookups that found no valid entry (absent or corrupt).
+    pub program_store_misses: u64,
+    /// Compiled programs written to the persistent store.
+    pub program_store_writes: u64,
+    /// Program-store lookups that found a *corrupt* entry (bad magic, truncation,
+    /// checksum mismatch) — a subset of `program_store_misses`; the damaged entry
+    /// is deleted and the program recompiled.
+    pub program_store_corrupt: u64,
+    /// Compile bails by reason, indexed by [`BailReason::index`] (the slugs of
+    /// [`BailReason::as_str`] in [`BailReason::ALL`] order).  Sums to
+    /// `program_fallbacks`.
+    pub compile_bailouts: [u64; BAIL_REASONS],
     /// Gauge (not a counter): compiled artifacts currently resident in memory.
     pub resident_dtds: u64,
+}
+
+impl StatsSnapshot {
+    /// Fraction of computed decisions answered by the compiled-program VM, in
+    /// `[0, 1]` (`0` when nothing was decided yet).  The headline coverage metric
+    /// of the compiled fast path.
+    pub fn vm_coverage(&self) -> f64 {
+        if self.decisions_computed == 0 {
+            0.0
+        } else {
+            self.vm_decides as f64 / self.decisions_computed as f64
+        }
+    }
+
+    /// `(slug, count)` pairs of the nonzero compile-bail reasons, in
+    /// [`BailReason::ALL`] order.
+    pub fn bailouts_by_reason(&self) -> Vec<(&'static str, u64)> {
+        BailReason::ALL
+            .iter()
+            .zip(self.compile_bailouts)
+            .filter(|(_, n)| *n > 0)
+            .map(|(r, n)| (r.as_str(), n))
+            .collect()
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -143,7 +200,8 @@ impl std::fmt::Display for StatsSnapshot {
              artifact store: {} hits, {} misses ({} corrupt), {} writes; \
              deadlines exceeded: {}; budgets exhausted: {}; \
              canonical hits: {}; programs: {} compiled, {} fallbacks; \
-             vm: {} decides, {} witness fallbacks",
+             program store: {} hits, {} misses ({} corrupt), {} writes; \
+             vm: {} decides, {} witness fallbacks, {:.1}% coverage",
             self.dtds_registered,
             self.dtds_reused,
             self.resident_dtds,
@@ -165,8 +223,21 @@ impl std::fmt::Display for StatsSnapshot {
             self.canonical_hits,
             self.programs_compiled,
             self.program_fallbacks,
+            self.program_store_hits,
+            self.program_store_misses,
+            self.program_store_corrupt,
+            self.program_store_writes,
             self.vm_decides,
             self.vm_witness_fallbacks,
-        )
+            self.vm_coverage() * 100.0,
+        )?;
+        let bailed = self.bailouts_by_reason();
+        if !bailed.is_empty() {
+            write!(f, "; compile bailouts:")?;
+            for (slug, count) in bailed {
+                write!(f, " {slug}={count}")?;
+            }
+        }
+        Ok(())
     }
 }

@@ -39,6 +39,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use xpsat_automata::BitSet;
 use xpsat_dtd::{parse_dtd, CompiledDtd, DtdClass, Normalization, Sym, SymNfa};
+use xpsat_plan::{DecisionProgram, MaskId, Op, Reg, TableId};
 
 /// Format version; bump on any change to the serialised shape.
 /// v2 added the FNV-1a-64 integrity trailer.
@@ -46,6 +47,9 @@ pub const STORE_VERSION: u32 = 2;
 
 /// File magic, so stray files in the cache directory are rejected immediately.
 const MAGIC: &[u8; 8] = b"XPSATART";
+
+/// File magic of persisted decision programs (`.prg` entries).
+const PROGRAM_MAGIC: &[u8; 8] = b"XPSATPRG";
 
 /// Marker for "no symbol" in a serialised state-symbol table.
 const NO_SYM: u32 = u32::MAX;
@@ -159,6 +163,84 @@ impl ArtifactStore {
     /// Remove the entry of `canonical`, if present (used by tests and operators).
     pub fn evict(&self, canonical: &str) -> std::io::Result<()> {
         match std::fs::remove_file(self.entry_path(canonical)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    // ---- compiled decision programs ------------------------------------------------
+
+    fn program_path(&self, fingerprint: u64, canonical_hash: u64) -> PathBuf {
+        self.version_dir
+            .join(format!("{fingerprint:016x}-{canonical_hash:016x}.prg"))
+    }
+
+    /// Is a compiled program present for this `(DTD fingerprint, canonical query
+    /// hash)` pair (without decoding it)?
+    pub fn contains_program(&self, fingerprint: u64, canonical_hash: u64) -> bool {
+        self.program_path(fingerprint, canonical_hash).exists()
+    }
+
+    /// Persist a compiled decision program under `(DTD fingerprint, canonical query
+    /// hash)`.  Same atomicity as [`ArtifactStore::save`]: temp file + rename, with
+    /// an FNV-1a-64 integrity trailer over the body.
+    pub fn save_program(
+        &self,
+        fingerprint: u64,
+        canonical_hash: u64,
+        canon_text: &str,
+        program: &DecisionProgram,
+    ) -> std::io::Result<()> {
+        let bytes = encode_program(fingerprint, canonical_hash, canon_text, program);
+        let final_path = self.program_path(fingerprint, canonical_hash);
+        let tmp_path = self.version_dir.join(format!(
+            ".tmp-{fingerprint:016x}-{canonical_hash:016x}-{}.prg",
+            std::process::id()
+        ));
+        {
+            let mut file = std::fs::File::create(&tmp_path)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        match std::fs::rename(&tmp_path, &final_path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp_path);
+                Err(e)
+            }
+        }
+    }
+
+    /// Rehydrate the compiled program of `(fingerprint, canonical_hash)`, validated
+    /// against the *live* `artifacts` (same registers-precede-ops discipline, mask /
+    /// table / symbol bounds, element count) and re-stamped with their uid so the VM
+    /// accepts it.  `canon_text` is compared against the stored canonical query and
+    /// reparsed into the program's witness path.
+    ///
+    /// Like [`ArtifactStore::load`], a corrupt entry is deleted on sight: programs
+    /// are pure caches, recompiled from the canonical query on the next touch.
+    pub fn load_program(
+        &self,
+        fingerprint: u64,
+        canonical_hash: u64,
+        canon_text: &str,
+        artifacts: &xpsat_dtd::DtdArtifacts,
+    ) -> Result<DecisionProgram, StoreMiss> {
+        let path = self.program_path(fingerprint, canonical_hash);
+        let bytes = std::fs::read(&path).map_err(|_| StoreMiss::Absent)?;
+        match decode_program(&bytes, fingerprint, canonical_hash, canon_text, artifacts) {
+            Some(program) => Ok(program),
+            None => {
+                let _ = std::fs::remove_file(&path);
+                Err(StoreMiss::Invalid)
+            }
+        }
+    }
+
+    /// Remove the program entry of `(fingerprint, canonical_hash)`, if present.
+    pub fn evict_program(&self, fingerprint: u64, canonical_hash: u64) -> std::io::Result<()> {
+        match std::fs::remove_file(self.program_path(fingerprint, canonical_hash)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
@@ -384,6 +466,248 @@ fn decode_nfa(r: &mut Reader, num_elements: usize) -> Option<SymNfa> {
     Some(SymNfa::from_parts(transitions, accepting, state_symbol))
 }
 
+// ---- decision-program encoding ---------------------------------------------------
+
+fn encode_program(
+    fingerprint: u64,
+    canonical_hash: u64,
+    canon_text: &str,
+    program: &DecisionProgram,
+) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.bytes(PROGRAM_MAGIC);
+    w.u32(STORE_VERSION);
+    w.u64(fingerprint);
+    w.u64(canonical_hash);
+    w.str(canon_text);
+    w.u8(program.const_unsat as u8);
+    w.u32(program.num_elements as u32);
+    w.u32(program.out as u32);
+    w.u32(program.masks.len() as u32);
+    for mask in &program.masks {
+        encode_bitset(&mut w, mask);
+    }
+    w.u32(program.tables.len() as u32);
+    for table in &program.tables {
+        w.u32(table.len() as u32);
+        for row in table {
+            encode_bitset(&mut w, row);
+        }
+    }
+    w.u32(program.ops.len() as u32);
+    for op in &program.ops {
+        match *op {
+            Op::Root { .. } => w.u8(0),
+            Op::Empty { .. } => w.u8(1),
+            Op::Child { src, sym, ok, .. } => {
+                w.u8(2);
+                w.u32(src as u32);
+                w.u32(sym.index() as u32);
+                w.u32(ok as u32);
+            }
+            Op::AnyChild { src, .. } => {
+                w.u8(3);
+                w.u32(src as u32);
+            }
+            Op::DescOrSelf { src, .. } => {
+                w.u8(4);
+                w.u32(src as u32);
+            }
+            Op::Intersect { src, mask, .. } => {
+                w.u8(5);
+                w.u32(src as u32);
+                w.u32(mask as u32);
+            }
+            Op::Union { a, b, .. } => {
+                w.u8(6);
+                w.u32(a as u32);
+                w.u32(b as u32);
+            }
+            Op::Table { src, table, .. } => {
+                w.u8(7);
+                w.u32(src as u32);
+                w.u32(table as u32);
+            }
+        }
+    }
+    let mut bytes = w.finish();
+    let checksum = fnv64(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+fn encode_bitset(w: &mut Writer, set: &BitSet) {
+    let members: Vec<usize> = set.iter().collect();
+    w.u32(members.len() as u32);
+    for m in members {
+        w.u32(m as u32);
+    }
+}
+
+/// Decode and fully validate a persisted program.  Every register, mask id, table id
+/// and symbol index is bounds-checked against the decoded shape and the live
+/// artifacts, so a damaged-but-checksum-colliding entry can refuse here but can never
+/// hand the VM an out-of-range access.
+fn decode_program(
+    bytes: &[u8],
+    expected_fingerprint: u64,
+    expected_canonical_hash: u64,
+    expected_canon_text: &str,
+    artifacts: &xpsat_dtd::DtdArtifacts,
+) -> Option<DecisionProgram> {
+    let body_len = bytes.len().checked_sub(8)?;
+    let (body, trailer) = bytes.split_at(body_len);
+    if u64::from_le_bytes(trailer.try_into().ok()?) != fnv64(body) {
+        return None;
+    }
+    let mut r = Reader::new(body);
+    if r.bytes(PROGRAM_MAGIC.len())? != PROGRAM_MAGIC.as_slice() || r.u32()? != STORE_VERSION {
+        return None;
+    }
+    if r.u64()? != expected_fingerprint || r.u64()? != expected_canonical_hash {
+        return None;
+    }
+    let canon_text = r.str()?;
+    // Key collision or foreign entry: refuse, the caller recompiles.  The hash of
+    // the stored text must also really be the key it was filed under.
+    if canon_text != expected_canon_text
+        || xpsat_plan::fnv64(&canon_text) != expected_canonical_hash
+    {
+        return None;
+    }
+    let canon = xpsat_xpath::parse_path(&canon_text).ok()?;
+    let const_unsat = r.bool()?;
+    let num_elements = r.u32()? as usize;
+    // The program must target the *current* shape of this DTD's artifacts (the
+    // fingerprint already ties it to the canonical text, so this only refuses
+    // genuinely damaged entries).
+    if num_elements != artifacts.compiled().map_or(0, |c| c.num_elements()) {
+        return None;
+    }
+    let out = r.u32()? as usize;
+    let masks = (0..r.u32()?)
+        .map(|_| decode_bitset(&mut r, num_elements))
+        .collect::<Option<Vec<BitSet>>>()?;
+    let tables = (0..r.u32()?)
+        .map(|_| {
+            let rows = r.u32()? as usize;
+            if rows != num_elements {
+                return None;
+            }
+            (0..rows)
+                .map(|_| decode_bitset(&mut r, num_elements))
+                .collect::<Option<Vec<BitSet>>>()
+        })
+        .collect::<Option<Vec<Vec<BitSet>>>>()?;
+    let num_ops = r.u32()? as usize;
+    if num_ops > usize::from(Reg::MAX) + 1 {
+        return None;
+    }
+    let mut ops = Vec::with_capacity(num_ops);
+    for i in 0..num_ops {
+        let dst = i as Reg;
+        // Single assignment: every source register must precede this op.
+        let src_reg = |r: &mut Reader| -> Option<Reg> {
+            let s = r.u32()? as usize;
+            (s < i).then_some(s as Reg)
+        };
+        let op = match r.u8()? {
+            0 => Op::Root { dst },
+            1 => Op::Empty { dst },
+            2 => {
+                let src = src_reg(&mut r)?;
+                let sym = r.u32()? as usize;
+                if sym >= num_elements {
+                    return None;
+                }
+                let ok = r.u32()? as usize;
+                if ok >= masks.len() {
+                    return None;
+                }
+                Op::Child {
+                    src,
+                    dst,
+                    sym: Sym::from_index(sym),
+                    ok: ok as MaskId,
+                }
+            }
+            3 => Op::AnyChild {
+                src: src_reg(&mut r)?,
+                dst,
+            },
+            4 => Op::DescOrSelf {
+                src: src_reg(&mut r)?,
+                dst,
+            },
+            5 => {
+                let src = src_reg(&mut r)?;
+                let mask = r.u32()? as usize;
+                if mask >= masks.len() {
+                    return None;
+                }
+                Op::Intersect {
+                    src,
+                    dst,
+                    mask: mask as MaskId,
+                }
+            }
+            6 => Op::Union {
+                a: src_reg(&mut r)?,
+                b: src_reg(&mut r)?,
+                dst,
+            },
+            7 => {
+                let src = src_reg(&mut r)?;
+                let table = r.u32()? as usize;
+                if table >= tables.len() {
+                    return None;
+                }
+                Op::Table {
+                    src,
+                    dst,
+                    table: table as TableId,
+                }
+            }
+            _ => return None,
+        };
+        ops.push(op);
+    }
+    if !r.at_end() {
+        return None;
+    }
+    if const_unsat {
+        if !ops.is_empty() || out != 0 {
+            return None;
+        }
+    } else if out >= ops.len() {
+        return None;
+    }
+    Some(DecisionProgram {
+        ops,
+        masks,
+        tables,
+        num_elements,
+        out: out as Reg,
+        const_unsat,
+        canon,
+        // Uids are process-local; stamp the live artifacts' so the VM accepts the
+        // rehydrated program.
+        dtd_uid: artifacts.uid(),
+    })
+}
+
+fn decode_bitset(r: &mut Reader, capacity: usize) -> Option<BitSet> {
+    let mut set = BitSet::with_capacity(capacity);
+    for _ in 0..r.u32()? {
+        let m = r.u32()? as usize;
+        if m >= capacity {
+            return None;
+        }
+        set.insert(m);
+    }
+    Some(set)
+}
+
 // ---- little-endian framing -------------------------------------------------------
 
 #[derive(Default)]
@@ -604,6 +928,100 @@ mod tests {
         let loaded = store.load(&fresh.canonical).unwrap();
         assert!(loaded.compiled.compiled().is_none());
         assert_eq!(loaded.class, fresh.class);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn programs_round_trip_and_decide_identically() {
+        let dir = scratch_dir();
+        let store = ArtifactStore::open(&dir).unwrap();
+        let fresh = build(DTD);
+        let limits = xpsat_plan::CompileLimits::default();
+        for text in ["a[c or d]", "b", "a[not(c)]", "a/c"] {
+            let canon = xpsat_plan::canonicalize(&xpsat_xpath::parse_path(text).unwrap());
+            let canon_text = canon.to_string();
+            let hash = xpsat_plan::fnv64(&canon_text);
+            let program = xpsat_plan::compile(&fresh.compiled, &canon, &limits)
+                .unwrap_or_else(|| panic!("{text} compiles"));
+            assert!(!store.contains_program(fresh.fingerprint, hash));
+            store
+                .save_program(fresh.fingerprint, hash, &canon_text, &program)
+                .unwrap();
+            let loaded = store
+                .load_program(fresh.fingerprint, hash, &canon_text, &fresh.compiled)
+                .unwrap();
+            assert_eq!(loaded.ops, program.ops);
+            assert_eq!(loaded.out, program.out);
+            assert_eq!(loaded.canon, program.canon);
+            assert_eq!(loaded.dtd_uid, fresh.compiled.uid());
+            let mut scratch = xpsat_plan::Scratch::new();
+            let budget = xpsat_core::Budget::unlimited();
+            let a =
+                xpsat_plan::vm::decide(&program, &fresh.compiled, &mut scratch, &budget).unwrap();
+            let b =
+                xpsat_plan::vm::decide(&loaded, &fresh.compiled, &mut scratch, &budget).unwrap();
+            assert_eq!(decision_fingerprint(&a), decision_fingerprint(&b), "{text}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_program_entries_miss_and_are_deleted() {
+        let dir = scratch_dir();
+        let store = ArtifactStore::open(&dir).unwrap();
+        let fresh = build(DTD);
+        let canon = xpsat_plan::canonicalize(&xpsat_xpath::parse_path("a[c and d]").unwrap());
+        let canon_text = canon.to_string();
+        let hash = xpsat_plan::fnv64(&canon_text);
+        let program = xpsat_plan::compile(
+            &fresh.compiled,
+            &canon,
+            &xpsat_plan::CompileLimits::default(),
+        )
+        .unwrap();
+        store
+            .save_program(fresh.fingerprint, hash, &canon_text, &program)
+            .unwrap();
+        let path = store
+            .version_dir()
+            .join(format!("{:016x}-{:016x}.prg", fresh.fingerprint, hash));
+        let full = std::fs::read(&path).unwrap();
+        // Truncation fails the checksum; the damaged entry is deleted on sight so
+        // the next lookup is a plain Absent (⇒ recompile, not a wedged key).
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            store.load_program(fresh.fingerprint, hash, &canon_text, &fresh.compiled),
+            Err(StoreMiss::Invalid)
+        ));
+        assert!(!path.exists());
+        assert!(matches!(
+            store.load_program(fresh.fingerprint, hash, &canon_text, &fresh.compiled),
+            Err(StoreMiss::Absent)
+        ));
+        // An interior bit flip likewise fails the checksum.
+        let mut flipped = full.clone();
+        let mid = flipped.len() - 12;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            store.load_program(fresh.fingerprint, hash, &canon_text, &fresh.compiled),
+            Err(StoreMiss::Invalid)
+        ));
+        // A key mismatch (entry filed under the wrong name) also refuses.
+        std::fs::write(&path, &full).unwrap();
+        let other_hash = xpsat_plan::fnv64("zzz");
+        std::fs::rename(
+            &path,
+            store.version_dir().join(format!(
+                "{:016x}-{:016x}.prg",
+                fresh.fingerprint, other_hash
+            )),
+        )
+        .unwrap();
+        assert!(matches!(
+            store.load_program(fresh.fingerprint, other_hash, "zzz", &fresh.compiled),
+            Err(StoreMiss::Invalid)
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

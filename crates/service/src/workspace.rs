@@ -706,9 +706,11 @@ impl Workspace {
         }
     }
 
-    /// The compiled decision program of a class representative, compiling (or
-    /// recording the fragment bail) on first touch.  `None` = outside the compiled
-    /// fragment, decided by the AST solver.
+    /// The compiled decision program of a class representative: from the persistent
+    /// store when one is attached and holds a valid entry (zero compiles after a
+    /// restart), else compiled on first touch (and written back).  `None` = outside
+    /// the compiled fragment, decided by the AST solver; the bail reason is counted
+    /// per [`xpsat_plan::BailReason`].
     fn program_for(
         &self,
         dtd: DtdId,
@@ -720,17 +722,63 @@ impl Workspace {
         if let Some(entry) = lock_recovering(shard).get(&key) {
             return entry.clone();
         }
-        // Compile outside the lock: concurrent first touches race benignly (the
-        // compiler is deterministic, and the first insert wins below).
-        let program = xpsat_plan::compile(
-            &artifacts.compiled,
-            &self.queries[rep.0].canon_path,
-            &CompileLimits::default(),
-        )
-        .map(Arc::new);
-        match &program {
-            Some(_) => CacheStats::bump(&self.stats.programs_compiled),
-            None => CacheStats::bump(&self.stats.program_fallbacks),
+        // Store lookup and compile both run outside the lock: concurrent first
+        // touches race benignly (the compiler is deterministic, and the first
+        // insert wins below).
+        let query = &self.queries[rep.0];
+        let mut program: Option<Arc<DecisionProgram>> = None;
+        let mut from_store = false;
+        if let Some(store) = &self.store {
+            match store.load_program(
+                artifacts.fingerprint,
+                query.canonical_hash,
+                &query.canon_text,
+                &artifacts.compiled,
+            ) {
+                Ok(rehydrated) => {
+                    // A store hit is *not* a compile: `programs_compiled` stays
+                    // untouched, which is exactly what the restart acceptance
+                    // check asserts.
+                    CacheStats::bump(&self.stats.program_store_hits);
+                    program = Some(Arc::new(rehydrated));
+                    from_store = true;
+                }
+                Err(miss) => {
+                    if miss == StoreMiss::Invalid {
+                        CacheStats::bump(&self.stats.program_store_corrupt);
+                    }
+                    CacheStats::bump(&self.stats.program_store_misses);
+                }
+            }
+        }
+        if !from_store {
+            match xpsat_plan::compile_with_reason(
+                &artifacts.compiled,
+                &query.canon_path,
+                &CompileLimits::default(),
+            ) {
+                Ok(compiled) => {
+                    CacheStats::bump(&self.stats.programs_compiled);
+                    if let Some(store) = &self.store {
+                        if store
+                            .save_program(
+                                artifacts.fingerprint,
+                                query.canonical_hash,
+                                &query.canon_text,
+                                &compiled,
+                            )
+                            .is_ok()
+                        {
+                            CacheStats::bump(&self.stats.program_store_writes);
+                        }
+                    }
+                    program = Some(Arc::new(compiled));
+                }
+                Err(reason) => {
+                    CacheStats::bump(&self.stats.program_fallbacks);
+                    CacheStats::bump(&self.stats.compile_bailouts[reason.index()]);
+                }
+            }
         }
         lock_recovering(shard).entry(key).or_insert(program).clone()
     }
@@ -938,26 +986,33 @@ impl Workspace {
                             let deadline_hit = &deadline_hit;
                             let artifacts = &artifacts;
                             let budget = &budget;
-                            scope.spawn(move || {
-                                loop {
-                                    if deadline_hit.load(Ordering::Relaxed) {
-                                        break;
+                            // Deep stacks: the positive engine's witness search
+                            // recurses to its Lemma 4.5 depth bound on schema-sized
+                            // DTDs, and overflowing a worker stack aborts the whole
+                            // process rather than failing the one decision.
+                            std::thread::Builder::new()
+                                .stack_size(xpsat_core::DECIDE_STACK_BYTES)
+                                .spawn_scoped(scope, move || {
+                                    loop {
+                                        if deadline_hit.load(Ordering::Relaxed) {
+                                            break;
+                                        }
+                                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                                            deadline_hit.store(true, Ordering::Relaxed);
+                                            break;
+                                        }
+                                        let i = next.fetch_add(1, Ordering::Relaxed);
+                                        let Some(&q) = missing.get(i) else { break };
+                                        let decision = self.compute(dtd, q, artifacts, budget);
+                                        if decision.exhausted == Some(Exhausted::Deadline) {
+                                            deadline_hit.store(true, Ordering::Relaxed);
+                                            break;
+                                        }
+                                        local.push((q, decision));
                                     }
-                                    if deadline.is_some_and(|d| Instant::now() >= d) {
-                                        deadline_hit.store(true, Ordering::Relaxed);
-                                        break;
-                                    }
-                                    let i = next.fetch_add(1, Ordering::Relaxed);
-                                    let Some(&q) = missing.get(i) else { break };
-                                    let decision = self.compute(dtd, q, artifacts, budget);
-                                    if decision.exhausted == Some(Exhausted::Deadline) {
-                                        deadline_hit.store(true, Ordering::Relaxed);
-                                        break;
-                                    }
-                                    local.push((q, decision));
-                                }
-                                local
-                            })
+                                    local
+                                })
+                                .expect("spawn batch worker")
                         })
                         .collect();
                     taken = handles
@@ -1248,6 +1303,54 @@ mod tests {
         let retry = ws.decide(d, qs[0]).unwrap();
         assert!(!retry.cached);
         assert!(retry.decision.exhausted.is_none());
+    }
+
+    #[test]
+    fn restarted_workspace_serves_programs_with_zero_compiles() {
+        let dir = std::env::temp_dir().join(format!("xpsat-ws-prg-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = crate::store::ArtifactStore::open(&dir).unwrap();
+        let dtd = "r -> a; a -> b | c; b -> d?; c -> #; d -> #;";
+        let texts = ["a[b or c]", "a[not(b)]", "a/b/d", "a[b/d or c]"];
+
+        let mut warm = Workspace::default().with_store(store.clone());
+        let d = warm.register_dtd(dtd).unwrap();
+        let mut verdicts = Vec::new();
+        for t in &texts {
+            let q = warm.intern(t).unwrap();
+            verdicts.push(verdict_fingerprint(&warm.decide(d, q).unwrap().decision));
+        }
+        let warm_stats = warm.stats();
+        assert_eq!(warm_stats.programs_compiled, texts.len() as u64);
+        assert_eq!(warm_stats.program_store_writes, texts.len() as u64);
+        assert_eq!(warm_stats.program_store_hits, 0);
+
+        // "Restart": a fresh workspace over the same store answers every
+        // previously-compiled query through the VM with zero compiles.
+        let mut cold = Workspace::default().with_store(store);
+        let d = cold.register_dtd(dtd).unwrap();
+        for (t, expected) in texts.iter().zip(&verdicts) {
+            let q = cold.intern(t).unwrap();
+            let served = cold.decide(d, q).unwrap();
+            assert_eq!(&verdict_fingerprint(&served.decision), expected, "{t}");
+        }
+        let cold_stats = cold.stats();
+        assert_eq!(cold_stats.programs_compiled, 0, "{cold_stats}");
+        assert_eq!(cold_stats.program_store_hits, texts.len() as u64);
+        assert_eq!(cold_stats.vm_decides, texts.len() as u64);
+
+        // Out-of-fragment queries are counted by bail reason.
+        let q = cold.intern("d/..").unwrap();
+        cold.decide(d, q).unwrap();
+        let after = cold.stats();
+        assert_eq!(after.program_fallbacks, 1);
+        assert_eq!(after.compile_bailouts.iter().sum::<u64>(), 1);
+        assert_eq!(
+            after.bailouts_by_reason(),
+            vec![("upward_axis", 1)],
+            "{after}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

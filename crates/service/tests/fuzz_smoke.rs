@@ -385,6 +385,92 @@ fn bit_flipped_entries_degrade_to_miss_at_every_position() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Warm a store so it holds exactly one persisted program, returning the store
+/// and the `.prg` entry path.
+fn store_with_one_program(
+    tag: &str,
+) -> (
+    std::path::PathBuf,
+    xpsat_service::ArtifactStore,
+    std::path::PathBuf,
+) {
+    let dir = scratch_dir(tag);
+    let store = xpsat_service::ArtifactStore::open(&dir).unwrap();
+    let mut warm = Workspace::default().with_store(store.clone());
+    let id = warm.register_dtd(DTD).unwrap();
+    let q = warm.intern("a[b]").unwrap();
+    warm.decide(id, q).unwrap();
+    assert_eq!(warm.stats().program_store_writes, 1);
+    let entry = std::fs::read_dir(store.version_dir())
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|x| x == "prg"))
+        .expect("one .prg entry");
+    (dir, store, entry)
+}
+
+#[test]
+fn truncated_program_entry_recompiles_with_counted_corruption() {
+    let (dir, store, entry) = store_with_one_program("prg-truncate");
+    let bytes = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+
+    let mut ws = Workspace::default().with_store(store);
+    let id = ws.register_dtd(DTD).unwrap();
+    let q = ws.intern("a[b]").unwrap();
+    let served = ws.decide(id, q).expect("decides over damaged program");
+    assert_eq!(format!("{}", served.decision.result), "satisfiable");
+    let stats = ws.stats();
+    assert_eq!(stats.program_store_corrupt, 1);
+    assert_eq!(stats.program_store_misses, 1);
+    assert_eq!(stats.programs_compiled, 1, "recompiled after checksum miss");
+    assert_eq!(stats.vm_decides, 1, "recompile still serves the VM path");
+    // The damaged entry was deleted on sight and replaced by a fresh valid write.
+    assert_eq!(stats.program_store_writes, 1);
+    let repaired = std::fs::read(&entry).unwrap();
+    assert_ne!(repaired.len(), bytes.len() / 2, "slot was repaired");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_program_entries_never_reach_the_vm() {
+    // Flip one bit at a seeded sample of positions.  Every flip must degrade to a
+    // counted corruption + recompile (the FNV trailer covers the whole body), and
+    // the verdict must be unchanged — never a panic, never a wrong answer.
+    let (dir, store, entry) = store_with_one_program("prg-bitflip");
+    let pristine = std::fs::read(&entry).unwrap();
+
+    let mut rng = Rng(0x9006_f11b);
+    let samples = (iterations() / 3).clamp(32, pristine.len() * 8);
+    for _ in 0..samples {
+        let mut damaged = pristine.clone();
+        let pos = rng.below(damaged.len());
+        damaged[pos] ^= 1 << rng.below(8);
+        if damaged == pristine {
+            continue;
+        }
+        std::fs::write(&entry, &damaged).unwrap();
+
+        let mut ws = Workspace::default().with_store(store.clone());
+        let id = ws.register_dtd(DTD).unwrap();
+        let q = ws.intern("a[b]").unwrap();
+        let served = ws.decide(id, q).expect("decides under every flip");
+        assert_eq!(format!("{}", served.decision.result), "satisfiable");
+        let stats = ws.stats();
+        assert_eq!(
+            stats.program_store_hits + stats.program_store_corrupt,
+            1,
+            "flip at {pos}: either caught as corrupt or (impossible with a full-body \
+             checksum) still valid"
+        );
+        assert_eq!(stats.program_store_corrupt, 1, "flip at {pos} must miss");
+
+        // Repair for the next round (a corrupt load deletes the entry).
+        std::fs::write(&entry, &pristine).unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn torn_write_is_invisible_to_readers() {
     // A torn write is a leftover temp file: the writer crashed before the atomic
@@ -443,7 +529,7 @@ fn unwritable_store_dir_degrades_to_compute_only() {
 /// stack overflow.
 #[test]
 fn pathological_depth_answers_spanned_errors_not_stack_overflow() {
-    let mut server = ProtocolServer::new(1);
+    let server = ProtocolServer::new(1);
 
     // 100k-deep nested qualifier.
     let mut query = String::from("a");

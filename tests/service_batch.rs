@@ -235,7 +235,7 @@ fn protocol_agrees_with_direct_api() {
     let dtd = corpus_dtds().remove(1);
     let texts = corpus_queries(&mut rng, &dtd, 40);
 
-    let mut server = ProtocolServer::new(2);
+    let server = ProtocolServer::new(2);
     let reg = Json::parse(
         &server.handle_line(
             &Json::obj(vec![
